@@ -1,0 +1,63 @@
+//! The simulated CUDA framework (Driver-API flavoured).
+//!
+//! CUDA only enumerates NVIDIA devices. The driver model here is minimal —
+//! a device query plus version info — because everything interesting is in
+//! the shared kernels and the dialect; that is the point of the paper's
+//! design.
+
+use crate::device::{catalog, DeviceSpec, Vendor};
+
+/// The simulated CUDA driver installation.
+#[derive(Clone, Debug)]
+pub struct CudaDriver {
+    /// Reported driver version (the paper's system 1 ran CUDA release 8.0).
+    pub version: &'static str,
+    devices: Vec<DeviceSpec>,
+}
+
+impl CudaDriver {
+    /// Probe the (simulated) system for CUDA support. Returns `None` when no
+    /// NVIDIA device is present — the library's plugin loader treats that as
+    /// "CUDA implementation unavailable", exactly like system 2 in Table I.
+    pub fn probe(available_devices: &[DeviceSpec]) -> Option<Self> {
+        let devices: Vec<DeviceSpec> = available_devices
+            .iter()
+            .filter(|d| d.vendor == Vendor::Nvidia)
+            .cloned()
+            .collect();
+        if devices.is_empty() {
+            None
+        } else {
+            Some(Self { version: "8.0 (simulated)", devices })
+        }
+    }
+
+    /// Probe the default simulated system (all catalog devices present).
+    pub fn probe_default() -> Option<Self> {
+        Self::probe(&catalog::all())
+    }
+
+    /// Devices this driver exposes.
+    pub fn devices(&self) -> &[DeviceSpec] {
+        &self.devices
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cuda_sees_only_nvidia() {
+        let driver = CudaDriver::probe_default().expect("catalog has an NVIDIA GPU");
+        assert!(driver.devices().iter().all(|d| d.vendor == Vendor::Nvidia));
+        assert_eq!(driver.devices().len(), 1);
+    }
+
+    #[test]
+    fn no_nvidia_means_no_cuda() {
+        // System 2 of Table I: dual Xeon + AMD FirePro, no NVIDIA → no CUDA.
+        let system2 = vec![catalog::firepro_s9170(), catalog::dual_xeon_e5_2680v4()];
+        assert!(CudaDriver::probe(&system2).is_none());
+    }
+}

@@ -1,0 +1,370 @@
+//! Simulated accelerator devices.
+//!
+//! No GPU is available in this environment, so the accelerator model runs on
+//! a *device simulator*: kernels are real Rust code executed functionally on
+//! the host over an explicit work-group grid, device "global memory" is a
+//! host-side buffer arena with modeled PCIe transfer costs, and elapsed
+//! device time comes from the roofline performance model in [`crate::perf`],
+//! parameterized by the specs of the paper's Table I/II hardware
+//! (see [`catalog`]). The OpenCL-x86 device is the exception: it executes on
+//! real host threads and is timed with the wall clock, exactly as in the
+//! paper.
+
+use std::time::Duration;
+
+/// GPU / CPU vendor, which drives driver availability and tuning defaults.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Vendor {
+    /// NVIDIA (CUDA + OpenCL).
+    Nvidia,
+    /// AMD (OpenCL).
+    Amd,
+    /// Intel (OpenCL CPU driver / Xeon Phi).
+    Intel,
+}
+
+/// Broad device class.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum DeviceKind {
+    /// Discrete GPU.
+    Gpu,
+    /// Conventional multicore CPU.
+    Cpu,
+    /// Manycore accelerator/CPU (Xeon Phi class).
+    ManyCore,
+}
+
+/// Static description of one device (the simulator's "Table II" row).
+#[derive(Clone, Debug)]
+pub struct DeviceSpec {
+    /// Marketing name.
+    pub name: &'static str,
+    /// Hardware vendor.
+    pub vendor: Vendor,
+    /// Device class.
+    pub kind: DeviceKind,
+    /// Parallel cores (CUDA cores / stream processors / HW threads).
+    pub cores: u32,
+    /// Device global memory in GB.
+    pub memory_gb: f64,
+    /// Global memory bandwidth in GB/s (Table II "Bandwidth").
+    pub bandwidth_gbs: f64,
+    /// Theoretical single-precision peak in GFLOPS (Table II "SP compute").
+    pub sp_gflops: f64,
+    /// Theoretical double-precision peak in GFLOPS.
+    pub dp_gflops: f64,
+    /// Local (shared/LDS) memory available per work-group, in KiB. Drives
+    /// the paper's AMD codon-kernel adaptation (§VII-B1).
+    pub local_mem_kib: u32,
+    /// Whether fast fused multiply-add is available (`FP_FAST_FMA(F)`).
+    pub supports_fma: bool,
+}
+
+impl DeviceSpec {
+    /// Local memory in bytes.
+    pub fn local_mem_bytes(&self) -> usize {
+        self.local_mem_kib as usize * 1024
+    }
+}
+
+/// The devices used in the paper's evaluation (Tables I and II), plus the
+/// host CPU as an OpenCL-x86 device.
+pub mod catalog {
+    use super::*;
+
+    /// NVIDIA Quadro P5000 (Pascal): Table II column 1.
+    pub fn quadro_p5000() -> DeviceSpec {
+        DeviceSpec {
+            name: "NVIDIA Quadro P5000 (simulated)",
+            vendor: Vendor::Nvidia,
+            kind: DeviceKind::Gpu,
+            cores: 2560,
+            memory_gb: 16.0,
+            bandwidth_gbs: 288.0,
+            sp_gflops: 8900.0,
+            dp_gflops: 278.0, // Pascal GP104: 1/32 SP rate
+            local_mem_kib: 48,
+            supports_fma: true,
+        }
+    }
+
+    /// AMD Radeon R9 Nano (Fiji): Table II column 2.
+    pub fn radeon_r9_nano() -> DeviceSpec {
+        DeviceSpec {
+            name: "AMD Radeon R9 Nano (simulated)",
+            vendor: Vendor::Amd,
+            kind: DeviceKind::Gpu,
+            cores: 4096,
+            memory_gb: 4.0,
+            bandwidth_gbs: 512.0,
+            sp_gflops: 8192.0,
+            dp_gflops: 512.0, // Fiji: 1/16 SP rate
+            local_mem_kib: 32,
+            supports_fma: true,
+        }
+    }
+
+    /// AMD FirePro S9170 (Hawaii): Table II column 3.
+    pub fn firepro_s9170() -> DeviceSpec {
+        DeviceSpec {
+            name: "AMD FirePro S9170 (simulated)",
+            vendor: Vendor::Amd,
+            kind: DeviceKind::Gpu,
+            cores: 2816,
+            memory_gb: 32.0,
+            bandwidth_gbs: 320.0,
+            sp_gflops: 5240.0,
+            dp_gflops: 2620.0, // Hawaii FirePro: 1/2 SP rate
+            local_mem_kib: 32,
+            supports_fma: true,
+        }
+    }
+
+    /// Intel Xeon Phi 7210 (Knights Landing, used as a self-boot CPU).
+    pub fn xeon_phi_7210() -> DeviceSpec {
+        DeviceSpec {
+            name: "Intel Xeon Phi 7210 (simulated)",
+            vendor: Vendor::Intel,
+            kind: DeviceKind::ManyCore,
+            cores: 256, // 64 cores × 4 threads
+            memory_gb: 16.0,
+            bandwidth_gbs: 400.0, // MCDRAM
+            sp_gflops: 5324.0,
+            dp_gflops: 2662.0,
+            local_mem_kib: 32,
+            supports_fma: true,
+        }
+    }
+
+    /// Dual Intel Xeon E5-2680v4 (the paper's system 2 host).
+    pub fn dual_xeon_e5_2680v4() -> DeviceSpec {
+        DeviceSpec {
+            name: "Intel Xeon E5-2680v4 x2 (simulated)",
+            vendor: Vendor::Intel,
+            kind: DeviceKind::Cpu,
+            cores: 56, // 2 × 14 cores × 2 threads
+            memory_gb: 256.0,
+            bandwidth_gbs: 153.0, // 2 × 76.8 GB/s
+            sp_gflops: 2150.0,    // 2 × 14 cores × 2.4 GHz × 32 flops/cycle
+            dp_gflops: 1075.0,
+            local_mem_kib: 32,
+            supports_fma: true,
+        }
+    }
+
+    /// All simulated devices, GPU-first (BEAGLE's default resource order).
+    pub fn all() -> Vec<DeviceSpec> {
+        vec![
+            quadro_p5000(),
+            radeon_r9_nano(),
+            firepro_s9170(),
+            xeon_phi_7210(),
+            dual_xeon_e5_2680v4(),
+        ]
+    }
+}
+
+/// Handle to a device-memory buffer.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct BufferId(pub(crate) usize);
+
+/// Simulated device global memory: a buffer arena with transfer accounting.
+///
+/// Host↔device copies advance the simulated clock at PCIe 3.0 x16 speed;
+/// this is what makes BEAGLE's "minimize data transfer" design visible in
+/// the simulated numbers.
+pub struct DeviceMemory<T> {
+    buffers: Vec<Vec<T>>,
+    bytes_allocated: usize,
+    capacity_bytes: usize,
+    /// Total bytes moved host→device / device→host (for reporting).
+    pub bytes_uploaded: usize,
+    /// Total bytes moved device→host.
+    pub bytes_downloaded: usize,
+}
+
+/// Effective PCIe 3.0 x16 throughput used for transfer timing.
+pub const PCIE_GBS: f64 = 12.0;
+
+impl<T: Copy + Default> DeviceMemory<T> {
+    /// An arena capped at the device's global memory size.
+    pub fn new(capacity_bytes: usize) -> Self {
+        Self {
+            buffers: Vec::new(),
+            bytes_allocated: 0,
+            capacity_bytes,
+            bytes_uploaded: 0,
+            bytes_downloaded: 0,
+        }
+    }
+
+    /// Allocate a zeroed buffer of `len` elements. Panics if the simulated
+    /// device is out of memory (BEAGLE would fail instance creation).
+    pub fn alloc(&mut self, len: usize) -> BufferId {
+        let bytes = len * std::mem::size_of::<T>();
+        assert!(
+            self.bytes_allocated + bytes <= self.capacity_bytes,
+            "simulated device out of memory: {} + {} > {}",
+            self.bytes_allocated,
+            bytes,
+            self.capacity_bytes
+        );
+        self.bytes_allocated += bytes;
+        self.buffers.push(vec![T::default(); len]);
+        BufferId(self.buffers.len() - 1)
+    }
+
+    /// Bytes currently allocated.
+    pub fn allocated_bytes(&self) -> usize {
+        self.bytes_allocated
+    }
+
+    /// Host→device copy; returns the simulated transfer duration.
+    pub fn upload(&mut self, buf: BufferId, data: &[T]) -> Duration {
+        let dst = &mut self.buffers[buf.0];
+        assert!(data.len() <= dst.len(), "upload larger than buffer");
+        dst[..data.len()].copy_from_slice(data);
+        let bytes = std::mem::size_of_val(data);
+        self.bytes_uploaded += bytes;
+        transfer_time(bytes)
+    }
+
+    /// Device→host copy; returns data and the simulated transfer duration.
+    pub fn download(&mut self, buf: BufferId) -> (Vec<T>, Duration) {
+        let data = self.buffers[buf.0].clone();
+        let bytes = std::mem::size_of_val(data.as_slice());
+        self.bytes_downloaded += bytes;
+        (data, transfer_time(bytes))
+    }
+
+    /// Borrow a buffer (device-side access, no transfer cost).
+    pub fn get(&self, buf: BufferId) -> &[T] {
+        &self.buffers[buf.0]
+    }
+
+    /// Mutably borrow a buffer (device-side access, no transfer cost).
+    pub fn get_mut(&mut self, buf: BufferId) -> &mut [T] {
+        &mut self.buffers[buf.0]
+    }
+
+    /// Borrow two distinct buffers, one mutably — the shape every kernel
+    /// launch needs (destination + sources).
+    pub fn get_mut_and<'a>(&'a mut self, dst: BufferId, srcs: &[BufferId]) -> (&'a mut [T], Vec<&'a [T]>) {
+        assert!(!srcs.contains(&dst), "kernel destination aliases a source");
+        // SAFETY: dst is disjoint from every src (asserted above), and all
+        // ids index distinct Vec allocations, so the mutable and shared
+        // borrows never overlap.
+        let dst_slice: &'a mut [T] = unsafe {
+            let p = self.buffers[dst.0].as_mut_ptr();
+            std::slice::from_raw_parts_mut(p, self.buffers[dst.0].len())
+        };
+        let src_slices = srcs
+            .iter()
+            .map(|s| {
+                let v = &self.buffers[s.0];
+                unsafe { std::slice::from_raw_parts(v.as_ptr(), v.len()) }
+            })
+            .collect();
+        (dst_slice, src_slices)
+    }
+}
+
+fn transfer_time(bytes: usize) -> Duration {
+    Duration::from_secs_f64(bytes as f64 / (PCIE_GBS * 1e9))
+}
+
+/// Simulated device clock: accumulates modeled kernel and transfer time.
+#[derive(Default, Debug, Clone, Copy)]
+pub struct SimClock {
+    elapsed: Duration,
+}
+
+impl SimClock {
+    /// Advance the clock.
+    pub fn advance(&mut self, d: Duration) {
+        self.elapsed += d;
+    }
+
+    /// Total simulated time.
+    pub fn elapsed(&self) -> Duration {
+        self.elapsed
+    }
+
+    /// Reset to zero (benchmark harness does this between measurements).
+    pub fn reset(&mut self) {
+        self.elapsed = Duration::ZERO;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catalog_matches_table_two() {
+        let p5000 = catalog::quadro_p5000();
+        assert_eq!(p5000.cores, 2560);
+        assert_eq!(p5000.bandwidth_gbs, 288.0);
+        assert_eq!(p5000.sp_gflops, 8900.0);
+        let nano = catalog::radeon_r9_nano();
+        assert_eq!(nano.cores, 4096);
+        assert_eq!(nano.bandwidth_gbs, 512.0);
+        assert_eq!(nano.sp_gflops, 8192.0);
+        let s9170 = catalog::firepro_s9170();
+        assert_eq!(s9170.cores, 2816);
+        assert_eq!(s9170.memory_gb, 32.0);
+        assert_eq!(s9170.sp_gflops, 5240.0);
+    }
+
+    #[test]
+    fn memory_arena_roundtrip() {
+        let mut mem = DeviceMemory::<f32>::new(1 << 20);
+        let b = mem.alloc(100);
+        let t = mem.upload(b, &[1.5; 100]);
+        assert!(t > Duration::ZERO);
+        let (data, _) = mem.download(b);
+        assert!(data.iter().all(|&x| x == 1.5));
+        assert_eq!(mem.bytes_uploaded, 400);
+        assert_eq!(mem.bytes_downloaded, 400);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of memory")]
+    fn oom_panics() {
+        let mut mem = DeviceMemory::<f64>::new(64);
+        mem.alloc(100);
+    }
+
+    #[test]
+    fn disjoint_borrows() {
+        let mut mem = DeviceMemory::<f64>::new(1 << 20);
+        let a = mem.alloc(4);
+        let b = mem.alloc(4);
+        let c = mem.alloc(4);
+        mem.upload(b, &[2.0; 4]);
+        mem.upload(c, &[3.0; 4]);
+        let (dst, srcs) = mem.get_mut_and(a, &[b, c]);
+        for (i, d) in dst.iter_mut().enumerate() {
+            *d = srcs[0][i] * srcs[1][i];
+        }
+        assert_eq!(mem.get(a), &[6.0; 4]);
+    }
+
+    #[test]
+    #[should_panic(expected = "aliases")]
+    fn aliased_borrow_rejected() {
+        let mut mem = DeviceMemory::<f64>::new(1 << 20);
+        let a = mem.alloc(4);
+        let _ = mem.get_mut_and(a, &[a]);
+    }
+
+    #[test]
+    fn sim_clock_accumulates() {
+        let mut c = SimClock::default();
+        c.advance(Duration::from_micros(5));
+        c.advance(Duration::from_micros(7));
+        assert_eq!(c.elapsed(), Duration::from_micros(12));
+        c.reset();
+        assert_eq!(c.elapsed(), Duration::ZERO);
+    }
+}

@@ -1,0 +1,181 @@
+//! The framework dialect: one kernel code base for CUDA and OpenCL.
+//!
+//! §VII-A of the paper: "a single set of kernels for OpenCL and CUDA is
+//! achieved by using preprocessor definitions for framework-specific
+//! keywords… most notably, subpointer addressing within kernels was done by
+//! using the `clCreateSubBuffer` function in OpenCL and by pointer arithmetic
+//! in CUDA." In Rust the same sharing falls out of a zero-sized generic
+//! parameter: kernels are written once, generic over [`Dialect`], and the
+//! dialect supplies the framework-specific pieces — sub-buffer addressing
+//! and the fused-multiply-add policy (`FP_FAST_FMA` macros, §VII-B1).
+//!
+//! The ablation bench (`benches/ablation.rs`) verifies the abstraction
+//! compiles away: the dialect-generic kernel matches a monomorphic copy.
+
+use beagle_core::real::Real;
+
+use crate::device::DeviceSpec;
+
+/// A compute framework "dialect" a kernel can be instantiated for.
+pub trait Dialect: Send + Sync + 'static {
+    /// Framework name as reported in instance details.
+    const NAME: &'static str;
+
+    /// How kernels address a region within a larger device buffer:
+    /// `true` = create an explicit sub-buffer view first (OpenCL
+    /// `clCreateSubBuffer`); `false` = raw pointer arithmetic at every
+    /// access (CUDA).
+    const USES_SUB_BUFFERS: bool;
+
+    /// Whether the fast-FMA fast path is enabled on `device` — the OpenCL
+    /// build defines `FP_FAST_FMAF`/`FP_FAST_FMA` when the device supports
+    /// single-action fused multiply-add (§VII-B1); CUDA always fuses.
+    fn fma_enabled(device: &DeviceSpec) -> bool;
+
+    /// Framework-specific base kernel-launch overhead in microseconds.
+    /// OpenCL launches cost more than CUDA launches on the same hardware,
+    /// which is what separates the two curves for the Quadro P5000 at small
+    /// pattern counts in Fig. 4.
+    fn launch_overhead_us() -> f64;
+}
+
+/// The CUDA Driver API dialect.
+pub struct CudaDialect;
+
+impl Dialect for CudaDialect {
+    const NAME: &'static str = "CUDA";
+    const USES_SUB_BUFFERS: bool = false;
+    fn fma_enabled(_device: &DeviceSpec) -> bool {
+        true // nvcc contracts mul+add to FMA by default
+    }
+    fn launch_overhead_us() -> f64 {
+        6.0
+    }
+}
+
+/// The OpenCL dialect.
+pub struct OpenClDialect;
+
+impl Dialect for OpenClDialect {
+    const NAME: &'static str = "OpenCL";
+    const USES_SUB_BUFFERS: bool = true;
+    fn fma_enabled(device: &DeviceSpec) -> bool {
+        // Enabled only where the FP_FAST_FMA macros are set by our build
+        // (the paper enabled them for AMD devices).
+        device.supports_fma
+    }
+    fn launch_overhead_us() -> f64 {
+        18.0
+    }
+}
+
+/// Framework-polymorphic fused multiply-add: `a*b + c`.
+///
+/// When the dialect enables FMA on the device, this is a true fused op
+/// (1 action); otherwise an unfused multiply-then-add (2 actions). The
+/// performance model charges kernel flops accordingly; numerically the
+/// difference is below likelihood tolerance either way (the paper observed
+/// "non-trivial performance gains without loss of precision").
+#[inline(always)]
+pub fn fma<T: Real>(fma_enabled: bool, a: T, b: T, c: T) -> T {
+    if fma_enabled {
+        a.mul_add(b, c)
+    } else {
+        a * b + c
+    }
+}
+
+/// A view into device memory, created per the dialect's addressing scheme.
+///
+/// Both variants expose the same indexed access; `SubBuffer` pre-slices
+/// (OpenCL), `PointerArithmetic` keeps the parent buffer plus an offset
+/// (CUDA). Kernels use [`BufferView::at`] and never know which they got.
+#[derive(Clone, Copy)]
+pub enum BufferView<'a, T> {
+    /// OpenCL: an explicit sub-buffer object.
+    SubBuffer(&'a [T]),
+    /// CUDA: parent buffer plus element offset.
+    PointerArithmetic {
+        /// The whole parent allocation.
+        parent: &'a [T],
+        /// Element offset of this view's origin.
+        offset: usize,
+    },
+}
+
+impl<'a, T: Copy> BufferView<'a, T> {
+    /// Create a view of `parent[offset..offset+len]` per dialect `D`.
+    pub fn new<D: Dialect>(parent: &'a [T], offset: usize, len: usize) -> Self {
+        if D::USES_SUB_BUFFERS {
+            BufferView::SubBuffer(&parent[offset..offset + len])
+        } else {
+            debug_assert!(offset + len <= parent.len());
+            BufferView::PointerArithmetic { parent, offset }
+        }
+    }
+
+    /// Element `i` of the view.
+    #[inline(always)]
+    pub fn at(&self, i: usize) -> T {
+        match *self {
+            BufferView::SubBuffer(s) => s[i],
+            BufferView::PointerArithmetic { parent, offset } => parent[offset + i],
+        }
+    }
+
+    /// Contiguous sub-slice `[i, i+n)` of the view (used to feed the
+    /// vectorizable inner loops).
+    #[inline(always)]
+    pub fn slice(&self, i: usize, n: usize) -> &'a [T] {
+        match *self {
+            BufferView::SubBuffer(s) => &s[i..i + n],
+            BufferView::PointerArithmetic { parent, offset } => &parent[offset + i..offset + i + n],
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::catalog;
+
+    #[test]
+    #[allow(clippy::assertions_on_constants)]
+    fn dialect_constants() {
+        assert_eq!(CudaDialect::NAME, "CUDA");
+        assert!(!CudaDialect::USES_SUB_BUFFERS);
+        assert_eq!(OpenClDialect::NAME, "OpenCL");
+        assert!(OpenClDialect::USES_SUB_BUFFERS);
+        assert!(OpenClDialect::launch_overhead_us() > CudaDialect::launch_overhead_us());
+    }
+
+    #[test]
+    fn fma_both_paths_agree() {
+        for enabled in [false, true] {
+            assert_eq!(fma(enabled, 2.0_f64, 3.0, 4.0), 10.0);
+            assert_eq!(fma(enabled, 2.0_f32, 3.0, 4.0), 10.0);
+        }
+    }
+
+    #[test]
+    fn buffer_views_agree_across_dialects() {
+        let parent: Vec<f64> = (0..100).map(|x| x as f64).collect();
+        let cl = BufferView::new::<OpenClDialect>(&parent, 10, 20);
+        let cu = BufferView::new::<CudaDialect>(&parent, 10, 20);
+        for i in 0..20 {
+            assert_eq!(cl.at(i), cu.at(i));
+        }
+        assert_eq!(cl.slice(5, 4), cu.slice(5, 4));
+    }
+
+    #[test]
+    fn fma_enablement_policy() {
+        let p5000 = catalog::quadro_p5000();
+        assert!(CudaDialect::fma_enabled(&p5000));
+        assert!(OpenClDialect::fma_enabled(&p5000));
+        let mut no_fma = catalog::radeon_r9_nano();
+        no_fma.supports_fma = false;
+        assert!(!OpenClDialect::fma_enabled(&no_fma));
+        assert!(CudaDialect::fma_enabled(&no_fma), "CUDA contracts regardless");
+    }
+}

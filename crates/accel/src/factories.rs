@@ -1,0 +1,337 @@
+//! Implementation factories for the accelerator model:
+//! `CUDA`, `OpenCL-GPU`, and `OpenCL-x86`.
+
+use std::sync::Arc;
+
+use beagle_core::api::{BeagleInstance, InstanceConfig, InstanceDetails};
+use beagle_core::error::Result;
+use beagle_core::flags::Flags;
+use beagle_core::manager::{ImplementationFactory, ImplementationManager};
+use beagle_core::resource::ResourceDescription;
+
+use beagle_cpu::pool::ThreadPool;
+
+use crate::cuda::CudaDriver;
+use crate::device::{DeviceKind, DeviceSpec};
+use crate::dialect::{CudaDialect, OpenClDialect};
+use crate::grid::X86_WORK_GROUP_PATTERNS;
+use crate::instance::{AccelInstance, ExecMode};
+use crate::opencl::IcdRegistry;
+
+fn device_flags(spec: &DeviceSpec) -> Flags {
+    match spec.kind {
+        DeviceKind::Gpu => Flags::PROCESSOR_GPU,
+        DeviceKind::Cpu => Flags::PROCESSOR_CPU,
+        DeviceKind::ManyCore => Flags::PROCESSOR_PHI,
+    }
+}
+
+fn resource_for(spec: &DeviceSpec, framework: Flags) -> ResourceDescription {
+    ResourceDescription {
+        name: spec.name.to_string(),
+        description: format!(
+            "{} cores, {} GB, {} GB/s, {} SP GFLOPS",
+            spec.cores, spec.memory_gb, spec.bandwidth_gbs, spec.sp_gflops
+        ),
+        support_flags: device_flags(spec)
+            | framework
+            | Flags::PRECISION_SINGLE
+            | Flags::PRECISION_DOUBLE
+            | Flags::SCALING_MANUAL,
+        default_flags: device_flags(spec) | framework | Flags::PRECISION_SINGLE,
+        peak_sp_gflops: spec.sp_gflops,
+        bandwidth_gbs: spec.bandwidth_gbs,
+    }
+}
+
+fn precision_is_single(prefs: Flags, reqs: Flags) -> bool {
+    reqs.contains(Flags::PRECISION_SINGLE)
+        || (prefs.contains(Flags::PRECISION_SINGLE) && !reqs.contains(Flags::PRECISION_DOUBLE))
+}
+
+/// Factory for the CUDA implementation on one NVIDIA device.
+pub struct CudaFactory {
+    device: DeviceSpec,
+    name: String,
+}
+
+impl CudaFactory {
+    /// Build for one device (must come from a [`CudaDriver`]).
+    pub fn new(device: DeviceSpec) -> Self {
+        Self { name: format!("CUDA ({})", device.name), device }
+    }
+}
+
+impl ImplementationFactory for CudaFactory {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn supported_flags(&self) -> Flags {
+        device_flags(&self.device)
+            | Flags::FRAMEWORK_CUDA
+            | Flags::PRECISION_SINGLE
+            | Flags::PRECISION_DOUBLE
+            | Flags::SCALING_MANUAL
+            | Flags::PATTERN_PADDING
+    }
+
+    fn resource(&self) -> ResourceDescription {
+        resource_for(&self.device, Flags::FRAMEWORK_CUDA)
+    }
+
+    fn priority(&self) -> i32 {
+        // BEAGLE orders GPU resources first; CUDA preferred on NVIDIA.
+        100
+    }
+
+    fn create(
+        &self,
+        config: &InstanceConfig,
+        prefs: Flags,
+        reqs: Flags,
+    ) -> Result<Box<dyn BeagleInstance>> {
+        let single = precision_is_single(prefs, reqs);
+        let details = InstanceDetails {
+            implementation_name: self.name.clone(),
+            resource_name: self.device.name.to_string(),
+            flags: self.supported_flags(),
+            thread_count: 1,
+        };
+        if single {
+            Ok(Box::new(AccelInstance::<f32, CudaDialect>::new(
+                *config,
+                self.device.clone(),
+                ExecMode::SimulatedGpu,
+                details,
+            )?))
+        } else {
+            Ok(Box::new(AccelInstance::<f64, CudaDialect>::new(
+                *config,
+                self.device.clone(),
+                ExecMode::SimulatedGpu,
+                details,
+            )?))
+        }
+    }
+}
+
+/// Factory for the OpenCL-GPU implementation on one GPU device.
+pub struct OpenClGpuFactory {
+    device: DeviceSpec,
+    name: String,
+}
+
+impl OpenClGpuFactory {
+    /// Build for one GPU device from the ICD registry.
+    pub fn new(device: DeviceSpec) -> Self {
+        Self { name: format!("OpenCL-GPU ({})", device.name), device }
+    }
+}
+
+impl ImplementationFactory for OpenClGpuFactory {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn supported_flags(&self) -> Flags {
+        device_flags(&self.device)
+            | Flags::FRAMEWORK_OPENCL
+            | Flags::PRECISION_SINGLE
+            | Flags::PRECISION_DOUBLE
+            | Flags::SCALING_MANUAL
+            | Flags::PATTERN_PADDING
+    }
+
+    fn resource(&self) -> ResourceDescription {
+        resource_for(&self.device, Flags::FRAMEWORK_OPENCL)
+    }
+
+    fn priority(&self) -> i32 {
+        90
+    }
+
+    fn create(
+        &self,
+        config: &InstanceConfig,
+        prefs: Flags,
+        reqs: Flags,
+    ) -> Result<Box<dyn BeagleInstance>> {
+        let single = precision_is_single(prefs, reqs);
+        let details = InstanceDetails {
+            implementation_name: self.name.clone(),
+            resource_name: self.device.name.to_string(),
+            flags: self.supported_flags(),
+            thread_count: 1,
+        };
+        if single {
+            Ok(Box::new(AccelInstance::<f32, OpenClDialect>::new(
+                *config,
+                self.device.clone(),
+                ExecMode::SimulatedGpu,
+                details,
+            )?))
+        } else {
+            Ok(Box::new(AccelInstance::<f64, OpenClDialect>::new(
+                *config,
+                self.device.clone(),
+                ExecMode::SimulatedGpu,
+                details,
+            )?))
+        }
+    }
+}
+
+/// Factory for the OpenCL-x86 implementation on the host CPU: real parallel
+/// execution on a worker pool, the paper's §VII-B2 solution.
+pub struct OpenClX86Factory {
+    threads: usize,
+    work_group_patterns: usize,
+    pool: parking_lot::Mutex<Option<Arc<ThreadPool>>>,
+}
+
+impl OpenClX86Factory {
+    /// Use `threads` "compute units" (OpenCL device fission restricts this,
+    /// which is how Fig. 5's scaling sweep is produced) and the given
+    /// work-group size in patterns (Table V).
+    pub fn with_threads(threads: usize, work_group_patterns: usize) -> Self {
+        Self {
+            threads: threads.max(1),
+            work_group_patterns,
+            pool: parking_lot::Mutex::new(None),
+        }
+    }
+
+    /// All hardware threads, 256-pattern work-groups (the shipping default).
+    pub fn new() -> Self {
+        Self::with_threads(beagle_cpu::host_threads(), X86_WORK_GROUP_PATTERNS)
+    }
+}
+
+impl Default for OpenClX86Factory {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ImplementationFactory for OpenClX86Factory {
+    fn name(&self) -> &str {
+        "OpenCL-x86"
+    }
+
+    fn supported_flags(&self) -> Flags {
+        Flags::PROCESSOR_CPU
+            | Flags::FRAMEWORK_OPENCL
+            | Flags::PRECISION_SINGLE
+            | Flags::PRECISION_DOUBLE
+            | Flags::SCALING_MANUAL
+            | Flags::PATTERN_PADDING
+            | Flags::VECTOR_SSE
+    }
+
+    fn resource(&self) -> ResourceDescription {
+        let mut r = ResourceDescription::host_cpu(self.threads);
+        r.name = format!("Host CPU via OpenCL ({} compute units)", self.threads);
+        r.support_flags |= Flags::FRAMEWORK_OPENCL | Flags::VECTOR_SSE;
+        r
+    }
+
+    fn priority(&self) -> i32 {
+        50 // above plain CPU threading, below GPUs
+    }
+
+    fn create(
+        &self,
+        config: &InstanceConfig,
+        prefs: Flags,
+        reqs: Flags,
+    ) -> Result<Box<dyn BeagleInstance>> {
+        let single = precision_is_single(prefs, reqs);
+        let pool = self
+            .pool
+            .lock()
+            .get_or_insert_with(|| Arc::new(ThreadPool::new(self.threads)))
+            .clone();
+        let mode = ExecMode::RealX86 { pool, work_group_patterns: self.work_group_patterns };
+        let spec = crate::device::catalog::dual_xeon_e5_2680v4();
+        let details = InstanceDetails {
+            implementation_name: "OpenCL-x86".into(),
+            resource_name: format!("host CPU ({} compute units)", self.threads),
+            flags: self.supported_flags(),
+            thread_count: self.threads,
+        };
+        if single {
+            Ok(Box::new(AccelInstance::<f32, OpenClDialect>::new(
+                *config, spec, mode, details,
+            )?))
+        } else {
+            Ok(Box::new(AccelInstance::<f64, OpenClDialect>::new(
+                *config, spec, mode, details,
+            )?))
+        }
+    }
+}
+
+/// Register the full accelerator family on a manager: CUDA for every NVIDIA
+/// device, OpenCL-GPU for every GPU in the ICD registry, and OpenCL-x86 for
+/// the host.
+pub fn register_accel_factories(manager: &mut ImplementationManager) {
+    if let Some(cuda) = CudaDriver::probe_default() {
+        for d in cuda.devices() {
+            manager.register(Box::new(CudaFactory::new(d.clone())));
+        }
+    }
+    let icd = IcdRegistry::probe_default();
+    for d in icd.gpu_devices() {
+        manager.register(Box::new(OpenClGpuFactory::new(d)));
+    }
+    manager.register(Box::new(OpenClX86Factory::new()));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> InstanceConfig {
+        InstanceConfig::for_tree(6, 500, 4, 2)
+    }
+
+    #[test]
+    fn full_registry_prefers_gpu() {
+        let mut m = ImplementationManager::new();
+        register_accel_factories(&mut m);
+        assert_eq!(m.factory_count(), 5, "1 CUDA + 3 OpenCL-GPU + 1 OpenCL-x86");
+        let inst = m.create_instance(&cfg(), Flags::NONE, Flags::NONE).unwrap();
+        assert!(inst.details().implementation_name.starts_with("CUDA"));
+    }
+
+    #[test]
+    fn framework_requirement_selects_opencl() {
+        let mut m = ImplementationManager::new();
+        register_accel_factories(&mut m);
+        let inst = m
+            .create_instance(&cfg(), Flags::NONE, Flags::FRAMEWORK_OPENCL | Flags::PROCESSOR_GPU)
+            .unwrap();
+        assert!(inst.details().implementation_name.starts_with("OpenCL-GPU"));
+    }
+
+    #[test]
+    fn cpu_requirement_selects_x86() {
+        let mut m = ImplementationManager::new();
+        register_accel_factories(&mut m);
+        let inst = m
+            .create_instance(&cfg(), Flags::NONE, Flags::FRAMEWORK_OPENCL | Flags::PROCESSOR_CPU)
+            .unwrap();
+        assert_eq!(inst.details().implementation_name, "OpenCL-x86");
+    }
+
+    #[test]
+    fn oversized_problem_rejected_by_device_memory() {
+        // 4 GB R9 Nano cannot hold ~10M codon patterns in double precision.
+        let f = OpenClGpuFactory::new(crate::device::catalog::radeon_r9_nano());
+        let mut c = InstanceConfig::for_tree(64, 10_000_000, 61, 4);
+        c.scale_buffer_count = 0;
+        let err = f.create(&c, Flags::PRECISION_DOUBLE, Flags::PRECISION_DOUBLE);
+        assert!(err.is_err());
+    }
+}

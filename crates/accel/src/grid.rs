@@ -1,0 +1,138 @@
+//! Work-group geometry for the accelerator kernels.
+//!
+//! Encodes the paper's two kernel organizations:
+//!
+//! * **GPU variant** — one work-item per (pattern, state) entry of the
+//!   partial-likelihood array (Fig. 2), with the two transition matrices
+//!   staged in local memory shared by the work-group. The number of patterns
+//!   per work-group is limited by local-memory capacity, which is exactly
+//!   the adaptation the paper describes for AMD devices under codon models
+//!   (§VII-B1: "we had to reduce the number of sequence patterns computed
+//!   per work-group… AMD devices have less of this memory than NVIDIA").
+//!
+//! * **x86 variant** — one work-item per *pattern*, looping over the state
+//!   space inside the work-item ("the key optimization was to have each
+//!   thread of execution do more work", §VII-B2), no local memory, and a
+//!   work-group size of 256 patterns (Table V: smallest size with peak
+//!   throughput, minimizing pattern padding).
+
+use crate::device::DeviceSpec;
+
+/// Hard cap on patterns per GPU work-group (64 patterns × 4 states = 256
+/// work-items for nucleotide kernels, a typical GPU block size).
+pub const MAX_PATTERNS_PER_GPU_GROUP: usize = 64;
+
+/// Work-group size of the OpenCL-x86 kernel variant, in patterns (Table V).
+pub const X86_WORK_GROUP_PATTERNS: usize = 256;
+
+/// Geometry of one partials-kernel launch.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct WorkGroupPlan {
+    /// Patterns computed per work-group.
+    pub patterns_per_group: usize,
+    /// Work-items per work-group.
+    pub items_per_group: usize,
+    /// Whether the transition matrices fit in (and are staged to) local
+    /// memory; when false they are re-read from global memory per tile.
+    pub matrices_in_local: bool,
+}
+
+impl WorkGroupPlan {
+    /// Number of work-groups needed for `patterns` patterns.
+    pub fn group_count(&self, patterns: usize) -> usize {
+        patterns.div_ceil(self.patterns_per_group)
+    }
+
+    /// Patterns after padding to a whole number of work-groups — the padding
+    /// the paper minimizes by preferring the smallest peak-throughput
+    /// work-group size.
+    pub fn padded_patterns(&self, patterns: usize) -> usize {
+        self.group_count(patterns) * self.patterns_per_group
+    }
+}
+
+/// Plan the GPU kernel variant for `states` states at `elem_bytes` precision
+/// on `device`, under its local-memory budget.
+///
+/// Local memory holds the two staged transition matrices of the current
+/// category (`2·s²·elem_bytes`) plus a per-pattern staging area for the two
+/// child partials (`2·s·elem_bytes` each).
+pub fn plan_gpu(device: &DeviceSpec, states: usize, elem_bytes: usize) -> WorkGroupPlan {
+    let local = device.local_mem_bytes();
+    let matrices = 2 * states * states * elem_bytes;
+    let per_pattern = 2 * states * elem_bytes;
+    let (matrices_in_local, budget) = if matrices + per_pattern <= local {
+        (true, local - matrices)
+    } else {
+        // Matrices do not fit (e.g. codon double precision on 32 KiB AMD
+        // LDS): leave them in global memory and use all of local for
+        // pattern staging.
+        (false, local)
+    };
+    let patterns_per_group = (budget / per_pattern).clamp(1, MAX_PATTERNS_PER_GPU_GROUP);
+    WorkGroupPlan {
+        patterns_per_group,
+        items_per_group: patterns_per_group * states,
+        matrices_in_local,
+    }
+}
+
+/// Plan the x86 kernel variant: fixed 256-pattern work-groups, one item per
+/// pattern, no local memory (§VII-B2: "avoid the explicit use of the local
+/// memory address space and allow the OpenCL compiler to manage caching").
+pub fn plan_x86(work_group_patterns: usize) -> WorkGroupPlan {
+    WorkGroupPlan {
+        patterns_per_group: work_group_patterns,
+        items_per_group: work_group_patterns,
+        matrices_in_local: false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::catalog;
+
+    #[test]
+    fn amd_codon_gets_fewer_patterns_per_group_than_nvidia() {
+        // The §VII-B1 adaptation: AMD (32 KiB LDS) must use smaller
+        // work-groups than NVIDIA (48 KiB) for 61-state kernels.
+        let amd = plan_gpu(&catalog::radeon_r9_nano(), 61, 4);
+        let nv = plan_gpu(&catalog::quadro_p5000(), 61, 4);
+        assert!(amd.patterns_per_group < nv.patterns_per_group,
+            "AMD {} vs NVIDIA {}", amd.patterns_per_group, nv.patterns_per_group);
+        assert!(amd.matrices_in_local && nv.matrices_in_local);
+    }
+
+    #[test]
+    fn codon_double_overflows_amd_local_memory() {
+        // 2 × 61² × 8 B ≈ 58 KiB > 32 KiB: matrices stay in global memory.
+        let plan = plan_gpu(&catalog::firepro_s9170(), 61, 8);
+        assert!(!plan.matrices_in_local);
+        assert!(plan.patterns_per_group >= 1);
+    }
+
+    #[test]
+    fn nucleotide_hits_pattern_cap() {
+        let plan = plan_gpu(&catalog::quadro_p5000(), 4, 4);
+        assert_eq!(plan.patterns_per_group, MAX_PATTERNS_PER_GPU_GROUP);
+        assert_eq!(plan.items_per_group, MAX_PATTERNS_PER_GPU_GROUP * 4);
+        assert!(plan.matrices_in_local);
+    }
+
+    #[test]
+    fn padding_rounds_up() {
+        let plan = plan_x86(256);
+        assert_eq!(plan.group_count(1000), 4);
+        assert_eq!(plan.padded_patterns(1000), 1024);
+        assert_eq!(plan.padded_patterns(1024), 1024);
+        assert_eq!(plan.group_count(1), 1);
+    }
+
+    #[test]
+    fn x86_plan_shape() {
+        let plan = plan_x86(X86_WORK_GROUP_PATTERNS);
+        assert_eq!(plan.items_per_group, 256);
+        assert!(!plan.matrices_in_local);
+    }
+}

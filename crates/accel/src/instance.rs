@@ -1,0 +1,628 @@
+//! The accelerator instance: one implementation, two frameworks, two
+//! hardware-specific kernel variants.
+//!
+//! [`AccelInstance`] is generic over the framework [`Dialect`] (CUDA /
+//! OpenCL) — the paper's "single internal interface… which, in turn, has an
+//! implementation available for each framework" — and selects between the
+//! GPU kernel variant (simulated device, roofline-timed) and the x86 kernel
+//! variant (real execution on host threads, wall-clock timed) based on the
+//! execution mode it was created with.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use beagle_core::api::{BeagleInstance, InstanceConfig, InstanceDetails};
+use beagle_core::buffers::{ChildOperand, InstanceBuffers};
+use beagle_core::error::{BeagleError, Result};
+use beagle_core::ops::Operation;
+use beagle_core::real::{widen_slice, Real};
+
+use beagle_cpu::pool::ThreadPool;
+
+use crate::device::{DeviceSpec, SimClock, PCIE_GBS};
+use crate::dialect::Dialect;
+use crate::grid::{plan_gpu, plan_x86, WorkGroupPlan};
+use crate::kernels::gpu::{partials_kernel, rescale_kernel, PartialsArgs};
+use crate::kernels::integrate::{
+    integrate_edge_kernel, integrate_root_kernel, sum_sites_kernel,
+};
+use crate::kernels::x86;
+use crate::kernels::Operand;
+use crate::perf::PerfModel;
+
+/// How kernels execute and how time is accounted.
+pub enum ExecMode {
+    /// Simulated GPU: functional host execution, modeled device time.
+    SimulatedGpu,
+    /// OpenCL-x86: genuine parallel execution on host threads, wall-clock
+    /// timing. `work_group_patterns` is the Table V tuning knob.
+    RealX86 {
+        /// Worker pool ("compute units" after device fission).
+        pool: Arc<ThreadPool>,
+        /// Patterns per work-group (256 default).
+        work_group_patterns: usize,
+    },
+}
+
+/// A BEAGLE instance on a (simulated) accelerator.
+pub struct AccelInstance<T: Real, D: Dialect> {
+    bufs: InstanceBuffers<T>,
+    spec: DeviceSpec,
+    perf: PerfModel,
+    clock: SimClock,
+    mode: ExecMode,
+    plan: WorkGroupPlan,
+    fma_enabled: bool,
+    details: InstanceDetails,
+    _dialect: std::marker::PhantomData<D>,
+}
+
+impl<T: Real, D: Dialect> AccelInstance<T, D> {
+    /// Create an instance on `spec` with the given execution mode.
+    pub fn new(
+        config: InstanceConfig,
+        spec: DeviceSpec,
+        mode: ExecMode,
+        details: InstanceDetails,
+    ) -> Result<Self> {
+        let bufs = InstanceBuffers::<T>::new(config)?;
+        // Device-memory capacity check: partials + matrices + scale buffers
+        // must fit in global memory (the R9 Nano's 4 GB is a real limit the
+        // paper's users hit).
+        let elem = std::mem::size_of::<T>();
+        let needed = config.partials_buffer_count * config.partials_len() * elem
+            + config.matrix_buffer_count * config.matrix_len() * elem
+            + config.scale_buffer_count * config.pattern_count * elem;
+        let capacity = (spec.memory_gb * 1e9) as usize;
+        if needed > capacity {
+            return Err(BeagleError::InvalidConfiguration(format!(
+                "problem needs {needed} bytes of device memory; {} has only {capacity}",
+                spec.name
+            )));
+        }
+        let plan = match &mode {
+            ExecMode::SimulatedGpu => plan_gpu(&spec, config.state_count, elem),
+            ExecMode::RealX86 { work_group_patterns, .. } => plan_x86(*work_group_patterns),
+        };
+        let fma_enabled = D::fma_enabled(&spec);
+        Ok(Self {
+            bufs,
+            perf: PerfModel::new(spec.clone()),
+            spec,
+            clock: SimClock::default(),
+            mode,
+            plan,
+            fma_enabled,
+            details,
+            _dialect: std::marker::PhantomData,
+        })
+    }
+
+    /// The device this instance runs on.
+    pub fn device(&self) -> &DeviceSpec {
+        &self.spec
+    }
+
+    /// The kernel launch geometry in use.
+    pub fn plan(&self) -> &WorkGroupPlan {
+        &self.plan
+    }
+
+    fn is_simulated(&self) -> bool {
+        matches!(self.mode, ExecMode::SimulatedGpu)
+    }
+
+    fn charge_transfer(&mut self, bytes: usize) {
+        if self.is_simulated() {
+            self.clock
+                .advance(Duration::from_secs_f64(bytes as f64 / (PCIE_GBS * 1e9)));
+        }
+    }
+
+    fn operand<'a>(bufs: &'a InstanceBuffers<T>, buffer: usize) -> Operand<'a, T> {
+        match bufs.child_operand(buffer) {
+            ChildOperand::Partials(p) => Operand::Partials(p),
+            ChildOperand::States(s) => Operand::States(s),
+        }
+    }
+
+    /// One operation on the simulated GPU.
+    fn execute_op_gpu(&mut self, op: &Operation) {
+        let cfg = self.bufs.config;
+        let (s, n_pat, n_cat) = (cfg.state_count, cfg.pattern_count, cfg.category_count);
+        let mut dest = self.bufs.take_destination(op.destination);
+        {
+            let c1 = Self::operand(&self.bufs, op.child1);
+            let c2 = Self::operand(&self.bufs, op.child2);
+            partials_kernel::<D, T>(PartialsArgs {
+                dest: &mut dest,
+                c1,
+                c2,
+                m1: &self.bufs.matrices[op.child1_matrix],
+                m2: &self.bufs.matrices[op.child2_matrix],
+                states: s,
+                patterns: n_pat,
+                categories: n_cat,
+                plan: self.plan,
+                fma_enabled: self.fma_enabled,
+            });
+        }
+        // Charge modeled device time for the launch.
+        let elem = std::mem::size_of::<T>();
+        let groups = self.plan.group_count(n_pat);
+        let cost =
+            self.perf
+                .partials_cost(s, self.plan.padded_patterns(n_pat), n_cat, groups, elem);
+        self.clock.advance(self.perf.kernel_time(
+            &cost,
+            s,
+            elem == 8,
+            self.fma_enabled,
+            D::launch_overhead_us(),
+        ));
+
+        if let Some(si) = op.dest_scale_write {
+            let mut scale = std::mem::take(&mut self.bufs.scale_buffers[si]);
+            rescale_kernel(&mut dest, &mut scale, s, n_pat, n_cat);
+            self.bufs.scale_buffers[si] = scale;
+            let cost = self.perf.integrate_cost(s, n_pat, n_cat, elem);
+            self.clock.advance(self.perf.kernel_time(
+                &cost,
+                s,
+                elem == 8,
+                self.fma_enabled,
+                D::launch_overhead_us(),
+            ));
+        }
+        self.bufs.restore_destination(op.destination, dest);
+    }
+
+    /// One operation on the real-execution x86 device: work-groups run as
+    /// pool tasks, exactly `work_group_patterns` patterns each (padding is
+    /// inherent to the last group).
+    fn execute_op_x86(&mut self, op: &Operation) {
+        let ExecMode::RealX86 { pool, work_group_patterns } = &self.mode else {
+            unreachable!("execute_op_x86 requires x86 mode")
+        };
+        let cfg = self.bufs.config;
+        let (s, n_pat, n_cat) = (cfg.state_count, cfg.pattern_count, cfg.category_count);
+        let wg = *work_group_patterns;
+        let groups: Vec<(usize, usize)> = (0..n_pat.div_ceil(wg))
+            .map(|g| (g * wg, ((g + 1) * wg).min(n_pat)))
+            .collect();
+
+        let mut dest = self.bufs.take_destination(op.destination);
+        let mut scale = op
+            .dest_scale_write
+            .map(|si| std::mem::take(&mut self.bufs.scale_buffers[si]));
+        {
+            let bufs = &self.bufs;
+            let c1 = Self::operand(bufs, op.child1);
+            let c2 = Self::operand(bufs, op.child2);
+            let m1 = &bufs.matrices[op.child1_matrix];
+            let m2 = &bufs.matrices[op.child2_matrix];
+            let fma_enabled = self.fma_enabled;
+
+            // Split dest (and scale) into per-(group, category) blocks.
+            let mut per_group_blocks: Vec<Vec<&mut [T]>> =
+                (0..groups.len()).map(|_| Vec::with_capacity(n_cat)).collect();
+            for cat_block in dest.chunks_exact_mut(n_pat * s) {
+                let mut rest = cat_block;
+                for (gi, &(p0, p1)) in groups.iter().enumerate() {
+                    let (chunk, r) = rest.split_at_mut((p1 - p0) * s);
+                    per_group_blocks[gi].push(chunk);
+                    rest = r;
+                }
+            }
+            let mut scale_chunks: Vec<Option<&mut [T]>> = match scale.as_deref_mut() {
+                Some(sc) => {
+                    let mut rest = sc;
+                    let mut out = Vec::with_capacity(groups.len());
+                    for &(p0, p1) in &groups {
+                        let (chunk, r) = rest.split_at_mut(p1 - p0);
+                        out.push(Some(chunk));
+                        rest = r;
+                    }
+                    out
+                }
+                None => groups.iter().map(|_| None).collect(),
+            };
+
+            let tasks: Vec<Box<dyn FnOnce() + Send + '_>> = per_group_blocks
+                .into_iter()
+                .zip(groups.iter().copied())
+                .zip(scale_chunks.drain(..))
+                .map(|((mut blocks, (p0, p1)), scale_chunk)| {
+                    Box::new(move || {
+                        x86::partials_group::<D, T>(
+                            &mut blocks,
+                            c1,
+                            c2,
+                            m1,
+                            m2,
+                            s,
+                            n_pat,
+                            p0,
+                            p1,
+                            fma_enabled,
+                        );
+                        if let Some(sc) = scale_chunk {
+                            x86::rescale_group(&mut blocks, sc, s);
+                        }
+                    }) as Box<dyn FnOnce() + Send + '_>
+                })
+                .collect();
+            pool.run_batch(tasks);
+        }
+        if let (Some(si), Some(sc)) = (op.dest_scale_write, scale) {
+            self.bufs.scale_buffers[si] = sc;
+        }
+        self.bufs.restore_destination(op.destination, dest);
+    }
+}
+
+impl<T: Real, D: Dialect> BeagleInstance for AccelInstance<T, D> {
+    fn details(&self) -> &InstanceDetails {
+        &self.details
+    }
+
+    fn config(&self) -> &InstanceConfig {
+        &self.bufs.config
+    }
+
+    fn set_tip_states(&mut self, tip: usize, states: &[u32]) -> Result<()> {
+        self.bufs.set_tip_states(tip, states)?;
+        self.charge_transfer(states.len() * 4);
+        Ok(())
+    }
+
+    fn set_tip_partials(&mut self, tip: usize, partials: &[f64]) -> Result<()> {
+        self.bufs.set_tip_partials(tip, partials)?;
+        self.charge_transfer(partials.len() * std::mem::size_of::<T>());
+        Ok(())
+    }
+
+    fn set_partials(&mut self, buffer: usize, partials: &[f64]) -> Result<()> {
+        self.bufs.set_partials(buffer, partials)?;
+        self.charge_transfer(partials.len() * std::mem::size_of::<T>());
+        Ok(())
+    }
+
+    fn get_partials(&self, buffer: usize) -> Result<Vec<f64>> {
+        // Download cost is not charged here because &self; the benchmark
+        // harness never reads partials back on the hot path (the BEAGLE
+        // design goal of minimizing transfers).
+        self.bufs.get_partials(buffer)
+    }
+
+    fn set_pattern_weights(&mut self, weights: &[f64]) -> Result<()> {
+        self.bufs.set_pattern_weights(weights)?;
+        self.charge_transfer(weights.len() * std::mem::size_of::<T>());
+        Ok(())
+    }
+
+    fn set_state_frequencies(&mut self, index: usize, frequencies: &[f64]) -> Result<()> {
+        self.bufs.set_state_frequencies(index, frequencies)
+    }
+
+    fn set_category_rates(&mut self, rates: &[f64]) -> Result<()> {
+        self.bufs.set_category_rates(rates)
+    }
+
+    fn set_category_weights(&mut self, index: usize, weights: &[f64]) -> Result<()> {
+        self.bufs.set_category_weights(index, weights)
+    }
+
+    fn set_eigen_decomposition(
+        &mut self,
+        index: usize,
+        vectors: &[f64],
+        inverse_vectors: &[f64],
+        values: &[f64],
+    ) -> Result<()> {
+        self.bufs
+            .set_eigen_decomposition(index, vectors, inverse_vectors, values)?;
+        self.charge_transfer((vectors.len() + inverse_vectors.len() + values.len()) * 8);
+        Ok(())
+    }
+
+    fn update_transition_matrices(
+        &mut self,
+        eigen_index: usize,
+        matrix_indices: &[usize],
+        branch_lengths: &[f64],
+    ) -> Result<()> {
+        // Matrix exponentiation runs as a device kernel; the shared helper
+        // computes the same values the kernel would.
+        self.bufs
+            .update_transition_matrices(eigen_index, matrix_indices, branch_lengths)?;
+        if self.is_simulated() {
+            let cfg = self.bufs.config;
+            let cost = self.perf.matrices_cost(
+                cfg.state_count,
+                cfg.category_count,
+                matrix_indices.len(),
+                std::mem::size_of::<T>(),
+            );
+            self.clock.advance(self.perf.kernel_time(
+                &cost,
+                cfg.state_count,
+                std::mem::size_of::<T>() == 8,
+                self.fma_enabled,
+                D::launch_overhead_us(),
+            ));
+        }
+        Ok(())
+    }
+
+    fn update_transition_derivatives(
+        &mut self,
+        eigen_index: usize,
+        matrix_indices: &[usize],
+        d1_indices: &[usize],
+        d2_indices: &[usize],
+        branch_lengths: &[f64],
+    ) -> Result<()> {
+        self.bufs.update_transition_derivatives(
+            eigen_index,
+            matrix_indices,
+            d1_indices,
+            d2_indices,
+            branch_lengths,
+        )?;
+        if self.is_simulated() {
+            // Three matrices per branch instead of one.
+            let cfg = self.bufs.config;
+            let cost = self.perf.matrices_cost(
+                cfg.state_count,
+                cfg.category_count,
+                3 * matrix_indices.len(),
+                std::mem::size_of::<T>(),
+            );
+            self.clock.advance(self.perf.kernel_time(
+                &cost,
+                cfg.state_count,
+                std::mem::size_of::<T>() == 8,
+                self.fma_enabled,
+                D::launch_overhead_us(),
+            ));
+        }
+        Ok(())
+    }
+
+    fn calculate_edge_derivatives(
+        &mut self,
+        parent_buffer: usize,
+        child_buffer: usize,
+        matrix_index: usize,
+        d1_matrix: usize,
+        d2_matrix: usize,
+        category_weights_index: usize,
+        frequencies_index: usize,
+        cumulative_scale: Option<usize>,
+    ) -> Result<(f64, f64, f64)> {
+        use beagle_cpu::kernels as k;
+        let cfg = self.bufs.config;
+        let parent = self.bufs.partials[parent_buffer]
+            .as_ref()
+            .ok_or(BeagleError::InvalidConfiguration(format!(
+                "parent buffer {parent_buffer} has never been computed"
+            )))?;
+        let child = match Self::operand(&self.bufs, child_buffer) {
+            Operand::Partials(p) => k::EdgeChild::Partials(p),
+            Operand::States(st) => k::EdgeChild::States(st),
+        };
+        let cscale = cumulative_scale.map(|i| self.bufs.scale_buffers[i].as_slice());
+        // Functionally identical to the device derivative kernel; device
+        // time is the triple-read integration cost.
+        let (lnl, d1, d2) = k::integrate_edge_derivatives(
+            parent,
+            child,
+            &self.bufs.matrices[matrix_index],
+            &self.bufs.matrices[d1_matrix],
+            &self.bufs.matrices[d2_matrix],
+            &self.bufs.frequencies[frequencies_index],
+            &self.bufs.category_weights[category_weights_index],
+            &self.bufs.pattern_weights,
+            cscale,
+            cfg.state_count,
+            cfg.pattern_count,
+        );
+        if self.is_simulated() {
+            let elem = std::mem::size_of::<T>();
+            let mut cost =
+                self.perf
+                    .integrate_cost(cfg.state_count, cfg.pattern_count, cfg.category_count, elem);
+            cost.flops *= 3.0;
+            cost.bytes *= 3.0;
+            self.clock.advance(self.perf.kernel_time(
+                &cost,
+                cfg.state_count,
+                elem == 8,
+                self.fma_enabled,
+                D::launch_overhead_us(),
+            ));
+        }
+        if lnl.is_nan() {
+            return Err(BeagleError::NumericalFailure(
+                "edge derivative log-likelihood is NaN".into(),
+            ));
+        }
+        Ok((lnl, d1, d2))
+    }
+
+    fn set_transition_matrix(&mut self, index: usize, matrix: &[f64]) -> Result<()> {
+        self.bufs.set_transition_matrix(index, matrix)?;
+        self.charge_transfer(matrix.len() * std::mem::size_of::<T>());
+        Ok(())
+    }
+
+    fn get_transition_matrix(&self, index: usize) -> Result<Vec<f64>> {
+        self.bufs.get_transition_matrix(index)
+    }
+
+    fn update_partials(&mut self, operations: &[Operation]) -> Result<()> {
+        let mut produced = std::collections::HashSet::new();
+        for op in operations {
+            self.bufs.check_operation_indices(op)?;
+            for child in [op.child1, op.child2] {
+                let exists = self.bufs.partials[child].is_some()
+                    || self.bufs.tip_states[child].is_some()
+                    || produced.contains(&child);
+                if !exists {
+                    return Err(BeagleError::InvalidConfiguration(format!(
+                        "operation reads buffer {child} before it was computed"
+                    )));
+                }
+            }
+            produced.insert(op.destination);
+        }
+        for op in operations {
+            if self.is_simulated() {
+                self.execute_op_gpu(op);
+            } else {
+                self.execute_op_x86(op);
+            }
+        }
+        Ok(())
+    }
+
+    fn reset_scale_factors(&mut self, cumulative: usize) -> Result<()> {
+        self.bufs.reset_scale_factors(cumulative)
+    }
+
+    fn accumulate_scale_factors(
+        &mut self,
+        scale_indices: &[usize],
+        cumulative: usize,
+    ) -> Result<()> {
+        self.bufs.accumulate_scale_factors(scale_indices, cumulative)
+    }
+
+    fn calculate_root_log_likelihoods(
+        &mut self,
+        root_buffer: usize,
+        category_weights_index: usize,
+        frequencies_index: usize,
+        cumulative_scale: Option<usize>,
+    ) -> Result<f64> {
+        let cfg = self.bufs.config;
+        if root_buffer >= cfg.partials_buffer_count {
+            return Err(BeagleError::OutOfRange {
+                what: "partials buffer (root)",
+                index: root_buffer,
+                limit: cfg.partials_buffer_count,
+            });
+        }
+        let root =
+            self.bufs.partials[root_buffer]
+                .take()
+                .ok_or(BeagleError::InvalidConfiguration(format!(
+                    "root buffer {root_buffer} has never been computed"
+                )))?;
+        let mut site_lnl = std::mem::take(&mut self.bufs.site_log_likelihoods);
+        {
+            let cscale = cumulative_scale.map(|i| self.bufs.scale_buffers[i].as_slice());
+            integrate_root_kernel::<D, T>(
+                &mut site_lnl,
+                &root,
+                &self.bufs.frequencies[frequencies_index],
+                &self.bufs.category_weights[category_weights_index],
+                cscale,
+                cfg.state_count,
+                cfg.pattern_count,
+                self.fma_enabled,
+            );
+        }
+        let total = sum_sites_kernel(&site_lnl, &self.bufs.pattern_weights);
+        self.bufs.site_log_likelihoods = site_lnl;
+        self.bufs.partials[root_buffer] = Some(root);
+
+        if self.is_simulated() {
+            let elem = std::mem::size_of::<T>();
+            let cost =
+                self.perf
+                    .integrate_cost(cfg.state_count, cfg.pattern_count, cfg.category_count, elem);
+            self.clock.advance(self.perf.kernel_time(
+                &cost,
+                cfg.state_count,
+                elem == 8,
+                self.fma_enabled,
+                D::launch_overhead_us(),
+            ));
+            // Only the scalar total is transferred back.
+            self.charge_transfer(8);
+        }
+        if total.is_nan() {
+            return Err(BeagleError::NumericalFailure(
+                "root log-likelihood is NaN (consider enabling scaling)".into(),
+            ));
+        }
+        Ok(total)
+    }
+
+    fn calculate_edge_log_likelihoods(
+        &mut self,
+        parent_buffer: usize,
+        child_buffer: usize,
+        matrix_index: usize,
+        category_weights_index: usize,
+        frequencies_index: usize,
+        cumulative_scale: Option<usize>,
+    ) -> Result<f64> {
+        let cfg = self.bufs.config;
+        let parent = self.bufs.partials[parent_buffer]
+            .as_ref()
+            .ok_or(BeagleError::InvalidConfiguration(format!(
+                "parent buffer {parent_buffer} has never been computed"
+            )))?;
+        let child = Self::operand(&self.bufs, child_buffer);
+        let mut site_lnl = vec![T::ZERO; cfg.pattern_count];
+        let cscale = cumulative_scale.map(|i| self.bufs.scale_buffers[i].as_slice());
+        integrate_edge_kernel::<D, T>(
+            &mut site_lnl,
+            parent,
+            child,
+            &self.bufs.matrices[matrix_index],
+            &self.bufs.frequencies[frequencies_index],
+            &self.bufs.category_weights[category_weights_index],
+            cscale,
+            cfg.state_count,
+            cfg.pattern_count,
+            self.fma_enabled,
+        );
+        let total = sum_sites_kernel(&site_lnl, &self.bufs.pattern_weights);
+        self.bufs.site_log_likelihoods = site_lnl;
+        if self.is_simulated() {
+            let elem = std::mem::size_of::<T>();
+            let cost =
+                self.perf
+                    .integrate_cost(cfg.state_count, cfg.pattern_count, cfg.category_count, elem);
+            self.clock.advance(self.perf.kernel_time(
+                &cost,
+                cfg.state_count,
+                elem == 8,
+                self.fma_enabled,
+                D::launch_overhead_us(),
+            ));
+        }
+        if total.is_nan() {
+            return Err(BeagleError::NumericalFailure(
+                "edge log-likelihood is NaN (consider enabling scaling)".into(),
+            ));
+        }
+        Ok(total)
+    }
+
+    fn get_site_log_likelihoods(&self) -> Result<Vec<f64>> {
+        Ok(widen_slice(&self.bufs.site_log_likelihoods))
+    }
+
+    fn simulated_time(&self) -> Option<Duration> {
+        self.is_simulated().then(|| self.clock.elapsed())
+    }
+
+    fn reset_simulated_time(&mut self) {
+        self.clock.reset();
+    }
+}

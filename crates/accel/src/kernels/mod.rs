@@ -1,0 +1,25 @@
+//! The single, shared kernel code base for CUDA and OpenCL.
+//!
+//! "There is a single set of kernels for both frameworks, with keywords for
+//! each being defined at the pre-processor stage" (§V-B). Here the
+//! pre-processor is the type system: every kernel is written once, generic
+//! over [`crate::dialect::Dialect`], which supplies sub-buffer addressing
+//! (`clCreateSubBuffer` vs pointer arithmetic) and the FMA policy.
+//!
+//! Two hardware-specific kernel *variants* exist, exactly as in the paper
+//! (§VII-B): [`gpu`] assigns one work-item per (pattern, state) entry with
+//! local-memory staging; [`x86`] assigns one work-item per pattern, loops
+//! over the state space, and uses no local memory.
+
+pub mod gpu;
+pub mod integrate;
+pub mod x86;
+
+/// A child operand of a partials kernel, device-side.
+#[derive(Clone, Copy)]
+pub enum Operand<'a, T> {
+    /// Full partials buffer, `[category][pattern][state]`.
+    Partials(&'a [T]),
+    /// Compact per-pattern tip states.
+    States(&'a [u32]),
+}

@@ -1,0 +1,236 @@
+//! x86-variant partials kernels: coarse work-items that loop over states.
+//!
+//! §VII-B2: "the key optimization was to have each thread of execution do
+//! more work in comparison to our GPU approach… our OpenCL-x86 for DNA-based
+//! inferences loops over the state space in each work-item instead of
+//! computing all states concurrently… we also found that it was advantageous
+//! to avoid the explicit use of the local memory address space."
+//!
+//! Each work-item owns one pattern and computes all its states across all
+//! categories; a work-group is a block of [`crate::grid::X86_WORK_GROUP_PATTERNS`]
+//! patterns. These kernels execute *for real* on host threads (one task per
+//! work-group) and are wall-clock timed — the OpenCL-x86 results in the
+//! paper are genuine CPU numbers, and so are ours.
+
+use beagle_core::real::Real;
+use beagle_core::GAP_STATE;
+
+use crate::dialect::{fma, BufferView, Dialect};
+
+use super::Operand;
+
+/// Compute one work-group of the x86 partials kernel.
+///
+/// `dest_blocks[cat]` is the destination slice for this group's pattern
+/// range in category `cat`; children are full buffers addressed through the
+/// dialect; `p0..p1` is the group's pattern range.
+#[allow(clippy::too_many_arguments)]
+pub fn partials_group<D: Dialect, T: Real>(
+    dest_blocks: &mut [&mut [T]],
+    c1: Operand<'_, T>,
+    c2: Operand<'_, T>,
+    m1: &[T],
+    m2: &[T],
+    s: usize,
+    n_pat: usize,
+    p0: usize,
+    p1: usize,
+    fma_enabled: bool,
+) {
+    for (cat, dest) in dest_blocks.iter_mut().enumerate() {
+        let m1c = BufferView::new::<D>(m1, cat * s * s, s * s);
+        let m2c = BufferView::new::<D>(m2, cat * s * s, s * s);
+        // Work-items: one per pattern in [p0, p1).
+        for (lp, p) in (p0..p1).enumerate() {
+            let dst = &mut dest[lp * s..(lp + 1) * s];
+            // The work-item loops over destination states — the "heavier
+            // workload per thread" organization.
+            for (i, d) in dst.iter_mut().enumerate() {
+                let sum1 = operand_sum::<T>(&c1, &m1c, cat, p, i, s, n_pat, fma_enabled);
+                let sum2 = operand_sum::<T>(&c2, &m2c, cat, p, i, s, n_pat, fma_enabled);
+                *d = sum1 * sum2;
+            }
+        }
+    }
+}
+
+#[inline(always)]
+#[allow(clippy::too_many_arguments)]
+fn operand_sum<T: Real>(
+    child: &Operand<'_, T>,
+    m: &BufferView<'_, T>,
+    cat: usize,
+    pattern: usize,
+    i: usize,
+    s: usize,
+    n_pat: usize,
+    fma_enabled: bool,
+) -> T {
+    match child {
+        Operand::Partials(buf) => {
+            let row = m.slice(i * s, s);
+            let vals = &buf[(cat * n_pat + pattern) * s..(cat * n_pat + pattern) * s + s];
+            let mut acc = T::ZERO;
+            for j in 0..s {
+                acc = fma(fma_enabled, row[j], vals[j], acc);
+            }
+            acc
+        }
+        Operand::States(states) => {
+            let st = states[pattern];
+            if st == GAP_STATE {
+                T::ONE
+            } else {
+                m.at(i * s + st as usize)
+            }
+        }
+    }
+}
+
+/// Rescale one work-group's pattern range across categories; mirrors the
+/// GPU rescale kernel but at work-group granularity so the host pool can
+/// run groups concurrently.
+pub fn rescale_group<T: Real>(dest_blocks: &mut [&mut [T]], scale_out: &mut [T], s: usize) {
+    let n_local = scale_out.len();
+    for lp in 0..n_local {
+        let mut max = T::ZERO;
+        for block in dest_blocks.iter() {
+            for &x in &block[lp * s..(lp + 1) * s] {
+                max = max.max(x);
+            }
+        }
+        if max > T::ZERO {
+            let inv = T::ONE / max;
+            for block in dest_blocks.iter_mut() {
+                for x in &mut block[lp * s..(lp + 1) * s] {
+                    *x *= inv;
+                }
+            }
+            scale_out[lp] = max.ln();
+        } else {
+            scale_out[lp] = T::ZERO;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dialect::{CudaDialect, OpenClDialect};
+    use crate::grid::plan_gpu;
+    use crate::kernels::gpu::{partials_kernel, PartialsArgs};
+    use crate::device::catalog;
+
+    /// The two hardware variants must agree exactly: same kernels, different
+    /// work decomposition.
+    #[test]
+    fn x86_variant_matches_gpu_variant() {
+        for s in [4usize, 61] {
+            let patterns = 300;
+            let categories = 2;
+            let len = categories * patterns * s;
+            let c1: Vec<f64> = (0..len).map(|i| 0.1 + (i % 19) as f64 * 0.03).collect();
+            let c2: Vec<f64> = (0..len).map(|i| 0.4 - (i % 11) as f64 * 0.02).collect();
+            let m1: Vec<f64> = (0..categories * s * s).map(|i| 0.01 * (1 + i % 9) as f64).collect();
+            let m2: Vec<f64> = (0..categories * s * s).map(|i| 0.015 * (1 + i % 6) as f64).collect();
+
+            // GPU variant.
+            let spec = catalog::quadro_p5000();
+            let mut d_gpu = vec![0.0; len];
+            partials_kernel::<CudaDialect, f64>(PartialsArgs {
+                dest: &mut d_gpu,
+                c1: Operand::Partials(&c1),
+                c2: Operand::Partials(&c2),
+                m1: &m1,
+                m2: &m2,
+                states: s,
+                patterns,
+                categories,
+                plan: plan_gpu(&spec, s, 8),
+                fma_enabled: true,
+            });
+
+            // x86 variant, two work-groups of 256 + remainder.
+            let mut d_x86 = vec![0.0; len];
+            for (p0, p1) in [(0usize, 256usize), (256, 300)] {
+                let mut blocks: Vec<&mut [f64]> = Vec::new();
+                let mut rest = d_x86.as_mut_slice();
+                let mut consumed = 0;
+                for cat in 0..categories {
+                    let start = (cat * patterns + p0) * s - consumed;
+                    let (_skip, r) = rest.split_at_mut(start);
+                    let (blk, r2) = r.split_at_mut((p1 - p0) * s);
+                    blocks.push(blk);
+                    rest = r2;
+                    consumed = (cat * patterns + p1) * s;
+                }
+                partials_group::<OpenClDialect, f64>(
+                    &mut blocks,
+                    Operand::Partials(&c1),
+                    Operand::Partials(&c2),
+                    &m1,
+                    &m2,
+                    s,
+                    patterns,
+                    p0,
+                    p1,
+                    true,
+                );
+            }
+            for (a, b) in d_gpu.iter().zip(&d_x86) {
+                assert!((a - b).abs() < 1e-12, "states {s}");
+            }
+        }
+    }
+
+    #[test]
+    fn states_operand_in_x86_variant() {
+        let s = 4;
+        let patterns = 10;
+        let states: Vec<u32> = vec![0, 1, 2, 3, GAP_STATE, 0, 1, 2, 3, 0];
+        let c2: Vec<f64> = (0..patterns * s).map(|i| 0.2 + (i % 3) as f64 * 0.1).collect();
+        let m: Vec<f64> = (0..16).map(|i| 0.03 * (1 + i) as f64).collect();
+        let mut dest = vec![0.0; patterns * s];
+        {
+            let mut blocks: Vec<&mut [f64]> = vec![dest.as_mut_slice()];
+            partials_group::<OpenClDialect, f64>(
+                &mut blocks,
+                Operand::States(&states),
+                Operand::Partials(&c2),
+                &m,
+                &m,
+                s,
+                patterns,
+                0,
+                patterns,
+                true,
+            );
+        }
+        // Spot check: pattern 4 (gap) must use p1 = 1.
+        let mut expect = vec![0.0; s];
+        beagle_cpu::kernels::states_partials(
+            &mut expect,
+            &[GAP_STATE],
+            &c2[16..20],
+            &m,
+            &m,
+            s,
+        );
+        assert_eq!(&dest[16..20], expect.as_slice());
+    }
+
+    #[test]
+    fn rescale_group_normalizes() {
+        let s = 2;
+        let mut cat0 = vec![0.5, 0.1, 2e-9, 1e-9];
+        let mut cat1 = vec![0.2, 0.3, 3e-9, 2e-9];
+        let mut scale = vec![0.0; 2];
+        {
+            let mut blocks: Vec<&mut [f64]> = vec![&mut cat0, &mut cat1];
+            rescale_group(&mut blocks, &mut scale, s);
+        }
+        assert!((cat0[0] - 1.0).abs() < 1e-15);
+        assert!((scale[0] - 0.5f64.ln()).abs() < 1e-15);
+        assert!((cat1[2] - 1.0).abs() < 1e-12);
+    }
+}

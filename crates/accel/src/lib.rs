@@ -1,0 +1,45 @@
+//! # beagle-accel
+//!
+//! The accelerator model of BEAGLE-RS: a single kernel code base shared
+//! between (simulated) CUDA and OpenCL frameworks, with hardware-specific
+//! variants for GPUs and x86 processors — the architecture of §V–§VII of the
+//! ICPP 2017 paper.
+//!
+//! Because no GPU exists in this environment, GPU devices are *simulated*:
+//! kernels execute functionally on the host over an explicit work-group
+//! grid, and device time comes from a roofline model parameterized by the
+//! paper's Table II specs (see `DESIGN.md` for the substitution argument).
+//! The OpenCL-x86 implementation is NOT simulated: it runs on real host
+//! threads and is wall-clock timed, as in the paper.
+//!
+//! * [`dialect`] — the CUDA/OpenCL "preprocessor keyword" abstraction
+//! * [`kernels`] — one set of kernels; [`kernels::gpu`] and [`kernels::x86`] variants
+//! * [`device`] — simulated devices, memory arena, Table I/II catalog
+//! * [`grid`] — work-group planning (local-memory limits, padding)
+//! * [`perf`] — the roofline device-time model and its calibration
+//! * [`cuda`] / [`opencl`] — framework driver registries (ICD loader model)
+//! * [`instance`] / [`factories`] — the BEAGLE API implementation
+
+
+// Likelihood kernels and small numeric routines are written with explicit
+// index loops on purpose: the loop structure mirrors the work-item/work-group
+// decomposition the paper describes, and that clarity outweighs iterator style.
+#![allow(clippy::needless_range_loop)]
+
+pub mod cuda;
+pub mod device;
+pub mod dialect;
+pub mod factories;
+pub mod grid;
+pub mod instance;
+pub mod kernels;
+pub mod opencl;
+pub mod perf;
+
+pub use device::{catalog, DeviceKind, DeviceSpec, Vendor};
+pub use dialect::{CudaDialect, Dialect, OpenClDialect};
+pub use factories::{
+    register_accel_factories, CudaFactory, OpenClGpuFactory, OpenClX86Factory,
+};
+pub use instance::{AccelInstance, ExecMode};
+pub use perf::PerfModel;

@@ -1,0 +1,125 @@
+//! The simulated OpenCL installable-client-driver (ICD) loader.
+//!
+//! §VII-B3: "BEAGLE makes use of the OpenCL Installable Client Driver loader
+//! to make all implementations on a system available, which allows the
+//! selection of different drivers for the same hardware resource." The
+//! registry here mirrors that: each vendor ships a driver that claims a
+//! subset of the system's devices; the same physical device can appear
+//! under more than one driver (e.g. an Intel CPU under both the Intel and a
+//! generic driver), and clients pick by driver name.
+
+use crate::device::{catalog, DeviceKind, DeviceSpec, Vendor};
+
+/// One installed OpenCL driver ("platform" in OpenCL terms).
+#[derive(Clone, Debug)]
+pub struct OpenClDriver {
+    /// Platform name, e.g. `"AMD APP (simulated 1912.5)"`.
+    pub name: String,
+    /// Vendor shipping the driver.
+    pub vendor: Vendor,
+    /// Devices this driver exposes.
+    pub devices: Vec<DeviceSpec>,
+    /// Relative quality: vendor-specific drivers outperform generic ones
+    /// ("on Linux and Windows… vendor-specific OpenCL driver implementations
+    /// offer the best performance").
+    pub vendor_specific: bool,
+}
+
+/// The ICD loader: every installed driver on the (simulated) system.
+#[derive(Clone, Debug, Default)]
+pub struct IcdRegistry {
+    drivers: Vec<OpenClDriver>,
+}
+
+impl IcdRegistry {
+    /// Probe a system: group devices under their vendors' drivers.
+    pub fn probe(available_devices: &[DeviceSpec]) -> Self {
+        let mut drivers = Vec::new();
+        let groups: [(Vendor, &str); 3] = [
+            (Vendor::Nvidia, "NVIDIA OpenCL (simulated 375.26)"),
+            (Vendor::Amd, "AMD APP (simulated 1912.5)"),
+            (Vendor::Intel, "Intel OpenCL (simulated 1.2.0)"),
+        ];
+        for (vendor, name) in groups {
+            let devices: Vec<DeviceSpec> = available_devices
+                .iter()
+                .filter(|d| d.vendor == vendor)
+                .cloned()
+                .collect();
+            if !devices.is_empty() {
+                drivers.push(OpenClDriver {
+                    name: name.to_string(),
+                    vendor,
+                    devices,
+                    vendor_specific: true,
+                });
+            }
+        }
+        Self { drivers }
+    }
+
+    /// Probe the default simulated system (all catalog devices).
+    pub fn probe_default() -> Self {
+        Self::probe(&catalog::all())
+    }
+
+    /// All installed drivers.
+    pub fn drivers(&self) -> &[OpenClDriver] {
+        &self.drivers
+    }
+
+    /// Every (driver, device) pair — the flat resource view BEAGLE builds.
+    pub fn enumerate(&self) -> Vec<(&OpenClDriver, &DeviceSpec)> {
+        self.drivers
+            .iter()
+            .flat_map(|drv| drv.devices.iter().map(move |d| (drv, d)))
+            .collect()
+    }
+
+    /// GPU devices reachable through OpenCL.
+    pub fn gpu_devices(&self) -> Vec<DeviceSpec> {
+        self.enumerate()
+            .into_iter()
+            .filter(|(_, d)| d.kind == DeviceKind::Gpu)
+            .map(|(_, d)| d.clone())
+            .collect()
+    }
+
+    /// CPU-class devices (for the OpenCL-x86 implementation).
+    pub fn cpu_devices(&self) -> Vec<DeviceSpec> {
+        self.enumerate()
+            .into_iter()
+            .filter(|(_, d)| matches!(d.kind, DeviceKind::Cpu | DeviceKind::ManyCore))
+            .map(|(_, d)| d.clone())
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_system_has_three_vendor_drivers() {
+        let icd = IcdRegistry::probe_default();
+        assert_eq!(icd.drivers().len(), 3);
+        assert!(icd.drivers().iter().all(|d| d.vendor_specific));
+    }
+
+    #[test]
+    fn gpu_and_cpu_views_partition_devices() {
+        let icd = IcdRegistry::probe_default();
+        let gpus = icd.gpu_devices();
+        let cpus = icd.cpu_devices();
+        assert_eq!(gpus.len(), 3, "P5000 + R9 Nano + S9170");
+        assert_eq!(cpus.len(), 2, "Xeon Phi + dual Xeon");
+        assert_eq!(gpus.len() + cpus.len(), icd.enumerate().len());
+    }
+
+    #[test]
+    fn system_without_amd_has_no_amd_driver() {
+        let icd = IcdRegistry::probe(&[catalog::quadro_p5000(), catalog::dual_xeon_e5_2680v4()]);
+        assert!(icd.drivers().iter().all(|d| d.vendor != Vendor::Amd));
+        assert_eq!(icd.drivers().len(), 2);
+    }
+}

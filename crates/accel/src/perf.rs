@@ -1,0 +1,296 @@
+//! Roofline performance model for the simulated GPU devices.
+//!
+//! Hardware substitution (see DESIGN.md §1): kernels run functionally on the
+//! host, while *device time* is modeled from first principles plus a small
+//! set of calibration constants fitted to the paper's published numbers.
+//!
+//! Model per kernel launch:
+//!
+//! ```text
+//! t = launch_overhead
+//!   + max(t_mem, t_comp) + OVERLAP_LOSS · min(t_mem, t_comp)
+//!
+//! t_mem  = bytes / (bandwidth · BW_EFF · ramp)
+//! t_comp = flops · fma_penalty / (peak(precision) · eff_c(states) · ramp)
+//! ramp   = u / (u + 1),  u = work_items / (cores · LATENCY_HIDING)
+//! ```
+//!
+//! * `ramp` models occupancy: small problems cannot hide memory latency,
+//!   which produces the strong throughput-vs-pattern-count scaling of
+//!   Fig. 4 and the OpenCL disadvantage at small sizes.
+//! * `eff_c(states)` captures that high-state-count kernels achieve a lower
+//!   fraction of peak (register pressure, local-memory traffic); fitted to
+//!   the paper's nucleotide (≈445 GFLOPS) and codon (≈1324 GFLOPS) peaks on
+//!   the Radeon R9 Nano.
+//! * The FMA penalty applies when a dialect does *not* enable fused
+//!   multiply-add (§VII-B1 / Table IV): unfused kernels spend more issue
+//!   slots per madd. Memory-bound kernels barely notice (Table IV single
+//!   precision, ≤1.8%); compute-bound ones lose ~10-12% (double precision).
+
+use std::time::Duration;
+
+use crate::device::{DeviceSpec, Vendor};
+
+/// Fraction of peak memory bandwidth achievable by the streaming partials
+/// kernels (fitted: 445 GFLOPS at 1.5 flops/byte on a 512 GB/s device).
+pub const BW_EFF: f64 = 0.58;
+
+/// Imperfect compute/memory overlap: the smaller of the two times leaks this
+/// fraction into the total.
+pub const OVERLAP_LOSS: f64 = 0.15;
+
+/// Work-items per core needed to fully hide latency.
+pub const LATENCY_HIDING: f64 = 16.0;
+
+/// Double-precision kernels reach a larger fraction of their (much lower)
+/// peak than single-precision ones — the instruction mix is the same but DP
+/// peak is 1/16 of SP on Fiji, so DP is far from memory-bound (fitted to
+/// Table IV: 199 GFLOPS ≈ 0.39 of the R9 Nano's 512 DP GFLOPS).
+pub const DP_EFF_BOOST: f64 = 1.40;
+
+/// Extra compute cost factor when fused multiply-add is NOT available
+/// (fitted to Table IV's ~10-12% double-precision gain).
+pub const FMA_PENALTY: f64 = 1.15;
+
+/// Fraction of per-work-group matrix staging that misses L2 and reaches
+/// global memory; the rest is served from cache across work-groups.
+pub const MATRIX_L2_MISS: f64 = 0.05;
+
+/// Fraction of theoretical peak compute the partials kernel reaches, by
+/// state count and vendor (fitted to Fig. 4 / Table IV).
+pub fn compute_efficiency(spec: &DeviceSpec, states: usize) -> f64 {
+    match states {
+        0..=4 => 0.30,
+        5..=20 => 0.22,
+        _ => match spec.vendor {
+            Vendor::Amd => 0.162,
+            Vendor::Nvidia => 0.140,
+            Vendor::Intel => 0.150,
+        },
+    }
+}
+
+/// Resource cost of one kernel launch.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct KernelCost {
+    /// Floating-point operations (counting one FMA as 2 flops).
+    pub flops: f64,
+    /// Global-memory bytes moved.
+    pub bytes: f64,
+    /// Fraction of `flops` that are madd-contractable (0..1).
+    pub fma_fraction: f64,
+    /// Total work-items launched.
+    pub work_items: f64,
+}
+
+/// The device-time model.
+#[derive(Clone, Debug)]
+pub struct PerfModel {
+    spec: DeviceSpec,
+}
+
+impl PerfModel {
+    /// A model for one device.
+    pub fn new(spec: DeviceSpec) -> Self {
+        Self { spec }
+    }
+
+    /// The modeled device.
+    pub fn spec(&self) -> &DeviceSpec {
+        &self.spec
+    }
+
+    /// Occupancy ramp for a launch of `work_items` items.
+    pub fn ramp(&self, work_items: f64) -> f64 {
+        let u = work_items / (self.spec.cores as f64 * LATENCY_HIDING);
+        u / (u + 1.0)
+    }
+
+    /// Modeled execution time of one kernel launch.
+    ///
+    /// `double` selects the precision peak; `fma_enabled` is the dialect's
+    /// FMA policy for this device; `launch_overhead_us` comes from the
+    /// framework dialect; `states` picks the compute-efficiency bin.
+    pub fn kernel_time(
+        &self,
+        cost: &KernelCost,
+        states: usize,
+        double: bool,
+        fma_enabled: bool,
+        launch_overhead_us: f64,
+    ) -> Duration {
+        let ramp = self.ramp(cost.work_items).max(1e-6);
+        let peak = if double { self.spec.dp_gflops } else { self.spec.sp_gflops } * 1e9;
+        let mut eff_c = compute_efficiency(&self.spec, states);
+        if double {
+            eff_c = (eff_c * DP_EFF_BOOST).min(0.85);
+        }
+        let fma_penalty = if fma_enabled {
+            1.0
+        } else {
+            1.0 + (FMA_PENALTY - 1.0) * cost.fma_fraction
+        };
+        let t_comp = cost.flops * fma_penalty / (peak * eff_c * ramp);
+        let t_mem = cost.bytes / (self.spec.bandwidth_gbs * 1e9 * BW_EFF * ramp);
+        let (hi, lo) = if t_comp > t_mem { (t_comp, t_mem) } else { (t_mem, t_comp) };
+        Duration::from_secs_f64(launch_overhead_us * 1e-6 + hi + OVERLAP_LOSS * lo)
+    }
+
+    /// Cost of one partials operation: `padded_patterns` patterns ×
+    /// `categories` categories × `states` states, with per-group matrix
+    /// traffic when matrices are staged from global memory.
+    pub fn partials_cost(
+        &self,
+        states: usize,
+        padded_patterns: usize,
+        categories: usize,
+        groups: usize,
+        elem_bytes: usize,
+    ) -> KernelCost {
+        let s = states as f64;
+        let p = padded_patterns as f64;
+        let c = categories as f64;
+        // (4s+2) flops per destination entry; all of the 4s part contractable.
+        let flops = c * p * s * (4.0 * s + 2.0);
+        // Read both children + write destination, plus matrix staging: the
+        // first work-group pulls both matrices from global memory, later
+        // groups mostly hit L2 (MATRIX_L2_MISS of them reach DRAM).
+        let partials_bytes = 3.0 * c * p * s * elem_bytes as f64;
+        let matrix_loads = 1.0 + MATRIX_L2_MISS * (groups as f64 - 1.0).max(0.0);
+        let matrix_bytes = matrix_loads * c * 2.0 * s * s * elem_bytes as f64;
+        KernelCost {
+            flops,
+            bytes: partials_bytes + matrix_bytes,
+            fma_fraction: 4.0 * s / (4.0 * s + 2.0),
+            work_items: c * p * s,
+        }
+    }
+
+    /// Cost of the root-integration kernel (reads the root buffer once,
+    /// writes one site likelihood per pattern, then a log+reduce).
+    pub fn integrate_cost(
+        &self,
+        states: usize,
+        patterns: usize,
+        categories: usize,
+        elem_bytes: usize,
+    ) -> KernelCost {
+        let s = states as f64;
+        let p = patterns as f64;
+        let c = categories as f64;
+        KernelCost {
+            flops: c * p * s * 2.0 + p * 10.0,
+            bytes: (c * p * s + 2.0 * p) * elem_bytes as f64,
+            fma_fraction: 1.0,
+            work_items: p,
+        }
+    }
+
+    /// Cost of computing `n_matrices` transition matrices from the eigen
+    /// system (s³ madds per matrix per category).
+    pub fn matrices_cost(
+        &self,
+        states: usize,
+        categories: usize,
+        n_matrices: usize,
+        elem_bytes: usize,
+    ) -> KernelCost {
+        let s = states as f64;
+        let n = n_matrices as f64 * categories as f64;
+        KernelCost {
+            flops: n * 2.0 * s * s * s,
+            bytes: n * (3.0 * s * s + s) * elem_bytes as f64,
+            fma_fraction: 1.0,
+            work_items: n * s * s,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::catalog;
+    use crate::grid::plan_gpu;
+
+    fn nano_throughput(states: usize, patterns: usize, categories: usize) -> f64 {
+        let spec = catalog::radeon_r9_nano();
+        let model = PerfModel::new(spec.clone());
+        let plan = plan_gpu(&spec, states, 4);
+        let padded = plan.padded_patterns(patterns);
+        let cost = model.partials_cost(states, padded, categories, plan.group_count(patterns), 4);
+        let t = model.kernel_time(&cost, states, false, true, 18.0);
+        // Effective throughput uses UNpadded flops, like the harness.
+        let s = states as f64;
+        let eff_flops = categories as f64 * patterns as f64 * s * (4.0 * s + 2.0);
+        eff_flops / t.as_secs_f64() / 1e9
+    }
+
+    #[test]
+    fn nucleotide_peak_matches_paper_scale() {
+        // Paper: 444.92 GFLOPS at 475,081 patterns on the R9 Nano.
+        let g = nano_throughput(4, 475_081, 4);
+        assert!((g - 445.0).abs() / 445.0 < 0.25, "modeled {g} GFLOPS, paper ≈445");
+    }
+
+    #[test]
+    fn codon_peak_matches_paper_scale() {
+        // Paper: 1324.19 GFLOPS at 28,419 codon patterns on the R9 Nano.
+        let g = nano_throughput(61, 28_419, 1);
+        assert!((g - 1324.0).abs() / 1324.0 < 0.25, "modeled {g} GFLOPS, paper ≈1324");
+    }
+
+    #[test]
+    fn throughput_scales_with_patterns() {
+        let small = nano_throughput(4, 100, 4);
+        let mid = nano_throughput(4, 10_000, 4);
+        let large = nano_throughput(4, 1_000_000, 4);
+        assert!(small < mid && mid < large, "{small} < {mid} < {large}");
+        assert!(small < 30.0, "tiny problems are overhead-dominated: {small}");
+    }
+
+    #[test]
+    fn codon_less_sensitive_to_pattern_count_than_nucleotide() {
+        // §VIII-A2: "throughput performance is less sensitive to the number
+        // of unique site patterns" for codon models.
+        let nuc_ratio = nano_throughput(4, 1_000, 4) / nano_throughput(4, 100_000, 4);
+        let codon_ratio = nano_throughput(61, 1_000, 1) / nano_throughput(61, 28_419, 1);
+        assert!(codon_ratio > nuc_ratio, "codon {codon_ratio} vs nuc {nuc_ratio}");
+    }
+
+    #[test]
+    fn fma_gain_larger_in_double_precision() {
+        // Table IV (nucleotide kernel on the R9 Nano): double-precision FMA
+        // gain ≈10-12%, single precision ≤1.8%. In the model this falls out
+        // of double precision being compute-bound (DP peak is 1/16 of SP on
+        // Fiji) while single precision is memory-bound.
+        let spec = catalog::radeon_r9_nano();
+        let model = PerfModel::new(spec.clone());
+        let gain = |double: bool, patterns: usize| {
+            let bytes = if double { 8 } else { 4 };
+            let plan = plan_gpu(&spec, 4, bytes);
+            let padded = plan.padded_patterns(patterns);
+            let cost = model.partials_cost(4, padded, 4, plan.group_count(patterns), bytes);
+            let with = model.kernel_time(&cost, 4, double, true, 18.0).as_secs_f64();
+            let without = model.kernel_time(&cost, 4, double, false, 18.0).as_secs_f64();
+            (without - with) / without
+        };
+        for patterns in [10_000, 100_000] {
+            let dp = gain(true, patterns);
+            let sp = gain(false, patterns);
+            assert!(dp > sp, "dp gain {dp} must exceed sp gain {sp}");
+            assert!(dp > 0.05 && dp < 0.20, "dp gain {dp} in the ~10% band");
+            assert!(sp < 0.03, "sp gain {sp} should be small");
+        }
+    }
+
+    #[test]
+    fn ramp_monotone_and_bounded() {
+        let model = PerfModel::new(catalog::quadro_p5000());
+        let mut prev = 0.0;
+        for items in [100.0, 1e4, 1e6, 1e8] {
+            let r = model.ramp(items);
+            assert!(r > prev && r < 1.0);
+            prev = r;
+        }
+    }
+}

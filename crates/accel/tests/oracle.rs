@@ -1,0 +1,191 @@
+//! Integration tests: every accelerator implementation (CUDA, OpenCL-GPU on
+//! each simulated device, OpenCL-x86) must reproduce the pruning oracle's
+//! log-likelihood, and the simulated clock must behave sensibly.
+
+use beagle_accel::{
+    catalog, register_accel_factories, CudaFactory, OpenClGpuFactory, OpenClX86Factory,
+};
+use beagle_core::manager::{ImplementationFactory, ImplementationManager};
+use beagle_core::{BeagleInstance, Flags, InstanceConfig, Operation};
+use beagle_phylo::likelihood::log_likelihood;
+use beagle_phylo::models::{codon, nucleotide};
+use beagle_phylo::simulate::simulate_alignment;
+use beagle_phylo::{ReversibleModel, SitePatterns, SiteRates, Tree};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+fn drive(
+    inst: &mut dyn BeagleInstance,
+    tree: &Tree,
+    model: &ReversibleModel,
+    rates: &SiteRates,
+    patterns: &SitePatterns,
+    scaled: bool,
+) -> f64 {
+    let eig = model.eigen();
+    inst.set_eigen_decomposition(0, eig.vectors.as_slice(), eig.inverse_vectors.as_slice(), &eig.values)
+        .unwrap();
+    inst.set_state_frequencies(0, model.frequencies()).unwrap();
+    inst.set_category_rates(&rates.rates).unwrap();
+    inst.set_category_weights(0, &rates.weights).unwrap();
+    inst.set_pattern_weights(patterns.weights()).unwrap();
+    for tip in 0..tree.taxon_count() {
+        inst.set_tip_states(tip, &patterns.tip_states(tip)).unwrap();
+    }
+    let (idx, len): (Vec<usize>, Vec<f64>) = tree.branch_assignments().iter().copied().unzip();
+    inst.update_transition_matrices(0, &idx, &len).unwrap();
+    let ops: Vec<Operation> = tree
+        .operation_schedule()
+        .iter()
+        .map(|e| {
+            let op = Operation::new(e.destination, e.child1, e.matrix1, e.child2, e.matrix2);
+            if scaled { op.with_scaling(e.destination) } else { op }
+        })
+        .collect();
+    inst.update_partials(&ops).unwrap();
+    let cum = if scaled {
+        let c = inst.config().scale_buffer_count - 1;
+        inst.reset_scale_factors(c).unwrap();
+        let bufs: Vec<usize> = ops.iter().map(|o| o.destination).collect();
+        inst.accumulate_scale_factors(&bufs, c).unwrap();
+        Some(c)
+    } else {
+        None
+    };
+    inst.calculate_root_log_likelihoods(tree.root(), 0, 0, cum).unwrap()
+}
+
+struct Case {
+    tree: Tree,
+    model: ReversibleModel,
+    rates: SiteRates,
+    patterns: SitePatterns,
+}
+
+fn nuc_case(seed: u64, taxa: usize, sites: usize, cats: usize) -> Case {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let tree = Tree::random(taxa, 0.12, &mut rng);
+    let model = nucleotide::gtr(&[1.0, 2.0, 0.7, 1.3, 3.1, 1.0], &[0.3, 0.2, 0.3, 0.2]);
+    let rates =
+        if cats > 1 { SiteRates::discrete_gamma(0.4, cats) } else { SiteRates::constant() };
+    let aln = simulate_alignment(&tree, &model, &rates, sites, &mut rng);
+    let patterns = SitePatterns::compress(&aln);
+    Case { tree, model, rates, patterns }
+}
+
+fn all_factories() -> Vec<Box<dyn ImplementationFactory>> {
+    vec![
+        Box::new(CudaFactory::new(catalog::quadro_p5000())),
+        Box::new(OpenClGpuFactory::new(catalog::quadro_p5000())),
+        Box::new(OpenClGpuFactory::new(catalog::radeon_r9_nano())),
+        Box::new(OpenClGpuFactory::new(catalog::firepro_s9170())),
+        Box::new(OpenClX86Factory::with_threads(4, 256)),
+    ]
+}
+
+#[test]
+fn all_accel_implementations_match_oracle_nucleotide() {
+    let case = nuc_case(1, 10, 600, 4);
+    let oracle = log_likelihood(&case.tree, &case.model, &case.rates, &case.patterns);
+    let config = InstanceConfig::for_tree(10, case.patterns.pattern_count(), 4, 4);
+    for f in all_factories() {
+        for single in [false, true] {
+            let prefs =
+                if single { Flags::PRECISION_SINGLE } else { Flags::PRECISION_DOUBLE };
+            let mut inst = f.create(&config, prefs, Flags::NONE).unwrap();
+            let lnl =
+                drive(inst.as_mut(), &case.tree, &case.model, &case.rates, &case.patterns, single);
+            let tol = if single { ((lnl - oracle) / oracle).abs() < 1e-4 } else {
+                (lnl - oracle).abs() < 1e-7
+            };
+            assert!(tol, "{} single={single}: {lnl} vs {oracle}", f.name());
+        }
+    }
+}
+
+#[test]
+fn all_accel_implementations_match_oracle_codon() {
+    let mut rng = SmallRng::seed_from_u64(2);
+    let tree = Tree::random(6, 0.1, &mut rng);
+    let model = codon::gy94(
+        codon::CodonModelParams { kappa: 2.5, omega: 0.4 },
+        &codon::f1x4_frequencies(&[0.3, 0.2, 0.25, 0.25]),
+    );
+    let rates = SiteRates::constant();
+    let aln = simulate_alignment(&tree, &model, &rates, 120, &mut rng);
+    let patterns = SitePatterns::compress(&aln);
+    let oracle = log_likelihood(&tree, &model, &rates, &patterns);
+    let config = InstanceConfig::for_tree(6, patterns.pattern_count(), 61, 1);
+    for f in all_factories() {
+        let mut inst = f.create(&config, Flags::PRECISION_DOUBLE, Flags::NONE).unwrap();
+        let lnl = drive(inst.as_mut(), &tree, &model, &rates, &patterns, false);
+        assert!((lnl - oracle).abs() < 1e-6, "{}: {lnl} vs {oracle}", f.name());
+    }
+}
+
+#[test]
+fn simulated_clock_advances_only_for_gpu_instances() {
+    let case = nuc_case(3, 6, 300, 2);
+    let config = InstanceConfig::for_tree(6, case.patterns.pattern_count(), 4, 2);
+
+    let gpu = CudaFactory::new(catalog::quadro_p5000());
+    let mut inst = gpu.create(&config, Flags::NONE, Flags::NONE).unwrap();
+    assert_eq!(inst.simulated_time().unwrap().as_nanos(), 0);
+    drive(inst.as_mut(), &case.tree, &case.model, &case.rates, &case.patterns, false);
+    let t1 = inst.simulated_time().unwrap();
+    assert!(t1.as_nanos() > 0, "GPU work must advance the simulated clock");
+    inst.reset_simulated_time();
+    assert_eq!(inst.simulated_time().unwrap().as_nanos(), 0);
+
+    let x86 = OpenClX86Factory::with_threads(2, 256);
+    let mut inst = x86.create(&config, Flags::NONE, Flags::NONE).unwrap();
+    drive(inst.as_mut(), &case.tree, &case.model, &case.rates, &case.patterns, false);
+    assert!(inst.simulated_time().is_none(), "x86 device is wall-clock timed");
+}
+
+#[test]
+fn cuda_faster_than_opencl_on_same_nvidia_device_at_small_sizes() {
+    // Fig. 4 nucleotide panel: CUDA and OpenCL on the P5000 separate at
+    // small pattern counts (launch overhead), converge at large ones.
+    let case = nuc_case(4, 8, 200, 4);
+    let config = InstanceConfig::for_tree(8, case.patterns.pattern_count(), 4, 4);
+    let time_with = |f: &dyn ImplementationFactory| {
+        let mut inst = f.create(&config, Flags::PRECISION_SINGLE, Flags::NONE).unwrap();
+        drive(inst.as_mut(), &case.tree, &case.model, &case.rates, &case.patterns, true);
+        inst.simulated_time().unwrap()
+    };
+    let cuda = time_with(&CudaFactory::new(catalog::quadro_p5000()));
+    let opencl = time_with(&OpenClGpuFactory::new(catalog::quadro_p5000()));
+    assert!(cuda < opencl, "CUDA {cuda:?} must beat OpenCL {opencl:?} at small sizes");
+}
+
+#[test]
+fn work_group_size_does_not_change_results() {
+    // Table V varies the x86 work-group size; results must be identical.
+    let case = nuc_case(5, 9, 700, 2);
+    let config = InstanceConfig::for_tree(9, case.patterns.pattern_count(), 4, 2);
+    let mut reference = None;
+    for wg in [64, 128, 256, 512, 1024] {
+        let f = OpenClX86Factory::with_threads(3, wg);
+        let mut inst = f.create(&config, Flags::NONE, Flags::NONE).unwrap();
+        let lnl = drive(inst.as_mut(), &case.tree, &case.model, &case.rates, &case.patterns, false);
+        match reference {
+            None => reference = Some(lnl),
+            Some(r) => assert!((lnl - r).abs() < 1e-10, "wg={wg}: {lnl} vs {r}"),
+        }
+    }
+}
+
+#[test]
+fn manager_registration_end_to_end() {
+    let mut m = ImplementationManager::new();
+    register_accel_factories(&mut m);
+    let case = nuc_case(6, 5, 150, 1);
+    let config = InstanceConfig::for_tree(5, case.patterns.pattern_count(), 4, 1);
+    let mut inst = m
+        .create_instance(&config, Flags::PROCESSOR_GPU, Flags::NONE)
+        .unwrap();
+    let oracle = log_likelihood(&case.tree, &case.model, &case.rates, &case.patterns);
+    let lnl = drive(inst.as_mut(), &case.tree, &case.model, &case.rates, &case.patterns, false);
+    assert!((lnl - oracle).abs() < 1e-7);
+}

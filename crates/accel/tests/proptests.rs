@@ -1,0 +1,166 @@
+//! Property-based tests for the shared-kernel accelerator model.
+
+use beagle_accel::device::catalog;
+use beagle_accel::dialect::{CudaDialect, OpenClDialect};
+use beagle_accel::grid::{plan_gpu, plan_x86};
+use beagle_accel::kernels::gpu::{partials_kernel, PartialsArgs};
+use beagle_accel::kernels::x86;
+use beagle_accel::kernels::Operand;
+use beagle_accel::perf::PerfModel;
+use proptest::prelude::*;
+
+fn values(len: usize) -> impl Strategy<Value = Vec<f64>> {
+    proptest::collection::vec(1e-6f64..1.0, len)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The CUDA and OpenCL instantiations of the shared kernel are bitwise
+    /// identical for arbitrary inputs, pattern counts, and category counts.
+    #[test]
+    fn dialects_bitwise_identical(
+        patterns in 1usize..150,
+        cats in 1usize..4,
+        seed in values(3700),
+    ) {
+        let s = 4;
+        let len = cats * patterns * s;
+        let c1 = &seed[..len];
+        let c2 = &seed[len..2 * len];
+        let m: Vec<f64> = seed[2 * len..2 * len + cats * s * s].to_vec();
+        let spec = catalog::quadro_p5000();
+        let plan = plan_gpu(&spec, s, 8);
+
+        let run = |cuda: bool| {
+            let mut dest = vec![0.0; len];
+            let args = PartialsArgs {
+                dest: &mut dest,
+                c1: Operand::Partials(c1),
+                c2: Operand::Partials(c2),
+                m1: &m,
+                m2: &m,
+                states: s,
+                patterns,
+                categories: cats,
+                plan,
+                fma_enabled: true,
+            };
+            if cuda {
+                partials_kernel::<CudaDialect, f64>(args);
+            } else {
+                partials_kernel::<OpenClDialect, f64>(args);
+            }
+            dest
+        };
+        prop_assert_eq!(run(true), run(false));
+    }
+
+    /// The GPU and x86 kernel variants agree for arbitrary inputs and
+    /// work-group sizes (the two hardware organizations compute one math).
+    #[test]
+    fn gpu_and_x86_variants_agree(
+        patterns in 1usize..120,
+        wg in 1usize..300,
+        seed in values(2000),
+    ) {
+        let s = 4;
+        let cats = 2;
+        let len = cats * patterns * s;
+        let c1 = &seed[..len];
+        let c2 = &seed[len..2 * len];
+        let m: Vec<f64> = seed[2 * len..2 * len + cats * s * s].to_vec();
+
+        // GPU variant over the whole grid.
+        let mut d_gpu = vec![0.0; len];
+        partials_kernel::<CudaDialect, f64>(PartialsArgs {
+            dest: &mut d_gpu,
+            c1: Operand::Partials(c1),
+            c2: Operand::Partials(c2),
+            m1: &m,
+            m2: &m,
+            states: s,
+            patterns,
+            categories: cats,
+            plan: plan_gpu(&catalog::radeon_r9_nano(), s, 8),
+            fma_enabled: true,
+        });
+
+        // x86 variant in work-groups of `wg` patterns.
+        let plan = plan_x86(wg);
+        let groups = plan.group_count(patterns);
+        let mut d_x86 = vec![0.0; len];
+        for g in 0..groups {
+            let p0 = g * wg;
+            let p1 = ((g + 1) * wg).min(patterns);
+            // Assemble per-category mutable blocks for this group.
+            let mut blocks: Vec<&mut [f64]> = Vec::new();
+            let mut rest = d_x86.as_mut_slice();
+            let mut consumed = 0usize;
+            for cat in 0..cats {
+                let start = (cat * patterns + p0) * s - consumed;
+                let (_skip, r) = rest.split_at_mut(start);
+                let (blk, r2) = r.split_at_mut((p1 - p0) * s);
+                blocks.push(blk);
+                rest = r2;
+                consumed = (cat * patterns + p1) * s;
+            }
+            x86::partials_group::<OpenClDialect, f64>(
+                &mut blocks,
+                Operand::Partials(c1),
+                Operand::Partials(c2),
+                &m,
+                &m,
+                s,
+                patterns,
+                p0,
+                p1,
+                true,
+            );
+        }
+        for (a, b) in d_gpu.iter().zip(&d_x86) {
+            prop_assert!((a - b).abs() < 1e-12);
+        }
+    }
+
+    /// Work-group plans are always feasible: at least one pattern per group,
+    /// local memory never exceeded, padding bounded by one group.
+    #[test]
+    fn plans_always_feasible(states in 2usize..80, elem in prop_oneof![Just(4usize), Just(8)]) {
+        for spec in catalog::all() {
+            let plan = plan_gpu(&spec, states, elem);
+            prop_assert!(plan.patterns_per_group >= 1);
+            prop_assert_eq!(plan.items_per_group, plan.patterns_per_group * states);
+            if plan.matrices_in_local {
+                let used = 2 * states * states * elem + plan.patterns_per_group * 2 * states * elem;
+                prop_assert!(used <= spec.local_mem_bytes() + 2 * states * elem,
+                    "local memory overcommitted on {}", spec.name);
+            }
+            for patterns in [1usize, 7, 1000] {
+                let padded = plan.padded_patterns(patterns);
+                prop_assert!(padded >= patterns);
+                prop_assert!(padded - patterns < plan.patterns_per_group);
+            }
+        }
+    }
+
+    /// Kernel time is monotone in flops and bytes, and never below the
+    /// launch overhead.
+    #[test]
+    fn kernel_time_monotone(
+        flops in 1e3f64..1e12,
+        bytes in 1e3f64..1e11,
+        items in 1e2f64..1e8,
+    ) {
+        let model = PerfModel::new(catalog::firepro_s9170());
+        let base = beagle_accel::perf::KernelCost { flops, bytes, fma_fraction: 0.9, work_items: items };
+        let more_flops = beagle_accel::perf::KernelCost { flops: flops * 2.0, ..base };
+        let more_bytes = beagle_accel::perf::KernelCost { bytes: bytes * 2.0, ..base };
+        let t0 = model.kernel_time(&base, 4, false, true, 18.0);
+        prop_assert!(t0.as_secs_f64() >= 18.0e-6);
+        prop_assert!(model.kernel_time(&more_flops, 4, false, true, 18.0) >= t0);
+        prop_assert!(model.kernel_time(&more_bytes, 4, false, true, 18.0) >= t0);
+        // FMA can only help.
+        prop_assert!(model.kernel_time(&base, 4, false, false, 18.0) >= t0);
+    }
+}

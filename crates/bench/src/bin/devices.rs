@@ -1,0 +1,42 @@
+//! Tables I and II: the (simulated) system and device inventory, plus the
+//! BEAGLE-RS resource list as a client program would see it.
+
+use beagle_accel::{catalog, cuda::CudaDriver, opencl::IcdRegistry};
+use genomictest::full_manager;
+
+fn main() {
+    println!("== Table II: GPU / device specifications (simulated) ==");
+    println!(
+        "{:<42} {:>7} {:>9} {:>12} {:>12} {:>10}",
+        "device", "cores", "mem (GB)", "BW (GB/s)", "SP GFLOPS", "LDS (KiB)"
+    );
+    for d in catalog::all() {
+        println!(
+            "{:<42} {:>7} {:>9} {:>12} {:>12} {:>10}",
+            d.name, d.cores, d.memory_gb, d.bandwidth_gbs, d.sp_gflops, d.local_mem_kib
+        );
+    }
+
+    println!("\n== Table I: framework drivers present on the simulated system ==");
+    match CudaDriver::probe_default() {
+        Some(drv) => {
+            println!("CUDA release         : {}", drv.version);
+            for d in drv.devices() {
+                println!("  CUDA device        : {}", d.name);
+            }
+        }
+        None => println!("CUDA release         : not available (no NVIDIA device)"),
+    }
+    for drv in IcdRegistry::probe_default().drivers() {
+        println!("OpenCL driver        : {}", drv.name);
+        for d in &drv.devices {
+            println!("  OpenCL device      : {}", d.name);
+        }
+    }
+
+    println!("\n== BEAGLE-RS resource list (implementation manager) ==");
+    let m = full_manager();
+    for (name, res) in m.implementation_names().into_iter().zip(m.resource_list()) {
+        println!("{:<42} on {}", name, res.name);
+    }
+}

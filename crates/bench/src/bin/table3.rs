@@ -1,0 +1,108 @@
+//! Table III — CPU threading optimizations.
+//!
+//! Throughput (single-precision GFLOPS) of the core partial-likelihoods
+//! function for the serial, futures, thread-create, and thread-pool models,
+//! at 10,000 patterns across 8/16/64/128 tips (nucleotide, 4 rate
+//! categories), as in §VI of the paper.
+//!
+//! Output has two sections: **measured** on this host (whose hardware-thread
+//! count may be far below the paper's 56, hiding thread scaling) and
+//! **modeled** for the paper's dual Xeon E5-2680v4 using
+//! `beagle_bench::cpu_model` (see DESIGN.md §1 substitutions).
+
+use beagle_bench::cpu_model::CpuModel;
+use beagle_bench::{bench_named, cell, quick_mode, reps_for};
+use genomictest::{ModelKind, Problem, Scenario};
+
+fn main() {
+    let patterns = 10_000;
+    let cats = 4;
+    let tips_list: &[usize] = if quick_mode() { &[8, 16] } else { &[8, 16, 64, 128] };
+    let host_threads = beagle_cpu::host_threads();
+
+    println!("== Table III: CPU threading optimizations ==");
+    println!(
+        "nucleotide model, {patterns} unique patterns, {cats} rate categories, single precision"
+    );
+    println!("host hardware threads: {host_threads}\n");
+
+    println!("-- measured on this host --");
+    println!(
+        "{:>5} {:>10} {:>10} {:>13} {:>11} {:>9}",
+        "tips", "serial", "futures", "thread-create", "thread-pool", "speedup"
+    );
+    for &tips in tips_list {
+        let problem = Problem::generate(&Scenario {
+            model: ModelKind::Nucleotide,
+            taxa: tips,
+            patterns,
+            categories: cats,
+            seed: 100 + tips as u64,
+        });
+        let reps = reps_for(&problem, 4e8);
+        let serial = bench_named(&problem, "CPU-serial", true, reps).map(|r| r.gflops);
+        let futures = bench_named(&problem, "CPU-futures", true, reps).map(|r| r.gflops);
+        let create = bench_named(&problem, "CPU-threadcreate", true, reps).map(|r| r.gflops);
+        let pool = bench_named(&problem, "CPU-threadpool", true, reps).map(|r| r.gflops);
+        let speedup = match (serial, pool) {
+            (Some(s), Some(p)) if s > 0.0 => format!("{:>9.2}", p / s),
+            _ => format!("{:>9}", "-"),
+        };
+        println!(
+            "{:>5} {} {} {:>13} {:>11} {}",
+            tips,
+            cell(serial),
+            cell(futures),
+            cell(create).trim_start(),
+            cell(pool).trim_start(),
+            speedup
+        );
+    }
+
+    println!("\n-- modeled for dual Xeon E5-2680v4 (56 threads), fitted constants --");
+    println!(
+        "{:>5} {:>10} {:>10} {:>13} {:>11} {:>9}",
+        "tips", "serial", "futures", "thread-create", "thread-pool", "speedup"
+    );
+    let model = CpuModel::dual_xeon_e5_2680v4();
+    for &tips in tips_list {
+        let problem = Problem::generate(&Scenario {
+            model: ModelKind::Nucleotide,
+            taxa: tips,
+            patterns,
+            categories: cats,
+            seed: 100 + tips as u64,
+        });
+        let ops = problem.operations(false);
+        let serial = model.serial_gflops(tips, patterns, 4, cats);
+        let futures = model.futures_gflops(&ops, tips, patterns, 4, cats);
+        let create = model.create_gflops(56, tips, patterns, 4, cats);
+        let pool = model.pool_gflops(56, tips, patterns, 4, cats);
+        println!(
+            "{:>5} {:>10.2} {:>10.2} {:>13.2} {:>11.2} {:>9.2}",
+            tips,
+            serial,
+            futures,
+            create,
+            pool,
+            pool / serial
+        );
+    }
+
+    println!("\n-- paper reference (Table III) --");
+    println!(
+        "{:>5} {:>10} {:>10} {:>13} {:>11} {:>9}",
+        "tips", "serial", "futures", "thread-create", "thread-pool", "speedup"
+    );
+    for (tips, row) in [
+        (8, [35.82, 37.92, 39.07, 193.10, 5.39]),
+        (16, [35.47, 59.70, 78.26, 258.99, 7.30]),
+        (64, [14.95, 78.67, 87.91, 217.24, 14.53]),
+        (128, [13.62, 61.61, 60.19, 126.95, 9.31]),
+    ] {
+        println!(
+            "{:>5} {:>10.2} {:>10.2} {:>13.2} {:>11.2} {:>9.2}",
+            tips, row[0], row[1], row[2], row[3], row[4]
+        );
+    }
+}

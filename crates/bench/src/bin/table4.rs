@@ -1,0 +1,68 @@
+//! Table IV — OpenCL-GPU fused-multiply-add optimization.
+//!
+//! Throughput of the core partial-likelihoods kernel on the (simulated) AMD
+//! Radeon R9 Nano with and without the `FP_FAST_FMA(F)` fast path, in single
+//! and double precision at 10,000 and 100,000 unique patterns (nucleotide
+//! model, as in the paper — Table IV's throughputs match Fig. 4's nucleotide
+//! curve). Timing is modeled device time (see DESIGN.md §1).
+
+use beagle_accel::{catalog, OpenClGpuFactory};
+use beagle_core::manager::ImplementationFactory;
+use beagle_core::Flags;
+use genomictest::{benchmark, ModelKind, Problem, Scenario};
+
+fn throughput(problem: &Problem, fma: bool, single: bool) -> f64 {
+    let mut spec = catalog::radeon_r9_nano();
+    spec.supports_fma = fma;
+    let factory = OpenClGpuFactory::new(spec);
+    let prefs = if single { Flags::PRECISION_SINGLE } else { Flags::PRECISION_DOUBLE };
+    let mut inst = factory.create(&problem.config(), prefs, Flags::NONE).expect("instance");
+    benchmark(problem, inst.as_mut(), 2).gflops
+}
+
+fn main() {
+    println!("== Table IV: OpenCL-GPU FMA optimization (simulated AMD Radeon R9 Nano) ==");
+    println!("nucleotide model, 4 rate categories; device time from the roofline model\n");
+    println!(
+        "{:>9} {:>9} {:>14} {:>12} {:>8}",
+        "precision", "patterns", "without FMA", "with FMA", "% gain"
+    );
+    let mut rows = Vec::new();
+    for &patterns in &[10_000usize, 100_000] {
+        let problem = Problem::generate(&Scenario {
+            model: ModelKind::Nucleotide,
+            taxa: 16,
+            patterns,
+            categories: 4,
+            seed: 400 + patterns as u64,
+        });
+        for &single in &[true, false] {
+            let without = throughput(&problem, false, single);
+            let with = throughput(&problem, true, single);
+            let gain = (with - without) / without * 100.0;
+            println!(
+                "{:>9} {:>9} {:>14.2} {:>12.2} {:>8.2}",
+                if single { "single" } else { "double" },
+                patterns,
+                without,
+                with,
+                gain
+            );
+            rows.push(gain);
+        }
+    }
+
+    println!("\n-- paper reference (Table IV) --");
+    println!(
+        "{:>9} {:>9} {:>14} {:>12} {:>8}",
+        "precision", "patterns", "without FMA", "with FMA", "% gain"
+    );
+    for (prec, pat, wo, w, g) in [
+        ("single", 10_000, 213.02, 216.87, 1.81),
+        ("double", 10_000, 124.14, 136.88, 10.26),
+        ("single", 100_000, 408.63, 411.43, 0.69),
+        ("double", 100_000, 178.04, 199.23, 11.90),
+    ] {
+        println!("{prec:>9} {pat:>9} {wo:>14.2} {w:>12.2} {g:>8.2}");
+    }
+}

@@ -1,0 +1,298 @@
+//! Analytic model of multicore-CPU throughput for the paper's host systems.
+//!
+//! This benchmark host has a single hardware thread, so the paper's
+//! CPU-threading results (Table III, Fig. 5, Fig. 6 CPU rows) cannot be
+//! *measured* here. Following the substitution rule in DESIGN.md §1, they
+//! are additionally *modeled*, with the same philosophy as the GPU roofline
+//! in `beagle-accel::perf`: a small mechanistic model plus fitted constants,
+//! stated openly. Fitted against Table III and Fig. 5; band-level agreement
+//! (ordering and rough magnitude), not digit matching.
+//!
+//! Per-traversal time model (`ops` = taxa − 1 partials operations):
+//!
+//! ```text
+//! t(serial)  = flops / serial_rate
+//! t(pool)    = ops·DISPATCH + flops / parallel_rate
+//! t(create)  = t(pool) + threads·SPAWN          (threads made per call)
+//! t(futures) = ops·FUTURE_SPAWN + flops / (serial_rate · min(ops/levels, threads))
+//!
+//! serial_rate   = SERIAL_BASE · state_factor / cache_penalty(working set)
+//! parallel_rate = min(serial_rate · eff(threads) · chunk_ramp, BW_CAP)
+//! ```
+//!
+//! * `BW_CAP` makes Fig. 5 saturate near 27 threads (§VIII-B: "suggesting
+//!   memory bandwidth limitations").
+//! * `cache_penalty` reproduces Table III's serial fall-off from 35.8 GFLOPS
+//!   (8 tips) to ~13.6 (128 tips): more tips → more partials buffers → the
+//!   working set leaves L3.
+//! * `ops/levels` is the *operation-level* parallelism available to the
+//!   futures model — topology-limited, which is why futures gains grow with
+//!   tip count in Table III (1.06× at 8 tips, ~5× at 64).
+
+use beagle_core::ops::{dependency_levels, Operation};
+
+/// Pool task-dispatch + barrier cost per operation, µs.
+const DISPATCH_US: f64 = 2.0;
+/// Thread spawn+join cost per thread for the thread-create model, µs.
+const SPAWN_US: f64 = 10.0;
+/// Future/task spawn cost per operation for the futures model, µs.
+const FUTURE_SPAWN_US: f64 = 30.0;
+
+/// A modeled multicore host.
+#[derive(Clone, Copy, Debug)]
+pub struct CpuModel {
+    /// Physical cores.
+    pub physical_cores: usize,
+    /// Hardware threads (with SMT).
+    pub hardware_threads: usize,
+    /// Single-core single-precision GFLOPS of the compiler-vectorized
+    /// nucleotide kernel (fitted: Table III serial at 8 tips = 35.8).
+    pub serial_base_sp: f64,
+    /// Memory-bandwidth throughput ceiling in GFLOPS (fitted: Fig. 5
+    /// saturation ≈310 GFLOPS on the dual Xeon).
+    pub bw_cap_sp: f64,
+    /// L3 cache (one socket, the one a serial run lives on), bytes.
+    pub l3_bytes: f64,
+}
+
+impl CpuModel {
+    /// The paper's system 2: dual Intel Xeon E5-2680v4.
+    pub fn dual_xeon_e5_2680v4() -> Self {
+        CpuModel {
+            physical_cores: 28,
+            hardware_threads: 56,
+            serial_base_sp: 35.8,
+            bw_cap_sp: 310.0,
+            l3_bytes: 35e6,
+        }
+    }
+
+    /// Intel Xeon Phi 7210 (Knights Landing) as a self-boot CPU: weak
+    /// single-thread performance, many hardware threads, high-bandwidth
+    /// MCDRAM, large cross-thread synchronization cost — which is what makes
+    /// it weak below 10⁴ patterns in Fig. 4.
+    pub fn xeon_phi_7210() -> Self {
+        CpuModel {
+            physical_cores: 64,
+            hardware_threads: 256,
+            serial_base_sp: 2.2,
+            bw_cap_sp: 230.0,
+            l3_bytes: 32e6,
+        }
+    }
+
+    /// Effective traversal flops for (tips, patterns, states, cats).
+    fn flops(&self, tips: usize, patterns: usize, states: usize, cats: usize) -> f64 {
+        let s = states as f64;
+        (tips - 1) as f64 * cats as f64 * patterns as f64 * s * (4.0 * s + 2.0)
+    }
+
+    fn working_set(&self, tips: usize, patterns: usize, states: usize, cats: usize) -> f64 {
+        ((2 * tips - 1) * cats * patterns * states * 4) as f64
+    }
+
+    /// Cache penalty ≥ 1 once the working set spills out of L3; saturates
+    /// because streaming prefetch bounds the damage (fitted to the Table III
+    /// serial column).
+    fn cache_penalty(&self, working_set: f64) -> f64 {
+        if working_set <= self.l3_bytes {
+            1.0
+        } else {
+            (working_set / self.l3_bytes).powf(1.3).min(2.7)
+        }
+    }
+
+    /// Modeled serial rate in GFLOPS.
+    pub fn serial_gflops(&self, tips: usize, patterns: usize, states: usize, cats: usize) -> f64 {
+        let ws = self.working_set(tips, patterns, states, cats);
+        let state_factor = if states <= 4 { 1.0 } else { 0.55 };
+        self.serial_base_sp * state_factor / self.cache_penalty(ws)
+    }
+
+    /// Sub-linear thread-efficiency curve: shared memory bandwidth and NUMA
+    /// contention grow with thread count, so throughput follows ~t^0.65
+    /// (fitted so the Fig. 5 curves reach the ~310 GFLOPS bandwidth ceiling
+    /// at ≈27 threads, as the paper reports).
+    fn eff_threads(&self, threads: usize) -> f64 {
+        let t = threads.min(self.hardware_threads) as f64;
+        t.powf(0.65)
+    }
+
+    fn chunk_ramp(&self, patterns: usize, threads: usize) -> f64 {
+        let per_thread = patterns as f64 / threads.max(1) as f64;
+        per_thread / (per_thread + 64.0)
+    }
+
+    fn parallel_rate(
+        &self,
+        threads: usize,
+        tips: usize,
+        patterns: usize,
+        states: usize,
+        cats: usize,
+    ) -> f64 {
+        let serial = self.serial_gflops(tips, patterns, states, cats);
+        // High-state (codon) kernels are compute-bound — arithmetic
+        // intensity grows with the state count — so they scale nearly
+        // linearly to the physical core count instead of hitting the
+        // bandwidth ceiling (which is why the paper's OpenCL-x86 codon
+        // result reaches ~660 GFLOPS, half the R9 Nano).
+        let compute_bound = states > 20;
+        let t = threads.min(self.hardware_threads) as f64;
+        let (eff, cap) = if compute_bound {
+            (t.powf(0.9), self.physical_cores as f64 * serial * 1.2)
+        } else {
+            (self.eff_threads(threads), self.bw_cap_sp)
+        };
+        (serial * eff * self.chunk_ramp(patterns, threads)).min(cap).max(serial)
+    }
+
+    /// Modeled thread-pool throughput in GFLOPS.
+    pub fn pool_gflops(
+        &self,
+        threads: usize,
+        tips: usize,
+        patterns: usize,
+        states: usize,
+        cats: usize,
+    ) -> f64 {
+        if patterns < 512 || threads <= 1 {
+            return self.serial_gflops(tips, patterns, states, cats);
+        }
+        let flops = self.flops(tips, patterns, states, cats);
+        let ops = (tips - 1) as f64;
+        let t_us = ops * DISPATCH_US
+            + flops / (self.parallel_rate(threads, tips, patterns, states, cats) * 1e3);
+        flops / (t_us * 1e3)
+    }
+
+    /// Modeled thread-create throughput: pool time plus per-call spawns.
+    pub fn create_gflops(
+        &self,
+        threads: usize,
+        tips: usize,
+        patterns: usize,
+        states: usize,
+        cats: usize,
+    ) -> f64 {
+        if patterns < 512 || threads <= 1 {
+            return self.serial_gflops(tips, patterns, states, cats);
+        }
+        let flops = self.flops(tips, patterns, states, cats);
+        let pool = self.pool_gflops(threads, tips, patterns, states, cats);
+        let t_us = flops / (pool * 1e3) + threads as f64 * SPAWN_US;
+        flops / (t_us * 1e3)
+    }
+
+    /// Modeled futures throughput: operation-level parallelism only.
+    pub fn futures_gflops(
+        &self,
+        operations: &[Operation],
+        tips: usize,
+        patterns: usize,
+        states: usize,
+        cats: usize,
+    ) -> f64 {
+        let flops = self.flops(tips, patterns, states, cats);
+        let levels = dependency_levels(operations).len().max(1);
+        let parallelism = (operations.len() as f64 / levels as f64)
+            .clamp(1.0, self.hardware_threads as f64);
+        let serial = self.serial_gflops(tips, patterns, states, cats);
+        let t_us = operations.len() as f64 * FUTURE_SPAWN_US + flops / (serial * parallelism * 1e3);
+        flops / (t_us * 1e3)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use beagle_phylo::Tree;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn ops_for(tips: usize) -> Vec<Operation> {
+        let mut rng = SmallRng::seed_from_u64(33);
+        let tree = Tree::random(tips, 0.1, &mut rng);
+        tree.operation_schedule()
+            .iter()
+            .map(|e| Operation::new(e.destination, e.child1, e.matrix1, e.child2, e.matrix2))
+            .collect()
+    }
+
+    #[test]
+    fn serial_matches_table_three_scale() {
+        let m = CpuModel::dual_xeon_e5_2680v4();
+        // Paper Table III serial column: 35.82 / 35.47 / 14.95 / 13.62.
+        let s8 = m.serial_gflops(8, 10_000, 4, 4);
+        let s128 = m.serial_gflops(128, 10_000, 4, 4);
+        assert!((s8 - 35.8).abs() < 2.0, "8 tips: {s8}");
+        assert!((s128 - 13.6).abs() / 13.6 < 0.35, "128 tips: {s128}");
+        assert!(s8 > s128);
+    }
+
+    #[test]
+    fn pool_speedups_in_paper_band() {
+        let m = CpuModel::dual_xeon_e5_2680v4();
+        // Paper: pool speedup over serial = 5.4 / 7.3 / 14.5 at 8/16/64 tips.
+        for (tips, lo, hi) in [(8, 2.5, 9.0), (16, 3.0, 11.0), (64, 6.0, 22.0)] {
+            let s = m.serial_gflops(tips, 10_000, 4, 4);
+            let p = m.pool_gflops(56, tips, 10_000, 4, 4);
+            let speedup = p / s;
+            assert!(speedup > lo && speedup < hi, "tips {tips}: {speedup}");
+        }
+    }
+
+    #[test]
+    fn create_slower_than_pool() {
+        let m = CpuModel::dual_xeon_e5_2680v4();
+        for tips in [8usize, 16, 64, 128] {
+            let pool = m.pool_gflops(56, tips, 10_000, 4, 4);
+            let create = m.create_gflops(56, tips, 10_000, 4, 4);
+            assert!(create < pool, "tips {tips}: create {create} vs pool {pool}");
+            assert!(create > 0.1 * pool, "create should not collapse: {create}");
+        }
+    }
+
+    #[test]
+    fn futures_limited_by_tree_shape() {
+        let m = CpuModel::dual_xeon_e5_2680v4();
+        let f8 = m.futures_gflops(&ops_for(8), 8, 10_000, 4, 4);
+        let f64t = m.futures_gflops(&ops_for(64), 64, 10_000, 4, 4);
+        let s8 = m.serial_gflops(8, 10_000, 4, 4);
+        let s64 = m.serial_gflops(64, 10_000, 4, 4);
+        // More tips → more independent operations → larger futures speedup,
+        // the Table III pattern (≈1.06× at 8 tips, ≈5.3× at 64).
+        assert!(f8 / s8 < f64t / s64, "{} vs {}", f8 / s8, f64t / s64);
+    }
+
+    #[test]
+    fn scaling_saturates_around_bandwidth_cap() {
+        let m = CpuModel::dual_xeon_e5_2680v4();
+        let t27 = m.pool_gflops(27, 16, 10_000, 4, 4);
+        let t56 = m.pool_gflops(56, 16, 10_000, 4, 4);
+        // Fig. 5: saturation ≈27 threads; beyond that gains are small.
+        assert!(t56 / t27 < 1.4, "{t27} → {t56}");
+        let mut prev = 0.0;
+        for t in 1..=27 {
+            let g = m.pool_gflops(t, 16, 10_000, 4, 4);
+            assert!(g >= prev * 0.95, "near-monotone up to saturation");
+            prev = g;
+        }
+    }
+
+    #[test]
+    fn below_threshold_threading_is_serial() {
+        let m = CpuModel::dual_xeon_e5_2680v4();
+        let s = m.serial_gflops(8, 256, 4, 4);
+        assert_eq!(m.pool_gflops(56, 8, 256, 4, 4), s);
+        assert_eq!(m.create_gflops(56, 8, 256, 4, 4), s);
+    }
+
+    #[test]
+    fn phi_weak_at_small_problems() {
+        let phi = CpuModel::xeon_phi_7210();
+        let small = phi.create_gflops(256, 8, 1_000, 4, 4);
+        let large = phi.create_gflops(256, 8, 100_000, 4, 4);
+        assert!(small < large * 0.5, "Phi must ramp slowly: {small} vs {large}");
+    }
+}

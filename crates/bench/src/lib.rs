@@ -1,0 +1,102 @@
+//! Shared machinery for the per-table / per-figure benchmark binaries.
+//!
+//! Two kinds of numbers appear in the harness output, always labelled:
+//!
+//! * **measured** — real wall-clock execution on this host (all CPU
+//!   implementations, OpenCL-x86);
+//! * **modeled** — the roofline device model for the simulated GPUs, plus
+//!   the multicore-CPU model in [`cpu_model`] used when this host has fewer
+//!   hardware threads than the paper's dual Xeon E5-2680v4 (so thread
+//!   scaling cannot manifest locally — see DESIGN.md §1).
+
+pub mod cpu_model;
+
+use beagle_core::{BeagleInstance, Flags};
+use genomictest::{benchmark, full_manager, Problem, ThroughputReport};
+
+/// Create an instance of the exactly-named implementation for `problem`.
+pub fn instance_by_name(
+    problem: &Problem,
+    name: &str,
+    single: bool,
+) -> Option<Box<dyn BeagleInstance>> {
+    let precision = if single { Flags::PRECISION_SINGLE } else { Flags::PRECISION_DOUBLE };
+    full_manager()
+        .create_instance_by_name(name, &problem.config(), precision)
+        .ok()
+}
+
+/// Benchmark one named implementation; `None` if it cannot run the problem.
+pub fn bench_named(
+    problem: &Problem,
+    name: &str,
+    single: bool,
+    reps: usize,
+) -> Option<ThroughputReport> {
+    let mut inst = instance_by_name(problem, name, single)?;
+    Some(benchmark(problem, inst.as_mut(), reps))
+}
+
+/// Repetition count that keeps a sweep point under roughly a second of
+/// functional execution: ~`budget_flops` per measurement.
+pub fn reps_for(problem: &Problem, budget_flops: f64) -> usize {
+    ((budget_flops / problem.traversal_flops()) as usize).clamp(1, 50)
+}
+
+/// `--quick` / `--full` handling shared by the harness binaries.
+pub fn quick_mode() -> bool {
+    std::env::args().any(|a| a == "--quick")
+}
+
+/// True when `--paper` is passed: use the paper's full problem sizes.
+pub fn paper_mode() -> bool {
+    std::env::args().any(|a| a == "--paper")
+}
+
+/// Format a GFLOPS cell.
+pub fn cell(x: Option<f64>) -> String {
+    match x {
+        Some(v) if v >= 100.0 => format!("{v:>10.1}"),
+        Some(v) => format!("{v:>10.2}"),
+        None => format!("{:>10}", "-"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use genomictest::{ModelKind, Scenario};
+
+    #[test]
+    fn bench_named_runs_serial() {
+        let p = Problem::generate(&Scenario {
+            model: ModelKind::Nucleotide,
+            taxa: 5,
+            patterns: 64,
+            categories: 1,
+            seed: 2,
+        });
+        let r = bench_named(&p, "CPU-serial", false, 1).expect("serial exists");
+        assert!(r.gflops > 0.0);
+        assert!(bench_named(&p, "no-such-impl", false, 1).is_none());
+    }
+
+    #[test]
+    fn reps_scale_inversely_with_problem_size() {
+        let small = Problem::generate(&Scenario {
+            model: ModelKind::Nucleotide,
+            taxa: 4,
+            patterns: 32,
+            categories: 1,
+            seed: 3,
+        });
+        let large = Problem::generate(&Scenario {
+            model: ModelKind::Nucleotide,
+            taxa: 16,
+            patterns: 4096,
+            categories: 4,
+            seed: 3,
+        });
+        assert!(reps_for(&small, 1e8) >= reps_for(&large, 1e8));
+    }
+}

@@ -1,0 +1,300 @@
+//! The BEAGLE-RS application programming interface.
+//!
+//! A faithful Rust rendering of the BEAGLE C API: a client creates an
+//! *instance* sized for its problem (tips, patterns, states, categories,
+//! buffer counts), loads tip data, eigen systems, rates and weights, then
+//! repeatedly asks for transition-matrix updates, partials updates, and
+//! root/edge log-likelihood integrations. The library deliberately has no
+//! tree type; clients drive it with flat, flexibly indexed operation lists.
+
+use crate::error::{BeagleError, Result};
+use crate::flags::Flags;
+use crate::ops::Operation;
+
+/// Sizing parameters of an instance (the `beagleCreateInstance` arguments).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct InstanceConfig {
+    /// Number of tip data elements (taxa).
+    pub tip_count: usize,
+    /// Number of partials buffers (≥ `tip_count` when all tips use partials;
+    /// tips using compact state storage do not consume partials buffers, but
+    /// index into the same space `0..partials_buffer_count`).
+    pub partials_buffer_count: usize,
+    /// Number of compact (tip-state) buffers.
+    pub compact_buffer_count: usize,
+    /// Number of character states (4 = nucleotide, 20 = amino acid, 61 = codon).
+    pub state_count: usize,
+    /// Number of unique site patterns.
+    pub pattern_count: usize,
+    /// Number of eigen-decomposition buffers.
+    pub eigen_buffer_count: usize,
+    /// Number of transition-matrix buffers.
+    pub matrix_buffer_count: usize,
+    /// Number of rate categories.
+    pub category_count: usize,
+    /// Number of scale-factor buffers (0 disables manual scaling).
+    pub scale_buffer_count: usize,
+}
+
+impl InstanceConfig {
+    /// A minimal valid config for `tips` taxa / `patterns` patterns /
+    /// `states` states / `categories` rate categories, with one buffer per
+    /// tree node, one matrix per branch, one eigen system and one extra
+    /// scale buffer for cumulative factors (the standard client layout).
+    pub fn for_tree(tips: usize, patterns: usize, states: usize, categories: usize) -> Self {
+        let nodes = 2 * tips - 1;
+        InstanceConfig {
+            tip_count: tips,
+            partials_buffer_count: nodes,
+            compact_buffer_count: tips,
+            state_count: states,
+            pattern_count: patterns,
+            eigen_buffer_count: 1,
+            matrix_buffer_count: nodes, // index = node id; root entry unused
+            category_count: categories,
+            scale_buffer_count: nodes + 1,
+        }
+    }
+
+    /// Validate basic sanity; called by every factory.
+    pub fn validate(&self) -> Result<()> {
+        let bad = |msg: &str| Err(BeagleError::InvalidConfiguration(msg.to_string()));
+        if self.tip_count < 2 {
+            return bad("need at least 2 tips");
+        }
+        if self.state_count < 2 {
+            return bad("need at least 2 states");
+        }
+        if self.pattern_count == 0 {
+            return bad("need at least 1 pattern");
+        }
+        if self.category_count == 0 {
+            return bad("need at least 1 rate category");
+        }
+        if self.partials_buffer_count < self.tip_count {
+            return bad("partials buffers must cover all tips");
+        }
+        if self.eigen_buffer_count == 0 || self.matrix_buffer_count == 0 {
+            return bad("need at least one eigen and one matrix buffer");
+        }
+        Ok(())
+    }
+
+    /// Length of one partials buffer: `categories × patterns × states`.
+    pub fn partials_len(&self) -> usize {
+        self.category_count * self.pattern_count * self.state_count
+    }
+
+    /// Length of one transition-matrix buffer: `categories × states²`.
+    pub fn matrix_len(&self) -> usize {
+        self.category_count * self.state_count * self.state_count
+    }
+}
+
+/// What an instance actually is, reported after creation
+/// (`beagleGetInstanceDetails`).
+#[derive(Clone, Debug)]
+pub struct InstanceDetails {
+    /// Human-readable implementation name, e.g. `"CPU-threadpool"`.
+    pub implementation_name: String,
+    /// Name of the hardware resource the instance runs on.
+    pub resource_name: String,
+    /// Flags describing the instance's actual behaviour.
+    pub flags: Flags,
+    /// Number of worker threads in use (1 for serial / accelerator models).
+    pub thread_count: usize,
+}
+
+/// A BEAGLE instance: likelihood state plus the kernels that act on it.
+///
+/// All data crosses this interface as `f64` regardless of the instance's
+/// internal precision (the C API has typed variants; a trait object cannot,
+/// so conversion happens inside — it is never on the hot path, which is
+/// `update_partials` + `calculate_root_log_likelihoods` on internal buffers).
+pub trait BeagleInstance: Send {
+    /// Implementation and resource description.
+    fn details(&self) -> &InstanceDetails;
+
+    /// Instance sizing.
+    fn config(&self) -> &InstanceConfig;
+
+    /// Set compact tip states for tip `tip`; `states[p]` is the observed
+    /// state at pattern `p`, or [`crate::GAP_STATE`] for missing data.
+    fn set_tip_states(&mut self, tip: usize, states: &[u32]) -> Result<()>;
+
+    /// Set full partials for a tip (for ambiguous tip data):
+    /// `patterns × states`, replicated internally across categories.
+    fn set_tip_partials(&mut self, tip: usize, partials: &[f64]) -> Result<()>;
+
+    /// Set a full partials buffer (`categories × patterns × states`).
+    fn set_partials(&mut self, buffer: usize, partials: &[f64]) -> Result<()>;
+
+    /// Read back a partials buffer (`categories × patterns × states`).
+    fn get_partials(&self, buffer: usize) -> Result<Vec<f64>>;
+
+    /// Set pattern weights (column multiplicities), length `pattern_count`.
+    fn set_pattern_weights(&mut self, weights: &[f64]) -> Result<()>;
+
+    /// Set state frequencies buffer `index` (length `state_count`).
+    fn set_state_frequencies(&mut self, index: usize, frequencies: &[f64]) -> Result<()>;
+
+    /// Set the category rate multipliers (length `category_count`).
+    fn set_category_rates(&mut self, rates: &[f64]) -> Result<()>;
+
+    /// Set category weights buffer `index` (length `category_count`).
+    fn set_category_weights(&mut self, index: usize, weights: &[f64]) -> Result<()>;
+
+    /// Load an eigen system: row-major `vectors` (s×s), `inverse_vectors`
+    /// (s×s), and `values` (s eigenvalues).
+    fn set_eigen_decomposition(
+        &mut self,
+        index: usize,
+        vectors: &[f64],
+        inverse_vectors: &[f64],
+        values: &[f64],
+    ) -> Result<()>;
+
+    /// Compute `P(rate_c · t)` for each listed matrix buffer and branch
+    /// length from eigen buffer `eigen_index` — the paper's "branch
+    /// transition probabilities" kernel.
+    fn update_transition_matrices(
+        &mut self,
+        eigen_index: usize,
+        matrix_indices: &[usize],
+        branch_lengths: &[f64],
+    ) -> Result<()>;
+
+    /// Compute `P(rate_c · t)` together with first and second derivatives
+    /// with respect to the branch length, written to three matrix buffers
+    /// per branch. The inputs maximum-likelihood programs need for
+    /// Newton–Raphson branch optimization. Optional: back-ends without
+    /// derivative kernels return [`crate::BeagleError::Unsupported`].
+    fn update_transition_derivatives(
+        &mut self,
+        _eigen_index: usize,
+        _matrix_indices: &[usize],
+        _d1_indices: &[usize],
+        _d2_indices: &[usize],
+        _branch_lengths: &[f64],
+    ) -> Result<()> {
+        Err(crate::error::BeagleError::Unsupported(
+            "transition-matrix derivatives on this implementation",
+        ))
+    }
+
+    /// Edge log-likelihood together with its first and second derivatives
+    /// with respect to the edge's branch length: `(lnL, dlnL/dt, d²lnL/dt²)`.
+    /// `d1_matrix` / `d2_matrix` must hold the derivative matrices from
+    /// [`Self::update_transition_derivatives`]. Optional, like the above.
+    #[allow(clippy::too_many_arguments)]
+    fn calculate_edge_derivatives(
+        &mut self,
+        _parent_buffer: usize,
+        _child_buffer: usize,
+        _matrix_index: usize,
+        _d1_matrix: usize,
+        _d2_matrix: usize,
+        _category_weights_index: usize,
+        _frequencies_index: usize,
+        _cumulative_scale: Option<usize>,
+    ) -> Result<(f64, f64, f64)> {
+        Err(crate::error::BeagleError::Unsupported(
+            "edge derivatives on this implementation",
+        ))
+    }
+
+    /// Directly set a transition matrix (`categories × states × states`,
+    /// row-major `P[i][j] = P(i→j)` per category).
+    fn set_transition_matrix(&mut self, index: usize, matrix: &[f64]) -> Result<()>;
+
+    /// Read back a transition matrix.
+    fn get_transition_matrix(&self, index: usize) -> Result<Vec<f64>>;
+
+    /// Run a dependency-ordered list of partial-likelihood operations — the
+    /// computational bottleneck this library exists to accelerate.
+    fn update_partials(&mut self, operations: &[Operation]) -> Result<()>;
+
+    /// Zero cumulative scale buffer `cumulative`.
+    fn reset_scale_factors(&mut self, cumulative: usize) -> Result<()>;
+
+    /// Add the log scale factors of each listed buffer into `cumulative`.
+    fn accumulate_scale_factors(
+        &mut self,
+        scale_indices: &[usize],
+        cumulative: usize,
+    ) -> Result<()>;
+
+    /// Integrate root partials against state frequencies, category weights
+    /// and pattern weights; returns the total log-likelihood. If
+    /// `cumulative_scale` is set, per-pattern accumulated log scale factors
+    /// are added back.
+    fn calculate_root_log_likelihoods(
+        &mut self,
+        root_buffer: usize,
+        category_weights_index: usize,
+        frequencies_index: usize,
+        cumulative_scale: Option<usize>,
+    ) -> Result<f64>;
+
+    /// Likelihood integrated at an edge: parent partials combined with
+    /// child partials propagated through `matrix_index`. Used by programs
+    /// that re-root cheaply or compute branch derivatives.
+    fn calculate_edge_log_likelihoods(
+        &mut self,
+        parent_buffer: usize,
+        child_buffer: usize,
+        matrix_index: usize,
+        category_weights_index: usize,
+        frequencies_index: usize,
+        cumulative_scale: Option<usize>,
+    ) -> Result<f64>;
+
+    /// Per-pattern site log-likelihoods from the most recent root/edge call.
+    fn get_site_log_likelihoods(&self) -> Result<Vec<f64>>;
+
+    /// Block until asynchronous device work is done (no-op on CPU).
+    fn wait_for_computation(&mut self) -> Result<()> {
+        Ok(())
+    }
+
+    /// For simulated accelerator back-ends: total modeled device time since
+    /// creation or the last [`Self::reset_simulated_time`]. `None` for
+    /// back-ends measured with the wall clock (all CPU implementations and
+    /// the OpenCL-x86 device).
+    fn simulated_time(&self) -> Option<std::time::Duration> {
+        None
+    }
+
+    /// Reset the simulated device clock (no-op for wall-clock back-ends).
+    fn reset_simulated_time(&mut self) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn for_tree_config_is_valid() {
+        let c = InstanceConfig::for_tree(8, 1000, 4, 4);
+        c.validate().unwrap();
+        assert_eq!(c.partials_buffer_count, 15);
+        assert_eq!(c.partials_len(), 4 * 1000 * 4);
+        assert_eq!(c.matrix_len(), 4 * 16);
+    }
+
+    #[test]
+    fn invalid_configs_rejected() {
+        let mut c = InstanceConfig::for_tree(8, 1000, 4, 4);
+        c.tip_count = 1;
+        assert!(c.validate().is_err());
+        let mut c = InstanceConfig::for_tree(8, 1000, 4, 4);
+        c.pattern_count = 0;
+        assert!(c.validate().is_err());
+        let mut c = InstanceConfig::for_tree(8, 1000, 4, 4);
+        c.partials_buffer_count = 3;
+        assert!(c.validate().is_err());
+        let mut c = InstanceConfig::for_tree(8, 1000, 4, 4);
+        c.category_count = 0;
+        assert!(c.validate().is_err());
+    }
+}

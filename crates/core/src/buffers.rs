@@ -1,0 +1,586 @@
+//! Instance data storage, shared by the CPU back-ends.
+//!
+//! BEAGLE instances act on "flexibly indexed data storage" — numbered
+//! partials buffers, compact tip-state buffers, transition matrices, eigen
+//! systems, weights, frequencies, and scale factors. This module implements
+//! that storage once, generic over precision, together with the non-kernel
+//! parts of the API (validated setters/getters). Back-ends own the kernels;
+//! they delegate bookkeeping here.
+//!
+//! Layouts (all row-major, matching the BEAGLE convention):
+//! * partials: `[category][pattern][state]`
+//! * transition matrix: `[category][from_state][to_state]`
+//! * scale buffers: per-pattern *log* scale factors
+
+use crate::GAP_STATE;
+use crate::api::InstanceConfig;
+use crate::error::{BeagleError, Result};
+use crate::real::{narrow_slice, widen_slice, Real};
+
+/// One stored eigen system, kept in `f64` (matrix exponentiation is done in
+/// double precision even for single-precision instances, as BEAGLE does for
+/// accuracy; the resulting P matrices are narrowed to `T`).
+#[derive(Clone, Debug, Default)]
+pub struct EigenSystem {
+    /// Row-major right eigenvectors (s×s).
+    pub vectors: Vec<f64>,
+    /// Row-major inverse eigenvectors (s×s).
+    pub inverse_vectors: Vec<f64>,
+    /// Eigenvalues (s).
+    pub values: Vec<f64>,
+}
+
+/// All numbered buffers of one instance.
+#[derive(Clone, Debug)]
+pub struct InstanceBuffers<T: Real> {
+    /// Instance sizing (immutable after creation).
+    pub config: InstanceConfig,
+    /// Partials buffers; `None` until written. Tips may instead use
+    /// `tip_states`.
+    pub partials: Vec<Option<Vec<T>>>,
+    /// Compact tip states, indexed by partials-buffer id (only `0..tip_count`
+    /// may be populated).
+    pub tip_states: Vec<Option<Vec<u32>>>,
+    /// Transition matrices.
+    pub matrices: Vec<Vec<T>>,
+    /// Eigen systems.
+    pub eigens: Vec<EigenSystem>,
+    /// Pattern weights.
+    pub pattern_weights: Vec<T>,
+    /// Rate-category multipliers.
+    pub category_rates: Vec<f64>,
+    /// Category-weight buffers.
+    pub category_weights: Vec<Vec<T>>,
+    /// State-frequency buffers (reuses the eigen buffer count, as BEAGLE does).
+    pub frequencies: Vec<Vec<T>>,
+    /// Per-pattern log scale factors.
+    pub scale_buffers: Vec<Vec<T>>,
+    /// Site log-likelihoods from the last root/edge integration.
+    pub site_log_likelihoods: Vec<T>,
+}
+
+impl<T: Real> InstanceBuffers<T> {
+    /// Allocate storage for `config`.
+    pub fn new(config: InstanceConfig) -> Result<Self> {
+        config.validate()?;
+        Ok(Self {
+            partials: vec![None; config.partials_buffer_count],
+            tip_states: vec![None; config.partials_buffer_count],
+            matrices: vec![vec![T::ZERO; config.matrix_len()]; config.matrix_buffer_count],
+            eigens: vec![EigenSystem::default(); config.eigen_buffer_count],
+            pattern_weights: vec![T::ONE; config.pattern_count],
+            category_rates: vec![1.0; config.category_count],
+            category_weights: vec![
+                vec![T::from_f64(1.0 / config.category_count as f64); config.category_count];
+                config.eigen_buffer_count
+            ],
+            frequencies: vec![
+                vec![T::from_f64(1.0 / config.state_count as f64); config.state_count];
+                config.eigen_buffer_count
+            ],
+            scale_buffers: vec![vec![T::ZERO; config.pattern_count]; config.scale_buffer_count],
+            site_log_likelihoods: vec![T::ZERO; config.pattern_count],
+            config,
+        })
+    }
+
+    fn check_index(&self, what: &'static str, index: usize, limit: usize) -> Result<()> {
+        if index >= limit {
+            Err(BeagleError::OutOfRange { what, index, limit })
+        } else {
+            Ok(())
+        }
+    }
+
+    fn check_len(&self, what: &'static str, got: usize, expected: usize) -> Result<()> {
+        if got != expected {
+            Err(BeagleError::DimensionMismatch { what, expected, got })
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Store compact tip states.
+    pub fn set_tip_states(&mut self, tip: usize, states: &[u32]) -> Result<()> {
+        self.check_index("tip", tip, self.config.tip_count)?;
+        self.check_len("tip states", states.len(), self.config.pattern_count)?;
+        for &s in states {
+            if s != GAP_STATE && s as usize >= self.config.state_count {
+                return Err(BeagleError::OutOfRange {
+                    what: "tip state value",
+                    index: s as usize,
+                    limit: self.config.state_count,
+                });
+            }
+        }
+        self.tip_states[tip] = Some(states.to_vec());
+        self.partials[tip] = None;
+        Ok(())
+    }
+
+    /// Store tip partials (`patterns × states`), replicated across categories.
+    pub fn set_tip_partials(&mut self, tip: usize, partials: &[f64]) -> Result<()> {
+        self.check_index("tip", tip, self.config.tip_count)?;
+        let per_cat = self.config.pattern_count * self.config.state_count;
+        self.check_len("tip partials", partials.len(), per_cat)?;
+        let mut buf = Vec::with_capacity(self.config.partials_len());
+        for _ in 0..self.config.category_count {
+            buf.extend(partials.iter().map(|&x| T::from_f64(x)));
+        }
+        self.partials[tip] = Some(buf);
+        self.tip_states[tip] = None;
+        Ok(())
+    }
+
+    /// Store a full partials buffer.
+    pub fn set_partials(&mut self, buffer: usize, partials: &[f64]) -> Result<()> {
+        self.check_index("partials buffer", buffer, self.config.partials_buffer_count)?;
+        self.check_len("partials", partials.len(), self.config.partials_len())?;
+        self.partials[buffer] = Some(narrow_slice(partials));
+        Ok(())
+    }
+
+    /// Read a partials buffer. Compact tips are expanded to partials form.
+    pub fn get_partials(&self, buffer: usize) -> Result<Vec<f64>> {
+        self.check_index("partials buffer", buffer, self.config.partials_buffer_count)?;
+        if let Some(p) = &self.partials[buffer] {
+            return Ok(widen_slice(p));
+        }
+        if let Some(states) = &self.tip_states[buffer] {
+            let (s, np, nc) = (
+                self.config.state_count,
+                self.config.pattern_count,
+                self.config.category_count,
+            );
+            let mut out = vec![0.0; self.config.partials_len()];
+            for c in 0..nc {
+                for (p, &st) in states.iter().enumerate() {
+                    let base = (c * np + p) * s;
+                    if st == GAP_STATE {
+                        out[base..base + s].fill(1.0);
+                    } else {
+                        out[base + st as usize] = 1.0;
+                    }
+                }
+            }
+            return Ok(out);
+        }
+        Err(BeagleError::InvalidConfiguration(format!(
+            "partials buffer {buffer} has never been written"
+        )))
+    }
+
+    /// Set pattern weights.
+    pub fn set_pattern_weights(&mut self, weights: &[f64]) -> Result<()> {
+        self.check_len("pattern weights", weights.len(), self.config.pattern_count)?;
+        self.pattern_weights = narrow_slice(weights);
+        Ok(())
+    }
+
+    /// Set a frequencies buffer.
+    pub fn set_state_frequencies(&mut self, index: usize, frequencies: &[f64]) -> Result<()> {
+        self.check_index("frequencies buffer", index, self.frequencies.len())?;
+        self.check_len("frequencies", frequencies.len(), self.config.state_count)?;
+        self.frequencies[index] = narrow_slice(frequencies);
+        Ok(())
+    }
+
+    /// Set category rates.
+    pub fn set_category_rates(&mut self, rates: &[f64]) -> Result<()> {
+        self.check_len("category rates", rates.len(), self.config.category_count)?;
+        self.category_rates = rates.to_vec();
+        Ok(())
+    }
+
+    /// Set a category-weights buffer.
+    pub fn set_category_weights(&mut self, index: usize, weights: &[f64]) -> Result<()> {
+        self.check_index("category weights buffer", index, self.category_weights.len())?;
+        self.check_len("category weights", weights.len(), self.config.category_count)?;
+        self.category_weights[index] = narrow_slice(weights);
+        Ok(())
+    }
+
+    /// Store an eigen system.
+    pub fn set_eigen_decomposition(
+        &mut self,
+        index: usize,
+        vectors: &[f64],
+        inverse_vectors: &[f64],
+        values: &[f64],
+    ) -> Result<()> {
+        self.check_index("eigen buffer", index, self.eigens.len())?;
+        let s = self.config.state_count;
+        self.check_len("eigen vectors", vectors.len(), s * s)?;
+        self.check_len("inverse eigen vectors", inverse_vectors.len(), s * s)?;
+        self.check_len("eigen values", values.len(), s)?;
+        self.eigens[index] = EigenSystem {
+            vectors: vectors.to_vec(),
+            inverse_vectors: inverse_vectors.to_vec(),
+            values: values.to_vec(),
+        };
+        Ok(())
+    }
+
+    /// The shared transition-matrix kernel: `P(rate_c · t) = U e^{Λ rate_c t} U⁻¹`
+    /// for every listed matrix buffer, computed in `f64` and narrowed to `T`.
+    pub fn update_transition_matrices(
+        &mut self,
+        eigen_index: usize,
+        matrix_indices: &[usize],
+        branch_lengths: &[f64],
+    ) -> Result<()> {
+        self.check_index("eigen buffer", eigen_index, self.eigens.len())?;
+        self.check_len("branch lengths", branch_lengths.len(), matrix_indices.len())?;
+        let s = self.config.state_count;
+        let eig = self.eigens[eigen_index].clone();
+        if eig.values.len() != s {
+            return Err(BeagleError::InvalidConfiguration(format!(
+                "eigen buffer {eigen_index} has not been set"
+            )));
+        }
+        for (&m, &t) in matrix_indices.iter().zip(branch_lengths) {
+            self.check_index("matrix buffer", m, self.matrices.len())?;
+            let rates = self.category_rates.clone();
+            let mat = &mut self.matrices[m];
+            for (c, &rate) in rates.iter().enumerate() {
+                let exps: Vec<f64> =
+                    eig.values.iter().map(|&l| (l * rate * t).exp()).collect();
+                let block = &mut mat[c * s * s..(c + 1) * s * s];
+                for i in 0..s {
+                    for j in 0..s {
+                        let mut acc = 0.0;
+                        for k in 0..s {
+                            acc += eig.vectors[i * s + k]
+                                * exps[k]
+                                * eig.inverse_vectors[k * s + j];
+                        }
+                        // Round-off can leave tiny negatives; clamp so the
+                        // likelihood kernels only ever see probabilities.
+                        block[i * s + j] = T::from_f64(acc.max(0.0));
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Transition matrices together with their first and second derivatives
+    /// with respect to the branch length — the quantities Newton–Raphson
+    /// branch-length optimizers (GARLI, PhyML) request from BEAGLE:
+    ///
+    /// ```text
+    /// P(r·t)      = U e^{Λ r t} U⁻¹
+    /// dP/dt       = U (rΛ) e^{Λ r t} U⁻¹
+    /// d²P/dt²     = U (rΛ)² e^{Λ r t} U⁻¹
+    /// ```
+    ///
+    /// `d1_indices` / `d2_indices` name the matrix buffers receiving the
+    /// derivatives (same `[category][s][s]` layout as probabilities).
+    pub fn update_transition_derivatives(
+        &mut self,
+        eigen_index: usize,
+        matrix_indices: &[usize],
+        d1_indices: &[usize],
+        d2_indices: &[usize],
+        branch_lengths: &[f64],
+    ) -> Result<()> {
+        self.check_index("eigen buffer", eigen_index, self.eigens.len())?;
+        self.check_len("branch lengths", branch_lengths.len(), matrix_indices.len())?;
+        self.check_len("d1 indices", d1_indices.len(), matrix_indices.len())?;
+        self.check_len("d2 indices", d2_indices.len(), matrix_indices.len())?;
+        let s = self.config.state_count;
+        let eig = self.eigens[eigen_index].clone();
+        if eig.values.len() != s {
+            return Err(BeagleError::InvalidConfiguration(format!(
+                "eigen buffer {eigen_index} has not been set"
+            )));
+        }
+        for (((&m, &d1), &d2), &t) in matrix_indices
+            .iter()
+            .zip(d1_indices)
+            .zip(d2_indices)
+            .zip(branch_lengths)
+        {
+            for idx in [m, d1, d2] {
+                self.check_index("matrix buffer", idx, self.matrices.len())?;
+            }
+            if m == d1 || m == d2 || d1 == d2 {
+                return Err(BeagleError::InvalidConfiguration(
+                    "probability and derivative buffers must be distinct".into(),
+                ));
+            }
+            let rates = self.category_rates.clone();
+            for (c, &rate) in rates.iter().enumerate() {
+                // Spectral weights for the three matrices.
+                let exps: Vec<f64> = eig.values.iter().map(|&l| (l * rate * t).exp()).collect();
+                for (order, target) in [(0u32, m), (1, d1), (2, d2)] {
+                    let block_start = c * s * s;
+                    for i in 0..s {
+                        for j in 0..s {
+                            let mut acc = 0.0;
+                            for k in 0..s {
+                                let w = (rate * eig.values[k]).powi(order as i32);
+                                acc += eig.vectors[i * s + k]
+                                    * w
+                                    * exps[k]
+                                    * eig.inverse_vectors[k * s + j];
+                            }
+                            // Probabilities are clamped; derivatives may be
+                            // legitimately negative.
+                            let v = if order == 0 { acc.max(0.0) } else { acc };
+                            self.matrices[target][block_start + i * s + j] = T::from_f64(v);
+                        }
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Directly set a transition matrix.
+    pub fn set_transition_matrix(&mut self, index: usize, matrix: &[f64]) -> Result<()> {
+        self.check_index("matrix buffer", index, self.matrices.len())?;
+        self.check_len("transition matrix", matrix.len(), self.config.matrix_len())?;
+        self.matrices[index] = narrow_slice(matrix);
+        Ok(())
+    }
+
+    /// Read back a transition matrix.
+    pub fn get_transition_matrix(&self, index: usize) -> Result<Vec<f64>> {
+        self.check_index("matrix buffer", index, self.matrices.len())?;
+        Ok(widen_slice(&self.matrices[index]))
+    }
+
+    /// Zero a cumulative scale buffer.
+    pub fn reset_scale_factors(&mut self, cumulative: usize) -> Result<()> {
+        self.check_index("scale buffer", cumulative, self.scale_buffers.len())?;
+        self.scale_buffers[cumulative].fill(T::ZERO);
+        Ok(())
+    }
+
+    /// `cumulative[p] += Σ_buffers scale[p]` (log-space accumulation).
+    pub fn accumulate_scale_factors(
+        &mut self,
+        scale_indices: &[usize],
+        cumulative: usize,
+    ) -> Result<()> {
+        self.check_index("scale buffer", cumulative, self.scale_buffers.len())?;
+        for &s in scale_indices {
+            self.check_index("scale buffer", s, self.scale_buffers.len())?;
+            if s == cumulative {
+                return Err(BeagleError::InvalidConfiguration(
+                    "cumulative scale buffer listed among its own inputs".into(),
+                ));
+            }
+        }
+        for &sidx in scale_indices {
+            // Split borrow: scale_indices != cumulative was checked above.
+            let (src, dst) = if sidx < cumulative {
+                let (a, b) = self.scale_buffers.split_at_mut(cumulative);
+                (&a[sidx], &mut b[0])
+            } else {
+                let (a, b) = self.scale_buffers.split_at_mut(sidx);
+                (&b[0], &mut a[cumulative])
+            };
+            for (d, &x) in dst.iter_mut().zip(src.iter()) {
+                *d += x;
+            }
+        }
+        Ok(())
+    }
+
+    /// Validate only the index ranges of one operation (no child-existence
+    /// check). Used when a batch is validated up front and earlier
+    /// operations in the same batch will produce later operands.
+    pub fn check_operation_indices(&self, op: &crate::ops::Operation) -> Result<()> {
+        let nb = self.config.partials_buffer_count;
+        self.check_index("partials buffer (destination)", op.destination, nb)?;
+        self.check_index("partials buffer (child1)", op.child1, nb)?;
+        self.check_index("partials buffer (child2)", op.child2, nb)?;
+        self.check_index("matrix buffer", op.child1_matrix, self.matrices.len())?;
+        self.check_index("matrix buffer", op.child2_matrix, self.matrices.len())?;
+        if let Some(s) = op.dest_scale_write {
+            self.check_index("scale buffer", s, self.scale_buffers.len())?;
+        }
+        if op.destination == op.child1 || op.destination == op.child2 {
+            return Err(BeagleError::Unsupported(
+                "in-place partials operations (destination == child)",
+            ));
+        }
+        Ok(())
+    }
+
+    /// Validate the indices of one operation before kernels run.
+    pub fn check_operation(&self, op: &crate::ops::Operation) -> Result<()> {
+        self.check_operation_indices(op)?;
+        for child in [op.child1, op.child2] {
+            if self.partials[child].is_none() && self.tip_states[child].is_none() {
+                return Err(BeagleError::InvalidConfiguration(format!(
+                    "operation reads buffer {child} before it was computed"
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    /// Ensure the destination buffer exists and return the operand views a
+    /// partials kernel needs. The destination is taken out of the arena
+    /// (std::mem::take) so the children can be borrowed simultaneously;
+    /// callers must put it back with [`Self::restore_destination`].
+    pub fn take_destination(&mut self, dest: usize) -> Vec<T> {
+        let len = self.config.partials_len();
+        match self.partials[dest].take() {
+            Some(mut v) => {
+                debug_assert_eq!(v.len(), len);
+                v.iter_mut().for_each(|x| *x = T::ZERO);
+                v
+            }
+            None => vec![T::ZERO; len],
+        }
+    }
+
+    /// Return a destination buffer taken with [`Self::take_destination`].
+    pub fn restore_destination(&mut self, dest: usize, buf: Vec<T>) {
+        self.partials[dest] = Some(buf);
+    }
+
+    /// Operand view for one child: either expanded partials or compact states.
+    pub fn child_operand(&self, buffer: usize) -> ChildOperand<'_, T> {
+        if let Some(p) = &self.partials[buffer] {
+            ChildOperand::Partials(p)
+        } else if let Some(s) = &self.tip_states[buffer] {
+            ChildOperand::States(s)
+        } else {
+            panic!("operand buffer {buffer} not initialized (check_operation missed it)");
+        }
+    }
+}
+
+/// A child buffer as seen by a partials kernel.
+#[derive(Clone, Copy)]
+pub enum ChildOperand<'a, T: Real> {
+    /// Full partials, `[category][pattern][state]`.
+    Partials(&'a [T]),
+    /// Compact observed states per pattern (`GAP_STATE` = missing).
+    States(&'a [u32]),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> InstanceConfig {
+        InstanceConfig::for_tree(4, 10, 4, 2)
+    }
+
+    #[test]
+    fn allocation_sizes() {
+        let b = InstanceBuffers::<f64>::new(cfg()).unwrap();
+        assert_eq!(b.partials.len(), 7);
+        assert_eq!(b.matrices.len(), 7);
+        assert_eq!(b.matrices[0].len(), 2 * 16);
+        assert_eq!(b.scale_buffers.len(), 8);
+    }
+
+    #[test]
+    fn tip_states_validation() {
+        let mut b = InstanceBuffers::<f64>::new(cfg()).unwrap();
+        assert!(b.set_tip_states(0, &[0; 10]).is_ok());
+        assert!(b.set_tip_states(0, &[0; 9]).is_err(), "wrong length");
+        assert!(b.set_tip_states(9, &[0; 10]).is_err(), "not a tip");
+        assert!(b.set_tip_states(0, &[4; 10]).is_err(), "state out of range");
+        assert!(b.set_tip_states(0, &[GAP_STATE; 10]).is_ok(), "gaps allowed");
+    }
+
+    #[test]
+    fn tip_partials_replicate_categories() {
+        let mut b = InstanceBuffers::<f64>::new(cfg()).unwrap();
+        let tp: Vec<f64> = (0..40).map(|x| x as f64).collect();
+        b.set_tip_partials(1, &tp).unwrap();
+        let got = b.get_partials(1).unwrap();
+        assert_eq!(got.len(), 80);
+        assert_eq!(&got[..40], &tp[..]);
+        assert_eq!(&got[40..], &tp[..]);
+    }
+
+    #[test]
+    fn compact_tip_expansion() {
+        let mut b = InstanceBuffers::<f64>::new(cfg()).unwrap();
+        let mut states = vec![2u32; 10];
+        states[3] = GAP_STATE;
+        b.set_tip_states(0, &states).unwrap();
+        let p = b.get_partials(0).unwrap();
+        // Pattern 0, category 0: one-hot on state 2.
+        assert_eq!(&p[0..4], &[0.0, 0.0, 1.0, 0.0]);
+        // Pattern 3: all ones (gap).
+        assert_eq!(&p[12..16], &[1.0, 1.0, 1.0, 1.0]);
+    }
+
+    #[test]
+    fn unwritten_buffer_read_fails() {
+        let b = InstanceBuffers::<f64>::new(cfg()).unwrap();
+        assert!(b.get_partials(5).is_err());
+    }
+
+    #[test]
+    fn transition_matrix_identity_at_zero_branch() {
+        let mut b = InstanceBuffers::<f64>::new(cfg()).unwrap();
+        // JC69 eigen system computed on the fly: use symmetric decomposition
+        // of the JC rate matrix; simplest is to set eigenvectors = identity,
+        // values = 0, which yields P = V * I * V^-1 = identity for any t.
+        let id: Vec<f64> = (0..16).map(|i| if i % 5 == 0 { 1.0 } else { 0.0 }).collect();
+        b.set_eigen_decomposition(0, &id, &id, &[0.0; 4]).unwrap();
+        b.update_transition_matrices(0, &[2], &[0.7]).unwrap();
+        let m = b.get_transition_matrix(2).unwrap();
+        for c in 0..2 {
+            for i in 0..4 {
+                for j in 0..4 {
+                    let expect = if i == j { 1.0 } else { 0.0 };
+                    assert!((m[c * 16 + i * 4 + j] - expect).abs() < 1e-12);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn category_rates_scale_branch_lengths() {
+        let mut b = InstanceBuffers::<f64>::new(cfg()).unwrap();
+        // Eigen system for a two-state-style decay on a 4-state identity
+        // basis: values = -1 on all states → P = e^{-rate*t} I + ...
+        let id: Vec<f64> = (0..16).map(|i| if i % 5 == 0 { 1.0 } else { 0.0 }).collect();
+        b.set_eigen_decomposition(0, &id, &id, &[-1.0; 4]).unwrap();
+        b.set_category_rates(&[1.0, 2.0]).unwrap();
+        b.update_transition_matrices(0, &[0], &[0.5]).unwrap();
+        let m = b.get_transition_matrix(0).unwrap();
+        assert!((m[0] - (-0.5_f64).exp()).abs() < 1e-12, "category 0: e^{{-0.5}}");
+        assert!((m[16] - (-1.0_f64).exp()).abs() < 1e-12, "category 1: e^{{-1.0}}");
+    }
+
+    #[test]
+    fn scale_accumulation() {
+        let mut b = InstanceBuffers::<f64>::new(cfg()).unwrap();
+        b.scale_buffers[0] = vec![1.0; 10];
+        b.scale_buffers[1] = vec![0.5; 10];
+        b.reset_scale_factors(7).unwrap();
+        b.accumulate_scale_factors(&[0, 1], 7).unwrap();
+        assert!(b.scale_buffers[7].iter().all(|&x| (x - 1.5).abs() < 1e-12));
+        // Accumulating again adds on top.
+        b.accumulate_scale_factors(&[0], 7).unwrap();
+        assert!(b.scale_buffers[7].iter().all(|&x| (x - 2.5).abs() < 1e-12));
+        assert!(b.accumulate_scale_factors(&[7], 7).is_err(), "self-accumulation");
+    }
+
+    #[test]
+    fn operation_validation() {
+        use crate::ops::Operation;
+        let mut b = InstanceBuffers::<f64>::new(cfg()).unwrap();
+        b.set_tip_states(0, &[0; 10]).unwrap();
+        b.set_tip_states(1, &[1; 10]).unwrap();
+        let ok = Operation::new(4, 0, 0, 1, 1);
+        assert!(b.check_operation(&ok).is_ok());
+        let bad_dest = Operation::new(99, 0, 0, 1, 1);
+        assert!(b.check_operation(&bad_dest).is_err());
+        let unwritten_child = Operation::new(4, 2, 2, 1, 1);
+        assert!(b.check_operation(&unwritten_child).is_err());
+    }
+}

@@ -1,0 +1,74 @@
+//! Error type for the BEAGLE-RS API.
+//!
+//! The C BEAGLE API signals errors through negative return codes
+//! (`BEAGLE_ERROR_OUT_OF_RANGE`, …); this is the idiomatic Rust rendering.
+
+use std::fmt;
+
+/// Errors returned by API calls and instance creation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum BeagleError {
+    /// An index was outside its buffer/table range.
+    OutOfRange {
+        /// Which kind of index was out of range (e.g. "partials buffer").
+        what: &'static str,
+        /// The offending index.
+        index: usize,
+        /// Number of valid entries.
+        limit: usize,
+    },
+    /// A slice argument had the wrong length.
+    DimensionMismatch {
+        /// What was being set (e.g. "tip partials").
+        what: &'static str,
+        /// Expected length.
+        expected: usize,
+        /// Received length.
+        got: usize,
+    },
+    /// Instance configuration itself is invalid (zero patterns, etc.).
+    InvalidConfiguration(String),
+    /// No registered implementation satisfies the requirement flags.
+    NoImplementationFound,
+    /// The selected implementation does not support the requested feature.
+    Unsupported(&'static str),
+    /// A floating-point failure surfaced (NaN likelihood without scaling, …).
+    NumericalFailure(String),
+}
+
+impl fmt::Display for BeagleError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BeagleError::OutOfRange { what, index, limit } => {
+                write!(f, "{what} index {index} out of range (limit {limit})")
+            }
+            BeagleError::DimensionMismatch { what, expected, got } => {
+                write!(f, "{what} has length {got}, expected {expected}")
+            }
+            BeagleError::InvalidConfiguration(msg) => write!(f, "invalid configuration: {msg}"),
+            BeagleError::NoImplementationFound => {
+                write!(f, "no implementation satisfies the resource requirements")
+            }
+            BeagleError::Unsupported(what) => write!(f, "unsupported operation: {what}"),
+            BeagleError::NumericalFailure(msg) => write!(f, "numerical failure: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for BeagleError {}
+
+/// Convenience alias used across all BEAGLE-RS crates.
+pub type Result<T> = std::result::Result<T, BeagleError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats() {
+        let e = BeagleError::OutOfRange { what: "partials buffer", index: 9, limit: 4 };
+        assert!(e.to_string().contains("partials buffer index 9"));
+        let e = BeagleError::DimensionMismatch { what: "weights", expected: 10, got: 3 };
+        assert!(e.to_string().contains("length 3, expected 10"));
+    }
+}

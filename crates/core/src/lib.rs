@@ -1,0 +1,50 @@
+//! # beagle-core
+//!
+//! The core of BEAGLE-RS: a uniform application programming interface for
+//! high-performance calculation of phylogenetic likelihoods, plus the
+//! implementation-management layer that routes API calls to whichever
+//! back-end (serial CPU, vectorized CPU, threaded CPU, simulated
+//! CUDA / OpenCL accelerator) best matches the client's requirements.
+//!
+//! Mirrors the architecture of the BEAGLE library (Ayres et al. 2012; Ayres &
+//! Cummings, ICPP 2017): the API deliberately has **no tree data structure**
+//! — clients drive flexibly indexed partials/matrix/scale buffers with flat
+//! operation lists, which keeps data transfer minimal and lets each back-end
+//! parallelize as it sees fit.
+//!
+//! * [`api`] — the [`api::BeagleInstance`] trait and instance configuration
+//! * [`ops`] — partial-likelihood operation descriptors + dependency analysis
+//! * [`flags`] — capability/preference/requirement bitmask
+//! * [`buffers`] — the shared buffer arena CPU back-ends build on
+//! * [`manager`] — plugin registry and implementation selection
+//! * [`resource`] — hardware resource descriptions
+//! * [`real`] — the `f32`/`f64` precision abstraction
+
+
+// Likelihood kernels and small numeric routines are written with explicit
+// index loops on purpose: the loop structure mirrors the work-item/work-group
+// decomposition the paper describes, and that clarity outweighs iterator style.
+#![allow(clippy::needless_range_loop)]
+
+pub mod api;
+pub mod buffers;
+pub mod error;
+pub mod flags;
+pub mod manager;
+pub mod multi;
+pub mod ops;
+pub mod real;
+pub mod resource;
+
+pub use api::{BeagleInstance, InstanceConfig, InstanceDetails};
+pub use error::{BeagleError, Result};
+pub use flags::Flags;
+pub use manager::{ImplementationFactory, ImplementationManager};
+pub use multi::PartitionedInstance;
+pub use ops::Operation;
+pub use real::Real;
+pub use resource::ResourceDescription;
+
+/// Sentinel state value meaning "missing data / gap" in compact tip storage.
+/// Kernels treat it as partial likelihood 1 for every state.
+pub const GAP_STATE: u32 = u32::MAX;

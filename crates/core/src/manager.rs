@@ -1,0 +1,329 @@
+//! Implementation management: the plugin registry and resource selection.
+//!
+//! BEAGLE's implementation-management layer "loads the available
+//! implementations, makes them available to the client program, and passes
+//! API commands to the selected implementation". In BEAGLE-RS the same role
+//! is played by [`ImplementationManager`]: back-end crates register
+//! [`ImplementationFactory`] plugins; `create_instance` filters them by the
+//! client's *requirement* flags and ranks the survivors by how many
+//! *preference* flags they satisfy (ties broken by registration priority,
+//! mirroring BEAGLE's resource ordering).
+
+use crate::api::{BeagleInstance, InstanceConfig};
+use crate::error::{BeagleError, Result};
+use crate::flags::Flags;
+use crate::resource::ResourceDescription;
+
+/// A plugin that can construct instances on one resource.
+pub trait ImplementationFactory: Send + Sync {
+    /// Implementation name (e.g. `"CPU-threadpool"`, `"OpenCL-GPU"`).
+    fn name(&self) -> &str;
+
+    /// Capability flags instances from this factory can honour.
+    fn supported_flags(&self) -> Flags;
+
+    /// The hardware resource this factory runs on.
+    fn resource(&self) -> ResourceDescription;
+
+    /// Priority among factories with equal preference scores; higher wins.
+    /// (BEAGLE orders GPUs before CPUs by default.)
+    fn priority(&self) -> i32 {
+        0
+    }
+
+    /// Whether a given configuration is supported (e.g. a nucleotide-only
+    /// vectorized kernel refuses 61 states).
+    fn supports_config(&self, config: &InstanceConfig) -> bool {
+        config.validate().is_ok()
+    }
+
+    /// Build an instance.
+    fn create(
+        &self,
+        config: &InstanceConfig,
+        preference_flags: Flags,
+        requirement_flags: Flags,
+    ) -> Result<Box<dyn BeagleInstance>>;
+}
+
+/// The registry of available implementations.
+#[derive(Default)]
+pub struct ImplementationManager {
+    factories: Vec<Box<dyn ImplementationFactory>>,
+}
+
+impl ImplementationManager {
+    /// An empty manager; back-end crates add their factories via
+    /// [`Self::register`].
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register a factory (a "plugin" in BEAGLE's terms).
+    pub fn register(&mut self, factory: Box<dyn ImplementationFactory>) {
+        self.factories.push(factory);
+    }
+
+    /// Number of registered factories.
+    pub fn factory_count(&self) -> usize {
+        self.factories.len()
+    }
+
+    /// The resource list, one entry per registered factory.
+    pub fn resource_list(&self) -> Vec<ResourceDescription> {
+        self.factories.iter().map(|f| f.resource()).collect()
+    }
+
+    /// Names of all registered implementations.
+    pub fn implementation_names(&self) -> Vec<String> {
+        self.factories.iter().map(|f| f.name().to_string()).collect()
+    }
+
+    /// Find the best implementation for `config` given requirements and
+    /// preferences, and create an instance of it.
+    ///
+    /// Selection: a factory is *eligible* if its supported flags contain
+    /// every requirement bit and it supports the configuration. Among
+    /// eligible factories, the one satisfying the most preference bits wins;
+    /// ties go to the higher `priority()`.
+    pub fn create_instance(
+        &self,
+        config: &InstanceConfig,
+        preference_flags: Flags,
+        requirement_flags: Flags,
+    ) -> Result<Box<dyn BeagleInstance>> {
+        config.validate()?;
+        let mut best: Option<(&dyn ImplementationFactory, u32)> = None;
+        for f in &self.factories {
+            if !f.supported_flags().contains(requirement_flags) {
+                continue;
+            }
+            if !f.supports_config(config) {
+                continue;
+            }
+            let score = (f.supported_flags() & preference_flags).bit_count();
+            let better = match best {
+                None => true,
+                Some((b, bs)) => {
+                    score > bs || (score == bs && f.priority() > b.priority())
+                }
+            };
+            if better {
+                best = Some((f.as_ref(), score));
+            }
+        }
+        let (factory, _) = best.ok_or(BeagleError::NoImplementationFound)?;
+        factory.create(config, preference_flags, requirement_flags)
+    }
+
+    /// Create an instance of the implementation with exactly this name
+    /// (names are unique per registry). Used by the benchmark harness to pin
+    /// a specific implementation regardless of flag-based ranking.
+    pub fn create_instance_by_name(
+        &self,
+        name: &str,
+        config: &InstanceConfig,
+        preference_flags: Flags,
+    ) -> Result<Box<dyn BeagleInstance>> {
+        config.validate()?;
+        let factory = self
+            .factories
+            .iter()
+            .find(|f| f.name() == name)
+            .ok_or(BeagleError::NoImplementationFound)?;
+        if !factory.supports_config(config) {
+            return Err(BeagleError::Unsupported("configuration for this implementation"));
+        }
+        factory.create(config, preference_flags, Flags::NONE)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::api::InstanceDetails;
+    use crate::ops::Operation;
+
+    /// A do-nothing instance for manager tests.
+    struct NullInstance {
+        details: InstanceDetails,
+        config: InstanceConfig,
+    }
+
+    impl BeagleInstance for NullInstance {
+        fn details(&self) -> &InstanceDetails {
+            &self.details
+        }
+        fn config(&self) -> &InstanceConfig {
+            &self.config
+        }
+        fn set_tip_states(&mut self, _: usize, _: &[u32]) -> Result<()> {
+            Ok(())
+        }
+        fn set_tip_partials(&mut self, _: usize, _: &[f64]) -> Result<()> {
+            Ok(())
+        }
+        fn set_partials(&mut self, _: usize, _: &[f64]) -> Result<()> {
+            Ok(())
+        }
+        fn get_partials(&self, _: usize) -> Result<Vec<f64>> {
+            Ok(vec![])
+        }
+        fn set_pattern_weights(&mut self, _: &[f64]) -> Result<()> {
+            Ok(())
+        }
+        fn set_state_frequencies(&mut self, _: usize, _: &[f64]) -> Result<()> {
+            Ok(())
+        }
+        fn set_category_rates(&mut self, _: &[f64]) -> Result<()> {
+            Ok(())
+        }
+        fn set_category_weights(&mut self, _: usize, _: &[f64]) -> Result<()> {
+            Ok(())
+        }
+        fn set_eigen_decomposition(
+            &mut self,
+            _: usize,
+            _: &[f64],
+            _: &[f64],
+            _: &[f64],
+        ) -> Result<()> {
+            Ok(())
+        }
+        fn update_transition_matrices(
+            &mut self,
+            _: usize,
+            _: &[usize],
+            _: &[f64],
+        ) -> Result<()> {
+            Ok(())
+        }
+        fn set_transition_matrix(&mut self, _: usize, _: &[f64]) -> Result<()> {
+            Ok(())
+        }
+        fn get_transition_matrix(&self, _: usize) -> Result<Vec<f64>> {
+            Ok(vec![])
+        }
+        fn update_partials(&mut self, _: &[Operation]) -> Result<()> {
+            Ok(())
+        }
+        fn reset_scale_factors(&mut self, _: usize) -> Result<()> {
+            Ok(())
+        }
+        fn accumulate_scale_factors(&mut self, _: &[usize], _: usize) -> Result<()> {
+            Ok(())
+        }
+        fn calculate_root_log_likelihoods(
+            &mut self,
+            _: usize,
+            _: usize,
+            _: usize,
+            _: Option<usize>,
+        ) -> Result<f64> {
+            Ok(0.0)
+        }
+        fn calculate_edge_log_likelihoods(
+            &mut self,
+            _: usize,
+            _: usize,
+            _: usize,
+            _: usize,
+            _: usize,
+            _: Option<usize>,
+        ) -> Result<f64> {
+            Ok(0.0)
+        }
+        fn get_site_log_likelihoods(&self) -> Result<Vec<f64>> {
+            Ok(vec![])
+        }
+    }
+
+    struct NullFactory {
+        name: &'static str,
+        flags: Flags,
+        priority: i32,
+    }
+
+    impl ImplementationFactory for NullFactory {
+        fn name(&self) -> &str {
+            self.name
+        }
+        fn supported_flags(&self) -> Flags {
+            self.flags
+        }
+        fn resource(&self) -> ResourceDescription {
+            ResourceDescription::host_cpu(1)
+        }
+        fn priority(&self) -> i32 {
+            self.priority
+        }
+        fn create(
+            &self,
+            config: &InstanceConfig,
+            _prefs: Flags,
+            _reqs: Flags,
+        ) -> Result<Box<dyn BeagleInstance>> {
+            Ok(Box::new(NullInstance {
+                details: InstanceDetails {
+                    implementation_name: self.name.into(),
+                    resource_name: "null".into(),
+                    flags: self.flags,
+                    thread_count: 1,
+                },
+                config: *config,
+            }))
+        }
+    }
+
+    fn cfg() -> InstanceConfig {
+        InstanceConfig::for_tree(4, 100, 4, 1)
+    }
+
+    #[test]
+    fn requirements_filter() {
+        let mut m = ImplementationManager::new();
+        m.register(Box::new(NullFactory {
+            name: "cpu",
+            flags: Flags::PROCESSOR_CPU | Flags::PRECISION_DOUBLE,
+            priority: 0,
+        }));
+        let inst = m
+            .create_instance(&cfg(), Flags::NONE, Flags::PROCESSOR_CPU)
+            .unwrap();
+        assert_eq!(inst.details().implementation_name, "cpu");
+        let err = m.create_instance(&cfg(), Flags::NONE, Flags::PROCESSOR_GPU);
+        assert!(matches!(err, Err(BeagleError::NoImplementationFound)));
+    }
+
+    #[test]
+    fn preferences_rank() {
+        let mut m = ImplementationManager::new();
+        m.register(Box::new(NullFactory {
+            name: "plain",
+            flags: Flags::PROCESSOR_CPU,
+            priority: 5,
+        }));
+        m.register(Box::new(NullFactory {
+            name: "vectorized",
+            flags: Flags::PROCESSOR_CPU | Flags::VECTOR_SSE,
+            priority: 0,
+        }));
+        // Preferring SSE should beat the higher-priority plain factory.
+        let inst = m
+            .create_instance(&cfg(), Flags::VECTOR_SSE, Flags::NONE)
+            .unwrap();
+        assert_eq!(inst.details().implementation_name, "vectorized");
+        // No preference: priority decides.
+        let inst = m.create_instance(&cfg(), Flags::NONE, Flags::NONE).unwrap();
+        assert_eq!(inst.details().implementation_name, "plain");
+    }
+
+    #[test]
+    fn empty_manager_errors() {
+        let m = ImplementationManager::new();
+        assert!(matches!(
+            m.create_instance(&cfg(), Flags::NONE, Flags::NONE),
+            Err(BeagleError::NoImplementationFound)
+        ));
+    }
+}

@@ -1,0 +1,402 @@
+//! Multi-device computation: one logical instance over several back-ends.
+//!
+//! The paper's conclusion describes this as the next step: "the improvements
+//! described in this paper also allow users to execute in parallel on
+//! multiple devices within a system, [but] this requires the client program
+//! to partition the problem across site patterns and create a separate
+//! library instance for each hardware device. We plan to further develop
+//! BEAGLE so that computation can be dynamically load balanced across
+//! multiple devices from within a single library instance."
+//!
+//! [`PartitionedInstance`] implements that plan: it owns one child instance
+//! per device, splits the pattern range across them (optionally weighted by
+//! per-device throughput), fans every API call out, runs `update_partials`
+//! on all children *concurrently* (scoped threads — each child computes its
+//! pattern slice on its own hardware), and reduces root/edge likelihoods by
+//! summation. It implements [`BeagleInstance`] itself, so client code is
+//! unchanged.
+
+use crate::api::{BeagleInstance, InstanceConfig, InstanceDetails};
+use crate::error::{BeagleError, Result};
+use crate::flags::Flags;
+use crate::manager::ImplementationManager;
+use crate::ops::Operation;
+
+/// One logical BEAGLE instance spread across several devices.
+pub struct PartitionedInstance {
+    parts: Vec<Box<dyn BeagleInstance>>,
+    /// Pattern range `[start, end)` of each part, contiguous and covering
+    /// the full pattern count.
+    ranges: Vec<(usize, usize)>,
+    config: InstanceConfig,
+    details: InstanceDetails,
+    /// Concatenated site log-likelihoods from the last integration.
+    site_lnl: Vec<f64>,
+}
+
+/// Split `patterns` into contiguous ranges proportional to `weights`
+/// (e.g. per-device GFLOPS). Every range is non-empty; weights must be
+/// positive and at most `patterns` long.
+pub fn weighted_ranges(patterns: usize, weights: &[f64]) -> Vec<(usize, usize)> {
+    assert!(!weights.is_empty());
+    assert!(weights.iter().all(|&w| w > 0.0), "weights must be positive");
+    assert!(weights.len() <= patterns, "more devices than patterns");
+    let total: f64 = weights.iter().sum();
+    let mut ranges = Vec::with_capacity(weights.len());
+    let mut start = 0usize;
+    let mut acc = 0.0;
+    for (i, &w) in weights.iter().enumerate() {
+        acc += w;
+        let mut end = ((acc / total) * patterns as f64).round() as usize;
+        if i == weights.len() - 1 {
+            end = patterns;
+        }
+        // Guarantee at least one pattern per part and monotone ends.
+        end = end.clamp(start + 1, patterns - (weights.len() - 1 - i));
+        ranges.push((start, end));
+        start = end;
+    }
+    ranges
+}
+
+impl PartitionedInstance {
+    /// Create a partitioned instance: one child per entry of `devices`,
+    /// where each entry is the (preference, requirement) flag pair used to
+    /// select that child's implementation, and `weights[i]` is its share of
+    /// the pattern range (use per-device peak GFLOPS, or measured
+    /// throughput from a calibration run).
+    pub fn create(
+        manager: &ImplementationManager,
+        config: &InstanceConfig,
+        devices: &[(Flags, Flags)],
+        weights: &[f64],
+    ) -> Result<Self> {
+        config.validate()?;
+        if devices.is_empty() || devices.len() != weights.len() {
+            return Err(BeagleError::InvalidConfiguration(
+                "need one positive weight per device".into(),
+            ));
+        }
+        let ranges = weighted_ranges(config.pattern_count, weights);
+        let mut parts = Vec::with_capacity(devices.len());
+        for (&(prefs, reqs), &(p0, p1)) in devices.iter().zip(&ranges) {
+            let mut sub = *config;
+            sub.pattern_count = p1 - p0;
+            parts.push(manager.create_instance(&sub, prefs, reqs)?);
+        }
+        Ok(Self::from_parts(parts, ranges, *config))
+    }
+
+    /// Assemble from already-created children (one per pattern range).
+    pub fn from_parts(
+        parts: Vec<Box<dyn BeagleInstance>>,
+        ranges: Vec<(usize, usize)>,
+        config: InstanceConfig,
+    ) -> Self {
+        assert_eq!(parts.len(), ranges.len());
+        assert_eq!(ranges.first().map(|r| r.0), Some(0));
+        assert_eq!(ranges.last().map(|r| r.1), Some(config.pattern_count));
+        for (part, &(p0, p1)) in parts.iter().zip(&ranges) {
+            assert_eq!(part.config().pattern_count, p1 - p0, "child sized to its range");
+        }
+        let names: Vec<&str> = parts
+            .iter()
+            .map(|p| p.details().implementation_name.as_str())
+            .collect();
+        let details = InstanceDetails {
+            implementation_name: format!("Partitioned[{}]", names.join(" + ")),
+            resource_name: format!("{} devices", parts.len()),
+            flags: parts
+                .iter()
+                .fold(Flags::NONE, |acc, p| acc | p.details().flags),
+            thread_count: parts.iter().map(|p| p.details().thread_count).sum(),
+        };
+        let site_lnl = vec![0.0; config.pattern_count];
+        Self { parts, ranges, config, details, site_lnl }
+    }
+
+    /// Number of child devices.
+    pub fn device_count(&self) -> usize {
+        self.parts.len()
+    }
+
+    /// The pattern range assigned to child `i`.
+    pub fn range(&self, i: usize) -> (usize, usize) {
+        self.ranges[i]
+    }
+
+    /// Borrow child `i` (for inspection in tests/diagnostics).
+    pub fn part(&self, i: usize) -> &dyn BeagleInstance {
+        self.parts[i].as_ref()
+    }
+
+    /// Extract child `i`'s `[category][pattern][state]` sub-buffer from a
+    /// full-problem buffer with `per_pattern` values per pattern.
+    fn slice_blocked(&self, i: usize, data: &[f64], per_pattern: usize, categories: usize) -> Vec<f64> {
+        let (p0, p1) = self.ranges[i];
+        let n_pat = self.config.pattern_count;
+        let mut out = Vec::with_capacity(categories * (p1 - p0) * per_pattern);
+        for c in 0..categories {
+            let base = (c * n_pat + p0) * per_pattern;
+            out.extend_from_slice(&data[base..base + (p1 - p0) * per_pattern]);
+        }
+        out
+    }
+
+    /// Run a fallible per-part call on every child.
+    fn for_each(
+        &mut self,
+        mut f: impl FnMut(usize, &mut dyn BeagleInstance) -> Result<()>,
+    ) -> Result<()> {
+        for (i, part) in self.parts.iter_mut().enumerate() {
+            f(i, part.as_mut())?;
+        }
+        Ok(())
+    }
+}
+
+impl BeagleInstance for PartitionedInstance {
+    fn details(&self) -> &InstanceDetails {
+        &self.details
+    }
+
+    fn config(&self) -> &InstanceConfig {
+        &self.config
+    }
+
+    fn set_tip_states(&mut self, tip: usize, states: &[u32]) -> Result<()> {
+        if states.len() != self.config.pattern_count {
+            return Err(BeagleError::DimensionMismatch {
+                what: "tip states",
+                expected: self.config.pattern_count,
+                got: states.len(),
+            });
+        }
+        let ranges = self.ranges.clone();
+        self.for_each(|i, part| part.set_tip_states(tip, &states[ranges[i].0..ranges[i].1]))
+    }
+
+    fn set_tip_partials(&mut self, tip: usize, partials: &[f64]) -> Result<()> {
+        let per = self.config.state_count;
+        if partials.len() != self.config.pattern_count * per {
+            return Err(BeagleError::DimensionMismatch {
+                what: "tip partials",
+                expected: self.config.pattern_count * per,
+                got: partials.len(),
+            });
+        }
+        let ranges = self.ranges.clone();
+        self.for_each(|i, part| {
+            let (p0, p1) = ranges[i];
+            part.set_tip_partials(tip, &partials[p0 * per..p1 * per])
+        })
+    }
+
+    fn set_partials(&mut self, buffer: usize, partials: &[f64]) -> Result<()> {
+        if partials.len() != self.config.partials_len() {
+            return Err(BeagleError::DimensionMismatch {
+                what: "partials",
+                expected: self.config.partials_len(),
+                got: partials.len(),
+            });
+        }
+        let chunks: Vec<Vec<f64>> = (0..self.parts.len())
+            .map(|i| self.slice_blocked(i, partials, self.config.state_count, self.config.category_count))
+            .collect();
+        self.for_each(|i, part| part.set_partials(buffer, &chunks[i]))
+    }
+
+    fn get_partials(&self, buffer: usize) -> Result<Vec<f64>> {
+        // Re-interleave children's [cat][pattern][state] blocks.
+        let s = self.config.state_count;
+        let n_pat = self.config.pattern_count;
+        let n_cat = self.config.category_count;
+        let mut out = vec![0.0; self.config.partials_len()];
+        for (i, part) in self.parts.iter().enumerate() {
+            let sub = part.get_partials(buffer)?;
+            let (p0, p1) = self.ranges[i];
+            let width = (p1 - p0) * s;
+            for c in 0..n_cat {
+                let dst = (c * n_pat + p0) * s;
+                out[dst..dst + width].copy_from_slice(&sub[c * width..(c + 1) * width]);
+            }
+        }
+        Ok(out)
+    }
+
+    fn set_pattern_weights(&mut self, weights: &[f64]) -> Result<()> {
+        if weights.len() != self.config.pattern_count {
+            return Err(BeagleError::DimensionMismatch {
+                what: "pattern weights",
+                expected: self.config.pattern_count,
+                got: weights.len(),
+            });
+        }
+        let ranges = self.ranges.clone();
+        self.for_each(|i, part| part.set_pattern_weights(&weights[ranges[i].0..ranges[i].1]))
+    }
+
+    fn set_state_frequencies(&mut self, index: usize, frequencies: &[f64]) -> Result<()> {
+        self.for_each(|_, part| part.set_state_frequencies(index, frequencies))
+    }
+
+    fn set_category_rates(&mut self, rates: &[f64]) -> Result<()> {
+        self.for_each(|_, part| part.set_category_rates(rates))
+    }
+
+    fn set_category_weights(&mut self, index: usize, weights: &[f64]) -> Result<()> {
+        self.for_each(|_, part| part.set_category_weights(index, weights))
+    }
+
+    fn set_eigen_decomposition(
+        &mut self,
+        index: usize,
+        vectors: &[f64],
+        inverse_vectors: &[f64],
+        values: &[f64],
+    ) -> Result<()> {
+        self.for_each(|_, part| {
+            part.set_eigen_decomposition(index, vectors, inverse_vectors, values)
+        })
+    }
+
+    fn update_transition_matrices(
+        &mut self,
+        eigen_index: usize,
+        matrix_indices: &[usize],
+        branch_lengths: &[f64],
+    ) -> Result<()> {
+        self.for_each(|_, part| {
+            part.update_transition_matrices(eigen_index, matrix_indices, branch_lengths)
+        })
+    }
+
+    fn set_transition_matrix(&mut self, index: usize, matrix: &[f64]) -> Result<()> {
+        self.for_each(|_, part| part.set_transition_matrix(index, matrix))
+    }
+
+    fn get_transition_matrix(&self, index: usize) -> Result<Vec<f64>> {
+        self.parts[0].get_transition_matrix(index)
+    }
+
+    fn update_partials(&mut self, operations: &[Operation]) -> Result<()> {
+        // The payoff: every device computes its pattern slice concurrently.
+        let mut results: Vec<Result<()>> = Vec::new();
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = self
+                .parts
+                .iter_mut()
+                .map(|part| scope.spawn(move || part.update_partials(operations)))
+                .collect();
+            results = handles.into_iter().map(|h| h.join().expect("no panics")).collect();
+        });
+        results.into_iter().collect()
+    }
+
+    fn reset_scale_factors(&mut self, cumulative: usize) -> Result<()> {
+        self.for_each(|_, part| part.reset_scale_factors(cumulative))
+    }
+
+    fn accumulate_scale_factors(
+        &mut self,
+        scale_indices: &[usize],
+        cumulative: usize,
+    ) -> Result<()> {
+        self.for_each(|_, part| part.accumulate_scale_factors(scale_indices, cumulative))
+    }
+
+    fn calculate_root_log_likelihoods(
+        &mut self,
+        root_buffer: usize,
+        category_weights_index: usize,
+        frequencies_index: usize,
+        cumulative_scale: Option<usize>,
+    ) -> Result<f64> {
+        let mut total = 0.0;
+        for (i, part) in self.parts.iter_mut().enumerate() {
+            total += part.calculate_root_log_likelihoods(
+                root_buffer,
+                category_weights_index,
+                frequencies_index,
+                cumulative_scale,
+            )?;
+            let (p0, p1) = self.ranges[i];
+            self.site_lnl[p0..p1].copy_from_slice(&part.get_site_log_likelihoods()?);
+        }
+        Ok(total)
+    }
+
+    fn calculate_edge_log_likelihoods(
+        &mut self,
+        parent_buffer: usize,
+        child_buffer: usize,
+        matrix_index: usize,
+        category_weights_index: usize,
+        frequencies_index: usize,
+        cumulative_scale: Option<usize>,
+    ) -> Result<f64> {
+        let mut total = 0.0;
+        for (i, part) in self.parts.iter_mut().enumerate() {
+            total += part.calculate_edge_log_likelihoods(
+                parent_buffer,
+                child_buffer,
+                matrix_index,
+                category_weights_index,
+                frequencies_index,
+                cumulative_scale,
+            )?;
+            let (p0, p1) = self.ranges[i];
+            self.site_lnl[p0..p1].copy_from_slice(&part.get_site_log_likelihoods()?);
+        }
+        Ok(total)
+    }
+
+    fn get_site_log_likelihoods(&self) -> Result<Vec<f64>> {
+        Ok(self.site_lnl.clone())
+    }
+
+    fn simulated_time(&self) -> Option<std::time::Duration> {
+        // Devices run concurrently: the logical device time is the maximum
+        // over children — defined only when every child is simulated.
+        self.parts
+            .iter()
+            .map(|p| p.simulated_time())
+            .try_fold(std::time::Duration::ZERO, |acc, t| t.map(|t| acc.max(t)))
+    }
+
+    fn reset_simulated_time(&mut self) {
+        for p in &mut self.parts {
+            p.reset_simulated_time();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn weighted_ranges_cover_and_respect_weights() {
+        let r = weighted_ranges(1000, &[1.0, 3.0]);
+        assert_eq!(r, vec![(0, 250), (250, 1000)]);
+        let r = weighted_ranges(10, &[1.0, 1.0, 1.0]);
+        assert_eq!(r.first().unwrap().0, 0);
+        assert_eq!(r.last().unwrap().1, 10);
+        let covered: usize = r.iter().map(|(a, b)| b - a).sum();
+        assert_eq!(covered, 10);
+    }
+
+    #[test]
+    fn every_part_gets_at_least_one_pattern() {
+        // Extreme weights must not starve a device.
+        let r = weighted_ranges(10, &[1e-6, 1.0, 1e-6]);
+        assert!(r.iter().all(|(a, b)| b > a), "{r:?}");
+        assert_eq!(r.last().unwrap().1, 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "more devices than patterns")]
+    fn too_many_devices_rejected() {
+        weighted_ranges(2, &[1.0, 1.0, 1.0]);
+    }
+}

@@ -1,0 +1,126 @@
+//! Partial-likelihood operation descriptors.
+//!
+//! `update_partials` takes a list of these, in an order the client guarantees
+//! to be dependency-safe (children before parents — i.e. post-order). The
+//! threading back-ends additionally analyse the list for operations that are
+//! *independent* of each other and may run concurrently (the paper's
+//! "futures" model).
+
+/// One partial-likelihoods evaluation:
+/// `partials[destination] = (M[matrix1] · partials[child1]) ⊙ (M[matrix2] · partials[child2])`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Operation {
+    /// Partials buffer written.
+    pub destination: usize,
+    /// If `Some(s)`, rescale the freshly computed partials and write the
+    /// per-pattern log scale factors to scale buffer `s`.
+    pub dest_scale_write: Option<usize>,
+    /// First child partials buffer (may be a compact tip-state buffer).
+    pub child1: usize,
+    /// Transition matrix for the child-1 branch.
+    pub child1_matrix: usize,
+    /// Second child partials buffer.
+    pub child2: usize,
+    /// Transition matrix for the child-2 branch.
+    pub child2_matrix: usize,
+}
+
+impl Operation {
+    /// Convenience constructor for the common unscaled case.
+    pub fn new(
+        destination: usize,
+        child1: usize,
+        child1_matrix: usize,
+        child2: usize,
+        child2_matrix: usize,
+    ) -> Self {
+        Self {
+            destination,
+            dest_scale_write: None,
+            child1,
+            child1_matrix,
+            child2,
+            child2_matrix,
+        }
+    }
+
+    /// Enable rescaling into scale buffer `s`.
+    pub fn with_scaling(mut self, s: usize) -> Self {
+        self.dest_scale_write = Some(s);
+        self
+    }
+}
+
+/// Group a dependency-ordered operation list into *levels*: all operations in
+/// one level are mutually independent (none reads another's destination) and
+/// depend only on earlier levels. This is the concurrency structure the
+/// futures threading model exploits.
+pub fn dependency_levels(operations: &[Operation]) -> Vec<Vec<Operation>> {
+    use std::collections::HashMap;
+    // level_of[buffer] = earliest level at which the buffer's value is ready.
+    let mut level_of: HashMap<usize, usize> = HashMap::new();
+    let mut levels: Vec<Vec<Operation>> = Vec::new();
+    for &op in operations {
+        let dep = |b: &usize| level_of.get(b).map(|&l| l + 1).unwrap_or(0);
+        let level = dep(&op.child1).max(dep(&op.child2));
+        if level == levels.len() {
+            levels.push(Vec::new());
+        }
+        levels[level].push(op);
+        level_of.insert(op.destination, level);
+    }
+    levels
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn op(dest: usize, c1: usize, c2: usize) -> Operation {
+        Operation::new(dest, c1, c1, c2, c2)
+    }
+
+    #[test]
+    fn independent_ops_share_a_level() {
+        // Two cherries feeding a root: ops (4 <- 0,1), (5 <- 2,3), (6 <- 4,5)
+        let levels = dependency_levels(&[op(4, 0, 1), op(5, 2, 3), op(6, 4, 5)]);
+        assert_eq!(levels.len(), 2);
+        assert_eq!(levels[0].len(), 2);
+        assert_eq!(levels[1].len(), 1);
+        assert_eq!(levels[1][0].destination, 6);
+    }
+
+    #[test]
+    fn ladder_is_fully_sequential() {
+        // Caterpillar: each op depends on the previous destination.
+        let ops = [op(5, 0, 1), op(6, 5, 2), op(7, 6, 3), op(8, 7, 4)];
+        let levels = dependency_levels(&ops);
+        assert_eq!(levels.len(), 4);
+        assert!(levels.iter().all(|l| l.len() == 1));
+    }
+
+    #[test]
+    fn balanced_tree_has_log_depth() {
+        // 8 tips (0..8), internals 8..15 in post-order by pairs.
+        let ops = [
+            op(8, 0, 1),
+            op(9, 2, 3),
+            op(10, 4, 5),
+            op(11, 6, 7),
+            op(12, 8, 9),
+            op(13, 10, 11),
+            op(14, 12, 13),
+        ];
+        let levels = dependency_levels(&ops);
+        assert_eq!(levels.len(), 3);
+        assert_eq!(levels[0].len(), 4);
+        assert_eq!(levels[1].len(), 2);
+        assert_eq!(levels[2].len(), 1);
+    }
+
+    #[test]
+    fn scaling_builder() {
+        let o = Operation::new(3, 0, 0, 1, 1).with_scaling(7);
+        assert_eq!(o.dest_scale_write, Some(7));
+    }
+}

@@ -1,0 +1,151 @@
+//! Floating-point abstraction over the two precision modes.
+//!
+//! BEAGLE generates separate single- and double-precision kernels from one
+//! source (via scripts at build time); in Rust the same effect is a generic
+//! parameter bounded by this trait. Only the operations the kernels actually
+//! need are included, so the bound stays small and everything inlines.
+
+use std::fmt::{Debug, Display};
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, DivAssign, Mul, MulAssign, Neg, Sub};
+
+/// A kernel-grade floating-point type: `f32` or `f64`.
+pub trait Real:
+    Copy
+    + Send
+    + Sync
+    + 'static
+    + PartialOrd
+    + Debug
+    + Display
+    + Default
+    + Add<Output = Self>
+    + AddAssign
+    + Sub<Output = Self>
+    + Mul<Output = Self>
+    + MulAssign
+    + Div<Output = Self>
+    + DivAssign
+    + Neg<Output = Self>
+    + Sum
+{
+    /// Additive identity.
+    const ZERO: Self;
+    /// Multiplicative identity.
+    const ONE: Self;
+    /// Smallest positive normal value (used by rescaling thresholds).
+    const MIN_POSITIVE: Self;
+
+    /// Convert from `f64` (possibly losing precision).
+    fn from_f64(x: f64) -> Self;
+    /// Widen to `f64`.
+    fn to_f64(self) -> f64;
+    /// `e^self`.
+    fn exp(self) -> Self;
+    /// Natural logarithm.
+    fn ln(self) -> Self;
+    /// Fused multiply-add `self * a + b`. On hardware with FMA units this is
+    /// a single instruction; the accelerator model's FMA fast path maps here.
+    fn mul_add(self, a: Self, b: Self) -> Self;
+    /// Larger of two values.
+    fn max(self, other: Self) -> Self;
+    /// Absolute value.
+    fn abs(self) -> Self;
+    /// True for NaN or infinity.
+    fn is_bad(self) -> bool;
+}
+
+macro_rules! impl_real {
+    ($t:ty) => {
+        impl Real for $t {
+            const ZERO: Self = 0.0;
+            const ONE: Self = 1.0;
+            const MIN_POSITIVE: Self = <$t>::MIN_POSITIVE;
+
+            #[inline(always)]
+            fn from_f64(x: f64) -> Self {
+                x as $t
+            }
+            #[inline(always)]
+            fn to_f64(self) -> f64 {
+                self as f64
+            }
+            #[inline(always)]
+            fn exp(self) -> Self {
+                self.exp()
+            }
+            #[inline(always)]
+            fn ln(self) -> Self {
+                self.ln()
+            }
+            #[inline(always)]
+            fn mul_add(self, a: Self, b: Self) -> Self {
+                self.mul_add(a, b)
+            }
+            #[inline(always)]
+            fn max(self, other: Self) -> Self {
+                if self > other {
+                    self
+                } else {
+                    other
+                }
+            }
+            #[inline(always)]
+            fn abs(self) -> Self {
+                self.abs()
+            }
+            #[inline(always)]
+            fn is_bad(self) -> bool {
+                !self.is_finite()
+            }
+        }
+    };
+}
+
+impl_real!(f32);
+impl_real!(f64);
+
+/// Convert an `f64` slice into precision `T` (allocating).
+pub fn narrow_slice<T: Real>(xs: &[f64]) -> Vec<T> {
+    xs.iter().map(|&x| T::from_f64(x)).collect()
+}
+
+/// Convert a `T` slice back to `f64` (allocating).
+pub fn widen_slice<T: Real>(xs: &[T]) -> Vec<f64> {
+    xs.iter().map(|x| x.to_f64()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip<T: Real>() {
+        let xs = [0.0, 1.0, -2.5, 1e-4];
+        let narrowed: Vec<T> = narrow_slice(&xs);
+        let widened = widen_slice(&narrowed);
+        for (a, b) in xs.iter().zip(&widened) {
+            assert!((a - b).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn roundtrips() {
+        roundtrip::<f32>();
+        roundtrip::<f64>();
+    }
+
+    #[test]
+    fn mul_add_matches() {
+        let x: f64 = 3.0;
+        assert_eq!(Real::mul_add(x, 2.0, 1.0), 7.0);
+        let y: f32 = 3.0;
+        assert_eq!(Real::mul_add(y, 2.0, 1.0), 7.0);
+    }
+
+    #[test]
+    fn bad_detection() {
+        assert!(f64::NAN.is_bad());
+        assert!(f32::INFINITY.is_bad());
+        assert!(!1.0f64.is_bad());
+    }
+}

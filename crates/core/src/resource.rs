@@ -1,0 +1,57 @@
+//! Hardware resource descriptions.
+//!
+//! The resource list is how clients discover what they can run on
+//! (`beagleGetResourceList`). Each entry describes one device — a CPU, a GPU
+//! behind a framework, a manycore accelerator — together with the capability
+//! flags implementations on it can honour and nominal performance figures
+//! used for default resource ordering.
+
+use crate::flags::Flags;
+
+/// One entry of the resource list.
+#[derive(Clone, Debug)]
+pub struct ResourceDescription {
+    /// Stable display name, e.g. `"NVIDIA Quadro P5000 (simulated)"`.
+    pub name: String,
+    /// Description of the backing hardware/driver.
+    pub description: String,
+    /// Flags every implementation on this resource supports.
+    pub support_flags: Flags,
+    /// Flags implementations on this resource prefer to enable by default.
+    pub default_flags: Flags,
+    /// Nominal peak single-precision throughput in GFLOPS (0 = unknown);
+    /// used only to order resources, never for correctness.
+    pub peak_sp_gflops: f64,
+    /// Nominal memory bandwidth in GB/s (0 = unknown).
+    pub bandwidth_gbs: f64,
+}
+
+impl ResourceDescription {
+    /// A generic host-CPU resource.
+    pub fn host_cpu(threads: usize) -> Self {
+        ResourceDescription {
+            name: format!("Host CPU ({threads} hardware threads)"),
+            description: "host processor, no external framework".into(),
+            support_flags: Flags::PROCESSOR_CPU
+                | Flags::FRAMEWORK_CPU
+                | Flags::PRECISION_SINGLE
+                | Flags::PRECISION_DOUBLE,
+            default_flags: Flags::PROCESSOR_CPU | Flags::PRECISION_DOUBLE,
+            peak_sp_gflops: 0.0,
+            bandwidth_gbs: 0.0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn host_cpu_supports_both_precisions() {
+        let r = ResourceDescription::host_cpu(8);
+        assert!(r.support_flags.contains(Flags::PRECISION_SINGLE));
+        assert!(r.support_flags.contains(Flags::PRECISION_DOUBLE));
+        assert!(r.name.contains("8"));
+    }
+}

@@ -1,0 +1,716 @@
+//! The CPU instance: one type, four execution strategies.
+//!
+//! [`CpuInstance`] owns an [`InstanceBuffers`] arena and executes the
+//! partial-likelihoods bottleneck with whichever [`Threading`] model it was
+//! created with — the three iterations the paper describes in §VI (futures,
+//! thread-create, thread-pool) plus the original serial model — optionally
+//! combined with the vectorized 4-state kernels.
+
+use beagle_core::api::{BeagleInstance, InstanceConfig, InstanceDetails};
+use beagle_core::buffers::{ChildOperand, InstanceBuffers};
+use beagle_core::error::{BeagleError, Result};
+use beagle_core::ops::{dependency_levels, Operation};
+use beagle_core::real::{widen_slice, Real};
+
+use crate::kernels::{self, EdgeChild};
+use crate::pool::{partition_range, ThreadPool};
+use crate::vector;
+
+/// Patterns below this threshold run serially even under a threading model —
+/// §VI-B: "to prevent small problem sizes from being slower than the previous
+/// serial implementation, we set a minimum sequence length of 512 patterns
+/// for threading to be used".
+pub const MIN_PATTERNS_FOR_THREADING: usize = 512;
+
+/// Execution strategy for the likelihood kernels.
+pub enum Threading {
+    /// Original single-threaded model.
+    Serial,
+    /// One asynchronous task per *tree operation*; operations that are
+    /// independent in the topology run concurrently (§VI-A).
+    Futures,
+    /// Threads created and joined per `update_partials` call, splitting the
+    /// pattern range evenly (§VI-B).
+    ThreadCreate {
+        /// Number of threads to create per call.
+        threads: usize,
+    },
+    /// Persistent worker pool; also parallelizes root integration (§VI-C).
+    /// The pool is shared (`Arc`) so many instances — e.g. one per MCMC
+    /// chain — reuse the same workers instead of oversubscribing the host.
+    ThreadPool {
+        /// The shared pool.
+        pool: std::sync::Arc<ThreadPool>,
+    },
+}
+
+impl Threading {
+    fn thread_count(&self) -> usize {
+        match self {
+            Threading::Serial | Threading::Futures => 1,
+            Threading::ThreadCreate { threads } => *threads,
+            Threading::ThreadPool { pool } => pool.thread_count(),
+        }
+    }
+}
+
+/// A CPU-resident BEAGLE instance with precision `T`.
+pub struct CpuInstance<T: Real> {
+    bufs: InstanceBuffers<T>,
+    threading: Threading,
+    /// Use the 4-state vectorized kernels when the state count allows.
+    vectorized: bool,
+    /// Minimum pattern count before pattern-level threading engages.
+    min_patterns: usize,
+    details: InstanceDetails,
+}
+
+/// A child operand restricted to one (category, pattern-range) block.
+#[derive(Clone, Copy)]
+enum OperandBlock<'a, T: Real> {
+    Partials(&'a [T]),
+    States(&'a [u32]),
+}
+
+impl<T: Real> CpuInstance<T> {
+    /// Create an instance. `details` should describe the chosen strategy;
+    /// factories fill it in.
+    pub fn new(
+        config: InstanceConfig,
+        threading: Threading,
+        vectorized: bool,
+        details: InstanceDetails,
+    ) -> Result<Self> {
+        Ok(Self {
+            bufs: InstanceBuffers::new(config)?,
+            threading,
+            vectorized,
+            min_patterns: MIN_PATTERNS_FOR_THREADING,
+            details,
+        })
+    }
+
+    /// Override the 512-pattern threading threshold (used by tests and by
+    /// the benchmark harness's ablations).
+    pub fn set_min_patterns_for_threading(&mut self, min: usize) {
+        self.min_patterns = min;
+    }
+
+    fn use_vector_kernels(&self) -> bool {
+        self.vectorized && self.bufs.config.state_count == 4
+    }
+
+    /// Dispatch one block through the right kernel.
+    fn run_block(
+        dest: &mut [T],
+        c1: OperandBlock<'_, T>,
+        c2: OperandBlock<'_, T>,
+        m1: &[T],
+        m2: &[T],
+        s: usize,
+        vectorized: bool,
+    ) {
+        let vec4 = vectorized && s == 4;
+        match (c1, c2) {
+            (OperandBlock::Partials(a), OperandBlock::Partials(b)) => {
+                if vec4 {
+                    vector::partials_partials_4(dest, a, b, m1, m2);
+                } else {
+                    kernels::partials_partials(dest, a, b, m1, m2, s);
+                }
+            }
+            (OperandBlock::States(a), OperandBlock::Partials(b)) => {
+                if vec4 {
+                    vector::states_partials_4(dest, a, b, m1, m2);
+                } else {
+                    kernels::states_partials(dest, a, b, m1, m2, s);
+                }
+            }
+            (OperandBlock::Partials(a), OperandBlock::States(b)) => {
+                // Symmetric kernel with swapped matrices.
+                if vec4 {
+                    vector::states_partials_4(dest, b, a, m2, m1);
+                } else {
+                    kernels::states_partials(dest, b, a, m2, m1, s);
+                }
+            }
+            (OperandBlock::States(a), OperandBlock::States(b)) => {
+                if vec4 {
+                    vector::states_states_4(dest, a, b, m1, m2);
+                } else {
+                    kernels::states_states(dest, a, b, m1, m2, s);
+                }
+            }
+        }
+    }
+
+    /// Slice a child operand down to (category, pattern range).
+    fn operand_block<'a>(
+        child: &ChildOperand<'a, T>,
+        cat: usize,
+        p0: usize,
+        p1: usize,
+        n_pat: usize,
+        s: usize,
+    ) -> OperandBlock<'a, T> {
+        match child {
+            ChildOperand::Partials(p) => {
+                OperandBlock::Partials(&p[(cat * n_pat + p0) * s..(cat * n_pat + p1) * s])
+            }
+            ChildOperand::States(st) => OperandBlock::States(&st[p0..p1]),
+        }
+    }
+
+    /// Execute one operation over the pattern ranges in `ranges`, producing
+    /// the task closures that fill disjoint chunks of `dest` (and of the
+    /// scale buffer if the op rescales). Tasks are then run serially, on
+    /// scoped threads, or on the pool by the caller.
+    #[allow(clippy::type_complexity)]
+    fn build_chunk_tasks<'env>(
+        bufs: &'env InstanceBuffers<T>,
+        dest: &'env mut [T],
+        scale: Option<&'env mut [T]>,
+        op: &Operation,
+        ranges: &[(usize, usize)],
+        vectorized: bool,
+    ) -> Vec<Box<dyn FnOnce() + Send + 'env>> {
+        let cfg = &bufs.config;
+        let (s, n_pat, n_cat) = (cfg.state_count, cfg.pattern_count, cfg.category_count);
+        let c1 = bufs.child_operand(op.child1);
+        let c2 = bufs.child_operand(op.child2);
+        let m1 = &bufs.matrices[op.child1_matrix];
+        let m2 = &bufs.matrices[op.child2_matrix];
+
+        // Split `dest` into per-(chunk, category) mutable blocks. Ranges are
+        // contiguous from 0, so sequential split_at_mut works per category.
+        let mut per_chunk_blocks: Vec<Vec<&'env mut [T]>> =
+            (0..ranges.len()).map(|_| Vec::with_capacity(n_cat)).collect();
+        for cat_block in dest.chunks_exact_mut(n_pat * s) {
+            let mut rest = cat_block;
+            for (ci, &(p0, p1)) in ranges.iter().enumerate() {
+                let (chunk, r) = rest.split_at_mut((p1 - p0) * s);
+                per_chunk_blocks[ci].push(chunk);
+                rest = r;
+            }
+        }
+        // Split the scale buffer the same way (it is per-pattern).
+        let mut scale_chunks: Vec<Option<&'env mut [T]>> = match scale {
+            Some(sc) => {
+                let mut rest = sc;
+                let mut out = Vec::with_capacity(ranges.len());
+                for &(p0, p1) in ranges {
+                    let (chunk, r) = rest.split_at_mut(p1 - p0);
+                    out.push(Some(chunk));
+                    rest = r;
+                }
+                out
+            }
+            None => ranges.iter().map(|_| None).collect(),
+        };
+
+        per_chunk_blocks
+            .into_iter()
+            .zip(ranges.to_vec())
+            .zip(scale_chunks.drain(..))
+            .map(|((mut blocks, (p0, p1)), scale_chunk)| {
+                let task = move || {
+                    for (cat, dblock) in blocks.iter_mut().enumerate() {
+                        let c1b = Self::operand_block(&c1, cat, p0, p1, n_pat, s);
+                        let c2b = Self::operand_block(&c2, cat, p0, p1, n_pat, s);
+                        let m1c = &m1[cat * s * s..(cat + 1) * s * s];
+                        let m2c = &m2[cat * s * s..(cat + 1) * s * s];
+                        Self::run_block(dblock, c1b, c2b, m1c, m2c, s, vectorized);
+                    }
+                    if let Some(sc) = scale_chunk {
+                        kernels::rescale_patterns(&mut blocks, sc, s);
+                    }
+                };
+                Box::new(task) as Box<dyn FnOnce() + Send + 'env>
+            })
+            .collect()
+    }
+
+    /// Execute one operation serially over the whole pattern range.
+    fn execute_op_serial(&mut self, op: &Operation) {
+        let vectorized = self.use_vector_kernels();
+        let mut dest = self.bufs.take_destination(op.destination);
+        let mut scale = op
+            .dest_scale_write
+            .map(|si| std::mem::take(&mut self.bufs.scale_buffers[si]));
+        {
+            let ranges = [(0, self.bufs.config.pattern_count)];
+            let tasks = Self::build_chunk_tasks(
+                &self.bufs,
+                &mut dest,
+                scale.as_deref_mut(),
+                op,
+                &ranges,
+                vectorized,
+            );
+            for t in tasks {
+                t();
+            }
+        }
+        if let (Some(si), Some(sc)) = (op.dest_scale_write, scale) {
+            self.bufs.scale_buffers[si] = sc;
+        }
+        self.bufs.restore_destination(op.destination, dest);
+    }
+
+    /// Execute one operation with pattern-level parallelism.
+    fn execute_op_chunked(&mut self, op: &Operation, use_pool: bool) {
+        let vectorized = self.use_vector_kernels();
+        let n_pat = self.bufs.config.pattern_count;
+        let threads = self.threading.thread_count();
+        let ranges = partition_range(n_pat, threads);
+        let mut dest = self.bufs.take_destination(op.destination);
+        let mut scale = op
+            .dest_scale_write
+            .map(|si| std::mem::take(&mut self.bufs.scale_buffers[si]));
+        {
+            let tasks = Self::build_chunk_tasks(
+                &self.bufs,
+                &mut dest,
+                scale.as_deref_mut(),
+                op,
+                &ranges,
+                vectorized,
+            );
+            if use_pool {
+                let Threading::ThreadPool { pool } = &self.threading else {
+                    unreachable!("use_pool implies pool strategy")
+                };
+                pool.run_batch(tasks);
+            } else {
+                // Thread-create: on-demand creation and joining (§VI-B).
+                std::thread::scope(|scope| {
+                    for t in tasks {
+                        scope.spawn(t);
+                    }
+                });
+            }
+        }
+        if let (Some(si), Some(sc)) = (op.dest_scale_write, scale) {
+            self.bufs.scale_buffers[si] = sc;
+        }
+        self.bufs.restore_destination(op.destination, dest);
+    }
+
+    /// Futures model: operations that are independent in the tree run as
+    /// concurrent async tasks; pattern ranges are NOT split (§VI-A).
+    fn execute_ops_futures(&mut self, operations: &[Operation]) {
+        let vectorized = self.use_vector_kernels();
+        for level in dependency_levels(operations) {
+            if level.len() == 1 {
+                self.execute_op_serial(&level[0]);
+                continue;
+            }
+            // Take every destination (and scale target) out of the arena so
+            // each task owns its output while sharing read access to inputs.
+            let mut outputs: Vec<(Vec<T>, Option<Vec<T>>)> = level
+                .iter()
+                .map(|op| {
+                    let dest = self.bufs.take_destination(op.destination);
+                    let scale = op
+                        .dest_scale_write
+                        .map(|si| std::mem::take(&mut self.bufs.scale_buffers[si]));
+                    (dest, scale)
+                })
+                .collect();
+            {
+                let bufs = &self.bufs;
+                std::thread::scope(|scope| {
+                    for (op, (dest, scale)) in level.iter().zip(outputs.iter_mut()) {
+                        let full_range = [(0, bufs.config.pattern_count)];
+                        scope.spawn(move || {
+                            let tasks = Self::build_chunk_tasks(
+                                bufs,
+                                dest,
+                                scale.as_deref_mut(),
+                                op,
+                                &full_range,
+                                vectorized,
+                            );
+                            for t in tasks {
+                                t();
+                            }
+                        });
+                    }
+                });
+            }
+            for (op, (dest, scale)) in level.iter().zip(outputs) {
+                if let (Some(si), Some(sc)) = (op.dest_scale_write, scale) {
+                    self.bufs.scale_buffers[si] = sc;
+                }
+                self.bufs.restore_destination(op.destination, dest);
+            }
+        }
+    }
+
+    /// Root integration, optionally parallelized over patterns on the pool.
+    fn root_log_likelihood(
+        &mut self,
+        root_buffer: usize,
+        cw_index: usize,
+        f_index: usize,
+        cumulative_scale: Option<usize>,
+    ) -> Result<f64> {
+        let cfg = self.bufs.config;
+        if root_buffer >= cfg.partials_buffer_count {
+            return Err(BeagleError::OutOfRange {
+                what: "partials buffer (root)",
+                index: root_buffer,
+                limit: cfg.partials_buffer_count,
+            });
+        }
+        if cw_index >= self.bufs.category_weights.len() {
+            return Err(BeagleError::OutOfRange {
+                what: "category weights buffer",
+                index: cw_index,
+                limit: self.bufs.category_weights.len(),
+            });
+        }
+        if f_index >= self.bufs.frequencies.len() {
+            return Err(BeagleError::OutOfRange {
+                what: "frequencies buffer",
+                index: f_index,
+                limit: self.bufs.frequencies.len(),
+            });
+        }
+        if let Some(cs) = cumulative_scale {
+            if cs >= self.bufs.scale_buffers.len() {
+                return Err(BeagleError::OutOfRange {
+                    what: "scale buffer",
+                    index: cs,
+                    limit: self.bufs.scale_buffers.len(),
+                });
+            }
+        }
+        let root = self.bufs.partials[root_buffer]
+            .take()
+            .ok_or(BeagleError::InvalidConfiguration(format!(
+                "root buffer {root_buffer} has never been computed"
+            )))?;
+        let mut site_lnl = std::mem::take(&mut self.bufs.site_log_likelihoods);
+
+        let s = cfg.state_count;
+        let n_pat = cfg.pattern_count;
+        let freqs = &self.bufs.frequencies[f_index];
+        let catw = &self.bufs.category_weights[cw_index];
+        let pw = &self.bufs.pattern_weights;
+        let cscale = cumulative_scale.map(|i| self.bufs.scale_buffers[i].as_slice());
+
+        let parallel_root = matches!(self.threading, Threading::ThreadPool { .. })
+            && n_pat >= self.min_patterns;
+        let total = if parallel_root {
+            let Threading::ThreadPool { pool } = &self.threading else { unreachable!() };
+            let ranges = partition_range(n_pat, pool.thread_count());
+            let mut partial_sums = vec![0.0f64; ranges.len()];
+            {
+                // Split site_lnl by range; each task writes its chunk and sum.
+                let mut tasks: Vec<Box<dyn FnOnce() + Send + '_>> =
+                    Vec::with_capacity(ranges.len());
+                let mut rest = site_lnl.as_mut_slice();
+                for (&(p0, p1), sum_slot) in ranges.iter().zip(partial_sums.iter_mut()) {
+                    let (chunk, r) = rest.split_at_mut(p1 - p0);
+                    rest = r;
+                    let root = &root;
+                    tasks.push(Box::new(move || {
+                        *sum_slot = kernels::integrate_root(
+                            chunk, root, freqs, catw, pw, cscale, s, n_pat, p0,
+                        );
+                    }));
+                }
+                pool.run_batch(tasks);
+            }
+            partial_sums.iter().sum()
+        } else {
+            kernels::integrate_root(&mut site_lnl, &root, freqs, catw, pw, cscale, s, n_pat, 0)
+        };
+
+        self.bufs.site_log_likelihoods = site_lnl;
+        self.bufs.partials[root_buffer] = Some(root);
+        if total.is_nan() {
+            return Err(BeagleError::NumericalFailure(
+                "root log-likelihood is NaN (consider enabling scaling)".into(),
+            ));
+        }
+        Ok(total)
+    }
+}
+
+impl<T: Real> BeagleInstance for CpuInstance<T> {
+    fn details(&self) -> &InstanceDetails {
+        &self.details
+    }
+
+    fn config(&self) -> &InstanceConfig {
+        &self.bufs.config
+    }
+
+    fn set_tip_states(&mut self, tip: usize, states: &[u32]) -> Result<()> {
+        self.bufs.set_tip_states(tip, states)
+    }
+
+    fn set_tip_partials(&mut self, tip: usize, partials: &[f64]) -> Result<()> {
+        self.bufs.set_tip_partials(tip, partials)
+    }
+
+    fn set_partials(&mut self, buffer: usize, partials: &[f64]) -> Result<()> {
+        self.bufs.set_partials(buffer, partials)
+    }
+
+    fn get_partials(&self, buffer: usize) -> Result<Vec<f64>> {
+        self.bufs.get_partials(buffer)
+    }
+
+    fn set_pattern_weights(&mut self, weights: &[f64]) -> Result<()> {
+        self.bufs.set_pattern_weights(weights)
+    }
+
+    fn set_state_frequencies(&mut self, index: usize, frequencies: &[f64]) -> Result<()> {
+        self.bufs.set_state_frequencies(index, frequencies)
+    }
+
+    fn set_category_rates(&mut self, rates: &[f64]) -> Result<()> {
+        self.bufs.set_category_rates(rates)
+    }
+
+    fn set_category_weights(&mut self, index: usize, weights: &[f64]) -> Result<()> {
+        self.bufs.set_category_weights(index, weights)
+    }
+
+    fn set_eigen_decomposition(
+        &mut self,
+        index: usize,
+        vectors: &[f64],
+        inverse_vectors: &[f64],
+        values: &[f64],
+    ) -> Result<()> {
+        self.bufs.set_eigen_decomposition(index, vectors, inverse_vectors, values)
+    }
+
+    fn update_transition_matrices(
+        &mut self,
+        eigen_index: usize,
+        matrix_indices: &[usize],
+        branch_lengths: &[f64],
+    ) -> Result<()> {
+        self.bufs.update_transition_matrices(eigen_index, matrix_indices, branch_lengths)
+    }
+
+    fn update_transition_derivatives(
+        &mut self,
+        eigen_index: usize,
+        matrix_indices: &[usize],
+        d1_indices: &[usize],
+        d2_indices: &[usize],
+        branch_lengths: &[f64],
+    ) -> Result<()> {
+        self.bufs.update_transition_derivatives(
+            eigen_index,
+            matrix_indices,
+            d1_indices,
+            d2_indices,
+            branch_lengths,
+        )
+    }
+
+    fn calculate_edge_derivatives(
+        &mut self,
+        parent_buffer: usize,
+        child_buffer: usize,
+        matrix_index: usize,
+        d1_matrix: usize,
+        d2_matrix: usize,
+        category_weights_index: usize,
+        frequencies_index: usize,
+        cumulative_scale: Option<usize>,
+    ) -> Result<(f64, f64, f64)> {
+        let cfg = self.bufs.config;
+        for idx in [matrix_index, d1_matrix, d2_matrix] {
+            if idx >= self.bufs.matrices.len() {
+                return Err(BeagleError::OutOfRange {
+                    what: "matrix buffer",
+                    index: idx,
+                    limit: self.bufs.matrices.len(),
+                });
+            }
+        }
+        let parent = self.bufs.partials[parent_buffer]
+            .as_ref()
+            .ok_or(BeagleError::InvalidConfiguration(format!(
+                "parent buffer {parent_buffer} has never been computed"
+            )))?;
+        let child = if let Some(p) = &self.bufs.partials[child_buffer] {
+            kernels::EdgeChild::Partials(p.as_slice())
+        } else if let Some(st) = &self.bufs.tip_states[child_buffer] {
+            kernels::EdgeChild::States(st.as_slice())
+        } else {
+            return Err(BeagleError::InvalidConfiguration(format!(
+                "child buffer {child_buffer} has never been written"
+            )));
+        };
+        let cscale = cumulative_scale.map(|i| self.bufs.scale_buffers[i].as_slice());
+        let (lnl, d1, d2) = kernels::integrate_edge_derivatives(
+            parent,
+            child,
+            &self.bufs.matrices[matrix_index],
+            &self.bufs.matrices[d1_matrix],
+            &self.bufs.matrices[d2_matrix],
+            &self.bufs.frequencies[frequencies_index],
+            &self.bufs.category_weights[category_weights_index],
+            &self.bufs.pattern_weights,
+            cscale,
+            cfg.state_count,
+            cfg.pattern_count,
+        );
+        if lnl.is_nan() {
+            return Err(BeagleError::NumericalFailure(
+                "edge derivative log-likelihood is NaN".into(),
+            ));
+        }
+        Ok((lnl, d1, d2))
+    }
+
+    fn set_transition_matrix(&mut self, index: usize, matrix: &[f64]) -> Result<()> {
+        self.bufs.set_transition_matrix(index, matrix)
+    }
+
+    fn get_transition_matrix(&self, index: usize) -> Result<Vec<f64>> {
+        self.bufs.get_transition_matrix(index)
+    }
+
+    fn update_partials(&mut self, operations: &[Operation]) -> Result<()> {
+        // Validate everything up front; ops later in the list may read
+        // destinations produced by earlier ops in the same call.
+        let mut produced = std::collections::HashSet::new();
+        for op in operations {
+            self.bufs.check_operation_indices(op)?;
+            for child in [op.child1, op.child2] {
+                let exists = self.bufs.partials[child].is_some()
+                    || self.bufs.tip_states[child].is_some()
+                    || produced.contains(&child);
+                if !exists {
+                    return Err(BeagleError::InvalidConfiguration(format!(
+                        "operation reads buffer {child} before it was computed"
+                    )));
+                }
+            }
+            produced.insert(op.destination);
+        }
+
+        let n_pat = self.bufs.config.pattern_count;
+        match self.threading {
+            Threading::Serial => {
+                for op in operations {
+                    self.execute_op_serial(op);
+                }
+            }
+            Threading::Futures => self.execute_ops_futures(operations),
+            Threading::ThreadCreate { .. } | Threading::ThreadPool { .. } => {
+                let use_pool = matches!(self.threading, Threading::ThreadPool { .. });
+                for op in operations {
+                    if n_pat < self.min_patterns {
+                        self.execute_op_serial(op);
+                    } else {
+                        self.execute_op_chunked(op, use_pool);
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn reset_scale_factors(&mut self, cumulative: usize) -> Result<()> {
+        self.bufs.reset_scale_factors(cumulative)
+    }
+
+    fn accumulate_scale_factors(
+        &mut self,
+        scale_indices: &[usize],
+        cumulative: usize,
+    ) -> Result<()> {
+        self.bufs.accumulate_scale_factors(scale_indices, cumulative)
+    }
+
+    fn calculate_root_log_likelihoods(
+        &mut self,
+        root_buffer: usize,
+        category_weights_index: usize,
+        frequencies_index: usize,
+        cumulative_scale: Option<usize>,
+    ) -> Result<f64> {
+        self.root_log_likelihood(
+            root_buffer,
+            category_weights_index,
+            frequencies_index,
+            cumulative_scale,
+        )
+    }
+
+    fn calculate_edge_log_likelihoods(
+        &mut self,
+        parent_buffer: usize,
+        child_buffer: usize,
+        matrix_index: usize,
+        category_weights_index: usize,
+        frequencies_index: usize,
+        cumulative_scale: Option<usize>,
+    ) -> Result<f64> {
+        let cfg = self.bufs.config;
+        let nb = cfg.partials_buffer_count;
+        for (what, idx) in [("parent buffer", parent_buffer), ("child buffer", child_buffer)] {
+            if idx >= nb {
+                return Err(BeagleError::OutOfRange { what, index: idx, limit: nb });
+            }
+        }
+        if matrix_index >= self.bufs.matrices.len() {
+            return Err(BeagleError::OutOfRange {
+                what: "matrix buffer",
+                index: matrix_index,
+                limit: self.bufs.matrices.len(),
+            });
+        }
+        let parent = self.bufs.partials[parent_buffer]
+            .as_ref()
+            .ok_or(BeagleError::InvalidConfiguration(format!(
+                "parent buffer {parent_buffer} has never been computed"
+            )))?;
+        let child = if let Some(p) = &self.bufs.partials[child_buffer] {
+            EdgeChild::Partials(p.as_slice())
+        } else if let Some(st) = &self.bufs.tip_states[child_buffer] {
+            EdgeChild::States(st.as_slice())
+        } else {
+            return Err(BeagleError::InvalidConfiguration(format!(
+                "child buffer {child_buffer} has never been written"
+            )));
+        };
+        let mut site_lnl = vec![T::ZERO; cfg.pattern_count];
+        let cscale = cumulative_scale.map(|i| self.bufs.scale_buffers[i].as_slice());
+        let total = kernels::integrate_edge(
+            &mut site_lnl,
+            parent,
+            child,
+            &self.bufs.matrices[matrix_index],
+            &self.bufs.frequencies[frequencies_index],
+            &self.bufs.category_weights[category_weights_index],
+            &self.bufs.pattern_weights,
+            cscale,
+            cfg.state_count,
+            cfg.pattern_count,
+            0,
+        );
+        self.bufs.site_log_likelihoods = site_lnl;
+        if total.is_nan() {
+            return Err(BeagleError::NumericalFailure(
+                "edge log-likelihood is NaN (consider enabling scaling)".into(),
+            ));
+        }
+        Ok(total)
+    }
+
+    fn get_site_log_likelihoods(&self) -> Result<Vec<f64>> {
+        Ok(widen_slice(&self.bufs.site_log_likelihoods))
+    }
+}

@@ -1,0 +1,467 @@
+//! Scalar likelihood kernels for the CPU back-ends.
+//!
+//! Every kernel operates on one *block*: a contiguous `[pattern][state]`
+//! slice belonging to a single rate category, together with that category's
+//! `s × s` transition matrices. Blocks are exactly the unit the threading
+//! models distribute — a (category, pattern-range) chunk — so the same
+//! kernels serve the serial, thread-create, and thread-pool paths.
+//!
+//! Kernel variants follow BEAGLE: the operands of a partials operation can
+//! each be full partials or compact tip states, giving three kernels
+//! (partials×partials, states×partials, states×states).
+
+use beagle_core::real::Real;
+use beagle_core::GAP_STATE;
+
+/// `dest[p][i] = (Σ_j m1[i][j]·c1[p][j]) · (Σ_j m2[i][j]·c2[p][j])`
+/// over all patterns of the block.
+pub fn partials_partials<T: Real>(
+    dest: &mut [T],
+    c1: &[T],
+    c2: &[T],
+    m1: &[T],
+    m2: &[T],
+    s: usize,
+) {
+    debug_assert_eq!(dest.len() % s, 0);
+    debug_assert_eq!(dest.len(), c1.len());
+    debug_assert_eq!(dest.len(), c2.len());
+    debug_assert_eq!(m1.len(), s * s);
+    debug_assert_eq!(m2.len(), s * s);
+    for ((d, a), b) in dest
+        .chunks_exact_mut(s)
+        .zip(c1.chunks_exact(s))
+        .zip(c2.chunks_exact(s))
+    {
+        for i in 0..s {
+            let row1 = &m1[i * s..(i + 1) * s];
+            let row2 = &m2[i * s..(i + 1) * s];
+            let mut sum1 = T::ZERO;
+            let mut sum2 = T::ZERO;
+            for j in 0..s {
+                sum1 = row1[j].mul_add(a[j], sum1);
+                sum2 = row2[j].mul_add(b[j], sum2);
+            }
+            d[i] = sum1 * sum2;
+        }
+    }
+}
+
+/// `c1` is compact tip states (one per pattern in the block's range):
+/// `dest[p][i] = m1[i][s1_p] · (Σ_j m2[i][j]·c2[p][j])`, with gaps reading 1.
+pub fn states_partials<T: Real>(
+    dest: &mut [T],
+    s1: &[u32],
+    c2: &[T],
+    m1: &[T],
+    m2: &[T],
+    s: usize,
+) {
+    debug_assert_eq!(dest.len(), c2.len());
+    debug_assert_eq!(dest.len(), s1.len() * s);
+    for ((d, &st), b) in dest
+        .chunks_exact_mut(s)
+        .zip(s1.iter())
+        .zip(c2.chunks_exact(s))
+    {
+        for i in 0..s {
+            let row2 = &m2[i * s..(i + 1) * s];
+            let mut sum2 = T::ZERO;
+            for j in 0..s {
+                sum2 = row2[j].mul_add(b[j], sum2);
+            }
+            let p1 = if st == GAP_STATE { T::ONE } else { m1[i * s + st as usize] };
+            d[i] = p1 * sum2;
+        }
+    }
+}
+
+/// Both children compact: `dest[p][i] = m1[i][s1_p] · m2[i][s2_p]`.
+pub fn states_states<T: Real>(
+    dest: &mut [T],
+    s1: &[u32],
+    s2: &[u32],
+    m1: &[T],
+    m2: &[T],
+    s: usize,
+) {
+    debug_assert_eq!(dest.len(), s1.len() * s);
+    debug_assert_eq!(s1.len(), s2.len());
+    for ((d, &st1), &st2) in dest.chunks_exact_mut(s).zip(s1.iter()).zip(s2.iter()) {
+        for i in 0..s {
+            let p1 = if st1 == GAP_STATE { T::ONE } else { m1[i * s + st1 as usize] };
+            let p2 = if st2 == GAP_STATE { T::ONE } else { m2[i * s + st2 as usize] };
+            d[i] = p1 * p2;
+        }
+    }
+}
+
+/// Rescale one pattern's partials across **all categories** to a maximum of
+/// 1, accumulating `ln(max)` into `scale_out[p]`. `blocks` are per-category
+/// mutable block slices covering the same pattern range; patterns are local.
+///
+/// BEAGLE scales per pattern over the joint (category × state) entries so a
+/// single factor per pattern suffices at root integration.
+pub fn rescale_patterns<T: Real>(blocks: &mut [&mut [T]], scale_out: &mut [T], s: usize) {
+    let n_pat = scale_out.len();
+    for p in 0..n_pat {
+        let mut max = T::ZERO;
+        for block in blocks.iter() {
+            for &x in &block[p * s..(p + 1) * s] {
+                max = max.max(x);
+            }
+        }
+        if max > T::ZERO {
+            let inv = T::ONE / max;
+            for block in blocks.iter_mut() {
+                for x in &mut block[p * s..(p + 1) * s] {
+                    *x *= inv;
+                }
+            }
+            scale_out[p] = max.ln();
+        } else {
+            scale_out[p] = T::ZERO;
+        }
+    }
+}
+
+/// Root integration for a pattern range: writes per-pattern site
+/// log-likelihoods (`+ cumulative scale factor` when provided) and returns
+/// the weighted sum `Σ_p w_p · lnL_p` of the range.
+#[allow(clippy::too_many_arguments)]
+pub fn integrate_root<T: Real>(
+    site_lnl: &mut [T],
+    root: &[T],
+    freqs: &[T],
+    cat_weights: &[T],
+    pattern_weights: &[T],
+    cumulative_scale: Option<&[T]>,
+    s: usize,
+    n_pat_total: usize,
+    p0: usize,
+) -> f64 {
+    let n_range = site_lnl.len();
+    let mut total = 0.0;
+    for lp in 0..n_range {
+        let p = p0 + lp;
+        let mut site = T::ZERO;
+        for (c, &w) in cat_weights.iter().enumerate() {
+            let base = (c * n_pat_total + p) * s;
+            let mut state_sum = T::ZERO;
+            for (k, &f) in freqs.iter().enumerate() {
+                state_sum = f.mul_add(root[base + k], state_sum);
+            }
+            site = w.mul_add(state_sum, site);
+        }
+        let mut lnl = site.ln();
+        if let Some(cs) = cumulative_scale {
+            lnl += cs[p];
+        }
+        site_lnl[lp] = lnl;
+        total += pattern_weights[p].to_f64() * lnl.to_f64();
+    }
+    total
+}
+
+/// Edge integration for a pattern range: combines parent partials with child
+/// partials propagated through one transition matrix. Returns the weighted
+/// range sum and fills site log-likelihoods.
+#[allow(clippy::too_many_arguments)]
+pub fn integrate_edge<T: Real>(
+    site_lnl: &mut [T],
+    parent: &[T],
+    child: EdgeChild<'_, T>,
+    matrix: &[T],
+    freqs: &[T],
+    cat_weights: &[T],
+    pattern_weights: &[T],
+    cumulative_scale: Option<&[T]>,
+    s: usize,
+    n_pat_total: usize,
+    p0: usize,
+) -> f64 {
+    let n_range = site_lnl.len();
+    let mut total = 0.0;
+    for lp in 0..n_range {
+        let p = p0 + lp;
+        let mut site = T::ZERO;
+        for (c, &w) in cat_weights.iter().enumerate() {
+            let base = (c * n_pat_total + p) * s;
+            let m = &matrix[c * s * s..(c + 1) * s * s];
+            let mut state_sum = T::ZERO;
+            for i in 0..s {
+                let prop = match child {
+                    EdgeChild::Partials(cp) => {
+                        let row = &m[i * s..(i + 1) * s];
+                        let mut acc = T::ZERO;
+                        for j in 0..s {
+                            acc = row[j].mul_add(cp[base + j], acc);
+                        }
+                        acc
+                    }
+                    EdgeChild::States(st) => {
+                        let stp = st[p];
+                        if stp == GAP_STATE {
+                            T::ONE
+                        } else {
+                            m[i * s + stp as usize]
+                        }
+                    }
+                };
+                state_sum += freqs[i] * parent[base + i] * prop;
+            }
+            site = w.mul_add(state_sum, site);
+        }
+        let mut lnl = site.ln();
+        if let Some(cs) = cumulative_scale {
+            lnl += cs[p];
+        }
+        site_lnl[lp] = lnl;
+        total += pattern_weights[p].to_f64() * lnl.to_f64();
+    }
+    total
+}
+
+/// Edge integration with branch-length derivatives: returns
+/// `(Σ w_p lnL_p, dlnL/dt, d²lnL/dt²)` over the pattern range, where
+/// `d1_matrix`/`d2_matrix` hold `dP/dt` and `d²P/dt²`. Because the
+/// derivative site sums share the parent/child scale factors with the
+/// likelihood site sums, the per-pattern ratios `D1_p/L_p` and `D2_p/L_p`
+/// are scale-free and only the log term needs the cumulative factors.
+#[allow(clippy::too_many_arguments)]
+pub fn integrate_edge_derivatives<T: Real>(
+    parent: &[T],
+    child: EdgeChild<'_, T>,
+    matrix: &[T],
+    d1_matrix: &[T],
+    d2_matrix: &[T],
+    freqs: &[T],
+    cat_weights: &[T],
+    pattern_weights: &[T],
+    cumulative_scale: Option<&[T]>,
+    s: usize,
+    n_pat_total: usize,
+) -> (f64, f64, f64) {
+    let mut lnl = 0.0;
+    let mut d1_total = 0.0;
+    let mut d2_total = 0.0;
+    for p in 0..n_pat_total {
+        let mut site_l = T::ZERO;
+        let mut site_d1 = T::ZERO;
+        let mut site_d2 = T::ZERO;
+        for (c, &w) in cat_weights.iter().enumerate() {
+            let base = (c * n_pat_total + p) * s;
+            let m = &matrix[c * s * s..(c + 1) * s * s];
+            let m1 = &d1_matrix[c * s * s..(c + 1) * s * s];
+            let m2 = &d2_matrix[c * s * s..(c + 1) * s * s];
+            for i in 0..s {
+                let (prop, prop1, prop2) = match child {
+                    EdgeChild::Partials(cp) => {
+                        let mut a = T::ZERO;
+                        let mut b = T::ZERO;
+                        let mut d = T::ZERO;
+                        for j in 0..s {
+                            let x = cp[base + j];
+                            a = m[i * s + j].mul_add(x, a);
+                            b = m1[i * s + j].mul_add(x, b);
+                            d = m2[i * s + j].mul_add(x, d);
+                        }
+                        (a, b, d)
+                    }
+                    EdgeChild::States(st) => {
+                        let stp = st[p];
+                        if stp == GAP_STATE {
+                            // A gap contributes the constant 1: no gradient.
+                            (T::ONE, T::ZERO, T::ZERO)
+                        } else {
+                            let j = stp as usize;
+                            (m[i * s + j], m1[i * s + j], m2[i * s + j])
+                        }
+                    }
+                };
+                let fp = freqs[i] * parent[base + i];
+                site_l += w * fp * prop;
+                site_d1 += w * fp * prop1;
+                site_d2 += w * fp * prop2;
+            }
+        }
+        let weight = pattern_weights[p].to_f64();
+        let mut site_lnl = site_l.ln().to_f64();
+        if let Some(cs) = cumulative_scale {
+            site_lnl += cs[p].to_f64();
+        }
+        lnl += weight * site_lnl;
+        let r1 = site_d1.to_f64() / site_l.to_f64();
+        let r2 = site_d2.to_f64() / site_l.to_f64();
+        d1_total += weight * r1;
+        d2_total += weight * (r2 - r1 * r1);
+    }
+    (lnl, d1_total, d2_total)
+}
+
+/// Child operand of an edge integration.
+#[derive(Clone, Copy)]
+pub enum EdgeChild<'a, T: Real> {
+    /// Full partials buffer (`[category][pattern][state]`, full length).
+    Partials(&'a [T]),
+    /// Compact states per pattern (full pattern range).
+    States(&'a [u32]),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// partials_partials with identity matrices multiplies the children.
+    #[test]
+    fn pp_identity_multiplies() {
+        let s = 4;
+        let id: Vec<f64> = (0..16).map(|i| if i % 5 == 0 { 1.0 } else { 0.0 }).collect();
+        let c1 = vec![1.0, 2.0, 3.0, 4.0, 0.5, 0.5, 0.5, 0.5];
+        let c2 = vec![2.0, 2.0, 2.0, 2.0, 1.0, 2.0, 3.0, 4.0];
+        let mut dest = vec![0.0; 8];
+        partials_partials(&mut dest, &c1, &c2, &id, &id, s);
+        assert_eq!(dest, vec![2.0, 4.0, 6.0, 8.0, 0.5, 1.0, 1.5, 2.0]);
+    }
+
+    #[test]
+    fn sp_matches_pp_with_onehot() {
+        // states_partials must equal partials_partials with one-hot partials.
+        let s = 4;
+        let m1: Vec<f64> = (0..16).map(|i| 0.1 + i as f64 * 0.01).collect();
+        let m2: Vec<f64> = (0..16).map(|i| 0.2 + i as f64 * 0.02).collect();
+        let states = vec![2u32, 0u32];
+        let mut onehot = vec![0.0; 8];
+        onehot[2] = 1.0;
+        onehot[4] = 1.0;
+        let c2 = vec![0.3, 0.1, 0.4, 0.2, 0.25, 0.25, 0.25, 0.25];
+
+        let mut d1 = vec![0.0; 8];
+        states_partials(&mut d1, &states, &c2, &m1, &m2, s);
+        let mut d2 = vec![0.0; 8];
+        partials_partials(&mut d2, &onehot, &c2, &m1, &m2, s);
+        for (a, b) in d1.iter().zip(&d2) {
+            assert!((a - b).abs() < 1e-14);
+        }
+    }
+
+    #[test]
+    fn ss_matches_pp_with_onehot() {
+        let s = 4;
+        let m1: Vec<f64> = (0..16).map(|i| 0.1 + i as f64 * 0.01).collect();
+        let m2: Vec<f64> = (0..16).map(|i| 0.2 + i as f64 * 0.02).collect();
+        let s1 = vec![3u32];
+        let s2 = vec![1u32];
+        let mut oh1 = vec![0.0; 4];
+        oh1[3] = 1.0;
+        let mut oh2 = vec![0.0; 4];
+        oh2[1] = 1.0;
+        let mut d1 = vec![0.0; 4];
+        states_states(&mut d1, &s1, &s2, &m1, &m2, s);
+        let mut d2 = vec![0.0; 4];
+        partials_partials(&mut d2, &oh1, &oh2, &m1, &m2, s);
+        for (a, b) in d1.iter().zip(&d2) {
+            assert!((a - b).abs() < 1e-14);
+        }
+    }
+
+    #[test]
+    fn gaps_read_as_one() {
+        let s = 4;
+        let m: Vec<f64> = vec![0.5; 16];
+        let states = vec![GAP_STATE];
+        let c2 = vec![1.0, 1.0, 1.0, 1.0];
+        let mut d = vec![0.0; 4];
+        states_partials(&mut d, &states, &c2, &m, &m, s);
+        // p1 = 1, sum2 = 2.0 → all entries 2.0
+        assert_eq!(d, vec![2.0; 4]);
+    }
+
+    #[test]
+    fn rescale_normalizes_max_to_one() {
+        let s = 2;
+        let mut b0 = vec![0.5, 0.25, 1e-8, 2e-8];
+        let mut b1 = vec![0.1, 0.05, 4e-8, 1e-8];
+        let mut scale = vec![0.0; 2];
+        {
+            let mut blocks: Vec<&mut [f64]> = vec![&mut b0, &mut b1];
+            rescale_patterns(&mut blocks, &mut scale, s);
+        }
+        assert!((b0[0] - 1.0).abs() < 1e-15, "pattern 0 max becomes 1");
+        assert!((scale[0] - 0.5_f64.ln()).abs() < 1e-15);
+        assert!((b1[2] - 1.0).abs() < 1e-12, "pattern 1 max is in block 1");
+        assert!((scale[1] - 4e-8_f64.ln()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rescale_zero_pattern_is_noop() {
+        let mut b0 = vec![0.0, 0.0];
+        let mut scale = vec![7.0];
+        {
+            let mut blocks: Vec<&mut [f64]> = vec![&mut b0];
+            rescale_patterns(&mut blocks, &mut scale, 2);
+        }
+        assert_eq!(scale[0], 0.0);
+        assert_eq!(b0, vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn root_integration_uniform() {
+        // One category, 2 states, uniform freqs: site L = 0.5*(a+b).
+        let root = vec![0.2, 0.6, 0.4, 0.4];
+        let freqs = vec![0.5, 0.5];
+        let catw = vec![1.0];
+        let pw = vec![2.0, 1.0];
+        let mut site = vec![0.0; 2];
+        let total =
+            integrate_root(&mut site, &root, &freqs, &catw, &pw, None, 2, 2, 0);
+        let l0 = (0.5 * 0.8_f64).ln();
+        let l1 = (0.5 * 0.8_f64).ln();
+        assert!((site[0] - l0).abs() < 1e-12);
+        assert!((total - (2.0 * l0 + l1)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn root_integration_applies_scale() {
+        let root = vec![1.0, 1.0];
+        let freqs = vec![0.5, 0.5];
+        let catw = vec![1.0];
+        let pw = vec![1.0];
+        let cs = vec![-3.5];
+        let mut site = vec![0.0; 1];
+        let total = integrate_root(&mut site, &root, &freqs, &catw, &pw, Some(&cs), 2, 1, 0);
+        assert!((site[0] - (1.0_f64.ln() - 3.5)).abs() < 1e-12);
+        assert!((total + 3.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn edge_integration_equals_root_at_zero_matrix_identity() {
+        // With an identity matrix and child = all-ones partials, the edge
+        // likelihood equals Σ_i f_i · parent_i — i.e. root integration of
+        // the parent.
+        let s = 2;
+        let parent = vec![0.3, 0.7];
+        let child = vec![1.0, 1.0];
+        let id = vec![1.0, 0.0, 0.0, 1.0];
+        let freqs = vec![0.4, 0.6];
+        let catw = vec![1.0];
+        let pw = vec![1.0];
+        let mut site_e = vec![0.0];
+        let te = integrate_edge(
+            &mut site_e,
+            &parent,
+            EdgeChild::Partials(&child),
+            &id,
+            &freqs,
+            &catw,
+            &pw,
+            None,
+            s,
+            1,
+            0,
+        );
+        let mut site_r = vec![0.0];
+        let tr = integrate_root(&mut site_r, &parent, &freqs, &catw, &pw, None, s, 1, 0);
+        assert!((te - tr).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,257 @@
+//! The persistent thread pool behind the paper's winning threading model.
+//!
+//! §VI-C of the paper: "this final iteration of our CPU threading solution
+//! involved modifying the thread-create approach to use a pool of C++
+//! standard library threads". The pool here is the Rust equivalent: workers
+//! blocked on a crossbeam channel, a countdown latch for batch completion,
+//! and a *scoped* submission API so kernels can borrow instance buffers
+//! without `Arc`-wrapping every slice.
+
+use std::panic::AssertUnwindSafe;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use crossbeam::channel::{unbounded, Sender};
+use parking_lot::{Condvar, Mutex};
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// A fixed-size pool of worker threads that executes batches of borrowed
+/// closures to completion.
+pub struct ThreadPool {
+    sender: Option<Sender<Job>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+/// Countdown latch: `wait` blocks until `count_down` has been called `n` times.
+struct Latch {
+    remaining: Mutex<usize>,
+    cv: Condvar,
+}
+
+impl Latch {
+    fn new(n: usize) -> Self {
+        Self { remaining: Mutex::new(n), cv: Condvar::new() }
+    }
+
+    fn count_down(&self) {
+        let mut rem = self.remaining.lock();
+        *rem -= 1;
+        if *rem == 0 {
+            self.cv.notify_all();
+        }
+    }
+
+    fn wait(&self) {
+        let mut rem = self.remaining.lock();
+        while *rem > 0 {
+            self.cv.wait(&mut rem);
+        }
+    }
+}
+
+impl ThreadPool {
+    /// Spawn `threads` workers (at least 1).
+    pub fn new(threads: usize) -> Self {
+        let threads = threads.max(1);
+        let (sender, receiver) = unbounded::<Job>();
+        let workers = (0..threads)
+            .map(|i| {
+                let rx = receiver.clone();
+                std::thread::Builder::new()
+                    .name(format!("beagle-worker-{i}"))
+                    .spawn(move || {
+                        // Channel disconnect (pool drop) ends the loop.
+                        while let Ok(job) = rx.recv() {
+                            job();
+                        }
+                    })
+                    .expect("spawn worker thread")
+            })
+            .collect();
+        Self { sender: Some(sender), workers }
+    }
+
+    /// Number of worker threads.
+    pub fn thread_count(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Run a batch of tasks that may borrow from the caller's stack, and
+    /// block until all of them complete.
+    ///
+    /// Safety of the lifetime erasure: the call does not return until every
+    /// task has finished (enforced by the latch, counted down even on task
+    /// panic), so no borrow in a task can outlive its referent. This is the
+    /// standard scoped-thread-pool construction.
+    pub fn run_batch<'env>(&self, tasks: Vec<Box<dyn FnOnce() + Send + 'env>>) {
+        if tasks.is_empty() {
+            return;
+        }
+        let latch = Arc::new(Latch::new(tasks.len()));
+        let panicked = Arc::new(AtomicBool::new(false));
+        let sender = self.sender.as_ref().expect("pool alive");
+        for task in tasks {
+            // SAFETY: see method docs — the latch wait below guarantees the
+            // closure (and everything it borrows) is done before we return.
+            let task: Box<dyn FnOnce() + Send + 'static> =
+                unsafe { std::mem::transmute(task) };
+            let latch = Arc::clone(&latch);
+            let panicked = Arc::clone(&panicked);
+            sender
+                .send(Box::new(move || {
+                    let result = std::panic::catch_unwind(AssertUnwindSafe(task));
+                    if result.is_err() {
+                        panicked.store(true, Ordering::SeqCst);
+                    }
+                    latch.count_down();
+                }))
+                .expect("worker channel alive");
+        }
+        latch.wait();
+        if panicked.load(Ordering::SeqCst) {
+            panic!("a thread-pool task panicked");
+        }
+    }
+
+    /// Split `[0, n)` into `chunks` near-equal contiguous ranges (the paper's
+    /// load-balancing: "the sequence of independent patterns is broken up
+    /// into equal sizes according to the number of CPU hardware threads").
+    pub fn partition(n: usize, chunks: usize) -> Vec<(usize, usize)> {
+        partition_range(n, chunks)
+    }
+}
+
+impl Drop for ThreadPool {
+    fn drop(&mut self) {
+        // Disconnect the channel so workers exit, then join them.
+        self.sender.take();
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+/// Split `[0, n)` into at most `chunks` near-equal, non-empty ranges.
+pub fn partition_range(n: usize, chunks: usize) -> Vec<(usize, usize)> {
+    if n == 0 {
+        return Vec::new();
+    }
+    let chunks = chunks.max(1).min(n);
+    let base = n / chunks;
+    let extra = n % chunks;
+    let mut out = Vec::with_capacity(chunks);
+    let mut start = 0;
+    for i in 0..chunks {
+        let len = base + usize::from(i < extra);
+        out.push((start, start + len));
+        start += len;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn batch_runs_all_tasks() {
+        let pool = ThreadPool::new(4);
+        let counter = AtomicUsize::new(0);
+        let tasks: Vec<Box<dyn FnOnce() + Send + '_>> = (0..100)
+            .map(|_| {
+                let c = &counter;
+                Box::new(move || {
+                    c.fetch_add(1, Ordering::SeqCst);
+                }) as Box<dyn FnOnce() + Send + '_>
+            })
+            .collect();
+        pool.run_batch(tasks);
+        assert_eq!(counter.load(Ordering::SeqCst), 100);
+    }
+
+    #[test]
+    fn tasks_can_mutate_disjoint_borrows() {
+        let pool = ThreadPool::new(3);
+        let mut data = vec![0u64; 9000];
+        {
+            let tasks: Vec<Box<dyn FnOnce() + Send + '_>> = data
+                .chunks_mut(3000)
+                .enumerate()
+                .map(|(i, chunk)| {
+                    Box::new(move || {
+                        for x in chunk.iter_mut() {
+                            *x = i as u64 + 1;
+                        }
+                    }) as Box<dyn FnOnce() + Send + '_>
+                })
+                .collect();
+            pool.run_batch(tasks);
+        }
+        assert!(data[..3000].iter().all(|&x| x == 1));
+        assert!(data[3000..6000].iter().all(|&x| x == 2));
+        assert!(data[6000..].iter().all(|&x| x == 3));
+    }
+
+    #[test]
+    fn sequential_batches_reuse_workers() {
+        let pool = ThreadPool::new(2);
+        for round in 0..50 {
+            let sum = AtomicUsize::new(0);
+            let tasks: Vec<Box<dyn FnOnce() + Send + '_>> = (0..4)
+                .map(|i| {
+                    let s = &sum;
+                    Box::new(move || {
+                        s.fetch_add(i + round, Ordering::SeqCst);
+                    }) as Box<dyn FnOnce() + Send + '_>
+                })
+                .collect();
+            pool.run_batch(tasks);
+            assert_eq!(sum.load(Ordering::SeqCst), 6 + 4 * round);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "thread-pool task panicked")]
+    fn panics_propagate_without_deadlock() {
+        let pool = ThreadPool::new(2);
+        let tasks: Vec<Box<dyn FnOnce() + Send + '_>> = vec![
+            Box::new(|| panic!("boom")),
+            Box::new(|| {}),
+        ];
+        pool.run_batch(tasks);
+    }
+
+    #[test]
+    fn empty_batch_is_noop() {
+        let pool = ThreadPool::new(2);
+        pool.run_batch(Vec::new());
+    }
+
+    #[test]
+    fn partition_covers_range_exactly() {
+        for n in [0usize, 1, 5, 511, 512, 10_000] {
+            for c in [1usize, 2, 7, 56] {
+                let parts = partition_range(n, c);
+                let total: usize = parts.iter().map(|(a, b)| b - a).sum();
+                assert_eq!(total, n, "n={n} c={c}");
+                // Contiguous and non-empty.
+                let mut prev = 0;
+                for &(a, b) in &parts {
+                    assert_eq!(a, prev);
+                    assert!(b > a);
+                    prev = b;
+                }
+                // Balanced within 1.
+                if !parts.is_empty() {
+                    let lens: Vec<usize> = parts.iter().map(|(a, b)| b - a).collect();
+                    let min = lens.iter().min().unwrap();
+                    let max = lens.iter().max().unwrap();
+                    assert!(max - min <= 1);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,158 @@
+//! Property-based tests for the CPU kernels and threading machinery.
+
+use beagle_core::GAP_STATE;
+use beagle_cpu::pool::partition_range;
+use beagle_cpu::{kernels, vector};
+use proptest::prelude::*;
+
+/// Strategy: a vector of positive likelihood-like values.
+fn partials(len: usize) -> impl Strategy<Value = Vec<f64>> {
+    proptest::collection::vec(1e-6f64..1.0, len)
+}
+
+/// Strategy: a probability-ish matrix (positive entries).
+fn matrix(s: usize) -> impl Strategy<Value = Vec<f64>> {
+    proptest::collection::vec(1e-6f64..1.0, s * s)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Vectorized 4-state kernels equal the scalar kernels on random input.
+    #[test]
+    fn vector4_equals_scalar(
+        patterns in 1usize..64,
+        c1 in partials(64 * 4),
+        c2 in partials(64 * 4),
+        m1 in matrix(4),
+        m2 in matrix(4),
+    ) {
+        let n = patterns * 4;
+        let mut dv = vec![0.0; n];
+        let mut ds = vec![0.0; n];
+        vector::partials_partials_4(&mut dv, &c1[..n], &c2[..n], &m1, &m2);
+        kernels::partials_partials(&mut ds, &c1[..n], &c2[..n], &m1, &m2, 4);
+        for (a, b) in dv.iter().zip(&ds) {
+            prop_assert!((a - b).abs() <= 1e-12 * a.abs().max(1.0));
+        }
+    }
+
+    /// states_partials equals partials_partials with one-hot children.
+    #[test]
+    fn states_equals_onehot(
+        states_vals in proptest::collection::vec(0u32..4, 1..40),
+        c2_seed in partials(40 * 4),
+        m1 in matrix(4),
+        m2 in matrix(4),
+    ) {
+        let patterns = states_vals.len();
+        let n = patterns * 4;
+        let c2 = &c2_seed[..n];
+        let mut onehot = vec![0.0; n];
+        for (p, &st) in states_vals.iter().enumerate() {
+            onehot[p * 4 + st as usize] = 1.0;
+        }
+        let mut d_states = vec![0.0; n];
+        let mut d_onehot = vec![0.0; n];
+        kernels::states_partials(&mut d_states, &states_vals, c2, &m1, &m2, 4);
+        kernels::partials_partials(&mut d_onehot, &onehot, c2, &m1, &m2, 4);
+        for (a, b) in d_states.iter().zip(&d_onehot) {
+            prop_assert!((a - b).abs() < 1e-12);
+        }
+    }
+
+    /// Rescaling preserves the product `partials × exp(scale)` per entry.
+    #[test]
+    fn rescale_preserves_values(
+        patterns in 1usize..32,
+        cats in 1usize..4,
+        data in partials(32 * 4 * 4),
+    ) {
+        let s = 4;
+        let mut buf: Vec<f64> = data[..cats * patterns * s].to_vec();
+        let original = buf.clone();
+        let mut scale = vec![0.0; patterns];
+        {
+            let mut blocks: Vec<&mut [f64]> = buf.chunks_exact_mut(patterns * s).collect();
+            kernels::rescale_patterns(&mut blocks, &mut scale, s);
+        }
+        for c in 0..cats {
+            for p in 0..patterns {
+                for k in 0..s {
+                    let idx = (c * patterns + p) * s + k;
+                    let reconstructed = buf[idx] * scale[p].exp();
+                    prop_assert!((reconstructed - original[idx]).abs() < 1e-12);
+                }
+            }
+        }
+        // And the per-pattern maximum is exactly 1 after rescaling.
+        for p in 0..patterns {
+            let mut max: f64 = 0.0;
+            for c in 0..cats {
+                for k in 0..s {
+                    max = max.max(buf[(c * patterns + p) * s + k]);
+                }
+            }
+            prop_assert!((max - 1.0).abs() < 1e-12);
+        }
+    }
+
+    /// Gap states act as all-ones partials in every kernel.
+    #[test]
+    fn gap_is_identity_operand(
+        patterns in 1usize..20,
+        c2_seed in partials(20 * 4),
+        m2 in matrix(4),
+    ) {
+        let n = patterns * 4;
+        // Row-stochastic m1 so the gap shortcut matches a one-vector child.
+        let m1 = vec![0.25; 16];
+        let gaps = vec![GAP_STATE; patterns];
+        let ones = vec![1.0; n];
+        let mut d_gap = vec![0.0; n];
+        let mut d_ones = vec![0.0; n];
+        kernels::states_partials(&mut d_gap, &gaps, &c2_seed[..n], &m1, &m2, 4);
+        kernels::partials_partials(&mut d_ones, &ones, &c2_seed[..n], &m1, &m2, 4);
+        for (a, b) in d_gap.iter().zip(&d_ones) {
+            prop_assert!((a - b).abs() < 1e-12);
+        }
+    }
+
+    /// partition_range always tiles [0, n) exactly with balanced chunks.
+    #[test]
+    fn partition_tiles_exactly(n in 0usize..100_000, chunks in 1usize..128) {
+        let parts = partition_range(n, chunks);
+        let total: usize = parts.iter().map(|(a, b)| b - a).sum();
+        prop_assert_eq!(total, n);
+        let mut prev = 0;
+        for &(a, b) in &parts {
+            prop_assert_eq!(a, prev);
+            prop_assert!(b > a);
+            prev = b;
+        }
+        if !parts.is_empty() {
+            let lens: Vec<usize> = parts.iter().map(|(a, b)| b - a).collect();
+            prop_assert!(lens.iter().max().unwrap() - lens.iter().min().unwrap() <= 1);
+        }
+    }
+
+    /// Root integration is linear in pattern weights.
+    #[test]
+    fn integration_weight_linearity(
+        patterns in 1usize..30,
+        root in partials(30 * 4),
+        w in proptest::collection::vec(0.5f64..4.0, 30),
+        alpha in 0.1f64..5.0,
+    ) {
+        let s = 4;
+        let n = patterns * s;
+        let freqs = vec![0.25; 4];
+        let catw = vec![1.0];
+        let w1: Vec<f64> = w[..patterns].to_vec();
+        let w2: Vec<f64> = w1.iter().map(|x| alpha * x).collect();
+        let mut site = vec![0.0; patterns];
+        let t1 = kernels::integrate_root(&mut site, &root[..n], &freqs, &catw, &w1, None, s, patterns, 0);
+        let t2 = kernels::integrate_root(&mut site, &root[..n], &freqs, &catw, &w2, None, s, patterns, 0);
+        prop_assert!((t2 - alpha * t1).abs() < 1e-9 * t1.abs().max(1.0));
+    }
+}

@@ -1,0 +1,163 @@
+//! Command-line genomictest: generate a synthetic dataset, run it on a
+//! chosen implementation, check correctness, and report throughput.
+//!
+//! ```text
+//! genomictest [--model nucleotide|aminoacid|codon] [--taxa N] [--patterns N]
+//!             [--categories N] [--reps N] [--single] [--impl NAME]
+//!             [--scaled] [--seed N] [--list] [--verify]
+//! ```
+
+use beagle_core::Flags;
+use genomictest::{benchmark, full_manager, ModelKind, Problem, Scenario};
+
+struct Args {
+    scenario: Scenario,
+    reps: usize,
+    single: bool,
+    impl_filter: Option<String>,
+    scaled: bool,
+    list: bool,
+    verify: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        scenario: Scenario::default_nucleotide(),
+        reps: 5,
+        single: false,
+        impl_filter: None,
+        scaled: false,
+        list: false,
+        verify: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        let mut val = |name: &str| {
+            it.next().ok_or_else(|| format!("{name} needs a value"))
+        };
+        match a.as_str() {
+            "--model" => {
+                args.scenario.model = match val("--model")?.as_str() {
+                    "nucleotide" | "dna" => ModelKind::Nucleotide,
+                    "aminoacid" | "aa" => ModelKind::AminoAcid,
+                    "codon" => ModelKind::Codon,
+                    other => return Err(format!("unknown model {other}")),
+                }
+            }
+            "--taxa" => args.scenario.taxa = val("--taxa")?.parse().map_err(|e| format!("{e}"))?,
+            "--patterns" => {
+                args.scenario.patterns = val("--patterns")?.parse().map_err(|e| format!("{e}"))?
+            }
+            "--categories" => {
+                args.scenario.categories = val("--categories")?.parse().map_err(|e| format!("{e}"))?
+            }
+            "--seed" => args.scenario.seed = val("--seed")?.parse().map_err(|e| format!("{e}"))?,
+            "--reps" => args.reps = val("--reps")?.parse().map_err(|e| format!("{e}"))?,
+            "--single" => args.single = true,
+            "--impl" => args.impl_filter = Some(val("--impl")?),
+            "--scaled" => args.scaled = true,
+            "--list" => args.list = true,
+            "--verify" => args.verify = true,
+            "--help" | "-h" => {
+                println!(
+                    "genomictest: BEAGLE-RS synthetic benchmark\n\
+                     options: --model M --taxa N --patterns N --categories N --reps N\n\
+                     \x20        --single --impl NAME --scaled --seed N --list --verify"
+                );
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown argument {other}")),
+        }
+    }
+    Ok(args)
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("genomictest: {e}");
+            std::process::exit(2);
+        }
+    };
+
+    let manager = full_manager();
+    if args.list {
+        println!("available implementations:");
+        for (name, res) in manager
+            .implementation_names()
+            .into_iter()
+            .zip(manager.resource_list())
+        {
+            println!("  {name:<40} on {}", res.name);
+        }
+        return;
+    }
+
+    let s = args.scenario;
+    println!(
+        "# genomictest: model={:?} taxa={} patterns={} categories={} precision={} seed={}",
+        s.model,
+        s.taxa,
+        s.patterns,
+        s.categories,
+        if args.single { "single" } else { "double" },
+        s.seed
+    );
+    let problem = Problem::generate(&s);
+    let config = problem.config();
+
+    let precision = if args.single { Flags::PRECISION_SINGLE } else { Flags::PRECISION_DOUBLE };
+    let names = manager.implementation_names();
+    let selected: Vec<String> = match &args.impl_filter {
+        Some(f) => names.into_iter().filter(|n| n.contains(f.as_str())).collect(),
+        None => names,
+    };
+    if selected.is_empty() {
+        eprintln!("genomictest: no implementation matches filter");
+        std::process::exit(2);
+    }
+
+    let oracle = if args.verify { Some(problem.oracle()) } else { None };
+
+    println!(
+        "{:<42} {:>12} {:>14} {:>18}  timing",
+        "implementation", "GFLOPS", "ms/traversal", "lnL"
+    );
+    for name in selected {
+        // Re-resolve by exact-name requirement: create through the factory
+        // list to pin the implementation.
+        let inst = pin_implementation(&manager, &name, &config, precision);
+        let Some(mut inst) = inst else {
+            println!("{name:<42} {:>12}", "unsupported");
+            continue;
+        };
+        let report = benchmark(&problem, inst.as_mut(), args.reps);
+        println!(
+            "{:<42} {:>12.2} {:>14.3} {:>18.4}  {}",
+            name,
+            report.gflops,
+            report.per_traversal.as_secs_f64() * 1e3,
+            report.log_likelihood,
+            if report.simulated { "simulated" } else { "measured" }
+        );
+        if let Some(o) = oracle {
+            let rel = ((report.log_likelihood - o) / o).abs();
+            let ok = rel < if args.single { 1e-4 } else { 1e-9 };
+            println!("    verify: oracle {o:.4}, rel err {rel:.2e} {}", if ok { "OK" } else { "MISMATCH" });
+            if !ok {
+                std::process::exit(1);
+            }
+        }
+    }
+}
+
+/// Create an instance of exactly the named implementation.
+fn pin_implementation(
+    manager: &beagle_core::ImplementationManager,
+    name: &str,
+    config: &beagle_core::InstanceConfig,
+    precision: Flags,
+) -> Option<Box<dyn beagle_core::BeagleInstance>> {
+    manager.create_instance_by_name(name, config, precision).ok()
+}

@@ -1,0 +1,112 @@
+//! The BEAGLE-RS verification suite — the Rust equivalent of the paper's
+//! "set of testing scripts which evaluate different analyses types by
+//! varying input parameters to our genomictest program" (§V-A).
+//!
+//! Runs a matrix of analysis types (model family × rate categories ×
+//! precision × scaling × taxa) on every registered implementation and
+//! checks each result against the reference pruning oracle. Exit code 0
+//! means every combination passed.
+//!
+//! Run: `cargo run -p genomictest --bin testsuite --release [-- --quick]`
+
+use beagle_core::Flags;
+use genomictest::{full_manager, ModelKind, Problem, Scenario};
+
+struct CaseResult {
+    passed: usize,
+    failed: usize,
+    skipped: usize,
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let manager = full_manager();
+    let names = manager.implementation_names();
+
+    // The analysis-type matrix.
+    let models = [ModelKind::Nucleotide, ModelKind::AminoAcid, ModelKind::Codon];
+    let taxa_list: &[usize] = if quick { &[4, 16] } else { &[4, 16, 48] };
+    let categories_list = [1usize, 4];
+
+    let mut totals = CaseResult { passed: 0, failed: 0, skipped: 0 };
+    println!("BEAGLE-RS verification suite ({} implementations)", names.len());
+    println!("{:-<78}", "");
+
+    for model in models {
+        for &taxa in taxa_list {
+            for &categories in &categories_list {
+                // Cap the target below the number of distinct columns the
+                // state space can produce (4 nucleotide taxa only have 256).
+                let want = match model {
+                    ModelKind::Codon => 150,
+                    _ => 600,
+                };
+                let cap = beagle_phylo::simulate::max_unique_patterns(model.alphabet(), taxa);
+                let patterns = want.min((cap * 0.6) as usize).max(16);
+                let scenario = Scenario {
+                    model,
+                    taxa,
+                    patterns,
+                    categories,
+                    seed: 7_000 + taxa as u64 * 10 + categories as u64,
+                };
+                let problem = Problem::generate(&scenario);
+                let oracle = problem.oracle();
+                print!(
+                    "{:<10} taxa={:<3} cats={} patterns={:<5} oracle={:<14.2}",
+                    format!("{model:?}"),
+                    taxa,
+                    categories,
+                    problem.patterns.pattern_count(),
+                    oracle
+                );
+
+                let mut case = CaseResult { passed: 0, failed: 0, skipped: 0 };
+                for name in &names {
+                    for (single, scaled) in [(false, false), (false, true), (true, true)] {
+                        let precision = if single {
+                            Flags::PRECISION_SINGLE
+                        } else {
+                            Flags::PRECISION_DOUBLE
+                        };
+                        let Ok(mut inst) =
+                            manager.create_instance_by_name(name, &problem.config(), precision)
+                        else {
+                            case.skipped += 1;
+                            continue;
+                        };
+                        problem.load(inst.as_mut());
+                        let lnl = problem.evaluate(inst.as_mut(), scaled);
+                        let rel = ((lnl - oracle) / oracle).abs();
+                        let tol = if single { 1e-4 } else { 1e-9 };
+                        if rel < tol {
+                            case.passed += 1;
+                        } else {
+                            case.failed += 1;
+                            println!();
+                            println!(
+                                "  FAIL {name} single={single} scaled={scaled}: {lnl} vs {oracle} (rel {rel:.2e})"
+                            );
+                        }
+                    }
+                }
+                println!(
+                    "  pass {:>3}  fail {:>2}  skip {:>2}",
+                    case.passed, case.failed, case.skipped
+                );
+                totals.passed += case.passed;
+                totals.failed += case.failed;
+                totals.skipped += case.skipped;
+            }
+        }
+    }
+
+    println!("{:-<78}", "");
+    println!(
+        "total: {} passed, {} failed, {} skipped (unsupported configurations)",
+        totals.passed, totals.failed, totals.skipped
+    );
+    if totals.failed > 0 {
+        std::process::exit(1);
+    }
+}

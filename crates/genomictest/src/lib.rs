@@ -1,0 +1,316 @@
+//! # genomictest
+//!
+//! BEAGLE-RS's test and benchmark program, mirroring the `genomictest` tool
+//! of the BEAGLE project (§V-A): it "generates random synthetic datasets of
+//! arbitrary sizes and is used to evaluate performance and assure correct
+//! functioning of the library". Throughput is reported as effective GFLOPS
+//! of the partial-likelihoods function, which makes results comparable
+//! across problem sizes and precisions and indicates whether a kernel is
+//! compute- or memory-bound.
+
+use std::time::{Duration, Instant};
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+use beagle_core::{
+    BeagleInstance, Flags, ImplementationManager, InstanceConfig, Operation,
+};
+use beagle_phylo::likelihood::log_likelihood;
+use beagle_phylo::models::{aminoacid, codon, nucleotide};
+use beagle_phylo::simulate::simulate_patterns;
+use beagle_phylo::{Alphabet, ReversibleModel, SitePatterns, SiteRates, Tree};
+
+/// Which substitution model family a scenario uses.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ModelKind {
+    /// 4-state HKY85 nucleotide model.
+    Nucleotide,
+    /// 20-state Poisson amino-acid model.
+    AminoAcid,
+    /// 61-state GY94-style codon model.
+    Codon,
+}
+
+impl ModelKind {
+    /// State count of the family.
+    pub fn state_count(self) -> usize {
+        self.alphabet().state_count()
+    }
+
+    /// The underlying alphabet.
+    pub fn alphabet(self) -> Alphabet {
+        match self {
+            ModelKind::Nucleotide => Alphabet::Dna,
+            ModelKind::AminoAcid => Alphabet::AminoAcid,
+            ModelKind::Codon => Alphabet::Codon,
+        }
+    }
+
+    /// Build a representative model of the family.
+    pub fn build(self) -> ReversibleModel {
+        match self {
+            ModelKind::Nucleotide => nucleotide::hky85(2.0, &[0.3, 0.2, 0.25, 0.25]),
+            ModelKind::AminoAcid => aminoacid::poisson(&aminoacid::uniform_frequencies()),
+            ModelKind::Codon => codon::gy94(
+                codon::CodonModelParams::default(),
+                &codon::uniform_codon_frequencies(),
+            ),
+        }
+    }
+}
+
+/// A synthetic benchmark scenario.
+#[derive(Clone, Copy, Debug)]
+pub struct Scenario {
+    /// Model family (fixes the state count).
+    pub model: ModelKind,
+    /// Number of tip sequences.
+    pub taxa: usize,
+    /// Target number of unique site patterns.
+    pub patterns: usize,
+    /// Rate categories.
+    pub categories: usize,
+    /// RNG seed (scenarios are fully reproducible).
+    pub seed: u64,
+}
+
+impl Scenario {
+    /// A small default scenario.
+    pub fn default_nucleotide() -> Self {
+        Scenario { model: ModelKind::Nucleotide, taxa: 16, patterns: 1000, categories: 4, seed: 1 }
+    }
+}
+
+/// A fully materialized problem: tree + model + rates + data.
+pub struct Problem {
+    /// The (random) tree.
+    pub tree: Tree,
+    /// The substitution model.
+    pub model: ReversibleModel,
+    /// Rate heterogeneity.
+    pub rates: SiteRates,
+    /// Compressed unique site patterns.
+    pub patterns: SitePatterns,
+}
+
+impl Problem {
+    /// Generate the problem a scenario describes.
+    pub fn generate(s: &Scenario) -> Problem {
+        let mut rng = SmallRng::seed_from_u64(s.seed);
+        let tree = Tree::random(s.taxa, 0.1, &mut rng);
+        let model = s.model.build();
+        let rates = if s.categories > 1 {
+            SiteRates::discrete_gamma(0.5, s.categories)
+        } else {
+            SiteRates::constant()
+        };
+        let patterns = simulate_patterns(&tree, &model, &rates, s.patterns, &mut rng);
+        Problem { tree, model, rates, patterns }
+    }
+
+    /// Instance configuration for this problem.
+    pub fn config(&self) -> InstanceConfig {
+        InstanceConfig::for_tree(
+            self.tree.taxon_count(),
+            self.patterns.pattern_count(),
+            self.model.state_count(),
+            self.rates.category_count(),
+        )
+    }
+
+    /// The post-order operation list (optionally with per-op rescaling).
+    pub fn operations(&self, scaled: bool) -> Vec<Operation> {
+        self.tree
+            .operation_schedule()
+            .iter()
+            .map(|e| {
+                let op = Operation::new(e.destination, e.child1, e.matrix1, e.child2, e.matrix2);
+                if scaled { op.with_scaling(e.destination) } else { op }
+            })
+            .collect()
+    }
+
+    /// Load all static data (tips, eigen, rates, weights) into an instance
+    /// and compute the transition matrices.
+    pub fn load(&self, inst: &mut dyn BeagleInstance) {
+        let eig = self.model.eigen();
+        inst.set_eigen_decomposition(
+            0,
+            eig.vectors.as_slice(),
+            eig.inverse_vectors.as_slice(),
+            &eig.values,
+        )
+        .expect("set eigen");
+        inst.set_state_frequencies(0, self.model.frequencies()).expect("set freqs");
+        inst.set_category_rates(&self.rates.rates).expect("set rates");
+        inst.set_category_weights(0, &self.rates.weights).expect("set weights");
+        inst.set_pattern_weights(self.patterns.weights()).expect("set pattern weights");
+        for tip in 0..self.tree.taxon_count() {
+            inst.set_tip_states(tip, &self.patterns.tip_states(tip)).expect("set tips");
+        }
+        let (idx, len): (Vec<usize>, Vec<f64>) =
+            self.tree.branch_assignments().iter().copied().unzip();
+        inst.update_transition_matrices(0, &idx, &len).expect("update matrices");
+    }
+
+    /// Full log-likelihood evaluation through the BEAGLE API.
+    pub fn evaluate(&self, inst: &mut dyn BeagleInstance, scaled: bool) -> f64 {
+        let ops = self.operations(scaled);
+        inst.update_partials(&ops).expect("update partials");
+        let cum = if scaled {
+            let c = inst.config().scale_buffer_count - 1;
+            inst.reset_scale_factors(c).expect("reset scale");
+            let bufs: Vec<usize> = ops.iter().map(|o| o.destination).collect();
+            inst.accumulate_scale_factors(&bufs, c).expect("accumulate scale");
+            Some(c)
+        } else {
+            None
+        };
+        inst.calculate_root_log_likelihoods(self.tree.root(), 0, 0, cum)
+            .expect("root lnL")
+    }
+
+    /// Reference log-likelihood from the pruning oracle.
+    pub fn oracle(&self) -> f64 {
+        log_likelihood(&self.tree, &self.model, &self.rates, &self.patterns)
+    }
+
+    /// Effective flop count of one full partial-likelihoods traversal:
+    /// `(n−1)` operations × `categories × patterns × states × (4·states+2)`.
+    pub fn traversal_flops(&self) -> f64 {
+        let s = self.model.state_count() as f64;
+        let ops = (self.tree.taxon_count() - 1) as f64;
+        ops * self.rates.category_count() as f64
+            * self.patterns.pattern_count() as f64
+            * s
+            * (4.0 * s + 2.0)
+    }
+}
+
+/// One throughput measurement.
+#[derive(Clone, Copy, Debug)]
+pub struct ThroughputReport {
+    /// Effective billions of floating-point operations per second for the
+    /// partial-likelihoods function.
+    pub gflops: f64,
+    /// Time per traversal.
+    pub per_traversal: Duration,
+    /// Log-likelihood from the final evaluation (correctness telltale).
+    pub log_likelihood: f64,
+    /// Whether timing came from the simulated device clock.
+    pub simulated: bool,
+}
+
+/// Benchmark the partial-likelihoods function on `inst`: `reps` full
+/// traversals, timed with the simulated device clock when the instance has
+/// one, the wall clock otherwise.
+pub fn benchmark(problem: &Problem, inst: &mut dyn BeagleInstance, reps: usize) -> ThroughputReport {
+    problem.load(inst);
+    let ops = problem.operations(false);
+    // Warm-up traversal (first-touch allocation, pool spin-up).
+    inst.update_partials(&ops).expect("warmup");
+
+    let simulated = inst.simulated_time().is_some();
+    inst.reset_simulated_time();
+    let start = Instant::now();
+    for _ in 0..reps {
+        inst.update_partials(&ops).expect("timed traversal");
+    }
+    let elapsed = inst.simulated_time().unwrap_or_else(|| start.elapsed());
+    let lnl = inst
+        .calculate_root_log_likelihoods(problem.tree.root(), 0, 0, None)
+        .expect("root lnL");
+
+    let per_traversal = elapsed / reps as u32;
+    let gflops = problem.traversal_flops() / per_traversal.as_secs_f64() / 1e9;
+    ThroughputReport { gflops, per_traversal, log_likelihood: lnl, simulated }
+}
+
+/// A manager with every implementation in the workspace registered:
+/// the five CPU models, CUDA, OpenCL-GPU per device, and OpenCL-x86.
+pub fn full_manager() -> ImplementationManager {
+    let mut m = ImplementationManager::new();
+    beagle_cpu::register_cpu_factories(&mut m);
+    beagle_accel::register_accel_factories(&mut m);
+    m
+}
+
+/// Correctness check (genomictest's testing-script role): evaluate on the
+/// given instance and compare to the oracle. Returns `(beagle, oracle)`.
+pub fn verify(problem: &Problem, inst: &mut dyn BeagleInstance, scaled: bool) -> (f64, f64) {
+    problem.load(inst);
+    let lnl = problem.evaluate(inst, scaled);
+    (lnl, problem.oracle())
+}
+
+/// Convenience: create the best instance for `flags` preferences.
+pub fn create_instance(
+    problem: &Problem,
+    prefs: Flags,
+    reqs: Flags,
+) -> beagle_core::Result<Box<dyn BeagleInstance>> {
+    full_manager().create_instance(&problem.config(), prefs, reqs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scenario_generates_exact_pattern_count() {
+        let s = Scenario { model: ModelKind::Nucleotide, taxa: 8, patterns: 333, categories: 2, seed: 9 };
+        let p = Problem::generate(&s);
+        assert_eq!(p.patterns.pattern_count(), 333);
+        assert_eq!(p.config().state_count, 4);
+    }
+
+    #[test]
+    fn verify_serial_cpu_against_oracle() {
+        let s = Scenario { model: ModelKind::Nucleotide, taxa: 6, patterns: 100, categories: 2, seed: 10 };
+        let p = Problem::generate(&s);
+        let mut inst = create_instance(&p, Flags::NONE, Flags::THREADING_NONE).unwrap();
+        let (beagle, oracle) = verify(&p, inst.as_mut(), false);
+        assert!((beagle - oracle).abs() < 1e-8, "{beagle} vs {oracle}");
+    }
+
+    #[test]
+    fn benchmark_reports_positive_throughput() {
+        let s = Scenario { model: ModelKind::Nucleotide, taxa: 8, patterns: 600, categories: 2, seed: 11 };
+        let p = Problem::generate(&s);
+        let mut inst = create_instance(&p, Flags::NONE, Flags::THREADING_THREAD_POOL).unwrap();
+        let r = benchmark(&p, inst.as_mut(), 2);
+        assert!(r.gflops > 0.0);
+        assert!(!r.simulated);
+        assert!(r.log_likelihood.is_finite());
+    }
+
+    #[test]
+    fn gpu_benchmark_uses_simulated_clock() {
+        let s = Scenario { model: ModelKind::Nucleotide, taxa: 8, patterns: 500, categories: 2, seed: 12 };
+        let p = Problem::generate(&s);
+        let mut inst = create_instance(&p, Flags::NONE, Flags::FRAMEWORK_CUDA).unwrap();
+        let r = benchmark(&p, inst.as_mut(), 2);
+        assert!(r.simulated);
+        assert!(r.gflops > 0.0);
+    }
+
+    #[test]
+    fn flop_convention() {
+        let s = Scenario { model: ModelKind::Nucleotide, taxa: 3, patterns: 10, categories: 2, seed: 13 };
+        let p = Problem::generate(&s);
+        // (3-1 ops) * 2 cats * 10 patterns * 4 states * 18
+        assert_eq!(p.traversal_flops(), 2.0 * 2.0 * 10.0 * 4.0 * 18.0);
+    }
+
+    #[test]
+    fn full_manager_has_all_families() {
+        let m = full_manager();
+        let names = m.implementation_names();
+        assert!(names.iter().any(|n| n.starts_with("CPU-serial")));
+        assert!(names.iter().any(|n| n.starts_with("CPU-threadpool")));
+        assert!(names.iter().any(|n| n.starts_with("CUDA")));
+        assert!(names.iter().any(|n| n.starts_with("OpenCL-GPU")));
+        assert!(names.iter().any(|n| n == "OpenCL-x86"));
+    }
+}

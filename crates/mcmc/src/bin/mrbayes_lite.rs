@@ -1,0 +1,211 @@
+//! MrBayes-lite: run a Bayesian MC³ analysis of synthetic data with a
+//! selectable likelihood provider.
+//!
+//! ```text
+//! mrbayes-lite [--model nucleotide|codon] [--taxa N] [--patterns N]
+//!              [--generations N] [--chains N] [--engine native|native-double|IMPL]
+//!              [--single] [--seed N]
+//! ```
+//!
+//! `--engine` takes `native` (MrBayes-style built-in SSE path),
+//! `native-double`, or any BEAGLE-RS implementation name substring
+//! (e.g. `threadpool`, `OpenCL-x86`, `CUDA`).
+
+use beagle_core::Flags;
+use beagle_mcmc::{run_mc3, BeagleEngine, LikelihoodEngine, Mc3Config, ModelParams, NativeEngine};
+use beagle_phylo::{SiteRates, Tree};
+use genomictest::{full_manager, ModelKind, Problem, Scenario};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+struct Args {
+    model: ModelKind,
+    taxa: usize,
+    patterns: usize,
+    generations: usize,
+    chains: usize,
+    engine: String,
+    single: bool,
+    seed: u64,
+}
+
+fn parse() -> Result<Args, String> {
+    let mut a = Args {
+        model: ModelKind::Nucleotide,
+        taxa: 16,
+        patterns: 2000,
+        generations: 500,
+        chains: 4,
+        engine: "native".into(),
+        single: false,
+        seed: 1,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        let mut val = |n: &str| it.next().ok_or_else(|| format!("{n} needs a value"));
+        match arg.as_str() {
+            "--model" => {
+                a.model = match val("--model")?.as_str() {
+                    "nucleotide" | "dna" => ModelKind::Nucleotide,
+                    "codon" => ModelKind::Codon,
+                    other => return Err(format!("unsupported model {other}")),
+                }
+            }
+            "--taxa" => a.taxa = val("--taxa")?.parse().map_err(|e| format!("{e}"))?,
+            "--patterns" => a.patterns = val("--patterns")?.parse().map_err(|e| format!("{e}"))?,
+            "--generations" => {
+                a.generations = val("--generations")?.parse().map_err(|e| format!("{e}"))?
+            }
+            "--chains" => a.chains = val("--chains")?.parse().map_err(|e| format!("{e}"))?,
+            "--engine" => a.engine = val("--engine")?,
+            "--single" => a.single = true,
+            "--seed" => a.seed = val("--seed")?.parse().map_err(|e| format!("{e}"))?,
+            "--help" | "-h" => {
+                println!(
+                    "mrbayes-lite: MC3 Bayesian phylogenetics on BEAGLE-RS\n\
+                     options: --model M --taxa N --patterns N --generations N --chains N\n\
+                     \x20        --engine native|native-double|IMPL_SUBSTRING --single --seed N"
+                );
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown argument {other}")),
+        }
+    }
+    Ok(a)
+}
+
+fn make_engines(args: &Args, problem: &Problem) -> Vec<Box<dyn LikelihoodEngine>> {
+    let states = args.model.state_count();
+    (0..args.chains)
+        .map(|_| -> Box<dyn LikelihoodEngine> {
+            match args.engine.as_str() {
+                "native" => Box::new(NativeEngine::<f32>::new(
+                    args.taxa,
+                    problem.patterns.clone(),
+                    problem.rates.clone(),
+                    states,
+                )),
+                "native-double" => Box::new(NativeEngine::<f64>::new(
+                    args.taxa,
+                    problem.patterns.clone(),
+                    problem.rates.clone(),
+                    states,
+                )),
+                name => {
+                    let manager = full_manager();
+                    let full_name = manager
+                        .implementation_names()
+                        .into_iter()
+                        .find(|n| n.contains(name))
+                        .unwrap_or_else(|| {
+                            eprintln!("mrbayes-lite: no implementation matching '{name}'");
+                            std::process::exit(2);
+                        });
+                    let precision = if args.single {
+                        Flags::PRECISION_SINGLE
+                    } else {
+                        Flags::PRECISION_DOUBLE
+                    };
+                    let inst = manager
+                        .create_instance_by_name(&full_name, &problem.config(), precision)
+                        .expect("create instance");
+                    Box::new(BeagleEngine::new(
+                        inst,
+                        problem.patterns.clone(),
+                        problem.rates.clone(),
+                        true,
+                    ))
+                }
+            }
+        })
+        .collect()
+}
+
+fn main() {
+    let args = match parse() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("mrbayes-lite: {e}");
+            std::process::exit(2);
+        }
+    };
+
+    let scenario = Scenario {
+        model: args.model,
+        taxa: args.taxa,
+        patterns: args.patterns,
+        categories: if matches!(args.model, ModelKind::Nucleotide) { 4 } else { 1 },
+        seed: args.seed,
+    };
+    let problem = Problem::generate(&scenario);
+    let mut engines = make_engines(&args, &problem);
+    println!(
+        "# mrbayes-lite: {:?} model, {} taxa, {} unique patterns, {} chains, {} generations",
+        args.model,
+        args.taxa,
+        problem.patterns.pattern_count(),
+        args.chains,
+        args.generations
+    );
+    println!("# engine: {}", engines[0].name());
+
+    let params = match args.model {
+        ModelKind::Codon => ModelParams::Codon { kappa: 2.0, omega: 0.5 },
+        _ => ModelParams::Nucleotide { kappa: 2.0 },
+    };
+    let mut rng = SmallRng::seed_from_u64(args.seed.wrapping_mul(31));
+    let start_tree = Tree::random(args.taxa, 0.1, &mut rng);
+    let _ = SiteRates::constant();
+
+    let config = Mc3Config {
+        chains: args.chains,
+        generations: args.generations,
+        swap_interval: 10,
+        sample_interval: 10,
+        heating: 0.1,
+        seed: args.seed,
+    };
+    let result = run_mc3(&config, &start_tree, params, &mut engines);
+
+    println!("final cold-chain lnL : {:.4}", result.final_log_likelihood);
+    for (i, st) in result.chain_stats.iter().enumerate() {
+        println!("chain {i} acceptance  : {:.3}", st.acceptance_rate());
+    }
+    println!(
+        "swaps accepted       : {}/{}",
+        result.swaps_accepted, result.swaps_attempted
+    );
+    println!(
+        "likelihood time      : {:.3} s ({})",
+        result.likelihood_time.as_secs_f64(),
+        if engines[0].name().contains("CUDA") || engines[0].name().contains("OpenCL-GPU") {
+            "simulated device time"
+        } else {
+            "measured wall time"
+        }
+    );
+    println!("total wall time      : {:.3} s", result.wall_time.as_secs_f64());
+
+    // Posterior summaries (25% burn-in, MrBayes' default).
+    let post = result.posterior.burn_in(0.25);
+    if !post.is_empty() {
+        let k = post.kappa_summary();
+        println!(
+            "posterior kappa      : mean {:.3}  95% [{:.3}, {:.3}]  (n = {})",
+            k.mean, k.lower95, k.upper95, k.n
+        );
+        if let Some(o) = post.omega_summary() {
+            println!(
+                "posterior omega      : mean {:.3}  95% [{:.3}, {:.3}]",
+                o.mean, o.lower95, o.upper95
+            );
+        }
+        println!("lnL effective sample : {:.1}", post.lnl_ess());
+        println!("clade supports (top 5 of the majority-rule set):");
+        for (clade, support) in post.clade_supports().into_iter().take(5) {
+            let members: Vec<String> =
+                clade.members().iter().map(|t| format!("t{t}")).collect();
+            println!("  {:.2}  ({})", support, members.join(","));
+        }
+    }
+}

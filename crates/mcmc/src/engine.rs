@@ -1,0 +1,324 @@
+//! Likelihood engines: the pluggable likelihood providers MrBayes-lite runs
+//! on, mirroring the paper's Fig. 6 comparison between MrBayes' built-in
+//! (native SSE) likelihood code and BEAGLE-backed computation.
+
+use std::time::{Duration, Instant};
+
+use beagle_core::{BeagleInstance, Operation};
+use beagle_cpu::{kernels, vector};
+use beagle_phylo::{ReversibleModel, SitePatterns, SiteRates, Tree};
+
+/// A provider of tree log-likelihoods, with its own time accounting:
+/// wall-clock for real CPU execution, simulated device time for the
+/// simulated GPUs (see DESIGN.md §1).
+pub trait LikelihoodEngine: Send {
+    /// Engine display name for reports.
+    fn name(&self) -> String;
+
+    /// Log-likelihood of `tree` under `model` for this engine's data.
+    fn log_likelihood(&mut self, tree: &Tree, model: &ReversibleModel) -> f64;
+
+    /// Cumulative likelihood-computation time since creation.
+    fn elapsed(&self) -> Duration;
+}
+
+/// An engine backed by any BEAGLE-RS instance.
+pub struct BeagleEngine {
+    instance: Box<dyn BeagleInstance>,
+    patterns: SitePatterns,
+    rates: SiteRates,
+    scaled: bool,
+    tips_loaded: bool,
+    wall: Duration,
+    label: String,
+}
+
+impl BeagleEngine {
+    /// Wrap an instance. `scaled` enables per-operation rescaling (required
+    /// for single precision on large trees).
+    pub fn new(
+        instance: Box<dyn BeagleInstance>,
+        patterns: SitePatterns,
+        rates: SiteRates,
+        scaled: bool,
+    ) -> Self {
+        let label = instance.details().implementation_name.clone();
+        Self { instance, patterns, rates, scaled, tips_loaded: false, wall: Duration::ZERO, label }
+    }
+}
+
+impl LikelihoodEngine for BeagleEngine {
+    fn name(&self) -> String {
+        self.label.clone()
+    }
+
+    fn log_likelihood(&mut self, tree: &Tree, model: &ReversibleModel) -> f64 {
+        let start = Instant::now();
+        let inst = self.instance.as_mut();
+        if !self.tips_loaded {
+            for tip in 0..tree.taxon_count() {
+                inst.set_tip_states(tip, &self.patterns.tip_states(tip)).expect("tips");
+            }
+            inst.set_pattern_weights(self.patterns.weights()).expect("pattern weights");
+            inst.set_category_rates(&self.rates.rates).expect("rates");
+            inst.set_category_weights(0, &self.rates.weights).expect("weights");
+            self.tips_loaded = true;
+        }
+        // Parameters may have changed every call: reload eigen + freqs and
+        // recompute all transition matrices (MrBayes touches a subset per
+        // move; a full refresh keeps the comparison uniform across engines).
+        let eig = model.eigen();
+        inst.set_eigen_decomposition(
+            0,
+            eig.vectors.as_slice(),
+            eig.inverse_vectors.as_slice(),
+            &eig.values,
+        )
+        .expect("eigen");
+        inst.set_state_frequencies(0, model.frequencies()).expect("freqs");
+        let (idx, len): (Vec<usize>, Vec<f64>) =
+            tree.branch_assignments().iter().copied().unzip();
+        inst.update_transition_matrices(0, &idx, &len).expect("matrices");
+
+        let ops: Vec<Operation> = tree
+            .operation_schedule()
+            .iter()
+            .map(|e| {
+                let op = Operation::new(e.destination, e.child1, e.matrix1, e.child2, e.matrix2);
+                if self.scaled { op.with_scaling(e.destination) } else { op }
+            })
+            .collect();
+        inst.update_partials(&ops).expect("partials");
+        let cum = if self.scaled {
+            let c = inst.config().scale_buffer_count - 1;
+            inst.reset_scale_factors(c).expect("reset scale");
+            let bufs: Vec<usize> = ops.iter().map(|o| o.destination).collect();
+            inst.accumulate_scale_factors(&bufs, c).expect("accumulate");
+            Some(c)
+        } else {
+            None
+        };
+        let lnl = inst
+            .calculate_root_log_likelihoods(tree.root(), 0, 0, cum)
+            .expect("root lnL");
+        self.wall += start.elapsed();
+        lnl
+    }
+
+    fn elapsed(&self) -> Duration {
+        // Simulated devices report modeled time; everything else wall time.
+        self.instance.simulated_time().unwrap_or(self.wall)
+    }
+}
+
+/// MrBayes' built-in likelihood path: a lean, serial pruning engine with
+/// vectorized 4-state kernels ("MrBayes uses SSE vectorization in
+/// single-precision floating point format", §VIII-C). It does not go
+/// through the BEAGLE API at all — this is the Fig. 6 baseline.
+pub struct NativeEngine<T: beagle_core::Real> {
+    patterns: SitePatterns,
+    rates: SiteRates,
+    /// Flat partials arena, `[node][cat*pattern*state]`.
+    partials: Vec<Vec<T>>,
+    /// Per-node transition matrices, `[cat][s][s]`.
+    matrices: Vec<Vec<T>>,
+    /// Per-pattern log scale accumulators.
+    scale: Vec<T>,
+    wall: Duration,
+}
+
+impl<T: beagle_core::Real> NativeEngine<T> {
+    /// Allocate for a fixed data set and tree size.
+    pub fn new(taxa: usize, patterns: SitePatterns, rates: SiteRates, states: usize) -> Self {
+        let nodes = 2 * taxa - 1;
+        let len = rates.category_count() * patterns.pattern_count() * states;
+        let mlen = rates.category_count() * states * states;
+        Self {
+            partials: vec![vec![T::ZERO; len]; nodes],
+            matrices: vec![vec![T::ZERO; mlen]; nodes],
+            scale: vec![T::ZERO; patterns.pattern_count()],
+            patterns,
+            rates,
+            wall: Duration::ZERO,
+        }
+    }
+}
+
+impl<T: beagle_core::Real> LikelihoodEngine for NativeEngine<T> {
+    fn name(&self) -> String {
+        format!(
+            "native-SSE ({} precision)",
+            if std::mem::size_of::<T>() == 4 { "single" } else { "double" }
+        )
+    }
+
+    fn log_likelihood(&mut self, tree: &Tree, model: &ReversibleModel) -> f64 {
+        let start = Instant::now();
+        let s = model.state_count();
+        let n_pat = self.patterns.pattern_count();
+        let n_cat = self.rates.category_count();
+
+        // Transition matrices (double-precision eigen math, narrowed).
+        for (node, t) in tree.branch_assignments() {
+            for (c, &rate) in self.rates.rates.iter().enumerate() {
+                let p = model.transition_matrix(rate * t);
+                let block = &mut self.matrices[node][c * s * s..(c + 1) * s * s];
+                for (dst, &src) in block.iter_mut().zip(p.as_slice()) {
+                    *dst = T::from_f64(src.max(0.0));
+                }
+            }
+        }
+
+        // Tip partials from states.
+        for tip in 0..tree.taxon_count() {
+            let states = self.patterns.tip_states(tip);
+            let buf = &mut self.partials[tip];
+            buf.iter_mut().for_each(|x| *x = T::ZERO);
+            for c in 0..n_cat {
+                for (p, &st) in states.iter().enumerate() {
+                    let base = (c * n_pat + p) * s;
+                    if st == beagle_core::GAP_STATE {
+                        buf[base..base + s].fill(T::ONE);
+                    } else {
+                        buf[base + st as usize] = T::ONE;
+                    }
+                }
+            }
+        }
+
+        // Post-order pruning with per-node rescaling (MrBayes rescales
+        // unconditionally in its native path).
+        self.scale.iter_mut().for_each(|x| *x = T::ZERO);
+        for entry in tree.operation_schedule() {
+            let [c1, c2, dest] = distinct_three(
+                &mut self.partials,
+                entry.child1,
+                entry.child2,
+                entry.destination,
+            );
+            let m1 = &self.matrices[entry.matrix1];
+            let m2 = &self.matrices[entry.matrix2];
+            for c in 0..n_cat {
+                let r = (c * n_pat) * s..((c + 1) * n_pat) * s;
+                let m1c = &m1[c * s * s..(c + 1) * s * s];
+                let m2c = &m2[c * s * s..(c + 1) * s * s];
+                if s == 4 {
+                    vector::partials_partials_4(&mut dest[r.clone()], &c1[r.clone()], &c2[r], m1c, m2c);
+                } else {
+                    kernels::partials_partials(&mut dest[r.clone()], &c1[r.clone()], &c2[r], m1c, m2c, s);
+                }
+            }
+            // Rescale this node's partials.
+            let mut blocks: Vec<&mut [T]> = dest.chunks_exact_mut(n_pat * s).collect();
+            let mut node_scale = vec![T::ZERO; n_pat];
+            kernels::rescale_patterns(&mut blocks, &mut node_scale, s);
+            for (acc, x) in self.scale.iter_mut().zip(&node_scale) {
+                *acc += *x;
+            }
+        }
+
+        // Root integration.
+        let freqs: Vec<T> = model.frequencies().iter().map(|&x| T::from_f64(x)).collect();
+        let catw: Vec<T> = self.rates.weights.iter().map(|&x| T::from_f64(x)).collect();
+        let pw: Vec<T> = self.patterns.weights().iter().map(|&x| T::from_f64(x)).collect();
+        let mut site = vec![T::ZERO; n_pat];
+        let total = kernels::integrate_root(
+            &mut site,
+            &self.partials[tree.root()],
+            &freqs,
+            &catw,
+            &pw,
+            Some(&self.scale),
+            s,
+            n_pat,
+            0,
+        );
+        self.wall += start.elapsed();
+        total
+    }
+
+    fn elapsed(&self) -> Duration {
+        self.wall
+    }
+}
+
+/// Borrow three distinct arena entries, the last mutably-for-writing.
+/// Returns `[child1, child2, destination]`.
+fn distinct_three<T>(arena: &mut [Vec<T>], a: usize, b: usize, dst: usize) -> [&mut Vec<T>; 3] {
+    assert!(a != dst && b != dst, "destination must differ from children");
+    // SAFETY: indices a, b, dst are distinct from dst (asserted); a may
+    // equal b only if the tree were malformed — also assert.
+    assert_ne!(a, b, "children must be distinct nodes");
+    unsafe {
+        let ptr = arena.as_mut_ptr();
+        [&mut *ptr.add(a), &mut *ptr.add(b), &mut *ptr.add(dst)]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use beagle_phylo::likelihood::log_likelihood;
+    use beagle_phylo::models::nucleotide::hky85;
+    use beagle_phylo::simulate::simulate_alignment;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn case() -> (Tree, ReversibleModel, SiteRates, SitePatterns) {
+        let mut rng = SmallRng::seed_from_u64(77);
+        let tree = Tree::random(10, 0.15, &mut rng);
+        let model = hky85(2.0, &[0.3, 0.2, 0.25, 0.25]);
+        let rates = SiteRates::discrete_gamma(0.5, 4);
+        let aln = simulate_alignment(&tree, &model, &rates, 300, &mut rng);
+        (tree, model, rates, SitePatterns::compress(&aln))
+    }
+
+    #[test]
+    fn native_double_matches_oracle() {
+        let (tree, model, rates, patterns) = case();
+        let oracle = log_likelihood(&tree, &model, &rates, &patterns);
+        let mut engine = NativeEngine::<f64>::new(10, patterns, rates, 4);
+        let lnl = engine.log_likelihood(&tree, &model);
+        assert!((lnl - oracle).abs() < 1e-8, "{lnl} vs {oracle}");
+        assert!(engine.elapsed() > Duration::ZERO);
+    }
+
+    #[test]
+    fn native_single_close_to_oracle() {
+        let (tree, model, rates, patterns) = case();
+        let oracle = log_likelihood(&tree, &model, &rates, &patterns);
+        let mut engine = NativeEngine::<f32>::new(10, patterns, rates, 4);
+        let lnl = engine.log_likelihood(&tree, &model);
+        assert!(((lnl - oracle) / oracle).abs() < 1e-4, "{lnl} vs {oracle}");
+    }
+
+    #[test]
+    fn beagle_engine_matches_native() {
+        let (tree, model, rates, patterns) = case();
+        let config = beagle_core::InstanceConfig::for_tree(10, patterns.pattern_count(), 4, 4);
+        let mut manager = beagle_core::ImplementationManager::new();
+        beagle_cpu::register_cpu_factories(&mut manager);
+        let inst = manager
+            .create_instance(&config, beagle_core::Flags::NONE, beagle_core::Flags::NONE)
+            .unwrap();
+        let mut be = BeagleEngine::new(inst, patterns.clone(), rates.clone(), true);
+        let mut ne = NativeEngine::<f64>::new(10, patterns, rates, 4);
+        let a = be.log_likelihood(&tree, &model);
+        let b = ne.log_likelihood(&tree, &model);
+        assert!((a - b).abs() < 1e-8, "{a} vs {b}");
+    }
+
+    #[test]
+    fn engine_is_reusable_across_tree_changes() {
+        let (mut tree, model, rates, patterns) = case();
+        let mut engine = NativeEngine::<f64>::new(10, patterns.clone(), rates.clone(), 4);
+        let l1 = engine.log_likelihood(&tree, &model);
+        // Change a branch length; likelihood must change and stay finite.
+        tree.node_mut(0).branch_length *= 3.0;
+        let l2 = engine.log_likelihood(&tree, &model);
+        assert!(l1.is_finite() && l2.is_finite() && (l1 - l2).abs() > 1e-9);
+        // And match a fresh oracle evaluation.
+        let oracle = log_likelihood(&tree, &model, &rates, &patterns);
+        assert!((l2 - oracle).abs() < 1e-8);
+    }
+}

@@ -1,0 +1,25 @@
+//! # beagle-mcmc — "MrBayes-lite"
+//!
+//! A Metropolis-coupled MCMC (MC³) Bayesian phylogenetic sampler, standing
+//! in for MrBayes 3.2.6 in the paper's application-level benchmark (Fig. 6).
+//! See DESIGN.md §1 for the substitution argument: the sampler and proposal
+//! mix are held fixed while the likelihood provider varies, so runtime
+//! ratios between providers transfer.
+//!
+//! * [`engine`] — pluggable likelihood engines: the MrBayes-style *native
+//!   SSE* baseline (no BEAGLE involved) and [`engine::BeagleEngine`]
+//!   wrapping any BEAGLE-RS instance
+//! * [`chain`] — chain state, priors, and the proposal mix (branch-length
+//!   multipliers, NNI topology moves, parameter multipliers)
+//! * [`mc3`] — the coupled-chain runner: one thread per chain ("MPI rank"),
+//!   temperature ladder, periodic state swaps
+
+pub mod chain;
+pub mod engine;
+pub mod mc3;
+pub mod posterior;
+
+pub use chain::{ChainState, MarkovChain, ModelParams};
+pub use engine::{BeagleEngine, LikelihoodEngine, NativeEngine};
+pub use mc3::{run_mc3, Mc3Config, Mc3Result};
+pub use posterior::{Posterior, Sample};

@@ -1,0 +1,256 @@
+//! Posterior sample collection and MCMC diagnostics.
+//!
+//! What a user keeps after an MC³ run: cold-chain samples of topology,
+//! branch lengths, and substitution parameters, summarized as clade
+//! supports, parameter means/intervals, and an effective-sample-size (ESS)
+//! diagnostic — the quantities MrBayes prints in its `.parts` / `.pstat`
+//! files.
+
+use beagle_phylo::clades::{clade_supports, Clade};
+use beagle_phylo::Tree;
+
+use crate::chain::ModelParams;
+
+/// One cold-chain sample.
+#[derive(Clone)]
+pub struct Sample {
+    /// Generation at which the sample was taken.
+    pub generation: usize,
+    /// Sampled tree (topology + branch lengths).
+    pub tree: Tree,
+    /// Sampled substitution parameters.
+    pub params: ModelParams,
+    /// Log-likelihood of the sample.
+    pub log_likelihood: f64,
+}
+
+/// A collected posterior sample with summary methods.
+#[derive(Default)]
+pub struct Posterior {
+    samples: Vec<Sample>,
+}
+
+impl Posterior {
+    /// Empty posterior.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record a sample.
+    pub fn record(&mut self, sample: Sample) {
+        self.samples.push(sample);
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// True when no samples are recorded.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// All samples.
+    pub fn samples(&self) -> &[Sample] {
+        &self.samples
+    }
+
+    /// Discard the first `fraction` of samples as burn-in (MrBayes default
+    /// is 25%).
+    pub fn burn_in(&self, fraction: f64) -> Posterior {
+        assert!((0.0..1.0).contains(&fraction));
+        let skip = (self.samples.len() as f64 * fraction).floor() as usize;
+        Posterior { samples: self.samples[skip..].to_vec() }
+    }
+
+    /// Posterior clade supports, sorted by decreasing support.
+    pub fn clade_supports(&self) -> Vec<(Clade, f64)> {
+        let trees: Vec<Tree> = self.samples.iter().map(|s| s.tree.clone()).collect();
+        clade_supports(&trees)
+    }
+
+    /// Posterior mean and 95% central interval of `kappa`.
+    pub fn kappa_summary(&self) -> ParameterSummary {
+        summarize(self.samples.iter().map(|s| match s.params {
+            ModelParams::Nucleotide { kappa } | ModelParams::Codon { kappa, .. } => kappa,
+        }))
+    }
+
+    /// Posterior mean and 95% central interval of `omega` (codon runs only).
+    pub fn omega_summary(&self) -> Option<ParameterSummary> {
+        let omegas: Vec<f64> = self
+            .samples
+            .iter()
+            .filter_map(|s| match s.params {
+                ModelParams::Codon { omega, .. } => Some(omega),
+                ModelParams::Nucleotide { .. } => None,
+            })
+            .collect();
+        if omegas.is_empty() {
+            None
+        } else {
+            Some(summarize(omegas.into_iter()))
+        }
+    }
+
+    /// Log-likelihood trace.
+    pub fn lnl_trace(&self) -> Vec<f64> {
+        self.samples.iter().map(|s| s.log_likelihood).collect()
+    }
+
+    /// Effective sample size of the log-likelihood trace.
+    pub fn lnl_ess(&self) -> f64 {
+        effective_sample_size(&self.lnl_trace())
+    }
+}
+
+/// Mean and central 95% interval of a scalar parameter.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ParameterSummary {
+    /// Posterior mean.
+    pub mean: f64,
+    /// 2.5% quantile.
+    pub lower95: f64,
+    /// 97.5% quantile.
+    pub upper95: f64,
+    /// Sample count.
+    pub n: usize,
+}
+
+fn summarize(values: impl Iterator<Item = f64>) -> ParameterSummary {
+    let mut v: Vec<f64> = values.collect();
+    assert!(!v.is_empty(), "cannot summarize an empty sample");
+    v.sort_by(f64::total_cmp);
+    let n = v.len();
+    let mean = v.iter().sum::<f64>() / n as f64;
+    let q = |p: f64| v[((n as f64 - 1.0) * p).round() as usize];
+    ParameterSummary { mean, lower95: q(0.025), upper95: q(0.975), n }
+}
+
+/// Effective sample size by the initial positive sequence estimator
+/// (Geyer 1992): `ESS = n / (1 + 2 Σ ρ_k)` with the autocorrelation sum
+/// truncated at the first non-positive pair sum.
+pub fn effective_sample_size(trace: &[f64]) -> f64 {
+    let n = trace.len();
+    if n < 4 {
+        return n as f64;
+    }
+    let mean = trace.iter().sum::<f64>() / n as f64;
+    let var: f64 = trace.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+    if var <= 0.0 {
+        // A constant trace carries no Monte-Carlo error; call it fully mixed.
+        return n as f64;
+    }
+    let autocov = |k: usize| -> f64 {
+        trace[..n - k]
+            .iter()
+            .zip(&trace[k..])
+            .map(|(a, b)| (a - mean) * (b - mean))
+            .sum::<f64>()
+            / n as f64
+    };
+    let mut rho_sum = 0.0;
+    let mut k = 1;
+    while k + 1 < n {
+        let pair = (autocov(k) + autocov(k + 1)) / var;
+        if pair <= 0.0 {
+            break;
+        }
+        rho_sum += pair;
+        k += 2;
+    }
+    (n as f64 / (1.0 + 2.0 * rho_sum)).clamp(1.0, n as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    fn sample_with(kappa: f64, lnl: f64, tree: Tree, generation: usize) -> Sample {
+        Sample { generation, tree, params: ModelParams::Nucleotide { kappa }, log_likelihood: lnl }
+    }
+
+    #[test]
+    fn burn_in_drops_prefix() {
+        let t = Tree::ladder(4, 0.1);
+        let mut p = Posterior::new();
+        for i in 0..100 {
+            p.record(sample_with(2.0, -(i as f64), t.clone(), i));
+        }
+        let kept = p.burn_in(0.25);
+        assert_eq!(kept.len(), 75);
+        assert_eq!(kept.samples()[0].generation, 25);
+    }
+
+    #[test]
+    fn kappa_summary_statistics() {
+        let t = Tree::ladder(4, 0.1);
+        let mut p = Posterior::new();
+        for i in 1..=99 {
+            p.record(sample_with(i as f64 / 10.0, -1.0, t.clone(), i));
+        }
+        let s = p.kappa_summary();
+        assert!((s.mean - 5.0).abs() < 1e-9);
+        assert!(s.lower95 < 0.5 && s.upper95 > 9.4);
+        assert_eq!(s.n, 99);
+    }
+
+    #[test]
+    fn omega_only_for_codon_runs() {
+        let t = Tree::ladder(4, 0.1);
+        let mut p = Posterior::new();
+        p.record(sample_with(2.0, -1.0, t.clone(), 0));
+        assert!(p.omega_summary().is_none());
+        p.record(Sample {
+            generation: 1,
+            tree: t,
+            params: ModelParams::Codon { kappa: 2.0, omega: 0.4 },
+            log_likelihood: -1.0,
+        });
+        let s = p.omega_summary().unwrap();
+        assert!((s.mean - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ess_of_iid_noise_is_near_n() {
+        let mut rng = SmallRng::seed_from_u64(9);
+        let trace: Vec<f64> = (0..2000).map(|_| rng.random_range(-1.0..1.0)).collect();
+        let ess = effective_sample_size(&trace);
+        assert!(ess > 1200.0, "iid ESS should approach n: {ess}");
+    }
+
+    #[test]
+    fn ess_of_correlated_chain_is_small() {
+        // AR(1) with strong autocorrelation.
+        let mut rng = SmallRng::seed_from_u64(10);
+        let mut x = 0.0;
+        let trace: Vec<f64> = (0..2000)
+            .map(|_| {
+                x = 0.98 * x + rng.random_range(-0.1..0.1);
+                x
+            })
+            .collect();
+        let ess = effective_sample_size(&trace);
+        assert!(ess < 300.0, "highly autocorrelated ESS must be small: {ess}");
+    }
+
+    #[test]
+    fn ess_constant_trace() {
+        assert_eq!(effective_sample_size(&[3.0; 50]), 50.0);
+    }
+
+    #[test]
+    fn clade_supports_from_posterior() {
+        let t = Tree::ladder(5, 0.1);
+        let mut p = Posterior::new();
+        for i in 0..10 {
+            p.record(sample_with(2.0, -1.0, t.clone(), i));
+        }
+        let cs = p.clade_supports();
+        assert!(!cs.is_empty());
+        assert!(cs.iter().all(|(_, s)| (*s - 1.0).abs() < 1e-12));
+    }
+}

@@ -1,0 +1,214 @@
+//! Character alphabets: nucleotide (4 states), amino acid (20 states), and
+//! codon (61 sense codons of the universal genetic code).
+//!
+//! The state count `s` is the key performance parameter of the likelihood
+//! kernels — O(p·s²·n) — so each alphabet carries its state count and the
+//! encode/decode tables the data layer needs.
+
+/// The three data types the paper benchmarks (nucleotide / amino acid / codon).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Alphabet {
+    /// DNA nucleotides: A, C, G, T. 4 states.
+    Dna,
+    /// The 20 standard amino acids. 20 states.
+    AminoAcid,
+    /// The 61 sense codons of the universal genetic code (64 − 3 stops).
+    Codon,
+}
+
+/// Sentinel used for gaps/ambiguities in compact state storage; kernels treat
+/// it as "missing" (partial likelihood 1 for all states), matching BEAGLE.
+pub const GAP_STATE: u32 = u32::MAX;
+
+const DNA_CHARS: [u8; 4] = [b'A', b'C', b'G', b'T'];
+const AA_CHARS: [u8; 20] = [
+    b'A', b'R', b'N', b'D', b'C', b'Q', b'E', b'G', b'H', b'I', b'L', b'K', b'M', b'F', b'P',
+    b'S', b'T', b'W', b'Y', b'V',
+];
+
+impl Alphabet {
+    /// Number of character states (4, 20, or 61).
+    pub fn state_count(self) -> usize {
+        match self {
+            Alphabet::Dna => 4,
+            Alphabet::AminoAcid => 20,
+            Alphabet::Codon => 61,
+        }
+    }
+
+    /// Encode one symbol into its state index, or `GAP_STATE` for anything
+    /// unrecognized (gaps, ambiguity codes). For codons the symbol is a
+    /// 3-letter nucleotide triplet.
+    pub fn encode(self, symbol: &[u8]) -> u32 {
+        match self {
+            Alphabet::Dna => {
+                debug_assert_eq!(symbol.len(), 1);
+                match symbol[0].to_ascii_uppercase() {
+                    b'A' => 0,
+                    b'C' => 1,
+                    b'G' => 2,
+                    b'T' | b'U' => 3,
+                    _ => GAP_STATE,
+                }
+            }
+            Alphabet::AminoAcid => {
+                debug_assert_eq!(symbol.len(), 1);
+                let c = symbol[0].to_ascii_uppercase();
+                AA_CHARS
+                    .iter()
+                    .position(|&a| a == c)
+                    .map(|i| i as u32)
+                    .unwrap_or(GAP_STATE)
+            }
+            Alphabet::Codon => {
+                debug_assert_eq!(symbol.len(), 3);
+                let mut idx = 0usize;
+                for &b in symbol {
+                    let n = Alphabet::Dna.encode(&[b]);
+                    if n == GAP_STATE {
+                        return GAP_STATE;
+                    }
+                    idx = idx * 4 + n as usize;
+                }
+                codon_tables().triplet_to_state[idx]
+            }
+        }
+    }
+
+    /// Decode a state index back into its text symbol.
+    pub fn decode(self, state: u32) -> String {
+        if state == GAP_STATE {
+            return match self {
+                Alphabet::Codon => "---".to_string(),
+                _ => "-".to_string(),
+            };
+        }
+        match self {
+            Alphabet::Dna => (DNA_CHARS[state as usize] as char).to_string(),
+            Alphabet::AminoAcid => (AA_CHARS[state as usize] as char).to_string(),
+            Alphabet::Codon => {
+                let trip = codon_tables().state_to_triplet[state as usize];
+                let mut s = String::with_capacity(3);
+                for k in [trip / 16, (trip / 4) % 4, trip % 4] {
+                    s.push(DNA_CHARS[k] as char);
+                }
+                s
+            }
+        }
+    }
+
+    /// Number of alignment columns one character occupies (3 for codons).
+    pub fn symbol_width(self) -> usize {
+        match self {
+            Alphabet::Codon => 3,
+            _ => 1,
+        }
+    }
+}
+
+/// Sense-codon bookkeeping for the universal genetic code.
+pub struct CodonTables {
+    /// Map 0..64 triplet index (A=0,C=1,G=2,T=3 base-4) → sense-codon state
+    /// index 0..61, or `GAP_STATE` for the three stop codons.
+    pub triplet_to_state: [u32; 64],
+    /// Map sense-codon state 0..61 → triplet index 0..64.
+    pub state_to_triplet: [usize; 61],
+    /// Amino acid (0..20, indices into the amino-acid alphabet) encoded by
+    /// each sense codon; used to classify synonymous vs nonsynonymous changes.
+    pub amino_acid: [u32; 61],
+}
+
+/// Universal genetic code as a 64-char table in TCAG-free AC GT order:
+/// index = 16·b1 + 4·b2 + b3 with A=0, C=1, G=2, T=3. '*' marks stops.
+const GENETIC_CODE: &[u8; 64] =
+    b"KNKNTTTTRSRSIIMIQHQHPPPPRRRRLLLLEDEDAAAAGGGGVVVV*Y*YSSSS*CWCLFLF";
+
+/// Lazily built codon tables (built once; cheap and lock-free afterwards).
+pub fn codon_tables() -> &'static CodonTables {
+    use std::sync::OnceLock;
+    static TABLES: OnceLock<CodonTables> = OnceLock::new();
+    TABLES.get_or_init(|| {
+        let mut triplet_to_state = [GAP_STATE; 64];
+        let mut state_to_triplet = [0usize; 61];
+        let mut amino_acid = [0u32; 61];
+        let mut next = 0u32;
+        for t in 0..64 {
+            let aa = GENETIC_CODE[t];
+            if aa == b'*' {
+                continue; // stop codon: excluded from the state space
+            }
+            triplet_to_state[t] = next;
+            state_to_triplet[next as usize] = t;
+            amino_acid[next as usize] = Alphabet::AminoAcid.encode(&[aa]);
+            next += 1;
+        }
+        assert_eq!(next, 61, "universal code must yield 61 sense codons");
+        CodonTables { triplet_to_state, state_to_triplet, amino_acid }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dna_roundtrip() {
+        for s in 0..4u32 {
+            let sym = Alphabet::Dna.decode(s);
+            assert_eq!(Alphabet::Dna.encode(sym.as_bytes()), s);
+        }
+        assert_eq!(Alphabet::Dna.encode(b"N"), GAP_STATE);
+        assert_eq!(Alphabet::Dna.encode(b"-"), GAP_STATE);
+        assert_eq!(Alphabet::Dna.encode(b"u"), 3, "RNA U maps to T");
+    }
+
+    #[test]
+    fn amino_acid_roundtrip() {
+        for s in 0..20u32 {
+            let sym = Alphabet::AminoAcid.decode(s);
+            assert_eq!(Alphabet::AminoAcid.encode(sym.as_bytes()), s);
+        }
+        assert_eq!(Alphabet::AminoAcid.encode(b"X"), GAP_STATE);
+    }
+
+    #[test]
+    fn codon_state_space_is_61() {
+        assert_eq!(Alphabet::Codon.state_count(), 61);
+        let t = codon_tables();
+        let stops = t.triplet_to_state.iter().filter(|&&s| s == GAP_STATE).count();
+        assert_eq!(stops, 3, "universal code has exactly 3 stop codons");
+    }
+
+    #[test]
+    fn stop_codons_are_not_states() {
+        for stop in [b"TAA".as_ref(), b"TAG".as_ref(), b"TGA".as_ref()] {
+            assert_eq!(Alphabet::Codon.encode(stop), GAP_STATE, "{:?}", stop);
+        }
+    }
+
+    #[test]
+    fn codon_roundtrip() {
+        for s in 0..61u32 {
+            let sym = Alphabet::Codon.decode(s);
+            assert_eq!(Alphabet::Codon.encode(sym.as_bytes()), s, "codon {sym}");
+        }
+    }
+
+    #[test]
+    fn known_codon_translations() {
+        let t = codon_tables();
+        // ATG -> Met (M), TGG -> Trp (W), AAA -> Lys (K)
+        for (trip, aa) in [(b"ATG", b'M'), (b"TGG", b'W'), (b"AAA", b'K')] {
+            let st = Alphabet::Codon.encode(trip);
+            assert_ne!(st, GAP_STATE);
+            assert_eq!(t.amino_acid[st as usize], Alphabet::AminoAcid.encode(&[aa]));
+        }
+    }
+
+    #[test]
+    fn state_counts() {
+        assert_eq!(Alphabet::Dna.state_count(), 4);
+        assert_eq!(Alphabet::AminoAcid.state_count(), 20);
+        assert_eq!(Alphabet::Codon.state_count(), 61);
+    }
+}

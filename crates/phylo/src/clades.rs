@@ -1,0 +1,209 @@
+//! Clade bitsets, Robinson–Foulds distance, and consensus support.
+//!
+//! The posterior-summary machinery MrBayes-style samplers need: every
+//! internal edge of a rooted binary tree defines a *clade* (the set of taxa
+//! below it); topologies are compared by their clade sets (Robinson–Foulds),
+//! and a posterior sample of trees is summarized by per-clade support
+//! frequencies (the numbers on published phylogenies).
+
+use std::collections::HashMap;
+
+use crate::tree::{NodeId, Tree};
+
+/// A set of taxa encoded as a bitset (taxon `i` ↔ bit `i`).
+#[derive(Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Clade(Vec<u64>);
+
+impl Clade {
+    fn new(taxa: usize) -> Self {
+        Clade(vec![0; taxa.div_ceil(64)])
+    }
+
+    fn set(&mut self, taxon: usize) {
+        self.0[taxon / 64] |= 1 << (taxon % 64);
+    }
+
+    fn union_with(&mut self, other: &Clade) {
+        for (a, b) in self.0.iter_mut().zip(&other.0) {
+            *a |= b;
+        }
+    }
+
+    /// True if taxon `i` belongs to the clade.
+    pub fn contains(&self, taxon: usize) -> bool {
+        self.0[taxon / 64] & (1 << (taxon % 64)) != 0
+    }
+
+    /// Number of taxa in the clade.
+    pub fn size(&self) -> usize {
+        self.0.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Taxon indices in the clade, ascending.
+    pub fn members(&self) -> Vec<usize> {
+        let mut out = Vec::with_capacity(self.size());
+        for (w, &word) in self.0.iter().enumerate() {
+            let mut bits = word;
+            while bits != 0 {
+                let b = bits.trailing_zeros() as usize;
+                out.push(w * 64 + b);
+                bits &= bits - 1;
+            }
+        }
+        out
+    }
+}
+
+/// The *non-trivial* clades of a rooted binary tree: one per internal node
+/// except the root (whose clade is all taxa) — `n − 2` clades for `n` taxa.
+pub fn clades(tree: &Tree) -> Vec<Clade> {
+    let n = tree.taxon_count();
+    let mut per_node: Vec<Clade> = (0..tree.node_count()).map(|_| Clade::new(n)).collect();
+    for tip in 0..n {
+        per_node[tip].set(tip);
+    }
+    let mut out = Vec::with_capacity(n.saturating_sub(2));
+    for id in tree.postorder_internal() {
+        let children: Vec<NodeId> = tree.node(id).children.clone();
+        let mut clade = Clade::new(n);
+        for c in children {
+            let child_clade = per_node[c].clone();
+            clade.union_with(&child_clade);
+        }
+        per_node[id] = clade.clone();
+        if id != tree.root() {
+            out.push(clade);
+        }
+    }
+    out
+}
+
+/// Robinson–Foulds distance between two trees over the same taxa: the size
+/// of the symmetric difference of their clade sets. Identical topologies
+/// give 0; maximally different `n`-taxon binary trees give `2(n − 2)`.
+pub fn robinson_foulds(a: &Tree, b: &Tree) -> usize {
+    assert_eq!(a.taxon_count(), b.taxon_count(), "trees must share a taxon set");
+    let ca: std::collections::HashSet<Clade> = clades(a).into_iter().collect();
+    let cb: std::collections::HashSet<Clade> = clades(b).into_iter().collect();
+    ca.symmetric_difference(&cb).count()
+}
+
+/// Per-clade support from a sample of trees: fraction of trees containing
+/// each observed clade, sorted by decreasing support.
+pub fn clade_supports(trees: &[Tree]) -> Vec<(Clade, f64)> {
+    assert!(!trees.is_empty());
+    let mut counts: HashMap<Clade, usize> = HashMap::new();
+    for t in trees {
+        for c in clades(t) {
+            *counts.entry(c).or_insert(0) += 1;
+        }
+    }
+    let n = trees.len() as f64;
+    let mut out: Vec<(Clade, f64)> =
+        counts.into_iter().map(|(c, k)| (c, k as f64 / n)).collect();
+    out.sort_by(|x, y| y.1.partial_cmp(&x.1).unwrap().then(x.0.cmp(&y.0)));
+    out
+}
+
+/// The majority-rule consensus clades: support strictly greater than 1/2.
+/// Such clades are guaranteed pairwise compatible.
+pub fn majority_rule(trees: &[Tree]) -> Vec<(Clade, f64)> {
+    clade_supports(trees)
+        .into_iter()
+        .filter(|(_, s)| *s > 0.5)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn ladder_clades_are_nested_prefixes() {
+        let t = Tree::ladder(5, 0.1);
+        let cs = clades(&t);
+        assert_eq!(cs.len(), 3, "n-2 non-trivial clades");
+        let sizes: Vec<usize> = cs.iter().map(Clade::size).collect();
+        let mut sorted = sizes.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, vec![2, 3, 4]);
+        // The 2-clade is {t0, t1}.
+        let two = cs.iter().find(|c| c.size() == 2).unwrap();
+        assert_eq!(two.members(), vec![0, 1]);
+    }
+
+    #[test]
+    fn rf_zero_for_identical_topologies() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let t = Tree::random(10, 0.1, &mut rng);
+        let mut u = t.clone();
+        // Branch lengths don't matter for RF.
+        u.node_mut(0).branch_length *= 5.0;
+        assert_eq!(robinson_foulds(&t, &u), 0);
+    }
+
+    #[test]
+    fn rf_detects_nni() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        let t = Tree::random(12, 0.1, &mut rng);
+        let mut u = t.clone();
+        let cands = u.nni_candidates();
+        let v = cands[rng.random_range(0..cands.len())];
+        u.nni(v, &mut rng);
+        let d = robinson_foulds(&t, &u);
+        // One NNI changes at most two clades (usually exactly one each way).
+        assert!(d >= 1 && d <= 4, "RF after one NNI: {d}");
+    }
+
+    #[test]
+    fn rf_symmetric_and_triangle() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let a = Tree::random(9, 0.1, &mut rng);
+        let b = Tree::random(9, 0.1, &mut rng);
+        let c = Tree::random(9, 0.1, &mut rng);
+        assert_eq!(robinson_foulds(&a, &b), robinson_foulds(&b, &a));
+        assert!(
+            robinson_foulds(&a, &c)
+                <= robinson_foulds(&a, &b) + robinson_foulds(&b, &c)
+        );
+    }
+
+    #[test]
+    fn rf_bounded_by_two_n_minus_four() {
+        let mut rng = SmallRng::seed_from_u64(4);
+        for _ in 0..20 {
+            let a = Tree::random(8, 0.1, &mut rng);
+            let b = Tree::random(8, 0.1, &mut rng);
+            assert!(robinson_foulds(&a, &b) <= 2 * (8 - 2));
+        }
+    }
+
+    #[test]
+    fn unanimous_sample_gives_full_support() {
+        let t = Tree::ladder(6, 0.1);
+        let sample = vec![t.clone(), t.clone(), t];
+        let support = clade_supports(&sample);
+        assert_eq!(support.len(), 4);
+        assert!(support.iter().all(|(_, s)| (*s - 1.0).abs() < 1e-12));
+        assert_eq!(majority_rule(&sample).len(), 4);
+    }
+
+    #[test]
+    fn mixed_sample_majority() {
+        let mut rng = SmallRng::seed_from_u64(5);
+        let a = Tree::ladder(6, 0.1);
+        let mut b = a.clone();
+        let cands = b.nni_candidates();
+        b.nni(cands[0], &mut rng);
+        // 3 copies of a, 1 of b: a's clades have support ≥ 0.75.
+        let sample = vec![a.clone(), a.clone(), a.clone(), b];
+        let maj = majority_rule(&sample);
+        for (_, s) in &maj {
+            assert!(*s > 0.5);
+        }
+        // a's full clade set must be in the majority (support 0.75 or 1.0).
+        assert!(maj.len() >= 3);
+    }
+}

@@ -1,0 +1,185 @@
+//! FASTA alignment parsing and writing.
+//!
+//! The minimal sequence-file pathway real users need: parse aligned FASTA
+//! text into an [`Alignment`] (which then flows into pattern compression and
+//! BEAGLE tip data) and write alignments back out. Sequences may span
+//! multiple lines; identifiers are the first whitespace-delimited token of
+//! each `>` header.
+
+use crate::alphabet::Alphabet;
+use crate::sequence::Alignment;
+
+/// Error from FASTA parsing.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FastaError {
+    /// What went wrong.
+    pub message: String,
+    /// 1-based line number, when attributable.
+    pub line: usize,
+}
+
+impl std::fmt::Display for FastaError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "FASTA error at line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for FastaError {}
+
+/// Parse aligned FASTA text. All sequences must have equal length (it is an
+/// alignment, not a bag of reads); codon alphabets additionally require the
+/// length to be divisible by 3.
+pub fn parse_fasta(alphabet: Alphabet, text: &str) -> Result<Alignment, FastaError> {
+    let mut names: Vec<String> = Vec::new();
+    let mut seqs: Vec<String> = Vec::new();
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with(';') {
+            continue;
+        }
+        if let Some(header) = line.strip_prefix('>') {
+            let name = header.split_whitespace().next().unwrap_or("").to_string();
+            if name.is_empty() {
+                return Err(FastaError {
+                    message: "empty sequence identifier".into(),
+                    line: lineno + 1,
+                });
+            }
+            if names.contains(&name) {
+                return Err(FastaError {
+                    message: format!("duplicate identifier '{name}'"),
+                    line: lineno + 1,
+                });
+            }
+            names.push(name);
+            seqs.push(String::new());
+        } else {
+            let Some(current) = seqs.last_mut() else {
+                return Err(FastaError {
+                    message: "sequence data before the first '>' header".into(),
+                    line: lineno + 1,
+                });
+            };
+            current.push_str(&line.replace(char::is_whitespace, ""));
+        }
+    }
+    if names.is_empty() {
+        return Err(FastaError { message: "no sequences found".into(), line: 0 });
+    }
+    let len = seqs[0].len();
+    for (name, s) in names.iter().zip(&seqs) {
+        if s.len() != len {
+            return Err(FastaError {
+                message: format!(
+                    "'{name}' has length {} but the alignment is {len} columns",
+                    s.len()
+                ),
+                line: 0,
+            });
+        }
+    }
+    if !len.is_multiple_of(alphabet.symbol_width()) {
+        return Err(FastaError {
+            message: format!(
+                "alignment length {len} is not divisible by the symbol width {}",
+                alphabet.symbol_width()
+            ),
+            line: 0,
+        });
+    }
+    let rows: Vec<(&str, &str)> = names
+        .iter()
+        .map(String::as_str)
+        .zip(seqs.iter().map(String::as_str))
+        .collect();
+    Ok(Alignment::from_text(alphabet, &rows))
+}
+
+/// Write an alignment as FASTA, wrapping sequence lines at 70 characters.
+pub fn to_fasta(alignment: &Alignment) -> String {
+    let mut out = String::new();
+    for (t, name) in alignment.taxa().iter().enumerate() {
+        out.push('>');
+        out.push_str(name);
+        out.push('\n');
+        let seq = alignment.row_text(t);
+        for chunk in seq.as_bytes().chunks(70) {
+            out.push_str(std::str::from_utf8(chunk).expect("ascii"));
+            out.push('\n');
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = ">human some description\nACGT\nACGT\n>chimp\nACGTACGA\n";
+
+    #[test]
+    fn parses_multiline_sequences() {
+        let a = parse_fasta(Alphabet::Dna, SAMPLE).unwrap();
+        assert_eq!(a.taxon_count(), 2);
+        assert_eq!(a.site_count(), 8);
+        assert_eq!(a.taxa(), &["human".to_string(), "chimp".to_string()]);
+        assert_eq!(a.row_text(0), "ACGTACGT");
+    }
+
+    #[test]
+    fn roundtrip() {
+        let a = parse_fasta(Alphabet::Dna, SAMPLE).unwrap();
+        let text = to_fasta(&a);
+        let b = parse_fasta(Alphabet::Dna, &text).unwrap();
+        assert_eq!(a.row_text(0), b.row_text(0));
+        assert_eq!(a.row_text(1), b.row_text(1));
+        assert_eq!(a.taxa(), b.taxa());
+    }
+
+    #[test]
+    fn gaps_and_ambiguity_become_missing() {
+        let a = parse_fasta(Alphabet::Dna, ">x\nAC-N\n>y\nACGT\n").unwrap();
+        assert_eq!(a.row(0)[2], crate::alphabet::GAP_STATE);
+        assert_eq!(a.row(0)[3], crate::alphabet::GAP_STATE);
+    }
+
+    #[test]
+    fn ragged_alignment_rejected() {
+        let err = parse_fasta(Alphabet::Dna, ">x\nACGT\n>y\nAC\n").unwrap_err();
+        assert!(err.message.contains("length"));
+    }
+
+    #[test]
+    fn duplicate_names_rejected() {
+        assert!(parse_fasta(Alphabet::Dna, ">x\nAC\n>x\nGT\n").is_err());
+    }
+
+    #[test]
+    fn data_before_header_rejected() {
+        assert!(parse_fasta(Alphabet::Dna, "ACGT\n>x\nACGT\n").is_err());
+    }
+
+    #[test]
+    fn codon_width_enforced() {
+        assert!(parse_fasta(Alphabet::Codon, ">x\nACGT\n>y\nACGT\n").is_err());
+        let ok = parse_fasta(Alphabet::Codon, ">x\nACGTTT\n>y\nATGAAA\n").unwrap();
+        assert_eq!(ok.site_count(), 2);
+    }
+
+    #[test]
+    fn empty_input_rejected() {
+        assert!(parse_fasta(Alphabet::Dna, "").is_err());
+        assert!(parse_fasta(Alphabet::Dna, "; just a comment\n").is_err());
+    }
+
+    #[test]
+    fn long_lines_wrap_on_write() {
+        let seq = "ACGT".repeat(50); // 200 columns
+        let text = format!(">t1\n{seq}\n>t2\n{seq}\n");
+        let a = parse_fasta(Alphabet::Dna, &text).unwrap();
+        let out = to_fasta(&a);
+        assert!(out.lines().all(|l| l.len() <= 70));
+        let b = parse_fasta(Alphabet::Dna, &out).unwrap();
+        assert_eq!(b.site_count(), 200);
+    }
+}

@@ -1,0 +1,45 @@
+//! # beagle-phylo
+//!
+//! Phylogenetics substrate for BEAGLE-RS: everything the likelihood library
+//! and its client applications need *around* the likelihood kernels.
+//!
+//! BEAGLE itself deliberately contains no tree or model machinery — the API
+//! acts on flexibly indexed buffers. This crate is the "client side" the
+//! paper's applications (genomictest, MrBayes) rely on:
+//!
+//! * [`alphabet`] — nucleotide / amino-acid / codon state spaces
+//! * [`sequence`] / [`patterns`] — alignments and unique-site-pattern compression
+//! * [`tree`] / [`newick`] — rooted binary trees, traversal schedules, Newick I/O
+//! * [`models`] — reversible substitution models (JC69 … GTR, Poisson AA, GY94 codon)
+//! * [`rates`] — discrete-gamma (+invariant) among-site rate variation
+//! * [`math`] — Jacobi eigendecomposition, gamma special functions, small linalg
+//! * [`simulate`] — synthetic data generation (the genomictest input path)
+//! * [`likelihood`] — a slow, obviously-correct pruning oracle used in tests
+//! * [`clades`] — Robinson–Foulds distance and consensus clade supports
+//! * [`fasta`] — aligned-FASTA parsing/writing
+
+
+// Likelihood kernels and small numeric routines are written with explicit
+// index loops on purpose: the loop structure mirrors the work-item/work-group
+// decomposition the paper describes, and that clarity outweighs iterator style.
+#![allow(clippy::needless_range_loop)]
+
+pub mod alphabet;
+pub mod clades;
+pub mod fasta;
+pub mod likelihood;
+pub mod math;
+pub mod models;
+pub mod newick;
+pub mod patterns;
+pub mod rates;
+pub mod sequence;
+pub mod simulate;
+pub mod tree;
+
+pub use alphabet::Alphabet;
+pub use models::ReversibleModel;
+pub use patterns::SitePatterns;
+pub use rates::SiteRates;
+pub use sequence::Alignment;
+pub use tree::Tree;

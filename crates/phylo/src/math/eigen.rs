@@ -1,0 +1,297 @@
+//! Eigendecomposition of time-reversible substitution rate matrices.
+//!
+//! A reversible rate matrix `Q` with stationary distribution `π` satisfies
+//! `π_i q_ij = π_j q_ji`, so `S = Π^{1/2} Q Π^{-1/2}` is symmetric and can be
+//! diagonalized with the cyclic Jacobi algorithm. If `S = V Λ Vᵀ` then
+//! `Q = (Π^{-1/2} V) Λ (Vᵀ Π^{1/2})`, giving right eigenvectors
+//! `U = Π^{-1/2} V` and their inverse `U⁻¹ = Vᵀ Π^{1/2}` without a general
+//! matrix inversion. Transition probabilities follow as
+//! `P(t) = U · diag(exp(λ_i t)) · U⁻¹`, exactly the representation the
+//! BEAGLE API consumes (`set_eigen_decomposition`).
+
+use super::linalg::SquareMatrix;
+
+/// Eigendecomposition of a reversible rate matrix, in the form BEAGLE wants:
+/// right eigenvectors, inverse eigenvectors, and real eigenvalues.
+#[derive(Clone, Debug)]
+pub struct EigenDecomposition {
+    /// Right eigenvectors `U`, column `k` paired with `values[k]`.
+    pub vectors: SquareMatrix,
+    /// Inverse of the eigenvector matrix, `U⁻¹`.
+    pub inverse_vectors: SquareMatrix,
+    /// Real eigenvalues `λ_k` (a reversible Q has a real spectrum).
+    pub values: Vec<f64>,
+}
+
+impl EigenDecomposition {
+    /// Number of states.
+    pub fn dim(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Reconstruct `P(t) = U exp(Λ t) U⁻¹` for a branch length `t`
+    /// (in expected substitutions per site, after Q normalization).
+    pub fn transition_matrix(&self, t: f64) -> SquareMatrix {
+        let n = self.dim();
+        let mut p = SquareMatrix::zeros(n);
+        // P_ij = Σ_k U_ik e^{λ_k t} (U⁻¹)_kj
+        let exps: Vec<f64> = self.values.iter().map(|&l| (l * t).exp()).collect();
+        for i in 0..n {
+            for k in 0..n {
+                let uik = self.vectors[(i, k)] * exps[k];
+                if uik == 0.0 {
+                    continue;
+                }
+                for j in 0..n {
+                    p[(i, j)] += uik * self.inverse_vectors[(k, j)];
+                }
+            }
+        }
+        // Clamp tiny negative round-off so downstream kernels see valid
+        // probabilities; magnitudes here are ~1e-16.
+        for x in p.as_mut_slice() {
+            if *x < 0.0 && *x > -1e-10 {
+                *x = 0.0;
+            }
+        }
+        p
+    }
+}
+
+/// Cyclic Jacobi eigendecomposition of a symmetric matrix.
+///
+/// Returns `(eigenvalues, eigenvectors)` with eigenvector `k` stored as
+/// column `k`. Converges quadratically; for the ≤61-state matrices used in
+/// phylogenetics this completes in a handful of sweeps.
+pub fn jacobi_symmetric(a: &SquareMatrix) -> (Vec<f64>, SquareMatrix) {
+    let n = a.dim();
+    let mut a = a.clone();
+    let mut v = SquareMatrix::identity(n);
+
+    const MAX_SWEEPS: usize = 100;
+    for _sweep in 0..MAX_SWEEPS {
+        // Off-diagonal Frobenius norm; stop when it is negligible relative
+        // to the diagonal scale.
+        let mut off = 0.0;
+        for i in 0..n {
+            for j in (i + 1)..n {
+                off += a[(i, j)] * a[(i, j)];
+            }
+        }
+        let scale = (0..n).map(|i| a[(i, i)].abs()).fold(1e-300, f64::max);
+        if off.sqrt() <= 1e-14 * scale.max(1.0) {
+            break;
+        }
+
+        for p in 0..n {
+            for q in (p + 1)..n {
+                let apq = a[(p, q)];
+                if apq.abs() <= 1e-300 {
+                    continue;
+                }
+                let app = a[(p, p)];
+                let aqq = a[(q, q)];
+                let theta = (aqq - app) / (2.0 * apq);
+                // Stable computation of tan of the rotation angle.
+                let t = theta.signum() / (theta.abs() + (theta * theta + 1.0).sqrt());
+                let c = 1.0 / (t * t + 1.0).sqrt();
+                let s = t * c;
+                let tau = s / (1.0 + c);
+
+                a[(p, p)] = app - t * apq;
+                a[(q, q)] = aqq + t * apq;
+                a[(p, q)] = 0.0;
+                a[(q, p)] = 0.0;
+
+                for i in 0..n {
+                    if i != p && i != q {
+                        let aip = a[(i, p)];
+                        let aiq = a[(i, q)];
+                        a[(i, p)] = aip - s * (aiq + tau * aip);
+                        a[(i, q)] = aiq + s * (aip - tau * aiq);
+                        a[(p, i)] = a[(i, p)];
+                        a[(q, i)] = a[(i, q)];
+                    }
+                }
+                for i in 0..n {
+                    let vip = v[(i, p)];
+                    let viq = v[(i, q)];
+                    v[(i, p)] = vip - s * (viq + tau * vip);
+                    v[(i, q)] = viq + s * (vip - tau * viq);
+                }
+            }
+        }
+    }
+
+    let values = (0..n).map(|i| a[(i, i)]).collect();
+    (values, v)
+}
+
+/// Decompose a reversible rate matrix `q` with stationary frequencies `pi`.
+///
+/// Panics if dimensions disagree. Reversibility is the caller's contract;
+/// mild asymmetry from rounding is symmetrized away.
+pub fn decompose_reversible(q: &SquareMatrix, pi: &[f64]) -> EigenDecomposition {
+    let n = q.dim();
+    assert_eq!(pi.len(), n, "frequency vector must match matrix dimension");
+
+    let sqrt_pi: Vec<f64> = pi.iter().map(|&p| p.max(0.0).sqrt()).collect();
+
+    // S = Π^{1/2} Q Π^{-1/2}, symmetrized to kill rounding noise.
+    let mut s = SquareMatrix::zeros(n);
+    for i in 0..n {
+        for j in 0..n {
+            if sqrt_pi[j] > 0.0 {
+                s[(i, j)] = sqrt_pi[i] * q[(i, j)] / sqrt_pi[j];
+            }
+        }
+    }
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let m = 0.5 * (s[(i, j)] + s[(j, i)]);
+            s[(i, j)] = m;
+            s[(j, i)] = m;
+        }
+    }
+
+    let (values, v) = jacobi_symmetric(&s);
+
+    // U = Π^{-1/2} V ; U⁻¹ = Vᵀ Π^{1/2}
+    let mut vectors = SquareMatrix::zeros(n);
+    let mut inverse_vectors = SquareMatrix::zeros(n);
+    for i in 0..n {
+        for k in 0..n {
+            vectors[(i, k)] = if sqrt_pi[i] > 0.0 { v[(i, k)] / sqrt_pi[i] } else { 0.0 };
+            inverse_vectors[(k, i)] = v[(i, k)] * sqrt_pi[i];
+        }
+    }
+
+    EigenDecomposition { vectors, inverse_vectors, values }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::math::linalg::expm;
+
+    fn jc69_q() -> (SquareMatrix, Vec<f64>) {
+        // Jukes-Cantor: all off-diagonal rates equal, normalized to one
+        // expected substitution per unit time.
+        let mut q = SquareMatrix::zeros(4);
+        for i in 0..4 {
+            for j in 0..4 {
+                q[(i, j)] = if i == j { -1.0 } else { 1.0 / 3.0 };
+            }
+        }
+        (q, vec![0.25; 4])
+    }
+
+    #[test]
+    fn jacobi_diagonal_matrix() {
+        let mut d = SquareMatrix::zeros(3);
+        d[(0, 0)] = 3.0;
+        d[(1, 1)] = -1.0;
+        d[(2, 2)] = 7.0;
+        let (vals, vecs) = jacobi_symmetric(&d);
+        let mut sorted = vals.clone();
+        sorted.sort_by(f64::total_cmp);
+        assert!((sorted[0] + 1.0).abs() < 1e-12);
+        assert!((sorted[1] - 3.0).abs() < 1e-12);
+        assert!((sorted[2] - 7.0).abs() < 1e-12);
+        // Eigenvectors of a diagonal matrix are (signed) unit vectors.
+        for k in 0..3 {
+            let col: Vec<f64> = (0..3).map(|i| vecs[(i, k)]).collect();
+            let norm: f64 = col.iter().map(|x| x * x).sum();
+            assert!((norm - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn jacobi_reconstructs_symmetric_matrix() {
+        let s = SquareMatrix::from_rows(
+            3,
+            &[2.0, -1.0, 0.5, -1.0, 3.0, 0.25, 0.5, 0.25, -1.5],
+        );
+        let (vals, v) = jacobi_symmetric(&s);
+        // Reconstruct V Λ Vᵀ.
+        let mut lam = SquareMatrix::zeros(3);
+        for i in 0..3 {
+            lam[(i, i)] = vals[i];
+        }
+        let rec = v.matmul(&lam).matmul(&v.transpose());
+        assert!(rec.max_abs_diff(&s) < 1e-10, "diff {}", rec.max_abs_diff(&s));
+    }
+
+    #[test]
+    fn jc69_transition_matrix_matches_analytic() {
+        let (q, pi) = jc69_q();
+        let ed = decompose_reversible(&q, &pi);
+        for &t in &[0.0, 0.01, 0.1, 0.5, 1.0, 5.0] {
+            let p = ed.transition_matrix(t);
+            // Analytic JC69: p_same = 1/4 + 3/4 e^{-4t/3}, p_diff = 1/4 - 1/4 e^{-4t/3}
+            let e = (-4.0 * t / 3.0_f64).exp();
+            let same = 0.25 + 0.75 * e;
+            let diff = 0.25 - 0.25 * e;
+            for i in 0..4 {
+                for j in 0..4 {
+                    let expect = if i == j { same } else { diff };
+                    assert!(
+                        (p[(i, j)] - expect).abs() < 1e-10,
+                        "P[{i}{j}]({t}) = {} want {}",
+                        p[(i, j)],
+                        expect
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn eigen_route_matches_expm_route() {
+        // A reversible HKY-ish matrix with uneven frequencies.
+        let pi = [0.1, 0.2, 0.3, 0.4];
+        let kappa = 2.5;
+        let mut q = SquareMatrix::zeros(4);
+        // order A, C, G, T; transitions: A<->G (0,2), C<->T (1,3)
+        for i in 0..4 {
+            for j in 0..4 {
+                if i == j {
+                    continue;
+                }
+                let transition = (i, j) == (0, 2) || (i, j) == (2, 0) || (i, j) == (1, 3) || (i, j) == (3, 1);
+                q[(i, j)] = if transition { kappa } else { 1.0 } * pi[j];
+            }
+        }
+        for i in 0..4 {
+            let row_sum: f64 = (0..4).filter(|&j| j != i).map(|j| q[(i, j)]).sum();
+            q[(i, i)] = -row_sum;
+        }
+        let ed = decompose_reversible(&q, &pi);
+        for &t in &[0.05, 0.3, 1.2] {
+            let mut qt = q.clone();
+            qt.scale(t);
+            let p_expm = expm(&qt);
+            let p_eig = ed.transition_matrix(t);
+            assert!(p_expm.max_abs_diff(&p_eig) < 1e-9);
+        }
+    }
+
+    #[test]
+    fn transition_rows_sum_to_one() {
+        let (q, pi) = jc69_q();
+        let ed = decompose_reversible(&q, &pi);
+        let p = ed.transition_matrix(0.37);
+        for i in 0..4 {
+            let s: f64 = p.row(i).iter().sum();
+            assert!((s - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn zero_branch_gives_identity() {
+        let (q, pi) = jc69_q();
+        let ed = decompose_reversible(&q, &pi);
+        let p = ed.transition_matrix(0.0);
+        assert!(p.max_abs_diff(&SquareMatrix::identity(4)) < 1e-12);
+    }
+}

@@ -1,0 +1,257 @@
+//! Small dense matrix algebra for substitution-model work.
+//!
+//! Rate matrices in phylogenetics are tiny (4×4 for nucleotides, 20×20 for
+//! amino acids, 61×61 for codons), so everything here is a straightforward
+//! row-major `Vec<f64>` implementation with no blocking or SIMD — the time
+//! spent in this module is negligible next to the partial-likelihood kernels.
+
+use std::fmt;
+use std::ops::{Index, IndexMut};
+
+/// A dense, row-major, square matrix of `f64`.
+#[derive(Clone, PartialEq)]
+pub struct SquareMatrix {
+    n: usize,
+    data: Vec<f64>,
+}
+
+impl SquareMatrix {
+    /// Create an `n × n` zero matrix.
+    pub fn zeros(n: usize) -> Self {
+        Self { n, data: vec![0.0; n * n] }
+    }
+
+    /// Create the `n × n` identity matrix.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Self::zeros(n);
+        for i in 0..n {
+            m[(i, i)] = 1.0;
+        }
+        m
+    }
+
+    /// Create a matrix from a row-major slice. Panics if `data.len() != n * n`.
+    pub fn from_rows(n: usize, data: &[f64]) -> Self {
+        assert_eq!(data.len(), n * n, "row-major data must have n*n entries");
+        Self { n, data: data.to_vec() }
+    }
+
+    /// Dimension of the matrix.
+    pub fn dim(&self) -> usize {
+        self.n
+    }
+
+    /// Row-major view of the underlying storage.
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Mutable row-major view of the underlying storage.
+    pub fn as_mut_slice(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    /// Borrow row `i` as a slice.
+    pub fn row(&self, i: usize) -> &[f64] {
+        &self.data[i * self.n..(i + 1) * self.n]
+    }
+
+    /// Matrix product `self * rhs`.
+    pub fn matmul(&self, rhs: &SquareMatrix) -> SquareMatrix {
+        assert_eq!(self.n, rhs.n, "dimension mismatch in matmul");
+        let n = self.n;
+        let mut out = SquareMatrix::zeros(n);
+        for i in 0..n {
+            for k in 0..n {
+                let a = self[(i, k)];
+                if a == 0.0 {
+                    continue;
+                }
+                let rrow = rhs.row(k);
+                let orow = &mut out.data[i * n..(i + 1) * n];
+                for j in 0..n {
+                    orow[j] += a * rrow[j];
+                }
+            }
+        }
+        out
+    }
+
+    /// Matrix–vector product `self * v`.
+    pub fn matvec(&self, v: &[f64]) -> Vec<f64> {
+        assert_eq!(v.len(), self.n, "dimension mismatch in matvec");
+        (0..self.n)
+            .map(|i| self.row(i).iter().zip(v).map(|(a, b)| a * b).sum())
+            .collect()
+    }
+
+    /// Transpose.
+    pub fn transpose(&self) -> SquareMatrix {
+        let n = self.n;
+        let mut out = SquareMatrix::zeros(n);
+        for i in 0..n {
+            for j in 0..n {
+                out[(j, i)] = self[(i, j)];
+            }
+        }
+        out
+    }
+
+    /// Scale every entry by `s` in place.
+    pub fn scale(&mut self, s: f64) {
+        for x in &mut self.data {
+            *x *= s;
+        }
+    }
+
+    /// Maximum absolute entry.
+    pub fn max_abs(&self) -> f64 {
+        self.data.iter().fold(0.0, |m, &x| m.max(x.abs()))
+    }
+
+    /// Maximum absolute difference to another matrix (∞-norm of the difference).
+    pub fn max_abs_diff(&self, other: &SquareMatrix) -> f64 {
+        assert_eq!(self.n, other.n);
+        self.data
+            .iter()
+            .zip(&other.data)
+            .fold(0.0, |m, (&a, &b)| m.max((a - b).abs()))
+    }
+
+    /// Sum of absolute off-diagonal entries in row `i`.
+    pub fn offdiag_row_sum(&self, i: usize) -> f64 {
+        self.row(i)
+            .iter()
+            .enumerate()
+            .filter(|&(j, _)| j != i)
+            .map(|(_, &x)| x.abs())
+            .sum()
+    }
+}
+
+impl Index<(usize, usize)> for SquareMatrix {
+    type Output = f64;
+    #[inline]
+    fn index(&self, (i, j): (usize, usize)) -> &f64 {
+        &self.data[i * self.n + j]
+    }
+}
+
+impl IndexMut<(usize, usize)> for SquareMatrix {
+    #[inline]
+    fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut f64 {
+        &mut self.data[i * self.n + j]
+    }
+}
+
+impl fmt::Debug for SquareMatrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "SquareMatrix({}x{}) [", self.n, self.n)?;
+        for i in 0..self.n {
+            write!(f, "  ")?;
+            for j in 0..self.n {
+                write!(f, "{:10.6} ", self[(i, j)])?;
+            }
+            writeln!(f)?;
+        }
+        write!(f, "]")
+    }
+}
+
+/// Matrix exponential by scaling-and-squaring with a Taylor core.
+///
+/// Used only in tests and as a cross-check for the eigendecomposition route;
+/// production transition matrices always come from the eigen path, which is
+/// what BEAGLE itself does.
+pub fn expm(a: &SquareMatrix) -> SquareMatrix {
+    let n = a.dim();
+    // Scale so the norm is small, exponentiate a Taylor series, square back.
+    let norm = a.max_abs() * n as f64;
+    let squarings = if norm > 0.5 {
+        (norm / 0.5).log2().ceil() as u32
+    } else {
+        0
+    };
+    let mut scaled = a.clone();
+    scaled.scale(0.5_f64.powi(squarings as i32));
+
+    let mut result = SquareMatrix::identity(n);
+    let mut term = SquareMatrix::identity(n);
+    // 18 terms is far beyond double-precision convergence for norm <= 0.5.
+    for k in 1..=18 {
+        term = term.matmul(&scaled);
+        term.scale(1.0 / k as f64);
+        for (r, t) in result.data.iter_mut().zip(&term.data) {
+            *r += t;
+        }
+    }
+    for _ in 0..squarings {
+        result = result.matmul(&result);
+    }
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_matmul_is_identity() {
+        let i4 = SquareMatrix::identity(4);
+        let m = SquareMatrix::from_rows(4, &(0..16).map(|x| x as f64).collect::<Vec<_>>());
+        assert_eq!(i4.matmul(&m), m);
+        assert_eq!(m.matmul(&i4), m);
+    }
+
+    #[test]
+    fn matmul_known_product() {
+        let a = SquareMatrix::from_rows(2, &[1.0, 2.0, 3.0, 4.0]);
+        let b = SquareMatrix::from_rows(2, &[5.0, 6.0, 7.0, 8.0]);
+        let c = a.matmul(&b);
+        assert_eq!(c.as_slice(), &[19.0, 22.0, 43.0, 50.0]);
+    }
+
+    #[test]
+    fn matvec_matches_manual() {
+        let a = SquareMatrix::from_rows(2, &[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(a.matvec(&[1.0, 1.0]), vec![3.0, 7.0]);
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let m = SquareMatrix::from_rows(3, &(0..9).map(|x| x as f64).collect::<Vec<_>>());
+        assert_eq!(m.transpose().transpose(), m);
+    }
+
+    #[test]
+    fn expm_of_zero_is_identity() {
+        let z = SquareMatrix::zeros(5);
+        let e = expm(&z);
+        assert!(e.max_abs_diff(&SquareMatrix::identity(5)) < 1e-14);
+    }
+
+    #[test]
+    fn expm_diagonal() {
+        // exp(diag(a, b)) = diag(e^a, e^b)
+        let mut d = SquareMatrix::zeros(2);
+        d[(0, 0)] = 1.0;
+        d[(1, 1)] = -2.0;
+        let e = expm(&d);
+        assert!((e[(0, 0)] - 1f64.exp()).abs() < 1e-12);
+        assert!((e[(1, 1)] - (-2f64).exp()).abs() < 1e-12);
+        assert!(e[(0, 1)].abs() < 1e-14);
+        assert!(e[(1, 0)].abs() < 1e-14);
+    }
+
+    #[test]
+    fn expm_nilpotent() {
+        // For N = [[0,1],[0,0]], exp(N) = I + N.
+        let mut nmat = SquareMatrix::zeros(2);
+        nmat[(0, 1)] = 1.0;
+        let e = expm(&nmat);
+        assert!((e[(0, 0)] - 1.0).abs() < 1e-14);
+        assert!((e[(0, 1)] - 1.0).abs() < 1e-14);
+        assert!((e[(1, 1)] - 1.0).abs() < 1e-14);
+        assert!(e[(1, 0)].abs() < 1e-14);
+    }
+}

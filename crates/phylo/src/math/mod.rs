@@ -1,0 +1,11 @@
+//! Numerical routines backing the substitution models: small dense linear
+//! algebra, eigendecomposition of reversible rate matrices, and the gamma
+//! special functions needed for discrete rate heterogeneity.
+
+pub mod eigen;
+pub mod gamma;
+pub mod linalg;
+
+pub use eigen::{decompose_reversible, EigenDecomposition};
+pub use gamma::discrete_gamma_rates;
+pub use linalg::SquareMatrix;

@@ -1,0 +1,208 @@
+//! Codon (61-state) substitution models.
+//!
+//! Implements a Goldman–Yang / Muse–Gaut style codon model: substitutions
+//! between codons differing at exactly one nucleotide position, with rate
+//! multipliers `kappa` for transitions and `omega` (dN/dS) for nonsynonymous
+//! changes. This is the model class the paper's codon benchmarks exercise
+//! (61 biologically meaningful states; Fig. 4 bottom panel, Fig. 6).
+
+use crate::alphabet::{codon_tables, Alphabet};
+use crate::math::linalg::SquareMatrix;
+use crate::models::ReversibleModel;
+
+use super::nucleotide::is_transition;
+
+/// Parameters of the GY94-style codon model.
+#[derive(Clone, Copy, Debug)]
+pub struct CodonModelParams {
+    /// Transition/transversion rate ratio.
+    pub kappa: f64,
+    /// Nonsynonymous/synonymous rate ratio (dN/dS).
+    pub omega: f64,
+}
+
+impl Default for CodonModelParams {
+    fn default() -> Self {
+        Self { kappa: 2.0, omega: 0.5 }
+    }
+}
+
+/// Build a GY94-style codon model with the given codon frequencies.
+pub fn gy94(params: CodonModelParams, pi: &[f64; 61]) -> ReversibleModel {
+    assert!(params.kappa > 0.0 && params.omega > 0.0);
+    let tables = codon_tables();
+    let mut r = SquareMatrix::zeros(61);
+    for i in 0..61 {
+        for j in (i + 1)..61 {
+            let ti = tables.state_to_triplet[i];
+            let tj = tables.state_to_triplet[j];
+            let Some((ni, nj)) = single_nucleotide_difference(ti, tj) else {
+                continue; // multi-nucleotide changes are instantaneous-rate 0
+            };
+            let mut rate = 1.0;
+            if is_transition(ni, nj) {
+                rate *= params.kappa;
+            }
+            if tables.amino_acid[i] != tables.amino_acid[j] {
+                rate *= params.omega;
+            }
+            r[(i, j)] = rate;
+            r[(j, i)] = rate;
+        }
+    }
+    ReversibleModel::from_exchangeabilities(Alphabet::Codon, &r, pi)
+}
+
+/// Uniform frequencies over the 61 sense codons.
+pub fn uniform_codon_frequencies() -> [f64; 61] {
+    [1.0 / 61.0; 61]
+}
+
+/// F1x4 codon frequencies: `π_codon ∝ π_{b1} π_{b2} π_{b3}` from nucleotide
+/// frequencies, renormalized over sense codons.
+pub fn f1x4_frequencies(nuc_pi: &[f64; 4]) -> [f64; 61] {
+    let tables = codon_tables();
+    let mut pi = [0.0; 61];
+    for (s, p) in pi.iter_mut().enumerate() {
+        let t = tables.state_to_triplet[s];
+        *p = nuc_pi[t / 16] * nuc_pi[(t / 4) % 4] * nuc_pi[t % 4];
+    }
+    let total: f64 = pi.iter().sum();
+    for p in &mut pi {
+        *p /= total;
+    }
+    pi
+}
+
+/// If codons (as triplet indices 0..64) differ at exactly one position,
+/// return the differing `(nucleotide_i, nucleotide_j)` pair; else `None`.
+fn single_nucleotide_difference(ti: usize, tj: usize) -> Option<(usize, usize)> {
+    let a = [ti / 16, (ti / 4) % 4, ti % 4];
+    let b = [tj / 16, (tj / 4) % 4, tj % 4];
+    let mut diff = None;
+    for k in 0..3 {
+        if a[k] != b[k] {
+            if diff.is_some() {
+                return None;
+            }
+            diff = Some((a[k], b[k]));
+        }
+    }
+    diff
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rate_matrix_is_sparse_single_changes_only() {
+        let m = gy94(CodonModelParams::default(), &uniform_codon_frequencies());
+        let q = m.rate_matrix();
+        let tables = codon_tables();
+        let mut nonzero_offdiag = 0;
+        for i in 0..61 {
+            for j in 0..61 {
+                if i == j {
+                    continue;
+                }
+                let single = single_nucleotide_difference(
+                    tables.state_to_triplet[i],
+                    tables.state_to_triplet[j],
+                )
+                .is_some();
+                if q[(i, j)] != 0.0 {
+                    nonzero_offdiag += 1;
+                    assert!(single, "rate between multi-step codons {i},{j}");
+                }
+            }
+        }
+        // Each codon has at most 9 single-nucleotide neighbours.
+        assert!(nonzero_offdiag > 0 && nonzero_offdiag <= 61 * 9);
+    }
+
+    #[test]
+    fn omega_one_kappa_one_all_single_changes_equal() {
+        let m = gy94(
+            CodonModelParams { kappa: 1.0, omega: 1.0 },
+            &uniform_codon_frequencies(),
+        );
+        let q = m.rate_matrix();
+        let mut rates: Vec<f64> = Vec::new();
+        for i in 0..61 {
+            for j in 0..61 {
+                if i != j && q[(i, j)] > 0.0 {
+                    rates.push(q[(i, j)]);
+                }
+            }
+        }
+        let first = rates[0];
+        assert!(rates.iter().all(|&r| (r - first).abs() < 1e-12));
+    }
+
+    #[test]
+    fn synonymous_vs_nonsynonymous_ratio() {
+        let omega = 0.25;
+        let m = gy94(CodonModelParams { kappa: 1.0, omega }, &uniform_codon_frequencies());
+        let q = m.rate_matrix();
+        let tables = codon_tables();
+        // Find one synonymous and one nonsynonymous transversion pair and
+        // compare their rates.
+        let mut syn = None;
+        let mut nonsyn = None;
+        'outer: for i in 0..61 {
+            for j in 0..61 {
+                if i == j || q[(i, j)] == 0.0 {
+                    continue;
+                }
+                let (ni, nj) = single_nucleotide_difference(
+                    tables.state_to_triplet[i],
+                    tables.state_to_triplet[j],
+                )
+                .unwrap();
+                if is_transition(ni, nj) {
+                    continue;
+                }
+                if tables.amino_acid[i] == tables.amino_acid[j] {
+                    syn = Some(q[(i, j)]);
+                } else {
+                    nonsyn = Some(q[(i, j)]);
+                }
+                if syn.is_some() && nonsyn.is_some() {
+                    break 'outer;
+                }
+            }
+        }
+        let (s, n) = (syn.unwrap(), nonsyn.unwrap());
+        assert!((n / s - omega).abs() < 1e-12);
+    }
+
+    #[test]
+    fn f1x4_frequencies_sum_to_one() {
+        let pi = f1x4_frequencies(&[0.1, 0.2, 0.3, 0.4]);
+        let s: f64 = pi.iter().sum();
+        assert!((s - 1.0).abs() < 1e-12);
+        assert!(pi.iter().all(|&p| p > 0.0));
+    }
+
+    #[test]
+    fn uniform_f1x4_is_not_uniform_over_sense_codons() {
+        // Equal nucleotide frequencies still give uneven codon frequencies
+        // after removing stops? No — all sense codons get (1/4)^3 then
+        // renormalize, so they ARE uniform. Check that.
+        let pi = f1x4_frequencies(&[0.25; 4]);
+        for &p in &pi {
+            assert!((p - 1.0 / 61.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn transition_rows_sum_to_one() {
+        let m = gy94(CodonModelParams::default(), &uniform_codon_frequencies());
+        let p = m.transition_matrix(0.2);
+        for i in 0..61 {
+            let s: f64 = p.row(i).iter().sum();
+            assert!((s - 1.0).abs() < 1e-9, "row {i} sums to {s}");
+        }
+    }
+}

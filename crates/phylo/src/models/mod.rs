@@ -1,0 +1,167 @@
+//! Substitution models.
+//!
+//! All models used in likelihood-based phylogenetics are continuous-time
+//! Markov chains given by a reversible rate matrix `Q` and stationary
+//! frequencies `π`. [`ReversibleModel`] holds the normalized `Q`, `π`, and
+//! the eigendecomposition the BEAGLE API consumes. Constructors for the
+//! standard named models live in the submodules:
+//!
+//! * nucleotide (4 states): JC69, K80, HKY85, GTR
+//! * amino acid (20 states): Poisson, arbitrary GTR-style exchangeabilities
+//! * codon (61 states): Goldman–Yang-style (κ, ω) model
+
+pub mod aminoacid;
+pub mod codon;
+pub mod nucleotide;
+
+use crate::alphabet::Alphabet;
+use crate::math::eigen::{decompose_reversible, EigenDecomposition};
+use crate::math::linalg::SquareMatrix;
+
+/// A reversible substitution model, normalized to one expected substitution
+/// per unit branch length at stationarity.
+#[derive(Clone, Debug)]
+pub struct ReversibleModel {
+    alphabet: Alphabet,
+    q: SquareMatrix,
+    pi: Vec<f64>,
+    eigen: EigenDecomposition,
+}
+
+impl ReversibleModel {
+    /// Build from symmetric exchangeabilities `r` (with an arbitrary,
+    /// ignored diagonal) and frequencies `pi`: `q_ij = r_ij · π_j`, rows
+    /// completed to sum to zero, then normalized so that
+    /// `−Σ_i π_i q_ii = 1`.
+    pub fn from_exchangeabilities(
+        alphabet: Alphabet,
+        r: &SquareMatrix,
+        pi: &[f64],
+    ) -> ReversibleModel {
+        let n = alphabet.state_count();
+        assert_eq!(r.dim(), n);
+        assert_eq!(pi.len(), n);
+        let fsum: f64 = pi.iter().sum();
+        assert!((fsum - 1.0).abs() < 1e-9, "frequencies must sum to 1, got {fsum}");
+        assert!(pi.iter().all(|&p| p >= 0.0), "frequencies must be non-negative");
+
+        let mut q = SquareMatrix::zeros(n);
+        for i in 0..n {
+            for j in 0..n {
+                if i != j {
+                    // Symmetrize defensively; exchangeability matrices are
+                    // symmetric by definition.
+                    let rij = 0.5 * (r[(i, j)] + r[(j, i)]);
+                    q[(i, j)] = rij * pi[j];
+                }
+            }
+        }
+        complete_and_normalize(&mut q, pi);
+        let eigen = decompose_reversible(&q, pi);
+        ReversibleModel { alphabet, q, pi: pi.to_vec(), eigen }
+    }
+
+    /// The alphabet this model acts on.
+    pub fn alphabet(&self) -> Alphabet {
+        self.alphabet
+    }
+
+    /// State count (4, 20, or 61).
+    pub fn state_count(&self) -> usize {
+        self.alphabet.state_count()
+    }
+
+    /// Stationary frequencies `π`.
+    pub fn frequencies(&self) -> &[f64] {
+        &self.pi
+    }
+
+    /// The normalized rate matrix `Q`.
+    pub fn rate_matrix(&self) -> &SquareMatrix {
+        &self.q
+    }
+
+    /// Eigendecomposition of `Q` for the BEAGLE `set_eigen_decomposition` call.
+    pub fn eigen(&self) -> &EigenDecomposition {
+        &self.eigen
+    }
+
+    /// Transition probability matrix `P(t)` for branch length `t`.
+    pub fn transition_matrix(&self, t: f64) -> SquareMatrix {
+        self.eigen.transition_matrix(t)
+    }
+}
+
+/// Fill the diagonal so rows sum to zero, then scale `Q` so the expected
+/// substitution rate `−Σ_i π_i q_ii` is exactly 1.
+pub(crate) fn complete_and_normalize(q: &mut SquareMatrix, pi: &[f64]) {
+    let n = q.dim();
+    for i in 0..n {
+        let mut row_sum = 0.0;
+        for j in 0..n {
+            if i != j {
+                row_sum += q[(i, j)];
+            }
+        }
+        q[(i, i)] = -row_sum;
+    }
+    let rate: f64 = (0..n).map(|i| -pi[i] * q[(i, i)]).sum();
+    assert!(rate > 0.0, "degenerate rate matrix");
+    q.scale(1.0 / rate);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exchangeability_model_is_reversible_and_normalized() {
+        let mut r = SquareMatrix::zeros(4);
+        let ex = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0];
+        let mut k = 0;
+        for i in 0..4 {
+            for j in (i + 1)..4 {
+                r[(i, j)] = ex[k];
+                r[(j, i)] = ex[k];
+                k += 1;
+            }
+        }
+        let pi = [0.1, 0.2, 0.3, 0.4];
+        let m = ReversibleModel::from_exchangeabilities(Alphabet::Dna, &r, &pi);
+        let q = m.rate_matrix();
+        // Detailed balance.
+        for i in 0..4 {
+            for j in 0..4 {
+                assert!((pi[i] * q[(i, j)] - pi[j] * q[(j, i)]).abs() < 1e-12);
+            }
+        }
+        // Rows sum to zero.
+        for i in 0..4 {
+            let s: f64 = q.row(i).iter().sum();
+            assert!(s.abs() < 1e-12);
+        }
+        // Normalized rate.
+        let rate: f64 = (0..4).map(|i| -pi[i] * q[(i, i)]).sum();
+        assert!((rate - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stationarity_of_transition_matrix() {
+        let mut r = SquareMatrix::zeros(4);
+        for i in 0..4 {
+            for j in 0..4 {
+                if i != j {
+                    r[(i, j)] = 1.0;
+                }
+            }
+        }
+        let pi = [0.4, 0.3, 0.2, 0.1];
+        let m = ReversibleModel::from_exchangeabilities(Alphabet::Dna, &r, &pi);
+        let p = m.transition_matrix(0.7);
+        // π P = π
+        let pt = p.transpose().matvec(&pi);
+        for (a, b) in pt.iter().zip(&pi) {
+            assert!((a - b).abs() < 1e-10);
+        }
+    }
+}

@@ -1,0 +1,109 @@
+//! Nucleotide (4-state) substitution models: JC69, K80, HKY85, GTR.
+//!
+//! States are ordered A, C, G, T. Transitions (in the biochemical sense) are
+//! A↔G and C↔T; everything else is a transversion.
+
+use crate::alphabet::Alphabet;
+use crate::math::linalg::SquareMatrix;
+use crate::models::ReversibleModel;
+
+/// True if `i↔j` is a transition (purine↔purine or pyrimidine↔pyrimidine).
+#[inline]
+pub fn is_transition(i: usize, j: usize) -> bool {
+    matches!((i, j), (0, 2) | (2, 0) | (1, 3) | (3, 1))
+}
+
+/// Jukes–Cantor 1969: equal rates, equal frequencies.
+pub fn jc69() -> ReversibleModel {
+    gtr(&[1.0; 6], &[0.25; 4])
+}
+
+/// Kimura 1980: transition/transversion ratio `kappa`, equal frequencies.
+pub fn k80(kappa: f64) -> ReversibleModel {
+    hky85(kappa, &[0.25; 4])
+}
+
+/// Hasegawa–Kishino–Yano 1985: `kappa` plus arbitrary base frequencies.
+pub fn hky85(kappa: f64, pi: &[f64; 4]) -> ReversibleModel {
+    assert!(kappa > 0.0);
+    let mut r = SquareMatrix::zeros(4);
+    for i in 0..4 {
+        for j in 0..4 {
+            if i != j {
+                r[(i, j)] = if is_transition(i, j) { kappa } else { 1.0 };
+            }
+        }
+    }
+    ReversibleModel::from_exchangeabilities(Alphabet::Dna, &r, pi)
+}
+
+/// General time-reversible model. `rates` are the six exchangeabilities in
+/// the conventional order (AC, AG, AT, CG, CT, GT).
+pub fn gtr(rates: &[f64; 6], pi: &[f64; 4]) -> ReversibleModel {
+    assert!(rates.iter().all(|&x| x > 0.0), "exchangeabilities must be positive");
+    let mut r = SquareMatrix::zeros(4);
+    let pairs = [(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)];
+    for (k, &(i, j)) in pairs.iter().enumerate() {
+        r[(i, j)] = rates[k];
+        r[(j, i)] = rates[k];
+    }
+    ReversibleModel::from_exchangeabilities(Alphabet::Dna, &r, pi)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn jc69_matches_analytic() {
+        let m = jc69();
+        let p = m.transition_matrix(0.3);
+        let e = (-4.0 * 0.3 / 3.0_f64).exp();
+        assert!((p[(0, 0)] - (0.25 + 0.75 * e)).abs() < 1e-10);
+        assert!((p[(0, 1)] - (0.25 - 0.25 * e)).abs() < 1e-10);
+    }
+
+    #[test]
+    fn k80_transition_bias() {
+        let m = k80(5.0);
+        let q = m.rate_matrix();
+        // A->G rate should be 5x the A->C rate.
+        assert!((q[(0, 2)] / q[(0, 1)] - 5.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn k80_with_kappa_one_is_jc() {
+        let a = k80(1.0);
+        let b = jc69();
+        assert!(a.rate_matrix().max_abs_diff(b.rate_matrix()) < 1e-12);
+    }
+
+    #[test]
+    fn hky_stationary_frequencies() {
+        let pi = [0.35, 0.15, 0.20, 0.30];
+        let m = hky85(2.0, &pi);
+        let p = m.transition_matrix(50.0); // long branch → stationary rows
+        for i in 0..4 {
+            for j in 0..4 {
+                assert!((p[(i, j)] - pi[j]).abs() < 1e-6, "P[{i}{j}]");
+            }
+        }
+    }
+
+    #[test]
+    fn gtr_reduces_to_hky() {
+        let pi = [0.1, 0.2, 0.3, 0.4];
+        let kappa = 3.0;
+        let g = gtr(&[1.0, kappa, 1.0, 1.0, kappa, 1.0], &pi);
+        let h = hky85(kappa, &pi);
+        assert!(g.rate_matrix().max_abs_diff(h.rate_matrix()) < 1e-12);
+    }
+
+    #[test]
+    fn transition_classification() {
+        assert!(is_transition(0, 2) && is_transition(2, 0)); // A<->G
+        assert!(is_transition(1, 3) && is_transition(3, 1)); // C<->T
+        assert!(!is_transition(0, 1) && !is_transition(0, 3));
+        assert!(!is_transition(1, 2) && !is_transition(2, 3));
+    }
+}

@@ -1,0 +1,294 @@
+//! Newick tree serialization.
+//!
+//! Supports the subset of Newick used by phylogenetic inference tools:
+//! rooted binary trees with taxon labels on tips and branch lengths on every
+//! non-root edge, e.g. `((A:0.1,B:0.2):0.05,C:0.3);`.
+
+use std::collections::HashMap;
+
+use crate::tree::{Node, NodeId, Tree};
+
+/// Error from parsing a Newick string.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NewickError {
+    /// Human-readable description of the failure.
+    pub message: String,
+    /// Byte offset in the input where the failure was noticed.
+    pub position: usize,
+}
+
+impl std::fmt::Display for NewickError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "newick parse error at byte {}: {}", self.position, self.message)
+    }
+}
+
+impl std::error::Error for NewickError {}
+
+/// Serialize a tree to Newick, using the provided taxon names
+/// (`names[i]` for taxon `i`).
+pub fn to_newick(tree: &Tree, names: &[String]) -> String {
+    let mut s = String::new();
+    write_node(tree, tree.root(), names, true, &mut s);
+    s.push(';');
+    s
+}
+
+fn write_node(tree: &Tree, id: NodeId, names: &[String], is_root: bool, out: &mut String) {
+    let node = tree.node(id);
+    if let Some(t) = node.taxon {
+        out.push_str(&names[t]);
+    } else {
+        out.push('(');
+        for (i, &c) in node.children.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            write_node(tree, c, names, false, out);
+        }
+        out.push(')');
+    }
+    if !is_root {
+        out.push_str(&format!(":{}", node.branch_length));
+    }
+}
+
+/// Parse a rooted binary Newick tree. Returns the tree plus the taxon names
+/// in taxon-index order.
+pub fn from_newick(input: &str) -> Result<(Tree, Vec<String>), NewickError> {
+    let mut parser = Parser { bytes: input.trim().as_bytes(), pos: 0 };
+    let raw = parser.parse_subtree()?;
+    parser.skip_ws();
+    if parser.peek() == Some(b';') {
+        parser.pos += 1;
+    }
+    parser.skip_ws();
+    if parser.pos != parser.bytes.len() {
+        return Err(parser.err("trailing characters after tree"));
+    }
+    build_tree(raw, &mut parser)
+}
+
+/// Intermediate parse tree.
+enum RawNode {
+    Tip { name: String, branch: f64 },
+    Internal { children: Vec<RawNode>, branch: f64 },
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err(&self, message: &str) -> NewickError {
+        NewickError { message: message.to_string(), position: self.pos }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b) if b.is_ascii_whitespace()) {
+            self.pos += 1;
+        }
+    }
+
+    fn parse_subtree(&mut self) -> Result<RawNode, NewickError> {
+        self.skip_ws();
+        if self.peek() == Some(b'(') {
+            self.pos += 1;
+            let mut children = vec![self.parse_subtree()?];
+            loop {
+                self.skip_ws();
+                match self.peek() {
+                    Some(b',') => {
+                        self.pos += 1;
+                        children.push(self.parse_subtree()?);
+                    }
+                    Some(b')') => {
+                        self.pos += 1;
+                        break;
+                    }
+                    _ => return Err(self.err("expected ',' or ')'")),
+                }
+            }
+            // Optional internal label is skipped (tools emit support values).
+            self.parse_label();
+            let branch = self.parse_branch()?;
+            Ok(RawNode::Internal { children, branch })
+        } else {
+            let name = self.parse_label();
+            if name.is_empty() {
+                return Err(self.err("expected taxon label"));
+            }
+            let branch = self.parse_branch()?;
+            Ok(RawNode::Tip { name, branch })
+        }
+    }
+
+    fn parse_label(&mut self) -> String {
+        let start = self.pos;
+        while let Some(b) = self.peek() {
+            if matches!(b, b'(' | b')' | b',' | b':' | b';') || b.is_ascii_whitespace() {
+                break;
+            }
+            self.pos += 1;
+        }
+        String::from_utf8_lossy(&self.bytes[start..self.pos]).into_owned()
+    }
+
+    fn parse_branch(&mut self) -> Result<f64, NewickError> {
+        self.skip_ws();
+        if self.peek() != Some(b':') {
+            return Ok(0.0);
+        }
+        self.pos += 1;
+        let start = self.pos;
+        while let Some(b) = self.peek() {
+            if matches!(b, b'0'..=b'9' | b'.' | b'-' | b'+' | b'e' | b'E') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        std::str::from_utf8(&self.bytes[start..self.pos])
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| self.err("invalid branch length"))
+    }
+}
+
+fn build_tree(raw: RawNode, parser: &mut Parser) -> Result<(Tree, Vec<String>), NewickError> {
+    // First pass: collect tip names in encounter order.
+    let mut names = Vec::new();
+    collect_names(&raw, &mut names);
+    if names.len() < 2 {
+        return Err(parser.err("tree must have at least two taxa"));
+    }
+    let name_index: HashMap<&str, usize> =
+        names.iter().enumerate().map(|(i, n)| (n.as_str(), i)).collect();
+    if name_index.len() != names.len() {
+        return Err(parser.err("duplicate taxon labels"));
+    }
+
+    let n = names.len();
+    let mut nodes: Vec<Node> = (0..n)
+        .map(|i| Node { parent: None, children: vec![], branch_length: 0.0, taxon: Some(i) })
+        .collect();
+    let root = attach(&raw, &mut nodes, &name_index, parser)?;
+    nodes[root].branch_length = 0.0;
+    Ok((Tree::from_nodes(nodes, root, n), names))
+}
+
+fn collect_names(raw: &RawNode, out: &mut Vec<String>) {
+    match raw {
+        RawNode::Tip { name, .. } => out.push(name.clone()),
+        RawNode::Internal { children, .. } => {
+            for c in children {
+                collect_names(c, out);
+            }
+        }
+    }
+}
+
+fn attach(
+    raw: &RawNode,
+    nodes: &mut Vec<Node>,
+    names: &HashMap<&str, usize>,
+    parser: &mut Parser,
+) -> Result<NodeId, NewickError> {
+    match raw {
+        RawNode::Tip { name, branch } => {
+            let id = names[name.as_str()];
+            nodes[id].branch_length = *branch;
+            Ok(id)
+        }
+        RawNode::Internal { children, branch } => {
+            if children.len() != 2 {
+                return Err(parser.err("only strictly binary trees are supported"));
+            }
+            let c0 = attach(&children[0], nodes, names, parser)?;
+            let c1 = attach(&children[1], nodes, names, parser)?;
+            let id = nodes.len();
+            nodes.push(Node {
+                parent: None,
+                children: vec![c0, c1],
+                branch_length: *branch,
+                taxon: None,
+            });
+            nodes[c0].parent = Some(id);
+            nodes[c1].parent = Some(id);
+            Ok(id)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_simple() {
+        let input = "((A:0.1,B:0.2):0.05,C:0.3);";
+        let (tree, names) = from_newick(input).unwrap();
+        assert_eq!(names, vec!["A", "B", "C"]);
+        assert_eq!(tree.taxon_count(), 3);
+        let out = to_newick(&tree, &names);
+        let (tree2, names2) = from_newick(&out).unwrap();
+        assert_eq!(names, names2);
+        assert_eq!(tree.tree_length(), tree2.tree_length());
+    }
+
+    #[test]
+    fn branch_lengths_parsed() {
+        let (tree, names) = from_newick("(A:0.5,B:1.5);").unwrap();
+        let a = names.iter().position(|n| n == "A").unwrap();
+        let b = names.iter().position(|n| n == "B").unwrap();
+        assert!((tree.node(a).branch_length - 0.5).abs() < 1e-12);
+        assert!((tree.node(b).branch_length - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn missing_branch_defaults_to_zero() {
+        let (tree, names) = from_newick("(A,B);").unwrap();
+        assert_eq!(tree.node(names.iter().position(|n| n == "A").unwrap()).branch_length, 0.0);
+    }
+
+    #[test]
+    fn scientific_notation_branch() {
+        let (tree, _) = from_newick("(A:1e-3,B:2.5E-2);").unwrap();
+        assert!((tree.node(0).branch_length - 1e-3).abs() < 1e-15);
+    }
+
+    #[test]
+    fn rejects_nonbinary() {
+        assert!(from_newick("(A:1,B:1,C:1);").is_err());
+    }
+
+    #[test]
+    fn rejects_duplicates() {
+        assert!(from_newick("(A:1,A:1);").is_err());
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(from_newick("not a tree").is_err());
+        assert!(from_newick("((A:1,B:2):0.1,C:3); extra").is_err());
+    }
+
+    #[test]
+    fn random_tree_roundtrips() {
+        use rand::rngs::SmallRng;
+        use rand::SeedableRng;
+        let mut rng = SmallRng::seed_from_u64(5);
+        let t = crate::tree::Tree::random(17, 0.1, &mut rng);
+        let names: Vec<String> = (0..17).map(|i| format!("taxon{i}")).collect();
+        let nwk = to_newick(&t, &names);
+        let (t2, names2) = from_newick(&nwk).unwrap();
+        assert_eq!(t2.taxon_count(), 17);
+        let reordered = to_newick(&t2, &names2);
+        assert_eq!(nwk, reordered, "serialization is stable");
+    }
+}

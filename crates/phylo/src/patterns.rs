@@ -1,0 +1,131 @@
+//! Unique site-pattern compression.
+//!
+//! The likelihood of a tree factorizes over alignment columns, and identical
+//! columns contribute identical per-site likelihoods, so every serious
+//! phylogenetics code first compresses the alignment into *unique site
+//! patterns* with integer weights. The paper's benchmarks are all
+//! parameterized by the unique-pattern count, which is why this module sits
+//! at the base of the harness.
+
+use std::collections::HashMap;
+
+use crate::sequence::Alignment;
+
+/// A compressed alignment: unique columns plus their multiplicities.
+#[derive(Clone, Debug)]
+pub struct SitePatterns {
+    /// `patterns[p]` is the column of states (one per taxon) of pattern `p`.
+    patterns: Vec<Vec<u32>>,
+    /// Number of original alignment columns matching each pattern.
+    weights: Vec<f64>,
+    /// For each original site, the index of its pattern (site → pattern map).
+    site_to_pattern: Vec<usize>,
+}
+
+impl SitePatterns {
+    /// Compress an alignment into unique patterns, preserving first-seen order.
+    pub fn compress(alignment: &Alignment) -> Self {
+        let mut index: HashMap<Vec<u32>, usize> = HashMap::new();
+        let mut patterns = Vec::new();
+        let mut weights: Vec<f64> = Vec::new();
+        let mut site_to_pattern = Vec::with_capacity(alignment.site_count());
+        for s in 0..alignment.site_count() {
+            let col = alignment.column(s);
+            let id = *index.entry(col.clone()).or_insert_with(|| {
+                patterns.push(col);
+                weights.push(0.0);
+                patterns.len() - 1
+            });
+            weights[id] += 1.0;
+            site_to_pattern.push(id);
+        }
+        Self { patterns, weights, site_to_pattern }
+    }
+
+    /// Construct directly from unique patterns and weights (used by the
+    /// synthetic-data generator, which can emit unique patterns natively).
+    pub fn from_parts(patterns: Vec<Vec<u32>>, weights: Vec<f64>) -> Self {
+        assert_eq!(patterns.len(), weights.len());
+        let site_to_pattern = (0..patterns.len()).collect();
+        Self { patterns, weights, site_to_pattern }
+    }
+
+    /// Number of unique patterns.
+    pub fn pattern_count(&self) -> usize {
+        self.patterns.len()
+    }
+
+    /// Number of taxa per pattern.
+    pub fn taxon_count(&self) -> usize {
+        self.patterns.first().map_or(0, Vec::len)
+    }
+
+    /// Pattern `p`: the state of each taxon.
+    pub fn pattern(&self, p: usize) -> &[u32] {
+        &self.patterns[p]
+    }
+
+    /// Pattern weights (column multiplicities).
+    pub fn weights(&self) -> &[f64] {
+        &self.weights
+    }
+
+    /// Site → pattern map for the original alignment.
+    pub fn site_to_pattern(&self) -> &[usize] {
+        &self.site_to_pattern
+    }
+
+    /// Sum of weights = original number of sites.
+    pub fn total_sites(&self) -> f64 {
+        self.weights.iter().sum()
+    }
+
+    /// The state sequence of taxon `t` across patterns, as BEAGLE tip data.
+    pub fn tip_states(&self, t: usize) -> Vec<u32> {
+        self.patterns.iter().map(|col| col[t]).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::alphabet::Alphabet;
+
+    fn aln(rows: &[(&str, &str)]) -> Alignment {
+        Alignment::from_text(Alphabet::Dna, rows)
+    }
+
+    #[test]
+    fn identical_columns_merge() {
+        let a = aln(&[("a", "AAAT"), ("b", "CCCG")]);
+        let p = SitePatterns::compress(&a);
+        assert_eq!(p.pattern_count(), 2);
+        assert_eq!(p.weights(), &[3.0, 1.0]);
+        assert_eq!(p.total_sites(), 4.0);
+        assert_eq!(p.site_to_pattern(), &[0, 0, 0, 1]);
+    }
+
+    #[test]
+    fn all_distinct_columns_keep_count() {
+        let a = aln(&[("a", "ACGT"), ("b", "TGCA")]);
+        let p = SitePatterns::compress(&a);
+        assert_eq!(p.pattern_count(), 4);
+        assert!(p.weights().iter().all(|&w| w == 1.0));
+    }
+
+    #[test]
+    fn tip_states_extracts_rows() {
+        let a = aln(&[("a", "AAT"), ("b", "CCG")]);
+        let p = SitePatterns::compress(&a);
+        assert_eq!(p.tip_states(0), vec![0, 3]);
+        assert_eq!(p.tip_states(1), vec![1, 2]);
+    }
+
+    #[test]
+    fn weights_sum_to_sites() {
+        let a = aln(&[("a", "ACGTACGTAC"), ("b", "ACGTACGTAC")]);
+        let p = SitePatterns::compress(&a);
+        assert_eq!(p.total_sites(), 10.0);
+        assert_eq!(p.pattern_count(), 4);
+    }
+}

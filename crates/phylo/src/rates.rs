@@ -1,0 +1,89 @@
+//! Among-site rate variation.
+//!
+//! BEAGLE's API takes a vector of category rates and category weights;
+//! this module produces the standard parameterizations of those vectors.
+
+use crate::math::gamma::discrete_gamma_rates;
+
+/// A discrete distribution of site-rate multipliers.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SiteRates {
+    /// Rate multiplier per category (mean 1 under `weights`).
+    pub rates: Vec<f64>,
+    /// Probability of each category (sums to 1).
+    pub weights: Vec<f64>,
+}
+
+impl SiteRates {
+    /// A single rate category with rate 1 (no heterogeneity).
+    pub fn constant() -> Self {
+        Self { rates: vec![1.0], weights: vec![1.0] }
+    }
+
+    /// Yang's discrete-gamma model with shape `alpha` and `k` categories.
+    pub fn discrete_gamma(alpha: f64, k: usize) -> Self {
+        Self {
+            rates: discrete_gamma_rates(alpha, k),
+            weights: vec![1.0 / k as f64; k],
+        }
+    }
+
+    /// Discrete gamma plus a proportion `p_inv` of invariant sites
+    /// (the "+I+Γ" model): category 0 has rate 0 with weight `p_inv`, and the
+    /// gamma rates are scaled by `1/(1−p_inv)` to keep the mean rate at 1.
+    pub fn gamma_plus_invariant(alpha: f64, k: usize, p_inv: f64) -> Self {
+        assert!((0.0..1.0).contains(&p_inv));
+        let gamma = discrete_gamma_rates(alpha, k);
+        let mut rates = vec![0.0];
+        let mut weights = vec![p_inv];
+        let scale = 1.0 / (1.0 - p_inv);
+        for r in gamma {
+            rates.push(r * scale);
+            weights.push((1.0 - p_inv) / k as f64);
+        }
+        Self { rates, weights }
+    }
+
+    /// Number of categories.
+    pub fn category_count(&self) -> usize {
+        self.rates.len()
+    }
+
+    /// Mean rate under the category weights (should be 1).
+    pub fn mean_rate(&self) -> f64 {
+        self.rates.iter().zip(&self.weights).map(|(r, w)| r * w).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_is_one_category() {
+        let r = SiteRates::constant();
+        assert_eq!(r.category_count(), 1);
+        assert!((r.mean_rate() - 1.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn discrete_gamma_mean_one() {
+        for &alpha in &[0.2, 1.0, 5.0] {
+            let r = SiteRates::discrete_gamma(alpha, 4);
+            assert_eq!(r.category_count(), 4);
+            assert!((r.mean_rate() - 1.0).abs() < 1e-12);
+            let wsum: f64 = r.weights.iter().sum();
+            assert!((wsum - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn invariant_category_keeps_mean_one() {
+        let r = SiteRates::gamma_plus_invariant(0.5, 4, 0.2);
+        assert_eq!(r.category_count(), 5);
+        assert_eq!(r.rates[0], 0.0);
+        assert!((r.mean_rate() - 1.0).abs() < 1e-12);
+        let wsum: f64 = r.weights.iter().sum();
+        assert!((wsum - 1.0).abs() < 1e-12);
+    }
+}

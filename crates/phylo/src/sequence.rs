@@ -1,0 +1,136 @@
+//! Molecular sequence alignments.
+//!
+//! An [`Alignment`] is a rectangular matrix of encoded states: one row per
+//! taxon, one column per site (a site is a nucleotide, an amino acid, or a
+//! codon depending on the alphabet). This is the input to site-pattern
+//! compression ([`crate::patterns`]) and to the BEAGLE tip-data setters.
+
+use crate::alphabet::{Alphabet, GAP_STATE};
+
+/// A named, aligned set of encoded sequences.
+#[derive(Clone, Debug)]
+pub struct Alignment {
+    alphabet: Alphabet,
+    taxa: Vec<String>,
+    /// `sites[t]` holds the encoded states of taxon `t`; all rows equal length.
+    sites: Vec<Vec<u32>>,
+}
+
+impl Alignment {
+    /// Build an alignment from already-encoded rows. All rows must have the
+    /// same length and all states must be valid for the alphabet (or gaps).
+    pub fn from_encoded(alphabet: Alphabet, taxa: Vec<String>, sites: Vec<Vec<u32>>) -> Self {
+        assert_eq!(taxa.len(), sites.len(), "one name per sequence");
+        if let Some(first) = sites.first() {
+            let len = first.len();
+            for (t, row) in sites.iter().enumerate() {
+                assert_eq!(row.len(), len, "ragged alignment at taxon {t}");
+                for &s in row {
+                    assert!(
+                        s == GAP_STATE || (s as usize) < alphabet.state_count(),
+                        "state {s} out of range for {alphabet:?}"
+                    );
+                }
+            }
+        }
+        Self { alphabet, taxa, sites }
+    }
+
+    /// Parse text sequences (e.g. "ACGT..." rows). Codon alphabets consume
+    /// three characters per site; the text length must be divisible by the
+    /// symbol width. Unknown characters become gaps.
+    pub fn from_text(alphabet: Alphabet, rows: &[(&str, &str)]) -> Self {
+        let width = alphabet.symbol_width();
+        let taxa = rows.iter().map(|(n, _)| n.to_string()).collect();
+        let sites = rows
+            .iter()
+            .map(|(_, seq)| {
+                let bytes = seq.as_bytes();
+                assert!(
+                    bytes.len() % width == 0,
+                    "sequence length {} not divisible by symbol width {width}",
+                    bytes.len()
+                );
+                bytes.chunks_exact(width).map(|c| alphabet.encode(c)).collect()
+            })
+            .collect();
+        Self::from_encoded(alphabet, taxa, sites)
+    }
+
+    /// The alphabet the states are encoded in.
+    pub fn alphabet(&self) -> Alphabet {
+        self.alphabet
+    }
+
+    /// Number of taxa (rows).
+    pub fn taxon_count(&self) -> usize {
+        self.taxa.len()
+    }
+
+    /// Number of sites (columns).
+    pub fn site_count(&self) -> usize {
+        self.sites.first().map_or(0, Vec::len)
+    }
+
+    /// Taxon names, in row order.
+    pub fn taxa(&self) -> &[String] {
+        &self.taxa
+    }
+
+    /// Encoded states of taxon `t`.
+    pub fn row(&self, t: usize) -> &[u32] {
+        &self.sites[t]
+    }
+
+    /// The column of states at site `s`, one entry per taxon.
+    pub fn column(&self, s: usize) -> Vec<u32> {
+        self.sites.iter().map(|row| row[s]).collect()
+    }
+
+    /// Render taxon `t` back to text (useful for tests and dumps).
+    pub fn row_text(&self, t: usize) -> String {
+        self.sites[t].iter().map(|&s| self.alphabet.decode(s)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn text_roundtrip_dna() {
+        let a = Alignment::from_text(
+            Alphabet::Dna,
+            &[("tax1", "ACGT"), ("tax2", "AC-T")],
+        );
+        assert_eq!(a.taxon_count(), 2);
+        assert_eq!(a.site_count(), 4);
+        assert_eq!(a.row(0), &[0, 1, 2, 3]);
+        assert_eq!(a.row(1)[2], GAP_STATE);
+        assert_eq!(a.row_text(0), "ACGT");
+    }
+
+    #[test]
+    fn codon_sites_are_triplets() {
+        let a = Alignment::from_text(Alphabet::Codon, &[("t", "ATGAAATTT")]);
+        assert_eq!(a.site_count(), 3);
+        assert_eq!(a.row_text(0), "ATGAAATTT");
+    }
+
+    #[test]
+    fn column_extraction() {
+        let a = Alignment::from_text(Alphabet::Dna, &[("a", "AC"), ("b", "GT")]);
+        assert_eq!(a.column(0), vec![0, 2]);
+        assert_eq!(a.column(1), vec![1, 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "ragged")]
+    fn ragged_alignment_rejected() {
+        Alignment::from_encoded(
+            Alphabet::Dna,
+            vec!["a".into(), "b".into()],
+            vec![vec![0, 1], vec![0]],
+        );
+    }
+}

@@ -1,0 +1,225 @@
+//! Sequence simulation along a tree.
+//!
+//! Replaces the paper's empirical datasets (RNA-Seq Lepidoptera, arthropod
+//! codon alignments) and mirrors BEAGLE's `genomictest`, which generates
+//! random synthetic datasets of arbitrary size. Sites evolve independently
+//! down the tree under a [`ReversibleModel`] with optional discrete rate
+//! heterogeneity: the root state is drawn from `π`, and each child state from
+//! the row of `P(rate · branch)` of its parent state.
+
+use rand::Rng;
+
+use crate::alphabet::Alphabet;
+use crate::models::ReversibleModel;
+use crate::patterns::SitePatterns;
+use crate::rates::SiteRates;
+use crate::sequence::Alignment;
+use crate::tree::{NodeId, Tree};
+
+/// Simulate an alignment of `site_count` sites for the tips of `tree`.
+pub fn simulate_alignment<R: Rng>(
+    tree: &Tree,
+    model: &ReversibleModel,
+    rates: &SiteRates,
+    site_count: usize,
+    rng: &mut R,
+) -> Alignment {
+    let n_tips = tree.taxon_count();
+    let n_states = model.state_count();
+
+    // Precompute one transition matrix per (branch, category).
+    let branches = tree.branch_assignments();
+    let mut p_tables: Vec<Vec<Vec<f64>>> = vec![Vec::new(); tree.node_count()];
+    for &(node, t) in &branches {
+        for &rate in &rates.rates {
+            let p = model.transition_matrix(rate * t);
+            // Store rows as cumulative distributions for O(log s) sampling.
+            let cums = (0..n_states)
+                .flat_map(|i| {
+                    let mut acc = 0.0;
+                    p.row(i)
+                        .iter()
+                        .map(|&x| {
+                            acc += x;
+                            acc
+                        })
+                        .collect::<Vec<_>>()
+                })
+                .collect::<Vec<f64>>();
+            p_tables[node].push(cums);
+        }
+    }
+    let pi_cum: Vec<f64> = {
+        let mut acc = 0.0;
+        model.frequencies().iter().map(|&x| {
+            acc += x;
+            acc
+        }).collect()
+    };
+
+    let mut rows: Vec<Vec<u32>> = vec![Vec::with_capacity(site_count); n_tips];
+    let mut states = vec![0u32; tree.node_count()];
+    for _ in 0..site_count {
+        // Draw a rate category for this site.
+        let cat = sample_cum_weights(&rates.weights, rng);
+        // Root state from the stationary distribution.
+        states[tree.root()] = sample_cdf(&pi_cum, rng) as u32;
+        // Pre-order: parents before children.
+        preorder(tree, tree.root(), &mut |node: NodeId, parent: NodeId| {
+            let cums = &p_tables[node][cat];
+            let row = &cums[states[parent] as usize * n_states..][..n_states];
+            states[node] = sample_cdf(row, rng) as u32;
+        });
+        for (t, row) in rows.iter_mut().enumerate() {
+            row.push(states[t]);
+        }
+    }
+
+    let taxa = (0..n_tips).map(|i| format!("taxon{i}")).collect();
+    Alignment::from_encoded(model.alphabet(), taxa, rows)
+}
+
+/// Simulate and compress, asking for *approximately* `unique_patterns` unique
+/// site patterns: sites are generated in batches until the compressed count
+/// reaches the target, then truncated to exactly the target.
+///
+/// This is how the benchmark harness pins the x-axis of Fig. 4 (throughput vs
+/// unique pattern count) without depending on the raw site count.
+pub fn simulate_patterns<R: Rng>(
+    tree: &Tree,
+    model: &ReversibleModel,
+    rates: &SiteRates,
+    unique_patterns: usize,
+    rng: &mut R,
+) -> SitePatterns {
+    // For anything beyond tiny problems, random columns over s^n possibilities
+    // are essentially all unique, so a single batch usually suffices.
+    let mut patterns: Vec<Vec<u32>> = Vec::with_capacity(unique_patterns);
+    let mut seen = std::collections::HashSet::new();
+    let mut guard = 0;
+    while patterns.len() < unique_patterns {
+        let batch = (unique_patterns - patterns.len()).max(64);
+        let aln = simulate_alignment(tree, model, rates, batch, rng);
+        for s in 0..aln.site_count() {
+            let col = aln.column(s);
+            if seen.insert(col.clone()) {
+                patterns.push(col);
+                if patterns.len() == unique_patterns {
+                    break;
+                }
+            }
+        }
+        guard += 1;
+        assert!(
+            guard < 1000,
+            "cannot reach {unique_patterns} unique patterns; state space too small"
+        );
+    }
+    // Give patterns mildly varying weights (as real compressed data has).
+    let weights = (0..unique_patterns)
+        .map(|_| 1.0 + rng.random_range(0..3) as f64)
+        .collect();
+    SitePatterns::from_parts(patterns, weights)
+}
+
+/// Quick check for the state-space guard: number of distinct columns possible.
+pub fn max_unique_patterns(alphabet: Alphabet, taxa: usize) -> f64 {
+    (alphabet.state_count() as f64).powi(taxa as i32)
+}
+
+fn preorder<F: FnMut(NodeId, NodeId)>(tree: &Tree, id: NodeId, f: &mut F) {
+    for &c in &tree.node(id).children {
+        f(c, id);
+        preorder(tree, c, f);
+    }
+}
+
+fn sample_cdf<R: Rng>(cum: &[f64], rng: &mut R) -> usize {
+    let total = *cum.last().expect("non-empty cdf");
+    let u: f64 = rng.random_range(0.0..total.max(f64::MIN_POSITIVE));
+    match cum.binary_search_by(|x| x.partial_cmp(&u).unwrap()) {
+        Ok(i) | Err(i) => i.min(cum.len() - 1),
+    }
+}
+
+fn sample_cum_weights<R: Rng>(weights: &[f64], rng: &mut R) -> usize {
+    let total: f64 = weights.iter().sum();
+    let mut u: f64 = rng.random_range(0.0..total);
+    for (i, &w) in weights.iter().enumerate() {
+        if u < w {
+            return i;
+        }
+        u -= w;
+    }
+    weights.len() - 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::models::nucleotide::jc69;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn simulated_alignment_has_right_shape() {
+        let mut rng = SmallRng::seed_from_u64(11);
+        let tree = Tree::random(6, 0.1, &mut rng);
+        let model = jc69();
+        let aln = simulate_alignment(&tree, &model, &SiteRates::constant(), 200, &mut rng);
+        assert_eq!(aln.taxon_count(), 6);
+        assert_eq!(aln.site_count(), 200);
+        assert_eq!(aln.alphabet(), Alphabet::Dna);
+    }
+
+    #[test]
+    fn zero_branches_copy_root_state() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let tree = Tree::ladder(4, 0.0);
+        let model = jc69();
+        let aln = simulate_alignment(&tree, &model, &SiteRates::constant(), 50, &mut rng);
+        // All taxa identical at every site when branch lengths are zero.
+        for s in 0..50 {
+            let col = aln.column(s);
+            assert!(col.iter().all(|&x| x == col[0]));
+        }
+    }
+
+    #[test]
+    fn long_branches_give_diverse_states() {
+        let mut rng = SmallRng::seed_from_u64(13);
+        let tree = Tree::ladder(8, 10.0); // essentially independent tips
+        let model = jc69();
+        let aln = simulate_alignment(&tree, &model, &SiteRates::constant(), 500, &mut rng);
+        // Base composition at a tip should be near uniform.
+        let mut counts = [0usize; 4];
+        for &s in aln.row(7) {
+            counts[s as usize] += 1;
+        }
+        for &c in &counts {
+            assert!(c > 60, "composition skew: {counts:?}");
+        }
+    }
+
+    #[test]
+    fn pattern_target_met_exactly() {
+        let mut rng = SmallRng::seed_from_u64(17);
+        let tree = Tree::random(8, 0.2, &mut rng);
+        let model = jc69();
+        let pats = simulate_patterns(&tree, &model, &SiteRates::constant(), 333, &mut rng);
+        assert_eq!(pats.pattern_count(), 333);
+        assert_eq!(pats.taxon_count(), 8);
+    }
+
+    #[test]
+    fn patterns_are_unique() {
+        let mut rng = SmallRng::seed_from_u64(19);
+        let tree = Tree::random(5, 0.3, &mut rng);
+        let model = jc69();
+        let pats = simulate_patterns(&tree, &model, &SiteRates::constant(), 100, &mut rng);
+        let mut seen = std::collections::HashSet::new();
+        for p in 0..pats.pattern_count() {
+            assert!(seen.insert(pats.pattern(p).to_vec()), "duplicate pattern");
+        }
+    }
+}

@@ -1,0 +1,498 @@
+//! Rooted binary phylogenetic trees.
+//!
+//! BEAGLE itself deliberately has no tree type — the client owns the tree and
+//! sends the library a flat list of partial-likelihood *operations* in
+//! post-order. This module provides that client-side tree: an arena of nodes
+//! with branch lengths, traversal helpers, the operation schedule builder,
+//! and the topology moves the MCMC application needs (NNI, branch scaling).
+
+use rand::Rng;
+
+/// Index of a node in the tree arena.
+pub type NodeId = usize;
+
+/// A node in a rooted binary tree.
+#[derive(Clone, Debug)]
+pub struct Node {
+    /// Parent node, or `None` for the root.
+    pub parent: Option<NodeId>,
+    /// Children; empty for tips, exactly two for internal nodes.
+    pub children: Vec<NodeId>,
+    /// Length of the branch *above* this node (to its parent), in expected
+    /// substitutions per site. Unused (0) for the root.
+    pub branch_length: f64,
+    /// Taxon index for tips (`None` for internal nodes).
+    pub taxon: Option<usize>,
+}
+
+/// A rooted, strictly bifurcating tree over `n` taxa.
+///
+/// Invariants: node ids `0..n` are the tips (tip `i` has `taxon == Some(i)`),
+/// ids `n..2n-1` are internal, and the root is a valid internal node (or tip 0
+/// for a single-taxon tree).
+#[derive(Clone, Debug)]
+pub struct Tree {
+    nodes: Vec<Node>,
+    root: NodeId,
+    taxon_count: usize,
+}
+
+impl Tree {
+    /// Build from a raw arena. Validates the binary-tree invariants.
+    pub fn from_nodes(nodes: Vec<Node>, root: NodeId, taxon_count: usize) -> Self {
+        let t = Self { nodes, root, taxon_count };
+        t.validate();
+        t
+    }
+
+    /// Generate a random topology by sequential random joins (a Yule-ish
+    /// coalescent shape), with branch lengths drawn Exp(1/`mean_branch`).
+    pub fn random<R: Rng>(taxon_count: usize, mean_branch: f64, rng: &mut R) -> Self {
+        assert!(taxon_count >= 2, "need at least two taxa");
+        let mut nodes: Vec<Node> = (0..taxon_count)
+            .map(|i| Node {
+                parent: None,
+                children: Vec::new(),
+                branch_length: sample_exp(mean_branch, rng),
+                taxon: Some(i),
+            })
+            .collect();
+        // Active roots of the growing forest.
+        let mut active: Vec<NodeId> = (0..taxon_count).collect();
+        while active.len() > 1 {
+            let i = rng.random_range(0..active.len());
+            let a = active.swap_remove(i);
+            let j = rng.random_range(0..active.len());
+            let b = active.swap_remove(j);
+            let id = nodes.len();
+            nodes.push(Node {
+                parent: None,
+                children: vec![a, b],
+                branch_length: sample_exp(mean_branch, rng),
+                taxon: None,
+            });
+            nodes[a].parent = Some(id);
+            nodes[b].parent = Some(id);
+            active.push(id);
+        }
+        let root = active[0];
+        nodes[root].branch_length = 0.0;
+        Self::from_nodes(nodes, root, taxon_count)
+    }
+
+    /// A fixed "ladder" (caterpillar) topology, handy for deterministic tests:
+    /// ((((t0,t1),t2),t3)...). All branch lengths set to `branch`.
+    pub fn ladder(taxon_count: usize, branch: f64) -> Self {
+        assert!(taxon_count >= 2);
+        let mut nodes: Vec<Node> = (0..taxon_count)
+            .map(|i| Node { parent: None, children: vec![], branch_length: branch, taxon: Some(i) })
+            .collect();
+        let mut prev = 0usize;
+        for t in 1..taxon_count {
+            let id = nodes.len();
+            nodes.push(Node {
+                parent: None,
+                children: vec![prev, t],
+                branch_length: branch,
+                taxon: None,
+            });
+            nodes[prev].parent = Some(id);
+            nodes[t].parent = Some(id);
+            prev = id;
+        }
+        nodes[prev].branch_length = 0.0;
+        Self::from_nodes(nodes, prev, taxon_count)
+    }
+
+    fn validate(&self) {
+        let n = self.taxon_count;
+        assert_eq!(self.nodes.len(), 2 * n - 1, "binary tree over {n} taxa has 2n-1 nodes");
+        for (id, node) in self.nodes.iter().enumerate() {
+            if let Some(t) = node.taxon {
+                assert_eq!(id, t, "tip ids must equal taxon indices");
+                assert!(node.children.is_empty(), "tips have no children");
+            } else {
+                assert_eq!(node.children.len(), 2, "internal nodes are binary");
+            }
+            for &c in &node.children {
+                assert_eq!(self.nodes[c].parent, Some(id), "parent pointers consistent");
+            }
+        }
+        assert!(self.nodes[self.root].parent.is_none(), "root has no parent");
+    }
+
+    /// Number of taxa (tips).
+    pub fn taxon_count(&self) -> usize {
+        self.taxon_count
+    }
+
+    /// Total number of nodes (`2n − 1`).
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Root node id.
+    pub fn root(&self) -> NodeId {
+        self.root
+    }
+
+    /// Borrow node `id`.
+    pub fn node(&self, id: NodeId) -> &Node {
+        &self.nodes[id]
+    }
+
+    /// Mutably borrow node `id` (used by proposal moves).
+    pub fn node_mut(&mut self, id: NodeId) -> &mut Node {
+        &mut self.nodes[id]
+    }
+
+    /// True if `id` is a tip.
+    pub fn is_tip(&self, id: NodeId) -> bool {
+        self.nodes[id].taxon.is_some()
+    }
+
+    /// Ids of all internal nodes in post-order (children before parents),
+    /// ending with the root.
+    pub fn postorder_internal(&self) -> Vec<NodeId> {
+        let mut order = Vec::with_capacity(self.taxon_count - 1);
+        self.postorder_visit(self.root, &mut order);
+        order
+    }
+
+    fn postorder_visit(&self, id: NodeId, out: &mut Vec<NodeId>) {
+        let node = &self.nodes[id];
+        if node.taxon.is_some() {
+            return;
+        }
+        for &c in &node.children {
+            self.postorder_visit(c, out);
+        }
+        out.push(id);
+    }
+
+    /// Sum of all branch lengths (tree length).
+    pub fn tree_length(&self) -> f64 {
+        self.nodes
+            .iter()
+            .enumerate()
+            .filter(|&(id, _)| id != self.root)
+            .map(|(_, n)| n.branch_length)
+            .sum()
+    }
+
+    /// The BEAGLE operation schedule for a full post-order traversal:
+    /// `(destination, (child1, matrix1), (child2, matrix2))` where buffer and
+    /// matrix indices both equal node ids (the standard client convention).
+    pub fn operation_schedule(&self) -> Vec<ScheduleEntry> {
+        self.postorder_internal()
+            .into_iter()
+            .map(|id| {
+                let ch = &self.nodes[id].children;
+                ScheduleEntry {
+                    destination: id,
+                    child1: ch[0],
+                    matrix1: ch[0],
+                    child2: ch[1],
+                    matrix2: ch[1],
+                }
+            })
+            .collect()
+    }
+
+    /// All `(node, branch_length)` pairs that need a transition matrix
+    /// (every node except the root).
+    pub fn branch_assignments(&self) -> Vec<(NodeId, f64)> {
+        (0..self.nodes.len())
+            .filter(|&id| id != self.root)
+            .map(|id| (id, self.nodes[id].branch_length))
+            .collect()
+    }
+
+    /// Perform a nearest-neighbor interchange around the branch above
+    /// internal node `v` (which must be a non-root internal node): swaps a
+    /// random child of `v` with `v`'s sibling. Returns the two nodes swapped,
+    /// or `None` if `v` is not eligible.
+    pub fn nni<R: Rng>(&mut self, v: NodeId, rng: &mut R) -> Option<(NodeId, NodeId)> {
+        if self.is_tip(v) || v == self.root {
+            return None;
+        }
+        let parent = self.nodes[v].parent.expect("non-root has parent");
+        let sibling = *self.nodes[parent]
+            .children
+            .iter()
+            .find(|&&c| c != v)
+            .expect("binary parent has a sibling");
+        let child_slot = rng.random_range(0..2);
+        let child = self.nodes[v].children[child_slot];
+        // Swap `child` (under v) with `sibling` (under parent).
+        self.nodes[v].children[child_slot] = sibling;
+        let sib_slot = self.nodes[parent].children.iter().position(|&c| c == sibling).unwrap();
+        self.nodes[parent].children[sib_slot] = child;
+        self.nodes[sibling].parent = Some(v);
+        self.nodes[child].parent = Some(parent);
+        Some((child, sibling))
+    }
+
+    /// Internal non-root nodes (eligible NNI pivots).
+    pub fn nni_candidates(&self) -> Vec<NodeId> {
+        (self.taxon_count..self.nodes.len())
+            .filter(|&id| id != self.root)
+            .collect()
+    }
+
+    /// Re-root the tree at the branch above `v` (which must not be the
+    /// root): the new root's children are `v` (keeping its branch length)
+    /// and the rest of the tree (with branch length 0 on its side).
+    ///
+    /// For a reversible model this leaves the likelihood unchanged (pulley
+    /// principle) and exposes the branch above `v` as a root edge, which is
+    /// what Newton–Raphson branch optimizers need: changing that one length
+    /// invalidates no partials. Returns `(tree, rest_root)` where
+    /// `rest_root` is the new root's non-`v` child.
+    ///
+    /// When `v`'s parent *is* already the root, the sibling's branch length
+    /// is folded into `v`'s (same unrooted tree) so the full unrooted edge
+    /// is exposed on `v`'s side.
+    pub fn reroot_above(&self, v: NodeId) -> (Tree, NodeId) {
+        assert_ne!(v, self.root, "cannot re-root above the root");
+        let mut nodes = self.nodes.clone();
+        let old_root = self.root;
+        let parent = nodes[v].parent.expect("non-root node has a parent");
+
+        if parent == old_root {
+            // Already a root edge: fold the sibling branch into v's.
+            let sibling = *nodes[old_root]
+                .children
+                .iter()
+                .find(|&&c| c != v)
+                .expect("binary root");
+            nodes[v].branch_length += nodes[sibling].branch_length;
+            nodes[sibling].branch_length = 0.0;
+            let t = Tree::from_nodes(nodes, old_root, self.taxon_count);
+            return (t, sibling);
+        }
+
+        // Path from parent up to (excluding) the old root.
+        let mut path = vec![parent];
+        while let Some(p) = nodes[*path.last().unwrap()].parent {
+            if p == old_root {
+                break;
+            }
+            path.push(p);
+        }
+        // The old root's child on the path, and its other child.
+        let top = *path.last().unwrap();
+        let other = *nodes[old_root]
+            .children
+            .iter()
+            .find(|&&c| c != top)
+            .expect("binary root");
+
+        // Reverse edges along the path. A rooted branch length lives on the
+        // *lower* node of its edge, so the reversed edge (p_w ← p_{w+1})
+        // must carry p_w's ORIGINAL upward branch; snapshot lengths first
+        // because the loop overwrites them as it walks.
+        let orig_branch: Vec<f64> = nodes.iter().map(|n| n.branch_length).collect();
+        for w in 0..path.len() {
+            let node = path[w];
+            let former_parent = if w + 1 < path.len() { path[w + 1] } else { old_root };
+            // The node's new child is its former parent — except at the top
+            // of the path, which adopts the old root's OTHER child with the
+            // two root-edge halves merged (the old root vanishes from the
+            // unrooted tree).
+            let (new_child, new_child_branch) = if former_parent == old_root {
+                (other, orig_branch[top] + orig_branch[other])
+            } else {
+                (former_parent, orig_branch[node])
+            };
+            // Replace the downward link that pointed along the path.
+            let down = if w == 0 { v } else { path[w - 1] };
+            let slot = nodes[node]
+                .children
+                .iter()
+                .position(|&c| c == down)
+                .expect("path child present");
+            nodes[node].children[slot] = new_child;
+            nodes[new_child].parent = Some(node);
+            nodes[new_child].branch_length = new_child_branch;
+        }
+
+        // Reuse the old root's arena slot as the new root.
+        nodes[old_root].children = vec![v, parent];
+        nodes[old_root].parent = None;
+        nodes[old_root].branch_length = 0.0;
+        nodes[v].parent = Some(old_root);
+        // v keeps its branch length; the rest side carries 0.
+        nodes[parent].parent = Some(old_root);
+        nodes[parent].branch_length = 0.0;
+
+        let t = Tree::from_nodes(nodes, old_root, self.taxon_count);
+        (t, parent)
+    }
+}
+
+/// One partial-likelihood operation of a post-order schedule.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ScheduleEntry {
+    /// Node (= partials buffer = scale buffer) being computed.
+    pub destination: NodeId,
+    /// First child buffer index.
+    pub child1: NodeId,
+    /// Transition matrix index for the child-1 branch.
+    pub matrix1: NodeId,
+    /// Second child buffer index.
+    pub child2: NodeId,
+    /// Transition matrix index for the child-2 branch.
+    pub matrix2: NodeId,
+}
+
+fn sample_exp<R: Rng>(mean: f64, rng: &mut R) -> f64 {
+    let u: f64 = rng.random_range(1e-12..1.0);
+    -mean * u.ln()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn ladder_shape() {
+        let t = Tree::ladder(4, 0.1);
+        assert_eq!(t.node_count(), 7);
+        assert_eq!(t.taxon_count(), 4);
+        let post = t.postorder_internal();
+        assert_eq!(post.len(), 3);
+        assert_eq!(*post.last().unwrap(), t.root());
+    }
+
+    #[test]
+    fn random_tree_valid_for_many_sizes() {
+        let mut rng = SmallRng::seed_from_u64(42);
+        for n in [2usize, 3, 8, 33, 128] {
+            let t = Tree::random(n, 0.1, &mut rng);
+            assert_eq!(t.node_count(), 2 * n - 1);
+            // validate() ran in the constructor; also check post-order covers
+            // all internals exactly once.
+            let post = t.postorder_internal();
+            assert_eq!(post.len(), n - 1);
+            let mut seen = std::collections::HashSet::new();
+            for id in post {
+                assert!(!t.is_tip(id));
+                assert!(seen.insert(id));
+            }
+        }
+    }
+
+    #[test]
+    fn postorder_children_first() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        let t = Tree::random(16, 0.1, &mut rng);
+        let post = t.postorder_internal();
+        let pos: std::collections::HashMap<_, _> =
+            post.iter().enumerate().map(|(i, &id)| (id, i)).collect();
+        for &id in &post {
+            for &c in &t.node(id).children {
+                if !t.is_tip(c) {
+                    assert!(pos[&c] < pos[&id], "child {c} must precede parent {id}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn schedule_matches_postorder() {
+        let t = Tree::ladder(5, 0.2);
+        let sched = t.operation_schedule();
+        assert_eq!(sched.len(), 4);
+        for entry in &sched {
+            let ch = &t.node(entry.destination).children;
+            assert_eq!(ch, &vec![entry.child1, entry.child2]);
+        }
+    }
+
+    #[test]
+    fn branch_assignments_exclude_root() {
+        let t = Tree::ladder(4, 0.1);
+        let b = t.branch_assignments();
+        assert_eq!(b.len(), t.node_count() - 1);
+        assert!(b.iter().all(|&(id, _)| id != t.root()));
+    }
+
+    #[test]
+    fn nni_preserves_validity() {
+        let mut rng = SmallRng::seed_from_u64(99);
+        let mut t = Tree::random(12, 0.1, &mut rng);
+        for _ in 0..50 {
+            let cands = t.nni_candidates();
+            let v = cands[rng.random_range(0..cands.len())];
+            t.nni(v, &mut rng);
+            // Re-validate the full invariant set.
+            let nodes = (0..t.node_count()).map(|i| t.node(i).clone()).collect::<Vec<_>>();
+            let _revalidated = Tree::from_nodes(nodes, t.root(), t.taxon_count());
+        }
+    }
+
+    #[test]
+    fn nni_rejects_tips_and_root() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let mut t = Tree::ladder(4, 0.1);
+        assert!(t.nni(0, &mut rng).is_none(), "tip is not an NNI pivot");
+        let root = t.root();
+        assert!(t.nni(root, &mut rng).is_none(), "root is not an NNI pivot");
+    }
+
+    #[test]
+    fn reroot_preserves_likelihood() {
+        use crate::likelihood::log_likelihood;
+        use crate::models::nucleotide::hky85;
+        use crate::patterns::SitePatterns;
+        use crate::rates::SiteRates;
+        use crate::simulate::simulate_alignment;
+
+        let mut rng = SmallRng::seed_from_u64(55);
+        let tree = Tree::random(10, 0.15, &mut rng);
+        let model = hky85(2.0, &[0.3, 0.2, 0.25, 0.25]);
+        let rates = SiteRates::constant();
+        let aln = simulate_alignment(&tree, &model, &rates, 120, &mut rng);
+        let pats = SitePatterns::compress(&aln);
+        let reference = log_likelihood(&tree, &model, &rates, &pats);
+
+        // Re-rooting above ANY non-root node must not change the likelihood
+        // (pulley principle), and must preserve the unrooted tree length.
+        for v in 0..tree.node_count() {
+            if v == tree.root() {
+                continue;
+            }
+            let (rt, rest) = tree.reroot_above(v);
+            assert_eq!(rt.node_count(), tree.node_count());
+            assert!((rt.tree_length() - tree.tree_length()).abs() < 1e-12, "node {v}");
+            let lnl = log_likelihood(&rt, &model, &rates, &pats);
+            assert!((lnl - reference).abs() < 1e-9, "reroot above {v}: {lnl} vs {reference}");
+            // The rest-root is the new root's other child with branch 0
+            // (or the folded sibling when v was a root child).
+            assert!(rt.node(rt.root()).children.contains(&rest));
+            assert_eq!(rt.node(rest).branch_length, 0.0);
+        }
+    }
+
+    #[test]
+    fn reroot_above_root_child_folds_sibling() {
+        let t = Tree::ladder(4, 0.25);
+        let root = t.root();
+        let v = t.node(root).children[0];
+        let (rt, rest) = t.reroot_above(v);
+        assert_eq!(rt.root(), root, "root slot reused");
+        assert_eq!(rt.node(rest).branch_length, 0.0);
+        // v's branch now carries both root-edge halves.
+        assert!((rt.node(v).branch_length - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tree_length_sums_branches() {
+        let t = Tree::ladder(3, 0.5);
+        // 3 tips + 1 non-root internal node have branches (root excluded).
+        assert!((t.tree_length() - 4.0 * 0.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,138 @@
+//! Property-based tests for the phylogenetics substrate.
+
+use beagle_phylo::alphabet::Alphabet;
+use beagle_phylo::clades::robinson_foulds;
+use beagle_phylo::math::eigen::decompose_reversible;
+use beagle_phylo::math::gamma::{discrete_gamma_rates, gamma_p, gamma_quantile};
+use beagle_phylo::math::linalg::SquareMatrix;
+use beagle_phylo::models::nucleotide::gtr;
+use beagle_phylo::newick::{from_newick, to_newick};
+use beagle_phylo::Tree;
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Newick serialization roundtrips arbitrary random trees.
+    #[test]
+    fn newick_roundtrip(taxa in 2usize..40, seed in 0u64..10_000) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let tree = Tree::random(taxa, 0.2, &mut rng);
+        let names: Vec<String> = (0..taxa).map(|i| format!("tx{i}")).collect();
+        let text = to_newick(&tree, &names);
+        let (parsed, parsed_names) = from_newick(&text).unwrap();
+        prop_assert_eq!(parsed.taxon_count(), taxa);
+        // Same topology: serialize again with the same name order.
+        let text2 = to_newick(&parsed, &parsed_names);
+        prop_assert_eq!(text, text2);
+        // Tree length preserved to parsing precision.
+        prop_assert!((tree.tree_length() - parsed.tree_length()).abs() < 1e-9);
+    }
+
+    /// GTR transition matrices are stochastic and satisfy detailed balance
+    /// for arbitrary parameters.
+    #[test]
+    fn gtr_transition_matrices_stochastic(
+        r1 in 0.1f64..10.0, r2 in 0.1f64..10.0, r3 in 0.1f64..10.0,
+        r4 in 0.1f64..10.0, r5 in 0.1f64..10.0, r6 in 0.1f64..10.0,
+        f1 in 0.1f64..1.0, f2 in 0.1f64..1.0, f3 in 0.1f64..1.0, f4 in 0.1f64..1.0,
+        t in 0.0f64..5.0,
+    ) {
+        let total = f1 + f2 + f3 + f4;
+        let pi = [f1 / total, f2 / total, f3 / total, f4 / total];
+        let model = gtr(&[r1, r2, r3, r4, r5, r6], &pi);
+        let p = model.transition_matrix(t);
+        for i in 0..4 {
+            let row_sum: f64 = p.row(i).iter().sum();
+            prop_assert!((row_sum - 1.0).abs() < 1e-9, "row {i} sums to {row_sum}");
+            for j in 0..4 {
+                prop_assert!(p[(i, j)] >= 0.0);
+                // Detailed balance of the process: π_i P_ij = π_j P_ji.
+                prop_assert!((pi[i] * p[(i, j)] - pi[j] * p[(j, i)]).abs() < 1e-9);
+            }
+        }
+    }
+
+    /// Chapman–Kolmogorov: P(t1) · P(t2) = P(t1 + t2).
+    #[test]
+    fn chapman_kolmogorov(
+        t1 in 0.01f64..2.0,
+        t2 in 0.01f64..2.0,
+        kappa in 0.2f64..8.0,
+    ) {
+        let model = beagle_phylo::models::nucleotide::k80(kappa);
+        let p1 = model.transition_matrix(t1);
+        let p2 = model.transition_matrix(t2);
+        let p12 = model.transition_matrix(t1 + t2);
+        let prod = p1.matmul(&p2);
+        prop_assert!(prod.max_abs_diff(&p12) < 1e-9);
+    }
+
+    /// Eigendecomposition reconstructs the rate matrix: U Λ U⁻¹ = Q.
+    #[test]
+    fn eigen_reconstructs_q(
+        r1 in 0.1f64..5.0, r2 in 0.1f64..5.0, r3 in 0.1f64..5.0,
+        r4 in 0.1f64..5.0, r5 in 0.1f64..5.0, r6 in 0.1f64..5.0,
+    ) {
+        let pi = [0.25; 4];
+        let model = gtr(&[r1, r2, r3, r4, r5, r6], &pi);
+        let eig = decompose_reversible(model.rate_matrix(), &pi);
+        let mut lam = SquareMatrix::zeros(4);
+        for i in 0..4 {
+            lam[(i, i)] = eig.values[i];
+        }
+        let rec = eig.vectors.matmul(&lam).matmul(&eig.inverse_vectors);
+        prop_assert!(rec.max_abs_diff(model.rate_matrix()) < 1e-9);
+    }
+
+    /// Gamma quantile inverts the gamma CDF across shapes.
+    #[test]
+    fn gamma_quantile_inverts(a in 0.05f64..50.0, p in 0.001f64..0.999) {
+        let x = gamma_quantile(p, a, a);
+        prop_assert!((gamma_p(a, a * x) - p).abs() < 1e-7, "a={a} p={p} x={x}");
+    }
+
+    /// Discrete-gamma rates are sorted, positive, and mean-1 for any shape.
+    #[test]
+    fn discrete_gamma_invariants(alpha in 0.05f64..50.0, k in 1usize..12) {
+        let rates = discrete_gamma_rates(alpha, k);
+        prop_assert_eq!(rates.len(), k);
+        let mean: f64 = rates.iter().sum::<f64>() / k as f64;
+        prop_assert!((mean - 1.0).abs() < 1e-10);
+        for w in rates.windows(2) {
+            prop_assert!(w[0] <= w[1]);
+        }
+        prop_assert!(rates[0] >= 0.0);
+    }
+
+    /// RF distance is a metric: non-negative, symmetric, zero on identity,
+    /// and invariant to branch lengths.
+    #[test]
+    fn rf_metric_properties(taxa in 4usize..20, s1 in 0u64..500, s2 in 0u64..500) {
+        let mut r1 = SmallRng::seed_from_u64(s1);
+        let mut r2 = SmallRng::seed_from_u64(s2);
+        let a = Tree::random(taxa, 0.1, &mut r1);
+        let b = Tree::random(taxa, 0.1, &mut r2);
+        prop_assert_eq!(robinson_foulds(&a, &a), 0);
+        prop_assert_eq!(robinson_foulds(&a, &b), robinson_foulds(&b, &a));
+        prop_assert!(robinson_foulds(&a, &b) <= 2 * (taxa.saturating_sub(2)));
+    }
+
+    /// Codon encode/decode roundtrips arbitrary nucleotide triplets that are
+    /// not stop codons.
+    #[test]
+    fn codon_roundtrip_non_stop(b1 in 0usize..4, b2 in 0usize..4, b3 in 0usize..4) {
+        let chars = [b'A', b'C', b'G', b'T'];
+        let trip = [chars[b1], chars[b2], chars[b3]];
+        let state = Alphabet::Codon.encode(&trip);
+        let is_stop = matches!(&trip, b"TAA" | b"TAG" | b"TGA");
+        if is_stop {
+            prop_assert_eq!(state, beagle_phylo::alphabet::GAP_STATE);
+        } else {
+            let decoded = Alphabet::Codon.decode(state);
+            prop_assert_eq!(decoded.as_bytes(), &trip);
+        }
+    }
+}

@@ -1,0 +1,128 @@
+//! Codon-model selection-pressure analysis across heterogeneous hardware.
+//!
+//! The motivating workload of the paper's codon benchmarks: estimate dN/dS
+//! (ω) on a fixed tree by profiling the likelihood over a grid of ω values —
+//! the inner loop of positive-selection scans. The 61-state kernels dominate
+//! the cost, so hardware choice matters; this example runs the same profile
+//! on the serial CPU, the thread pool, OpenCL-x86, and the simulated R9 Nano
+//! and reports each back-end's time (wall or modeled — labelled).
+//!
+//! Run: `cargo run --release --example codon_selection`
+
+use std::time::Instant;
+
+use beagle::prelude::*;
+use beagle::phylo::models::codon::{self, CodonModelParams};
+
+fn profile_omega(
+    instance: &mut dyn BeagleInstance,
+    tree: &Tree,
+    patterns: &SitePatterns,
+    omegas: &[f64],
+) -> (Vec<f64>, f64) {
+    // Static data.
+    for tip in 0..tree.taxon_count() {
+        instance.set_tip_states(tip, &patterns.tip_states(tip)).unwrap();
+    }
+    instance.set_pattern_weights(patterns.weights()).unwrap();
+    instance.set_category_rates(&[1.0]).unwrap();
+    instance.set_category_weights(0, &[1.0]).unwrap();
+
+    let (matrix_indices, branch_lengths): (Vec<usize>, Vec<f64>) =
+        tree.branch_assignments().iter().copied().unzip();
+    let operations: Vec<Operation> = tree
+        .operation_schedule()
+        .iter()
+        .map(|e| Operation::new(e.destination, e.child1, e.matrix1, e.child2, e.matrix2))
+        .collect();
+
+    let simulated = instance.simulated_time().is_some();
+    instance.reset_simulated_time();
+    let start = Instant::now();
+    let mut lnls = Vec::with_capacity(omegas.len());
+    for &omega in omegas {
+        // New ω → new rate matrix → new eigen system on the device.
+        let model = codon::gy94(
+            CodonModelParams { kappa: 2.5, omega },
+            &codon::uniform_codon_frequencies(),
+        );
+        let eig = model.eigen();
+        instance
+            .set_eigen_decomposition(0, eig.vectors.as_slice(), eig.inverse_vectors.as_slice(), &eig.values)
+            .unwrap();
+        instance.set_state_frequencies(0, model.frequencies()).unwrap();
+        instance.update_transition_matrices(0, &matrix_indices, &branch_lengths).unwrap();
+        instance.update_partials(&operations).unwrap();
+        lnls.push(
+            instance
+                .calculate_root_log_likelihoods(tree.root(), 0, 0, None)
+                .unwrap(),
+        );
+    }
+    let secs = instance
+        .simulated_time()
+        .map(|d| d.as_secs_f64())
+        .unwrap_or_else(|| start.elapsed().as_secs_f64());
+    let _ = simulated;
+    (lnls, secs)
+}
+
+fn main() {
+    // Synthetic "arthropod-like" codon data: 12 taxa, ~800 unique patterns,
+    // simulated under ω = 0.3 (purifying selection).
+    let mut rng = beagle::prelude::rand_seeded(7);
+    let tree = Tree::random(12, 0.08, &mut rng);
+    let true_model = codon::gy94(
+        CodonModelParams { kappa: 2.5, omega: 0.3 },
+        &codon::uniform_codon_frequencies(),
+    );
+    let rates = SiteRates::constant();
+    let patterns =
+        beagle::phylo::simulate::simulate_patterns(&tree, &true_model, &rates, 800, &mut rng);
+    println!("codon dataset: 12 taxa, {} unique patterns, true omega = 0.3\n", patterns.pattern_count());
+
+    let omegas = [0.05, 0.1, 0.2, 0.3, 0.5, 0.8, 1.2, 2.0];
+    let config = InstanceConfig::for_tree(12, patterns.pattern_count(), 61, 1);
+    let manager = beagle::full_manager();
+
+    let backends = [
+        "CPU-serial",
+        "CPU-threadpool",
+        "OpenCL-x86",
+        "OpenCL-GPU (AMD Radeon R9 Nano (simulated))",
+    ];
+    let mut reference: Option<Vec<f64>> = None;
+    for name in backends {
+        let Ok(mut inst) =
+            manager.create_instance_by_name(name, &config, Flags::PRECISION_DOUBLE)
+        else {
+            continue;
+        };
+        let (lnls, secs) = profile_omega(inst.as_mut(), &tree, &patterns, &omegas);
+        let best = omegas
+            .iter()
+            .zip(&lnls)
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .unwrap();
+        let timing = if inst.simulated_time().is_some() { "modeled" } else { "measured" };
+        println!(
+            "{name:<46} {secs:>8.3} s ({timing}); ML omega = {:.2} (lnL {:.2})",
+            best.0, best.1
+        );
+        match &reference {
+            None => reference = Some(lnls),
+            Some(r) => {
+                for (a, b) in r.iter().zip(&lnls) {
+                    assert!((a - b).abs() < 1e-5, "back-ends disagree: {a} vs {b}");
+                }
+            }
+        }
+    }
+
+    println!("\nlikelihood profile (identical on every back-end):");
+    for (o, l) in omegas.iter().zip(reference.unwrap()) {
+        let bar = "#".repeat(((l + 40_000.0) / 80.0).max(1.0) as usize % 60);
+        println!("  omega {o:>5.2}  lnL {l:>12.2}  {bar}");
+    }
+    println!("\nthe profile peaks near the simulated truth (omega = 0.3): purifying selection.");
+}

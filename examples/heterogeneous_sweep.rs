@@ -1,0 +1,56 @@
+//! Heterogeneous hardware sweep: one problem, every back-end.
+//!
+//! A `genomictest`-flavoured scan that creates the same likelihood problem
+//! on every registered implementation — CPU serial/SSE/threaded, simulated
+//! CUDA and OpenCL GPUs, OpenCL-x86 — verifying they all agree with the
+//! reference oracle and reporting each one's throughput with its timing
+//! provenance. This is the "which hardware should I use for my data?"
+//! question BEAGLE exists to answer.
+//!
+//! Run: `cargo run --release --example heterogeneous_sweep`
+
+use beagle::harness::{benchmark, full_manager, ModelKind, Problem, Scenario};
+use beagle::prelude::*;
+
+fn main() {
+    for (label, model, patterns, categories) in [
+        ("nucleotide", ModelKind::Nucleotide, 5_000, 4),
+        ("amino acid", ModelKind::AminoAcid, 2_000, 4),
+        ("codon", ModelKind::Codon, 800, 1),
+    ] {
+        let scenario = Scenario { model, taxa: 12, patterns, categories, seed: 99 };
+        let problem = Problem::generate(&scenario);
+        let oracle = problem.oracle();
+        println!(
+            "== {label}: 12 taxa, {} unique patterns, {} categories (oracle lnL {oracle:.2}) ==",
+            problem.patterns.pattern_count(),
+            categories
+        );
+        println!(
+            "{:<46} {:>10} {:>14} {:>10}",
+            "implementation", "GFLOPS", "ms/traversal", "timing"
+        );
+
+        let manager = full_manager();
+        for name in manager.implementation_names() {
+            let Ok(mut inst) =
+                manager.create_instance_by_name(&name, &problem.config(), Flags::PRECISION_SINGLE)
+            else {
+                println!("{name:<46} {:>10}", "(unsupported)");
+                continue;
+            };
+            let report = benchmark(&problem, inst.as_mut(), 2);
+            // Correctness gate: single precision within relative 1e-4.
+            let rel = ((report.log_likelihood - oracle) / oracle).abs();
+            assert!(rel < 1e-3, "{name}: lnL {} vs oracle {oracle}", report.log_likelihood);
+            println!(
+                "{name:<46} {:>10.2} {:>14.3} {:>10}",
+                report.gflops,
+                report.per_traversal.as_secs_f64() * 1e3,
+                if report.simulated { "modeled" } else { "measured" }
+            );
+        }
+        println!();
+    }
+    println!("all implementations agree with the reference oracle to single precision.");
+}

@@ -1,0 +1,62 @@
+//! Resource discovery and implementation selection.
+//!
+//! Shows the plugin/manager machinery: what resources exist, how preference
+//! and requirement flags steer instance creation, and how the library
+//! reports what an instance actually is — the `beagleGetResourceList` /
+//! `beagleCreateInstance` workflow of the C API.
+//!
+//! Run: `cargo run --release --example resource_explorer`
+
+use beagle::prelude::*;
+
+fn main() {
+    let manager = beagle::full_manager();
+
+    println!("== resource list ==");
+    for (name, res) in manager.implementation_names().iter().zip(manager.resource_list()) {
+        println!("{name:<46} {}", res.name);
+        println!("{:<46} supports: {}", "", res.support_flags);
+    }
+
+    let config = InstanceConfig::for_tree(8, 1000, 4, 4);
+    println!("\n== selection scenarios (8 taxa, 1000 patterns, nucleotide) ==");
+    let scenarios: [(&str, Flags, Flags); 6] = [
+        ("no constraints (best available)", Flags::NONE, Flags::NONE),
+        ("require GPU", Flags::NONE, Flags::PROCESSOR_GPU),
+        ("require OpenCL on a CPU", Flags::NONE, Flags::FRAMEWORK_OPENCL | Flags::PROCESSOR_CPU),
+        ("prefer SSE vectorization", Flags::VECTOR_SSE, Flags::NONE),
+        ("require double precision + CUDA", Flags::NONE, Flags::PRECISION_DOUBLE | Flags::FRAMEWORK_CUDA),
+        ("require serial execution", Flags::NONE, Flags::THREADING_NONE),
+    ];
+    for (label, prefs, reqs) in scenarios {
+        match manager.create_instance(&config, prefs, reqs) {
+            Ok(inst) => {
+                let d = inst.details();
+                println!(
+                    "{label:<38} -> {} [{} thread(s)]",
+                    d.implementation_name, d.thread_count
+                );
+            }
+            Err(e) => println!("{label:<38} -> error: {e}"),
+        }
+    }
+
+    // A requirement no implementation satisfies.
+    println!("\n== unsatisfiable requirement ==");
+    let impossible = Flags::FRAMEWORK_CUDA | Flags::PROCESSOR_CPU;
+    match manager.create_instance(&config, Flags::NONE, impossible) {
+        Ok(_) => unreachable!("no CUDA CPU exists"),
+        Err(e) => println!("require CUDA-on-CPU -> {e}"),
+    }
+
+    // Codon configs exclude the nucleotide-only SSE factory automatically.
+    println!("\n== configuration-dependent support ==");
+    let codon_config = InstanceConfig::for_tree(8, 500, 61, 1);
+    let inst = manager
+        .create_instance(&codon_config, Flags::VECTOR_SSE, Flags::PROCESSOR_CPU)
+        .expect("falls back to a non-SSE implementation");
+    println!(
+        "codon model with SSE preference -> {} (SSE path is nucleotide-only)",
+        inst.details().implementation_name
+    );
+}

@@ -1,0 +1,14 @@
+#!/bin/bash
+# Regenerate every paper table/figure; outputs under results/.
+set -u
+cd /root/repo
+mkdir -p results
+for b in devices table3 table4 table5 fig5 fig6; do
+  echo "=== $b ==="
+  cargo run -p beagle-bench --bin $b --release 2>/dev/null > results/$b.txt
+done
+echo "=== fig4 ==="
+cargo run -p beagle-bench --bin fig4 --release 2>/dev/null > results/fig4.txt
+echo "=== testsuite ==="
+cargo run -p genomictest --bin testsuite --release 2>/dev/null > results/testsuite.txt
+echo ALL_DONE

@@ -1,0 +1,149 @@
+//! Workspace integration: every registered implementation must produce the
+//! same likelihood for the same problem — the core guarantee of BEAGLE's
+//! uniform API across heterogeneous hardware.
+
+use beagle::harness::{full_manager, ModelKind, Problem, Scenario};
+use beagle::prelude::*;
+
+fn all_backends_agree(model: ModelKind, patterns: usize, categories: usize, seed: u64) {
+    let problem = Problem::generate(&Scenario { model, taxa: 9, patterns, categories, seed });
+    let oracle = problem.oracle();
+    let manager = full_manager();
+    let mut tested = 0;
+    for name in manager.implementation_names() {
+        for single in [false, true] {
+            let precision =
+                if single { Flags::PRECISION_SINGLE } else { Flags::PRECISION_DOUBLE };
+            let Ok(mut inst) =
+                manager.create_instance_by_name(&name, &problem.config(), precision)
+            else {
+                continue; // e.g. SSE factory with a codon config
+            };
+            problem.load(inst.as_mut());
+            let lnl = problem.evaluate(inst.as_mut(), single);
+            let rel = ((lnl - oracle) / oracle).abs();
+            let tol = if single { 1e-4 } else { 1e-10 };
+            assert!(
+                rel < tol,
+                "{name} single={single} {model:?}: {lnl} vs oracle {oracle} (rel {rel:e})"
+            );
+            tested += 1;
+        }
+    }
+    assert!(tested >= 14, "expected most backends to run, got {tested}");
+}
+
+#[test]
+fn nucleotide_all_backends() {
+    all_backends_agree(ModelKind::Nucleotide, 700, 4, 1);
+}
+
+#[test]
+fn amino_acid_all_backends() {
+    all_backends_agree(ModelKind::AminoAcid, 300, 2, 2);
+}
+
+#[test]
+fn codon_all_backends() {
+    all_backends_agree(ModelKind::Codon, 150, 1, 3);
+}
+
+#[test]
+fn site_log_likelihoods_agree_between_cpu_and_gpu() {
+    let problem = Problem::generate(&Scenario {
+        model: ModelKind::Nucleotide,
+        taxa: 7,
+        patterns: 200,
+        categories: 2,
+        seed: 4,
+    });
+    let manager = full_manager();
+    let mut cpu = manager
+        .create_instance_by_name("CPU-serial", &problem.config(), Flags::PRECISION_DOUBLE)
+        .unwrap();
+    problem.load(cpu.as_mut());
+    problem.evaluate(cpu.as_mut(), false);
+    let cpu_sites = cpu.get_site_log_likelihoods().unwrap();
+
+    let mut gpu = manager
+        .create_instance_by_name(
+            "CUDA (NVIDIA Quadro P5000 (simulated))",
+            &problem.config(),
+            Flags::PRECISION_DOUBLE,
+        )
+        .unwrap();
+    problem.load(gpu.as_mut());
+    problem.evaluate(gpu.as_mut(), false);
+    let gpu_sites = gpu.get_site_log_likelihoods().unwrap();
+
+    assert_eq!(cpu_sites.len(), gpu_sites.len());
+    for (a, b) in cpu_sites.iter().zip(&gpu_sites) {
+        assert!((a - b).abs() < 1e-10, "{a} vs {b}");
+    }
+}
+
+#[test]
+fn edge_derivatives_agree_cpu_vs_gpu() {
+    let problem = Problem::generate(&Scenario {
+        model: ModelKind::Nucleotide,
+        taxa: 6,
+        patterns: 120,
+        categories: 2,
+        seed: 6,
+    });
+    let manager = full_manager();
+    let root = problem.tree.root();
+    let child = problem.tree.node(root).children[0];
+    let rest = problem.tree.node(root).children[1];
+    let mut results = Vec::new();
+    for name in ["CPU-serial", "CUDA (NVIDIA Quadro P5000 (simulated))", "OpenCL-x86"] {
+        let mut inst = manager
+            .create_instance_by_name(name, &problem.config(), Flags::PRECISION_DOUBLE)
+            .unwrap();
+        problem.load(inst.as_mut());
+        problem.evaluate(inst.as_mut(), false);
+        let t = problem.tree.node(child).branch_length;
+        // Scratch derivative slots: the root's matrix slot + the rest slot.
+        inst.update_transition_derivatives(0, &[child], &[root], &[rest], &[t])
+            .unwrap();
+        // Parent = rest-side partials is not directly available at the root
+        // edge, so use a weaker but exact check: identical triples across
+        // back-ends for parent = the root buffer itself.
+        let trip = inst
+            .calculate_edge_derivatives(root, child, child, root, rest, 0, 0, None)
+            .unwrap();
+        results.push(trip);
+    }
+    for other in &results[1..] {
+        assert!((results[0].0 - other.0).abs() < 1e-9);
+        assert!((results[0].1 - other.1).abs() < 1e-9);
+        assert!((results[0].2 - other.2).abs() < 1e-9);
+    }
+}
+
+#[test]
+fn partials_readback_matches_across_backends() {
+    let problem = Problem::generate(&Scenario {
+        model: ModelKind::Nucleotide,
+        taxa: 5,
+        patterns: 50,
+        categories: 1,
+        seed: 5,
+    });
+    let manager = full_manager();
+    let root = problem.tree.root();
+    let mut bufs = Vec::new();
+    for name in ["CPU-serial", "OpenCL-x86", "OpenCL-GPU (AMD Radeon R9 Nano (simulated))"] {
+        let mut inst = manager
+            .create_instance_by_name(name, &problem.config(), Flags::PRECISION_DOUBLE)
+            .unwrap();
+        problem.load(inst.as_mut());
+        problem.evaluate(inst.as_mut(), false);
+        bufs.push(inst.get_partials(root).unwrap());
+    }
+    for other in &bufs[1..] {
+        for (a, b) in bufs[0].iter().zip(other) {
+            assert!((a - b).abs() < 1e-10);
+        }
+    }
+}

@@ -1,0 +1,117 @@
+//! Workspace integration: the multi-device PartitionedInstance (the paper's
+//! planned "dynamic load balancing across multiple devices from within a
+//! single library instance") must agree with single-device evaluation.
+
+use beagle::core::multi::{weighted_ranges, PartitionedInstance};
+use beagle::harness::{full_manager, ModelKind, Problem, Scenario};
+use beagle::prelude::*;
+
+fn problem() -> Problem {
+    Problem::generate(&Scenario {
+        model: ModelKind::Nucleotide,
+        taxa: 8,
+        patterns: 900,
+        categories: 4,
+        seed: 77,
+    })
+}
+
+#[test]
+fn partitioned_matches_single_device() {
+    let p = problem();
+    let oracle = p.oracle();
+    let manager = full_manager();
+
+    // Heterogeneous split: a simulated GPU plus two CPU implementations.
+    let devices = [
+        (Flags::NONE, Flags::FRAMEWORK_CUDA),
+        (Flags::NONE, Flags::FRAMEWORK_OPENCL | Flags::PROCESSOR_CPU),
+        (Flags::NONE, Flags::THREADING_THREAD_POOL),
+    ];
+    let weights = [8.0, 1.0, 1.0];
+    let mut multi =
+        PartitionedInstance::create(&manager, &p.config(), &devices, &weights).unwrap();
+    assert_eq!(multi.device_count(), 3);
+    p.load(&mut multi);
+    let lnl = p.evaluate(&mut multi, false);
+    assert!((lnl - oracle).abs() < 1e-7, "{lnl} vs {oracle}");
+}
+
+#[test]
+fn partitioned_site_likelihoods_concatenate_correctly() {
+    let p = problem();
+    let manager = full_manager();
+    let devices = [(Flags::NONE, Flags::NONE), (Flags::NONE, Flags::NONE)];
+    let mut multi =
+        PartitionedInstance::create(&manager, &p.config(), &devices, &[1.0, 1.0]).unwrap();
+    p.load(&mut multi);
+    let total = p.evaluate(&mut multi, false);
+    let sites = multi.get_site_log_likelihoods().unwrap();
+    assert_eq!(sites.len(), p.patterns.pattern_count());
+    let manual: f64 = sites.iter().zip(p.patterns.weights()).map(|(l, w)| l * w).sum();
+    assert!((total - manual).abs() < 1e-8);
+
+    // And they match a single-device run site by site.
+    let mut single = manager.create_instance(&p.config(), Flags::NONE, Flags::NONE).unwrap();
+    p.load(single.as_mut());
+    p.evaluate(single.as_mut(), false);
+    let ref_sites = single.get_site_log_likelihoods().unwrap();
+    for (a, b) in sites.iter().zip(&ref_sites) {
+        assert!((a - b).abs() < 1e-9);
+    }
+}
+
+#[test]
+fn partitioned_scaling_and_single_precision() {
+    let p = problem();
+    let oracle = p.oracle();
+    let manager = full_manager();
+    let devices = [
+        (Flags::PRECISION_SINGLE, Flags::PROCESSOR_GPU),
+        (Flags::PRECISION_SINGLE, Flags::PROCESSOR_CPU),
+    ];
+    let mut multi =
+        PartitionedInstance::create(&manager, &p.config(), &devices, &[2.0, 1.0]).unwrap();
+    p.load(&mut multi);
+    let lnl = p.evaluate(&mut multi, true);
+    assert!(((lnl - oracle) / oracle).abs() < 1e-4, "{lnl} vs {oracle}");
+}
+
+#[test]
+fn partitioned_partials_roundtrip() {
+    let p = problem();
+    let manager = full_manager();
+    let devices = [(Flags::NONE, Flags::NONE), (Flags::NONE, Flags::NONE)];
+    let mut multi =
+        PartitionedInstance::create(&manager, &p.config(), &devices, &[1.0, 2.0]).unwrap();
+    let full = p.config().partials_len();
+    let data: Vec<f64> = (0..full).map(|i| (i % 97) as f64 * 0.01).collect();
+    multi.set_partials(9, &data).unwrap();
+    let got = multi.get_partials(9).unwrap();
+    assert_eq!(data, got, "split + reassembly must be the identity");
+}
+
+#[test]
+fn partitioned_details_aggregate() {
+    let p = problem();
+    let manager = full_manager();
+    let devices = [
+        (Flags::NONE, Flags::FRAMEWORK_CUDA),
+        (Flags::NONE, Flags::THREADING_THREAD_POOL),
+    ];
+    let multi =
+        PartitionedInstance::create(&manager, &p.config(), &devices, &[1.0, 1.0]).unwrap();
+    let d = multi.details();
+    assert!(d.implementation_name.starts_with("Partitioned["));
+    assert!(d.implementation_name.contains("CUDA"));
+    assert!(d.flags.contains(Flags::FRAMEWORK_CUDA));
+    assert!(d.flags.contains(Flags::THREADING_THREAD_POOL));
+}
+
+#[test]
+fn ranges_scale_with_device_speed() {
+    // A device with 9x the throughput gets ~90% of the patterns.
+    let r = weighted_ranges(1000, &[9.0, 1.0]);
+    assert_eq!(r[0], (0, 900));
+    assert_eq!(r[1], (900, 1000));
+}

@@ -1,0 +1,176 @@
+//! Property-based workspace tests: statistical invariants of the likelihood
+//! machinery that must hold for arbitrary inputs, checked with proptest.
+
+use beagle::harness::full_manager;
+use beagle::phylo::likelihood::log_likelihood;
+use beagle::phylo::models::nucleotide::{gtr, hky85};
+use beagle::phylo::simulate::simulate_alignment;
+use beagle::prelude::*;
+use proptest::prelude::*;
+
+/// Build a reproducible random problem from proptest-chosen knobs.
+fn problem(
+    taxa: usize,
+    sites: usize,
+    kappa: f64,
+    seed: u64,
+) -> (Tree, ReversibleModel, SiteRates, SitePatterns) {
+    let mut rng = rand_seeded(seed);
+    let tree = Tree::random(taxa, 0.15, &mut rng);
+    let model = hky85(kappa, &[0.3, 0.2, 0.25, 0.25]);
+    let rates = SiteRates::constant();
+    let aln = simulate_alignment(&tree, &model, &rates, sites, &mut rng);
+    let patterns = SitePatterns::compress(&aln);
+    (tree, model, rates, patterns)
+}
+
+fn beagle_lnl(
+    name: &str,
+    tree: &Tree,
+    model: &ReversibleModel,
+    rates: &SiteRates,
+    patterns: &SitePatterns,
+) -> f64 {
+    let manager = full_manager();
+    let config = InstanceConfig::for_tree(
+        tree.taxon_count(),
+        patterns.pattern_count(),
+        model.state_count(),
+        rates.category_count(),
+    );
+    let mut inst = manager
+        .create_instance_by_name(name, &config, Flags::PRECISION_DOUBLE)
+        .unwrap();
+    let p = beagle::harness::Problem {
+        tree: tree.clone(),
+        model: model.clone(),
+        rates: rates.clone(),
+        patterns: patterns.clone(),
+    };
+    p.load(inst.as_mut());
+    p.evaluate(inst.as_mut(), false)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The BEAGLE result equals the pruning oracle for random problems.
+    #[test]
+    fn beagle_matches_oracle(
+        taxa in 3usize..12,
+        sites in 20usize..150,
+        kappa in 0.5f64..8.0,
+        seed in 0u64..1000,
+    ) {
+        let (tree, model, rates, patterns) = problem(taxa, sites, kappa, seed);
+        let oracle = log_likelihood(&tree, &model, &rates, &patterns);
+        let lnl = beagle_lnl("CPU-serial", &tree, &model, &rates, &patterns);
+        prop_assert!((lnl - oracle).abs() < 1e-8);
+    }
+
+    /// Doubling every pattern weight doubles the log-likelihood.
+    #[test]
+    fn weight_linearity(
+        taxa in 3usize..10,
+        sites in 20usize..100,
+        seed in 0u64..1000,
+    ) {
+        let (tree, model, rates, patterns) = problem(taxa, sites, 2.0, seed);
+        let l1 = log_likelihood(&tree, &model, &rates, &patterns);
+        let doubled = SitePatterns::from_parts(
+            (0..patterns.pattern_count()).map(|p| patterns.pattern(p).to_vec()).collect(),
+            patterns.weights().iter().map(|w| 2.0 * w).collect(),
+        );
+        let l2 = log_likelihood(&tree, &model, &rates, &doubled);
+        prop_assert!((l2 - 2.0 * l1).abs() < 1e-8);
+    }
+
+    /// Permuting the pattern order leaves the likelihood unchanged.
+    #[test]
+    fn pattern_order_invariance(
+        taxa in 3usize..10,
+        sites in 20usize..100,
+        seed in 0u64..1000,
+    ) {
+        let (tree, model, rates, patterns) = problem(taxa, sites, 3.0, seed);
+        let n = patterns.pattern_count();
+        // Deterministic permutation: reverse.
+        let rev = SitePatterns::from_parts(
+            (0..n).rev().map(|p| patterns.pattern(p).to_vec()).collect(),
+            patterns.weights().iter().rev().copied().collect(),
+        );
+        let a = beagle_lnl("CPU-threadpool", &tree, &model, &rates, &patterns);
+        let b = beagle_lnl("CPU-threadpool", &tree, &model, &rates, &rev);
+        prop_assert!((a - b).abs() < 1e-8);
+    }
+
+    /// Log-likelihood is invariant under scaling of the GTR exchangeability
+    /// vector (Q is normalized).
+    #[test]
+    fn q_normalization_invariance(
+        scale in 0.1f64..10.0,
+        seed in 0u64..1000,
+    ) {
+        let rates6 = [1.0, 2.0, 0.5, 1.5, 3.0, 1.0];
+        let scaled6 = rates6.map(|r| r * scale);
+        let pi = [0.3, 0.2, 0.3, 0.2];
+        let m1 = gtr(&rates6, &pi);
+        let m2 = gtr(&scaled6, &pi);
+        let mut rng = rand_seeded(seed);
+        let tree = Tree::random(6, 0.1, &mut rng);
+        let srates = SiteRates::constant();
+        let aln = simulate_alignment(&tree, &m1, &srates, 60, &mut rng);
+        let patterns = SitePatterns::compress(&aln);
+        let l1 = log_likelihood(&tree, &m1, &srates, &patterns);
+        let l2 = log_likelihood(&tree, &m2, &srates, &patterns);
+        prop_assert!((l1 - l2).abs() < 1e-8);
+    }
+
+    /// Per-operation rescaling never changes the double-precision result.
+    #[test]
+    fn scaling_is_numerically_neutral(
+        taxa in 3usize..10,
+        sites in 20usize..80,
+        seed in 0u64..1000,
+    ) {
+        let (tree, model, rates, patterns) = problem(taxa, sites, 2.0, seed);
+        let manager = full_manager();
+        let config = InstanceConfig::for_tree(taxa, patterns.pattern_count(), 4, 1);
+        let p = beagle::harness::Problem {
+            tree: tree.clone(), model: model.clone(), rates: rates.clone(), patterns: patterns.clone(),
+        };
+        let mut a = manager
+            .create_instance_by_name("CPU-serial", &config, Flags::PRECISION_DOUBLE)
+            .unwrap();
+        p.load(a.as_mut());
+        let unscaled = p.evaluate(a.as_mut(), false);
+        let mut b = manager
+            .create_instance_by_name("CPU-serial", &config, Flags::PRECISION_DOUBLE)
+            .unwrap();
+        p.load(b.as_mut());
+        let scaled = p.evaluate(b.as_mut(), true);
+        prop_assert!((unscaled - scaled).abs() < 1e-8);
+    }
+
+    /// Extending a branch away from zero can only decrease the likelihood of
+    /// identical-sequence data (any substitution is unfavourable).
+    #[test]
+    fn identical_sequences_favour_zero_branches(
+        taxa in 3usize..8,
+        t in 0.01f64..2.0,
+    ) {
+        let model = hky85(2.0, &[0.25; 4]);
+        let rates = SiteRates::constant();
+        // All-identical alignment: every taxon is "ACGT" repeated.
+        let seq = "ACGTACGTACGT";
+        let rows: Vec<(String, &str)> = (0..taxa).map(|i| (format!("t{i}"), seq)).collect();
+        let refs: Vec<(&str, &str)> = rows.iter().map(|(n, s)| (n.as_str(), *s)).collect();
+        let aln = Alignment::from_text(Alphabet::Dna, &refs);
+        let patterns = SitePatterns::compress(&aln);
+        let near_zero = Tree::ladder(taxa, 1e-9);
+        let stretched = Tree::ladder(taxa, t);
+        let l0 = log_likelihood(&near_zero, &model, &rates, &patterns);
+        let l1 = log_likelihood(&stretched, &model, &rates, &patterns);
+        prop_assert!(l0 > l1, "{l0} should beat {l1}");
+    }
+}
