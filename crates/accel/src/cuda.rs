@@ -6,6 +6,7 @@
 //! design.
 
 use crate::device::{catalog, DeviceSpec, Vendor};
+use crate::fault::{FaultDirectory, FaultPlan};
 
 /// The simulated CUDA driver installation.
 #[derive(Clone, Debug)]
@@ -13,6 +14,7 @@ pub struct CudaDriver {
     /// Reported driver version (the paper's system 1 ran CUDA release 8.0).
     pub version: &'static str,
     devices: Vec<DeviceSpec>,
+    faults: FaultDirectory,
 }
 
 impl CudaDriver {
@@ -20,6 +22,15 @@ impl CudaDriver {
     /// NVIDIA device is present — the library's plugin loader treats that as
     /// "CUDA implementation unavailable", exactly like system 2 in Table I.
     pub fn probe(available_devices: &[DeviceSpec]) -> Option<Self> {
+        Self::probe_with_faults(available_devices, FaultDirectory::new())
+    }
+
+    /// Probe with a fault directory attached: instances created on a device
+    /// with a plan will inject that plan's faults into every driver call.
+    pub fn probe_with_faults(
+        available_devices: &[DeviceSpec],
+        faults: FaultDirectory,
+    ) -> Option<Self> {
         let devices: Vec<DeviceSpec> = available_devices
             .iter()
             .filter(|d| d.vendor == Vendor::Nvidia)
@@ -28,7 +39,7 @@ impl CudaDriver {
         if devices.is_empty() {
             None
         } else {
-            Some(Self { version: "8.0 (simulated)", devices })
+            Some(Self { version: "8.0 (simulated)", devices, faults })
         }
     }
 
@@ -40,6 +51,11 @@ impl CudaDriver {
     /// Devices this driver exposes.
     pub fn devices(&self) -> &[DeviceSpec] {
         &self.devices
+    }
+
+    /// The fault plan attached to `device`, if any.
+    pub fn fault_plan(&self, device: &str) -> Option<&FaultPlan> {
+        self.faults.plan_for(device)
     }
 }
 

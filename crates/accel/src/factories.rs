@@ -14,6 +14,7 @@ use beagle_cpu::pool::ThreadPool;
 use crate::cuda::CudaDriver;
 use crate::device::{DeviceKind, DeviceSpec};
 use crate::dialect::{CudaDialect, OpenClDialect};
+use crate::fault::{FaultDirectory, FaultInjector, FaultPlan};
 use crate::grid::X86_WORK_GROUP_PATTERNS;
 use crate::instance::{AccelInstance, ExecMode};
 use crate::opencl::IcdRegistry;
@@ -53,12 +54,27 @@ fn precision_is_single(prefs: Flags, reqs: Flags) -> bool {
 pub struct CudaFactory {
     device: DeviceSpec,
     name: String,
+    fault_plan: Option<FaultPlan>,
 }
 
 impl CudaFactory {
     /// Build for one device (must come from a [`CudaDriver`]).
     pub fn new(device: DeviceSpec) -> Self {
-        Self { name: format!("CUDA ({})", device.name), device }
+        Self { name: format!("CUDA ({})", device.name), device, fault_plan: None }
+    }
+
+    /// Build with a fault plan: every instance created here injects the
+    /// plan's faults into its driver calls.
+    pub fn with_faults(device: DeviceSpec, plan: FaultPlan) -> Self {
+        let mut f = Self::new(device);
+        f.fault_plan = Some(plan);
+        f
+    }
+
+    fn injector(&self) -> Option<FaultInjector> {
+        self.fault_plan
+            .as_ref()
+            .map(|p| FaultInjector::new(p.clone(), self.device.name))
     }
 }
 
@@ -99,18 +115,20 @@ impl ImplementationFactory for CudaFactory {
             thread_count: 1,
         };
         if single {
-            Ok(Box::new(AccelInstance::<f32, CudaDialect>::new(
+            Ok(Box::new(AccelInstance::<f32, CudaDialect>::with_fault_injector(
                 *config,
                 self.device.clone(),
                 ExecMode::SimulatedGpu,
                 details,
+                self.injector(),
             )?))
         } else {
-            Ok(Box::new(AccelInstance::<f64, CudaDialect>::new(
+            Ok(Box::new(AccelInstance::<f64, CudaDialect>::with_fault_injector(
                 *config,
                 self.device.clone(),
                 ExecMode::SimulatedGpu,
                 details,
+                self.injector(),
             )?))
         }
     }
@@ -120,12 +138,26 @@ impl ImplementationFactory for CudaFactory {
 pub struct OpenClGpuFactory {
     device: DeviceSpec,
     name: String,
+    fault_plan: Option<FaultPlan>,
 }
 
 impl OpenClGpuFactory {
     /// Build for one GPU device from the ICD registry.
     pub fn new(device: DeviceSpec) -> Self {
-        Self { name: format!("OpenCL-GPU ({})", device.name), device }
+        Self { name: format!("OpenCL-GPU ({})", device.name), device, fault_plan: None }
+    }
+
+    /// Build with a fault plan attached to the vendor driver.
+    pub fn with_faults(device: DeviceSpec, plan: FaultPlan) -> Self {
+        let mut f = Self::new(device);
+        f.fault_plan = Some(plan);
+        f
+    }
+
+    fn injector(&self) -> Option<FaultInjector> {
+        self.fault_plan
+            .as_ref()
+            .map(|p| FaultInjector::new(p.clone(), self.device.name))
     }
 }
 
@@ -165,18 +197,20 @@ impl ImplementationFactory for OpenClGpuFactory {
             thread_count: 1,
         };
         if single {
-            Ok(Box::new(AccelInstance::<f32, OpenClDialect>::new(
+            Ok(Box::new(AccelInstance::<f32, OpenClDialect>::with_fault_injector(
                 *config,
                 self.device.clone(),
                 ExecMode::SimulatedGpu,
                 details,
+                self.injector(),
             )?))
         } else {
-            Ok(Box::new(AccelInstance::<f64, OpenClDialect>::new(
+            Ok(Box::new(AccelInstance::<f64, OpenClDialect>::with_fault_injector(
                 *config,
                 self.device.clone(),
                 ExecMode::SimulatedGpu,
                 details,
+                self.injector(),
             )?))
         }
     }
@@ -188,6 +222,7 @@ pub struct OpenClX86Factory {
     threads: usize,
     work_group_patterns: usize,
     pool: parking_lot::Mutex<Option<Arc<ThreadPool>>>,
+    fault_plan: Option<FaultPlan>,
 }
 
 impl OpenClX86Factory {
@@ -199,12 +234,20 @@ impl OpenClX86Factory {
             threads: threads.max(1),
             work_group_patterns,
             pool: parking_lot::Mutex::new(None),
+            fault_plan: None,
         }
     }
 
     /// All hardware threads, 256-pattern work-groups (the shipping default).
     pub fn new() -> Self {
         Self::with_threads(beagle_cpu::host_threads(), X86_WORK_GROUP_PATTERNS)
+    }
+
+    /// Attach a fault plan (builder style): even the real-execution x86 path
+    /// passes every launch/copy call through the injector.
+    pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.fault_plan = Some(plan);
+        self
     }
 }
 
@@ -260,13 +303,17 @@ impl ImplementationFactory for OpenClX86Factory {
             flags: self.supported_flags(),
             thread_count: self.threads,
         };
+        let injector = self
+            .fault_plan
+            .as_ref()
+            .map(|p| FaultInjector::new(p.clone(), spec.name));
         if single {
-            Ok(Box::new(AccelInstance::<f32, OpenClDialect>::new(
-                *config, spec, mode, details,
+            Ok(Box::new(AccelInstance::<f32, OpenClDialect>::with_fault_injector(
+                *config, spec, mode, details, injector,
             )?))
         } else {
-            Ok(Box::new(AccelInstance::<f64, OpenClDialect>::new(
-                *config, spec, mode, details,
+            Ok(Box::new(AccelInstance::<f64, OpenClDialect>::with_fault_injector(
+                *config, spec, mode, details, injector,
             )?))
         }
     }
@@ -276,16 +323,40 @@ impl ImplementationFactory for OpenClX86Factory {
 /// device, OpenCL-GPU for every GPU in the ICD registry, and OpenCL-x86 for
 /// the host.
 pub fn register_accel_factories(manager: &mut ImplementationManager) {
-    if let Some(cuda) = CudaDriver::probe_default() {
+    register_accel_factories_with_faults(manager, &FaultDirectory::new());
+}
+
+/// Like [`register_accel_factories`], but devices named in `faults` get that
+/// plan injected into every driver call their instances make — the entry
+/// point the fault-tolerance test matrix drives.
+pub fn register_accel_factories_with_faults(
+    manager: &mut ImplementationManager,
+    faults: &FaultDirectory,
+) {
+    if let Some(cuda) = CudaDriver::probe_with_faults(&crate::device::catalog::all(), faults.clone())
+    {
         for d in cuda.devices() {
-            manager.register(Box::new(CudaFactory::new(d.clone())));
+            let factory = match cuda.fault_plan(d.name) {
+                Some(plan) => CudaFactory::with_faults(d.clone(), plan.clone()),
+                None => CudaFactory::new(d.clone()),
+            };
+            manager.register(Box::new(factory));
         }
     }
-    let icd = IcdRegistry::probe_default();
+    let icd = IcdRegistry::probe_with_faults(&crate::device::catalog::all(), faults.clone());
     for d in icd.gpu_devices() {
-        manager.register(Box::new(OpenClGpuFactory::new(d)));
+        let factory = match icd.fault_plan(d.name) {
+            Some(plan) => OpenClGpuFactory::with_faults(d.clone(), plan.clone()),
+            None => OpenClGpuFactory::new(d),
+        };
+        manager.register(Box::new(factory));
     }
-    manager.register(Box::new(OpenClX86Factory::new()));
+    let x86 = OpenClX86Factory::new();
+    let x86 = match faults.plan_for(crate::device::catalog::dual_xeon_e5_2680v4().name) {
+        Some(plan) => x86.with_fault_plan(plan.clone()),
+        None => x86,
+    };
+    manager.register(Box::new(x86));
 }
 
 #[cfg(test)]

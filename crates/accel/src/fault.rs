@@ -1,0 +1,375 @@
+//! Deterministic device-fault injection.
+//!
+//! Real heterogeneous deployments meet hardware faults — dropped kernel
+//! launches, failed allocations, whole devices falling off the bus, and
+//! silent data corruption from flaky VRAM. The simulated back-ends make
+//! those failure modes *testable*: a [`FaultPlan`] attached to a device
+//! (through the CUDA driver, the OpenCL ICD registry, or directly on a
+//! factory) injects faults at the checkpoints every driver call passes
+//! through — allocations, host↔device copies, and kernel launches.
+//!
+//! Injection is deterministic and seedable: scheduled faults
+//! ([`Schedule::AtCall`], [`Schedule::EveryN`]) count driver calls, and
+//! probabilistic faults ([`Schedule::Probability`]) draw from a PRNG seeded
+//! by the plan, so a fixed seed and call sequence reproduce the exact same
+//! fault pattern — the property the failover test matrix depends on.
+//!
+//! Faults carry a transient/permanent classification which flows into
+//! [`BeagleError::Device`]; retry and failover layers upstream key off it
+//! (see `beagle_core::multi`).
+
+use beagle_core::error::{BeagleError, DeviceErrorKind};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashMap;
+
+/// Which failure mode to inject.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FaultKind {
+    /// A kernel launch fails with an error code.
+    KernelLaunch,
+    /// A device allocation or host↔device copy fails.
+    Allocation,
+    /// The whole device is lost. Permanent device loss latches: every
+    /// subsequent call on the device fails too.
+    DeviceLost,
+    /// The launch *appears* to succeed but corrupts its destination
+    /// buffer — detected only when a later integration sees the damage.
+    SilentCorruption,
+}
+
+/// When a fault fires.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Schedule {
+    /// Exactly at the `n`-th checkpoint the device passes (1-based).
+    AtCall(u64),
+    /// At every `n`-th checkpoint.
+    EveryN(u64),
+    /// Independently at each checkpoint with probability `p`, drawn from
+    /// the plan's seeded PRNG.
+    Probability(f64),
+}
+
+/// One configured fault: what, whether retrying may help, and when.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct FaultSpec {
+    /// Failure mode.
+    pub kind: FaultKind,
+    /// Transient faults may clear on retry; permanent ones never do.
+    pub transient: bool,
+    /// Firing schedule.
+    pub schedule: Schedule,
+}
+
+/// A per-device fault configuration: a seed plus any number of faults.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct FaultPlan {
+    seed: u64,
+    faults: Vec<FaultSpec>,
+}
+
+impl FaultPlan {
+    /// An empty plan drawing probabilistic faults from `seed`.
+    pub fn new(seed: u64) -> Self {
+        Self { seed, faults: Vec::new() }
+    }
+
+    /// Add a fault (builder style).
+    pub fn with_fault(mut self, kind: FaultKind, transient: bool, schedule: Schedule) -> Self {
+        self.faults.push(FaultSpec { kind, transient, schedule });
+        self
+    }
+
+    /// The configured faults.
+    pub fn faults(&self) -> &[FaultSpec] {
+        &self.faults
+    }
+
+    /// Whether the plan injects nothing.
+    pub fn is_empty(&self) -> bool {
+        self.faults.is_empty()
+    }
+}
+
+/// The kind of driver call passing a checkpoint.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FaultSite {
+    /// Device-memory allocation (instance creation, kernel compilation).
+    Allocation,
+    /// Host↔device data transfer.
+    Copy,
+    /// Kernel launch (partials, matrices, integration).
+    KernelLaunch,
+}
+
+/// What the caller must do after a checkpoint.
+#[derive(Debug)]
+pub enum FaultAction {
+    /// No fault: run the call normally.
+    Proceed,
+    /// Run the call, then corrupt its destination (silent-corruption
+    /// faults return success codes; the damage surfaces later).
+    Corrupt,
+    /// The call failed with this error.
+    Fail(BeagleError),
+}
+
+fn site_matches(kind: FaultKind, site: FaultSite) -> bool {
+    match kind {
+        FaultKind::KernelLaunch => site == FaultSite::KernelLaunch,
+        FaultKind::Allocation => matches!(site, FaultSite::Allocation | FaultSite::Copy),
+        // A device can drop off the bus during any call.
+        FaultKind::DeviceLost => true,
+        FaultKind::SilentCorruption => site == FaultSite::KernelLaunch,
+    }
+}
+
+/// Per-instance fault state: counts checkpoints, draws the PRNG, and
+/// latches permanent device loss.
+#[derive(Clone, Debug)]
+pub struct FaultInjector {
+    plan: FaultPlan,
+    rng: SmallRng,
+    device: String,
+    calls: u64,
+    lost: bool,
+    corrupted: bool,
+}
+
+impl FaultInjector {
+    /// Fresh injector for one instance on `device`.
+    pub fn new(plan: FaultPlan, device: &str) -> Self {
+        let rng = SmallRng::seed_from_u64(plan.seed);
+        Self {
+            plan,
+            rng,
+            device: device.to_string(),
+            calls: 0,
+            lost: false,
+            corrupted: false,
+        }
+    }
+
+    fn device_error(&self, kind: DeviceErrorKind, transient: bool) -> BeagleError {
+        BeagleError::Device { kind, transient, device: self.device.clone() }
+    }
+
+    /// Pass one checkpoint. Deterministic: the outcome depends only on the
+    /// plan, the seed, and the sequence of checkpoints so far.
+    pub fn on_call(&mut self, site: FaultSite) -> FaultAction {
+        self.calls += 1;
+        if self.lost {
+            return FaultAction::Fail(self.device_error(DeviceErrorKind::DeviceLost, false));
+        }
+        // Every probabilistic fault draws exactly once per checkpoint,
+        // whether or not its site matches — the draw count per call is
+        // fixed, which keeps the stream aligned across fault kinds.
+        let mut fired: Option<FaultSpec> = None;
+        for i in 0..self.plan.faults.len() {
+            let spec = self.plan.faults[i];
+            let hit = match spec.schedule {
+                Schedule::AtCall(n) => self.calls == n,
+                Schedule::EveryN(n) => n > 0 && self.calls.is_multiple_of(n),
+                Schedule::Probability(p) => self.rng.random_bool(p),
+            };
+            if hit && site_matches(spec.kind, site) && fired.is_none() {
+                fired = Some(spec);
+            }
+        }
+        let Some(spec) = fired else {
+            return FaultAction::Proceed;
+        };
+        match spec.kind {
+            FaultKind::DeviceLost => {
+                if !spec.transient {
+                    self.lost = true;
+                }
+                FaultAction::Fail(self.device_error(DeviceErrorKind::DeviceLost, spec.transient))
+            }
+            FaultKind::KernelLaunch => {
+                FaultAction::Fail(self.device_error(DeviceErrorKind::LaunchFailed, spec.transient))
+            }
+            FaultKind::Allocation => FaultAction::Fail(
+                self.device_error(DeviceErrorKind::AllocationFailed, spec.transient),
+            ),
+            FaultKind::SilentCorruption => {
+                self.corrupted = true;
+                FaultAction::Corrupt
+            }
+        }
+    }
+
+    /// Whether a silent-corruption fault has fired on this instance. Set
+    /// once corruption is injected; the instance uses it to attribute a
+    /// later NaN to the device rather than to numerics.
+    pub fn corruption_detected(&self) -> bool {
+        self.corrupted
+    }
+
+    /// The error a corruption-attributed failure should carry. Always
+    /// permanent: retrying in place cannot repair poisoned buffers — only
+    /// rebuilding the instance (journal replay) can.
+    pub fn corruption_error(&self) -> BeagleError {
+        self.device_error(DeviceErrorKind::MemoryCorruption, false)
+    }
+
+    /// Checkpoints passed so far (diagnostics).
+    pub fn call_count(&self) -> u64 {
+        self.calls
+    }
+}
+
+/// Per-device fault plans, keyed by device name — the registry the
+/// framework drivers and factories consult at instance creation.
+#[derive(Clone, Debug, Default)]
+pub struct FaultDirectory {
+    plans: HashMap<String, FaultPlan>,
+}
+
+impl FaultDirectory {
+    /// An empty directory (no faults anywhere).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Attach `plan` to the device named `device` (builder style).
+    pub fn with_plan(mut self, device: impl Into<String>, plan: FaultPlan) -> Self {
+        self.plans.insert(device.into(), plan);
+        self
+    }
+
+    /// Attach `plan` to the device named `device`.
+    pub fn insert(&mut self, device: impl Into<String>, plan: FaultPlan) {
+        self.plans.insert(device.into(), plan);
+    }
+
+    /// The plan for `device`, if any.
+    pub fn plan_for(&self, device: &str) -> Option<&FaultPlan> {
+        self.plans.get(device)
+    }
+
+    /// A fresh injector for one instance on `device`, if a plan exists.
+    pub fn injector_for(&self, device: &str) -> Option<FaultInjector> {
+        self.plans
+            .get(device)
+            .filter(|p| !p.is_empty())
+            .map(|p| FaultInjector::new(p.clone(), device))
+    }
+
+    /// Whether no device has a plan.
+    pub fn is_empty(&self) -> bool {
+        self.plans.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fail_kinds(inj: &mut FaultInjector, site: FaultSite, n: u64) -> Vec<bool> {
+        (0..n)
+            .map(|_| matches!(inj.on_call(site), FaultAction::Fail(_)))
+            .collect()
+    }
+
+    #[test]
+    fn scheduled_fault_fires_exactly_once() {
+        let plan = FaultPlan::new(1).with_fault(
+            FaultKind::KernelLaunch,
+            true,
+            Schedule::AtCall(3),
+        );
+        let mut inj = FaultInjector::new(plan, "gpu");
+        let fails = fail_kinds(&mut inj, FaultSite::KernelLaunch, 6);
+        assert_eq!(fails, vec![false, false, true, false, false, false]);
+    }
+
+    #[test]
+    fn every_n_fires_periodically() {
+        let plan =
+            FaultPlan::new(1).with_fault(FaultKind::KernelLaunch, true, Schedule::EveryN(2));
+        let mut inj = FaultInjector::new(plan, "gpu");
+        let fails = fail_kinds(&mut inj, FaultSite::KernelLaunch, 6);
+        assert_eq!(fails, vec![false, true, false, true, false, true]);
+    }
+
+    #[test]
+    fn permanent_device_loss_latches() {
+        let plan =
+            FaultPlan::new(1).with_fault(FaultKind::DeviceLost, false, Schedule::AtCall(2));
+        let mut inj = FaultInjector::new(plan, "gpu");
+        assert!(matches!(inj.on_call(FaultSite::Copy), FaultAction::Proceed));
+        let e = match inj.on_call(FaultSite::Copy) {
+            FaultAction::Fail(e) => e,
+            other => panic!("expected failure, got {other:?}"),
+        };
+        assert!(!e.is_retryable());
+        // Every later call fails too, regardless of site.
+        assert!(matches!(inj.on_call(FaultSite::KernelLaunch), FaultAction::Fail(_)));
+        assert!(matches!(inj.on_call(FaultSite::Allocation), FaultAction::Fail(_)));
+    }
+
+    #[test]
+    fn transient_device_loss_does_not_latch() {
+        let plan =
+            FaultPlan::new(1).with_fault(FaultKind::DeviceLost, true, Schedule::AtCall(1));
+        let mut inj = FaultInjector::new(plan, "gpu");
+        let e = match inj.on_call(FaultSite::KernelLaunch) {
+            FaultAction::Fail(e) => e,
+            other => panic!("expected failure, got {other:?}"),
+        };
+        assert!(e.is_retryable());
+        assert!(matches!(inj.on_call(FaultSite::KernelLaunch), FaultAction::Proceed));
+    }
+
+    #[test]
+    fn site_filtering() {
+        let plan =
+            FaultPlan::new(1).with_fault(FaultKind::Allocation, false, Schedule::EveryN(1));
+        let mut inj = FaultInjector::new(plan, "gpu");
+        // Allocation faults hit allocations and copies, not launches.
+        assert!(matches!(inj.on_call(FaultSite::KernelLaunch), FaultAction::Proceed));
+        assert!(matches!(inj.on_call(FaultSite::Allocation), FaultAction::Fail(_)));
+        assert!(matches!(inj.on_call(FaultSite::Copy), FaultAction::Fail(_)));
+    }
+
+    #[test]
+    fn probabilistic_faults_are_deterministic_per_seed() {
+        let plan = FaultPlan::new(42).with_fault(
+            FaultKind::KernelLaunch,
+            true,
+            Schedule::Probability(0.3),
+        );
+        let mut a = FaultInjector::new(plan.clone(), "gpu");
+        let mut b = FaultInjector::new(plan, "gpu");
+        let fa = fail_kinds(&mut a, FaultSite::KernelLaunch, 200);
+        let fb = fail_kinds(&mut b, FaultSite::KernelLaunch, 200);
+        assert_eq!(fa, fb);
+        let hits = fa.iter().filter(|&&x| x).count();
+        assert!(hits > 20 && hits < 120, "p=0.3 over 200 draws, got {hits}");
+    }
+
+    #[test]
+    fn corruption_returns_corrupt_and_sets_flag() {
+        let plan = FaultPlan::new(1).with_fault(
+            FaultKind::SilentCorruption,
+            false,
+            Schedule::AtCall(1),
+        );
+        let mut inj = FaultInjector::new(plan, "gpu");
+        assert!(matches!(inj.on_call(FaultSite::KernelLaunch), FaultAction::Corrupt));
+        assert!(inj.corruption_detected());
+        assert!(!inj.corruption_error().is_retryable());
+    }
+
+    #[test]
+    fn directory_hands_out_injectors_by_device() {
+        let dir = FaultDirectory::new().with_plan(
+            "Quadro P5000",
+            FaultPlan::new(7).with_fault(FaultKind::DeviceLost, false, Schedule::AtCall(5)),
+        );
+        assert!(dir.injector_for("Quadro P5000").is_some());
+        assert!(dir.injector_for("Radeon R9 Nano").is_none());
+        assert!(dir.injector_for("Quadro P5000").unwrap().call_count() == 0);
+    }
+}

@@ -21,6 +21,7 @@ use beagle_cpu::pool::ThreadPool;
 
 use crate::device::{DeviceSpec, SimClock, PCIE_GBS};
 use crate::dialect::Dialect;
+use crate::fault::{FaultAction, FaultInjector, FaultSite};
 use crate::grid::{plan_gpu, plan_x86, WorkGroupPlan};
 use crate::kernels::gpu::{partials_kernel, rescale_kernel, PartialsArgs};
 use crate::kernels::integrate::{
@@ -54,6 +55,7 @@ pub struct AccelInstance<T: Real, D: Dialect> {
     plan: WorkGroupPlan,
     fma_enabled: bool,
     details: InstanceDetails,
+    fault: Option<FaultInjector>,
     _dialect: std::marker::PhantomData<D>,
 }
 
@@ -65,6 +67,26 @@ impl<T: Real, D: Dialect> AccelInstance<T, D> {
         mode: ExecMode,
         details: InstanceDetails,
     ) -> Result<Self> {
+        Self::with_fault_injector(config, spec, mode, details, None)
+    }
+
+    /// Create an instance with an optional fault injector attached: every
+    /// allocation, transfer, and kernel launch then passes a fault
+    /// checkpoint (see [`crate::fault`]).
+    pub fn with_fault_injector(
+        config: InstanceConfig,
+        spec: DeviceSpec,
+        mode: ExecMode,
+        details: InstanceDetails,
+        mut fault: Option<FaultInjector>,
+    ) -> Result<Self> {
+        // Creation compiles kernels and allocates all device buffers — the
+        // first checkpoint a faulty device can fail at.
+        if let Some(inj) = fault.as_mut() {
+            if let FaultAction::Fail(e) = inj.on_call(FaultSite::Allocation) {
+                return Err(e);
+            }
+        }
         let bufs = InstanceBuffers::<T>::new(config)?;
         // Device-memory capacity check: partials + matrices + scale buffers
         // must fit in global memory (the R9 Nano's 4 GB is a real limit the
@@ -75,10 +97,12 @@ impl<T: Real, D: Dialect> AccelInstance<T, D> {
             + config.scale_buffer_count * config.pattern_count * elem;
         let capacity = (spec.memory_gb * 1e9) as usize;
         if needed > capacity {
-            return Err(BeagleError::InvalidConfiguration(format!(
-                "problem needs {needed} bytes of device memory; {} has only {capacity}",
-                spec.name
-            )));
+            return Err(BeagleError::ResourceExhausted {
+                what: format!(
+                    "device memory on {}: problem needs {needed} bytes, capacity {capacity}",
+                    spec.name
+                ),
+            });
         }
         let plan = match &mode {
             ExecMode::SimulatedGpu => plan_gpu(&spec, config.state_count, elem),
@@ -94,8 +118,38 @@ impl<T: Real, D: Dialect> AccelInstance<T, D> {
             plan,
             fma_enabled,
             details,
+            fault,
             _dialect: std::marker::PhantomData,
         })
+    }
+
+    /// Pass one fault checkpoint. `Ok(true)` means "proceed but corrupt the
+    /// result" (silent-corruption faults return success codes).
+    fn inject(&mut self, site: FaultSite) -> Result<bool> {
+        let Some(inj) = self.fault.as_mut() else {
+            return Ok(false);
+        };
+        match inj.on_call(site) {
+            FaultAction::Proceed => Ok(false),
+            FaultAction::Corrupt => Ok(true),
+            FaultAction::Fail(e) => Err(e),
+        }
+    }
+
+    /// The error to surface when a NaN traces back to injected corruption
+    /// rather than genuine numerics.
+    fn corruption_err(&self) -> Option<BeagleError> {
+        self.fault
+            .as_ref()
+            .filter(|inj| inj.corruption_detected())
+            .map(|inj| inj.corruption_error())
+    }
+
+    /// Simulate flaky VRAM: overwrite a partials buffer with NaN.
+    fn poison_partials(&mut self, buffer: usize) {
+        if let Some(p) = self.bufs.partials[buffer].as_mut() {
+            p.fill(T::from_f64(f64::NAN));
+        }
     }
 
     /// The device this instance runs on.
@@ -271,18 +325,21 @@ impl<T: Real, D: Dialect> BeagleInstance for AccelInstance<T, D> {
     }
 
     fn set_tip_states(&mut self, tip: usize, states: &[u32]) -> Result<()> {
+        self.inject(FaultSite::Copy)?;
         self.bufs.set_tip_states(tip, states)?;
         self.charge_transfer(states.len() * 4);
         Ok(())
     }
 
     fn set_tip_partials(&mut self, tip: usize, partials: &[f64]) -> Result<()> {
+        self.inject(FaultSite::Copy)?;
         self.bufs.set_tip_partials(tip, partials)?;
         self.charge_transfer(partials.len() * std::mem::size_of::<T>());
         Ok(())
     }
 
     fn set_partials(&mut self, buffer: usize, partials: &[f64]) -> Result<()> {
+        self.inject(FaultSite::Copy)?;
         self.bufs.set_partials(buffer, partials)?;
         self.charge_transfer(partials.len() * std::mem::size_of::<T>());
         Ok(())
@@ -296,20 +353,24 @@ impl<T: Real, D: Dialect> BeagleInstance for AccelInstance<T, D> {
     }
 
     fn set_pattern_weights(&mut self, weights: &[f64]) -> Result<()> {
+        self.inject(FaultSite::Copy)?;
         self.bufs.set_pattern_weights(weights)?;
         self.charge_transfer(weights.len() * std::mem::size_of::<T>());
         Ok(())
     }
 
     fn set_state_frequencies(&mut self, index: usize, frequencies: &[f64]) -> Result<()> {
+        self.inject(FaultSite::Copy)?;
         self.bufs.set_state_frequencies(index, frequencies)
     }
 
     fn set_category_rates(&mut self, rates: &[f64]) -> Result<()> {
+        self.inject(FaultSite::Copy)?;
         self.bufs.set_category_rates(rates)
     }
 
     fn set_category_weights(&mut self, index: usize, weights: &[f64]) -> Result<()> {
+        self.inject(FaultSite::Copy)?;
         self.bufs.set_category_weights(index, weights)
     }
 
@@ -320,6 +381,7 @@ impl<T: Real, D: Dialect> BeagleInstance for AccelInstance<T, D> {
         inverse_vectors: &[f64],
         values: &[f64],
     ) -> Result<()> {
+        self.inject(FaultSite::Copy)?;
         self.bufs
             .set_eigen_decomposition(index, vectors, inverse_vectors, values)?;
         self.charge_transfer((vectors.len() + inverse_vectors.len() + values.len()) * 8);
@@ -332,10 +394,16 @@ impl<T: Real, D: Dialect> BeagleInstance for AccelInstance<T, D> {
         matrix_indices: &[usize],
         branch_lengths: &[f64],
     ) -> Result<()> {
+        let corrupt = self.inject(FaultSite::KernelLaunch)?;
         // Matrix exponentiation runs as a device kernel; the shared helper
         // computes the same values the kernel would.
         self.bufs
             .update_transition_matrices(eigen_index, matrix_indices, branch_lengths)?;
+        if corrupt {
+            for &mi in matrix_indices {
+                self.bufs.matrices[mi].fill(T::from_f64(f64::NAN));
+            }
+        }
         if self.is_simulated() {
             let cfg = self.bufs.config;
             let cost = self.perf.matrices_cost(
@@ -363,6 +431,7 @@ impl<T: Real, D: Dialect> BeagleInstance for AccelInstance<T, D> {
         d2_indices: &[usize],
         branch_lengths: &[f64],
     ) -> Result<()> {
+        let corrupt = self.inject(FaultSite::KernelLaunch)?;
         self.bufs.update_transition_derivatives(
             eigen_index,
             matrix_indices,
@@ -370,6 +439,11 @@ impl<T: Real, D: Dialect> BeagleInstance for AccelInstance<T, D> {
             d2_indices,
             branch_lengths,
         )?;
+        if corrupt {
+            for &mi in matrix_indices {
+                self.bufs.matrices[mi].fill(T::from_f64(f64::NAN));
+            }
+        }
         if self.is_simulated() {
             // Three matrices per branch instead of one.
             let cfg = self.bufs.config;
@@ -401,16 +475,24 @@ impl<T: Real, D: Dialect> BeagleInstance for AccelInstance<T, D> {
         frequencies_index: usize,
         cumulative_scale: Option<usize>,
     ) -> Result<(f64, f64, f64)> {
+        self.inject(FaultSite::KernelLaunch)?;
         use beagle_cpu::kernels as k;
         let cfg = self.bufs.config;
+        self.bufs.check_integration_indices(
+            &[parent_buffer, child_buffer],
+            &[matrix_index, d1_matrix, d2_matrix],
+            frequencies_index,
+            category_weights_index,
+            cumulative_scale,
+        )?;
         let parent = self.bufs.partials[parent_buffer]
             .as_ref()
             .ok_or(BeagleError::InvalidConfiguration(format!(
                 "parent buffer {parent_buffer} has never been computed"
             )))?;
-        let child = match Self::operand(&self.bufs, child_buffer) {
-            Operand::Partials(p) => k::EdgeChild::Partials(p),
-            Operand::States(st) => k::EdgeChild::States(st),
+        let child = match self.bufs.try_child_operand(child_buffer)? {
+            ChildOperand::Partials(p) => k::EdgeChild::Partials(p),
+            ChildOperand::States(st) => k::EdgeChild::States(st),
         };
         let cscale = cumulative_scale.map(|i| self.bufs.scale_buffers[i].as_slice());
         // Functionally identical to the device derivative kernel; device
@@ -444,6 +526,9 @@ impl<T: Real, D: Dialect> BeagleInstance for AccelInstance<T, D> {
             ));
         }
         if lnl.is_nan() {
+            if let Some(e) = self.corruption_err() {
+                return Err(e);
+            }
             return Err(BeagleError::NumericalFailure(
                 "edge derivative log-likelihood is NaN".into(),
             ));
@@ -452,6 +537,7 @@ impl<T: Real, D: Dialect> BeagleInstance for AccelInstance<T, D> {
     }
 
     fn set_transition_matrix(&mut self, index: usize, matrix: &[f64]) -> Result<()> {
+        self.inject(FaultSite::Copy)?;
         self.bufs.set_transition_matrix(index, matrix)?;
         self.charge_transfer(matrix.len() * std::mem::size_of::<T>());
         Ok(())
@@ -478,16 +564,21 @@ impl<T: Real, D: Dialect> BeagleInstance for AccelInstance<T, D> {
             produced.insert(op.destination);
         }
         for op in operations {
+            let corrupt = self.inject(FaultSite::KernelLaunch)?;
             if self.is_simulated() {
                 self.execute_op_gpu(op);
             } else {
                 self.execute_op_x86(op);
+            }
+            if corrupt {
+                self.poison_partials(op.destination);
             }
         }
         Ok(())
     }
 
     fn reset_scale_factors(&mut self, cumulative: usize) -> Result<()> {
+        self.inject(FaultSite::KernelLaunch)?;
         self.bufs.reset_scale_factors(cumulative)
     }
 
@@ -496,6 +587,7 @@ impl<T: Real, D: Dialect> BeagleInstance for AccelInstance<T, D> {
         scale_indices: &[usize],
         cumulative: usize,
     ) -> Result<()> {
+        self.inject(FaultSite::KernelLaunch)?;
         self.bufs.accumulate_scale_factors(scale_indices, cumulative)
     }
 
@@ -506,14 +598,15 @@ impl<T: Real, D: Dialect> BeagleInstance for AccelInstance<T, D> {
         frequencies_index: usize,
         cumulative_scale: Option<usize>,
     ) -> Result<f64> {
+        self.inject(FaultSite::KernelLaunch)?;
         let cfg = self.bufs.config;
-        if root_buffer >= cfg.partials_buffer_count {
-            return Err(BeagleError::OutOfRange {
-                what: "partials buffer (root)",
-                index: root_buffer,
-                limit: cfg.partials_buffer_count,
-            });
-        }
+        self.bufs.check_integration_indices(
+            &[root_buffer],
+            &[],
+            frequencies_index,
+            category_weights_index,
+            cumulative_scale,
+        )?;
         let root =
             self.bufs.partials[root_buffer]
                 .take()
@@ -554,6 +647,12 @@ impl<T: Real, D: Dialect> BeagleInstance for AccelInstance<T, D> {
             self.charge_transfer(8);
         }
         if total.is_nan() {
+            // A NaN after an injected silent-corruption fault is device
+            // damage, not numerics: report it as such so failover (not
+            // rescaling) handles it.
+            if let Some(e) = self.corruption_err() {
+                return Err(e);
+            }
             return Err(BeagleError::NumericalFailure(
                 "root log-likelihood is NaN (consider enabling scaling)".into(),
             ));
@@ -570,13 +669,24 @@ impl<T: Real, D: Dialect> BeagleInstance for AccelInstance<T, D> {
         frequencies_index: usize,
         cumulative_scale: Option<usize>,
     ) -> Result<f64> {
+        self.inject(FaultSite::KernelLaunch)?;
         let cfg = self.bufs.config;
+        self.bufs.check_integration_indices(
+            &[parent_buffer, child_buffer],
+            &[matrix_index],
+            frequencies_index,
+            category_weights_index,
+            cumulative_scale,
+        )?;
         let parent = self.bufs.partials[parent_buffer]
             .as_ref()
             .ok_or(BeagleError::InvalidConfiguration(format!(
                 "parent buffer {parent_buffer} has never been computed"
             )))?;
-        let child = Self::operand(&self.bufs, child_buffer);
+        let child = match self.bufs.try_child_operand(child_buffer)? {
+            ChildOperand::Partials(p) => Operand::Partials(p),
+            ChildOperand::States(s) => Operand::States(s),
+        };
         let mut site_lnl = vec![T::ZERO; cfg.pattern_count];
         let cscale = cumulative_scale.map(|i| self.bufs.scale_buffers[i].as_slice());
         integrate_edge_kernel::<D, T>(
@@ -607,6 +717,9 @@ impl<T: Real, D: Dialect> BeagleInstance for AccelInstance<T, D> {
             ));
         }
         if total.is_nan() {
+            if let Some(e) = self.corruption_err() {
+                return Err(e);
+            }
             return Err(BeagleError::NumericalFailure(
                 "edge log-likelihood is NaN (consider enabling scaling)".into(),
             ));

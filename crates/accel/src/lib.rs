@@ -30,6 +30,7 @@ pub mod cuda;
 pub mod device;
 pub mod dialect;
 pub mod factories;
+pub mod fault;
 pub mod grid;
 pub mod instance;
 pub mod kernels;
@@ -39,7 +40,12 @@ pub mod perf;
 pub use device::{catalog, DeviceKind, DeviceSpec, Vendor};
 pub use dialect::{CudaDialect, Dialect, OpenClDialect};
 pub use factories::{
-    register_accel_factories, CudaFactory, OpenClGpuFactory, OpenClX86Factory,
+    register_accel_factories, register_accel_factories_with_faults, CudaFactory,
+    OpenClGpuFactory, OpenClX86Factory,
+};
+pub use fault::{
+    FaultAction, FaultDirectory, FaultInjector, FaultKind, FaultPlan, FaultSite, FaultSpec,
+    Schedule,
 };
 pub use instance::{AccelInstance, ExecMode};
 pub use perf::PerfModel;

@@ -9,6 +9,7 @@
 //! generic driver), and clients pick by driver name.
 
 use crate::device::{catalog, DeviceKind, DeviceSpec, Vendor};
+use crate::fault::{FaultDirectory, FaultPlan};
 
 /// One installed OpenCL driver ("platform" in OpenCL terms).
 #[derive(Clone, Debug)]
@@ -29,11 +30,19 @@ pub struct OpenClDriver {
 #[derive(Clone, Debug, Default)]
 pub struct IcdRegistry {
     drivers: Vec<OpenClDriver>,
+    faults: FaultDirectory,
 }
 
 impl IcdRegistry {
     /// Probe a system: group devices under their vendors' drivers.
     pub fn probe(available_devices: &[DeviceSpec]) -> Self {
+        Self::probe_with_faults(available_devices, FaultDirectory::new())
+    }
+
+    /// Probe with a fault directory attached: instances created on a device
+    /// with a plan inject that plan's faults into every launch/copy/compile
+    /// call the vendor driver handles.
+    pub fn probe_with_faults(available_devices: &[DeviceSpec], faults: FaultDirectory) -> Self {
         let mut drivers = Vec::new();
         let groups: [(Vendor, &str); 3] = [
             (Vendor::Nvidia, "NVIDIA OpenCL (simulated 375.26)"),
@@ -55,7 +64,7 @@ impl IcdRegistry {
                 });
             }
         }
-        Self { drivers }
+        Self { drivers, faults }
     }
 
     /// Probe the default simulated system (all catalog devices).
@@ -66,6 +75,11 @@ impl IcdRegistry {
     /// All installed drivers.
     pub fn drivers(&self) -> &[OpenClDriver] {
         &self.drivers
+    }
+
+    /// The fault plan attached to `device`, if any.
+    pub fn fault_plan(&self, device: &str) -> Option<&FaultPlan> {
+        self.faults.plan_for(device)
     }
 
     /// Every (driver, device) pair — the flat resource view BEAGLE builds.

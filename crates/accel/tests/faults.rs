@@ -1,0 +1,299 @@
+//! Fault-injection matrix: every fault kind × transient/permanent ×
+//! back-end (simulated CUDA, simulated OpenCL-GPU, real OpenCL-x86) must
+//! surface the right typed error, and injection must be deterministic
+//! under a fixed seed.
+
+use beagle_accel::{
+    catalog, CudaFactory, FaultDirectory, FaultKind, FaultPlan, OpenClGpuFactory,
+    OpenClX86Factory, Schedule,
+};
+use beagle_core::error::{BeagleError, DeviceErrorKind};
+use beagle_core::manager::ImplementationFactory;
+use beagle_core::{BeagleInstance, Flags, InstanceConfig, Operation, Result};
+use beagle_phylo::models::nucleotide;
+use beagle_phylo::simulate::simulate_alignment;
+use beagle_phylo::{ReversibleModel, SitePatterns, SiteRates, Tree};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+const TAXA: usize = 6;
+
+struct Case {
+    tree: Tree,
+    model: ReversibleModel,
+    rates: SiteRates,
+    patterns: SitePatterns,
+}
+
+fn case() -> Case {
+    let mut rng = SmallRng::seed_from_u64(5);
+    let tree = Tree::random(TAXA, 0.12, &mut rng);
+    let model = nucleotide::gtr(&[1.0, 2.0, 0.7, 1.3, 3.1, 1.0], &[0.3, 0.2, 0.3, 0.2]);
+    let rates = SiteRates::discrete_gamma(0.5, 2);
+    let aln = simulate_alignment(&tree, &model, &rates, 200, &mut rng);
+    let patterns = SitePatterns::compress(&aln);
+    Case { tree, model, rates, patterns }
+}
+
+fn config(case: &Case) -> InstanceConfig {
+    InstanceConfig::for_tree(TAXA, case.patterns.pattern_count(), 4, 2)
+}
+
+/// The full genomictest-style pipeline, with every step fallible so an
+/// injected fault surfaces instead of panicking.
+fn try_drive(inst: &mut dyn BeagleInstance, case: &Case) -> Result<f64> {
+    let eig = case.model.eigen();
+    inst.set_eigen_decomposition(
+        0,
+        eig.vectors.as_slice(),
+        eig.inverse_vectors.as_slice(),
+        &eig.values,
+    )?;
+    inst.set_state_frequencies(0, case.model.frequencies())?;
+    inst.set_category_rates(&case.rates.rates)?;
+    inst.set_category_weights(0, &case.rates.weights)?;
+    inst.set_pattern_weights(case.patterns.weights())?;
+    for tip in 0..case.tree.taxon_count() {
+        inst.set_tip_states(tip, &case.patterns.tip_states(tip))?;
+    }
+    let (idx, len): (Vec<usize>, Vec<f64>) =
+        case.tree.branch_assignments().iter().copied().unzip();
+    inst.update_transition_matrices(0, &idx, &len)?;
+    let ops: Vec<Operation> = case
+        .tree
+        .operation_schedule()
+        .iter()
+        .map(|e| Operation::new(e.destination, e.child1, e.matrix1, e.child2, e.matrix2))
+        .collect();
+    inst.update_partials(&ops)?;
+    inst.calculate_root_log_likelihoods(case.tree.root(), 0, 0, None)
+}
+
+/// One factory per back-end, all carrying `plan`.
+fn faulty_backends(plan: &FaultPlan) -> Vec<(&'static str, Box<dyn ImplementationFactory>)> {
+    vec![
+        (
+            "cuda",
+            Box::new(CudaFactory::with_faults(catalog::quadro_p5000(), plan.clone())),
+        ),
+        (
+            "opencl-gpu",
+            Box::new(OpenClGpuFactory::with_faults(catalog::radeon_r9_nano(), plan.clone())),
+        ),
+        (
+            "opencl-x86",
+            Box::new(OpenClX86Factory::with_threads(2, 128).with_fault_plan(plan.clone())),
+        ),
+    ]
+}
+
+#[test]
+fn allocation_fault_fails_instance_creation_on_every_backend() {
+    let case = case();
+    for transient in [false, true] {
+        let plan = FaultPlan::new(1).with_fault(
+            FaultKind::Allocation,
+            transient,
+            Schedule::AtCall(1),
+        );
+        for (backend, f) in faulty_backends(&plan) {
+            let err = f
+                .create(&config(&case), Flags::PRECISION_DOUBLE, Flags::NONE)
+                .err()
+                .unwrap_or_else(|| panic!("{backend}: creation must fail"));
+            assert!(
+                matches!(
+                    err,
+                    BeagleError::Device {
+                        kind: DeviceErrorKind::AllocationFailed,
+                        transient: t,
+                        ..
+                    } if t == transient
+                ),
+                "{backend}: wrong error {err}"
+            );
+            assert_eq!(err.is_retryable(), transient, "{backend}");
+        }
+    }
+}
+
+#[test]
+fn launch_fault_surfaces_typed_error_on_every_backend() {
+    let case = case();
+    for transient in [false, true] {
+        // EveryN(1) fires at the first kernel launch (the transition-matrix
+        // kernel); copies and allocations pass untouched.
+        let plan = FaultPlan::new(1).with_fault(
+            FaultKind::KernelLaunch,
+            transient,
+            Schedule::EveryN(1),
+        );
+        for (backend, f) in faulty_backends(&plan) {
+            let mut inst = f
+                .create(&config(&case), Flags::PRECISION_DOUBLE, Flags::NONE)
+                .unwrap_or_else(|e| panic!("{backend}: creation must pass: {e}"));
+            let err = try_drive(inst.as_mut(), &case)
+                .err()
+                .unwrap_or_else(|| panic!("{backend}: drive must fail"));
+            assert!(
+                matches!(
+                    err,
+                    BeagleError::Device {
+                        kind: DeviceErrorKind::LaunchFailed,
+                        transient: t,
+                        ..
+                    } if t == transient
+                ),
+                "{backend}: wrong error {err}"
+            );
+        }
+    }
+}
+
+#[test]
+fn permanent_device_loss_latches_on_every_backend() {
+    let case = case();
+    // Call 15 is mid-drive: after creation, data upload, and the matrix
+    // kernel, during update_partials.
+    let plan =
+        FaultPlan::new(1).with_fault(FaultKind::DeviceLost, false, Schedule::AtCall(15));
+    for (backend, f) in faulty_backends(&plan) {
+        let mut inst = f
+            .create(&config(&case), Flags::PRECISION_DOUBLE, Flags::NONE)
+            .unwrap();
+        let err = try_drive(inst.as_mut(), &case)
+            .err()
+            .unwrap_or_else(|| panic!("{backend}: drive must fail"));
+        assert!(
+            matches!(
+                err,
+                BeagleError::Device { kind: DeviceErrorKind::DeviceLost, transient: false, .. }
+            ),
+            "{backend}: wrong error {err}"
+        );
+        // The device stays dead: every further call fails too.
+        let later = inst.set_category_rates(&case.rates.rates);
+        assert!(
+            matches!(
+                later,
+                Err(BeagleError::Device { kind: DeviceErrorKind::DeviceLost, .. })
+            ),
+            "{backend}: device loss must latch"
+        );
+    }
+}
+
+#[test]
+fn transient_device_loss_is_survivable() {
+    let case = case();
+    let plan =
+        FaultPlan::new(1).with_fault(FaultKind::DeviceLost, true, Schedule::AtCall(15));
+    for (backend, f) in faulty_backends(&plan) {
+        let mut inst = f
+            .create(&config(&case), Flags::PRECISION_DOUBLE, Flags::NONE)
+            .unwrap();
+        let err = try_drive(inst.as_mut(), &case).err().unwrap();
+        assert!(err.is_retryable(), "{backend}: transient loss must be retryable");
+        // The fault cleared; re-driving the same instance succeeds.
+        let lnl = try_drive(inst.as_mut(), &case)
+            .unwrap_or_else(|e| panic!("{backend}: retry must pass: {e}"));
+        assert!(lnl.is_finite() && lnl < 0.0, "{backend}");
+    }
+}
+
+#[test]
+fn silent_corruption_is_detected_at_integration() {
+    let case = case();
+    // Call 14 is the first partials launch: the kernel "succeeds" but the
+    // destination buffer is poisoned; the damage only surfaces when the
+    // root integration reads it.
+    let plan = FaultPlan::new(1).with_fault(
+        FaultKind::SilentCorruption,
+        false,
+        Schedule::AtCall(14),
+    );
+    for (backend, f) in faulty_backends(&plan) {
+        let mut inst = f
+            .create(&config(&case), Flags::PRECISION_DOUBLE, Flags::NONE)
+            .unwrap();
+        let err = try_drive(inst.as_mut(), &case)
+            .err()
+            .unwrap_or_else(|| panic!("{backend}: corruption must be detected"));
+        assert!(
+            matches!(
+                err,
+                BeagleError::Device {
+                    kind: DeviceErrorKind::MemoryCorruption,
+                    transient: false,
+                    ..
+                }
+            ),
+            "{backend}: wrong error {err}"
+        );
+    }
+}
+
+#[test]
+fn probabilistic_injection_is_deterministic_under_fixed_seed() {
+    let case = case();
+    let plan = FaultPlan::new(99).with_fault(
+        FaultKind::KernelLaunch,
+        true,
+        Schedule::Probability(0.15),
+    );
+    for (backend, _) in faulty_backends(&plan) {
+        let outcome = |plan: &FaultPlan| -> String {
+            let f: Box<dyn ImplementationFactory> = match backend {
+                "cuda" => Box::new(CudaFactory::with_faults(catalog::quadro_p5000(), plan.clone())),
+                "opencl-gpu" => Box::new(OpenClGpuFactory::with_faults(
+                    catalog::radeon_r9_nano(),
+                    plan.clone(),
+                )),
+                _ => Box::new(OpenClX86Factory::with_threads(2, 128).with_fault_plan(plan.clone())),
+            };
+            let mut inst = match f.create(&config(&case), Flags::PRECISION_DOUBLE, Flags::NONE) {
+                Ok(i) => i,
+                Err(e) => return format!("create: {e}"),
+            };
+            match try_drive(inst.as_mut(), &case) {
+                Ok(lnl) => format!("ok: {lnl:.12}"),
+                Err(e) => format!("drive: {e}"),
+            }
+        };
+        let a = outcome(&plan);
+        let b = outcome(&plan);
+        assert_eq!(a, b, "{backend}: same seed must give the same fault pattern");
+        // A different seed perturbs the probabilistic draw stream.
+        let other = FaultPlan::new(100).with_fault(
+            FaultKind::KernelLaunch,
+            true,
+            Schedule::Probability(0.15),
+        );
+        let c = outcome(&other);
+        let d = outcome(&other);
+        assert_eq!(c, d, "{backend}");
+    }
+}
+
+#[test]
+fn fault_directory_routes_plans_by_device_name() {
+    let faults = FaultDirectory::new().with_plan(
+        catalog::quadro_p5000().name,
+        FaultPlan::new(3).with_fault(FaultKind::Allocation, false, Schedule::AtCall(1)),
+    );
+    let mut m = beagle_core::ImplementationManager::new();
+    beagle_accel::register_accel_factories_with_faults(&mut m, &faults);
+    let case = case();
+    // Requiring CUDA forces the faulted P5000; creation fails there but the
+    // manager falls back to the next eligible factory when unconstrained.
+    let err = m.create_instance(&config(&case), Flags::NONE, Flags::FRAMEWORK_CUDA);
+    assert!(err.is_err(), "only the faulted device offers CUDA");
+    let inst = m
+        .create_instance(&config(&case), Flags::NONE, Flags::NONE)
+        .expect("fallback must find a healthy implementation");
+    assert!(
+        !inst.details().implementation_name.starts_with("CUDA"),
+        "fallback must skip the dead CUDA device, got {}",
+        inst.details().implementation_name
+    );
+}

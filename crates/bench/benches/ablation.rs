@@ -75,6 +75,7 @@ fn monomorphic_kernel(
 /// A pattern-major loop with no work-item structure at all: the upper bound
 /// a CPU-style kernel reaches on this host (the gap to the bars above is the
 /// cost of simulating GPU work-item semantics, not of the dialect).
+#[allow(clippy::too_many_arguments)]
 fn pattern_major_reference(
     dest: &mut [f64],
     c1: &[f64],

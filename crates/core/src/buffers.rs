@@ -410,6 +410,48 @@ impl<T: Real> InstanceBuffers<T> {
         Ok(())
     }
 
+    /// Validate the index arguments of a root/edge integration call so
+    /// back-ends surface [`BeagleError::OutOfRange`] instead of panicking on
+    /// a bad client index.
+    pub fn check_integration_indices(
+        &self,
+        buffer_indices: &[usize],
+        matrix_indices: &[usize],
+        frequencies_index: usize,
+        category_weights_index: usize,
+        cumulative_scale: Option<usize>,
+    ) -> Result<()> {
+        for &b in buffer_indices {
+            self.check_index("partials buffer", b, self.partials.len())?;
+        }
+        for &m in matrix_indices {
+            self.check_index("matrix buffer", m, self.matrices.len())?;
+        }
+        self.check_index("frequencies index", frequencies_index, self.frequencies.len())?;
+        self.check_index(
+            "category weights index",
+            category_weights_index,
+            self.category_weights.len(),
+        )?;
+        if let Some(c) = cumulative_scale {
+            self.check_index("scale buffer", c, self.scale_buffers.len())?;
+        }
+        Ok(())
+    }
+
+    /// Fallible [`Self::child_operand`] for entry points that take a client
+    /// buffer index directly (edge integrations), where no prior
+    /// `check_operation` has established the invariant.
+    pub fn try_child_operand(&self, buffer: usize) -> Result<ChildOperand<'_, T>> {
+        self.check_index("partials buffer", buffer, self.partials.len())?;
+        if self.partials[buffer].is_none() && self.tip_states[buffer].is_none() {
+            return Err(BeagleError::InvalidConfiguration(format!(
+                "operand buffer {buffer} has never been computed"
+            )));
+        }
+        Ok(self.child_operand(buffer))
+    }
+
     /// Validate the indices of one operation before kernels run.
     pub fn check_operation(&self, op: &crate::ops::Operation) -> Result<()> {
         self.check_operation_indices(op)?;

@@ -5,6 +5,32 @@
 
 use std::fmt;
 
+/// What went wrong on a hardware device (classification mirrors the failure
+/// modes of real accelerator runtimes: launch errors, allocation errors, and
+/// whole-device loss, plus silent data corruption detected after the fact).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DeviceErrorKind {
+    /// A kernel launch (or enqueued command) failed.
+    LaunchFailed,
+    /// A device-memory allocation or host↔device copy failed.
+    AllocationFailed,
+    /// The device itself is gone (hung, reset, or removed from the bus).
+    DeviceLost,
+    /// Device results were detected to be corrupted (bad DMA, flaky VRAM).
+    MemoryCorruption,
+}
+
+impl fmt::Display for DeviceErrorKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            DeviceErrorKind::LaunchFailed => "kernel launch failed",
+            DeviceErrorKind::AllocationFailed => "device allocation failed",
+            DeviceErrorKind::DeviceLost => "device lost",
+            DeviceErrorKind::MemoryCorruption => "device memory corruption",
+        })
+    }
+}
+
 /// Errors returned by API calls and instance creation.
 #[derive(Debug, Clone, PartialEq)]
 pub enum BeagleError {
@@ -34,6 +60,46 @@ pub enum BeagleError {
     Unsupported(&'static str),
     /// A floating-point failure surfaced (NaN likelihood without scaling, …).
     NumericalFailure(String),
+    /// A hardware device misbehaved. `transient` distinguishes failures
+    /// worth retrying in place (a dropped launch) from ones that require
+    /// evicting the device (a lost device, persistent corruption).
+    Device {
+        /// Failure classification.
+        kind: DeviceErrorKind,
+        /// Whether retrying the same call on the same device may succeed.
+        transient: bool,
+        /// Name of the device that failed.
+        device: String,
+    },
+    /// A finite resource (device memory, worker slots) ran out.
+    ResourceExhausted {
+        /// Which resource was exhausted.
+        what: String,
+    },
+    /// Creating one child of a multi-device instance failed; reports which
+    /// device slot and flag selection was responsible.
+    ChildCreationFailed {
+        /// Index of the child in the device list passed to creation.
+        child: usize,
+        /// Human-readable description of the (preference, requirement) pair.
+        device: String,
+        /// The underlying failure.
+        source: Box<BeagleError>,
+    },
+}
+
+impl BeagleError {
+    /// Whether retrying the failed call, unchanged, has a chance of
+    /// succeeding. True for transient device faults and resource exhaustion
+    /// (memory pressure can clear); false for everything else — bad
+    /// arguments stay bad and lost devices stay lost.
+    pub fn is_retryable(&self) -> bool {
+        match self {
+            BeagleError::Device { transient, .. } => *transient,
+            BeagleError::ResourceExhausted { .. } => true,
+            _ => false,
+        }
+    }
 }
 
 impl fmt::Display for BeagleError {
@@ -51,6 +117,16 @@ impl fmt::Display for BeagleError {
             }
             BeagleError::Unsupported(what) => write!(f, "unsupported operation: {what}"),
             BeagleError::NumericalFailure(msg) => write!(f, "numerical failure: {msg}"),
+            BeagleError::Device { kind, transient, device } => {
+                let class = if *transient { "transient" } else { "permanent" };
+                write!(f, "{class} device error on {device}: {kind}")
+            }
+            BeagleError::ResourceExhausted { what } => {
+                write!(f, "resource exhausted: {what}")
+            }
+            BeagleError::ChildCreationFailed { child, device, source } => {
+                write!(f, "creating child {child} ({device}) failed: {source}")
+            }
         }
     }
 }
@@ -70,5 +146,37 @@ mod tests {
         assert!(e.to_string().contains("partials buffer index 9"));
         let e = BeagleError::DimensionMismatch { what: "weights", expected: 10, got: 3 };
         assert!(e.to_string().contains("length 3, expected 10"));
+        let e = BeagleError::Device {
+            kind: DeviceErrorKind::DeviceLost,
+            transient: false,
+            device: "Quadro P5000".into(),
+        };
+        assert!(e.to_string().contains("permanent device error on Quadro P5000"));
+        let e = BeagleError::ChildCreationFailed {
+            child: 2,
+            device: "prefs NONE / reqs FRAMEWORK_CUDA".into(),
+            source: Box::new(BeagleError::NoImplementationFound),
+        };
+        assert!(e.to_string().contains("child 2"));
+        assert!(e.to_string().contains("FRAMEWORK_CUDA"));
+    }
+
+    #[test]
+    fn retryability_classification() {
+        let transient = BeagleError::Device {
+            kind: DeviceErrorKind::LaunchFailed,
+            transient: true,
+            device: "gpu".into(),
+        };
+        assert!(transient.is_retryable());
+        let permanent = BeagleError::Device {
+            kind: DeviceErrorKind::DeviceLost,
+            transient: false,
+            device: "gpu".into(),
+        };
+        assert!(!permanent.is_retryable());
+        assert!(BeagleError::ResourceExhausted { what: "device memory".into() }.is_retryable());
+        assert!(!BeagleError::NoImplementationFound.is_retryable());
+        assert!(!BeagleError::NumericalFailure("NaN".into()).is_retryable());
     }
 }

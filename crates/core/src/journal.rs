@@ -1,0 +1,273 @@
+//! A replayable journal of instance state, the substrate for failover.
+//!
+//! Fault-tolerant wrappers ([`crate::multi::PartitionedInstance`], the
+//! numerical-rescue layer) need to rebuild an instance from scratch after a
+//! device dies, or to re-run the partials traversal with scaling enabled.
+//! The BEAGLE API is a flat buffer machine, so the client-visible state of
+//! an instance is exactly the sequence of `set_*` / `update_*` calls that
+//! produced it. [`StateJournal`] records the *latest* value of every such
+//! input (last write wins per buffer index) and can replay them — whole, or
+//! sliced to a pattern sub-range — into a fresh instance.
+//!
+//! Replay order is: tip data → pattern weights → frequencies → category
+//! rates/weights → eigen systems → direct matrices → matrix updates →
+//! partials operations → scale-factor accumulation. Operations are replayed
+//! in the order of their last execution, with superseded writes to the same
+//! destination dropped. This reconstructs the final buffer state for the
+//! standard BEAGLE client pattern (descendants updated before ancestors);
+//! clients that interleave reads with partial rewrites of the same
+//! destination would need full-history replay, which no caller does.
+
+use crate::api::{BeagleInstance, InstanceConfig};
+use crate::error::Result;
+use crate::ops::Operation;
+use std::collections::BTreeMap;
+
+/// One eigen system as recorded: `(vectors, inverse_vectors, values)`.
+type EigenRecord = (Vec<f64>, Vec<f64>, Vec<f64>);
+
+/// Recorded state of one logical instance, sufficient to rebuild it.
+#[derive(Clone, Debug, Default)]
+pub struct StateJournal {
+    tip_states: BTreeMap<usize, Vec<u32>>,
+    /// `patterns × states` per tip (as passed by the client).
+    tip_partials: BTreeMap<usize, Vec<f64>>,
+    /// Full `categories × patterns × states` buffers set directly.
+    partials: BTreeMap<usize, Vec<f64>>,
+    pattern_weights: Option<Vec<f64>>,
+    frequencies: BTreeMap<usize, Vec<f64>>,
+    category_rates: Option<Vec<f64>>,
+    category_weights: BTreeMap<usize, Vec<f64>>,
+    /// `(vectors, inverse_vectors, values)` per eigen buffer.
+    eigens: BTreeMap<usize, EigenRecord>,
+    /// Matrices set directly via `set_transition_matrix`.
+    matrices: BTreeMap<usize, Vec<f64>>,
+    /// Matrices computed from an eigen system: index → (eigen, branch
+    /// length). A direct `set_transition_matrix` to the same index clears
+    /// the entry (and vice versa), so exactly one source is replayed.
+    matrix_updates: BTreeMap<usize, (usize, f64)>,
+    /// Partials operations in last-execution order, deduplicated by
+    /// destination buffer.
+    ops: Vec<Operation>,
+    /// Cumulative scale buffer → scale indices accumulated into it since its
+    /// last reset.
+    scale_accumulations: BTreeMap<usize, Vec<usize>>,
+}
+
+impl StateJournal {
+    /// Fresh, empty journal.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record `set_tip_states`.
+    pub fn record_tip_states(&mut self, tip: usize, states: &[u32]) {
+        self.tip_states.insert(tip, states.to_vec());
+        self.tip_partials.remove(&tip);
+    }
+
+    /// Record `set_tip_partials`.
+    pub fn record_tip_partials(&mut self, tip: usize, partials: &[f64]) {
+        self.tip_partials.insert(tip, partials.to_vec());
+        self.tip_states.remove(&tip);
+    }
+
+    /// Record `set_partials`.
+    pub fn record_partials(&mut self, buffer: usize, partials: &[f64]) {
+        self.partials.insert(buffer, partials.to_vec());
+        // A direct write supersedes any computed value for this buffer.
+        self.ops.retain(|op| op.destination != buffer);
+    }
+
+    /// Record `set_pattern_weights`.
+    pub fn record_pattern_weights(&mut self, weights: &[f64]) {
+        self.pattern_weights = Some(weights.to_vec());
+    }
+
+    /// Record `set_state_frequencies`.
+    pub fn record_frequencies(&mut self, index: usize, frequencies: &[f64]) {
+        self.frequencies.insert(index, frequencies.to_vec());
+    }
+
+    /// Record `set_category_rates`.
+    pub fn record_category_rates(&mut self, rates: &[f64]) {
+        self.category_rates = Some(rates.to_vec());
+    }
+
+    /// Record `set_category_weights`.
+    pub fn record_category_weights(&mut self, index: usize, weights: &[f64]) {
+        self.category_weights.insert(index, weights.to_vec());
+    }
+
+    /// Record `set_eigen_decomposition`.
+    pub fn record_eigen(
+        &mut self,
+        index: usize,
+        vectors: &[f64],
+        inverse_vectors: &[f64],
+        values: &[f64],
+    ) {
+        self.eigens.insert(
+            index,
+            (vectors.to_vec(), inverse_vectors.to_vec(), values.to_vec()),
+        );
+    }
+
+    /// Record `set_transition_matrix`.
+    pub fn record_matrix(&mut self, index: usize, matrix: &[f64]) {
+        self.matrices.insert(index, matrix.to_vec());
+        self.matrix_updates.remove(&index);
+    }
+
+    /// Record `update_transition_matrices`.
+    pub fn record_matrix_updates(
+        &mut self,
+        eigen_index: usize,
+        matrix_indices: &[usize],
+        branch_lengths: &[f64],
+    ) {
+        for (&m, &t) in matrix_indices.iter().zip(branch_lengths) {
+            self.matrix_updates.insert(m, (eigen_index, t));
+            self.matrices.remove(&m);
+        }
+    }
+
+    /// Record `update_partials`: each operation supersedes any earlier
+    /// write to the same destination.
+    pub fn record_operations(&mut self, operations: &[Operation]) {
+        for op in operations {
+            self.ops.retain(|o| o.destination != op.destination);
+            self.partials.remove(&op.destination);
+            self.ops.push(*op);
+        }
+    }
+
+    /// Record `reset_scale_factors`.
+    pub fn record_scale_reset(&mut self, cumulative: usize) {
+        self.scale_accumulations.insert(cumulative, Vec::new());
+    }
+
+    /// Record `accumulate_scale_factors`.
+    pub fn record_scale_accumulation(&mut self, scale_indices: &[usize], cumulative: usize) {
+        self.scale_accumulations
+            .entry(cumulative)
+            .or_default()
+            .extend_from_slice(scale_indices);
+    }
+
+    /// The recorded operations, in replay order.
+    pub fn operations(&self) -> &[Operation] {
+        &self.ops
+    }
+
+    /// Replay the journal into `target`, restricted to the pattern range
+    /// `[p0, p1)` of the original instance whose full configuration was
+    /// `full`. Pattern-indexed data (tips, weights, direct partials) is
+    /// sliced; model parameters and operations replay whole. With
+    /// `(0, full.pattern_count)` this rebuilds a same-sized instance.
+    pub fn replay_slice(
+        &self,
+        target: &mut dyn BeagleInstance,
+        full: &InstanceConfig,
+        p0: usize,
+        p1: usize,
+    ) -> Result<()> {
+        let s = full.state_count;
+        for (&tip, states) in &self.tip_states {
+            target.set_tip_states(tip, &states[p0..p1])?;
+        }
+        for (&tip, partials) in &self.tip_partials {
+            target.set_tip_partials(tip, &partials[p0 * s..p1 * s])?;
+        }
+        for (&buffer, data) in &self.partials {
+            // Slice each category's pattern block out of the full buffer.
+            let mut sub = Vec::with_capacity(full.category_count * (p1 - p0) * s);
+            for c in 0..full.category_count {
+                let base = (c * full.pattern_count + p0) * s;
+                sub.extend_from_slice(&data[base..base + (p1 - p0) * s]);
+            }
+            target.set_partials(buffer, &sub)?;
+        }
+        if let Some(w) = &self.pattern_weights {
+            target.set_pattern_weights(&w[p0..p1])?;
+        }
+        for (&i, f) in &self.frequencies {
+            target.set_state_frequencies(i, f)?;
+        }
+        if let Some(r) = &self.category_rates {
+            target.set_category_rates(r)?;
+        }
+        for (&i, w) in &self.category_weights {
+            target.set_category_weights(i, w)?;
+        }
+        for (&i, (v, iv, ev)) in &self.eigens {
+            target.set_eigen_decomposition(i, v, iv, ev)?;
+        }
+        for (&i, m) in &self.matrices {
+            target.set_transition_matrix(i, m)?;
+        }
+        for (&m, &(eigen, t)) in &self.matrix_updates {
+            target.update_transition_matrices(eigen, &[m], &[t])?;
+        }
+        if !self.ops.is_empty() {
+            target.update_partials(&self.ops)?;
+        }
+        for (&cumulative, indices) in &self.scale_accumulations {
+            target.reset_scale_factors(cumulative)?;
+            if !indices.is_empty() {
+                target.accumulate_scale_factors(indices, cumulative)?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn op(dest: usize, c1: usize, c2: usize) -> Operation {
+        Operation::new(dest, c1, c1, c2, c2)
+    }
+
+    #[test]
+    fn operations_dedupe_by_destination() {
+        let mut j = StateJournal::new();
+        j.record_operations(&[op(4, 0, 1), op(5, 2, 3)]);
+        j.record_operations(&[op(4, 1, 2)]);
+        let dests: Vec<usize> = j.operations().iter().map(|o| o.destination).collect();
+        assert_eq!(dests, vec![5, 4], "superseded write dropped, order = last execution");
+        assert_eq!(j.operations()[1].child1, 1, "latest operands kept");
+    }
+
+    #[test]
+    fn direct_partials_supersede_operations_and_vice_versa() {
+        let mut j = StateJournal::new();
+        j.record_operations(&[op(4, 0, 1)]);
+        j.record_partials(4, &[1.0; 16]);
+        assert!(j.operations().is_empty());
+        j.record_operations(&[op(4, 0, 1)]);
+        assert_eq!(j.operations().len(), 1);
+        assert!(j.partials.is_empty());
+    }
+
+    #[test]
+    fn matrix_sources_are_exclusive() {
+        let mut j = StateJournal::new();
+        j.record_matrix_updates(0, &[3], &[0.1]);
+        j.record_matrix(3, &[0.25; 16]);
+        assert!(j.matrix_updates.is_empty());
+        j.record_matrix_updates(0, &[3], &[0.2]);
+        assert!(j.matrices.is_empty());
+        assert_eq!(j.matrix_updates[&3], (0, 0.2));
+    }
+
+    #[test]
+    fn scale_reset_clears_accumulation() {
+        let mut j = StateJournal::new();
+        j.record_scale_accumulation(&[1, 2], 9);
+        j.record_scale_reset(9);
+        j.record_scale_accumulation(&[3], 9);
+        assert_eq!(j.scale_accumulations[&9], vec![3]);
+    }
+}

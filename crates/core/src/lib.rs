@@ -30,14 +30,17 @@ pub mod api;
 pub mod buffers;
 pub mod error;
 pub mod flags;
+pub mod journal;
 pub mod manager;
 pub mod multi;
 pub mod ops;
 pub mod real;
+pub mod rescue;
 pub mod resource;
 
 pub use api::{BeagleInstance, InstanceConfig, InstanceDetails};
-pub use error::{BeagleError, Result};
+pub use error::{BeagleError, DeviceErrorKind, Result};
+pub use journal::StateJournal;
 pub use flags::Flags;
 pub use manager::{ImplementationFactory, ImplementationManager};
 pub use multi::PartitionedInstance;

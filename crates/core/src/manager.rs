@@ -85,7 +85,17 @@ impl ImplementationManager {
     /// Selection: a factory is *eligible* if its supported flags contain
     /// every requirement bit and it supports the configuration. Among
     /// eligible factories, the one satisfying the most preference bits wins;
-    /// ties go to the higher `priority()`.
+    /// ties go to the higher `priority()`. If the winner fails to *create*
+    /// (device allocation failure, dead accelerator), the next-ranked
+    /// eligible factory is tried, walking the chain accelerator →
+    /// thread-pool → vectorized → serial until one succeeds — so a flaky
+    /// GPU degrades to a working CPU instance rather than an error. The
+    /// last creation error surfaces only when every eligible factory fails.
+    ///
+    /// The returned instance is additionally wrapped in a
+    /// [`crate::rescue::RescueInstance`]: root/edge integrations that fail
+    /// numerically without scaling are transparently re-run with
+    /// per-pattern rescaling (see the module docs of [`crate::rescue`]).
     pub fn create_instance(
         &self,
         config: &InstanceConfig,
@@ -93,27 +103,29 @@ impl ImplementationManager {
         requirement_flags: Flags,
     ) -> Result<Box<dyn BeagleInstance>> {
         config.validate()?;
-        let mut best: Option<(&dyn ImplementationFactory, u32)> = None;
-        for f in &self.factories {
-            if !f.supported_flags().contains(requirement_flags) {
-                continue;
-            }
-            if !f.supports_config(config) {
-                continue;
-            }
-            let score = (f.supported_flags() & preference_flags).bit_count();
-            let better = match best {
-                None => true,
-                Some((b, bs)) => {
-                    score > bs || (score == bs && f.priority() > b.priority())
-                }
-            };
-            if better {
-                best = Some((f.as_ref(), score));
+        let mut eligible: Vec<(&dyn ImplementationFactory, u32)> = self
+            .factories
+            .iter()
+            .filter(|f| f.supported_flags().contains(requirement_flags))
+            .filter(|f| f.supports_config(config))
+            .map(|f| {
+                let score = (f.supported_flags() & preference_flags).bit_count();
+                (f.as_ref(), score)
+            })
+            .collect();
+        // Best first: preference score, then registration priority. The sort
+        // is stable, so equal (score, priority) keeps registration order.
+        eligible.sort_by(|(fa, sa), (fb, sb)| {
+            (sb, fb.priority()).cmp(&(sa, fa.priority()))
+        });
+        let mut last_err = BeagleError::NoImplementationFound;
+        for (factory, _) in eligible {
+            match factory.create(config, preference_flags, requirement_flags) {
+                Ok(inst) => return Ok(Box::new(crate::rescue::RescueInstance::new(inst))),
+                Err(e) => last_err = e,
             }
         }
-        let (factory, _) = best.ok_or(BeagleError::NoImplementationFound)?;
-        factory.create(config, preference_flags, requirement_flags)
+        Err(last_err)
     }
 
     /// Create an instance of the implementation with exactly this name
@@ -316,6 +328,55 @@ mod tests {
         // No preference: priority decides.
         let inst = m.create_instance(&cfg(), Flags::NONE, Flags::NONE).unwrap();
         assert_eq!(inst.details().implementation_name, "plain");
+    }
+
+    /// A factory whose creation always fails, as a dead device's would.
+    struct BrokenFactory {
+        priority: i32,
+    }
+
+    impl ImplementationFactory for BrokenFactory {
+        fn name(&self) -> &str {
+            "broken-accelerator"
+        }
+        fn supported_flags(&self) -> Flags {
+            Flags::PROCESSOR_CPU | Flags::PROCESSOR_GPU
+        }
+        fn resource(&self) -> ResourceDescription {
+            ResourceDescription::host_cpu(1)
+        }
+        fn priority(&self) -> i32 {
+            self.priority
+        }
+        fn create(&self, _: &InstanceConfig, _: Flags, _: Flags) -> Result<Box<dyn BeagleInstance>> {
+            Err(BeagleError::Device {
+                kind: crate::error::DeviceErrorKind::DeviceLost,
+                transient: false,
+                device: "broken".into(),
+            })
+        }
+    }
+
+    #[test]
+    fn creation_failure_falls_back_to_next_factory() {
+        let mut m = ImplementationManager::new();
+        m.register(Box::new(NullFactory {
+            name: "cpu-serial",
+            flags: Flags::PROCESSOR_CPU,
+            priority: 0,
+        }));
+        // Ranked first (higher priority), but creation always fails.
+        m.register(Box::new(BrokenFactory { priority: 100 }));
+        let inst = m.create_instance(&cfg(), Flags::NONE, Flags::NONE).unwrap();
+        assert_eq!(inst.details().implementation_name, "cpu-serial");
+    }
+
+    #[test]
+    fn all_failures_surface_last_error() {
+        let mut m = ImplementationManager::new();
+        m.register(Box::new(BrokenFactory { priority: 0 }));
+        let err = m.create_instance(&cfg(), Flags::NONE, Flags::NONE).err();
+        assert!(matches!(err, Some(BeagleError::Device { .. })), "{err:?}");
     }
 
     #[test]

@@ -1,4 +1,5 @@
-//! Multi-device computation: one logical instance over several back-ends.
+//! Multi-device computation: one logical instance over several back-ends,
+//! with automatic failover.
 //!
 //! The paper's conclusion describes this as the next step: "the improvements
 //! described in this paper also allow users to execute in parallel on
@@ -15,12 +16,60 @@
 //! pattern slice on its own hardware), and reduces root/edge likelihoods by
 //! summation. It implements [`BeagleInstance`] itself, so client code is
 //! unchanged.
+//!
+//! # Fault tolerance
+//!
+//! Long multi-device runs meet hardware faults. Every fan-out call records
+//! its inputs in a [`StateJournal`] and classifies child failures with
+//! [`BeagleError::is_retryable`]:
+//!
+//! * **Transient** faults (dropped kernel launch, momentary memory
+//!   pressure) are retried in place with bounded exponential backoff.
+//! * **Permanent** device faults evict the dead child: the remaining
+//!   weights are re-normalized, every survivor is re-created at its new
+//!   pattern range through the [`ImplementationManager`], and the journal
+//!   is replayed to rebuild their state — degrading gracefully down to a
+//!   single device before any error reaches the client.
+//!
+//! Per-child retry counters and the eviction count are exposed via
+//! [`PartitionedInstance::retry_counts`] /
+//! [`PartitionedInstance::eviction_count`] so clients can monitor device
+//! health.
+
+use std::sync::Arc;
+use std::time::Duration;
 
 use crate::api::{BeagleInstance, InstanceConfig, InstanceDetails};
 use crate::error::{BeagleError, Result};
 use crate::flags::Flags;
+use crate::journal::StateJournal;
 use crate::manager::ImplementationManager;
 use crate::ops::Operation;
+
+/// How transient child failures are retried before escalating to eviction.
+#[derive(Clone, Copy, Debug)]
+pub struct RetryPolicy {
+    /// Maximum in-place retries per call and child.
+    pub max_retries: u32,
+    /// Backoff before the first retry; doubles on each subsequent one.
+    pub base_delay: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        Self { max_retries: 3, base_delay: Duration::from_micros(200) }
+    }
+}
+
+/// What eviction-and-rebuild needs: the registry that can re-create
+/// children, plus each surviving child's selection flags and weight.
+struct FailoverState {
+    manager: Arc<ImplementationManager>,
+    /// `(preference, requirement)` flags per surviving child.
+    selections: Vec<(Flags, Flags)>,
+    /// Pattern-share weight per surviving child.
+    weights: Vec<f64>,
+}
 
 /// One logical BEAGLE instance spread across several devices.
 pub struct PartitionedInstance {
@@ -32,15 +81,38 @@ pub struct PartitionedInstance {
     details: InstanceDetails,
     /// Concatenated site log-likelihoods from the last integration.
     site_lnl: Vec<f64>,
+    /// Everything needed to rebuild children after a device dies; `None`
+    /// for instances assembled with [`PartitionedInstance::from_parts`],
+    /// which cannot fail over (no manager to re-create children with).
+    failover: Option<FailoverState>,
+    journal: StateJournal,
+    retry: RetryPolicy,
+    /// Transient-fault retries performed per surviving child.
+    retry_counts: Vec<u64>,
+    /// Children permanently evicted since creation.
+    evictions: u64,
 }
 
 /// Split `patterns` into contiguous ranges proportional to `weights`
 /// (e.g. per-device GFLOPS). Every range is non-empty; weights must be
 /// positive and at most `patterns` long.
-pub fn weighted_ranges(patterns: usize, weights: &[f64]) -> Vec<(usize, usize)> {
-    assert!(!weights.is_empty());
-    assert!(weights.iter().all(|&w| w > 0.0), "weights must be positive");
-    assert!(weights.len() <= patterns, "more devices than patterns");
+pub fn weighted_ranges(patterns: usize, weights: &[f64]) -> Result<Vec<(usize, usize)>> {
+    if weights.is_empty() {
+        return Err(BeagleError::InvalidConfiguration(
+            "need at least one partition weight".into(),
+        ));
+    }
+    if !weights.iter().all(|&w| w > 0.0) {
+        return Err(BeagleError::InvalidConfiguration(format!(
+            "partition weights must be positive, got {weights:?}"
+        )));
+    }
+    if weights.len() > patterns {
+        return Err(BeagleError::InvalidConfiguration(format!(
+            "more devices ({}) than patterns ({patterns})",
+            weights.len()
+        )));
+    }
     let total: f64 = weights.iter().sum();
     let mut ranges = Vec::with_capacity(weights.len());
     let mut start = 0usize;
@@ -56,7 +128,17 @@ pub fn weighted_ranges(patterns: usize, weights: &[f64]) -> Vec<(usize, usize)> 
         ranges.push((start, end));
         start = end;
     }
-    ranges
+    Ok(ranges)
+}
+
+/// Whether a child failure that survived retries warrants evicting the
+/// child (device-level faults) rather than propagating (bad arguments,
+/// numerical failures — eviction cannot fix those).
+fn is_evictable(e: &BeagleError) -> bool {
+    matches!(
+        e,
+        BeagleError::Device { .. } | BeagleError::ResourceExhausted { .. }
+    )
 }
 
 impl PartitionedInstance {
@@ -64,9 +146,10 @@ impl PartitionedInstance {
     /// where each entry is the (preference, requirement) flag pair used to
     /// select that child's implementation, and `weights[i]` is its share of
     /// the pattern range (use per-device peak GFLOPS, or measured
-    /// throughput from a calibration run).
+    /// throughput from a calibration run). The manager is retained so dead
+    /// children can be replaced at runtime (see the module docs).
     pub fn create(
-        manager: &ImplementationManager,
+        manager: &Arc<ImplementationManager>,
         config: &InstanceConfig,
         devices: &[(Flags, Flags)],
         weights: &[f64],
@@ -77,42 +160,92 @@ impl PartitionedInstance {
                 "need one positive weight per device".into(),
             ));
         }
-        let ranges = weighted_ranges(config.pattern_count, weights);
+        let ranges = weighted_ranges(config.pattern_count, weights)?;
         let mut parts = Vec::with_capacity(devices.len());
-        for (&(prefs, reqs), &(p0, p1)) in devices.iter().zip(&ranges) {
+        for (i, (&(prefs, reqs), &(p0, p1))) in devices.iter().zip(&ranges).enumerate() {
             let mut sub = *config;
             sub.pattern_count = p1 - p0;
-            parts.push(manager.create_instance(&sub, prefs, reqs)?);
+            let part = manager.create_instance(&sub, prefs, reqs).map_err(|e| {
+                BeagleError::ChildCreationFailed {
+                    child: i,
+                    device: format!("prefs {prefs} / reqs {reqs}"),
+                    source: Box::new(e),
+                }
+            })?;
+            parts.push(part);
         }
-        Ok(Self::from_parts(parts, ranges, *config))
+        let mut inst = Self::from_parts(parts, ranges, *config)?;
+        inst.failover = Some(FailoverState {
+            manager: Arc::clone(manager),
+            selections: devices.to_vec(),
+            weights: weights.to_vec(),
+        });
+        Ok(inst)
     }
 
     /// Assemble from already-created children (one per pattern range).
+    /// Instances built this way cannot fail over — without the manager
+    /// there is no way to replace a dead child — but transient-fault
+    /// retries still apply.
     pub fn from_parts(
         parts: Vec<Box<dyn BeagleInstance>>,
         ranges: Vec<(usize, usize)>,
         config: InstanceConfig,
-    ) -> Self {
-        assert_eq!(parts.len(), ranges.len());
-        assert_eq!(ranges.first().map(|r| r.0), Some(0));
-        assert_eq!(ranges.last().map(|r| r.1), Some(config.pattern_count));
-        for (part, &(p0, p1)) in parts.iter().zip(&ranges) {
-            assert_eq!(part.config().pattern_count, p1 - p0, "child sized to its range");
+    ) -> Result<Self> {
+        if parts.len() != ranges.len() || parts.is_empty() {
+            return Err(BeagleError::InvalidConfiguration(format!(
+                "need one child per pattern range, got {} children / {} ranges",
+                parts.len(),
+                ranges.len()
+            )));
         }
+        if ranges.first().map(|r| r.0) != Some(0)
+            || ranges.last().map(|r| r.1) != Some(config.pattern_count)
+            || ranges.windows(2).any(|w| w[0].1 != w[1].0)
+        {
+            return Err(BeagleError::InvalidConfiguration(format!(
+                "ranges must contiguously cover 0..{}, got {ranges:?}",
+                config.pattern_count
+            )));
+        }
+        for (i, (part, &(p0, p1))) in parts.iter().zip(&ranges).enumerate() {
+            if part.config().pattern_count != p1 - p0 {
+                return Err(BeagleError::InvalidConfiguration(format!(
+                    "child {i} sized for {} patterns but assigned range {p0}..{p1}",
+                    part.config().pattern_count
+                )));
+            }
+        }
+        let details = Self::aggregate_details(&parts);
+        let site_lnl = vec![0.0; config.pattern_count];
+        let retry_counts = vec![0; parts.len()];
+        Ok(Self {
+            parts,
+            ranges,
+            config,
+            details,
+            site_lnl,
+            failover: None,
+            journal: StateJournal::new(),
+            retry: RetryPolicy::default(),
+            retry_counts,
+            evictions: 0,
+        })
+    }
+
+    fn aggregate_details(parts: &[Box<dyn BeagleInstance>]) -> InstanceDetails {
         let names: Vec<&str> = parts
             .iter()
             .map(|p| p.details().implementation_name.as_str())
             .collect();
-        let details = InstanceDetails {
+        InstanceDetails {
             implementation_name: format!("Partitioned[{}]", names.join(" + ")),
             resource_name: format!("{} devices", parts.len()),
             flags: parts
                 .iter()
                 .fold(Flags::NONE, |acc, p| acc | p.details().flags),
             thread_count: parts.iter().map(|p| p.details().thread_count).sum(),
-        };
-        let site_lnl = vec![0.0; config.pattern_count];
-        Self { parts, ranges, config, details, site_lnl }
+        }
     }
 
     /// Number of child devices.
@@ -130,6 +263,21 @@ impl PartitionedInstance {
         self.parts[i].as_ref()
     }
 
+    /// Replace the transient-failure retry policy.
+    pub fn set_retry_policy(&mut self, retry: RetryPolicy) {
+        self.retry = retry;
+    }
+
+    /// Transient-fault retries performed so far, per surviving child.
+    pub fn retry_counts(&self) -> &[u64] {
+        &self.retry_counts
+    }
+
+    /// Children permanently evicted since creation.
+    pub fn eviction_count(&self) -> u64 {
+        self.evictions
+    }
+
     /// Extract child `i`'s `[category][pattern][state]` sub-buffer from a
     /// full-problem buffer with `per_pattern` values per pattern.
     fn slice_blocked(&self, i: usize, data: &[f64], per_pattern: usize, categories: usize) -> Vec<f64> {
@@ -143,15 +291,120 @@ impl PartitionedInstance {
         out
     }
 
-    /// Run a fallible per-part call on every child.
-    fn for_each(
-        &mut self,
-        mut f: impl FnMut(usize, &mut dyn BeagleInstance) -> Result<()>,
+    /// Run `call` on child `i`, retrying transient failures with bounded
+    /// exponential backoff.
+    fn call_with_retry(
+        retry: RetryPolicy,
+        retry_count: &mut u64,
+        part: &mut dyn BeagleInstance,
+        mut call: impl FnMut(&mut dyn BeagleInstance) -> Result<()>,
     ) -> Result<()> {
-        for (i, part) in self.parts.iter_mut().enumerate() {
-            f(i, part.as_mut())?;
+        let mut delay = retry.base_delay;
+        for _ in 0..retry.max_retries {
+            match call(part) {
+                Err(e) if e.is_retryable() => {
+                    *retry_count += 1;
+                    std::thread::sleep(delay);
+                    delay *= 2;
+                }
+                other => return other,
+            }
         }
-        Ok(())
+        call(part)
+    }
+
+    /// Evict child `dead` (its failure `cause` already survived retries),
+    /// then rebuild every survivor at its re-balanced pattern range and
+    /// replay the journal into it. Survivors whose re-creation or replay
+    /// fails are evicted too; the cause surfaces once no child remains or
+    /// this instance has no failover state.
+    fn evict_and_rebuild(&mut self, dead: usize, cause: BeagleError) -> Result<()> {
+        let Some(failover) = &mut self.failover else {
+            return Err(cause);
+        };
+        self.evictions += 1;
+        self.parts.remove(dead);
+        failover.selections.remove(dead);
+        failover.weights.remove(dead);
+        self.retry_counts.remove(dead);
+
+        loop {
+            if failover.selections.is_empty() {
+                return Err(cause);
+            }
+            let ranges = weighted_ranges(self.config.pattern_count, &failover.weights)?;
+            let mut new_parts: Vec<Box<dyn BeagleInstance>> = Vec::with_capacity(ranges.len());
+            let mut doomed: Option<usize> = None;
+            for (j, (&(prefs, reqs), &(p0, p1))) in
+                failover.selections.iter().zip(&ranges).enumerate()
+            {
+                let mut sub = self.config;
+                sub.pattern_count = p1 - p0;
+                let rebuilt = failover
+                    .manager
+                    .create_instance(&sub, prefs, reqs)
+                    .and_then(|mut inst| {
+                        self.journal
+                            .replay_slice(inst.as_mut(), &self.config, p0, p1)
+                            .map(|()| inst)
+                    });
+                match rebuilt {
+                    Ok(inst) => new_parts.push(inst),
+                    Err(_) => {
+                        doomed = Some(j);
+                        break;
+                    }
+                }
+            }
+            match doomed {
+                None => {
+                    self.retry_counts = vec![0; new_parts.len()];
+                    self.details = Self::aggregate_details(&new_parts);
+                    self.parts = new_parts;
+                    self.ranges = ranges;
+                    return Ok(());
+                }
+                Some(j) => {
+                    self.evictions += 1;
+                    failover.selections.remove(j);
+                    failover.weights.remove(j);
+                }
+            }
+        }
+    }
+
+    /// Fan a *journaled* call out to every child with retry and eviction.
+    /// The call's input must already be recorded: after an eviction the
+    /// journal replay has re-applied it to every rebuilt child, so the
+    /// fan-out is complete without re-running `call`.
+    fn fan_out_recorded(
+        &mut self,
+        mut call: impl FnMut(usize, (usize, usize), &mut dyn BeagleInstance) -> Result<()>,
+    ) -> Result<()> {
+        let mut failure: Option<(usize, BeagleError)> = None;
+        for i in 0..self.parts.len() {
+            let retry = self.retry;
+            let range = self.ranges[i];
+            let r = Self::call_with_retry(
+                retry,
+                &mut self.retry_counts[i],
+                self.parts[i].as_mut(),
+                |p| call(i, range, p),
+            );
+            if let Err(e) = r {
+                failure = Some((i, e));
+                break;
+            }
+        }
+        let Some((i, e)) = failure else {
+            return Ok(());
+        };
+        if !is_evictable(&e) {
+            return Err(e);
+        }
+        // Journal replay inside the rebuild re-applies the recorded input
+        // to every surviving child, completing this fan-out.
+        self.evict_and_rebuild(i, e)
     }
 }
 
@@ -172,8 +425,8 @@ impl BeagleInstance for PartitionedInstance {
                 got: states.len(),
             });
         }
-        let ranges = self.ranges.clone();
-        self.for_each(|i, part| part.set_tip_states(tip, &states[ranges[i].0..ranges[i].1]))
+        self.journal.record_tip_states(tip, states);
+        self.fan_out_recorded(|_, (p0, p1), part| part.set_tip_states(tip, &states[p0..p1]))
     }
 
     fn set_tip_partials(&mut self, tip: usize, partials: &[f64]) -> Result<()> {
@@ -185,9 +438,8 @@ impl BeagleInstance for PartitionedInstance {
                 got: partials.len(),
             });
         }
-        let ranges = self.ranges.clone();
-        self.for_each(|i, part| {
-            let (p0, p1) = ranges[i];
+        self.journal.record_tip_partials(tip, partials);
+        self.fan_out_recorded(|_, (p0, p1), part| {
             part.set_tip_partials(tip, &partials[p0 * per..p1 * per])
         })
     }
@@ -200,10 +452,11 @@ impl BeagleInstance for PartitionedInstance {
                 got: partials.len(),
             });
         }
+        self.journal.record_partials(buffer, partials);
         let chunks: Vec<Vec<f64>> = (0..self.parts.len())
             .map(|i| self.slice_blocked(i, partials, self.config.state_count, self.config.category_count))
             .collect();
-        self.for_each(|i, part| part.set_partials(buffer, &chunks[i]))
+        self.fan_out_recorded(|i, _, part| part.set_partials(buffer, &chunks[i]))
     }
 
     fn get_partials(&self, buffer: usize) -> Result<Vec<f64>> {
@@ -232,20 +485,23 @@ impl BeagleInstance for PartitionedInstance {
                 got: weights.len(),
             });
         }
-        let ranges = self.ranges.clone();
-        self.for_each(|i, part| part.set_pattern_weights(&weights[ranges[i].0..ranges[i].1]))
+        self.journal.record_pattern_weights(weights);
+        self.fan_out_recorded(|_, (p0, p1), part| part.set_pattern_weights(&weights[p0..p1]))
     }
 
     fn set_state_frequencies(&mut self, index: usize, frequencies: &[f64]) -> Result<()> {
-        self.for_each(|_, part| part.set_state_frequencies(index, frequencies))
+        self.journal.record_frequencies(index, frequencies);
+        self.fan_out_recorded(|_, _, part| part.set_state_frequencies(index, frequencies))
     }
 
     fn set_category_rates(&mut self, rates: &[f64]) -> Result<()> {
-        self.for_each(|_, part| part.set_category_rates(rates))
+        self.journal.record_category_rates(rates);
+        self.fan_out_recorded(|_, _, part| part.set_category_rates(rates))
     }
 
     fn set_category_weights(&mut self, index: usize, weights: &[f64]) -> Result<()> {
-        self.for_each(|_, part| part.set_category_weights(index, weights))
+        self.journal.record_category_weights(index, weights);
+        self.fan_out_recorded(|_, _, part| part.set_category_weights(index, weights))
     }
 
     fn set_eigen_decomposition(
@@ -255,7 +511,9 @@ impl BeagleInstance for PartitionedInstance {
         inverse_vectors: &[f64],
         values: &[f64],
     ) -> Result<()> {
-        self.for_each(|_, part| {
+        self.journal
+            .record_eigen(index, vectors, inverse_vectors, values);
+        self.fan_out_recorded(|_, _, part| {
             part.set_eigen_decomposition(index, vectors, inverse_vectors, values)
         })
     }
@@ -266,13 +524,16 @@ impl BeagleInstance for PartitionedInstance {
         matrix_indices: &[usize],
         branch_lengths: &[f64],
     ) -> Result<()> {
-        self.for_each(|_, part| {
+        self.journal
+            .record_matrix_updates(eigen_index, matrix_indices, branch_lengths);
+        self.fan_out_recorded(|_, _, part| {
             part.update_transition_matrices(eigen_index, matrix_indices, branch_lengths)
         })
     }
 
     fn set_transition_matrix(&mut self, index: usize, matrix: &[f64]) -> Result<()> {
-        self.for_each(|_, part| part.set_transition_matrix(index, matrix))
+        self.journal.record_matrix(index, matrix);
+        self.fan_out_recorded(|_, _, part| part.set_transition_matrix(index, matrix))
     }
 
     fn get_transition_matrix(&self, index: usize) -> Result<Vec<f64>> {
@@ -280,6 +541,7 @@ impl BeagleInstance for PartitionedInstance {
     }
 
     fn update_partials(&mut self, operations: &[Operation]) -> Result<()> {
+        self.journal.record_operations(operations);
         // The payoff: every device computes its pattern slice concurrently.
         let mut results: Vec<Result<()>> = Vec::new();
         std::thread::scope(|scope| {
@@ -288,13 +550,49 @@ impl BeagleInstance for PartitionedInstance {
                 .iter_mut()
                 .map(|part| scope.spawn(move || part.update_partials(operations)))
                 .collect();
-            results = handles.into_iter().map(|h| h.join().expect("no panics")).collect();
+            results = handles
+                .into_iter()
+                .map(|h| h.join().expect("no panics"))
+                .collect();
         });
-        results.into_iter().collect()
+        // Retry transient failures serially; escalate the first
+        // unrecoverable one.
+        let mut fatal: Option<(usize, BeagleError)> = None;
+        for (i, r) in results.into_iter().enumerate() {
+            let Err(e) = r else { continue };
+            let retried = if e.is_retryable() {
+                // The serial re-call below is itself the first retry of the
+                // failed parallel attempt.
+                self.retry_counts[i] += 1;
+                let retry = self.retry;
+                Self::call_with_retry(
+                    retry,
+                    &mut self.retry_counts[i],
+                    self.parts[i].as_mut(),
+                    |p| p.update_partials(operations),
+                )
+            } else {
+                Err(e)
+            };
+            if let Err(e) = retried {
+                fatal = Some((i, e));
+                break;
+            }
+        }
+        let Some((i, e)) = fatal else {
+            return Ok(());
+        };
+        if !is_evictable(&e) {
+            return Err(e);
+        }
+        // The operations were journaled above, so the rebuild's replay runs
+        // them on every surviving child.
+        self.evict_and_rebuild(i, e)
     }
 
     fn reset_scale_factors(&mut self, cumulative: usize) -> Result<()> {
-        self.for_each(|_, part| part.reset_scale_factors(cumulative))
+        self.journal.record_scale_reset(cumulative);
+        self.fan_out_recorded(|_, _, part| part.reset_scale_factors(cumulative))
     }
 
     fn accumulate_scale_factors(
@@ -302,7 +600,11 @@ impl BeagleInstance for PartitionedInstance {
         scale_indices: &[usize],
         cumulative: usize,
     ) -> Result<()> {
-        self.for_each(|_, part| part.accumulate_scale_factors(scale_indices, cumulative))
+        self.journal
+            .record_scale_accumulation(scale_indices, cumulative);
+        self.fan_out_recorded(|_, _, part| {
+            part.accumulate_scale_factors(scale_indices, cumulative)
+        })
     }
 
     fn calculate_root_log_likelihoods(
@@ -312,18 +614,42 @@ impl BeagleInstance for PartitionedInstance {
         frequencies_index: usize,
         cumulative_scale: Option<usize>,
     ) -> Result<f64> {
-        let mut total = 0.0;
-        for (i, part) in self.parts.iter_mut().enumerate() {
-            total += part.calculate_root_log_likelihoods(
-                root_buffer,
-                category_weights_index,
-                frequencies_index,
-                cumulative_scale,
-            )?;
-            let (p0, p1) = self.ranges[i];
-            self.site_lnl[p0..p1].copy_from_slice(&part.get_site_log_likelihoods()?);
+        // Integration is not journaled (it writes no instance state), so on
+        // eviction the whole reduction restarts against the rebuilt
+        // children. Bounded: every round either returns or evicts.
+        'round: for _ in 0..=self.parts.len() {
+            let mut total = 0.0;
+            for i in 0..self.parts.len() {
+                let retry = self.retry;
+                let mut value = 0.0;
+                let r = Self::call_with_retry(
+                    retry,
+                    &mut self.retry_counts[i],
+                    self.parts[i].as_mut(),
+                    |p| {
+                        value = p.calculate_root_log_likelihoods(
+                            root_buffer,
+                            category_weights_index,
+                            frequencies_index,
+                            cumulative_scale,
+                        )?;
+                        Ok(())
+                    },
+                );
+                if let Err(e) = r {
+                    if !is_evictable(&e) {
+                        return Err(e);
+                    }
+                    self.evict_and_rebuild(i, e)?;
+                    continue 'round;
+                }
+                total += value;
+                let (p0, p1) = self.ranges[i];
+                self.site_lnl[p0..p1].copy_from_slice(&self.parts[i].get_site_log_likelihoods()?);
+            }
+            return Ok(total);
         }
-        Ok(total)
+        unreachable!("eviction loop is bounded by the child count");
     }
 
     fn calculate_edge_log_likelihoods(
@@ -335,20 +661,41 @@ impl BeagleInstance for PartitionedInstance {
         frequencies_index: usize,
         cumulative_scale: Option<usize>,
     ) -> Result<f64> {
-        let mut total = 0.0;
-        for (i, part) in self.parts.iter_mut().enumerate() {
-            total += part.calculate_edge_log_likelihoods(
-                parent_buffer,
-                child_buffer,
-                matrix_index,
-                category_weights_index,
-                frequencies_index,
-                cumulative_scale,
-            )?;
-            let (p0, p1) = self.ranges[i];
-            self.site_lnl[p0..p1].copy_from_slice(&part.get_site_log_likelihoods()?);
+        'round: for _ in 0..=self.parts.len() {
+            let mut total = 0.0;
+            for i in 0..self.parts.len() {
+                let retry = self.retry;
+                let mut value = 0.0;
+                let r = Self::call_with_retry(
+                    retry,
+                    &mut self.retry_counts[i],
+                    self.parts[i].as_mut(),
+                    |p| {
+                        value = p.calculate_edge_log_likelihoods(
+                            parent_buffer,
+                            child_buffer,
+                            matrix_index,
+                            category_weights_index,
+                            frequencies_index,
+                            cumulative_scale,
+                        )?;
+                        Ok(())
+                    },
+                );
+                if let Err(e) = r {
+                    if !is_evictable(&e) {
+                        return Err(e);
+                    }
+                    self.evict_and_rebuild(i, e)?;
+                    continue 'round;
+                }
+                total += value;
+                let (p0, p1) = self.ranges[i];
+                self.site_lnl[p0..p1].copy_from_slice(&self.parts[i].get_site_log_likelihoods()?);
+            }
+            return Ok(total);
         }
-        Ok(total)
+        unreachable!("eviction loop is bounded by the child count");
     }
 
     fn get_site_log_likelihoods(&self) -> Result<Vec<f64>> {
@@ -377,9 +724,9 @@ mod tests {
 
     #[test]
     fn weighted_ranges_cover_and_respect_weights() {
-        let r = weighted_ranges(1000, &[1.0, 3.0]);
+        let r = weighted_ranges(1000, &[1.0, 3.0]).unwrap();
         assert_eq!(r, vec![(0, 250), (250, 1000)]);
-        let r = weighted_ranges(10, &[1.0, 1.0, 1.0]);
+        let r = weighted_ranges(10, &[1.0, 1.0, 1.0]).unwrap();
         assert_eq!(r.first().unwrap().0, 0);
         assert_eq!(r.last().unwrap().1, 10);
         let covered: usize = r.iter().map(|(a, b)| b - a).sum();
@@ -389,14 +736,24 @@ mod tests {
     #[test]
     fn every_part_gets_at_least_one_pattern() {
         // Extreme weights must not starve a device.
-        let r = weighted_ranges(10, &[1e-6, 1.0, 1e-6]);
+        let r = weighted_ranges(10, &[1e-6, 1.0, 1e-6]).unwrap();
         assert!(r.iter().all(|(a, b)| b > a), "{r:?}");
         assert_eq!(r.last().unwrap().1, 10);
     }
 
     #[test]
-    #[should_panic(expected = "more devices than patterns")]
     fn too_many_devices_rejected() {
-        weighted_ranges(2, &[1.0, 1.0, 1.0]);
+        let err = weighted_ranges(2, &[1.0, 1.0, 1.0]);
+        assert!(
+            matches!(err, Err(BeagleError::InvalidConfiguration(ref m)) if m.contains("more devices")),
+            "{err:?}"
+        );
+    }
+
+    #[test]
+    fn degenerate_weights_rejected() {
+        assert!(weighted_ranges(10, &[]).is_err());
+        assert!(weighted_ranges(10, &[1.0, 0.0]).is_err());
+        assert!(weighted_ranges(10, &[1.0, -2.0]).is_err());
     }
 }

@@ -1,0 +1,307 @@
+//! Automatic numerical rescue: transparent per-pattern rescaling.
+//!
+//! Deep trees and many rate categories underflow single- (and eventually
+//! double-) precision partials: the root integration then produces NaN or
+//! −∞ and the back-end surfaces [`crate::BeagleError::NumericalFailure`].
+//! The classical fix is manual scaling — the client passes
+//! `dest_scale_write` on every operation and accumulates log scale factors
+//! — but most clients only discover they needed it when the run dies.
+//!
+//! [`RescueInstance`] wraps any [`BeagleInstance`] and automates the fix:
+//! it journals the partials traversal, and when a root/edge integration
+//! *without* a cumulative scale buffer fails numerically, it re-runs the
+//! recorded operations with per-destination rescaling, accumulates the
+//! factors into a reserved cumulative buffer (the last scale index), and
+//! integrates again with scaling before surfacing any error. Successful
+//! rescues are counted so clients can notice and switch to explicit
+//! scaling. Rescue needs one scale buffer per internal destination plus the
+//! reserved cumulative slot; configurations built by
+//! [`crate::InstanceConfig::for_tree`] satisfy this.
+
+use crate::api::{BeagleInstance, InstanceConfig, InstanceDetails};
+use crate::error::{BeagleError, Result};
+use crate::journal::StateJournal;
+use crate::ops::Operation;
+
+/// A [`BeagleInstance`] wrapper that retries failed integrations with
+/// scaling enabled. Created by
+/// [`crate::ImplementationManager::create_instance`].
+pub struct RescueInstance {
+    inner: Box<dyn BeagleInstance>,
+    journal: StateJournal,
+    rescues: u64,
+}
+
+impl RescueInstance {
+    /// Wrap an instance.
+    pub fn new(inner: Box<dyn BeagleInstance>) -> Self {
+        Self { inner, journal: StateJournal::new(), rescues: 0 }
+    }
+
+    /// How many integrations were transparently rescued so far.
+    pub fn rescue_count(&self) -> u64 {
+        self.rescues
+    }
+
+    /// The reserved cumulative scale buffer, if the configuration leaves
+    /// room for rescue: every recorded destination needs its own scale
+    /// buffer below the reserved one.
+    fn rescue_cumulative(&self) -> Option<usize> {
+        let scale_count = self.inner.config().scale_buffer_count;
+        let reserved = scale_count.checked_sub(1)?;
+        if reserved == 0 {
+            return None;
+        }
+        let fits = self
+            .journal
+            .operations()
+            .iter()
+            .all(|op| op.destination < reserved);
+        (fits && !self.journal.operations().is_empty()).then_some(reserved)
+    }
+
+    /// Re-run the recorded traversal with per-destination rescaling and
+    /// return the cumulative scale buffer to integrate with.
+    fn rescale_traversal(&mut self, cumulative: usize) -> Result<usize> {
+        let scaled: Vec<Operation> = self
+            .journal
+            .operations()
+            .iter()
+            .map(|op| op.with_scaling(op.destination))
+            .collect();
+        self.inner.update_partials(&scaled)?;
+        let indices: Vec<usize> = scaled.iter().map(|op| op.destination).collect();
+        self.inner.reset_scale_factors(cumulative)?;
+        self.inner.accumulate_scale_factors(&indices, cumulative)?;
+        Ok(cumulative)
+    }
+
+    fn numerically_bad(result: &Result<f64>) -> bool {
+        match result {
+            Ok(v) => !v.is_finite(),
+            Err(BeagleError::NumericalFailure(_)) => true,
+            Err(_) => false,
+        }
+    }
+}
+
+impl BeagleInstance for RescueInstance {
+    fn details(&self) -> &InstanceDetails {
+        self.inner.details()
+    }
+
+    fn config(&self) -> &InstanceConfig {
+        self.inner.config()
+    }
+
+    fn set_tip_states(&mut self, tip: usize, states: &[u32]) -> Result<()> {
+        self.inner.set_tip_states(tip, states)
+    }
+
+    fn set_tip_partials(&mut self, tip: usize, partials: &[f64]) -> Result<()> {
+        self.inner.set_tip_partials(tip, partials)
+    }
+
+    fn set_partials(&mut self, buffer: usize, partials: &[f64]) -> Result<()> {
+        self.inner.set_partials(buffer, partials)
+    }
+
+    fn get_partials(&self, buffer: usize) -> Result<Vec<f64>> {
+        self.inner.get_partials(buffer)
+    }
+
+    fn set_pattern_weights(&mut self, weights: &[f64]) -> Result<()> {
+        self.inner.set_pattern_weights(weights)
+    }
+
+    fn set_state_frequencies(&mut self, index: usize, frequencies: &[f64]) -> Result<()> {
+        self.inner.set_state_frequencies(index, frequencies)
+    }
+
+    fn set_category_rates(&mut self, rates: &[f64]) -> Result<()> {
+        self.inner.set_category_rates(rates)
+    }
+
+    fn set_category_weights(&mut self, index: usize, weights: &[f64]) -> Result<()> {
+        self.inner.set_category_weights(index, weights)
+    }
+
+    fn set_eigen_decomposition(
+        &mut self,
+        index: usize,
+        vectors: &[f64],
+        inverse_vectors: &[f64],
+        values: &[f64],
+    ) -> Result<()> {
+        self.inner
+            .set_eigen_decomposition(index, vectors, inverse_vectors, values)
+    }
+
+    fn update_transition_matrices(
+        &mut self,
+        eigen_index: usize,
+        matrix_indices: &[usize],
+        branch_lengths: &[f64],
+    ) -> Result<()> {
+        self.inner
+            .update_transition_matrices(eigen_index, matrix_indices, branch_lengths)
+    }
+
+    fn update_transition_derivatives(
+        &mut self,
+        eigen_index: usize,
+        matrix_indices: &[usize],
+        d1_indices: &[usize],
+        d2_indices: &[usize],
+        branch_lengths: &[f64],
+    ) -> Result<()> {
+        self.inner.update_transition_derivatives(
+            eigen_index,
+            matrix_indices,
+            d1_indices,
+            d2_indices,
+            branch_lengths,
+        )
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn calculate_edge_derivatives(
+        &mut self,
+        parent_buffer: usize,
+        child_buffer: usize,
+        matrix_index: usize,
+        d1_matrix: usize,
+        d2_matrix: usize,
+        category_weights_index: usize,
+        frequencies_index: usize,
+        cumulative_scale: Option<usize>,
+    ) -> Result<(f64, f64, f64)> {
+        self.inner.calculate_edge_derivatives(
+            parent_buffer,
+            child_buffer,
+            matrix_index,
+            d1_matrix,
+            d2_matrix,
+            category_weights_index,
+            frequencies_index,
+            cumulative_scale,
+        )
+    }
+
+    fn set_transition_matrix(&mut self, index: usize, matrix: &[f64]) -> Result<()> {
+        self.inner.set_transition_matrix(index, matrix)
+    }
+
+    fn get_transition_matrix(&self, index: usize) -> Result<Vec<f64>> {
+        self.inner.get_transition_matrix(index)
+    }
+
+    fn update_partials(&mut self, operations: &[Operation]) -> Result<()> {
+        self.journal.record_operations(operations);
+        self.inner.update_partials(operations)
+    }
+
+    fn reset_scale_factors(&mut self, cumulative: usize) -> Result<()> {
+        self.inner.reset_scale_factors(cumulative)
+    }
+
+    fn accumulate_scale_factors(
+        &mut self,
+        scale_indices: &[usize],
+        cumulative: usize,
+    ) -> Result<()> {
+        self.inner.accumulate_scale_factors(scale_indices, cumulative)
+    }
+
+    fn calculate_root_log_likelihoods(
+        &mut self,
+        root_buffer: usize,
+        category_weights_index: usize,
+        frequencies_index: usize,
+        cumulative_scale: Option<usize>,
+    ) -> Result<f64> {
+        let first = self.inner.calculate_root_log_likelihoods(
+            root_buffer,
+            category_weights_index,
+            frequencies_index,
+            cumulative_scale,
+        );
+        if cumulative_scale.is_some() || !Self::numerically_bad(&first) {
+            return first;
+        }
+        let Some(reserved) = self.rescue_cumulative() else {
+            return first;
+        };
+        let cumulative = self.rescale_traversal(reserved)?;
+        let rescued = self.inner.calculate_root_log_likelihoods(
+            root_buffer,
+            category_weights_index,
+            frequencies_index,
+            Some(cumulative),
+        )?;
+        if !rescued.is_finite() {
+            return Err(BeagleError::NumericalFailure(format!(
+                "root log-likelihood {rescued} even after automatic rescaling"
+            )));
+        }
+        self.rescues += 1;
+        Ok(rescued)
+    }
+
+    fn calculate_edge_log_likelihoods(
+        &mut self,
+        parent_buffer: usize,
+        child_buffer: usize,
+        matrix_index: usize,
+        category_weights_index: usize,
+        frequencies_index: usize,
+        cumulative_scale: Option<usize>,
+    ) -> Result<f64> {
+        let first = self.inner.calculate_edge_log_likelihoods(
+            parent_buffer,
+            child_buffer,
+            matrix_index,
+            category_weights_index,
+            frequencies_index,
+            cumulative_scale,
+        );
+        if cumulative_scale.is_some() || !Self::numerically_bad(&first) {
+            return first;
+        }
+        let Some(reserved) = self.rescue_cumulative() else {
+            return first;
+        };
+        let cumulative = self.rescale_traversal(reserved)?;
+        let rescued = self.inner.calculate_edge_log_likelihoods(
+            parent_buffer,
+            child_buffer,
+            matrix_index,
+            category_weights_index,
+            frequencies_index,
+            Some(cumulative),
+        )?;
+        if !rescued.is_finite() {
+            return Err(BeagleError::NumericalFailure(format!(
+                "edge log-likelihood {rescued} even after automatic rescaling"
+            )));
+        }
+        self.rescues += 1;
+        Ok(rescued)
+    }
+
+    fn get_site_log_likelihoods(&self) -> Result<Vec<f64>> {
+        self.inner.get_site_log_likelihoods()
+    }
+
+    fn wait_for_computation(&mut self) -> Result<()> {
+        self.inner.wait_for_computation()
+    }
+
+    fn simulated_time(&self) -> Option<std::time::Duration> {
+        self.inner.simulated_time()
+    }
+
+    fn reset_simulated_time(&mut self) {
+        self.inner.reset_simulated_time()
+    }
+}

@@ -528,15 +528,13 @@ impl<T: Real> BeagleInstance for CpuInstance<T> {
         cumulative_scale: Option<usize>,
     ) -> Result<(f64, f64, f64)> {
         let cfg = self.bufs.config;
-        for idx in [matrix_index, d1_matrix, d2_matrix] {
-            if idx >= self.bufs.matrices.len() {
-                return Err(BeagleError::OutOfRange {
-                    what: "matrix buffer",
-                    index: idx,
-                    limit: self.bufs.matrices.len(),
-                });
-            }
-        }
+        self.bufs.check_integration_indices(
+            &[parent_buffer, child_buffer],
+            &[matrix_index, d1_matrix, d2_matrix],
+            frequencies_index,
+            category_weights_index,
+            cumulative_scale,
+        )?;
         let parent = self.bufs.partials[parent_buffer]
             .as_ref()
             .ok_or(BeagleError::InvalidConfiguration(format!(
@@ -659,19 +657,13 @@ impl<T: Real> BeagleInstance for CpuInstance<T> {
         cumulative_scale: Option<usize>,
     ) -> Result<f64> {
         let cfg = self.bufs.config;
-        let nb = cfg.partials_buffer_count;
-        for (what, idx) in [("parent buffer", parent_buffer), ("child buffer", child_buffer)] {
-            if idx >= nb {
-                return Err(BeagleError::OutOfRange { what, index: idx, limit: nb });
-            }
-        }
-        if matrix_index >= self.bufs.matrices.len() {
-            return Err(BeagleError::OutOfRange {
-                what: "matrix buffer",
-                index: matrix_index,
-                limit: self.bufs.matrices.len(),
-            });
-        }
+        self.bufs.check_integration_indices(
+            &[parent_buffer, child_buffer],
+            &[matrix_index],
+            frequencies_index,
+            category_weights_index,
+            cumulative_scale,
+        )?;
         let parent = self.bufs.partials[parent_buffer]
             .as_ref()
             .ok_or(BeagleError::InvalidConfiguration(format!(

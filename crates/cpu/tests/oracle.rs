@@ -243,7 +243,7 @@ fn tip_partials_match_tip_states() {
     let f = CpuFactory::with_threads(ThreadingModel::Serial, false, 1);
     let mut inst = f.create(&config, Flags::NONE, Flags::NONE).unwrap();
     let eig = case.model.eigen();
-    inst.set_eigen_decomposition(0, &eig.vectors.as_slice(), &eig.inverse_vectors.as_slice(), &eig.values)
+    inst.set_eigen_decomposition(0, eig.vectors.as_slice(), eig.inverse_vectors.as_slice(), &eig.values)
         .unwrap();
     inst.set_state_frequencies(0, case.model.frequencies()).unwrap();
     inst.set_category_rates(&case.rates.rates).unwrap();

@@ -77,10 +77,10 @@ proptest! {
             kernels::rescale_patterns(&mut blocks, &mut scale, s);
         }
         for c in 0..cats {
-            for p in 0..patterns {
+            for (p, &log_scale) in scale.iter().enumerate() {
                 for k in 0..s {
                     let idx = (c * patterns + p) * s + k;
-                    let reconstructed = buf[idx] * scale[p].exp();
+                    let reconstructed = buf[idx] * log_scale.exp();
                     prop_assert!((reconstructed - original[idx]).abs() < 1e-12);
                 }
             }

@@ -229,11 +229,27 @@ pub fn benchmark(problem: &Problem, inst: &mut dyn BeagleInstance, reps: usize) 
 
 /// A manager with every implementation in the workspace registered:
 /// the five CPU models, CUDA, OpenCL-GPU per device, and OpenCL-x86.
-pub fn full_manager() -> ImplementationManager {
+///
+/// Returned as an [`std::sync::Arc`] so multi-device wrappers
+/// ([`beagle_core::PartitionedInstance`]) can keep a handle for failover:
+/// rebuilding replacement children after a device dies requires re-asking
+/// the manager. Plain call sites are unaffected (`&manager` derefs).
+pub fn full_manager() -> std::sync::Arc<ImplementationManager> {
     let mut m = ImplementationManager::new();
     beagle_cpu::register_cpu_factories(&mut m);
     beagle_accel::register_accel_factories(&mut m);
-    m
+    std::sync::Arc::new(m)
+}
+
+/// Like [`full_manager`], but accelerator devices named in `faults` inject
+/// that plan's faults into every driver call (see `beagle_accel::fault`).
+pub fn full_manager_with_faults(
+    faults: &beagle_accel::FaultDirectory,
+) -> std::sync::Arc<ImplementationManager> {
+    let mut m = ImplementationManager::new();
+    beagle_cpu::register_cpu_factories(&mut m);
+    beagle_accel::register_accel_factories_with_faults(&mut m, faults);
+    std::sync::Arc::new(m)
 }
 
 /// Correctness check (genomictest's testing-script role): evaluate on the

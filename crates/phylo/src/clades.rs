@@ -154,7 +154,7 @@ mod tests {
         u.nni(v, &mut rng);
         let d = robinson_foulds(&t, &u);
         // One NNI changes at most two clades (usually exactly one each way).
-        assert!(d >= 1 && d <= 4, "RF after one NNI: {d}");
+        assert!((1..=4).contains(&d), "RF after one NNI: {d}");
     }
 
     #[test]

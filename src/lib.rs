@@ -56,7 +56,7 @@ pub use beagle_mcmc as mcmc;
 pub use beagle_phylo as phylo;
 pub use genomictest as harness;
 
-pub use genomictest::full_manager;
+pub use genomictest::{full_manager, full_manager_with_faults};
 
 /// The convenient single import for applications.
 pub mod prelude {

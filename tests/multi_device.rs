@@ -111,7 +111,7 @@ fn partitioned_details_aggregate() {
 #[test]
 fn ranges_scale_with_device_speed() {
     // A device with 9x the throughput gets ~90% of the patterns.
-    let r = weighted_ranges(1000, &[9.0, 1.0]);
+    let r = weighted_ranges(1000, &[9.0, 1.0]).unwrap();
     assert_eq!(r[0], (0, 900));
     assert_eq!(r[1], (900, 1000));
 }

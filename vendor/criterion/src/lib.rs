@@ -1,0 +1,198 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Implements the API surface the workspace benches use — `Criterion`,
+//! `benchmark_group`, `bench_function`, `bench_with_input`, `Throughput`,
+//! `BenchmarkId`, `criterion_group!`, `criterion_main!` — with a simple
+//! timer: a short warm-up, then a fixed iteration batch whose per-iteration
+//! median is printed as plain text. No statistics, plots, or HTML reports;
+//! good enough to compare kernel variants by eye and to keep `cargo test`
+//! compiling the bench targets.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Measurement/report configuration (most knobs are accepted and ignored).
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 30 }
+    }
+}
+
+/// Units used to report throughput alongside timings.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Elements (e.g. FLOPs) processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A benchmark identifier: function name plus parameter.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `name/parameter`.
+    pub fn new(name: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        BenchmarkId { id: format!("{}/{}", name.into(), parameter) }
+    }
+
+    /// Just the parameter as the id.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId { id: parameter.to_string() }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Passed to benchmark closures; runs and times the measured routine.
+pub struct Bencher {
+    iters: u64,
+    /// Median per-iteration time of the last `iter` call.
+    last_median: Duration,
+}
+
+impl Bencher {
+    /// Time `routine`, recording the median per-iteration duration.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up.
+        std::hint::black_box(routine());
+        let mut samples = Vec::with_capacity(self.iters as usize);
+        for _ in 0..self.iters {
+            let t0 = Instant::now();
+            std::hint::black_box(routine());
+            samples.push(t0.elapsed());
+        }
+        samples.sort_unstable();
+        self.last_median = samples[samples.len() / 2];
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    throughput: Option<Throughput>,
+    criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the per-iteration throughput used in reports.
+    pub fn throughput(&mut self, throughput: Throughput) {
+        self.throughput = Some(throughput);
+    }
+
+    /// Set the number of timed iterations per benchmark.
+    pub fn sample_size(&mut self, n: usize) {
+        self.criterion.sample_size = n.max(1);
+    }
+
+    fn run_one(&mut self, id: &str, f: &mut dyn FnMut(&mut Bencher)) {
+        let mut b = Bencher {
+            iters: self.criterion.sample_size as u64,
+            last_median: Duration::ZERO,
+        };
+        f(&mut b);
+        let per_iter = b.last_median;
+        let rate = match self.throughput {
+            Some(Throughput::Elements(n)) if per_iter > Duration::ZERO => {
+                format!("  ({:.2} Gelem/s)", n as f64 / per_iter.as_secs_f64() / 1e9)
+            }
+            Some(Throughput::Bytes(n)) if per_iter > Duration::ZERO => {
+                format!("  ({:.2} GB/s)", n as f64 / per_iter.as_secs_f64() / 1e9)
+            }
+            _ => String::new(),
+        };
+        println!("{}/{id}: median {per_iter:?}/iter{rate}", self.name);
+    }
+
+    /// Benchmark a closure under a plain name.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) {
+        self.run_one(id, &mut f);
+    }
+
+    /// Benchmark a closure against an input value.
+    pub fn bench_with_input<I: ?Sized, F>(&mut self, id: BenchmarkId, input: &I, mut f: F)
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = id.to_string();
+        self.run_one(&label, &mut |b| f(b, input));
+    }
+
+    /// End the group (report separator).
+    pub fn finish(self) {
+        println!();
+    }
+}
+
+impl Criterion {
+    /// Start a named group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { name: name.into(), throughput: None, criterion: self }
+    }
+
+    /// Benchmark a closure outside any group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) {
+        let mut g = self.benchmark_group("bench");
+        g.bench_function(id, f);
+    }
+}
+
+/// Opaque-value helper re-exported for bench code.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Declare a group of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Declare the bench binary's `main`, running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_and_reports() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("smoke");
+        g.sample_size(3);
+        g.throughput(Throughput::Elements(1000));
+        let mut ran = 0u64;
+        g.bench_function("sum", |b| b.iter(|| (0..100u64).sum::<u64>()));
+        g.bench_with_input(BenchmarkId::new("id", 7), &7usize, |b, &x| {
+            b.iter(|| {
+                ran += 1;
+                x * 2
+            })
+        });
+        g.finish();
+        assert!(ran > 0);
+    }
+}

@@ -1,0 +1,418 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! Implements the subset of proptest the workspace test-suites use:
+//!
+//! * the [`proptest!`] macro (with the `#![proptest_config(..)]` header),
+//! * [`prop_assert!`] / [`prop_assert_eq!`] / [`prop_oneof!`],
+//! * strategies: numeric ranges, [`strategy::Just`], and
+//!   [`collection::vec`] with fixed or ranged length,
+//! * [`ProptestConfig::with_cases`].
+//!
+//! The runner draws each case from a deterministic xoshiro256++ stream
+//! seeded from the test name and case index, so failures are reproducible
+//! run-to-run without regression files. There is **no shrinking**: a failing
+//! case reports the generated inputs verbatim and panics, which is enough
+//! for a CI signal (upstream proptest would additionally minimize them).
+
+/// Deterministic RNG used by the runner (xoshiro256++, SplitMix64-seeded).
+pub struct TestRng {
+    s: [u64; 4],
+}
+
+impl TestRng {
+    /// Seeded generator.
+    pub fn new(seed: u64) -> Self {
+        fn splitmix64(state: &mut u64) -> u64 {
+            *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = *state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+        let mut sm = seed;
+        TestRng {
+            s: [
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+            ],
+        }
+    }
+
+    /// Next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        let s = &mut self.s;
+        let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform `usize` in `[lo, hi)`.
+    pub fn below(&mut self, lo: usize, hi: usize) -> usize {
+        assert!(lo < hi, "empty range");
+        lo + (self.next_u64() as usize) % (hi - lo)
+    }
+}
+
+/// Runner configuration (`#![proptest_config(..)]`).
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of random cases per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// Value-generation strategies.
+pub mod strategy {
+    use super::TestRng;
+
+    /// A source of random values of one type.
+    pub trait Strategy {
+        /// The generated type.
+        type Value;
+
+        /// Draw one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+    }
+
+    impl<T, S: Strategy<Value = T> + ?Sized> Strategy for Box<S> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            (**self).generate(rng)
+        }
+    }
+
+    /// Always yields a clone of the wrapped value.
+    #[derive(Clone, Debug)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    impl Strategy for std::ops::Range<f64> {
+        type Value = f64;
+        fn generate(&self, rng: &mut TestRng) -> f64 {
+            assert!(self.start < self.end, "empty range strategy");
+            self.start + (self.end - self.start) * rng.unit_f64()
+        }
+    }
+
+    impl Strategy for std::ops::Range<f32> {
+        type Value = f32;
+        fn generate(&self, rng: &mut TestRng) -> f32 {
+            assert!(self.start < self.end, "empty range strategy");
+            self.start + (self.end - self.start) * rng.unit_f64() as f32
+        }
+    }
+
+    macro_rules! int_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for std::ops::Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end as i128 - self.start as i128) as u128;
+                    let v = ((rng.next_u64() as u128) % span) as i128;
+                    (self.start as i128 + v) as $t
+                }
+            }
+            impl Strategy for std::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    let (start, end) = (*self.start(), *self.end());
+                    assert!(start <= end, "empty range strategy");
+                    let span = (end as i128 - start as i128) as u128 + 1;
+                    let v = ((rng.next_u64() as u128) % span) as i128;
+                    (start as i128 + v) as $t
+                }
+            }
+        )*};
+    }
+
+    int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    /// Uniform choice between boxed alternatives ([`crate::prop_oneof!`]).
+    pub struct Union<T> {
+        options: Vec<Box<dyn Strategy<Value = T>>>,
+    }
+
+    impl<T> Union<T> {
+        /// A union over the given alternatives (must be non-empty).
+        pub fn new(options: Vec<Box<dyn Strategy<Value = T>>>) -> Self {
+            assert!(!options.is_empty(), "prop_oneof! needs at least one option");
+            Union { options }
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            let i = rng.below(0, self.options.len());
+            self.options[i].generate(rng)
+        }
+    }
+
+    /// Box a strategy for use in a [`Union`].
+    pub fn boxed<S>(s: S) -> Box<dyn Strategy<Value = S::Value>>
+    where
+        S: Strategy + 'static,
+    {
+        Box::new(s)
+    }
+}
+
+/// Collection strategies (`proptest::collection::vec`).
+pub mod collection {
+    use super::strategy::Strategy;
+    use super::TestRng;
+
+    /// Vector length specification: fixed or a range.
+    #[derive(Clone, Debug)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize, // exclusive
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { lo: n, hi: n + 1 }
+        }
+    }
+
+    impl From<std::ops::Range<usize>> for SizeRange {
+        fn from(r: std::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty length range");
+            SizeRange { lo: r.start, hi: r.end }
+        }
+    }
+
+    impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: std::ops::RangeInclusive<usize>) -> Self {
+            SizeRange { lo: *r.start(), hi: *r.end() + 1 }
+        }
+    }
+
+    /// Strategy yielding vectors of values from an element strategy.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// `vec(element, len)` — `len` may be a `usize` or a `usize` range.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy { element, size: size.into() }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = rng.below(self.size.lo, self.size.hi);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// The per-property runner used by the [`proptest!`] expansion.
+pub mod runner {
+    use super::{ProptestConfig, TestRng};
+
+    fn fnv1a(s: &str) -> u64 {
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for b in s.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+        h
+    }
+
+    /// Run `body` for each case with a deterministic per-case RNG.
+    pub fn run(config: &ProptestConfig, test_name: &str, mut body: impl FnMut(&mut TestRng, u32)) {
+        let base = fnv1a(test_name);
+        for case in 0..config.cases {
+            let mut rng = TestRng::new(base ^ (0x9E37_79B9_7F4A_7C15u64.wrapping_mul(case as u64 + 1)));
+            body(&mut rng, case);
+        }
+    }
+
+    /// Drop guard that reports the case's inputs if the body panics.
+    pub struct PanicReport {
+        message: Option<String>,
+    }
+
+    impl PanicReport {
+        /// Arm the guard with a description of the generated inputs.
+        pub fn arm(test_name: &str, case: u32, inputs: String) -> Self {
+            PanicReport {
+                message: Some(format!(
+                    "proptest {test_name}: case #{case} failed with inputs: {inputs}"
+                )),
+            }
+        }
+
+        /// The case passed; do not report.
+        pub fn disarm(mut self) {
+            self.message = None;
+        }
+    }
+
+    impl Drop for PanicReport {
+        fn drop(&mut self) {
+            if let Some(msg) = self.message.take() {
+                if std::thread::panicking() {
+                    eprintln!("{msg}");
+                }
+            }
+        }
+    }
+}
+
+/// Everything a proptest file imports.
+pub mod prelude {
+    pub use crate::collection;
+    pub use crate::strategy::{Just, Strategy, Union};
+    pub use crate::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_oneof, proptest};
+}
+
+/// Property assertion; panics with a message on failure.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        assert!($cond)
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        assert!($cond, $($fmt)*)
+    };
+}
+
+/// Property equality assertion.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {
+        assert_eq!($a, $b)
+    };
+    ($a:expr, $b:expr, $($fmt:tt)*) => {
+        assert_eq!($a, $b, $($fmt)*)
+    };
+}
+
+/// Uniform choice among strategies yielding the same type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($s:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![$($crate::strategy::boxed($s)),+])
+    };
+}
+
+/// The property-test declaration macro.
+///
+/// Accepts an optional `#![proptest_config(expr)]` header followed by
+/// `#[test] fn name(arg in strategy, ...) { body }` items.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items!{ ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items!{ ($crate::ProptestConfig::default()); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (($cfg:expr);) => {};
+    (($cfg:expr);
+     $(#[$meta:meta])*
+     fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __config = $cfg;
+            $crate::runner::run(&__config, stringify!($name), |__rng, __case| {
+                $(let $arg = $crate::strategy::Strategy::generate(&($strat), __rng);)+
+                let __inputs = {
+                    let mut s = String::new();
+                    $(
+                        s.push_str(concat!(stringify!($arg), " = "));
+                        s.push_str(&format!("{:?}, ", $arg));
+                    )+
+                    s
+                };
+                let __report = $crate::runner::PanicReport::arm(stringify!($name), __case, __inputs);
+                { $body }
+                __report.disarm();
+            });
+        }
+        $crate::__proptest_items!{ ($cfg); $($rest)* }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_in_bounds(x in 3usize..10, f in -2.0f64..2.0) {
+            prop_assert!((3..10).contains(&x));
+            prop_assert!((-2.0..2.0).contains(&f));
+        }
+
+        #[test]
+        fn vec_lengths_respected(v in collection::vec(0u32..4, 1..40)) {
+            prop_assert!(!v.is_empty() && v.len() < 40);
+            prop_assert!(v.iter().all(|&x| x < 4));
+        }
+
+        #[test]
+        fn oneof_picks_listed(x in prop_oneof![Just(4usize), Just(8)]) {
+            prop_assert!(x == 4 || x == 8);
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let mut first = Vec::new();
+        let mut second = Vec::new();
+        for out in [&mut first, &mut second] {
+            crate::runner::run(
+                &ProptestConfig::with_cases(5),
+                "deterministic_across_runs",
+                |rng, _| out.push(rng.next_u64()),
+            );
+        }
+        assert_eq!(first, second);
+    }
+}
