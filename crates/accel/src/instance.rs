@@ -180,8 +180,18 @@ impl<T: Real, D: Dialect> AccelInstance<T, D> {
         }
     }
 
-    /// One operation on the simulated GPU.
-    fn execute_op_gpu(&mut self, op: &Operation) {
+    /// One operation on the simulated GPU. The two overhead parameters are
+    /// the host-side launch cost charged for the partials kernel and the
+    /// optional rescale kernel: the eager path charges the full dialect
+    /// overhead for every launch, while the level-batched path (see
+    /// `update_partials_by_levels`) submits a whole dependency level to one
+    /// stream and so charges the overhead only for the level's first launch.
+    fn execute_op_gpu(
+        &mut self,
+        op: &Operation,
+        partials_overhead_us: f64,
+        rescale_overhead_us: f64,
+    ) {
         let cfg = self.bufs.config;
         let (s, n_pat, n_cat) = (cfg.state_count, cfg.pattern_count, cfg.category_count);
         let mut dest = self.bufs.take_destination(op.destination);
@@ -212,7 +222,7 @@ impl<T: Real, D: Dialect> AccelInstance<T, D> {
             s,
             elem == 8,
             self.fma_enabled,
-            D::launch_overhead_us(),
+            partials_overhead_us,
         ));
 
         if let Some(si) = op.dest_scale_write {
@@ -225,10 +235,30 @@ impl<T: Real, D: Dialect> AccelInstance<T, D> {
                 s,
                 elem == 8,
                 self.fma_enabled,
-                D::launch_overhead_us(),
+                rescale_overhead_us,
             ));
         }
         self.bufs.restore_destination(op.destination, dest);
+    }
+
+    /// Validate an operation list the way `update_partials` does.
+    fn validate_operations(&self, operations: &[Operation]) -> Result<()> {
+        let mut produced = std::collections::HashSet::new();
+        for op in operations {
+            self.bufs.check_operation_indices(op)?;
+            for child in [op.child1, op.child2] {
+                let exists = self.bufs.partials[child].is_some()
+                    || self.bufs.tip_states[child].is_some()
+                    || produced.contains(&child);
+                if !exists {
+                    return Err(BeagleError::InvalidConfiguration(format!(
+                        "operation reads buffer {child} before it was computed"
+                    )));
+                }
+            }
+            produced.insert(op.destination);
+        }
+        Ok(())
     }
 
     /// One operation on the real-execution x86 device: work-groups run as
@@ -548,30 +578,49 @@ impl<T: Real, D: Dialect> BeagleInstance for AccelInstance<T, D> {
     }
 
     fn update_partials(&mut self, operations: &[Operation]) -> Result<()> {
-        let mut produced = std::collections::HashSet::new();
-        for op in operations {
-            self.bufs.check_operation_indices(op)?;
-            for child in [op.child1, op.child2] {
-                let exists = self.bufs.partials[child].is_some()
-                    || self.bufs.tip_states[child].is_some()
-                    || produced.contains(&child);
-                if !exists {
-                    return Err(BeagleError::InvalidConfiguration(format!(
-                        "operation reads buffer {child} before it was computed"
-                    )));
-                }
-            }
-            produced.insert(op.destination);
-        }
+        self.validate_operations(operations)?;
         for op in operations {
             let corrupt = self.inject(FaultSite::KernelLaunch)?;
             if self.is_simulated() {
-                self.execute_op_gpu(op);
+                let overhead = D::launch_overhead_us();
+                self.execute_op_gpu(op, overhead, overhead);
             } else {
                 self.execute_op_x86(op);
             }
             if corrupt {
                 self.poison_partials(op.destination);
+            }
+        }
+        Ok(())
+    }
+
+    fn update_partials_by_levels(&mut self, levels: &[Vec<Operation>]) -> Result<()> {
+        let flat: Vec<Operation> = levels.iter().flatten().copied().collect();
+        self.validate_operations(&flat)?;
+        if !self.is_simulated() {
+            // The x86 device executes for real on host threads; there is no
+            // launch-overhead model to batch away.
+            for op in &flat {
+                let corrupt = self.inject(FaultSite::KernelLaunch)?;
+                self.execute_op_x86(op);
+                if corrupt {
+                    self.poison_partials(op.destination);
+                }
+            }
+            return Ok(());
+        }
+        // Batched submission: each dependency level goes to one simulated
+        // stream, so the host pays the launch overhead once per level — the
+        // per-op kernel (and any rescale) rides the same submission. Fault
+        // checkpoints stay per-launch, matching the eager schedule.
+        for level in levels {
+            for (i, op) in level.iter().enumerate() {
+                let corrupt = self.inject(FaultSite::KernelLaunch)?;
+                let overhead = if i == 0 { D::launch_overhead_us() } else { 0.0 };
+                self.execute_op_gpu(op, overhead, 0.0);
+                if corrupt {
+                    self.poison_partials(op.destination);
+                }
             }
         }
         Ok(())

@@ -214,6 +214,20 @@ pub trait BeagleInstance: Send {
     /// computational bottleneck this library exists to accelerate.
     fn update_partials(&mut self, operations: &[Operation]) -> Result<()>;
 
+    /// Run pre-scheduled dependency levels of operations: all operations in
+    /// one level are mutually independent and each level only reads buffers
+    /// produced by earlier levels (the output of
+    /// [`crate::ops::dependency_levels`]). Back-ends override this to submit
+    /// each level as one batch — a single stream submission on accelerators,
+    /// a single pool dispatch on threaded CPUs. The default just replays the
+    /// levels in order, which is always correct.
+    fn update_partials_by_levels(&mut self, levels: &[Vec<Operation>]) -> Result<()> {
+        for level in levels {
+            self.update_partials(level)?;
+        }
+        Ok(())
+    }
+
     /// Zero cumulative scale buffer `cumulative`.
     fn reset_scale_factors(&mut self, cumulative: usize) -> Result<()>;
 
@@ -267,6 +281,13 @@ pub trait BeagleInstance: Send {
 
     /// Reset the simulated device clock (no-op for wall-clock back-ends).
     fn reset_simulated_time(&mut self) {}
+
+    /// Operation-queue and eigen-cache counters, when this instance (or one
+    /// it wraps) defers execution through a [`crate::queue::QueuedInstance`].
+    /// `None` for eager instances.
+    fn queue_stats(&self) -> Option<crate::queue::QueueStats> {
+        None
+    }
 }
 
 #[cfg(test)]

@@ -58,6 +58,14 @@ flags! {
     SCALING_MANUAL = 14;
     /// Implementation may pad patterns to a work-group multiple.
     PATTERN_PADDING = 15;
+    /// Eager execution: every API call runs to completion before returning
+    /// (the default). Mutually exclusive with `COMPUTATION_ASYNCH`.
+    COMPUTATION_SYNCH = 16;
+    /// Deferred execution: mutating calls enqueue onto an operation queue
+    /// that is flushed in dependency-level batches when a result is needed.
+    /// Handled by the implementation manager (see `crate::queue`), not by
+    /// individual back-end factories.
+    COMPUTATION_ASYNCH = 17;
 }
 
 impl Flags {
@@ -82,6 +90,11 @@ impl Flags {
     /// True if no flags are set.
     pub fn is_empty(self) -> bool {
         self.0 == 0
+    }
+
+    /// The set difference: every bit of `self` that is not in `other`.
+    pub fn without(self, other: Flags) -> Flags {
+        Flags(self.0 & !other.0)
     }
 }
 

@@ -14,6 +14,7 @@
 //!
 //! * [`api`] — the [`api::BeagleInstance`] trait and instance configuration
 //! * [`ops`] — partial-likelihood operation descriptors + dependency analysis
+//! * [`queue`] — deferred execution: operation queue + eigen/matrix caching
 //! * [`flags`] — capability/preference/requirement bitmask
 //! * [`buffers`] — the shared buffer arena CPU back-ends build on
 //! * [`manager`] — plugin registry and implementation selection
@@ -34,6 +35,7 @@ pub mod journal;
 pub mod manager;
 pub mod multi;
 pub mod ops;
+pub mod queue;
 pub mod real;
 pub mod rescue;
 pub mod resource;
@@ -45,6 +47,7 @@ pub use flags::Flags;
 pub use manager::{ImplementationFactory, ImplementationManager};
 pub use multi::PartitionedInstance;
 pub use ops::Operation;
+pub use queue::{EigenCache, QueueStats, QueuedInstance};
 pub use real::Real;
 pub use resource::ResourceDescription;
 

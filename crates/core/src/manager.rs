@@ -96,6 +96,14 @@ impl ImplementationManager {
     /// [`crate::rescue::RescueInstance`]: root/edge integrations that fail
     /// numerically without scaling are transparently re-run with
     /// per-pattern rescaling (see the module docs of [`crate::rescue`]).
+    ///
+    /// Execution mode ([`Flags::COMPUTATION_SYNCH`] /
+    /// [`Flags::COMPUTATION_ASYNCH`]) is a manager-level feature, not a
+    /// back-end capability: both bits are stripped before factory filtering
+    /// and scoring. Asking for `COMPUTATION_ASYNCH` (as a requirement or a
+    /// preference) wraps the back-end in a [`crate::queue::QueuedInstance`]
+    /// before the rescue layer, so deferred batches still get numerical
+    /// rescue at the integration points.
     pub fn create_instance(
         &self,
         config: &InstanceConfig,
@@ -103,6 +111,10 @@ impl ImplementationManager {
         requirement_flags: Flags,
     ) -> Result<Box<dyn BeagleInstance>> {
         config.validate()?;
+        let queue_bits = Flags::COMPUTATION_SYNCH | Flags::COMPUTATION_ASYNCH;
+        let asynch = (preference_flags | requirement_flags).contains(Flags::COMPUTATION_ASYNCH);
+        let preference_flags = preference_flags.without(queue_bits);
+        let requirement_flags = requirement_flags.without(queue_bits);
         let mut eligible: Vec<(&dyn ImplementationFactory, u32)> = self
             .factories
             .iter()
@@ -121,7 +133,14 @@ impl ImplementationManager {
         let mut last_err = BeagleError::NoImplementationFound;
         for (factory, _) in eligible {
             match factory.create(config, preference_flags, requirement_flags) {
-                Ok(inst) => return Ok(Box::new(crate::rescue::RescueInstance::new(inst))),
+                Ok(inst) => {
+                    let inst: Box<dyn BeagleInstance> = if asynch {
+                        Box::new(crate::queue::QueuedInstance::new(inst))
+                    } else {
+                        inst
+                    };
+                    return Ok(Box::new(crate::rescue::RescueInstance::new(inst)));
+                }
                 Err(e) => last_err = e,
             }
         }
@@ -131,6 +150,11 @@ impl ImplementationManager {
     /// Create an instance of the implementation with exactly this name
     /// (names are unique per registry). Used by the benchmark harness to pin
     /// a specific implementation regardless of flag-based ranking.
+    ///
+    /// [`Flags::COMPUTATION_ASYNCH`] in the preferences wraps the instance
+    /// in a [`crate::queue::QueuedInstance`], exactly as in
+    /// [`Self::create_instance`] (no rescue layer here — this path is for
+    /// harnesses that want the raw implementation).
     pub fn create_instance_by_name(
         &self,
         name: &str,
@@ -138,6 +162,9 @@ impl ImplementationManager {
         preference_flags: Flags,
     ) -> Result<Box<dyn BeagleInstance>> {
         config.validate()?;
+        let queue_bits = Flags::COMPUTATION_SYNCH | Flags::COMPUTATION_ASYNCH;
+        let asynch = preference_flags.contains(Flags::COMPUTATION_ASYNCH);
+        let preference_flags = preference_flags.without(queue_bits);
         let factory = self
             .factories
             .iter()
@@ -146,7 +173,12 @@ impl ImplementationManager {
         if !factory.supports_config(config) {
             return Err(BeagleError::Unsupported("configuration for this implementation"));
         }
-        factory.create(config, preference_flags, Flags::NONE)
+        let inst = factory.create(config, preference_flags, Flags::NONE)?;
+        Ok(if asynch {
+            Box::new(crate::queue::QueuedInstance::new(inst))
+        } else {
+            inst
+        })
     }
 }
 
@@ -377,6 +409,44 @@ mod tests {
         m.register(Box::new(BrokenFactory { priority: 0 }));
         let err = m.create_instance(&cfg(), Flags::NONE, Flags::NONE).err();
         assert!(matches!(err, Some(BeagleError::Device { .. })), "{err:?}");
+    }
+
+    #[test]
+    fn queue_mode_bits_do_not_affect_selection() {
+        let mut m = ImplementationManager::new();
+        // No factory advertises the computation-mode bits...
+        m.register(Box::new(NullFactory {
+            name: "cpu",
+            flags: Flags::PROCESSOR_CPU,
+            priority: 0,
+        }));
+        // ...yet requiring ASYNCH must still find it (manager-level feature).
+        let inst = m
+            .create_instance(&cfg(), Flags::NONE, Flags::COMPUTATION_ASYNCH)
+            .unwrap();
+        assert!(inst.details().flags.contains(Flags::COMPUTATION_ASYNCH));
+        assert!(inst.queue_stats().is_some(), "queued wrapper installed");
+        // SYNCH (or no mode at all) stays eager: no queue counters.
+        let inst = m
+            .create_instance(&cfg(), Flags::COMPUTATION_SYNCH, Flags::NONE)
+            .unwrap();
+        assert!(inst.queue_stats().is_none());
+    }
+
+    #[test]
+    fn by_name_honours_asynch_preference() {
+        let mut m = ImplementationManager::new();
+        m.register(Box::new(NullFactory {
+            name: "cpu",
+            flags: Flags::PROCESSOR_CPU,
+            priority: 0,
+        }));
+        let inst = m
+            .create_instance_by_name("cpu", &cfg(), Flags::COMPUTATION_ASYNCH)
+            .unwrap();
+        assert!(inst.queue_stats().is_some());
+        let inst = m.create_instance_by_name("cpu", &cfg(), Flags::NONE).unwrap();
+        assert!(inst.queue_stats().is_none());
     }
 
     #[test]

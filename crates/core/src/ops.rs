@@ -72,6 +72,44 @@ pub fn dependency_levels(operations: &[Operation]) -> Vec<Vec<Operation>> {
     levels
 }
 
+/// Split a sequential operation list into *hazard-free segments*: within one
+/// segment no buffer is written twice (WAW) and no buffer is written after an
+/// earlier operation read it (WAR), and no scale buffer is written twice —
+/// exactly the conditions under which [`dependency_levels`] scheduling of the
+/// segment is equivalent to sequential execution. A single tree traversal is
+/// one segment; merged batches of repeated traversals (as an operation queue
+/// accumulates across MCMC iterations) split at each rewrite boundary.
+pub fn hazard_free_segments(operations: &[Operation]) -> Vec<Vec<Operation>> {
+    use std::collections::HashSet;
+    let mut segments: Vec<Vec<Operation>> = Vec::new();
+    let mut current: Vec<Operation> = Vec::new();
+    let mut written: HashSet<usize> = HashSet::new();
+    let mut read: HashSet<usize> = HashSet::new();
+    let mut scaled: HashSet<usize> = HashSet::new();
+    for &op in operations {
+        let waw = written.contains(&op.destination);
+        let war = read.contains(&op.destination);
+        let scale_conflict = op.dest_scale_write.is_some_and(|s| scaled.contains(&s));
+        if (waw || war || scale_conflict) && !current.is_empty() {
+            segments.push(std::mem::take(&mut current));
+            written.clear();
+            read.clear();
+            scaled.clear();
+        }
+        written.insert(op.destination);
+        read.insert(op.child1);
+        read.insert(op.child2);
+        if let Some(s) = op.dest_scale_write {
+            scaled.insert(s);
+        }
+        current.push(op);
+    }
+    if !current.is_empty() {
+        segments.push(current);
+    }
+    segments
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -122,5 +160,97 @@ mod tests {
     fn scaling_builder() {
         let o = Operation::new(3, 0, 0, 1, 1).with_scaling(7);
         assert_eq!(o.dest_scale_write, Some(7));
+    }
+
+    #[test]
+    fn empty_list_has_no_levels() {
+        assert!(dependency_levels(&[]).is_empty());
+        assert!(hazard_free_segments(&[]).is_empty());
+    }
+
+    #[test]
+    fn single_chain_is_one_op_per_level() {
+        let ops = [op(2, 0, 1), op(3, 2, 1), op(4, 3, 0)];
+        let levels = dependency_levels(&ops);
+        assert_eq!(levels.len(), 3);
+        for (i, level) in levels.iter().enumerate() {
+            assert_eq!(level.len(), 1);
+            assert_eq!(level[0], ops[i]);
+        }
+    }
+
+    #[test]
+    fn diamond_dependencies_meet_at_the_join() {
+        // One shared child feeds two independent parents which then join:
+        //   4 <- (0,1), 5 <- (4,2), 6 <- (4,3), 7 <- (5,6).
+        let ops = [op(4, 0, 1), op(5, 4, 2), op(6, 4, 3), op(7, 5, 6)];
+        let levels = dependency_levels(&ops);
+        assert_eq!(levels.len(), 3);
+        assert_eq!(levels[0], vec![ops[0]]);
+        assert_eq!(levels[1], vec![ops[1], ops[2]], "both diamond arms share a level");
+        assert_eq!(levels[2], vec![ops[3]]);
+    }
+
+    #[test]
+    fn scaling_indices_do_not_affect_leveling() {
+        let plain = [op(4, 0, 1), op(5, 2, 3), op(6, 4, 5)];
+        let scaled: Vec<Operation> =
+            plain.iter().map(|o| o.with_scaling(o.destination)).collect();
+        let lp = dependency_levels(&plain);
+        let ls = dependency_levels(&scaled);
+        assert_eq!(lp.len(), ls.len());
+        for (a, b) in lp.iter().zip(&ls) {
+            let da: Vec<usize> = a.iter().map(|o| o.destination).collect();
+            let db: Vec<usize> = b.iter().map(|o| o.destination).collect();
+            assert_eq!(da, db);
+        }
+        // And the scale targets survive scheduling untouched.
+        assert_eq!(ls[1][0].dest_scale_write, Some(6));
+    }
+
+    #[test]
+    fn single_traversal_is_one_hazard_free_segment() {
+        let ops = [op(4, 0, 1), op(5, 2, 3), op(6, 4, 5)];
+        let segments = hazard_free_segments(&ops);
+        assert_eq!(segments.len(), 1);
+        assert_eq!(segments[0], ops.to_vec());
+    }
+
+    #[test]
+    fn repeated_traversals_split_at_rewrite_boundaries() {
+        // The same traversal queued twice: the second rewrite of buffer 4 is
+        // a WAW hazard and must start a new segment.
+        let t = [op(4, 0, 1), op(5, 2, 3), op(6, 4, 5)];
+        let merged: Vec<Operation> = t.iter().chain(t.iter()).copied().collect();
+        let segments = hazard_free_segments(&merged);
+        assert_eq!(segments.len(), 2);
+        assert_eq!(segments[0], t.to_vec());
+        assert_eq!(segments[1], t.to_vec());
+    }
+
+    #[test]
+    fn write_after_read_splits_a_segment() {
+        // op reads buffer 4, then a later op overwrites 4: scheduling both in
+        // one leveled batch could reorder them, so they must split.
+        let ops = [op(5, 4, 0), op(4, 1, 2)];
+        let segments = hazard_free_segments(&ops);
+        assert_eq!(segments.len(), 2);
+        assert_eq!(segments[0][0].destination, 5);
+        assert_eq!(segments[1][0].destination, 4);
+    }
+
+    #[test]
+    fn scale_buffer_reuse_splits_a_segment() {
+        // Distinct destinations but the same scale target: the second write
+        // to scale buffer 9 starts a new segment.
+        let ops = [
+            op(4, 0, 1).with_scaling(9),
+            op(5, 2, 3).with_scaling(9),
+            op(6, 4, 5),
+        ];
+        let segments = hazard_free_segments(&ops);
+        assert_eq!(segments.len(), 2);
+        assert_eq!(segments[0].len(), 1);
+        assert_eq!(segments[1].len(), 2);
     }
 }

@@ -201,6 +201,15 @@ impl BeagleInstance for RescueInstance {
         self.inner.update_partials(operations)
     }
 
+    fn update_partials_by_levels(&mut self, levels: &[Vec<Operation>]) -> Result<()> {
+        // Level-batched submissions (from an outer operation queue) carry
+        // the same traversal; journal it so rescue can replay it.
+        for level in levels {
+            self.journal.record_operations(level);
+        }
+        self.inner.update_partials_by_levels(levels)
+    }
+
     fn reset_scale_factors(&mut self, cumulative: usize) -> Result<()> {
         self.inner.reset_scale_factors(cumulative)
     }
@@ -303,5 +312,9 @@ impl BeagleInstance for RescueInstance {
 
     fn reset_simulated_time(&mut self) {
         self.inner.reset_simulated_time()
+    }
+
+    fn queue_stats(&self) -> Option<crate::queue::QueueStats> {
+        self.inner.queue_stats()
     }
 }

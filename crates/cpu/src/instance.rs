@@ -299,52 +299,162 @@ impl<T: Real> CpuInstance<T> {
     /// Futures model: operations that are independent in the tree run as
     /// concurrent async tasks; pattern ranges are NOT split (§VI-A).
     fn execute_ops_futures(&mut self, operations: &[Operation]) {
-        let vectorized = self.use_vector_kernels();
         for level in dependency_levels(operations) {
-            if level.len() == 1 {
-                self.execute_op_serial(&level[0]);
-                continue;
+            self.execute_level_concurrent(&level);
+        }
+    }
+
+    /// True if two operations in `level` share a destination or scale
+    /// target — scheduling them concurrently would race, so batched paths
+    /// fall back to sequential execution. Level plans built by
+    /// `beagle_core::ops` never trip this; it guards hand-built plans.
+    fn level_has_output_conflict(level: &[Operation]) -> bool {
+        let mut dests = std::collections::HashSet::new();
+        let mut scales = std::collections::HashSet::new();
+        level.iter().any(|op| {
+            !dests.insert(op.destination)
+                || op.dest_scale_write.is_some_and(|s| !scales.insert(s))
+        })
+    }
+
+    /// One level of mutually independent operations, each as its own
+    /// full-pattern-range task on a scoped thread (the futures model).
+    fn execute_level_concurrent(&mut self, level: &[Operation]) {
+        let vectorized = self.use_vector_kernels();
+        if level.len() == 1 {
+            self.execute_op_serial(&level[0]);
+            return;
+        }
+        if Self::level_has_output_conflict(level) {
+            for op in level {
+                self.execute_op_serial(op);
             }
-            // Take every destination (and scale target) out of the arena so
-            // each task owns its output while sharing read access to inputs.
-            let mut outputs: Vec<(Vec<T>, Option<Vec<T>>)> = level
-                .iter()
-                .map(|op| {
-                    let dest = self.bufs.take_destination(op.destination);
-                    let scale = op
-                        .dest_scale_write
-                        .map(|si| std::mem::take(&mut self.bufs.scale_buffers[si]));
-                    (dest, scale)
-                })
-                .collect();
-            {
-                let bufs = &self.bufs;
+            return;
+        }
+        // Take every destination (and scale target) out of the arena so
+        // each task owns its output while sharing read access to inputs.
+        let mut outputs: Vec<(Vec<T>, Option<Vec<T>>)> = level
+            .iter()
+            .map(|op| {
+                let dest = self.bufs.take_destination(op.destination);
+                let scale = op
+                    .dest_scale_write
+                    .map(|si| std::mem::take(&mut self.bufs.scale_buffers[si]));
+                (dest, scale)
+            })
+            .collect();
+        {
+            let bufs = &self.bufs;
+            std::thread::scope(|scope| {
+                for (op, (dest, scale)) in level.iter().zip(outputs.iter_mut()) {
+                    let full_range = [(0, bufs.config.pattern_count)];
+                    scope.spawn(move || {
+                        let tasks = Self::build_chunk_tasks(
+                            bufs,
+                            dest,
+                            scale.as_deref_mut(),
+                            op,
+                            &full_range,
+                            vectorized,
+                        );
+                        for t in tasks {
+                            t();
+                        }
+                    });
+                }
+            });
+        }
+        for (op, (dest, scale)) in level.iter().zip(outputs) {
+            if let (Some(si), Some(sc)) = (op.dest_scale_write, scale) {
+                self.bufs.scale_buffers[si] = sc;
+            }
+            self.bufs.restore_destination(op.destination, dest);
+        }
+    }
+
+    /// One level of mutually independent operations as a single batched
+    /// dispatch: the per-op pattern-range chunk tasks of the whole level are
+    /// gathered and submitted in one `run_batch` (thread-pool) or one thread
+    /// scope (thread-create). Chunk boundaries are identical to the eager
+    /// per-op path, so results stay bit-for-bit equal.
+    fn execute_level_chunked(&mut self, level: &[Operation], use_pool: bool) {
+        if level.len() == 1 {
+            self.execute_op_chunked(&level[0], use_pool);
+            return;
+        }
+        if Self::level_has_output_conflict(level) {
+            for op in level {
+                self.execute_op_chunked(op, use_pool);
+            }
+            return;
+        }
+        let vectorized = self.use_vector_kernels();
+        let n_pat = self.bufs.config.pattern_count;
+        let ranges = partition_range(n_pat, self.threading.thread_count());
+        let mut outputs: Vec<(Vec<T>, Option<Vec<T>>)> = level
+            .iter()
+            .map(|op| {
+                let dest = self.bufs.take_destination(op.destination);
+                let scale = op
+                    .dest_scale_write
+                    .map(|si| std::mem::take(&mut self.bufs.scale_buffers[si]));
+                (dest, scale)
+            })
+            .collect();
+        {
+            let bufs = &self.bufs;
+            let mut tasks: Vec<Box<dyn FnOnce() + Send + '_>> =
+                Vec::with_capacity(level.len() * ranges.len());
+            for (op, (dest, scale)) in level.iter().zip(outputs.iter_mut()) {
+                tasks.extend(Self::build_chunk_tasks(
+                    bufs,
+                    dest,
+                    scale.as_deref_mut(),
+                    op,
+                    &ranges,
+                    vectorized,
+                ));
+            }
+            if use_pool {
+                let Threading::ThreadPool { pool } = &self.threading else {
+                    unreachable!("use_pool implies pool strategy")
+                };
+                pool.run_batch(tasks);
+            } else {
                 std::thread::scope(|scope| {
-                    for (op, (dest, scale)) in level.iter().zip(outputs.iter_mut()) {
-                        let full_range = [(0, bufs.config.pattern_count)];
-                        scope.spawn(move || {
-                            let tasks = Self::build_chunk_tasks(
-                                bufs,
-                                dest,
-                                scale.as_deref_mut(),
-                                op,
-                                &full_range,
-                                vectorized,
-                            );
-                            for t in tasks {
-                                t();
-                            }
-                        });
+                    for t in tasks {
+                        scope.spawn(t);
                     }
                 });
             }
-            for (op, (dest, scale)) in level.iter().zip(outputs) {
-                if let (Some(si), Some(sc)) = (op.dest_scale_write, scale) {
-                    self.bufs.scale_buffers[si] = sc;
-                }
-                self.bufs.restore_destination(op.destination, dest);
-            }
         }
+        for (op, (dest, scale)) in level.iter().zip(outputs) {
+            if let (Some(si), Some(sc)) = (op.dest_scale_write, scale) {
+                self.bufs.scale_buffers[si] = sc;
+            }
+            self.bufs.restore_destination(op.destination, dest);
+        }
+    }
+
+    /// Validate an operation list: indices in range, every child readable
+    /// (tip, previously computed partials, or produced earlier in the list).
+    fn validate_operations(&self, operations: &[Operation]) -> Result<()> {
+        let mut produced = std::collections::HashSet::new();
+        for op in operations {
+            self.bufs.check_operation_indices(op)?;
+            for child in [op.child1, op.child2] {
+                let exists = self.bufs.partials[child].is_some()
+                    || self.bufs.tip_states[child].is_some()
+                    || produced.contains(&child);
+                if !exists {
+                    return Err(BeagleError::InvalidConfiguration(format!(
+                        "operation reads buffer {child} before it was computed"
+                    )));
+                }
+            }
+            produced.insert(op.destination);
+        }
+        Ok(())
     }
 
     /// Root integration, optionally parallelized over patterns on the pool.
@@ -582,21 +692,7 @@ impl<T: Real> BeagleInstance for CpuInstance<T> {
     fn update_partials(&mut self, operations: &[Operation]) -> Result<()> {
         // Validate everything up front; ops later in the list may read
         // destinations produced by earlier ops in the same call.
-        let mut produced = std::collections::HashSet::new();
-        for op in operations {
-            self.bufs.check_operation_indices(op)?;
-            for child in [op.child1, op.child2] {
-                let exists = self.bufs.partials[child].is_some()
-                    || self.bufs.tip_states[child].is_some()
-                    || produced.contains(&child);
-                if !exists {
-                    return Err(BeagleError::InvalidConfiguration(format!(
-                        "operation reads buffer {child} before it was computed"
-                    )));
-                }
-            }
-            produced.insert(op.destination);
-        }
+        self.validate_operations(operations)?;
 
         let n_pat = self.bufs.config.pattern_count;
         match self.threading {
@@ -613,6 +709,43 @@ impl<T: Real> BeagleInstance for CpuInstance<T> {
                         self.execute_op_serial(op);
                     } else {
                         self.execute_op_chunked(op, use_pool);
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn update_partials_by_levels(&mut self, levels: &[Vec<Operation>]) -> Result<()> {
+        let flat: Vec<Operation> = levels.iter().flatten().copied().collect();
+        self.validate_operations(&flat)?;
+
+        let n_pat = self.bufs.config.pattern_count;
+        match self.threading {
+            Threading::Serial => {
+                for op in &flat {
+                    self.execute_op_serial(op);
+                }
+            }
+            // The futures model is already level-structured: run each given
+            // level as one wave of scoped tasks.
+            Threading::Futures => {
+                for level in levels {
+                    self.execute_level_concurrent(level);
+                }
+            }
+            Threading::ThreadCreate { .. } | Threading::ThreadPool { .. } => {
+                let use_pool = matches!(self.threading, Threading::ThreadPool { .. });
+                if n_pat < self.min_patterns {
+                    // Below the threading threshold batching buys nothing.
+                    for op in &flat {
+                        self.execute_op_serial(op);
+                    }
+                } else {
+                    // One dispatch per dependency level instead of one per
+                    // operation — the batching win the queue is after.
+                    for level in levels {
+                        self.execute_level_chunked(level, use_pool);
                     }
                 }
             }

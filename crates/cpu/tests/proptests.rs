@@ -1,9 +1,16 @@
 //! Property-based tests for the CPU kernels and threading machinery.
 
-use beagle_core::GAP_STATE;
+use beagle_core::{
+    BeagleInstance, Flags, ImplementationFactory, Operation, QueuedInstance, GAP_STATE,
+};
 use beagle_cpu::pool::partition_range;
-use beagle_cpu::{kernels, vector};
+use beagle_cpu::{kernels, vector, CpuFactory, ThreadingModel};
+use beagle_phylo::models::nucleotide;
+use beagle_phylo::simulate::simulate_alignment;
+use beagle_phylo::{SitePatterns, SiteRates, Tree};
 use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
 
 /// Strategy: a vector of positive likelihood-like values.
 fn partials(len: usize) -> impl Strategy<Value = Vec<f64>> {
@@ -154,5 +161,108 @@ proptest! {
         let t1 = kernels::integrate_root(&mut site, &root[..n], &freqs, &catw, &w1, None, s, patterns, 0);
         let t2 = kernels::integrate_root(&mut site, &root[..n], &freqs, &catw, &w2, None, s, patterns, 0);
         prop_assert!((t2 - alpha * t1).abs() < 1e-9 * t1.abs().max(1.0));
+    }
+
+    /// Deferred execution through the operation queue (with the eigen/matrix
+    /// cache) is bit-for-bit identical to eager execution on random trees —
+    /// root log-likelihood, site log-likelihoods, and every internal
+    /// partials buffer — scaled and unscaled, and stays identical when the
+    /// same model is re-proposed (the cache-hit path).
+    #[test]
+    fn queued_cpu_equals_eager_bit_for_bit(
+        taxa in 3usize..8,
+        sites in 4usize..40,
+        seed in 0u64..1_000_000,
+        kappa in 1.0f64..8.0,
+        scaled_sel in 0u32..2,
+    ) {
+        let scaled = scaled_sel == 1;
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let tree = Tree::random(taxa, 0.12, &mut rng);
+        let model = nucleotide::hky85(kappa, &[0.1, 0.2, 0.3, 0.4]);
+        let rates = SiteRates::discrete_gamma(0.5, 2);
+        let alignment = simulate_alignment(&tree, &model, &rates, sites, &mut rng);
+        let patterns = SitePatterns::compress(&alignment);
+        let config = beagle_core::InstanceConfig::for_tree(
+            taxa,
+            patterns.pattern_count(),
+            4,
+            rates.category_count(),
+        );
+
+        let drive = |inst: &mut dyn BeagleInstance| -> (f64, Vec<f64>) {
+            let eig = model.eigen();
+            inst.set_eigen_decomposition(
+                0,
+                eig.vectors.as_slice(),
+                eig.inverse_vectors.as_slice(),
+                &eig.values,
+            )
+            .unwrap();
+            inst.set_state_frequencies(0, model.frequencies()).unwrap();
+            inst.set_category_rates(&rates.rates).unwrap();
+            inst.set_category_weights(0, &rates.weights).unwrap();
+            inst.set_pattern_weights(patterns.weights()).unwrap();
+            for tip in 0..taxa {
+                inst.set_tip_states(tip, &patterns.tip_states(tip)).unwrap();
+            }
+            let (idx, len): (Vec<usize>, Vec<f64>) =
+                tree.branch_assignments().iter().copied().unzip();
+            inst.update_transition_matrices(0, &idx, &len).unwrap();
+            let ops: Vec<Operation> = tree
+                .operation_schedule()
+                .iter()
+                .map(|e| {
+                    let op =
+                        Operation::new(e.destination, e.child1, e.matrix1, e.child2, e.matrix2);
+                    if scaled { op.with_scaling(e.destination) } else { op }
+                })
+                .collect();
+            inst.update_partials(&ops).unwrap();
+            let cum = if scaled {
+                let c = inst.config().scale_buffer_count - 1;
+                inst.reset_scale_factors(c).unwrap();
+                let bufs: Vec<usize> = ops.iter().map(|o| o.destination).collect();
+                inst.accumulate_scale_factors(&bufs, c).unwrap();
+                Some(c)
+            } else {
+                None
+            };
+            let lnl = inst
+                .calculate_root_log_likelihoods(tree.root(), 0, 0, cum)
+                .unwrap();
+            (lnl, inst.get_site_log_likelihoods().unwrap())
+        };
+
+        let factory = CpuFactory::with_threads(ThreadingModel::Serial, false, 1);
+        let mut eager = factory.create(&config, Flags::PRECISION_DOUBLE, Flags::NONE).unwrap();
+        let mut queued = QueuedInstance::new(
+            factory.create(&config, Flags::PRECISION_DOUBLE, Flags::NONE).unwrap(),
+        );
+
+        let (lnl_e, sites_e) = drive(eager.as_mut());
+        let (lnl_q, sites_q) = drive(&mut queued);
+        prop_assert_eq!(lnl_e.to_bits(), lnl_q.to_bits());
+        let se: Vec<u64> = sites_e.iter().map(|v| v.to_bits()).collect();
+        let sq: Vec<u64> = sites_q.iter().map(|v| v.to_bits()).collect();
+        prop_assert_eq!(se, sq);
+        for node in taxa..(2 * taxa - 1) {
+            let pe: Vec<u64> =
+                eager.get_partials(node).unwrap().iter().map(|v| v.to_bits()).collect();
+            let pq: Vec<u64> =
+                queued.get_partials(node).unwrap().iter().map(|v| v.to_bits()).collect();
+            prop_assert_eq!(pe, pq, "partials buffer {} diverged", node);
+        }
+
+        // Re-propose the identical model: the second pass is served from the
+        // eigen/matrix cache and must not perturb a single bit.
+        let misses = queued.stats().eigen_cache_misses;
+        prop_assert!(misses > 0);
+        let (lnl_e2, _) = drive(eager.as_mut());
+        let (lnl_q2, _) = drive(&mut queued);
+        prop_assert_eq!(lnl_e2.to_bits(), lnl_q2.to_bits());
+        let stats = queued.stats();
+        prop_assert!(stats.eigen_cache_hits > 0);
+        prop_assert_eq!(stats.eigen_cache_misses, misses);
     }
 }

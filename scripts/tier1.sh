@@ -1,8 +1,26 @@
 #!/usr/bin/env bash
 # Tier-1 gate: release build, full test suite, lint-clean workspace.
+#
+# Test matrix covered by `cargo test --workspace`:
+#   unit + doc tests ........ every crate (queue/leveling/cache in core, CPU
+#                             kernels + threading, perf model + faults in accel)
+#   property tests .......... cpu kernels, core queue-cache invalidation
+#                             (random interleavings, queued == uncached bits)
+#   tests/cross_backend ..... implementations x {single,double} x scaling vs oracle
+#   tests/differential ...... implementations x {eager, queued} bit-for-bit,
+#                             eigen-cache repeat proposals, site-lnL read-back,
+#                             and the failover fixtures in BOTH queue modes
+#                             (COMPUTATION_SYNCH and COMPUTATION_ASYNCH)
+#   tests/failover .......... fault matrix: device loss, transient kernel/copy
+#                             faults, corruption, creation fallback, rescue
+#   tests/multi_device ...... partitioned instances across device sets
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 cargo build --release
-cargo test -q
+cargo test -q --workspace
+# The queue-mode differential matrix and the fault matrix, named explicitly
+# so a regression in either is attributable at a glance.
+cargo test -q --test differential
+cargo test -q --test failover
 cargo clippy --workspace -- -D warnings
