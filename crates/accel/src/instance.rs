@@ -108,7 +108,13 @@ impl<T: Real, D: Dialect> AccelInstance<T, D> {
             ExecMode::SimulatedGpu => plan_gpu(&spec, config.state_count, elem),
             ExecMode::RealX86 { work_group_patterns, .. } => plan_x86(*work_group_patterns),
         };
-        let fma_enabled = D::fma_enabled(&spec);
+        // The dialect says whether the *device* would fuse; for the
+        // OpenCL-x86 mode the kernels genuinely execute on the host, so the
+        // claim must also hold for the host CPU (and respect the
+        // BEAGLE_FORCE_SCALAR override used for A/B comparisons).
+        let fma_enabled = D::fma_enabled(&spec)
+            && (!matches!(mode, ExecMode::RealX86 { .. })
+                || beagle_cpu::simd::host_fma_available());
         Ok(Self {
             bufs,
             perf: PerfModel::new(spec.clone()),
@@ -538,6 +544,7 @@ impl<T: Real, D: Dialect> BeagleInstance for AccelInstance<T, D> {
             &self.bufs.pattern_weights,
             cscale,
             cfg.state_count,
+            self.bufs.state_stride,
             cfg.pattern_count,
         );
         if self.is_simulated() {

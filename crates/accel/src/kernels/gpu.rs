@@ -230,6 +230,7 @@ mod tests {
                 &m1[cat * s * s..(cat + 1) * s * s],
                 &m2[cat * s * s..(cat + 1) * s * s],
                 s,
+                s,
             );
         }
         dest

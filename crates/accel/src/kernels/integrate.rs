@@ -133,7 +133,7 @@ mod tests {
 
         let mut site_cpu = vec![0.0; patterns];
         let total_cpu = beagle_cpu::kernels::integrate_root(
-            &mut site_cpu, &root, &freqs, &catw, &pw, Some(&cs), s, patterns, 0,
+            &mut site_cpu, &root, &freqs, &catw, &pw, Some(&cs), s, s, patterns, 0,
         );
         for (a, b) in site_gpu.iter().zip(&site_cpu) {
             assert!((a - b).abs() < 1e-12);
@@ -179,6 +179,7 @@ mod tests {
             &catw,
             &pw,
             None,
+            s,
             s,
             patterns,
             0,

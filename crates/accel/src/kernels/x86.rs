@@ -215,6 +215,7 @@ mod tests {
             &m,
             &m,
             s,
+            s,
         );
         assert_eq!(&dest[16..20], expect.as_slice());
     }

@@ -17,11 +17,11 @@ fn bench_partials(c: &mut Criterion) {
         let flops = (patterns * s * (4 * s + 2)) as u64;
         group.throughput(Throughput::Elements(flops));
         group.bench_with_input(BenchmarkId::new("scalar", s), &s, |b, &s| {
-            b.iter(|| kernels::partials_partials(&mut dest, &c1, &c2, &m1, &m2, s))
+            b.iter(|| kernels::partials_partials(&mut dest, &c1, &c2, &m1, &m2, s, s))
         });
         if s == 4 {
             group.bench_with_input(BenchmarkId::new("vector4", s), &s, |b, _| {
-                b.iter(|| vector::partials_partials_4(&mut dest, &c1, &c2, &m1, &m2))
+                b.iter(|| vector::partials_partials_4(&mut dest, &c1, &c2, &m1, &m2, 4))
             });
         }
     }
@@ -40,10 +40,10 @@ fn bench_precision(c: &mut Criterion) {
     let mut dd = vec![0.0f64; len];
     let mut ds = vec![0.0f32; len];
     group.bench_function("double", |b| {
-        b.iter(|| vector::partials_partials_4(&mut dd, &c1d, &c1d, &m1d, &m1d))
+        b.iter(|| vector::partials_partials_4(&mut dd, &c1d, &c1d, &m1d, &m1d, 4))
     });
     group.bench_function("single", |b| {
-        b.iter(|| vector::partials_partials_4(&mut ds, &c1s, &c1s, &m1s, &m1s))
+        b.iter(|| vector::partials_partials_4(&mut ds, &c1s, &c1s, &m1s, &m1s, 4))
     });
     group.finish();
 }

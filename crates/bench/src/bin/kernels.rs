@@ -1,0 +1,227 @@
+//! Kernel-level microbenchmark: GFLOPS and ns/pattern for each partials
+//! kernel × state count × precision × dispatch path, written as
+//! `BENCH_kernels.json` (for `scripts/bench.sh`) and printed as a table.
+//!
+//! Unlike the table/figure binaries this measures the kernels in isolation —
+//! one category, one buffer set, no traversal — so the number is the raw
+//! arithmetic throughput of the dispatch paths ("scalar" = dense unrolled
+//! loops, "portable" = 4-state mul_add specializations where applicable,
+//! "avx2" = explicit AVX2+FMA intrinsics), not end-to-end application speed.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use beagle_core::real::Real;
+use beagle_cpu::simd::{DispatchKind, DispatchReal};
+use beagle_cpu::{host_fma_available, kernels};
+
+/// Flop estimate per pattern for partials×partials: per destination state,
+/// two length-`s` dot products (2s mul+add each) plus the combining multiply.
+fn pp_flops(s: usize) -> f64 {
+    (s * (4 * s + 1)) as f64
+}
+
+/// states×partials: one dot product plus one column multiply per state.
+fn sp_flops(s: usize) -> f64 {
+    (s * (2 * s + 1)) as f64
+}
+
+/// states×states: one multiply per state.
+fn ss_flops(s: usize) -> f64 {
+    s as f64
+}
+
+fn quick_mode() -> bool {
+    std::env::var("BENCH_QUICK").is_ok_and(|v| v != "0")
+}
+
+struct Row {
+    kernel: &'static str,
+    states: usize,
+    precision: &'static str,
+    path: &'static str,
+    gflops: f64,
+    ns_per_pattern: f64,
+}
+
+/// Time `body` (which performs `flops` floating-point ops per call) with
+/// adaptive repetition, returning (gflops, ns/call-pattern-unit).
+fn measure(n_pat: usize, flops_per_call: f64, mut body: impl FnMut()) -> (f64, f64) {
+    let budget: f64 = if quick_mode() { 2e7 } else { 4e8 };
+    let reps = ((budget / flops_per_call) as usize).clamp(3, 1_000_000);
+    // Warm up caches and the branch predictor.
+    for _ in 0..reps.div_ceil(10).min(50) {
+        body();
+    }
+    let start = Instant::now();
+    for _ in 0..reps {
+        body();
+    }
+    let dt = start.elapsed().as_secs_f64();
+    let gflops = flops_per_call * reps as f64 / dt / 1e9;
+    let ns_per_pattern = dt / reps as f64 / n_pat as f64 * 1e9;
+    (gflops, ns_per_pattern)
+}
+
+/// Deterministic pseudo-random positive values (likelihood-like magnitudes).
+fn fill<T: Real>(seed: u64, len: usize) -> Vec<T> {
+    let mut x = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+    (0..len)
+        .map(|_| {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            T::from_f64(0.05 + (x % 1000) as f64 / 1100.0)
+        })
+        .collect()
+}
+
+fn bench_precision<T: DispatchReal>(
+    precision: &'static str,
+    paths: &[DispatchKind],
+    rows: &mut Vec<Row>,
+) {
+    let n_pat = if quick_mode() { 1024 } else { 4096 };
+    for &s in &[4usize, 20, 61] {
+        let sp = s.div_ceil(T::SIMD_LANES) * T::SIMD_LANES;
+        let m1 = fill::<T>(1, s * sp);
+        let m2 = fill::<T>(2, s * sp);
+        let c1 = fill::<T>(3, n_pat * sp);
+        let c2 = fill::<T>(4, n_pat * sp);
+        let s1: Vec<u32> = (0..n_pat as u32).map(|i| i % s as u32).collect();
+        let s2: Vec<u32> = (0..n_pat as u32).map(|i| (i * 7 + 3) % s as u32).collect();
+        let mut dest = vec![T::ZERO; n_pat * sp];
+        for &kind in paths {
+            let table = T::dispatch(kind);
+            let (gflops, ns) = measure(n_pat, pp_flops(s) * n_pat as f64, || {
+                (table.partials_partials)(&mut dest, &c1, &c2, &m1, &m2, s, sp);
+            });
+            rows.push(Row {
+                kernel: "partials_partials",
+                states: s,
+                precision,
+                path: table.path,
+                gflops,
+                ns_per_pattern: ns,
+            });
+            let (gflops, ns) = measure(n_pat, sp_flops(s) * n_pat as f64, || {
+                (table.states_partials)(&mut dest, &s1, &c2, &m1, &m2, s, sp);
+            });
+            rows.push(Row {
+                kernel: "states_partials",
+                states: s,
+                precision,
+                path: table.path,
+                gflops,
+                ns_per_pattern: ns,
+            });
+            let (gflops, ns) = measure(n_pat, ss_flops(s) * n_pat as f64, || {
+                (table.states_states)(&mut dest, &s1, &s2, &m1, &m2, s, sp);
+            });
+            rows.push(Row {
+                kernel: "states_states",
+                states: s,
+                precision,
+                path: table.path,
+                gflops,
+                ns_per_pattern: ns,
+            });
+            // Rescaling: max pass + apply pass + finish, one category block.
+            let scale_flops = (2 * sp * n_pat) as f64;
+            let mut maxes = vec![T::ZERO; n_pat];
+            let (gflops, ns) = measure(n_pat, scale_flops, || {
+                maxes.iter_mut().for_each(|x| *x = T::ZERO);
+                (table.rescale_max)(&dest, &mut maxes, sp);
+                (table.rescale_apply)(&mut dest, &maxes, sp);
+                kernels::rescale_finish(&mut maxes);
+            });
+            rows.push(Row {
+                kernel: "rescale_patterns",
+                states: s,
+                precision,
+                path: table.path,
+                gflops,
+                ns_per_pattern: ns,
+            });
+            // Root integration over one category.
+            let freqs = fill::<T>(5, sp);
+            let catw = vec![T::ONE];
+            let pw = vec![T::ONE; n_pat];
+            let mut site = vec![T::ZERO; n_pat];
+            let root_flops = ((2 * s + 2) * n_pat) as f64;
+            let (gflops, ns) = measure(n_pat, root_flops, || {
+                std::hint::black_box((table.integrate_root)(
+                    &mut site, &c1, &freqs, &catw, &pw, None, s, sp, n_pat, 0,
+                ));
+            });
+            rows.push(Row {
+                kernel: "integrate_root",
+                states: s,
+                precision,
+                path: table.path,
+                gflops,
+                ns_per_pattern: ns,
+            });
+        }
+    }
+}
+
+fn main() {
+    let mut paths = vec![DispatchKind::Scalar, DispatchKind::Portable];
+    if host_fma_available() {
+        paths.push(DispatchKind::Avx2);
+    } else {
+        eprintln!("note: AVX2+FMA unavailable (or BEAGLE_FORCE_SCALAR set); skipping avx2 path");
+    }
+
+    let mut rows = Vec::new();
+    bench_precision::<f64>("double", &paths, &mut rows);
+    bench_precision::<f32>("single", &paths, &mut rows);
+
+    println!("== kernel microbenchmarks ==");
+    println!(
+        "{:<18} {:>6} {:>7} {:>9} {:>10} {:>12}",
+        "kernel", "states", "prec", "path", "GFLOPS", "ns/pattern"
+    );
+    for r in &rows {
+        println!(
+            "{:<18} {:>6} {:>7} {:>9} {:>10.2} {:>12.2}",
+            r.kernel, r.states, r.precision, r.path, r.gflops, r.ns_per_pattern
+        );
+    }
+
+    // Headline ratio from the acceptance criterion: AVX2 vs forced-scalar on
+    // the s=61 double-precision partials×partials kernel.
+    let find = |path: &str| {
+        rows.iter()
+            .find(|r| {
+                r.kernel == "partials_partials"
+                    && r.states == 61
+                    && r.precision == "double"
+                    && r.path == path
+            })
+            .map(|r| r.gflops)
+    };
+    if let (Some(avx2), Some(scalar)) = (find("avx2"), find("scalar")) {
+        println!("\ns=61 double pp: avx2 {avx2:.2} GFLOPS vs scalar {scalar:.2} GFLOPS ({:.2}x)", avx2 / scalar);
+    }
+
+    let mut json = String::from("{\n  \"benchmark\": \"kernels\",\n  \"results\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        let _ = writeln!(
+            json,
+            "    {{\"kernel\": \"{}\", \"states\": {}, \"precision\": \"{}\", \"path\": \"{}\", \"gflops\": {:.4}, \"ns_per_pattern\": {:.4}}}{}",
+            r.kernel,
+            r.states,
+            r.precision,
+            r.path,
+            r.gflops,
+            r.ns_per_pattern,
+            if i + 1 == rows.len() { "" } else { "," }
+        );
+    }
+    json.push_str("  ]\n}\n");
+    let out = std::env::args().nth(1).unwrap_or_else(|| "BENCH_kernels.json".into());
+    std::fs::write(&out, json).expect("write BENCH_kernels.json");
+    println!("\nwrote {out}");
+}

@@ -8,9 +8,18 @@
 //! they delegate bookkeeping here.
 //!
 //! Layouts (all row-major, matching the BEAGLE convention):
-//! * partials: `[category][pattern][state]`
-//! * transition matrix: `[category][from_state][to_state]`
+//! * partials: `[category][pattern][state..state_stride]`
+//! * transition matrix: `[category][from_state][to_state..state_stride]`
 //! * scale buffers: per-pattern *log* scale factors
+//!
+//! `state_stride >= state_count` is the padded per-pattern state vector
+//! length. [`InstanceBuffers::new`] keeps `state_stride == state_count`
+//! (the historical dense layout, used by the accelerator back-ends);
+//! [`InstanceBuffers::new_padded`] rounds it up to a SIMD-lane multiple so
+//! vector inner loops are remainder-free. Padding lanes hold exact zeros
+//! (in partials *and* in every matrix row), so dot products over the full
+//! stride equal dot products over the true state count. The padding is
+//! invisible at the API boundary: setters pack, getters strip.
 
 use crate::GAP_STATE;
 use crate::api::InstanceConfig;
@@ -35,6 +44,8 @@ pub struct EigenSystem {
 pub struct InstanceBuffers<T: Real> {
     /// Instance sizing (immutable after creation).
     pub config: InstanceConfig,
+    /// Padded per-pattern state vector length (`>= config.state_count`).
+    pub state_stride: usize,
     /// Partials buffers; `None` until written. Tips may instead use
     /// `tip_states`.
     pub partials: Vec<Option<Vec<T>>>,
@@ -60,13 +71,32 @@ pub struct InstanceBuffers<T: Real> {
 }
 
 impl<T: Real> InstanceBuffers<T> {
-    /// Allocate storage for `config`.
+    /// Allocate storage for `config` with the dense layout
+    /// (`state_stride == state_count`).
     pub fn new(config: InstanceConfig) -> Result<Self> {
+        Self::with_stride(config, config.state_count)
+    }
+
+    /// Allocate storage with each pattern's state vector padded to a
+    /// multiple of `lanes` (zero-filled padding).
+    pub fn new_padded(config: InstanceConfig, lanes: usize) -> Result<Self> {
+        let lanes = lanes.max(1);
+        Self::with_stride(config, config.state_count.div_ceil(lanes) * lanes)
+    }
+
+    fn with_stride(config: InstanceConfig, state_stride: usize) -> Result<Self> {
         config.validate()?;
+        debug_assert!(state_stride >= config.state_count);
+        let s = config.state_count;
+        let padded_matrix_len = config.category_count * s * state_stride;
+        // Frequencies are padded to the stride too (with zeros) so root and
+        // edge integrations can dot over the full stride.
+        let mut freqs = vec![T::ZERO; state_stride];
+        freqs[..s].fill(T::from_f64(1.0 / s as f64));
         Ok(Self {
             partials: vec![None; config.partials_buffer_count],
             tip_states: vec![None; config.partials_buffer_count],
-            matrices: vec![vec![T::ZERO; config.matrix_len()]; config.matrix_buffer_count],
+            matrices: vec![vec![T::ZERO; padded_matrix_len]; config.matrix_buffer_count],
             eigens: vec![EigenSystem::default(); config.eigen_buffer_count],
             pattern_weights: vec![T::ONE; config.pattern_count],
             category_rates: vec![1.0; config.category_count],
@@ -74,14 +104,22 @@ impl<T: Real> InstanceBuffers<T> {
                 vec![T::from_f64(1.0 / config.category_count as f64); config.category_count];
                 config.eigen_buffer_count
             ],
-            frequencies: vec![
-                vec![T::from_f64(1.0 / config.state_count as f64); config.state_count];
-                config.eigen_buffer_count
-            ],
+            frequencies: vec![freqs; config.eigen_buffer_count],
             scale_buffers: vec![vec![T::ZERO; config.pattern_count]; config.scale_buffer_count],
             site_log_likelihoods: vec![T::ZERO; config.pattern_count],
             config,
+            state_stride,
         })
+    }
+
+    /// Length of one stored (padded) partials buffer.
+    pub fn padded_partials_len(&self) -> usize {
+        self.config.category_count * self.config.pattern_count * self.state_stride
+    }
+
+    /// Length of one stored (padded) transition matrix.
+    pub fn padded_matrix_len(&self) -> usize {
+        self.config.category_count * self.config.state_count * self.state_stride
     }
 
     fn check_index(&self, what: &'static str, index: usize, limit: usize) -> Result<()> {
@@ -123,35 +161,57 @@ impl<T: Real> InstanceBuffers<T> {
         self.check_index("tip", tip, self.config.tip_count)?;
         let per_cat = self.config.pattern_count * self.config.state_count;
         self.check_len("tip partials", partials.len(), per_cat)?;
-        let mut buf = Vec::with_capacity(self.config.partials_len());
-        for _ in 0..self.config.category_count {
-            buf.extend(partials.iter().map(|&x| T::from_f64(x)));
+        let (s, sp) = (self.config.state_count, self.state_stride);
+        let mut buf = vec![T::ZERO; self.padded_partials_len()];
+        for c in 0..self.config.category_count {
+            let cat = &mut buf[c * self.config.pattern_count * sp..];
+            for (dst, src) in cat.chunks_exact_mut(sp).zip(partials.chunks_exact(s)) {
+                for (d, &x) in dst[..s].iter_mut().zip(src) {
+                    *d = T::from_f64(x);
+                }
+            }
         }
         self.partials[tip] = Some(buf);
         self.tip_states[tip] = None;
         Ok(())
     }
 
-    /// Store a full partials buffer.
+    /// Store a full partials buffer (client layout: dense, unpadded).
     pub fn set_partials(&mut self, buffer: usize, partials: &[f64]) -> Result<()> {
         self.check_index("partials buffer", buffer, self.config.partials_buffer_count)?;
         self.check_len("partials", partials.len(), self.config.partials_len())?;
-        self.partials[buffer] = Some(narrow_slice(partials));
+        let (s, sp) = (self.config.state_count, self.state_stride);
+        if sp == s {
+            self.partials[buffer] = Some(narrow_slice(partials));
+        } else {
+            let mut buf = vec![T::ZERO; self.padded_partials_len()];
+            for (dst, src) in buf.chunks_exact_mut(sp).zip(partials.chunks_exact(s)) {
+                for (d, &x) in dst[..s].iter_mut().zip(src) {
+                    *d = T::from_f64(x);
+                }
+            }
+            self.partials[buffer] = Some(buf);
+        }
         Ok(())
     }
 
-    /// Read a partials buffer. Compact tips are expanded to partials form.
+    /// Read a partials buffer (dense, unpadded — padding is stripped).
+    /// Compact tips are expanded to partials form.
     pub fn get_partials(&self, buffer: usize) -> Result<Vec<f64>> {
         self.check_index("partials buffer", buffer, self.config.partials_buffer_count)?;
+        let (s, sp) = (self.config.state_count, self.state_stride);
         if let Some(p) = &self.partials[buffer] {
-            return Ok(widen_slice(p));
+            if sp == s {
+                return Ok(widen_slice(p));
+            }
+            let mut out = Vec::with_capacity(self.config.partials_len());
+            for chunk in p.chunks_exact(sp) {
+                out.extend(chunk[..s].iter().map(|x| x.to_f64()));
+            }
+            return Ok(out);
         }
         if let Some(states) = &self.tip_states[buffer] {
-            let (s, np, nc) = (
-                self.config.state_count,
-                self.config.pattern_count,
-                self.config.category_count,
-            );
+            let (np, nc) = (self.config.pattern_count, self.config.category_count);
             let mut out = vec![0.0; self.config.partials_len()];
             for c in 0..nc {
                 for (p, &st) in states.iter().enumerate() {
@@ -177,11 +237,15 @@ impl<T: Real> InstanceBuffers<T> {
         Ok(())
     }
 
-    /// Set a frequencies buffer.
+    /// Set a frequencies buffer (stored padded to the stride with zeros).
     pub fn set_state_frequencies(&mut self, index: usize, frequencies: &[f64]) -> Result<()> {
         self.check_index("frequencies buffer", index, self.frequencies.len())?;
         self.check_len("frequencies", frequencies.len(), self.config.state_count)?;
-        self.frequencies[index] = narrow_slice(frequencies);
+        let mut buf = vec![T::ZERO; self.state_stride];
+        for (d, &x) in buf.iter_mut().zip(frequencies) {
+            *d = T::from_f64(x);
+        }
+        self.frequencies[index] = buf;
         Ok(())
     }
 
@@ -238,6 +302,7 @@ impl<T: Real> InstanceBuffers<T> {
                 "eigen buffer {eigen_index} has not been set"
             )));
         }
+        let sp = self.state_stride;
         for (&m, &t) in matrix_indices.iter().zip(branch_lengths) {
             self.check_index("matrix buffer", m, self.matrices.len())?;
             let rates = self.category_rates.clone();
@@ -245,7 +310,7 @@ impl<T: Real> InstanceBuffers<T> {
             for (c, &rate) in rates.iter().enumerate() {
                 let exps: Vec<f64> =
                     eig.values.iter().map(|&l| (l * rate * t).exp()).collect();
-                let block = &mut mat[c * s * s..(c + 1) * s * s];
+                let block = &mut mat[c * s * sp..(c + 1) * s * sp];
                 for i in 0..s {
                     for j in 0..s {
                         let mut acc = 0.0;
@@ -256,8 +321,10 @@ impl<T: Real> InstanceBuffers<T> {
                         }
                         // Round-off can leave tiny negatives; clamp so the
                         // likelihood kernels only ever see probabilities.
-                        block[i * s + j] = T::from_f64(acc.max(0.0));
+                        block[i * sp + j] = T::from_f64(acc.max(0.0));
                     }
+                    // Padding columns must stay exact zeros.
+                    block[i * sp + s..(i + 1) * sp].fill(T::ZERO);
                 }
             }
         }
@@ -310,11 +377,12 @@ impl<T: Real> InstanceBuffers<T> {
                 ));
             }
             let rates = self.category_rates.clone();
+            let sp = self.state_stride;
             for (c, &rate) in rates.iter().enumerate() {
                 // Spectral weights for the three matrices.
                 let exps: Vec<f64> = eig.values.iter().map(|&l| (l * rate * t).exp()).collect();
                 for (order, target) in [(0u32, m), (1, d1), (2, d2)] {
-                    let block_start = c * s * s;
+                    let block_start = c * s * sp;
                     for i in 0..s {
                         for j in 0..s {
                             let mut acc = 0.0;
@@ -328,8 +396,10 @@ impl<T: Real> InstanceBuffers<T> {
                             // Probabilities are clamped; derivatives may be
                             // legitimately negative.
                             let v = if order == 0 { acc.max(0.0) } else { acc };
-                            self.matrices[target][block_start + i * s + j] = T::from_f64(v);
+                            self.matrices[target][block_start + i * sp + j] = T::from_f64(v);
                         }
+                        self.matrices[target][block_start + i * sp + s..block_start + (i + 1) * sp]
+                            .fill(T::ZERO);
                     }
                 }
             }
@@ -337,18 +407,37 @@ impl<T: Real> InstanceBuffers<T> {
         Ok(())
     }
 
-    /// Directly set a transition matrix.
+    /// Directly set a transition matrix (client layout: dense, unpadded).
     pub fn set_transition_matrix(&mut self, index: usize, matrix: &[f64]) -> Result<()> {
         self.check_index("matrix buffer", index, self.matrices.len())?;
         self.check_len("transition matrix", matrix.len(), self.config.matrix_len())?;
-        self.matrices[index] = narrow_slice(matrix);
+        let (s, sp) = (self.config.state_count, self.state_stride);
+        if sp == s {
+            self.matrices[index] = narrow_slice(matrix);
+        } else {
+            let mut buf = vec![T::ZERO; self.padded_matrix_len()];
+            for (dst, src) in buf.chunks_exact_mut(sp).zip(matrix.chunks_exact(s)) {
+                for (d, &x) in dst[..s].iter_mut().zip(src) {
+                    *d = T::from_f64(x);
+                }
+            }
+            self.matrices[index] = buf;
+        }
         Ok(())
     }
 
-    /// Read back a transition matrix.
+    /// Read back a transition matrix (dense — padding columns stripped).
     pub fn get_transition_matrix(&self, index: usize) -> Result<Vec<f64>> {
         self.check_index("matrix buffer", index, self.matrices.len())?;
-        Ok(widen_slice(&self.matrices[index]))
+        let (s, sp) = (self.config.state_count, self.state_stride);
+        if sp == s {
+            return Ok(widen_slice(&self.matrices[index]));
+        }
+        let mut out = Vec::with_capacity(self.config.matrix_len());
+        for row in self.matrices[index].chunks_exact(sp) {
+            out.extend(row[..s].iter().map(|x| x.to_f64()));
+        }
+        Ok(out)
     }
 
     /// Zero a cumulative scale buffer.
@@ -470,7 +559,7 @@ impl<T: Real> InstanceBuffers<T> {
     /// (std::mem::take) so the children can be borrowed simultaneously;
     /// callers must put it back with [`Self::restore_destination`].
     pub fn take_destination(&mut self, dest: usize) -> Vec<T> {
-        let len = self.config.partials_len();
+        let len = self.padded_partials_len();
         match self.partials[dest].take() {
             Some(mut v) => {
                 debug_assert_eq!(v.len(), len);
@@ -610,6 +699,57 @@ mod tests {
         b.accumulate_scale_factors(&[0], 7).unwrap();
         assert!(b.scale_buffers[7].iter().all(|&x| (x - 2.5).abs() < 1e-12));
         assert!(b.accumulate_scale_factors(&[7], 7).is_err(), "self-accumulation");
+    }
+
+    #[test]
+    fn padded_layout_invisible_at_api() {
+        // 3 states padded to 4 lanes: stride 4, one zero pad lane.
+        let cfg = InstanceConfig::for_tree(4, 5, 3, 2);
+        let mut padded = InstanceBuffers::<f64>::new_padded(cfg, 4).unwrap();
+        let mut dense = InstanceBuffers::<f64>::new(cfg).unwrap();
+        assert_eq!(padded.state_stride, 4);
+        assert_eq!(dense.state_stride, 3);
+
+        // Partials round-trip identically despite the internal padding.
+        let p: Vec<f64> = (0..cfg.partials_len()).map(|i| 0.1 + i as f64 * 0.01).collect();
+        padded.set_partials(4, &p).unwrap();
+        dense.set_partials(4, &p).unwrap();
+        assert_eq!(padded.get_partials(4).unwrap(), p);
+        assert_eq!(padded.get_partials(4).unwrap(), dense.get_partials(4).unwrap());
+        // Internal pad lanes are exact zeros.
+        let raw = padded.partials[4].as_ref().unwrap();
+        for pat in raw.chunks_exact(4) {
+            assert_eq!(pat[3], 0.0);
+        }
+
+        // Tip partials replicate and strip the same way.
+        let tp: Vec<f64> = (0..15).map(|i| i as f64).collect();
+        padded.set_tip_partials(1, &tp).unwrap();
+        dense.set_tip_partials(1, &tp).unwrap();
+        assert_eq!(padded.get_partials(1).unwrap(), dense.get_partials(1).unwrap());
+
+        // Transition matrices: derived and direct, dense at the API.
+        let id: Vec<f64> = (0..9).map(|i| if i % 4 == 0 { 1.0 } else { 0.0 }).collect();
+        padded.set_eigen_decomposition(0, &id, &id, &[0.0; 3]).unwrap();
+        dense.set_eigen_decomposition(0, &id, &id, &[0.0; 3]).unwrap();
+        padded.update_transition_matrices(0, &[2], &[0.7]).unwrap();
+        dense.update_transition_matrices(0, &[2], &[0.7]).unwrap();
+        assert_eq!(
+            padded.get_transition_matrix(2).unwrap(),
+            dense.get_transition_matrix(2).unwrap()
+        );
+        // Pad columns of the stored matrix are exact zeros.
+        for row in padded.matrices[2].chunks_exact(4) {
+            assert_eq!(row[3], 0.0);
+        }
+        let m: Vec<f64> = (0..cfg.matrix_len()).map(|i| i as f64 * 0.5).collect();
+        padded.set_transition_matrix(3, &m).unwrap();
+        assert_eq!(padded.get_transition_matrix(3).unwrap(), m);
+
+        // Frequencies are stored stride-length with zero padding.
+        padded.set_state_frequencies(0, &[0.2, 0.3, 0.5]).unwrap();
+        assert_eq!(padded.frequencies[0].len(), 4);
+        assert_eq!(padded.frequencies[0][3], 0.0);
     }
 
     #[test]

@@ -66,6 +66,8 @@ flags! {
     /// Handled by the implementation manager (see `crate::queue`), not by
     /// individual back-end factories.
     COMPUTATION_ASYNCH = 17;
+    /// AVX2+FMA wide-vector arithmetic (runtime-detected).
+    VECTOR_AVX2 = 18;
 }
 
 impl Flags {

@@ -31,6 +31,10 @@ pub trait Real:
 {
     /// Additive identity.
     const ZERO: Self;
+    /// Number of lanes of this type in one 256-bit SIMD register (AVX2).
+    /// Buffer layouts that pad each pattern's state vector pad to a
+    /// multiple of this so vector inner loops are remainder-free.
+    const SIMD_LANES: usize;
     /// Multiplicative identity.
     const ONE: Self;
     /// Smallest positive normal value (used by rescaling thresholds).
@@ -56,9 +60,10 @@ pub trait Real:
 }
 
 macro_rules! impl_real {
-    ($t:ty) => {
+    ($t:ty, $lanes:expr) => {
         impl Real for $t {
             const ZERO: Self = 0.0;
+            const SIMD_LANES: usize = $lanes;
             const ONE: Self = 1.0;
             const MIN_POSITIVE: Self = <$t>::MIN_POSITIVE;
 
@@ -102,8 +107,8 @@ macro_rules! impl_real {
     };
 }
 
-impl_real!(f32);
-impl_real!(f64);
+impl_real!(f32, 8);
+impl_real!(f64, 4);
 
 /// Convert an `f64` slice into precision `T` (allocating).
 pub fn narrow_slice<T: Real>(xs: &[f64]) -> Vec<T> {

@@ -128,11 +128,10 @@ impl ImplementationFactory for CpuFactory {
     }
 
     fn supports_config(&self, config: &InstanceConfig) -> bool {
-        if config.validate().is_err() {
-            return false;
-        }
-        // The vectorized kernels are nucleotide-only, like BEAGLE's SSE path.
-        !self.vectorized || config.state_count == 4
+        // The vectorized kernels handle arbitrary state counts: nucleotide
+        // models take the 4-state specializations, everything else the
+        // cache-blocked wide-state tiles (see `crate::simd`).
+        config.validate().is_ok()
     }
 
     fn create(
@@ -146,6 +145,12 @@ impl ImplementationFactory for CpuFactory {
         let mut flags =
             Flags(self.supported_flags().0 & !(Flags::PRECISION_SINGLE.0 | Flags::PRECISION_DOUBLE.0));
         flags |= if single { Flags::PRECISION_SINGLE } else { Flags::PRECISION_DOUBLE };
+        // Report the kernel path the instance will actually resolve to:
+        // vectorized instances on an AVX2+FMA host (without the
+        // BEAGLE_FORCE_SCALAR override) run the intrinsic kernels.
+        if self.vectorized && crate::simd::select_kind(true) == crate::simd::DispatchKind::Avx2 {
+            flags |= Flags::VECTOR_AVX2;
+        }
         let details = InstanceDetails {
             implementation_name: self.name().to_string(),
             resource_name: self.resource().name,
@@ -221,11 +226,11 @@ mod tests {
     }
 
     #[test]
-    fn sse_factory_rejects_codon() {
+    fn vectorized_factory_accepts_codon() {
         let f = CpuFactory::new(ThreadingModel::Serial, true);
         let mut c = cfg();
         c.state_count = 61;
-        assert!(!f.supports_config(&c));
+        assert!(f.supports_config(&c), "wide-state tiles cover codon models");
         let plain = CpuFactory::new(ThreadingModel::Serial, false);
         assert!(plain.supports_config(&c));
     }

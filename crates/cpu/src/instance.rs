@@ -3,8 +3,17 @@
 //! [`CpuInstance`] owns an [`InstanceBuffers`] arena and executes the
 //! partial-likelihoods bottleneck with whichever [`Threading`] model it was
 //! created with — the three iterations the paper describes in §VI (futures,
-//! thread-create, thread-pool) plus the original serial model — optionally
-//! combined with the vectorized 4-state kernels.
+//! thread-create, thread-pool) plus the original serial model — combined
+//! with the kernel table resolved once at creation by [`crate::simd`]
+//! (scalar / portable / AVX2).
+//!
+//! The traversal hot path is allocation-free: work items are plain-data
+//! [`ChunkTask`]/[`RootTask`] structs kept in a reusable [`Scratch`] arena,
+//! the pattern partition is computed once at instance creation, and batches
+//! go to the pool through [`ThreadPool::run_tasks`] (which allocates
+//! nothing per dispatch). Buffers are padded to the SIMD lane width
+//! ([`beagle_core::real::Real::SIMD_LANES`]) so the vector kernels run
+//! remainder-free; the padding never escapes the public API.
 
 use beagle_core::api::{BeagleInstance, InstanceConfig, InstanceDetails};
 use beagle_core::buffers::{ChildOperand, InstanceBuffers};
@@ -14,7 +23,7 @@ use beagle_core::real::{widen_slice, Real};
 
 use crate::kernels::{self, EdgeChild};
 use crate::pool::{partition_range, ThreadPool};
-use crate::vector;
+use crate::simd::{select_kind, DispatchKind, DispatchReal, KernelDispatch};
 
 /// Patterns below this threshold run serially even under a threading model —
 /// §VI-B: "to prevent small problem sizes from being slower than the previous
@@ -54,38 +63,192 @@ impl Threading {
     }
 }
 
+/// Raw view of a child operand inside a task (borrow-erased).
+#[derive(Clone, Copy)]
+enum OperandPtr<T> {
+    Partials(*const T),
+    States(*const u32),
+}
+
+/// One (pattern-range × all categories) unit of an `update_partials`
+/// operation as plain data: raw pointers into the instance arena plus the
+/// geometry needed to slice them. Tasks over disjoint pattern ranges touch
+/// disjoint parts of `dest`/`scale`, so a batch of them is data-race free.
+struct ChunkTask<T: Real> {
+    dest: *mut T,
+    /// Start of this chunk's slice of the scale buffer, or null.
+    scale: *mut T,
+    c1: OperandPtr<T>,
+    c2: OperandPtr<T>,
+    m1: *const T,
+    m2: *const T,
+    s: usize,
+    sp: usize,
+    n_pat: usize,
+    n_cat: usize,
+    p0: usize,
+    p1: usize,
+    dispatch: &'static KernelDispatch<T>,
+}
+
+// SAFETY: the pointers reference buffers that outlive the batch (the
+// executing call blocks until every task finished) and distinct tasks write
+// disjoint ranges.
+unsafe impl<T: Real> Send for ChunkTask<T> {}
+
+/// Execute one chunk task: all category blocks of its pattern range, then
+/// (if requested) the rescaling passes over the same range.
+fn run_chunk<T: DispatchReal>(t: &mut ChunkTask<T>) {
+    let (s, sp, n) = (t.s, t.sp, t.p1 - t.p0);
+    let d = t.dispatch;
+    for cat in 0..t.n_cat {
+        let off = (cat * t.n_pat + t.p0) * sp;
+        // SAFETY: `off..off + n*sp` lies inside the destination buffer and
+        // no other task of the batch overlaps it (disjoint pattern ranges).
+        let dest = unsafe { std::slice::from_raw_parts_mut(t.dest.add(off), n * sp) };
+        let m1 = unsafe { std::slice::from_raw_parts(t.m1.add(cat * s * sp), s * sp) };
+        let m2 = unsafe { std::slice::from_raw_parts(t.m2.add(cat * s * sp), s * sp) };
+        match (t.c1, t.c2) {
+            (OperandPtr::Partials(a), OperandPtr::Partials(b)) => {
+                let a = unsafe { std::slice::from_raw_parts(a.add(off), n * sp) };
+                let b = unsafe { std::slice::from_raw_parts(b.add(off), n * sp) };
+                (d.partials_partials)(dest, a, b, m1, m2, s, sp);
+            }
+            (OperandPtr::States(a), OperandPtr::Partials(b)) => {
+                let a = unsafe { std::slice::from_raw_parts(a.add(t.p0), n) };
+                let b = unsafe { std::slice::from_raw_parts(b.add(off), n * sp) };
+                (d.states_partials)(dest, a, b, m1, m2, s, sp);
+            }
+            (OperandPtr::Partials(a), OperandPtr::States(b)) => {
+                // Symmetric kernel with swapped matrices.
+                let a = unsafe { std::slice::from_raw_parts(a.add(off), n * sp) };
+                let b = unsafe { std::slice::from_raw_parts(b.add(t.p0), n) };
+                (d.states_partials)(dest, b, a, m2, m1, s, sp);
+            }
+            (OperandPtr::States(a), OperandPtr::States(b)) => {
+                let a = unsafe { std::slice::from_raw_parts(a.add(t.p0), n) };
+                let b = unsafe { std::slice::from_raw_parts(b.add(t.p0), n) };
+                (d.states_states)(dest, a, b, m1, m2, s, sp);
+            }
+        }
+    }
+    if !t.scale.is_null() {
+        // SAFETY: this chunk's scale slice, disjoint from other tasks'.
+        let scale = unsafe { std::slice::from_raw_parts_mut(t.scale, n) };
+        scale.iter_mut().for_each(|x| *x = T::ZERO);
+        for cat in 0..t.n_cat {
+            let off = (cat * t.n_pat + t.p0) * sp;
+            let block = unsafe { std::slice::from_raw_parts(t.dest.add(off), n * sp) };
+            (t.dispatch.rescale_max)(block, scale, sp);
+        }
+        for cat in 0..t.n_cat {
+            let off = (cat * t.n_pat + t.p0) * sp;
+            let block = unsafe { std::slice::from_raw_parts_mut(t.dest.add(off), n * sp) };
+            (t.dispatch.rescale_apply)(block, scale, sp);
+        }
+        kernels::rescale_finish(scale);
+    }
+}
+
+/// One pattern-range unit of root integration as plain data.
+struct RootTask<T: Real> {
+    site: *mut T,
+    len: usize,
+    root: *const T,
+    root_len: usize,
+    freqs: *const T,
+    freqs_len: usize,
+    catw: *const T,
+    catw_len: usize,
+    pw: *const T,
+    cscale: *const T,
+    s: usize,
+    sp: usize,
+    n_pat: usize,
+    p0: usize,
+    dispatch: &'static KernelDispatch<T>,
+    sum: f64,
+}
+
+// SAFETY: same protocol as ChunkTask — buffers outlive the blocking batch,
+// ranges are disjoint.
+unsafe impl<T: Real> Send for RootTask<T> {}
+
+fn run_root<T: DispatchReal>(t: &mut RootTask<T>) {
+    // SAFETY: pointers/lengths were taken from live slices that outlive the
+    // batch; `site` is this task's disjoint chunk.
+    let site = unsafe { std::slice::from_raw_parts_mut(t.site, t.len) };
+    let root = unsafe { std::slice::from_raw_parts(t.root, t.root_len) };
+    let freqs = unsafe { std::slice::from_raw_parts(t.freqs, t.freqs_len) };
+    let catw = unsafe { std::slice::from_raw_parts(t.catw, t.catw_len) };
+    let pw = unsafe { std::slice::from_raw_parts(t.pw, t.n_pat) };
+    let cscale = if t.cscale.is_null() {
+        None
+    } else {
+        Some(unsafe { std::slice::from_raw_parts(t.cscale, t.n_pat) })
+    };
+    t.sum = (t.dispatch.integrate_root)(
+        site, root, freqs, catw, pw, cscale, t.s, t.sp, t.n_pat, t.p0,
+    );
+}
+
+/// Reusable per-instance work arenas: dispatching a traversal allocates
+/// nothing after the first call at each size.
+struct Scratch<T: Real> {
+    chunk_tasks: Vec<ChunkTask<T>>,
+    root_tasks: Vec<RootTask<T>>,
+}
+
+impl<T: Real> Default for Scratch<T> {
+    fn default() -> Self {
+        Self { chunk_tasks: Vec::new(), root_tasks: Vec::new() }
+    }
+}
+
 /// A CPU-resident BEAGLE instance with precision `T`.
-pub struct CpuInstance<T: Real> {
+pub struct CpuInstance<T: DispatchReal> {
     bufs: InstanceBuffers<T>,
     threading: Threading,
-    /// Use the 4-state vectorized kernels when the state count allows.
-    vectorized: bool,
+    /// Kernel table resolved at creation (scalar / portable / avx2).
+    dispatch: &'static KernelDispatch<T>,
     /// Minimum pattern count before pattern-level threading engages.
     min_patterns: usize,
+    /// Precomputed (start, end) pattern ranges, one per thread.
+    partition: Vec<(usize, usize)>,
+    scratch: Scratch<T>,
     details: InstanceDetails,
 }
 
-/// A child operand restricted to one (category, pattern-range) block.
-#[derive(Clone, Copy)]
-enum OperandBlock<'a, T: Real> {
-    Partials(&'a [T]),
-    States(&'a [u32]),
-}
-
-impl<T: Real> CpuInstance<T> {
+impl<T: DispatchReal> CpuInstance<T> {
     /// Create an instance. `details` should describe the chosen strategy;
-    /// factories fill it in.
+    /// factories fill it in. The kernel path resolves from `vectorized`,
+    /// host capability, and the `BEAGLE_FORCE_SCALAR` override.
     pub fn new(
         config: InstanceConfig,
         threading: Threading,
         vectorized: bool,
         details: InstanceDetails,
     ) -> Result<Self> {
+        Self::with_dispatch_kind(config, threading, select_kind(vectorized), details)
+    }
+
+    /// Create an instance with an explicit kernel table — used by parity
+    /// tests and benchmarks to pin the dispatch path regardless of host
+    /// detection or environment.
+    pub fn with_dispatch_kind(
+        config: InstanceConfig,
+        threading: Threading,
+        kind: DispatchKind,
+        details: InstanceDetails,
+    ) -> Result<Self> {
+        let partition = partition_range(config.pattern_count, threading.thread_count());
         Ok(Self {
-            bufs: InstanceBuffers::new(config)?,
+            bufs: InstanceBuffers::new_padded(config, T::SIMD_LANES)?,
             threading,
-            vectorized,
+            dispatch: T::dispatch(kind),
             min_patterns: MIN_PATTERNS_FOR_THREADING,
+            partition,
+            scratch: Scratch::default(),
             details,
         })
     }
@@ -96,161 +259,79 @@ impl<T: Real> CpuInstance<T> {
         self.min_patterns = min;
     }
 
-    fn use_vector_kernels(&self) -> bool {
-        self.vectorized && self.bufs.config.state_count == 4
+    /// Name of the kernel path this instance resolved to
+    /// ("scalar" / "portable" / "avx2").
+    pub fn dispatch_path(&self) -> &'static str {
+        self.dispatch.path
     }
 
-    /// Dispatch one block through the right kernel.
-    fn run_block(
+    /// Append this operation's chunk tasks (one per range) to `tasks`.
+    /// The caller must run and clear `tasks` before `dest`/`scale`/`bufs`
+    /// move or mutate.
+    #[allow(clippy::too_many_arguments)]
+    fn push_chunk_tasks(
+        tasks: &mut Vec<ChunkTask<T>>,
+        bufs: &InstanceBuffers<T>,
         dest: &mut [T],
-        c1: OperandBlock<'_, T>,
-        c2: OperandBlock<'_, T>,
-        m1: &[T],
-        m2: &[T],
-        s: usize,
-        vectorized: bool,
-    ) {
-        let vec4 = vectorized && s == 4;
-        match (c1, c2) {
-            (OperandBlock::Partials(a), OperandBlock::Partials(b)) => {
-                if vec4 {
-                    vector::partials_partials_4(dest, a, b, m1, m2);
-                } else {
-                    kernels::partials_partials(dest, a, b, m1, m2, s);
-                }
-            }
-            (OperandBlock::States(a), OperandBlock::Partials(b)) => {
-                if vec4 {
-                    vector::states_partials_4(dest, a, b, m1, m2);
-                } else {
-                    kernels::states_partials(dest, a, b, m1, m2, s);
-                }
-            }
-            (OperandBlock::Partials(a), OperandBlock::States(b)) => {
-                // Symmetric kernel with swapped matrices.
-                if vec4 {
-                    vector::states_partials_4(dest, b, a, m2, m1);
-                } else {
-                    kernels::states_partials(dest, b, a, m2, m1, s);
-                }
-            }
-            (OperandBlock::States(a), OperandBlock::States(b)) => {
-                if vec4 {
-                    vector::states_states_4(dest, a, b, m1, m2);
-                } else {
-                    kernels::states_states(dest, a, b, m1, m2, s);
-                }
-            }
-        }
-    }
-
-    /// Slice a child operand down to (category, pattern range).
-    fn operand_block<'a>(
-        child: &ChildOperand<'a, T>,
-        cat: usize,
-        p0: usize,
-        p1: usize,
-        n_pat: usize,
-        s: usize,
-    ) -> OperandBlock<'a, T> {
-        match child {
-            ChildOperand::Partials(p) => {
-                OperandBlock::Partials(&p[(cat * n_pat + p0) * s..(cat * n_pat + p1) * s])
-            }
-            ChildOperand::States(st) => OperandBlock::States(&st[p0..p1]),
-        }
-    }
-
-    /// Execute one operation over the pattern ranges in `ranges`, producing
-    /// the task closures that fill disjoint chunks of `dest` (and of the
-    /// scale buffer if the op rescales). Tasks are then run serially, on
-    /// scoped threads, or on the pool by the caller.
-    #[allow(clippy::type_complexity)]
-    fn build_chunk_tasks<'env>(
-        bufs: &'env InstanceBuffers<T>,
-        dest: &'env mut [T],
-        scale: Option<&'env mut [T]>,
+        scale: Option<&mut Vec<T>>,
         op: &Operation,
         ranges: &[(usize, usize)],
-        vectorized: bool,
-    ) -> Vec<Box<dyn FnOnce() + Send + 'env>> {
+        dispatch: &'static KernelDispatch<T>,
+    ) {
         let cfg = &bufs.config;
-        let (s, n_pat, n_cat) = (cfg.state_count, cfg.pattern_count, cfg.category_count);
-        let c1 = bufs.child_operand(op.child1);
-        let c2 = bufs.child_operand(op.child2);
-        let m1 = &bufs.matrices[op.child1_matrix];
-        let m2 = &bufs.matrices[op.child2_matrix];
-
-        // Split `dest` into per-(chunk, category) mutable blocks. Ranges are
-        // contiguous from 0, so sequential split_at_mut works per category.
-        let mut per_chunk_blocks: Vec<Vec<&'env mut [T]>> =
-            (0..ranges.len()).map(|_| Vec::with_capacity(n_cat)).collect();
-        for cat_block in dest.chunks_exact_mut(n_pat * s) {
-            let mut rest = cat_block;
-            for (ci, &(p0, p1)) in ranges.iter().enumerate() {
-                let (chunk, r) = rest.split_at_mut((p1 - p0) * s);
-                per_chunk_blocks[ci].push(chunk);
-                rest = r;
-            }
-        }
-        // Split the scale buffer the same way (it is per-pattern).
-        let mut scale_chunks: Vec<Option<&'env mut [T]>> = match scale {
-            Some(sc) => {
-                let mut rest = sc;
-                let mut out = Vec::with_capacity(ranges.len());
-                for &(p0, p1) in ranges {
-                    let (chunk, r) = rest.split_at_mut(p1 - p0);
-                    out.push(Some(chunk));
-                    rest = r;
-                }
-                out
-            }
-            None => ranges.iter().map(|_| None).collect(),
+        let (s, sp) = (cfg.state_count, bufs.state_stride);
+        let operand = |child: usize| match bufs.child_operand(child) {
+            ChildOperand::Partials(p) => OperandPtr::Partials(p.as_ptr()),
+            ChildOperand::States(st) => OperandPtr::States(st.as_ptr()),
         };
-
-        per_chunk_blocks
-            .into_iter()
-            .zip(ranges.to_vec())
-            .zip(scale_chunks.drain(..))
-            .map(|((mut blocks, (p0, p1)), scale_chunk)| {
-                let task = move || {
-                    for (cat, dblock) in blocks.iter_mut().enumerate() {
-                        let c1b = Self::operand_block(&c1, cat, p0, p1, n_pat, s);
-                        let c2b = Self::operand_block(&c2, cat, p0, p1, n_pat, s);
-                        let m1c = &m1[cat * s * s..(cat + 1) * s * s];
-                        let m2c = &m2[cat * s * s..(cat + 1) * s * s];
-                        Self::run_block(dblock, c1b, c2b, m1c, m2c, s, vectorized);
-                    }
-                    if let Some(sc) = scale_chunk {
-                        kernels::rescale_patterns(&mut blocks, sc, s);
-                    }
-                };
-                Box::new(task) as Box<dyn FnOnce() + Send + 'env>
-            })
-            .collect()
+        let c1 = operand(op.child1);
+        let c2 = operand(op.child2);
+        let scale_base = scale.map_or(std::ptr::null_mut(), |sc| sc.as_mut_ptr());
+        for &(p0, p1) in ranges {
+            tasks.push(ChunkTask {
+                dest: dest.as_mut_ptr(),
+                scale: if scale_base.is_null() {
+                    std::ptr::null_mut()
+                } else {
+                    // SAFETY: p0 < pattern_count == scale buffer length.
+                    unsafe { scale_base.add(p0) }
+                },
+                c1,
+                c2,
+                m1: bufs.matrices[op.child1_matrix].as_ptr(),
+                m2: bufs.matrices[op.child2_matrix].as_ptr(),
+                s,
+                sp,
+                n_pat: cfg.pattern_count,
+                n_cat: cfg.category_count,
+                p0,
+                p1,
+                dispatch,
+            });
+        }
     }
 
     /// Execute one operation serially over the whole pattern range.
     fn execute_op_serial(&mut self, op: &Operation) {
-        let vectorized = self.use_vector_kernels();
         let mut dest = self.bufs.take_destination(op.destination);
         let mut scale = op
             .dest_scale_write
             .map(|si| std::mem::take(&mut self.bufs.scale_buffers[si]));
-        {
-            let ranges = [(0, self.bufs.config.pattern_count)];
-            let tasks = Self::build_chunk_tasks(
-                &self.bufs,
-                &mut dest,
-                scale.as_deref_mut(),
-                op,
-                &ranges,
-                vectorized,
-            );
-            for t in tasks {
-                t();
-            }
+        let tasks = &mut self.scratch.chunk_tasks;
+        tasks.clear();
+        Self::push_chunk_tasks(
+            tasks,
+            &self.bufs,
+            &mut dest,
+            scale.as_mut(),
+            op,
+            &[(0, self.bufs.config.pattern_count)],
+            self.dispatch,
+        );
+        for t in tasks.iter_mut() {
+            run_chunk(t);
         }
+        tasks.clear();
         if let (Some(si), Some(sc)) = (op.dest_scale_write, scale) {
             self.bufs.scale_buffers[si] = sc;
         }
@@ -259,37 +340,35 @@ impl<T: Real> CpuInstance<T> {
 
     /// Execute one operation with pattern-level parallelism.
     fn execute_op_chunked(&mut self, op: &Operation, use_pool: bool) {
-        let vectorized = self.use_vector_kernels();
-        let n_pat = self.bufs.config.pattern_count;
-        let threads = self.threading.thread_count();
-        let ranges = partition_range(n_pat, threads);
         let mut dest = self.bufs.take_destination(op.destination);
         let mut scale = op
             .dest_scale_write
             .map(|si| std::mem::take(&mut self.bufs.scale_buffers[si]));
-        {
-            let tasks = Self::build_chunk_tasks(
-                &self.bufs,
-                &mut dest,
-                scale.as_deref_mut(),
-                op,
-                &ranges,
-                vectorized,
-            );
-            if use_pool {
-                let Threading::ThreadPool { pool } = &self.threading else {
-                    unreachable!("use_pool implies pool strategy")
-                };
-                pool.run_batch(tasks);
-            } else {
-                // Thread-create: on-demand creation and joining (§VI-B).
-                std::thread::scope(|scope| {
-                    for t in tasks {
-                        scope.spawn(t);
-                    }
-                });
-            }
+        let tasks = &mut self.scratch.chunk_tasks;
+        tasks.clear();
+        Self::push_chunk_tasks(
+            tasks,
+            &self.bufs,
+            &mut dest,
+            scale.as_mut(),
+            op,
+            &self.partition,
+            self.dispatch,
+        );
+        if use_pool {
+            let Threading::ThreadPool { pool } = &self.threading else {
+                unreachable!("use_pool implies pool strategy")
+            };
+            pool.run_tasks(tasks, run_chunk::<T>);
+        } else {
+            // Thread-create: on-demand creation and joining (§VI-B).
+            std::thread::scope(|scope| {
+                for t in tasks.iter_mut() {
+                    scope.spawn(move || run_chunk(t));
+                }
+            });
         }
+        tasks.clear();
         if let (Some(si), Some(sc)) = (op.dest_scale_write, scale) {
             self.bufs.scale_buffers[si] = sc;
         }
@@ -320,7 +399,6 @@ impl<T: Real> CpuInstance<T> {
     /// One level of mutually independent operations, each as its own
     /// full-pattern-range task on a scoped thread (the futures model).
     fn execute_level_concurrent(&mut self, level: &[Operation]) {
-        let vectorized = self.use_vector_kernels();
         if level.len() == 1 {
             self.execute_op_serial(&level[0]);
             return;
@@ -343,27 +421,26 @@ impl<T: Real> CpuInstance<T> {
                 (dest, scale)
             })
             .collect();
-        {
-            let bufs = &self.bufs;
-            std::thread::scope(|scope| {
-                for (op, (dest, scale)) in level.iter().zip(outputs.iter_mut()) {
-                    let full_range = [(0, bufs.config.pattern_count)];
-                    scope.spawn(move || {
-                        let tasks = Self::build_chunk_tasks(
-                            bufs,
-                            dest,
-                            scale.as_deref_mut(),
-                            op,
-                            &full_range,
-                            vectorized,
-                        );
-                        for t in tasks {
-                            t();
-                        }
-                    });
-                }
-            });
+        let full_range = [(0, self.bufs.config.pattern_count)];
+        let tasks = &mut self.scratch.chunk_tasks;
+        tasks.clear();
+        for (op, (dest, scale)) in level.iter().zip(outputs.iter_mut()) {
+            Self::push_chunk_tasks(
+                tasks,
+                &self.bufs,
+                dest,
+                scale.as_mut(),
+                op,
+                &full_range,
+                self.dispatch,
+            );
         }
+        std::thread::scope(|scope| {
+            for t in tasks.iter_mut() {
+                scope.spawn(move || run_chunk(t));
+            }
+        });
+        tasks.clear();
         for (op, (dest, scale)) in level.iter().zip(outputs) {
             if let (Some(si), Some(sc)) = (op.dest_scale_write, scale) {
                 self.bufs.scale_buffers[si] = sc;
@@ -374,7 +451,7 @@ impl<T: Real> CpuInstance<T> {
 
     /// One level of mutually independent operations as a single batched
     /// dispatch: the per-op pattern-range chunk tasks of the whole level are
-    /// gathered and submitted in one `run_batch` (thread-pool) or one thread
+    /// gathered and submitted in one pool batch (thread-pool) or one thread
     /// scope (thread-create). Chunk boundaries are identical to the eager
     /// per-op path, so results stay bit-for-bit equal.
     fn execute_level_chunked(&mut self, level: &[Operation], use_pool: bool) {
@@ -388,9 +465,6 @@ impl<T: Real> CpuInstance<T> {
             }
             return;
         }
-        let vectorized = self.use_vector_kernels();
-        let n_pat = self.bufs.config.pattern_count;
-        let ranges = partition_range(n_pat, self.threading.thread_count());
         let mut outputs: Vec<(Vec<T>, Option<Vec<T>>)> = level
             .iter()
             .map(|op| {
@@ -401,33 +475,32 @@ impl<T: Real> CpuInstance<T> {
                 (dest, scale)
             })
             .collect();
-        {
-            let bufs = &self.bufs;
-            let mut tasks: Vec<Box<dyn FnOnce() + Send + '_>> =
-                Vec::with_capacity(level.len() * ranges.len());
-            for (op, (dest, scale)) in level.iter().zip(outputs.iter_mut()) {
-                tasks.extend(Self::build_chunk_tasks(
-                    bufs,
-                    dest,
-                    scale.as_deref_mut(),
-                    op,
-                    &ranges,
-                    vectorized,
-                ));
-            }
-            if use_pool {
-                let Threading::ThreadPool { pool } = &self.threading else {
-                    unreachable!("use_pool implies pool strategy")
-                };
-                pool.run_batch(tasks);
-            } else {
-                std::thread::scope(|scope| {
-                    for t in tasks {
-                        scope.spawn(t);
-                    }
-                });
-            }
+        let tasks = &mut self.scratch.chunk_tasks;
+        tasks.clear();
+        for (op, (dest, scale)) in level.iter().zip(outputs.iter_mut()) {
+            Self::push_chunk_tasks(
+                tasks,
+                &self.bufs,
+                dest,
+                scale.as_mut(),
+                op,
+                &self.partition,
+                self.dispatch,
+            );
         }
+        if use_pool {
+            let Threading::ThreadPool { pool } = &self.threading else {
+                unreachable!("use_pool implies pool strategy")
+            };
+            pool.run_tasks(tasks, run_chunk::<T>);
+        } else {
+            std::thread::scope(|scope| {
+                for t in tasks.iter_mut() {
+                    scope.spawn(move || run_chunk(t));
+                }
+            });
+        }
+        tasks.clear();
         for (op, (dest, scale)) in level.iter().zip(outputs) {
             if let (Some(si), Some(sc)) = (op.dest_scale_write, scale) {
                 self.bufs.scale_buffers[si] = sc;
@@ -504,6 +577,7 @@ impl<T: Real> CpuInstance<T> {
         let mut site_lnl = std::mem::take(&mut self.bufs.site_log_likelihoods);
 
         let s = cfg.state_count;
+        let sp = self.bufs.state_stride;
         let n_pat = cfg.pattern_count;
         let freqs = &self.bufs.frequencies[f_index];
         let catw = &self.bufs.category_weights[cw_index];
@@ -514,28 +588,38 @@ impl<T: Real> CpuInstance<T> {
             && n_pat >= self.min_patterns;
         let total = if parallel_root {
             let Threading::ThreadPool { pool } = &self.threading else { unreachable!() };
-            let ranges = partition_range(n_pat, pool.thread_count());
-            let mut partial_sums = vec![0.0f64; ranges.len()];
-            {
-                // Split site_lnl by range; each task writes its chunk and sum.
-                let mut tasks: Vec<Box<dyn FnOnce() + Send + '_>> =
-                    Vec::with_capacity(ranges.len());
-                let mut rest = site_lnl.as_mut_slice();
-                for (&(p0, p1), sum_slot) in ranges.iter().zip(partial_sums.iter_mut()) {
-                    let (chunk, r) = rest.split_at_mut(p1 - p0);
-                    rest = r;
-                    let root = &root;
-                    tasks.push(Box::new(move || {
-                        *sum_slot = kernels::integrate_root(
-                            chunk, root, freqs, catw, pw, cscale, s, n_pat, p0,
-                        );
-                    }));
-                }
-                pool.run_batch(tasks);
+            let tasks = &mut self.scratch.root_tasks;
+            tasks.clear();
+            let site_base = site_lnl.as_mut_ptr();
+            for &(p0, p1) in &self.partition {
+                tasks.push(RootTask {
+                    // SAFETY: p0 < n_pat == site_lnl length.
+                    site: unsafe { site_base.add(p0) },
+                    len: p1 - p0,
+                    root: root.as_ptr(),
+                    root_len: root.len(),
+                    freqs: freqs.as_ptr(),
+                    freqs_len: freqs.len(),
+                    catw: catw.as_ptr(),
+                    catw_len: catw.len(),
+                    pw: pw.as_ptr(),
+                    cscale: cscale.map_or(std::ptr::null(), |cs| cs.as_ptr()),
+                    s,
+                    sp,
+                    n_pat,
+                    p0,
+                    dispatch: self.dispatch,
+                    sum: 0.0,
+                });
             }
-            partial_sums.iter().sum()
+            pool.run_tasks(tasks, run_root::<T>);
+            let total = tasks.iter().map(|t| t.sum).sum();
+            tasks.clear();
+            total
         } else {
-            kernels::integrate_root(&mut site_lnl, &root, freqs, catw, pw, cscale, s, n_pat, 0)
+            (self.dispatch.integrate_root)(
+                &mut site_lnl, &root, freqs, catw, pw, cscale, s, sp, n_pat, 0,
+            )
         };
 
         self.bufs.site_log_likelihoods = site_lnl;
@@ -549,7 +633,7 @@ impl<T: Real> CpuInstance<T> {
     }
 }
 
-impl<T: Real> BeagleInstance for CpuInstance<T> {
+impl<T: DispatchReal> BeagleInstance for CpuInstance<T> {
     fn details(&self) -> &InstanceDetails {
         &self.details
     }
@@ -671,6 +755,7 @@ impl<T: Real> BeagleInstance for CpuInstance<T> {
             &self.bufs.pattern_weights,
             cscale,
             cfg.state_count,
+            self.bufs.state_stride,
             cfg.pattern_count,
         );
         if lnl.is_nan() {
@@ -798,35 +883,42 @@ impl<T: Real> BeagleInstance for CpuInstance<T> {
             cumulative_scale,
         )?;
         let parent = self.bufs.partials[parent_buffer]
-            .as_ref()
+            .take()
             .ok_or(BeagleError::InvalidConfiguration(format!(
                 "parent buffer {parent_buffer} has never been computed"
             )))?;
-        let child = if let Some(p) = &self.bufs.partials[child_buffer] {
-            EdgeChild::Partials(p.as_slice())
-        } else if let Some(st) = &self.bufs.tip_states[child_buffer] {
-            EdgeChild::States(st.as_slice())
-        } else {
-            return Err(BeagleError::InvalidConfiguration(format!(
-                "child buffer {child_buffer} has never been written"
-            )));
-        };
-        let mut site_lnl = vec![T::ZERO; cfg.pattern_count];
-        let cscale = cumulative_scale.map(|i| self.bufs.scale_buffers[i].as_slice());
-        let total = kernels::integrate_edge(
-            &mut site_lnl,
-            parent,
-            child,
-            &self.bufs.matrices[matrix_index],
-            &self.bufs.frequencies[frequencies_index],
-            &self.bufs.category_weights[category_weights_index],
-            &self.bufs.pattern_weights,
-            cscale,
-            cfg.state_count,
-            cfg.pattern_count,
-            0,
-        );
+        // Reuse the site-likelihood buffer instead of allocating a fresh one
+        // per call (allocation-free hot path).
+        let mut site_lnl = std::mem::take(&mut self.bufs.site_log_likelihoods);
+        let result = (|| {
+            let child = if let Some(p) = &self.bufs.partials[child_buffer] {
+                EdgeChild::Partials(p.as_slice())
+            } else if let Some(st) = &self.bufs.tip_states[child_buffer] {
+                EdgeChild::States(st.as_slice())
+            } else {
+                return Err(BeagleError::InvalidConfiguration(format!(
+                    "child buffer {child_buffer} has never been written"
+                )));
+            };
+            let cscale = cumulative_scale.map(|i| self.bufs.scale_buffers[i].as_slice());
+            Ok((self.dispatch.integrate_edge)(
+                &mut site_lnl,
+                &parent,
+                child,
+                &self.bufs.matrices[matrix_index],
+                &self.bufs.frequencies[frequencies_index],
+                &self.bufs.category_weights[category_weights_index],
+                &self.bufs.pattern_weights,
+                cscale,
+                cfg.state_count,
+                self.bufs.state_stride,
+                cfg.pattern_count,
+                0,
+            ))
+        })();
         self.bufs.site_log_likelihoods = site_lnl;
+        self.bufs.partials[parent_buffer] = Some(parent);
+        let total = result?;
         if total.is_nan() {
             return Err(BeagleError::NumericalFailure(
                 "edge log-likelihood is NaN (consider enabling scaling)".into(),

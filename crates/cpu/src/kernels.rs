@@ -2,9 +2,16 @@
 //!
 //! Every kernel operates on one *block*: a contiguous `[pattern][state]`
 //! slice belonging to a single rate category, together with that category's
-//! `s × s` transition matrices. Blocks are exactly the unit the threading
-//! models distribute — a (category, pattern-range) chunk — so the same
-//! kernels serve the serial, thread-create, and thread-pool paths.
+//! transition matrices. Blocks are exactly the unit the threading models
+//! distribute — a (category, pattern-range) chunk — so the same kernels
+//! serve the serial, thread-create, and thread-pool paths.
+//!
+//! All kernels take both the true state count `s` and the padded per-pattern
+//! stride `sp >= s` (see `beagle_core::buffers`): pattern `p`'s state vector
+//! occupies `[p*sp, p*sp+s)`, matrix row `i` occupies `[i*sp, i*sp+s)`, and
+//! padding lanes are exact zeros. Passing `sp == s` recovers the dense
+//! layout. The scalar kernels only ever touch the first `s` lanes, so their
+//! results are bit-identical for any stride.
 //!
 //! Kernel variants follow BEAGLE: the operands of a partials operation can
 //! each be full partials or compact tip states, giving three kernels
@@ -22,20 +29,22 @@ pub fn partials_partials<T: Real>(
     m1: &[T],
     m2: &[T],
     s: usize,
+    sp: usize,
 ) {
-    debug_assert_eq!(dest.len() % s, 0);
+    debug_assert!(sp >= s);
+    debug_assert_eq!(dest.len() % sp, 0);
     debug_assert_eq!(dest.len(), c1.len());
     debug_assert_eq!(dest.len(), c2.len());
-    debug_assert_eq!(m1.len(), s * s);
-    debug_assert_eq!(m2.len(), s * s);
+    debug_assert_eq!(m1.len(), s * sp);
+    debug_assert_eq!(m2.len(), s * sp);
     for ((d, a), b) in dest
-        .chunks_exact_mut(s)
-        .zip(c1.chunks_exact(s))
-        .zip(c2.chunks_exact(s))
+        .chunks_exact_mut(sp)
+        .zip(c1.chunks_exact(sp))
+        .zip(c2.chunks_exact(sp))
     {
         for i in 0..s {
-            let row1 = &m1[i * s..(i + 1) * s];
-            let row2 = &m2[i * s..(i + 1) * s];
+            let row1 = &m1[i * sp..i * sp + s];
+            let row2 = &m2[i * sp..i * sp + s];
             let mut sum1 = T::ZERO;
             let mut sum2 = T::ZERO;
             for j in 0..s {
@@ -56,21 +65,22 @@ pub fn states_partials<T: Real>(
     m1: &[T],
     m2: &[T],
     s: usize,
+    sp: usize,
 ) {
     debug_assert_eq!(dest.len(), c2.len());
-    debug_assert_eq!(dest.len(), s1.len() * s);
+    debug_assert_eq!(dest.len(), s1.len() * sp);
     for ((d, &st), b) in dest
-        .chunks_exact_mut(s)
+        .chunks_exact_mut(sp)
         .zip(s1.iter())
-        .zip(c2.chunks_exact(s))
+        .zip(c2.chunks_exact(sp))
     {
         for i in 0..s {
-            let row2 = &m2[i * s..(i + 1) * s];
+            let row2 = &m2[i * sp..i * sp + s];
             let mut sum2 = T::ZERO;
             for j in 0..s {
                 sum2 = row2[j].mul_add(b[j], sum2);
             }
-            let p1 = if st == GAP_STATE { T::ONE } else { m1[i * s + st as usize] };
+            let p1 = if st == GAP_STATE { T::ONE } else { m1[i * sp + st as usize] };
             d[i] = p1 * sum2;
         }
     }
@@ -84,15 +94,58 @@ pub fn states_states<T: Real>(
     m1: &[T],
     m2: &[T],
     s: usize,
+    sp: usize,
 ) {
-    debug_assert_eq!(dest.len(), s1.len() * s);
+    debug_assert_eq!(dest.len(), s1.len() * sp);
     debug_assert_eq!(s1.len(), s2.len());
-    for ((d, &st1), &st2) in dest.chunks_exact_mut(s).zip(s1.iter()).zip(s2.iter()) {
+    for ((d, &st1), &st2) in dest.chunks_exact_mut(sp).zip(s1.iter()).zip(s2.iter()) {
         for i in 0..s {
-            let p1 = if st1 == GAP_STATE { T::ONE } else { m1[i * s + st1 as usize] };
-            let p2 = if st2 == GAP_STATE { T::ONE } else { m2[i * s + st2 as usize] };
+            let p1 = if st1 == GAP_STATE { T::ONE } else { m1[i * sp + st1 as usize] };
+            let p2 = if st2 == GAP_STATE { T::ONE } else { m2[i * sp + st2 as usize] };
             d[i] = p1 * p2;
         }
+    }
+}
+
+/// Per-block max pass of rescaling: `maxes[p] = max(maxes[p], max_k
+/// block[p][k])` over the whole block in one streaming sweep. Padding lanes
+/// are zeros, so scanning the full stride cannot change the maximum.
+pub fn rescale_block_max<T: Real>(block: &[T], maxes: &mut [T], sp: usize) {
+    if sp == 4 {
+        // Nucleotide specialization: fully unrolled per-pattern max.
+        for (mx, q) in maxes.iter_mut().zip(block.chunks_exact(4)) {
+            let m = q[0].max(q[1]).max(q[2].max(q[3]));
+            *mx = (*mx).max(m);
+        }
+    } else {
+        for (mx, q) in maxes.iter_mut().zip(block.chunks_exact(sp)) {
+            let mut m = T::ZERO;
+            for &x in q {
+                m = m.max(x);
+            }
+            *mx = (*mx).max(m);
+        }
+    }
+}
+
+/// Per-block scale pass of rescaling: multiplies pattern `p`'s entries by
+/// `1/maxes[p]` (skipping all-zero patterns), one streaming sweep per block.
+pub fn rescale_block_apply<T: Real>(block: &mut [T], maxes: &[T], sp: usize) {
+    for (&mx, q) in maxes.iter().zip(block.chunks_exact_mut(sp)) {
+        if mx > T::ZERO {
+            let inv = T::ONE / mx;
+            for x in q {
+                *x *= inv;
+            }
+        }
+    }
+}
+
+/// Final pass of rescaling: turn the per-pattern maxima into log scale
+/// factors in place (`ln(max)`, or 0 for all-zero patterns).
+pub fn rescale_finish<T: Real>(maxes: &mut [T]) {
+    for mx in maxes {
+        *mx = if *mx > T::ZERO { (*mx).ln() } else { T::ZERO };
     }
 }
 
@@ -101,28 +154,20 @@ pub fn states_states<T: Real>(
 /// mutable block slices covering the same pattern range; patterns are local.
 ///
 /// BEAGLE scales per pattern over the joint (category × state) entries so a
-/// single factor per pattern suffices at root integration.
-pub fn rescale_patterns<T: Real>(blocks: &mut [&mut [T]], scale_out: &mut [T], s: usize) {
-    let n_pat = scale_out.len();
-    for p in 0..n_pat {
-        let mut max = T::ZERO;
-        for block in blocks.iter() {
-            for &x in &block[p * s..(p + 1) * s] {
-                max = max.max(x);
-            }
-        }
-        if max > T::ZERO {
-            let inv = T::ONE / max;
-            for block in blocks.iter_mut() {
-                for x in &mut block[p * s..(p + 1) * s] {
-                    *x *= inv;
-                }
-            }
-            scale_out[p] = max.ln();
-        } else {
-            scale_out[p] = T::ZERO;
-        }
+/// single factor per pattern suffices at root integration. Structured as
+/// per-block streaming passes (max, then scale, then log) so each block is
+/// walked contiguously; the result is bit-identical to the per-pattern
+/// strided walk it replaces (max is exact under reordering and the scale
+/// factor `1/max` is the same value either way).
+pub fn rescale_patterns<T: Real>(blocks: &mut [&mut [T]], scale_out: &mut [T], sp: usize) {
+    scale_out.iter_mut().for_each(|x| *x = T::ZERO);
+    for block in blocks.iter() {
+        rescale_block_max(block, scale_out, sp);
     }
+    for block in blocks.iter_mut() {
+        rescale_block_apply(block, scale_out, sp);
+    }
+    rescale_finish(scale_out);
 }
 
 /// Root integration for a pattern range: writes per-pattern site
@@ -137,6 +182,7 @@ pub fn integrate_root<T: Real>(
     pattern_weights: &[T],
     cumulative_scale: Option<&[T]>,
     s: usize,
+    sp: usize,
     n_pat_total: usize,
     p0: usize,
 ) -> f64 {
@@ -146,10 +192,10 @@ pub fn integrate_root<T: Real>(
         let p = p0 + lp;
         let mut site = T::ZERO;
         for (c, &w) in cat_weights.iter().enumerate() {
-            let base = (c * n_pat_total + p) * s;
+            let base = (c * n_pat_total + p) * sp;
             let mut state_sum = T::ZERO;
-            for (k, &f) in freqs.iter().enumerate() {
-                state_sum = f.mul_add(root[base + k], state_sum);
+            for k in 0..s {
+                state_sum = freqs[k].mul_add(root[base + k], state_sum);
             }
             site = w.mul_add(state_sum, site);
         }
@@ -177,6 +223,7 @@ pub fn integrate_edge<T: Real>(
     pattern_weights: &[T],
     cumulative_scale: Option<&[T]>,
     s: usize,
+    sp: usize,
     n_pat_total: usize,
     p0: usize,
 ) -> f64 {
@@ -186,13 +233,13 @@ pub fn integrate_edge<T: Real>(
         let p = p0 + lp;
         let mut site = T::ZERO;
         for (c, &w) in cat_weights.iter().enumerate() {
-            let base = (c * n_pat_total + p) * s;
-            let m = &matrix[c * s * s..(c + 1) * s * s];
+            let base = (c * n_pat_total + p) * sp;
+            let m = &matrix[c * s * sp..(c + 1) * s * sp];
             let mut state_sum = T::ZERO;
             for i in 0..s {
                 let prop = match child {
                     EdgeChild::Partials(cp) => {
-                        let row = &m[i * s..(i + 1) * s];
+                        let row = &m[i * sp..i * sp + s];
                         let mut acc = T::ZERO;
                         for j in 0..s {
                             acc = row[j].mul_add(cp[base + j], acc);
@@ -204,7 +251,7 @@ pub fn integrate_edge<T: Real>(
                         if stp == GAP_STATE {
                             T::ONE
                         } else {
-                            m[i * s + stp as usize]
+                            m[i * sp + stp as usize]
                         }
                     }
                 };
@@ -240,6 +287,7 @@ pub fn integrate_edge_derivatives<T: Real>(
     pattern_weights: &[T],
     cumulative_scale: Option<&[T]>,
     s: usize,
+    sp: usize,
     n_pat_total: usize,
 ) -> (f64, f64, f64) {
     let mut lnl = 0.0;
@@ -250,10 +298,10 @@ pub fn integrate_edge_derivatives<T: Real>(
         let mut site_d1 = T::ZERO;
         let mut site_d2 = T::ZERO;
         for (c, &w) in cat_weights.iter().enumerate() {
-            let base = (c * n_pat_total + p) * s;
-            let m = &matrix[c * s * s..(c + 1) * s * s];
-            let m1 = &d1_matrix[c * s * s..(c + 1) * s * s];
-            let m2 = &d2_matrix[c * s * s..(c + 1) * s * s];
+            let base = (c * n_pat_total + p) * sp;
+            let m = &matrix[c * s * sp..(c + 1) * s * sp];
+            let m1 = &d1_matrix[c * s * sp..(c + 1) * s * sp];
+            let m2 = &d2_matrix[c * s * sp..(c + 1) * s * sp];
             for i in 0..s {
                 let (prop, prop1, prop2) = match child {
                     EdgeChild::Partials(cp) => {
@@ -262,9 +310,9 @@ pub fn integrate_edge_derivatives<T: Real>(
                         let mut d = T::ZERO;
                         for j in 0..s {
                             let x = cp[base + j];
-                            a = m[i * s + j].mul_add(x, a);
-                            b = m1[i * s + j].mul_add(x, b);
-                            d = m2[i * s + j].mul_add(x, d);
+                            a = m[i * sp + j].mul_add(x, a);
+                            b = m1[i * sp + j].mul_add(x, b);
+                            d = m2[i * sp + j].mul_add(x, d);
                         }
                         (a, b, d)
                     }
@@ -275,7 +323,7 @@ pub fn integrate_edge_derivatives<T: Real>(
                             (T::ONE, T::ZERO, T::ZERO)
                         } else {
                             let j = stp as usize;
-                            (m[i * s + j], m1[i * s + j], m2[i * s + j])
+                            (m[i * sp + j], m1[i * sp + j], m2[i * sp + j])
                         }
                     }
                 };
@@ -302,7 +350,7 @@ pub fn integrate_edge_derivatives<T: Real>(
 /// Child operand of an edge integration.
 #[derive(Clone, Copy)]
 pub enum EdgeChild<'a, T: Real> {
-    /// Full partials buffer (`[category][pattern][state]`, full length).
+    /// Full partials buffer (`[category][pattern][stride]`, full length).
     Partials(&'a [T]),
     /// Compact states per pattern (full pattern range).
     States(&'a [u32]),
@@ -320,8 +368,34 @@ mod tests {
         let c1 = vec![1.0, 2.0, 3.0, 4.0, 0.5, 0.5, 0.5, 0.5];
         let c2 = vec![2.0, 2.0, 2.0, 2.0, 1.0, 2.0, 3.0, 4.0];
         let mut dest = vec![0.0; 8];
-        partials_partials(&mut dest, &c1, &c2, &id, &id, s);
+        partials_partials(&mut dest, &c1, &c2, &id, &id, s, s);
         assert_eq!(dest, vec![2.0, 4.0, 6.0, 8.0, 0.5, 1.0, 1.5, 2.0]);
+    }
+
+    /// A padded stride with zeroed pad lanes reproduces the dense result.
+    #[test]
+    fn pp_padded_stride_matches_dense() {
+        let (s, sp) = (3, 4);
+        let m_dense: Vec<f64> = (0..9).map(|i| 0.1 + i as f64 * 0.05).collect();
+        let mut m_pad = vec![0.0; s * sp];
+        for i in 0..s {
+            m_pad[i * sp..i * sp + s].copy_from_slice(&m_dense[i * s..(i + 1) * s]);
+        }
+        let c_dense: Vec<f64> = (0..2 * s).map(|i| 0.2 + i as f64 * 0.07).collect();
+        let mut c_pad = vec![0.0; 2 * sp];
+        for p in 0..2 {
+            c_pad[p * sp..p * sp + s].copy_from_slice(&c_dense[p * s..(p + 1) * s]);
+        }
+        let mut d_dense = vec![0.0; 2 * s];
+        let mut d_pad = vec![0.0; 2 * sp];
+        partials_partials(&mut d_dense, &c_dense, &c_dense, &m_dense, &m_dense, s, s);
+        partials_partials(&mut d_pad, &c_pad, &c_pad, &m_pad, &m_pad, s, sp);
+        for p in 0..2 {
+            for k in 0..s {
+                assert_eq!(d_dense[p * s + k], d_pad[p * sp + k]);
+            }
+            assert_eq!(d_pad[p * sp + s], 0.0, "pad lane untouched");
+        }
     }
 
     #[test]
@@ -337,9 +411,9 @@ mod tests {
         let c2 = vec![0.3, 0.1, 0.4, 0.2, 0.25, 0.25, 0.25, 0.25];
 
         let mut d1 = vec![0.0; 8];
-        states_partials(&mut d1, &states, &c2, &m1, &m2, s);
+        states_partials(&mut d1, &states, &c2, &m1, &m2, s, s);
         let mut d2 = vec![0.0; 8];
-        partials_partials(&mut d2, &onehot, &c2, &m1, &m2, s);
+        partials_partials(&mut d2, &onehot, &c2, &m1, &m2, s, s);
         for (a, b) in d1.iter().zip(&d2) {
             assert!((a - b).abs() < 1e-14);
         }
@@ -357,9 +431,9 @@ mod tests {
         let mut oh2 = vec![0.0; 4];
         oh2[1] = 1.0;
         let mut d1 = vec![0.0; 4];
-        states_states(&mut d1, &s1, &s2, &m1, &m2, s);
+        states_states(&mut d1, &s1, &s2, &m1, &m2, s, s);
         let mut d2 = vec![0.0; 4];
-        partials_partials(&mut d2, &oh1, &oh2, &m1, &m2, s);
+        partials_partials(&mut d2, &oh1, &oh2, &m1, &m2, s, s);
         for (a, b) in d1.iter().zip(&d2) {
             assert!((a - b).abs() < 1e-14);
         }
@@ -372,7 +446,7 @@ mod tests {
         let states = vec![GAP_STATE];
         let c2 = vec![1.0, 1.0, 1.0, 1.0];
         let mut d = vec![0.0; 4];
-        states_partials(&mut d, &states, &c2, &m, &m, s);
+        states_partials(&mut d, &states, &c2, &m, &m, s, s);
         // p1 = 1, sum2 = 2.0 → all entries 2.0
         assert_eq!(d, vec![2.0; 4]);
     }
@@ -405,6 +479,50 @@ mod tests {
         assert_eq!(b0, vec![0.0, 0.0]);
     }
 
+    /// The per-block restructure must match a straightforward per-pattern
+    /// reference implementation bit for bit.
+    #[test]
+    fn rescale_matches_per_pattern_reference() {
+        let sp = 4;
+        let n_pat = 7;
+        let mk = |seed: u64| -> Vec<f64> {
+            (0..n_pat * sp)
+                .map(|i| ((seed + i as u64 * 2654435761) % 1000) as f64 * 1e-5 + 1e-9)
+                .collect()
+        };
+        let mut b0 = mk(3);
+        let mut b1 = mk(11);
+        let mut r0 = b0.clone();
+        let mut r1 = b1.clone();
+        // Reference: per-pattern strided walk (the old implementation).
+        let mut ref_scale = vec![0.0f64; n_pat];
+        for p in 0..n_pat {
+            let mut max = 0.0f64;
+            for block in [&r0, &r1] {
+                for &x in &block[p * sp..(p + 1) * sp] {
+                    max = max.max(x);
+                }
+            }
+            if max > 0.0 {
+                let inv = 1.0 / max;
+                for block in [&mut r0, &mut r1] {
+                    for x in &mut block[p * sp..(p + 1) * sp] {
+                        *x *= inv;
+                    }
+                }
+                ref_scale[p] = max.ln();
+            }
+        }
+        let mut scale = vec![0.0f64; n_pat];
+        {
+            let mut blocks: Vec<&mut [f64]> = vec![&mut b0, &mut b1];
+            rescale_patterns(&mut blocks, &mut scale, sp);
+        }
+        assert_eq!(scale, ref_scale);
+        assert_eq!(b0, r0);
+        assert_eq!(b1, r1);
+    }
+
     #[test]
     fn root_integration_uniform() {
         // One category, 2 states, uniform freqs: site L = 0.5*(a+b).
@@ -414,7 +532,7 @@ mod tests {
         let pw = vec![2.0, 1.0];
         let mut site = vec![0.0; 2];
         let total =
-            integrate_root(&mut site, &root, &freqs, &catw, &pw, None, 2, 2, 0);
+            integrate_root(&mut site, &root, &freqs, &catw, &pw, None, 2, 2, 2, 0);
         let l0 = (0.5 * 0.8_f64).ln();
         let l1 = (0.5 * 0.8_f64).ln();
         assert!((site[0] - l0).abs() < 1e-12);
@@ -429,7 +547,8 @@ mod tests {
         let pw = vec![1.0];
         let cs = vec![-3.5];
         let mut site = vec![0.0; 1];
-        let total = integrate_root(&mut site, &root, &freqs, &catw, &pw, Some(&cs), 2, 1, 0);
+        let total =
+            integrate_root(&mut site, &root, &freqs, &catw, &pw, Some(&cs), 2, 2, 1, 0);
         assert!((site[0] - (1.0_f64.ln() - 3.5)).abs() < 1e-12);
         assert!((total + 3.5).abs() < 1e-12);
     }
@@ -457,11 +576,12 @@ mod tests {
             &pw,
             None,
             s,
+            s,
             1,
             0,
         );
         let mut site_r = vec![0.0];
-        let tr = integrate_root(&mut site_r, &parent, &freqs, &catw, &pw, None, s, 1, 0);
+        let tr = integrate_root(&mut site_r, &parent, &freqs, &catw, &pw, None, s, s, 1, 0);
         assert!((te - tr).abs() < 1e-12);
     }
 }

@@ -27,8 +27,10 @@ pub mod factories;
 pub mod instance;
 pub mod kernels;
 pub mod pool;
+pub mod simd;
 pub mod vector;
 
 pub use factories::{host_threads, register_cpu_factories, CpuFactory, ThreadingModel};
 pub use instance::{CpuInstance, Threading, MIN_PATTERNS_FOR_THREADING};
 pub use pool::ThreadPool;
+pub use simd::{host_fma_available, DispatchKind, DispatchReal, KernelDispatch};

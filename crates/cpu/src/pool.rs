@@ -2,75 +2,104 @@
 //!
 //! §VI-C of the paper: "this final iteration of our CPU threading solution
 //! involved modifying the thread-create approach to use a pool of C++
-//! standard library threads". The pool here is the Rust equivalent: workers
-//! blocked on a crossbeam channel, a countdown latch for batch completion,
-//! and a *scoped* submission API so kernels can borrow instance buffers
-//! without `Arc`-wrapping every slice.
+//! standard library threads". The pool here is the Rust equivalent, with one
+//! addition aimed at the traversal hot path: dispatching a batch performs
+//! **no allocation**. Instead of boxing one closure per task and pushing
+//! them through a channel, the submitter installs a single *batch
+//! descriptor* — a raw pointer to a caller-owned task slice plus a
+//! monomorphized trampoline — under the pool mutex; workers claim task
+//! indices from it and the submitter participates until the batch drains.
+//! The per-batch latch, panic flag, and job queue of the previous design
+//! (one `Vec<Box<dyn FnOnce>>`, one `Arc<Latch>`, and one
+//! `Arc<AtomicBool>` per dispatch) are all folded into that descriptor.
+//!
+//! Safety of the borrow erasure: `run_tasks` does not return until every
+//! task in the batch has finished (tracked by the `remaining` counter,
+//! decremented even on task panic), so no borrow held by a task can outlive
+//! its referent — the standard scoped-pool argument. Task indices are
+//! claimed under the mutex, so each task is executed exactly once and no
+//! two workers ever touch the same element.
 
 use std::panic::AssertUnwindSafe;
-use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
-use crossbeam::channel::{unbounded, Sender};
 use parking_lot::{Condvar, Mutex};
 
-type Job = Box<dyn FnOnce() + Send + 'static>;
+/// One in-flight batch: an erased view of the submitter's `&mut [Task]`.
+struct Batch {
+    /// Base of the task slice.
+    data: *mut u8,
+    /// The caller's `fn(&mut Task)`, erased (recovered by `call`).
+    run_ctx: *const (),
+    /// Invokes `run_ctx` on `data[idx]` with the right `Task` type.
+    call: unsafe fn(*mut u8, *const (), usize),
+    /// Total number of tasks.
+    len: usize,
+    /// Next unclaimed task index.
+    next: usize,
+    /// Tasks claimed or unclaimed but not yet finished.
+    remaining: usize,
+    /// Set when any task panicked; re-raised by the submitter.
+    panicked: bool,
+}
+
+// SAFETY: the raw pointers are only dereferenced by the batch protocol —
+// distinct indices on distinct threads, all before the submitting call
+// returns — and the submitter's `&mut [Task]` bound requires `Task: Send`.
+unsafe impl Send for Batch {}
+
+struct Shared {
+    /// The active batch, if any. Installed by a submitter once the slot is
+    /// free; cleared by the same submitter after completion (so it can read
+    /// the panic flag race-free).
+    batch: Option<Batch>,
+    shutdown: bool,
+}
+
+struct Inner {
+    shared: Mutex<Shared>,
+    /// Workers wait here for a batch with unclaimed tasks (or shutdown).
+    work_cv: Condvar,
+    /// Submitters wait here for batch completion / the slot to free up.
+    done_cv: Condvar,
+}
 
 /// A fixed-size pool of worker threads that executes batches of borrowed
-/// closures to completion.
+/// tasks to completion, without allocating on the dispatch path.
 pub struct ThreadPool {
-    sender: Option<Sender<Job>>,
+    inner: Arc<Inner>,
     workers: Vec<JoinHandle<()>>,
 }
 
-/// Countdown latch: `wait` blocks until `count_down` has been called `n` times.
-struct Latch {
-    remaining: Mutex<usize>,
-    cv: Condvar,
-}
-
-impl Latch {
-    fn new(n: usize) -> Self {
-        Self { remaining: Mutex::new(n), cv: Condvar::new() }
-    }
-
-    fn count_down(&self) {
-        let mut rem = self.remaining.lock();
-        *rem -= 1;
-        if *rem == 0 {
-            self.cv.notify_all();
-        }
-    }
-
-    fn wait(&self) {
-        let mut rem = self.remaining.lock();
-        while *rem > 0 {
-            self.cv.wait(&mut rem);
-        }
-    }
+unsafe fn call_task<Task>(data: *mut u8, run_ctx: *const (), idx: usize) {
+    // SAFETY (caller): `data` points at a live `[Task]` with `idx < len`,
+    // `run_ctx` was produced from a `fn(&mut Task)` of the same `Task`, and
+    // no other thread holds index `idx`.
+    let run: fn(&mut Task) = unsafe { std::mem::transmute(run_ctx) };
+    let task = unsafe { &mut *(data as *mut Task).add(idx) };
+    run(task);
 }
 
 impl ThreadPool {
     /// Spawn `threads` workers (at least 1).
     pub fn new(threads: usize) -> Self {
         let threads = threads.max(1);
-        let (sender, receiver) = unbounded::<Job>();
+        let inner = Arc::new(Inner {
+            shared: Mutex::new(Shared { batch: None, shutdown: false }),
+            work_cv: Condvar::new(),
+            done_cv: Condvar::new(),
+        });
         let workers = (0..threads)
             .map(|i| {
-                let rx = receiver.clone();
+                let inner = Arc::clone(&inner);
                 std::thread::Builder::new()
                     .name(format!("beagle-worker-{i}"))
-                    .spawn(move || {
-                        // Channel disconnect (pool drop) ends the loop.
-                        while let Ok(job) = rx.recv() {
-                            job();
-                        }
-                    })
+                    .spawn(move || worker_loop(&inner))
                     .expect("spawn worker thread")
             })
             .collect();
-        Self { sender: Some(sender), workers }
+        Self { inner, workers }
     }
 
     /// Number of worker threads.
@@ -78,41 +107,86 @@ impl ThreadPool {
         self.workers.len()
     }
 
-    /// Run a batch of tasks that may borrow from the caller's stack, and
-    /// block until all of them complete.
+    /// Run `run` over every element of `tasks` on the pool (the submitting
+    /// thread participates), blocking until all have finished. Allocation-
+    /// free: the batch descriptor lives in the pool's shared slot and the
+    /// tasks stay in the caller's slice.
     ///
-    /// Safety of the lifetime erasure: the call does not return until every
-    /// task has finished (enforced by the latch, counted down even on task
-    /// panic), so no borrow in a task can outlive its referent. This is the
-    /// standard scoped-thread-pool construction.
-    pub fn run_batch<'env>(&self, tasks: Vec<Box<dyn FnOnce() + Send + 'env>>) {
+    /// Panics with "a thread-pool task panicked" if any task panicked (after
+    /// the whole batch has drained, so borrows stay sound).
+    pub fn run_tasks<Task: Send>(&self, tasks: &mut [Task], run: fn(&mut Task)) {
         if tasks.is_empty() {
             return;
         }
-        let latch = Arc::new(Latch::new(tasks.len()));
-        let panicked = Arc::new(AtomicBool::new(false));
-        let sender = self.sender.as_ref().expect("pool alive");
-        for task in tasks {
-            // SAFETY: see method docs — the latch wait below guarantees the
-            // closure (and everything it borrows) is done before we return.
-            let task: Box<dyn FnOnce() + Send + 'static> =
-                unsafe { std::mem::transmute(task) };
-            let latch = Arc::clone(&latch);
-            let panicked = Arc::clone(&panicked);
-            sender
-                .send(Box::new(move || {
-                    let result = std::panic::catch_unwind(AssertUnwindSafe(task));
-                    if result.is_err() {
-                        panicked.store(true, Ordering::SeqCst);
-                    }
-                    latch.count_down();
-                }))
-                .expect("worker channel alive");
+        let len = tasks.len();
+        {
+            let mut g = self.inner.shared.lock();
+            // Wait for the slot: another thread's batch may be in flight.
+            while g.batch.is_some() {
+                self.inner.done_cv.wait(&mut g);
+            }
+            g.batch = Some(Batch {
+                data: tasks.as_mut_ptr() as *mut u8,
+                run_ctx: run as *const (),
+                call: call_task::<Task>,
+                len,
+                next: 0,
+                remaining: len,
+                panicked: false,
+            });
         }
-        latch.wait();
-        if panicked.load(Ordering::SeqCst) {
+        self.inner.work_cv.notify_all();
+
+        // Participate: claim tasks alongside the workers.
+        loop {
+            let mut g = self.inner.shared.lock();
+            let b = g.batch.as_mut().expect("own batch present");
+            if b.next >= b.len {
+                break;
+            }
+            let idx = b.next;
+            b.next += 1;
+            let (data, run_ctx, call) = (b.data, b.run_ctx, b.call);
+            drop(g);
+            // SAFETY: index claimed exclusively above; slice outlives this
+            // call because we don't return until `remaining == 0`.
+            let result = std::panic::catch_unwind(AssertUnwindSafe(|| unsafe {
+                call(data, run_ctx, idx)
+            }));
+            let mut g = self.inner.shared.lock();
+            let b = g.batch.as_mut().expect("own batch present");
+            if result.is_err() {
+                b.panicked = true;
+            }
+            b.remaining -= 1;
+            if b.remaining == 0 {
+                self.inner.done_cv.notify_all();
+            }
+        }
+
+        // Drain: wait for workers to finish the tail, then clear the slot.
+        let mut g = self.inner.shared.lock();
+        while g.batch.as_ref().expect("own batch present").remaining > 0 {
+            self.inner.done_cv.wait(&mut g);
+        }
+        let panicked = g.batch.take().expect("own batch present").panicked;
+        // The slot is free again: wake submitters queued for it.
+        self.inner.done_cv.notify_all();
+        drop(g);
+        if panicked {
             panic!("a thread-pool task panicked");
         }
+    }
+
+    /// Run a batch of boxed closures that may borrow from the caller's
+    /// stack, blocking until all complete. Compatibility surface over
+    /// [`ThreadPool::run_tasks`] — each box is taken out of the slice and
+    /// replaced with a zero-sized no-op (no allocation).
+    pub fn run_batch<'env>(&self, mut tasks: Vec<Box<dyn FnOnce() + Send + 'env>>) {
+        self.run_tasks(&mut tasks, |slot| {
+            let job = std::mem::replace(slot, Box::new(|| {}));
+            job();
+        });
     }
 
     /// Split `[0, n)` into `chunks` near-equal contiguous ranges (the paper's
@@ -123,10 +197,47 @@ impl ThreadPool {
     }
 }
 
+fn worker_loop(inner: &Inner) {
+    loop {
+        let mut g = inner.shared.lock();
+        loop {
+            if g.shutdown {
+                return;
+            }
+            if let Some(b) = g.batch.as_ref() {
+                if b.next < b.len {
+                    break;
+                }
+            }
+            inner.work_cv.wait(&mut g);
+        }
+        let b = g.batch.as_mut().expect("checked above");
+        let idx = b.next;
+        b.next += 1;
+        let (data, run_ctx, call) = (b.data, b.run_ctx, b.call);
+        drop(g);
+        // SAFETY: exclusive claim of `idx`; the submitter blocks until
+        // `remaining` hits zero, keeping the slice alive.
+        let result =
+            std::panic::catch_unwind(AssertUnwindSafe(|| unsafe { call(data, run_ctx, idx) }));
+        let mut g = inner.shared.lock();
+        // The batch cannot have been replaced: it is only cleared by its
+        // submitter after `remaining == 0`, and our decrement is pending.
+        let b = g.batch.as_mut().expect("batch alive until drained");
+        if result.is_err() {
+            b.panicked = true;
+        }
+        b.remaining -= 1;
+        if b.remaining == 0 {
+            inner.done_cv.notify_all();
+        }
+    }
+}
+
 impl Drop for ThreadPool {
     fn drop(&mut self) {
-        // Disconnect the channel so workers exit, then join them.
-        self.sender.take();
+        self.inner.shared.lock().shutdown = true;
+        self.inner.work_cv.notify_all();
         for w in self.workers.drain(..) {
             let _ = w.join();
         }
@@ -154,7 +265,7 @@ pub fn partition_range(n: usize, chunks: usize) -> Vec<(usize, usize)> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::sync::atomic::AtomicUsize;
+    use std::sync::atomic::{AtomicUsize, Ordering};
 
     #[test]
     fn batch_runs_all_tasks() {
@@ -213,6 +324,38 @@ mod tests {
         }
     }
 
+    /// The typed task API mutates caller-owned structs in place.
+    #[test]
+    fn run_tasks_mutates_in_place() {
+        struct Work {
+            input: u64,
+            output: u64,
+        }
+        let pool = ThreadPool::new(3);
+        let mut items: Vec<Work> = (0..64).map(|i| Work { input: i, output: 0 }).collect();
+        for _ in 0..20 {
+            pool.run_tasks(&mut items, |w| w.output += w.input * 2);
+        }
+        for (i, w) in items.iter().enumerate() {
+            assert_eq!(w.output, i as u64 * 2 * 20);
+        }
+    }
+
+    /// Tasks borrowing the submitter's stack stay sound across many rounds.
+    #[test]
+    fn run_tasks_with_borrowed_slices() {
+        let pool = ThreadPool::new(4);
+        let mut data = vec![1.0f64; 4096];
+        let mut chunks: Vec<&mut [f64]> = data.chunks_mut(512).collect();
+        pool.run_tasks(&mut chunks, |chunk| {
+            for x in chunk.iter_mut() {
+                *x *= 2.0;
+            }
+        });
+        drop(chunks);
+        assert!(data.iter().all(|&x| x == 2.0));
+    }
+
     #[test]
     #[should_panic(expected = "thread-pool task panicked")]
     fn panics_propagate_without_deadlock() {
@@ -224,10 +367,54 @@ mod tests {
         pool.run_batch(tasks);
     }
 
+    /// The pool survives a panicked batch and runs later batches normally.
+    #[test]
+    fn pool_usable_after_panicked_batch() {
+        let pool = ThreadPool::new(2);
+        let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            let mut items = vec![0usize, 1, 2, 3];
+            pool.run_tasks(&mut items, |i| {
+                if *i == 2 {
+                    panic!("boom");
+                }
+            });
+        }));
+        assert!(result.is_err());
+        let mut items = vec![0usize; 8];
+        pool.run_tasks(&mut items, |i| *i += 5);
+        assert!(items.iter().all(|&x| x == 5));
+    }
+
     #[test]
     fn empty_batch_is_noop() {
         let pool = ThreadPool::new(2);
         pool.run_batch(Vec::new());
+        let mut none: [u8; 0] = [];
+        pool.run_tasks(&mut none, |_| {});
+    }
+
+    /// Concurrent submitters queue for the batch slot without deadlock.
+    #[test]
+    fn concurrent_submitters_serialize() {
+        let pool = Arc::new(ThreadPool::new(2));
+        let total = Arc::new(AtomicUsize::new(0));
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let pool = Arc::clone(&pool);
+                let total = Arc::clone(&total);
+                std::thread::spawn(move || {
+                    for _ in 0..25 {
+                        let mut items = vec![1usize; 8];
+                        pool.run_tasks(&mut items, |i| *i += 1);
+                        total.fetch_add(items.iter().sum::<usize>(), Ordering::SeqCst);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(total.load(Ordering::SeqCst), 4 * 25 * 16);
     }
 
     #[test]

@@ -1,0 +1,1076 @@
+//! Runtime-dispatched SIMD kernel layer.
+//!
+//! The CPU instance picks one [`KernelDispatch`] table at creation time and
+//! calls every hot kernel through it. Three tables exist per precision:
+//!
+//! * **scalar** — the generic kernels in [`crate::kernels`], used for
+//!   non-vectorized instances and under `BEAGLE_FORCE_SCALAR`;
+//! * **portable** — the unrolled 4-state kernels in [`crate::vector`] where
+//!   applicable (generic kernels otherwise), used when the instance asked
+//!   for vectorization but the host lacks AVX2+FMA (or isn't x86-64);
+//! * **avx2** — explicit `std::arch` AVX2+FMA intrinsics (`f64`×4 /
+//!   `f32`×8), selected when `is_x86_feature_detected!` confirms support.
+//!
+//! The AVX2 kernels rely on the padded buffer layout (see
+//! `beagle_core::buffers`): each pattern's state vector and each matrix row
+//! occupy `sp` lanes where `sp` is the state count rounded up to
+//! [`Real::SIMD_LANES`], with pad lanes holding exact zeros. Inner dot
+//! products therefore run remainder-free over the full stride — the zero
+//! pads contribute nothing — and wide state counts (s=20 amino acid, s=61
+//! codon) are tiled over destination rows so the matrix tile stays in L1
+//! while patterns stream.
+//!
+//! Setting the environment variable `BEAGLE_FORCE_SCALAR` (to anything but
+//! `"0"`) at instance creation forces the scalar table regardless of host
+//! capability — the testing/benchmark override named in the details string.
+
+use beagle_core::real::Real;
+
+use crate::kernels::{self, EdgeChild};
+use crate::vector;
+
+/// Which kernel table an instance resolved to.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DispatchKind {
+    /// Generic scalar kernels only.
+    Scalar,
+    /// Portable unrolled kernels (compiler-vectorized), no intrinsics.
+    Portable,
+    /// Explicit AVX2+FMA intrinsic kernels.
+    Avx2,
+}
+
+type PpFn<T> = fn(&mut [T], &[T], &[T], &[T], &[T], usize, usize);
+type SpFn<T> = fn(&mut [T], &[u32], &[T], &[T], &[T], usize, usize);
+type SsFn<T> = fn(&mut [T], &[u32], &[u32], &[T], &[T], usize, usize);
+type RescaleMaxFn<T> = fn(&[T], &mut [T], usize);
+type RescaleApplyFn<T> = fn(&mut [T], &[T], usize);
+#[allow(clippy::type_complexity)]
+type RootFn<T> =
+    fn(&mut [T], &[T], &[T], &[T], &[T], Option<&[T]>, usize, usize, usize, usize) -> f64;
+#[allow(clippy::type_complexity)]
+type EdgeFn<T> = fn(
+    &mut [T],
+    &[T],
+    EdgeChild<'_, T>,
+    &[T],
+    &[T],
+    &[T],
+    &[T],
+    Option<&[T]>,
+    usize,
+    usize,
+    usize,
+    usize,
+) -> f64;
+
+/// One resolved kernel table: every hot-path kernel as a plain fn pointer,
+/// chosen once at instance creation so the per-operation dispatch cost is a
+/// single indirect call.
+pub struct KernelDispatch<T: Real> {
+    /// Human-readable path name ("scalar" / "portable" / "avx2").
+    pub path: &'static str,
+    /// partials × partials kernel.
+    pub partials_partials: PpFn<T>,
+    /// states × partials kernel.
+    pub states_partials: SpFn<T>,
+    /// states × states kernel.
+    pub states_states: SsFn<T>,
+    /// Per-block max pass of rescaling.
+    pub rescale_max: RescaleMaxFn<T>,
+    /// Per-block scale pass of rescaling.
+    pub rescale_apply: RescaleApplyFn<T>,
+    /// Root integration over a pattern range.
+    pub integrate_root: RootFn<T>,
+    /// Edge integration over a pattern range.
+    pub integrate_edge: EdgeFn<T>,
+}
+
+/// A [`Real`] that can resolve a kernel table — implemented for `f32`/`f64`.
+pub trait DispatchReal: Real {
+    /// The kernel table for `kind`. On hosts where AVX2+FMA is unavailable
+    /// the `Avx2` request degrades to the portable table, so the returned
+    /// table is always safe to call.
+    fn dispatch(kind: DispatchKind) -> &'static KernelDispatch<Self>;
+}
+
+/// True when `BEAGLE_FORCE_SCALAR` is set (to anything but `"0"`). Read at
+/// instance creation, not per call.
+pub fn force_scalar() -> bool {
+    std::env::var("BEAGLE_FORCE_SCALAR").map(|v| v != "0").unwrap_or(false)
+}
+
+/// True when the host supports the AVX2+FMA kernel set.
+pub fn avx2_available() -> bool {
+    #[cfg(target_arch = "x86_64")]
+    {
+        std::is_x86_feature_detected!("avx2") && std::is_x86_feature_detected!("fma")
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        false
+    }
+}
+
+/// True when hardware FMA may actually be used: the host has it and the
+/// scalar override is not in force. The accelerator back-end consults this
+/// so its simulated-device FMA fast path never claims units the host build
+/// would not exercise.
+pub fn host_fma_available() -> bool {
+    avx2_available() && !force_scalar()
+}
+
+/// Resolve the dispatch kind for an instance, honouring the
+/// `BEAGLE_FORCE_SCALAR` override. Called once at instance creation.
+pub fn select_kind(vectorized: bool) -> DispatchKind {
+    if !vectorized || force_scalar() {
+        DispatchKind::Scalar
+    } else if avx2_available() {
+        DispatchKind::Avx2
+    } else {
+        DispatchKind::Portable
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Portable table entries: unrolled 4-state kernels where they exist.
+// ---------------------------------------------------------------------------
+
+fn pp_portable<T: Real>(dest: &mut [T], c1: &[T], c2: &[T], m1: &[T], m2: &[T], s: usize, sp: usize) {
+    if s == 4 {
+        vector::partials_partials_4(dest, c1, c2, m1, m2, sp);
+    } else {
+        kernels::partials_partials(dest, c1, c2, m1, m2, s, sp);
+    }
+}
+
+fn sp_portable<T: Real>(
+    dest: &mut [T],
+    s1: &[u32],
+    c2: &[T],
+    m1: &[T],
+    m2: &[T],
+    s: usize,
+    sp: usize,
+) {
+    if s == 4 {
+        vector::states_partials_4(dest, s1, c2, m1, m2, sp);
+    } else {
+        kernels::states_partials(dest, s1, c2, m1, m2, s, sp);
+    }
+}
+
+fn ss_portable<T: Real>(
+    dest: &mut [T],
+    s1: &[u32],
+    s2: &[u32],
+    m1: &[T],
+    m2: &[T],
+    s: usize,
+    sp: usize,
+) {
+    if s == 4 {
+        vector::states_states_4(dest, s1, s2, m1, m2, sp);
+    } else {
+        kernels::states_states(dest, s1, s2, m1, m2, s, sp);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// AVX2 + FMA intrinsic kernels (x86-64 only).
+// ---------------------------------------------------------------------------
+
+#[cfg(target_arch = "x86_64")]
+mod avx2 {
+    //! Explicit AVX2+FMA kernels. Every `unsafe` target-feature function is
+    //! reached only through the safe wrappers at the bottom, which the
+    //! dispatch table hands out only after `avx2_available()` confirmed the
+    //! host supports the instructions.
+
+    use std::arch::x86_64::*;
+
+    use beagle_core::GAP_STATE;
+
+    use crate::kernels::{self, EdgeChild};
+
+    /// Destination rows per tile in the wide-state kernels: 8 rows × two
+    /// matrices of `sp` doubles stay comfortably inside L1 even for codon
+    /// models (8 × 64 × 8 B × 2 = 8 KiB) while patterns stream past.
+    const ROW_TILE: usize = 8;
+
+    // ---- f64 helpers ----
+
+    #[inline]
+    #[target_feature(enable = "avx2", enable = "fma")]
+    unsafe fn hsum_pd(v: __m256d) -> f64 {
+        let lo = _mm256_castpd256_pd128(v);
+        let hi = _mm256_extractf128_pd(v, 1);
+        let s = _mm_add_pd(lo, hi);
+        _mm_cvtsd_f64(_mm_add_sd(s, _mm_unpackhi_pd(s, s)))
+    }
+
+    /// Dot product of two `sp`-long buffers, `sp` a multiple of 4. Four
+    /// accumulators hide FMA latency on 16-lane groups; the reduction order
+    /// `(acc0+acc1)+(acc2+acc3)` is fixed so results do not depend on how
+    /// the loop was peeled.
+    #[inline]
+    #[target_feature(enable = "avx2", enable = "fma")]
+    unsafe fn dot_pd(a: *const f64, b: *const f64, sp: usize) -> f64 {
+        let mut acc0 = _mm256_setzero_pd();
+        let mut acc1 = _mm256_setzero_pd();
+        let mut acc2 = _mm256_setzero_pd();
+        let mut acc3 = _mm256_setzero_pd();
+        let mut j = 0usize;
+        while j + 16 <= sp {
+            acc0 = _mm256_fmadd_pd(_mm256_loadu_pd(a.add(j)), _mm256_loadu_pd(b.add(j)), acc0);
+            acc1 = _mm256_fmadd_pd(
+                _mm256_loadu_pd(a.add(j + 4)),
+                _mm256_loadu_pd(b.add(j + 4)),
+                acc1,
+            );
+            acc2 = _mm256_fmadd_pd(
+                _mm256_loadu_pd(a.add(j + 8)),
+                _mm256_loadu_pd(b.add(j + 8)),
+                acc2,
+            );
+            acc3 = _mm256_fmadd_pd(
+                _mm256_loadu_pd(a.add(j + 12)),
+                _mm256_loadu_pd(b.add(j + 12)),
+                acc3,
+            );
+            j += 16;
+        }
+        while j < sp {
+            acc0 = _mm256_fmadd_pd(_mm256_loadu_pd(a.add(j)), _mm256_loadu_pd(b.add(j)), acc0);
+            j += 4;
+        }
+        hsum_pd(_mm256_add_pd(_mm256_add_pd(acc0, acc1), _mm256_add_pd(acc2, acc3)))
+    }
+
+    /// Column `j` of a 4-row matrix with row stride `sp`, as one vector.
+    #[inline]
+    #[target_feature(enable = "avx2", enable = "fma")]
+    unsafe fn col_pd(m: *const f64, sp: usize, j: usize) -> __m256d {
+        _mm256_set_pd(*m.add(3 * sp + j), *m.add(2 * sp + j), *m.add(sp + j), *m.add(j))
+    }
+
+    // ---- f64 kernels ----
+
+    /// Nucleotide partials×partials: matrices transposed to columns once
+    /// per block, then one broadcast-FMA chain per child per pattern. The
+    /// per-lane operation sequence `fma(m3,a3, fma(m2,a2, fma(m1,a1,
+    /// m0*a0)))` is identical to the portable unrolled kernel, so the two
+    /// paths agree bit for bit.
+    #[target_feature(enable = "avx2", enable = "fma")]
+    unsafe fn pp4_pd(dest: &mut [f64], c1: &[f64], c2: &[f64], m1: &[f64], m2: &[f64]) {
+        let m1p = m1.as_ptr();
+        let m2p = m2.as_ptr();
+        let (m10, m11, m12, m13) =
+            (col_pd(m1p, 4, 0), col_pd(m1p, 4, 1), col_pd(m1p, 4, 2), col_pd(m1p, 4, 3));
+        let (m20, m21, m22, m23) =
+            (col_pd(m2p, 4, 0), col_pd(m2p, 4, 1), col_pd(m2p, 4, 2), col_pd(m2p, 4, 3));
+        for ((d, a), b) in dest
+            .chunks_exact_mut(4)
+            .zip(c1.chunks_exact(4))
+            .zip(c2.chunks_exact(4))
+        {
+            let mut s1 = _mm256_mul_pd(m10, _mm256_set1_pd(a[0]));
+            s1 = _mm256_fmadd_pd(m11, _mm256_set1_pd(a[1]), s1);
+            s1 = _mm256_fmadd_pd(m12, _mm256_set1_pd(a[2]), s1);
+            s1 = _mm256_fmadd_pd(m13, _mm256_set1_pd(a[3]), s1);
+            let mut s2 = _mm256_mul_pd(m20, _mm256_set1_pd(b[0]));
+            s2 = _mm256_fmadd_pd(m21, _mm256_set1_pd(b[1]), s2);
+            s2 = _mm256_fmadd_pd(m22, _mm256_set1_pd(b[2]), s2);
+            s2 = _mm256_fmadd_pd(m23, _mm256_set1_pd(b[3]), s2);
+            _mm256_storeu_pd(d.as_mut_ptr(), _mm256_mul_pd(s1, s2));
+        }
+    }
+
+    #[target_feature(enable = "avx2", enable = "fma")]
+    unsafe fn pp_pd(
+        dest: &mut [f64],
+        c1: &[f64],
+        c2: &[f64],
+        m1: &[f64],
+        m2: &[f64],
+        s: usize,
+        sp: usize,
+    ) {
+        if s == 4 {
+            // s == 4 in f64 always has stride 4 (already lane-aligned).
+            debug_assert_eq!(sp, 4);
+            return pp4_pd(dest, c1, c2, m1, m2);
+        }
+        let n_pat = dest.len() / sp;
+        let mut i0 = 0;
+        while i0 < s {
+            let i1 = (i0 + ROW_TILE).min(s);
+            for p in 0..n_pat {
+                let a = c1.as_ptr().add(p * sp);
+                let b = c2.as_ptr().add(p * sp);
+                let d = dest.as_mut_ptr().add(p * sp);
+                for i in i0..i1 {
+                    let s1 = dot_pd(m1.as_ptr().add(i * sp), a, sp);
+                    let s2 = dot_pd(m2.as_ptr().add(i * sp), b, sp);
+                    *d.add(i) = s1 * s2;
+                }
+            }
+            i0 = i1;
+        }
+    }
+
+    /// Nucleotide states×partials: the tip child selects one matrix column
+    /// (or all-ones for a gap) per pattern; the partials child runs the same
+    /// broadcast-FMA chain as `pp4_pd`.
+    #[target_feature(enable = "avx2", enable = "fma")]
+    unsafe fn sp4_pd(dest: &mut [f64], s1: &[u32], c2: &[f64], m1: &[f64], m2: &[f64]) {
+        let m2p = m2.as_ptr();
+        let (m20, m21, m22, m23) =
+            (col_pd(m2p, 4, 0), col_pd(m2p, 4, 1), col_pd(m2p, 4, 2), col_pd(m2p, 4, 3));
+        let ones = _mm256_set1_pd(1.0);
+        for ((d, &st), b) in dest
+            .chunks_exact_mut(4)
+            .zip(s1.iter())
+            .zip(c2.chunks_exact(4))
+        {
+            let mut s2 = _mm256_mul_pd(m20, _mm256_set1_pd(b[0]));
+            s2 = _mm256_fmadd_pd(m21, _mm256_set1_pd(b[1]), s2);
+            s2 = _mm256_fmadd_pd(m22, _mm256_set1_pd(b[2]), s2);
+            s2 = _mm256_fmadd_pd(m23, _mm256_set1_pd(b[3]), s2);
+            let p1 = if st == GAP_STATE {
+                ones
+            } else {
+                col_pd(m1.as_ptr(), 4, st as usize)
+            };
+            _mm256_storeu_pd(d.as_mut_ptr(), _mm256_mul_pd(p1, s2));
+        }
+    }
+
+    #[target_feature(enable = "avx2", enable = "fma")]
+    unsafe fn sp_pd(
+        dest: &mut [f64],
+        s1: &[u32],
+        c2: &[f64],
+        m1: &[f64],
+        m2: &[f64],
+        s: usize,
+        sp: usize,
+    ) {
+        if s == 4 {
+            debug_assert_eq!(sp, 4);
+            return sp4_pd(dest, s1, c2, m1, m2);
+        }
+        for ((d, &st), b) in dest
+            .chunks_exact_mut(sp)
+            .zip(s1.iter())
+            .zip(c2.chunks_exact(sp))
+        {
+            for i in 0..s {
+                let s2 = dot_pd(m2.as_ptr().add(i * sp), b.as_ptr(), sp);
+                let p1 = if st == GAP_STATE { 1.0 } else { m1[i * sp + st as usize] };
+                d[i] = p1 * s2;
+            }
+        }
+    }
+
+    #[inline]
+    #[target_feature(enable = "avx2", enable = "fma")]
+    unsafe fn hmax_pd(v: __m256d) -> f64 {
+        let lo = _mm256_castpd256_pd128(v);
+        let hi = _mm256_extractf128_pd(v, 1);
+        let m = _mm_max_pd(lo, hi);
+        _mm_cvtsd_f64(_mm_max_sd(m, _mm_unpackhi_pd(m, m)))
+    }
+
+    #[target_feature(enable = "avx2", enable = "fma")]
+    unsafe fn rescale_max_pd(block: &[f64], maxes: &mut [f64], sp: usize) {
+        for (mx, q) in maxes.iter_mut().zip(block.chunks_exact(sp)) {
+            let mut v = _mm256_loadu_pd(q.as_ptr());
+            let mut j = 4;
+            while j < sp {
+                v = _mm256_max_pd(v, _mm256_loadu_pd(q.as_ptr().add(j)));
+                j += 4;
+            }
+            // Pad lanes are zero, so the lane max is already >= 0 like the
+            // scalar pass's zero-initialised running max.
+            let m = hmax_pd(v);
+            if m > *mx {
+                *mx = m;
+            }
+        }
+    }
+
+    #[target_feature(enable = "avx2", enable = "fma")]
+    unsafe fn rescale_apply_pd(block: &mut [f64], maxes: &[f64], sp: usize) {
+        for (&mx, q) in maxes.iter().zip(block.chunks_exact_mut(sp)) {
+            if mx > 0.0 {
+                let inv = _mm256_set1_pd(1.0 / mx);
+                let mut j = 0;
+                while j < sp {
+                    let p = q.as_mut_ptr().add(j);
+                    _mm256_storeu_pd(p, _mm256_mul_pd(_mm256_loadu_pd(p), inv));
+                    j += 4;
+                }
+            }
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    #[target_feature(enable = "avx2", enable = "fma")]
+    unsafe fn root_pd(
+        site_lnl: &mut [f64],
+        root: &[f64],
+        freqs: &[f64],
+        cat_weights: &[f64],
+        pattern_weights: &[f64],
+        cumulative_scale: Option<&[f64]>,
+        _s: usize,
+        sp: usize,
+        n_pat_total: usize,
+        p0: usize,
+    ) -> f64 {
+        let mut total = 0.0;
+        for lp in 0..site_lnl.len() {
+            let p = p0 + lp;
+            let mut site = 0.0f64;
+            for (c, &w) in cat_weights.iter().enumerate() {
+                let base = (c * n_pat_total + p) * sp;
+                let sum = dot_pd(freqs.as_ptr(), root.as_ptr().add(base), sp);
+                site = w.mul_add(sum, site);
+            }
+            let mut lnl = site.ln();
+            if let Some(cs) = cumulative_scale {
+                lnl += cs[p];
+            }
+            site_lnl[lp] = lnl;
+            total += pattern_weights[p] * lnl;
+        }
+        total
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    #[target_feature(enable = "avx2", enable = "fma")]
+    unsafe fn edge_pp_pd(
+        site_lnl: &mut [f64],
+        parent: &[f64],
+        child: &[f64],
+        matrix: &[f64],
+        freqs: &[f64],
+        cat_weights: &[f64],
+        pattern_weights: &[f64],
+        cumulative_scale: Option<&[f64]>,
+        s: usize,
+        sp: usize,
+        n_pat_total: usize,
+        p0: usize,
+    ) -> f64 {
+        let mut total = 0.0;
+        for lp in 0..site_lnl.len() {
+            let p = p0 + lp;
+            let mut site = 0.0f64;
+            for (c, &w) in cat_weights.iter().enumerate() {
+                let base = (c * n_pat_total + p) * sp;
+                let m = matrix.as_ptr().add(c * s * sp);
+                let cp = child.as_ptr().add(base);
+                let mut state_sum = 0.0f64;
+                for i in 0..s {
+                    let prop = dot_pd(m.add(i * sp), cp, sp);
+                    state_sum += freqs[i] * parent[base + i] * prop;
+                }
+                site = w.mul_add(state_sum, site);
+            }
+            let mut lnl = site.ln();
+            if let Some(cs) = cumulative_scale {
+                lnl += cs[p];
+            }
+            site_lnl[lp] = lnl;
+            total += pattern_weights[p] * lnl;
+        }
+        total
+    }
+
+    // ---- f32 helpers ----
+
+    #[inline]
+    #[target_feature(enable = "avx2", enable = "fma")]
+    unsafe fn hsum_ps(v: __m256) -> f32 {
+        let lo = _mm256_castps256_ps128(v);
+        let hi = _mm256_extractf128_ps(v, 1);
+        let s = _mm_add_ps(lo, hi);
+        let s = _mm_add_ps(s, _mm_movehl_ps(s, s));
+        _mm_cvtss_f32(_mm_add_ss(s, _mm_shuffle_ps(s, s, 0x55)))
+    }
+
+    /// f32 dot over `sp` lanes, `sp` a multiple of 8.
+    #[inline]
+    #[target_feature(enable = "avx2", enable = "fma")]
+    unsafe fn dot_ps(a: *const f32, b: *const f32, sp: usize) -> f32 {
+        let mut acc0 = _mm256_setzero_ps();
+        let mut acc1 = _mm256_setzero_ps();
+        let mut acc2 = _mm256_setzero_ps();
+        let mut acc3 = _mm256_setzero_ps();
+        let mut j = 0usize;
+        while j + 32 <= sp {
+            acc0 = _mm256_fmadd_ps(_mm256_loadu_ps(a.add(j)), _mm256_loadu_ps(b.add(j)), acc0);
+            acc1 = _mm256_fmadd_ps(
+                _mm256_loadu_ps(a.add(j + 8)),
+                _mm256_loadu_ps(b.add(j + 8)),
+                acc1,
+            );
+            acc2 = _mm256_fmadd_ps(
+                _mm256_loadu_ps(a.add(j + 16)),
+                _mm256_loadu_ps(b.add(j + 16)),
+                acc2,
+            );
+            acc3 = _mm256_fmadd_ps(
+                _mm256_loadu_ps(a.add(j + 24)),
+                _mm256_loadu_ps(b.add(j + 24)),
+                acc3,
+            );
+            j += 32;
+        }
+        while j < sp {
+            acc0 = _mm256_fmadd_ps(_mm256_loadu_ps(a.add(j)), _mm256_loadu_ps(b.add(j)), acc0);
+            j += 8;
+        }
+        hsum_ps(_mm256_add_ps(_mm256_add_ps(acc0, acc1), _mm256_add_ps(acc2, acc3)))
+    }
+
+    /// Column `j` of a 4-row matrix with row stride `sp`, as one 128-bit
+    /// vector (f32 nucleotide kernels only touch the first 4 lanes).
+    #[inline]
+    #[target_feature(enable = "avx2", enable = "fma")]
+    unsafe fn col_ps(m: *const f32, sp: usize, j: usize) -> __m128 {
+        _mm_set_ps(*m.add(3 * sp + j), *m.add(2 * sp + j), *m.add(sp + j), *m.add(j))
+    }
+
+    // ---- f32 kernels ----
+
+    /// f32 nucleotide partials×partials: 4 states live in an 8-lane padded
+    /// stride; compute in 128-bit lanes and store only the live half so the
+    /// pad stays zero. Same per-lane FMA chain as the portable kernel.
+    #[target_feature(enable = "avx2", enable = "fma")]
+    unsafe fn pp4_ps(dest: &mut [f32], c1: &[f32], c2: &[f32], m1: &[f32], m2: &[f32], sp: usize) {
+        let m1p = m1.as_ptr();
+        let m2p = m2.as_ptr();
+        let (m10, m11, m12, m13) =
+            (col_ps(m1p, sp, 0), col_ps(m1p, sp, 1), col_ps(m1p, sp, 2), col_ps(m1p, sp, 3));
+        let (m20, m21, m22, m23) =
+            (col_ps(m2p, sp, 0), col_ps(m2p, sp, 1), col_ps(m2p, sp, 2), col_ps(m2p, sp, 3));
+        for ((d, a), b) in dest
+            .chunks_exact_mut(sp)
+            .zip(c1.chunks_exact(sp))
+            .zip(c2.chunks_exact(sp))
+        {
+            let mut s1 = _mm_mul_ps(m10, _mm_set1_ps(a[0]));
+            s1 = _mm_fmadd_ps(m11, _mm_set1_ps(a[1]), s1);
+            s1 = _mm_fmadd_ps(m12, _mm_set1_ps(a[2]), s1);
+            s1 = _mm_fmadd_ps(m13, _mm_set1_ps(a[3]), s1);
+            let mut s2 = _mm_mul_ps(m20, _mm_set1_ps(b[0]));
+            s2 = _mm_fmadd_ps(m21, _mm_set1_ps(b[1]), s2);
+            s2 = _mm_fmadd_ps(m22, _mm_set1_ps(b[2]), s2);
+            s2 = _mm_fmadd_ps(m23, _mm_set1_ps(b[3]), s2);
+            _mm_storeu_ps(d.as_mut_ptr(), _mm_mul_ps(s1, s2));
+        }
+    }
+
+    #[target_feature(enable = "avx2", enable = "fma")]
+    unsafe fn pp_ps(
+        dest: &mut [f32],
+        c1: &[f32],
+        c2: &[f32],
+        m1: &[f32],
+        m2: &[f32],
+        s: usize,
+        sp: usize,
+    ) {
+        if s == 4 {
+            return pp4_ps(dest, c1, c2, m1, m2, sp);
+        }
+        let n_pat = dest.len() / sp;
+        let mut i0 = 0;
+        while i0 < s {
+            let i1 = (i0 + ROW_TILE).min(s);
+            for p in 0..n_pat {
+                let a = c1.as_ptr().add(p * sp);
+                let b = c2.as_ptr().add(p * sp);
+                let d = dest.as_mut_ptr().add(p * sp);
+                for i in i0..i1 {
+                    let s1 = dot_ps(m1.as_ptr().add(i * sp), a, sp);
+                    let s2 = dot_ps(m2.as_ptr().add(i * sp), b, sp);
+                    *d.add(i) = s1 * s2;
+                }
+            }
+            i0 = i1;
+        }
+    }
+
+    #[target_feature(enable = "avx2", enable = "fma")]
+    unsafe fn sp_ps(
+        dest: &mut [f32],
+        s1: &[u32],
+        c2: &[f32],
+        m1: &[f32],
+        m2: &[f32],
+        s: usize,
+        sp: usize,
+    ) {
+        for ((d, &st), b) in dest
+            .chunks_exact_mut(sp)
+            .zip(s1.iter())
+            .zip(c2.chunks_exact(sp))
+        {
+            for i in 0..s {
+                let s2 = dot_ps(m2.as_ptr().add(i * sp), b.as_ptr(), sp);
+                let p1 = if st == GAP_STATE { 1.0 } else { m1[i * sp + st as usize] };
+                d[i] = p1 * s2;
+            }
+        }
+    }
+
+    #[inline]
+    #[target_feature(enable = "avx2", enable = "fma")]
+    unsafe fn hmax_ps(v: __m256) -> f32 {
+        let lo = _mm256_castps256_ps128(v);
+        let hi = _mm256_extractf128_ps(v, 1);
+        let m = _mm_max_ps(lo, hi);
+        let m = _mm_max_ps(m, _mm_movehl_ps(m, m));
+        _mm_cvtss_f32(_mm_max_ss(m, _mm_shuffle_ps(m, m, 0x55)))
+    }
+
+    #[target_feature(enable = "avx2", enable = "fma")]
+    unsafe fn rescale_max_ps(block: &[f32], maxes: &mut [f32], sp: usize) {
+        for (mx, q) in maxes.iter_mut().zip(block.chunks_exact(sp)) {
+            let mut v = _mm256_loadu_ps(q.as_ptr());
+            let mut j = 8;
+            while j < sp {
+                v = _mm256_max_ps(v, _mm256_loadu_ps(q.as_ptr().add(j)));
+                j += 8;
+            }
+            let m = hmax_ps(v);
+            if m > *mx {
+                *mx = m;
+            }
+        }
+    }
+
+    #[target_feature(enable = "avx2", enable = "fma")]
+    unsafe fn rescale_apply_ps(block: &mut [f32], maxes: &[f32], sp: usize) {
+        for (&mx, q) in maxes.iter().zip(block.chunks_exact_mut(sp)) {
+            if mx > 0.0 {
+                let inv = _mm256_set1_ps(1.0 / mx);
+                let mut j = 0;
+                while j < sp {
+                    let p = q.as_mut_ptr().add(j);
+                    _mm256_storeu_ps(p, _mm256_mul_ps(_mm256_loadu_ps(p), inv));
+                    j += 8;
+                }
+            }
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    #[target_feature(enable = "avx2", enable = "fma")]
+    unsafe fn root_ps(
+        site_lnl: &mut [f32],
+        root: &[f32],
+        freqs: &[f32],
+        cat_weights: &[f32],
+        pattern_weights: &[f32],
+        cumulative_scale: Option<&[f32]>,
+        _s: usize,
+        sp: usize,
+        n_pat_total: usize,
+        p0: usize,
+    ) -> f64 {
+        let mut total = 0.0f64;
+        for lp in 0..site_lnl.len() {
+            let p = p0 + lp;
+            let mut site = 0.0f32;
+            for (c, &w) in cat_weights.iter().enumerate() {
+                let base = (c * n_pat_total + p) * sp;
+                let sum = dot_ps(freqs.as_ptr(), root.as_ptr().add(base), sp);
+                site = w.mul_add(sum, site);
+            }
+            let mut lnl = site.ln();
+            if let Some(cs) = cumulative_scale {
+                lnl += cs[p];
+            }
+            site_lnl[lp] = lnl;
+            total += pattern_weights[p] as f64 * lnl as f64;
+        }
+        total
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    #[target_feature(enable = "avx2", enable = "fma")]
+    unsafe fn edge_pp_ps(
+        site_lnl: &mut [f32],
+        parent: &[f32],
+        child: &[f32],
+        matrix: &[f32],
+        freqs: &[f32],
+        cat_weights: &[f32],
+        pattern_weights: &[f32],
+        cumulative_scale: Option<&[f32]>,
+        s: usize,
+        sp: usize,
+        n_pat_total: usize,
+        p0: usize,
+    ) -> f64 {
+        let mut total = 0.0f64;
+        for lp in 0..site_lnl.len() {
+            let p = p0 + lp;
+            let mut site = 0.0f32;
+            for (c, &w) in cat_weights.iter().enumerate() {
+                let base = (c * n_pat_total + p) * sp;
+                let m = matrix.as_ptr().add(c * s * sp);
+                let cp = child.as_ptr().add(base);
+                let mut state_sum = 0.0f32;
+                for i in 0..s {
+                    let prop = dot_ps(m.add(i * sp), cp, sp);
+                    state_sum += freqs[i] * parent[base + i] * prop;
+                }
+                site = w.mul_add(state_sum, site);
+            }
+            let mut lnl = site.ln();
+            if let Some(cs) = cumulative_scale {
+                lnl += cs[p];
+            }
+            site_lnl[lp] = lnl;
+            total += pattern_weights[p] as f64 * lnl as f64;
+        }
+        total
+    }
+
+    // ---- safe wrappers (table entries) ----
+    //
+    // Safety: `DispatchReal::dispatch` only returns the AVX2 table after
+    // `avx2_available()` confirmed host support, so every `unsafe` call
+    // below executes only on hardware with AVX2+FMA.
+
+    pub(super) fn pp_f64(d: &mut [f64], c1: &[f64], c2: &[f64], m1: &[f64], m2: &[f64], s: usize, sp: usize) {
+        debug_assert!(super::avx2_available());
+        unsafe { pp_pd(d, c1, c2, m1, m2, s, sp) }
+    }
+    pub(super) fn sp_f64(d: &mut [f64], s1: &[u32], c2: &[f64], m1: &[f64], m2: &[f64], s: usize, sp: usize) {
+        debug_assert!(super::avx2_available());
+        unsafe { sp_pd(d, s1, c2, m1, m2, s, sp) }
+    }
+    pub(super) fn rescale_max_f64(block: &[f64], maxes: &mut [f64], sp: usize) {
+        unsafe { rescale_max_pd(block, maxes, sp) }
+    }
+    pub(super) fn rescale_apply_f64(block: &mut [f64], maxes: &[f64], sp: usize) {
+        unsafe { rescale_apply_pd(block, maxes, sp) }
+    }
+    #[allow(clippy::too_many_arguments)]
+    pub(super) fn root_f64(
+        site_lnl: &mut [f64],
+        root: &[f64],
+        freqs: &[f64],
+        cat_weights: &[f64],
+        pattern_weights: &[f64],
+        cumulative_scale: Option<&[f64]>,
+        s: usize,
+        sp: usize,
+        n_pat_total: usize,
+        p0: usize,
+    ) -> f64 {
+        unsafe {
+            root_pd(
+                site_lnl, root, freqs, cat_weights, pattern_weights, cumulative_scale, s, sp,
+                n_pat_total, p0,
+            )
+        }
+    }
+    #[allow(clippy::too_many_arguments)]
+    pub(super) fn edge_f64(
+        site_lnl: &mut [f64],
+        parent: &[f64],
+        child: EdgeChild<'_, f64>,
+        matrix: &[f64],
+        freqs: &[f64],
+        cat_weights: &[f64],
+        pattern_weights: &[f64],
+        cumulative_scale: Option<&[f64]>,
+        s: usize,
+        sp: usize,
+        n_pat_total: usize,
+        p0: usize,
+    ) -> f64 {
+        match child {
+            EdgeChild::Partials(cp) => unsafe {
+                edge_pp_pd(
+                    site_lnl, parent, cp, matrix, freqs, cat_weights, pattern_weights,
+                    cumulative_scale, s, sp, n_pat_total, p0,
+                )
+            },
+            // The states child does per-pattern matrix lookups, not dot
+            // products — nothing to vectorize; use the scalar kernel.
+            EdgeChild::States(_) => kernels::integrate_edge(
+                site_lnl, parent, child, matrix, freqs, cat_weights, pattern_weights,
+                cumulative_scale, s, sp, n_pat_total, p0,
+            ),
+        }
+    }
+
+    pub(super) fn pp_f32(d: &mut [f32], c1: &[f32], c2: &[f32], m1: &[f32], m2: &[f32], s: usize, sp: usize) {
+        debug_assert!(super::avx2_available());
+        unsafe { pp_ps(d, c1, c2, m1, m2, s, sp) }
+    }
+    pub(super) fn sp_f32(d: &mut [f32], s1: &[u32], c2: &[f32], m1: &[f32], m2: &[f32], s: usize, sp: usize) {
+        debug_assert!(super::avx2_available());
+        unsafe { sp_ps(d, s1, c2, m1, m2, s, sp) }
+    }
+    pub(super) fn rescale_max_f32(block: &[f32], maxes: &mut [f32], sp: usize) {
+        unsafe { rescale_max_ps(block, maxes, sp) }
+    }
+    pub(super) fn rescale_apply_f32(block: &mut [f32], maxes: &[f32], sp: usize) {
+        unsafe { rescale_apply_ps(block, maxes, sp) }
+    }
+    #[allow(clippy::too_many_arguments)]
+    pub(super) fn root_f32(
+        site_lnl: &mut [f32],
+        root: &[f32],
+        freqs: &[f32],
+        cat_weights: &[f32],
+        pattern_weights: &[f32],
+        cumulative_scale: Option<&[f32]>,
+        s: usize,
+        sp: usize,
+        n_pat_total: usize,
+        p0: usize,
+    ) -> f64 {
+        unsafe {
+            root_ps(
+                site_lnl, root, freqs, cat_weights, pattern_weights, cumulative_scale, s, sp,
+                n_pat_total, p0,
+            )
+        }
+    }
+    #[allow(clippy::too_many_arguments)]
+    pub(super) fn edge_f32(
+        site_lnl: &mut [f32],
+        parent: &[f32],
+        child: EdgeChild<'_, f32>,
+        matrix: &[f32],
+        freqs: &[f32],
+        cat_weights: &[f32],
+        pattern_weights: &[f32],
+        cumulative_scale: Option<&[f32]>,
+        s: usize,
+        sp: usize,
+        n_pat_total: usize,
+        p0: usize,
+    ) -> f64 {
+        match child {
+            EdgeChild::Partials(cp) => unsafe {
+                edge_pp_ps(
+                    site_lnl, parent, cp, matrix, freqs, cat_weights, pattern_weights,
+                    cumulative_scale, s, sp, n_pat_total, p0,
+                )
+            },
+            EdgeChild::States(_) => kernels::integrate_edge(
+                site_lnl, parent, child, matrix, freqs, cat_weights, pattern_weights,
+                cumulative_scale, s, sp, n_pat_total, p0,
+            ),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Table resolution.
+// ---------------------------------------------------------------------------
+
+macro_rules! base_tables {
+    ($t:ty) => {
+        (
+            KernelDispatch::<$t> {
+                path: "scalar",
+                partials_partials: kernels::partials_partials::<$t>,
+                states_partials: kernels::states_partials::<$t>,
+                states_states: kernels::states_states::<$t>,
+                rescale_max: kernels::rescale_block_max::<$t>,
+                rescale_apply: kernels::rescale_block_apply::<$t>,
+                integrate_root: kernels::integrate_root::<$t>,
+                integrate_edge: kernels::integrate_edge::<$t>,
+            },
+            KernelDispatch::<$t> {
+                path: "portable",
+                partials_partials: pp_portable::<$t>,
+                states_partials: sp_portable::<$t>,
+                states_states: ss_portable::<$t>,
+                rescale_max: kernels::rescale_block_max::<$t>,
+                rescale_apply: kernels::rescale_block_apply::<$t>,
+                integrate_root: kernels::integrate_root::<$t>,
+                integrate_edge: kernels::integrate_edge::<$t>,
+            },
+        )
+    };
+}
+
+impl DispatchReal for f64 {
+    fn dispatch(kind: DispatchKind) -> &'static KernelDispatch<f64> {
+        static TABLES: (KernelDispatch<f64>, KernelDispatch<f64>) = base_tables!(f64);
+        #[cfg(target_arch = "x86_64")]
+        static AVX2: KernelDispatch<f64> = KernelDispatch {
+            path: "avx2",
+            partials_partials: avx2::pp_f64,
+            states_partials: avx2::sp_f64,
+            // states×states is pure matrix lookups — the unrolled portable
+            // kernel is already optimal.
+            states_states: ss_portable::<f64>,
+            rescale_max: avx2::rescale_max_f64,
+            rescale_apply: avx2::rescale_apply_f64,
+            integrate_root: avx2::root_f64,
+            integrate_edge: avx2::edge_f64,
+        };
+        match kind {
+            DispatchKind::Scalar => &TABLES.0,
+            #[cfg(target_arch = "x86_64")]
+            DispatchKind::Avx2 if avx2_available() => &AVX2,
+            _ => &TABLES.1,
+        }
+    }
+}
+
+impl DispatchReal for f32 {
+    fn dispatch(kind: DispatchKind) -> &'static KernelDispatch<f32> {
+        static TABLES: (KernelDispatch<f32>, KernelDispatch<f32>) = base_tables!(f32);
+        #[cfg(target_arch = "x86_64")]
+        static AVX2: KernelDispatch<f32> = KernelDispatch {
+            path: "avx2",
+            partials_partials: avx2::pp_f32,
+            states_partials: avx2::sp_f32,
+            states_states: ss_portable::<f32>,
+            rescale_max: avx2::rescale_max_f32,
+            rescale_apply: avx2::rescale_apply_f32,
+            integrate_root: avx2::root_f32,
+            integrate_edge: avx2::edge_f32,
+        };
+        match kind {
+            DispatchKind::Scalar => &TABLES.0,
+            #[cfg(target_arch = "x86_64")]
+            DispatchKind::Avx2 if avx2_available() => &AVX2,
+            _ => &TABLES.1,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Deterministic pseudo-random positive values in (0, 1].
+    fn fill(seed: u64, n: usize) -> Vec<f64> {
+        (0..n)
+            .map(|i| {
+                let x = (seed.wrapping_add(i as u64).wrapping_mul(2654435761)) % 10_000;
+                (x as f64 + 1.0) / 10_001.0
+            })
+            .collect()
+    }
+
+    fn padded(vals: &[f64], s: usize, sp: usize) -> Vec<f64> {
+        let n = vals.len() / s;
+        let mut out = vec![0.0; n * sp];
+        for p in 0..n {
+            out[p * sp..p * sp + s].copy_from_slice(&vals[p * s..(p + 1) * s]);
+        }
+        out
+    }
+
+    #[test]
+    fn tables_have_expected_paths() {
+        assert_eq!(<f64 as DispatchReal>::dispatch(DispatchKind::Scalar).path, "scalar");
+        assert_eq!(<f64 as DispatchReal>::dispatch(DispatchKind::Portable).path, "portable");
+        let avx = <f64 as DispatchReal>::dispatch(DispatchKind::Avx2);
+        if avx2_available() {
+            assert_eq!(avx.path, "avx2");
+        } else {
+            assert_eq!(avx.path, "portable");
+        }
+        assert_eq!(<f32 as DispatchReal>::dispatch(DispatchKind::Scalar).path, "scalar");
+    }
+
+    #[test]
+    fn avx2_wide_pp_matches_scalar() {
+        if !avx2_available() {
+            return;
+        }
+        let s = 61usize;
+        let sp = s.div_ceil(4) * 4;
+        let n_pat = 9;
+        let m1 = padded(&fill(1, s * s), s, sp);
+        let m2 = padded(&fill(2, s * s), s, sp);
+        let c1 = padded(&fill(3, n_pat * s), s, sp);
+        let c2 = padded(&fill(4, n_pat * s), s, sp);
+        let mut d_simd = vec![0.0; n_pat * sp];
+        let mut d_scalar = vec![0.0; n_pat * sp];
+        let table = <f64 as DispatchReal>::dispatch(DispatchKind::Avx2);
+        (table.partials_partials)(&mut d_simd, &c1, &c2, &m1, &m2, s, sp);
+        kernels::partials_partials(&mut d_scalar, &c1, &c2, &m1, &m2, s, sp);
+        for p in 0..n_pat {
+            for k in 0..s {
+                let (a, b) = (d_simd[p * sp + k], d_scalar[p * sp + k]);
+                assert!(
+                    (a - b).abs() <= 1e-12 * b.abs().max(1.0),
+                    "pattern {p} state {k}: {a} vs {b}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn avx2_pp4_bit_exact_with_portable() {
+        if !avx2_available() {
+            return;
+        }
+        let n_pat = 16;
+        let m1 = fill(7, 16);
+        let m2 = fill(8, 16);
+        let c1 = fill(9, n_pat * 4);
+        let c2 = fill(10, n_pat * 4);
+        let mut d_simd = vec![0.0; n_pat * 4];
+        let mut d_port = vec![0.0; n_pat * 4];
+        let table = <f64 as DispatchReal>::dispatch(DispatchKind::Avx2);
+        (table.partials_partials)(&mut d_simd, &c1, &c2, &m1, &m2, 4, 4);
+        vector::partials_partials_4(&mut d_port, &c1, &c2, &m1, &m2, 4);
+        assert_eq!(d_simd, d_port, "4-state AVX2 kernel must be bit-exact");
+    }
+
+    #[test]
+    fn avx2_rescale_bit_exact_with_scalar() {
+        if !avx2_available() {
+            return;
+        }
+        let sp = 8;
+        let n_pat = 13;
+        let block: Vec<f64> = fill(21, n_pat * sp).iter().map(|x| x * 1e-6).collect();
+        let table = <f64 as DispatchReal>::dispatch(DispatchKind::Avx2);
+        let mut max_simd = vec![0.0; n_pat];
+        let mut max_scalar = vec![0.0; n_pat];
+        (table.rescale_max)(&block, &mut max_simd, sp);
+        kernels::rescale_block_max(&block, &mut max_scalar, sp);
+        assert_eq!(max_simd, max_scalar);
+        let mut b_simd = block.clone();
+        let mut b_scalar = block;
+        (table.rescale_apply)(&mut b_simd, &max_simd, sp);
+        kernels::rescale_block_apply(&mut b_scalar, &max_scalar, sp);
+        assert_eq!(b_simd, b_scalar);
+    }
+
+    #[test]
+    fn select_kind_honours_vectorized_flag() {
+        // Non-vectorized instances must always get the scalar table.
+        assert_eq!(select_kind(false), DispatchKind::Scalar);
+        // Vectorized resolves to AVX2 or portable depending on host/env;
+        // never scalar unless the env override is set.
+        let k = select_kind(true);
+        if force_scalar() {
+            assert_eq!(k, DispatchKind::Scalar);
+        } else {
+            assert_ne!(k, DispatchKind::Scalar);
+        }
+    }
+}

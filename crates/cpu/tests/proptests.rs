@@ -37,8 +37,8 @@ proptest! {
         let n = patterns * 4;
         let mut dv = vec![0.0; n];
         let mut ds = vec![0.0; n];
-        vector::partials_partials_4(&mut dv, &c1[..n], &c2[..n], &m1, &m2);
-        kernels::partials_partials(&mut ds, &c1[..n], &c2[..n], &m1, &m2, 4);
+        vector::partials_partials_4(&mut dv, &c1[..n], &c2[..n], &m1, &m2, 4);
+        kernels::partials_partials(&mut ds, &c1[..n], &c2[..n], &m1, &m2, 4, 4);
         for (a, b) in dv.iter().zip(&ds) {
             prop_assert!((a - b).abs() <= 1e-12 * a.abs().max(1.0));
         }
@@ -61,8 +61,8 @@ proptest! {
         }
         let mut d_states = vec![0.0; n];
         let mut d_onehot = vec![0.0; n];
-        kernels::states_partials(&mut d_states, &states_vals, c2, &m1, &m2, 4);
-        kernels::partials_partials(&mut d_onehot, &onehot, c2, &m1, &m2, 4);
+        kernels::states_partials(&mut d_states, &states_vals, c2, &m1, &m2, 4, 4);
+        kernels::partials_partials(&mut d_onehot, &onehot, c2, &m1, &m2, 4, 4);
         for (a, b) in d_states.iter().zip(&d_onehot) {
             prop_assert!((a - b).abs() < 1e-12);
         }
@@ -118,8 +118,8 @@ proptest! {
         let ones = vec![1.0; n];
         let mut d_gap = vec![0.0; n];
         let mut d_ones = vec![0.0; n];
-        kernels::states_partials(&mut d_gap, &gaps, &c2_seed[..n], &m1, &m2, 4);
-        kernels::partials_partials(&mut d_ones, &ones, &c2_seed[..n], &m1, &m2, 4);
+        kernels::states_partials(&mut d_gap, &gaps, &c2_seed[..n], &m1, &m2, 4, 4);
+        kernels::partials_partials(&mut d_ones, &ones, &c2_seed[..n], &m1, &m2, 4, 4);
         for (a, b) in d_gap.iter().zip(&d_ones) {
             prop_assert!((a - b).abs() < 1e-12);
         }
@@ -158,8 +158,8 @@ proptest! {
         let w1: Vec<f64> = w[..patterns].to_vec();
         let w2: Vec<f64> = w1.iter().map(|x| alpha * x).collect();
         let mut site = vec![0.0; patterns];
-        let t1 = kernels::integrate_root(&mut site, &root[..n], &freqs, &catw, &w1, None, s, patterns, 0);
-        let t2 = kernels::integrate_root(&mut site, &root[..n], &freqs, &catw, &w2, None, s, patterns, 0);
+        let t1 = kernels::integrate_root(&mut site, &root[..n], &freqs, &catw, &w1, None, s, s, patterns, 0);
+        let t2 = kernels::integrate_root(&mut site, &root[..n], &freqs, &catw, &w2, None, s, s, patterns, 0);
         prop_assert!((t2 - alpha * t1).abs() < 1e-9 * t1.abs().max(1.0));
     }
 

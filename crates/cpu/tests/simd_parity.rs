@@ -1,0 +1,376 @@
+//! SIMD/scalar parity: every kernel in the dispatch table must agree with
+//! the scalar oracle across state counts, precisions, gap states, and
+//! near-zero/denormal inputs — and a full likelihood run must agree between
+//! the forced-scalar and the vectorized dispatch paths.
+//!
+//! Tolerances: the 4-state AVX2 specializations use the same FMA chain as
+//! the portable kernels, so those pairs are compared bit-for-bit. The wide
+//! (arbitrary state count) AVX2 kernels use a 4-accumulator tree reduction
+//! whose association differs from the scalar left-to-right sum, so they are
+//! compared to within a few ulps scaled by the dot length.
+
+use beagle_core::api::{BeagleInstance, InstanceConfig, InstanceDetails};
+use beagle_core::flags::Flags;
+use beagle_core::real::Real;
+use beagle_core::{Operation, GAP_STATE};
+use beagle_cpu::instance::Threading;
+use beagle_cpu::simd::{avx2_available, DispatchKind, DispatchReal};
+use beagle_cpu::{kernels, CpuInstance};
+use proptest::prelude::*;
+
+const STATE_COUNTS: [usize; 4] = [2, 4, 20, 61];
+
+/// Relative tolerance for a dot product of length `s` in precision `T`:
+/// reassociation + FMA contraction can each contribute O(s) ulps.
+fn dot_tol<T: Real>(s: usize) -> f64 {
+    let eps = if std::mem::size_of::<T>() == 8 { f64::EPSILON } else { f32::EPSILON as f64 };
+    8.0 * s as f64 * eps
+}
+
+fn assert_close<T: Real>(a: &[T], b: &[T], s: usize, what: &str) {
+    let tol = dot_tol::<T>(s);
+    for (i, (x, y)) in a.iter().zip(b).enumerate() {
+        let (x, y) = (x.to_f64(), y.to_f64());
+        if x == y {
+            continue; // also covers matching ±inf (log of a zero-sum site)
+        }
+        let scale = x.abs().max(y.abs()).max(f64::MIN_POSITIVE);
+        assert!(
+            (x - y).abs() <= tol * scale.max(1e-30),
+            "{what}: index {i} diverged: {x:e} vs {y:e}"
+        );
+    }
+}
+
+/// Likelihood-like value: mostly O(1), sometimes near-zero (down in the
+/// range rescaling exists to rescue) or exactly zero. The `single` variant
+/// keeps the tiny band representable as a normal f32.
+fn value(single: bool) -> impl Strategy<Value = f64> {
+    let (tiny_lo, tiny_hi) = if single { (1e-35, 1e-30) } else { (1e-300, 1e-250) };
+    prop_oneof![
+        1e-6f64..1.0,
+        1e-6f64..1.0,
+        1e-6f64..1.0,
+        tiny_lo..tiny_hi,
+        Just(0.0f64),
+    ]
+}
+
+fn padded_vec<T: Real>(values: &[f64], s: usize, sp: usize) -> Vec<T> {
+    let n = values.len() / s;
+    let mut out = vec![T::ZERO; n * sp];
+    for p in 0..n {
+        for k in 0..s {
+            out[p * sp + k] = T::from_f64(values[p * s + k]);
+        }
+    }
+    out
+}
+
+fn states_strategy(s: usize, n: usize) -> impl Strategy<Value = Vec<u32>> {
+    proptest::collection::vec(
+        prop_oneof![0..s as u32, 0..s as u32, 0..s as u32, Just(GAP_STATE)],
+        n..=n,
+    )
+}
+
+/// Every dispatch path available on this host (scalar always; avx2 when
+/// detected — the table request degrades to portable otherwise, which
+/// would silently test nothing, so it is gated explicitly).
+fn paths() -> Vec<DispatchKind> {
+    let mut v = vec![DispatchKind::Scalar, DispatchKind::Portable];
+    if avx2_available() {
+        v.push(DispatchKind::Avx2);
+    }
+    v
+}
+
+fn check_kernels<T: DispatchReal>(
+    s: usize,
+    c1_raw: &[f64],
+    c2_raw: &[f64],
+    m1_raw: &[f64],
+    m2_raw: &[f64],
+    s1: &[u32],
+    s2: &[u32],
+) {
+    let sp = s.div_ceil(T::SIMD_LANES) * T::SIMD_LANES;
+    let n = s1.len();
+    let c1 = padded_vec::<T>(c1_raw, s, sp);
+    let c2 = padded_vec::<T>(c2_raw, s, sp);
+    let m1 = padded_vec::<T>(m1_raw, s, sp);
+    let m2 = padded_vec::<T>(m2_raw, s, sp);
+    let scalar = T::dispatch(DispatchKind::Scalar);
+    for kind in paths() {
+        if kind == DispatchKind::Scalar {
+            continue;
+        }
+        let table = T::dispatch(kind);
+        let mut d_ref = vec![T::ZERO; n * sp];
+        let mut d_simd = vec![T::ZERO; n * sp];
+
+        (scalar.partials_partials)(&mut d_ref, &c1, &c2, &m1, &m2, s, sp);
+        (table.partials_partials)(&mut d_simd, &c1, &c2, &m1, &m2, s, sp);
+        assert_close(&d_simd, &d_ref, s, &format!("pp s={s} {}", table.path));
+
+        (scalar.states_partials)(&mut d_ref, s1, &c2, &m1, &m2, s, sp);
+        (table.states_partials)(&mut d_simd, s1, &c2, &m1, &m2, s, sp);
+        assert_close(&d_simd, &d_ref, s, &format!("sp s={s} {}", table.path));
+
+        (scalar.states_states)(&mut d_ref, s1, s2, &m1, &m2, s, sp);
+        (table.states_states)(&mut d_simd, s1, s2, &m1, &m2, s, sp);
+        assert_close(&d_simd, &d_ref, 1, &format!("ss s={s} {}", table.path));
+
+        // Rescaling is required to be BIT-exact on every path: the max of a
+        // set and multiplication by its reciprocal are order-insensitive.
+        (scalar.partials_partials)(&mut d_ref, &c1, &c2, &m1, &m2, s, sp);
+        d_simd.copy_from_slice(&d_ref);
+        let mut sc_ref = vec![T::ZERO; n];
+        let mut sc_simd = vec![T::ZERO; n];
+        (scalar.rescale_max)(&d_ref, &mut sc_ref, sp);
+        (table.rescale_max)(&d_simd, &mut sc_simd, sp);
+        assert_eq!(
+            sc_ref.iter().map(|x| x.to_f64().to_bits()).collect::<Vec<_>>(),
+            sc_simd.iter().map(|x| x.to_f64().to_bits()).collect::<Vec<_>>(),
+            "rescale_max s={s} {} not bit-exact",
+            table.path
+        );
+        (scalar.rescale_apply)(&mut d_ref, &sc_ref, sp);
+        (table.rescale_apply)(&mut d_simd, &sc_simd, sp);
+        assert_eq!(
+            d_ref.iter().map(|x| x.to_f64().to_bits()).collect::<Vec<_>>(),
+            d_simd.iter().map(|x| x.to_f64().to_bits()).collect::<Vec<_>>(),
+            "rescale_apply s={s} {} not bit-exact",
+            table.path
+        );
+
+        // Root integration (freqs padded with exact zeros).
+        let freqs = padded_vec::<T>(&vec![1.0 / s as f64; s], s, sp);
+        let catw = vec![T::ONE];
+        let pw = vec![T::ONE; n];
+        let mut site_ref = vec![T::ZERO; n];
+        let mut site_simd = vec![T::ZERO; n];
+        let t_ref =
+            (scalar.integrate_root)(&mut site_ref, &c1, &freqs, &catw, &pw, None, s, sp, n, 0);
+        let t_simd =
+            (table.integrate_root)(&mut site_simd, &c1, &freqs, &catw, &pw, None, s, sp, n, 0);
+        assert_close(&site_simd, &site_ref, s, &format!("root s={s} {}", table.path));
+        assert!(
+            t_ref == t_simd
+                || (t_ref - t_simd).abs() <= dot_tol::<T>(s * n).max(1e-9) * t_ref.abs().max(1.0),
+            "root total s={s} {}: {t_ref} vs {t_simd}",
+            table.path
+        );
+
+        // Edge integration with a partials child.
+        let edge_ref = kernels::integrate_edge(
+            &mut site_ref,
+            &c1,
+            kernels::EdgeChild::Partials(&c2),
+            &m1,
+            &freqs,
+            &catw,
+            &pw,
+            None,
+            s,
+            sp,
+            n,
+            0,
+        );
+        let edge_simd = (table.integrate_edge)(
+            &mut site_simd,
+            &c1,
+            kernels::EdgeChild::Partials(&c2),
+            &m1,
+            &freqs,
+            &catw,
+            &pw,
+            None,
+            s,
+            sp,
+            n,
+            0,
+        );
+        assert_close(&site_simd, &site_ref, s, &format!("edge s={s} {}", table.path));
+        assert!(
+            edge_ref == edge_simd
+                || (edge_ref - edge_simd).abs()
+                    <= dot_tol::<T>(s * n).max(1e-9) * edge_ref.abs().max(1.0),
+            "edge total s={s} {}: {edge_ref} vs {edge_simd}",
+            table.path
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// All kernels on all host dispatch paths agree with the scalar oracle
+    /// in double precision, for every supported state-count shape.
+    #[test]
+    fn kernels_agree_f64(
+        sel in 0usize..4,
+        n in 1usize..24,
+        seed in proptest::collection::vec(value(false), 24 * 61),
+        mseed in proptest::collection::vec(value(false), 61 * 61),
+        gaps1 in states_strategy(61, 24),
+        gaps2 in states_strategy(61, 24),
+    ) {
+        let s = STATE_COUNTS[sel];
+        let c1: Vec<f64> = seed.iter().take(n * s).copied().collect();
+        let c2: Vec<f64> = seed.iter().rev().take(n * s).copied().collect();
+        let m1: Vec<f64> = mseed.iter().take(s * s).map(|v| v.max(1e-9)).collect();
+        let m2: Vec<f64> = mseed.iter().rev().take(s * s).map(|v| v.max(1e-9)).collect();
+        let s1: Vec<u32> = gaps1[..n].iter().map(|&x| if x == GAP_STATE { x } else { x % s as u32 }).collect();
+        let s2: Vec<u32> = gaps2[..n].iter().map(|&x| if x == GAP_STATE { x } else { x % s as u32 }).collect();
+        check_kernels::<f64>(s, &c1, &c2, &m1, &m2, &s1, &s2);
+    }
+
+    /// Same parity matrix in single precision.
+    #[test]
+    fn kernels_agree_f32(
+        sel in 0usize..4,
+        n in 1usize..24,
+        seed in proptest::collection::vec(value(true), 24 * 61),
+        mseed in proptest::collection::vec(value(true), 61 * 61),
+        gaps1 in states_strategy(61, 24),
+        gaps2 in states_strategy(61, 24),
+    ) {
+        let s = STATE_COUNTS[sel];
+        let c1: Vec<f64> = seed.iter().take(n * s).copied().collect();
+        let c2: Vec<f64> = seed.iter().rev().take(n * s).copied().collect();
+        let m1: Vec<f64> = mseed.iter().take(s * s).map(|v| v.max(1e-9)).collect();
+        let m2: Vec<f64> = mseed.iter().rev().take(s * s).map(|v| v.max(1e-9)).collect();
+        let s1: Vec<u32> = gaps1[..n].iter().map(|&x| if x == GAP_STATE { x } else { x % s as u32 }).collect();
+        let s2: Vec<u32> = gaps2[..n].iter().map(|&x| if x == GAP_STATE { x } else { x % s as u32 }).collect();
+        check_kernels::<f32>(s, &c1, &c2, &m1, &m2, &s1, &s2);
+    }
+
+    /// The AVX2 4-state specializations replay the portable kernels' exact
+    /// FMA chain, so nucleotide partials must match BIT-for-bit.
+    #[test]
+    fn avx2_nucleotide_bit_exact(
+        n in 1usize..32,
+        seed in proptest::collection::vec(value(false), 32 * 4),
+        mseed in proptest::collection::vec(1e-6f64..1.0, 32),
+    ) {
+        if !avx2_available() {
+            return;
+        }
+        let s = 4;
+        let sp = 4; // f64 lanes
+        let c1: Vec<f64> = seed.iter().take(n * s).copied().collect();
+        let c2: Vec<f64> = seed.iter().rev().take(n * s).copied().collect();
+        let m1: Vec<f64> = mseed.iter().take(16).copied().collect();
+        let m2: Vec<f64> = mseed.iter().rev().take(16).copied().collect();
+        let (c1, c2) = (padded_vec::<f64>(&c1, s, sp), padded_vec::<f64>(&c2, s, sp));
+        let (m1, m2) = (padded_vec::<f64>(&m1, s, sp), padded_vec::<f64>(&m2, s, sp));
+        let portable = <f64 as DispatchReal>::dispatch(DispatchKind::Portable);
+        let avx2 = <f64 as DispatchReal>::dispatch(DispatchKind::Avx2);
+        prop_assert_eq!(avx2.path, "avx2");
+        let mut d_p = vec![0.0; n * sp];
+        let mut d_v = vec![0.0; n * sp];
+        (portable.partials_partials)(&mut d_p, &c1, &c2, &m1, &m2, s, sp);
+        (avx2.partials_partials)(&mut d_v, &c1, &c2, &m1, &m2, s, sp);
+        let bits = |v: &[f64]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+        prop_assert_eq!(bits(&d_p), bits(&d_v));
+    }
+}
+
+/// Drive a complete scaled likelihood computation on one dispatch path.
+fn full_likelihood(kind: DispatchKind, s: usize) -> (f64, Vec<f64>) {
+    let taxa = 5;
+    let n_pat = 19;
+    let cats = 2;
+    let config = InstanceConfig::for_tree(taxa, n_pat, s, cats);
+    let details = InstanceDetails {
+        implementation_name: format!("test-{kind:?}"),
+        resource_name: "test".into(),
+        flags: Flags::NONE,
+        thread_count: 1,
+    };
+    let mut inst =
+        CpuInstance::<f64>::with_dispatch_kind(config, Threading::Serial, kind, details).unwrap();
+
+    let freqs: Vec<f64> = (0..s).map(|i| (i + 1) as f64).collect();
+    let total: f64 = freqs.iter().sum();
+    let freqs: Vec<f64> = freqs.iter().map(|x| x / total).collect();
+    inst.set_state_frequencies(0, &freqs).unwrap();
+    inst.set_category_weights(0, &vec![1.0 / cats as f64; cats]).unwrap();
+    inst.set_pattern_weights(&vec![1.0; n_pat]).unwrap();
+
+    // Deterministic row-stochastic-ish matrices per category.
+    let mut m = vec![0.0; cats * s * s];
+    for (i, x) in m.iter_mut().enumerate() {
+        *x = 0.05 + ((i * 37 + 11) % 91) as f64 / 120.0;
+    }
+    for mat in [0, 1, 2, 3] {
+        inst.set_transition_matrix(mat, &m).unwrap();
+    }
+    for tip in 0..taxa {
+        let states: Vec<u32> = (0..n_pat as u32)
+            .map(|p| {
+                if (p + tip as u32).is_multiple_of(7) {
+                    GAP_STATE
+                } else {
+                    (p * 3 + tip as u32) % s as u32
+                }
+            })
+            .collect();
+        inst.set_tip_states(tip, &states).unwrap();
+    }
+    // Caterpillar topology over the 4 internal buffers.
+    let ops = [
+        Operation::new(5, 0, 0, 1, 1).with_scaling(5),
+        Operation::new(6, 5, 2, 2, 3).with_scaling(6),
+        Operation::new(7, 6, 0, 3, 1).with_scaling(7),
+        Operation::new(8, 7, 2, 4, 3).with_scaling(8),
+    ];
+    inst.update_partials(&ops).unwrap();
+    let cum = inst.config().scale_buffer_count - 1;
+    inst.reset_scale_factors(cum).unwrap();
+    inst.accumulate_scale_factors(&[5, 6, 7, 8], cum).unwrap();
+    let lnl = inst.calculate_root_log_likelihoods(8, 0, 0, Some(cum)).unwrap();
+    (lnl, inst.get_site_log_likelihoods().unwrap())
+}
+
+/// Forced-scalar and vectorized dispatch must produce the same likelihood on
+/// an end-to-end run (partials + rescaling + accumulation + integration),
+/// for both a nucleotide and a codon-sized model.
+#[test]
+fn full_run_differential_across_paths() {
+    for s in [4, 61] {
+        let (lnl_scalar, site_scalar) = full_likelihood(DispatchKind::Scalar, s);
+        for kind in paths() {
+            let (lnl, site) = full_likelihood(kind, s);
+            assert!(
+                (lnl - lnl_scalar).abs() <= 1e-9 * lnl_scalar.abs().max(1.0),
+                "s={s} {kind:?}: {lnl} vs scalar {lnl_scalar}"
+            );
+            for (a, b) in site.iter().zip(&site_scalar) {
+                assert!((a - b).abs() <= 1e-9 * b.abs().max(1.0), "s={s} {kind:?} site diverged");
+            }
+        }
+    }
+}
+
+/// The portable path must be available unconditionally and the instance
+/// must report which path it resolved to.
+#[test]
+fn instance_reports_dispatch_path() {
+    let config = InstanceConfig::for_tree(3, 8, 4, 1);
+    let details = InstanceDetails {
+        implementation_name: "test".into(),
+        resource_name: "test".into(),
+        flags: Flags::NONE,
+        thread_count: 1,
+    };
+    let inst = CpuInstance::<f64>::with_dispatch_kind(
+        config,
+        Threading::Serial,
+        DispatchKind::Scalar,
+        details,
+    )
+    .unwrap();
+    assert_eq!(inst.dispatch_path(), "scalar");
+}

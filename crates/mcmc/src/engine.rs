@@ -203,9 +203,9 @@ impl<T: beagle_core::Real> LikelihoodEngine for NativeEngine<T> {
                 let m1c = &m1[c * s * s..(c + 1) * s * s];
                 let m2c = &m2[c * s * s..(c + 1) * s * s];
                 if s == 4 {
-                    vector::partials_partials_4(&mut dest[r.clone()], &c1[r.clone()], &c2[r], m1c, m2c);
+                    vector::partials_partials_4(&mut dest[r.clone()], &c1[r.clone()], &c2[r], m1c, m2c, 4);
                 } else {
-                    kernels::partials_partials(&mut dest[r.clone()], &c1[r.clone()], &c2[r], m1c, m2c, s);
+                    kernels::partials_partials(&mut dest[r.clone()], &c1[r.clone()], &c2[r], m1c, m2c, s, s);
                 }
             }
             // Rescale this node's partials.
@@ -229,6 +229,7 @@ impl<T: beagle_core::Real> LikelihoodEngine for NativeEngine<T> {
             &catw,
             &pw,
             Some(&self.scale),
+            s,
             s,
             n_pat,
             0,

@@ -1,0 +1,12 @@
+#!/usr/bin/env bash
+# Kernel microbenchmark sweep: builds the `kernels` bench binary in release
+# mode and writes BENCH_kernels.json at the repo root (GFLOPS + ns/pattern
+# for every kernel x state-count x precision x dispatch path available on
+# this host).
+#
+#   BENCH_QUICK=1 scripts/bench.sh   # ~100x less work per cell (CI smoke)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --release -p beagle-bench --bin kernels
+./target/release/kernels BENCH_kernels.json

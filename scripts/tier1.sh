@@ -19,8 +19,10 @@ cd "$(dirname "$0")/.."
 
 cargo build --release
 cargo test -q --workspace
-# The queue-mode differential matrix and the fault matrix, named explicitly
-# so a regression in either is attributable at a glance.
+# The queue-mode differential matrix, the fault matrix, and the SIMD kernel
+# parity suite, named explicitly so a regression in any is attributable at a
+# glance.
 cargo test -q --test differential
 cargo test -q --test failover
+cargo test -q -p beagle-cpu --test simd_parity
 cargo clippy --workspace -- -D warnings
