@@ -114,22 +114,31 @@ impl ImplementationFactory for CudaFactory {
             flags: self.supported_flags(),
             thread_count: 1,
         };
+        let stats = prefs.contains(Flags::INSTANCE_STATS);
         if single {
-            Ok(Box::new(AccelInstance::<f32, CudaDialect>::with_fault_injector(
+            let mut inst = AccelInstance::<f32, CudaDialect>::with_fault_injector(
                 *config,
                 self.device.clone(),
                 ExecMode::SimulatedGpu,
                 details,
                 self.injector(),
-            )?))
+            )?;
+            if stats {
+                inst.enable_statistics();
+            }
+            Ok(Box::new(inst))
         } else {
-            Ok(Box::new(AccelInstance::<f64, CudaDialect>::with_fault_injector(
+            let mut inst = AccelInstance::<f64, CudaDialect>::with_fault_injector(
                 *config,
                 self.device.clone(),
                 ExecMode::SimulatedGpu,
                 details,
                 self.injector(),
-            )?))
+            )?;
+            if stats {
+                inst.enable_statistics();
+            }
+            Ok(Box::new(inst))
         }
     }
 }
@@ -196,22 +205,31 @@ impl ImplementationFactory for OpenClGpuFactory {
             flags: self.supported_flags(),
             thread_count: 1,
         };
+        let stats = prefs.contains(Flags::INSTANCE_STATS);
         if single {
-            Ok(Box::new(AccelInstance::<f32, OpenClDialect>::with_fault_injector(
+            let mut inst = AccelInstance::<f32, OpenClDialect>::with_fault_injector(
                 *config,
                 self.device.clone(),
                 ExecMode::SimulatedGpu,
                 details,
                 self.injector(),
-            )?))
+            )?;
+            if stats {
+                inst.enable_statistics();
+            }
+            Ok(Box::new(inst))
         } else {
-            Ok(Box::new(AccelInstance::<f64, OpenClDialect>::with_fault_injector(
+            let mut inst = AccelInstance::<f64, OpenClDialect>::with_fault_injector(
                 *config,
                 self.device.clone(),
                 ExecMode::SimulatedGpu,
                 details,
                 self.injector(),
-            )?))
+            )?;
+            if stats {
+                inst.enable_statistics();
+            }
+            Ok(Box::new(inst))
         }
     }
 }
@@ -307,14 +325,23 @@ impl ImplementationFactory for OpenClX86Factory {
             .fault_plan
             .as_ref()
             .map(|p| FaultInjector::new(p.clone(), spec.name));
+        let stats = prefs.contains(Flags::INSTANCE_STATS);
         if single {
-            Ok(Box::new(AccelInstance::<f32, OpenClDialect>::with_fault_injector(
+            let mut inst = AccelInstance::<f32, OpenClDialect>::with_fault_injector(
                 *config, spec, mode, details, injector,
-            )?))
+            )?;
+            if stats {
+                inst.enable_statistics();
+            }
+            Ok(Box::new(inst))
         } else {
-            Ok(Box::new(AccelInstance::<f64, OpenClDialect>::with_fault_injector(
+            let mut inst = AccelInstance::<f64, OpenClDialect>::with_fault_injector(
                 *config, spec, mode, details, injector,
-            )?))
+            )?;
+            if stats {
+                inst.enable_statistics();
+            }
+            Ok(Box::new(inst))
         }
     }
 }
@@ -362,6 +389,7 @@ pub fn register_accel_factories_with_faults(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use beagle_core::InstanceSpec;
 
     fn cfg() -> InstanceConfig {
         InstanceConfig::for_tree(6, 500, 4, 2)
@@ -372,7 +400,7 @@ mod tests {
         let mut m = ImplementationManager::new();
         register_accel_factories(&mut m);
         assert_eq!(m.factory_count(), 5, "1 CUDA + 3 OpenCL-GPU + 1 OpenCL-x86");
-        let inst = m.create_instance(&cfg(), Flags::NONE, Flags::NONE).unwrap();
+        let inst = InstanceSpec::with_config(cfg()).instantiate(&m).unwrap();
         assert!(inst.details().implementation_name.starts_with("CUDA"));
     }
 
@@ -380,8 +408,9 @@ mod tests {
     fn framework_requirement_selects_opencl() {
         let mut m = ImplementationManager::new();
         register_accel_factories(&mut m);
-        let inst = m
-            .create_instance(&cfg(), Flags::NONE, Flags::FRAMEWORK_OPENCL | Flags::PROCESSOR_GPU)
+        let inst = InstanceSpec::with_config(cfg())
+            .require(Flags::FRAMEWORK_OPENCL | Flags::PROCESSOR_GPU)
+            .instantiate(&m)
             .unwrap();
         assert!(inst.details().implementation_name.starts_with("OpenCL-GPU"));
     }
@@ -390,8 +419,9 @@ mod tests {
     fn cpu_requirement_selects_x86() {
         let mut m = ImplementationManager::new();
         register_accel_factories(&mut m);
-        let inst = m
-            .create_instance(&cfg(), Flags::NONE, Flags::FRAMEWORK_OPENCL | Flags::PROCESSOR_CPU)
+        let inst = InstanceSpec::with_config(cfg())
+            .require(Flags::FRAMEWORK_OPENCL | Flags::PROCESSOR_CPU)
+            .instantiate(&m)
             .unwrap();
         assert_eq!(inst.details().implementation_name, "OpenCL-x86");
     }

@@ -11,9 +11,10 @@
 use std::sync::Arc;
 use std::time::Duration;
 
-use beagle_core::api::{BeagleInstance, InstanceConfig, InstanceDetails};
+use beagle_core::api::{BeagleInstance, BufferId, InstanceConfig, InstanceDetails, ScalingMode};
 use beagle_core::buffers::{ChildOperand, InstanceBuffers};
 use beagle_core::error::{BeagleError, Result};
+use beagle_core::obs::{self, EventKind, KernelClass, Recorder};
 use beagle_core::ops::Operation;
 use beagle_core::real::{widen_slice, Real};
 
@@ -56,6 +57,9 @@ pub struct AccelInstance<T: Real, D: Dialect> {
     fma_enabled: bool,
     details: InstanceDetails,
     fault: Option<FaultInjector>,
+    /// Kernel timers/counters + event journal; disabled unless the instance
+    /// was created with [`beagle_core::Flags::INSTANCE_STATS`].
+    recorder: Recorder,
     _dialect: std::marker::PhantomData<D>,
 }
 
@@ -125,8 +129,26 @@ impl<T: Real, D: Dialect> AccelInstance<T, D> {
             fma_enabled,
             details,
             fault,
+            recorder: Recorder::disabled(),
             _dialect: std::marker::PhantomData,
         })
+    }
+
+    /// Turn on kernel statistics and the event journal for this instance.
+    /// Called by factories when the client asked for
+    /// [`beagle_core::Flags::INSTANCE_STATS`].
+    pub fn enable_statistics(&mut self) {
+        self.recorder = Recorder::new(true);
+        let device = self.spec.name;
+        let mode = match &self.mode {
+            ExecMode::SimulatedGpu => "gpu-simulated".to_string(),
+            ExecMode::RealX86 { pool, work_group_patterns } => {
+                format!("x86 threads={} wg_patterns={work_group_patterns}", pool.thread_count())
+            }
+        };
+        self.recorder.event(EventKind::DispatchSelected, || {
+            format!("framework={} device={device} mode={mode}", D::NAME)
+        });
     }
 
     /// Pass one fault checkpoint. `Ok(true)` means "proceed but corrupt the
@@ -137,8 +159,18 @@ impl<T: Real, D: Dialect> AccelInstance<T, D> {
         };
         match inj.on_call(site) {
             FaultAction::Proceed => Ok(false),
-            FaultAction::Corrupt => Ok(true),
-            FaultAction::Fail(e) => Err(e),
+            FaultAction::Corrupt => {
+                self.recorder.event(EventKind::FaultInjected, || {
+                    format!("site={site:?} action=corrupt")
+                });
+                Ok(true)
+            }
+            FaultAction::Fail(e) => {
+                self.recorder.event(EventKind::FaultInjected, || {
+                    format!("site={site:?} action=fail error={e}")
+                });
+                Err(e)
+            }
         }
     }
 
@@ -344,10 +376,60 @@ impl<T: Real, D: Dialect> AccelInstance<T, D> {
                 .collect();
             pool.run_batch(tasks);
         }
+        let n_groups = groups.len() as u64;
+        self.recorder.tally(KernelClass::PoolDispatch, n_groups, 0);
         if let (Some(si), Some(sc)) = (op.dest_scale_write, scale) {
             self.bufs.scale_buffers[si] = sc;
         }
         self.bufs.restore_destination(op.destination, dest);
+    }
+
+    /// True when buffer `b` holds compact tip states (and no expanded
+    /// partials) — the same classification the kernels dispatch on.
+    fn is_state_operand(&self, b: usize) -> bool {
+        self.bufs.partials[b].is_none() && self.bufs.tip_states[b].is_some()
+    }
+
+    /// Attribute one `update_partials`-family call's measured wall time and
+    /// modeled device time across the partials kernel classes, split by
+    /// each class's share of the operation list.
+    fn record_partials_call(
+        &mut self,
+        operations: &[Operation],
+        wall: std::time::Duration,
+        modeled: Duration,
+    ) {
+        let mut counts = [0u64; 3];
+        for op in operations {
+            let idx = match (self.is_state_operand(op.child1), self.is_state_operand(op.child2)) {
+                (false, false) => 0,
+                (true, true) => 2,
+                _ => 1,
+            };
+            counts[idx] += 1;
+        }
+        let total: u64 = counts.iter().sum();
+        if total == 0 {
+            return;
+        }
+        let cfg = &self.bufs.config;
+        let bytes_per_op = (3 * cfg.partials_len() * std::mem::size_of::<T>()) as u64;
+        let classes = [KernelClass::PartialsPP, KernelClass::PartialsSP, KernelClass::PartialsSS];
+        for (i, class) in classes.into_iter().enumerate() {
+            if counts[i] == 0 {
+                continue;
+            }
+            let share = counts[i] as f64 / total as f64;
+            self.recorder.tally(class, counts[i], counts[i] * bytes_per_op);
+            self.recorder.add_wall(class, wall.mul_f64(share));
+            self.recorder.add_modeled(class, modeled.mul_f64(share));
+        }
+    }
+
+    /// Modeled device time spent since `before` (zero for the x86 device,
+    /// whose clock never advances).
+    fn modeled_since(&self, before: Duration) -> Duration {
+        self.clock.elapsed().saturating_sub(before)
     }
 }
 
@@ -430,6 +512,8 @@ impl<T: Real, D: Dialect> BeagleInstance for AccelInstance<T, D> {
         matrix_indices: &[usize],
         branch_lengths: &[f64],
     ) -> Result<()> {
+        let sw = self.recorder.start();
+        let dev0 = self.clock.elapsed();
         let corrupt = self.inject(FaultSite::KernelLaunch)?;
         // Matrix exponentiation runs as a device kernel; the shared helper
         // computes the same values the kernel would.
@@ -456,6 +540,17 @@ impl<T: Real, D: Dialect> BeagleInstance for AccelInstance<T, D> {
                 D::launch_overhead_us(),
             ));
         }
+        let bytes =
+            (matrix_indices.len() * self.bufs.config.matrix_len() * std::mem::size_of::<T>()) as u64;
+        let modeled = self.modeled_since(dev0);
+        self.recorder
+            .add_modeled(KernelClass::TransitionMatrices, modeled);
+        self.recorder.finish(
+            sw,
+            KernelClass::TransitionMatrices,
+            matrix_indices.len() as u64,
+            bytes,
+        );
         Ok(())
     }
 
@@ -467,6 +562,8 @@ impl<T: Real, D: Dialect> BeagleInstance for AccelInstance<T, D> {
         d2_indices: &[usize],
         branch_lengths: &[f64],
     ) -> Result<()> {
+        let sw = self.recorder.start();
+        let dev0 = self.clock.elapsed();
         let corrupt = self.inject(FaultSite::KernelLaunch)?;
         self.bufs.update_transition_derivatives(
             eigen_index,
@@ -497,20 +594,39 @@ impl<T: Real, D: Dialect> BeagleInstance for AccelInstance<T, D> {
                 D::launch_overhead_us(),
             ));
         }
+        let modeled = self.modeled_since(dev0);
+        self.recorder
+            .add_modeled(KernelClass::TransitionMatrices, modeled);
+        self.recorder.finish(
+            sw,
+            KernelClass::TransitionMatrices,
+            3 * matrix_indices.len() as u64,
+            0,
+        );
         Ok(())
     }
 
-    fn calculate_edge_derivatives(
+    fn integrate_edge_derivatives(
         &mut self,
-        parent_buffer: usize,
-        child_buffer: usize,
-        matrix_index: usize,
-        d1_matrix: usize,
-        d2_matrix: usize,
-        category_weights_index: usize,
-        frequencies_index: usize,
-        cumulative_scale: Option<usize>,
+        parent: BufferId,
+        child: BufferId,
+        matrix: BufferId,
+        d1_id: BufferId,
+        d2_id: BufferId,
+        category_weights: BufferId,
+        frequencies: BufferId,
+        scaling: ScalingMode,
     ) -> Result<(f64, f64, f64)> {
+        let sw = self.recorder.start();
+        let dev0 = self.clock.elapsed();
+        let parent_buffer = parent.index();
+        let child_buffer = child.index();
+        let matrix_index = matrix.index();
+        let d1_matrix = d1_id.index();
+        let d2_matrix = d2_id.index();
+        let category_weights_index = category_weights.index();
+        let frequencies_index = frequencies.index();
+        let cumulative_scale = scaling.index();
         self.inject(FaultSite::KernelLaunch)?;
         use beagle_cpu::kernels as k;
         let cfg = self.bufs.config;
@@ -562,6 +678,10 @@ impl<T: Real, D: Dialect> BeagleInstance for AccelInstance<T, D> {
                 D::launch_overhead_us(),
             ));
         }
+        let modeled = self.modeled_since(dev0);
+        self.recorder.add_modeled(KernelClass::EdgeIntegrate, modeled);
+        self.recorder
+            .finish(sw, KernelClass::EdgeIntegrate, cfg.pattern_count as u64, 0);
         if lnl.is_nan() {
             if let Some(e) = self.corruption_err() {
                 return Err(e);
@@ -586,6 +706,10 @@ impl<T: Real, D: Dialect> BeagleInstance for AccelInstance<T, D> {
 
     fn update_partials(&mut self, operations: &[Operation]) -> Result<()> {
         self.validate_operations(operations)?;
+        let t0 = self.recorder.is_enabled().then(std::time::Instant::now);
+        self.recorder
+            .event(EventKind::OperationBegin, || format!("update_partials ops={}", operations.len()));
+        let dev0 = self.clock.elapsed();
         for op in operations {
             let corrupt = self.inject(FaultSite::KernelLaunch)?;
             if self.is_simulated() {
@@ -598,12 +722,23 @@ impl<T: Real, D: Dialect> BeagleInstance for AccelInstance<T, D> {
                 self.poison_partials(op.destination);
             }
         }
+        if let Some(t0) = t0 {
+            let modeled = self.modeled_since(dev0);
+            self.record_partials_call(operations, t0.elapsed(), modeled);
+            self.recorder
+                .event(EventKind::OperationEnd, || format!("update_partials ops={}", operations.len()));
+        }
         Ok(())
     }
 
     fn update_partials_by_levels(&mut self, levels: &[Vec<Operation>]) -> Result<()> {
         let flat: Vec<Operation> = levels.iter().flatten().copied().collect();
         self.validate_operations(&flat)?;
+        let t0 = self.recorder.is_enabled().then(std::time::Instant::now);
+        self.recorder.event(EventKind::OperationBegin, || {
+            format!("update_partials_by_levels ops={} levels={}", flat.len(), levels.len())
+        });
+        let dev0 = self.clock.elapsed();
         if !self.is_simulated() {
             // The x86 device executes for real on host threads; there is no
             // launch-overhead model to batch away.
@@ -614,28 +749,38 @@ impl<T: Real, D: Dialect> BeagleInstance for AccelInstance<T, D> {
                     self.poison_partials(op.destination);
                 }
             }
-            return Ok(());
-        }
-        // Batched submission: each dependency level goes to one simulated
-        // stream, so the host pays the launch overhead once per level — the
-        // per-op kernel (and any rescale) rides the same submission. Fault
-        // checkpoints stay per-launch, matching the eager schedule.
-        for level in levels {
-            for (i, op) in level.iter().enumerate() {
-                let corrupt = self.inject(FaultSite::KernelLaunch)?;
-                let overhead = if i == 0 { D::launch_overhead_us() } else { 0.0 };
-                self.execute_op_gpu(op, overhead, 0.0);
-                if corrupt {
-                    self.poison_partials(op.destination);
+        } else {
+            // Batched submission: each dependency level goes to one simulated
+            // stream, so the host pays the launch overhead once per level — the
+            // per-op kernel (and any rescale) rides the same submission. Fault
+            // checkpoints stay per-launch, matching the eager schedule.
+            for level in levels {
+                for (i, op) in level.iter().enumerate() {
+                    let corrupt = self.inject(FaultSite::KernelLaunch)?;
+                    let overhead = if i == 0 { D::launch_overhead_us() } else { 0.0 };
+                    self.execute_op_gpu(op, overhead, 0.0);
+                    if corrupt {
+                        self.poison_partials(op.destination);
+                    }
                 }
             }
+        }
+        if let Some(t0) = t0 {
+            let modeled = self.modeled_since(dev0);
+            self.record_partials_call(&flat, t0.elapsed(), modeled);
+            self.recorder.event(EventKind::OperationEnd, || {
+                format!("update_partials_by_levels ops={}", flat.len())
+            });
         }
         Ok(())
     }
 
     fn reset_scale_factors(&mut self, cumulative: usize) -> Result<()> {
+        let sw = self.recorder.start();
         self.inject(FaultSite::KernelLaunch)?;
-        self.bufs.reset_scale_factors(cumulative)
+        let r = self.bufs.reset_scale_factors(cumulative);
+        self.recorder.finish(sw, KernelClass::Rescale, 1, 0);
+        r
     }
 
     fn accumulate_scale_factors(
@@ -643,17 +788,27 @@ impl<T: Real, D: Dialect> BeagleInstance for AccelInstance<T, D> {
         scale_indices: &[usize],
         cumulative: usize,
     ) -> Result<()> {
+        let sw = self.recorder.start();
         self.inject(FaultSite::KernelLaunch)?;
-        self.bufs.accumulate_scale_factors(scale_indices, cumulative)
+        let r = self.bufs.accumulate_scale_factors(scale_indices, cumulative);
+        self.recorder
+            .finish(sw, KernelClass::Rescale, scale_indices.len() as u64, 0);
+        r
     }
 
-    fn calculate_root_log_likelihoods(
+    fn integrate_root(
         &mut self,
-        root_buffer: usize,
-        category_weights_index: usize,
-        frequencies_index: usize,
-        cumulative_scale: Option<usize>,
+        root_id: BufferId,
+        category_weights: BufferId,
+        frequencies: BufferId,
+        scaling: ScalingMode,
     ) -> Result<f64> {
+        let sw = self.recorder.start();
+        let dev0 = self.clock.elapsed();
+        let root_buffer = root_id.index();
+        let category_weights_index = category_weights.index();
+        let frequencies_index = frequencies.index();
+        let cumulative_scale = scaling.index();
         self.inject(FaultSite::KernelLaunch)?;
         let cfg = self.bufs.config;
         self.bufs.check_integration_indices(
@@ -702,6 +857,10 @@ impl<T: Real, D: Dialect> BeagleInstance for AccelInstance<T, D> {
             // Only the scalar total is transferred back.
             self.charge_transfer(8);
         }
+        let modeled = self.modeled_since(dev0);
+        self.recorder.add_modeled(KernelClass::RootIntegrate, modeled);
+        self.recorder
+            .finish(sw, KernelClass::RootIntegrate, cfg.pattern_count as u64, 0);
         if total.is_nan() {
             // A NaN after an injected silent-corruption fault is device
             // damage, not numerics: report it as such so failover (not
@@ -716,15 +875,23 @@ impl<T: Real, D: Dialect> BeagleInstance for AccelInstance<T, D> {
         Ok(total)
     }
 
-    fn calculate_edge_log_likelihoods(
+    fn integrate_edge(
         &mut self,
-        parent_buffer: usize,
-        child_buffer: usize,
-        matrix_index: usize,
-        category_weights_index: usize,
-        frequencies_index: usize,
-        cumulative_scale: Option<usize>,
+        parent: BufferId,
+        child: BufferId,
+        matrix: BufferId,
+        category_weights: BufferId,
+        frequencies: BufferId,
+        scaling: ScalingMode,
     ) -> Result<f64> {
+        let sw = self.recorder.start();
+        let dev0 = self.clock.elapsed();
+        let parent_buffer = parent.index();
+        let child_buffer = child.index();
+        let matrix_index = matrix.index();
+        let category_weights_index = category_weights.index();
+        let frequencies_index = frequencies.index();
+        let cumulative_scale = scaling.index();
         self.inject(FaultSite::KernelLaunch)?;
         let cfg = self.bufs.config;
         self.bufs.check_integration_indices(
@@ -772,6 +939,10 @@ impl<T: Real, D: Dialect> BeagleInstance for AccelInstance<T, D> {
                 D::launch_overhead_us(),
             ));
         }
+        let modeled = self.modeled_since(dev0);
+        self.recorder.add_modeled(KernelClass::EdgeIntegrate, modeled);
+        self.recorder
+            .finish(sw, KernelClass::EdgeIntegrate, cfg.pattern_count as u64, 0);
         if total.is_nan() {
             if let Some(e) = self.corruption_err() {
                 return Err(e);
@@ -793,5 +964,13 @@ impl<T: Real, D: Dialect> BeagleInstance for AccelInstance<T, D> {
 
     fn reset_simulated_time(&mut self) {
         self.clock.reset();
+    }
+
+    fn statistics(&self) -> Option<obs::InstanceStats> {
+        self.recorder.stats()
+    }
+
+    fn take_journal(&mut self) -> Vec<obs::Event> {
+        self.recorder.take_journal()
     }
 }

@@ -9,7 +9,7 @@ use beagle_accel::{
 };
 use beagle_core::error::{BeagleError, DeviceErrorKind};
 use beagle_core::manager::ImplementationFactory;
-use beagle_core::{BeagleInstance, Flags, InstanceConfig, Operation, Result};
+use beagle_core::{BeagleInstance, BufferId, Flags, InstanceConfig, Operation, Result, ScalingMode};
 use beagle_phylo::models::nucleotide;
 use beagle_phylo::simulate::simulate_alignment;
 use beagle_phylo::{ReversibleModel, SitePatterns, SiteRates, Tree};
@@ -66,7 +66,7 @@ fn try_drive(inst: &mut dyn BeagleInstance, case: &Case) -> Result<f64> {
         .map(|e| Operation::new(e.destination, e.child1, e.matrix1, e.child2, e.matrix2))
         .collect();
     inst.update_partials(&ops)?;
-    inst.calculate_root_log_likelihoods(case.tree.root(), 0, 0, None)
+    inst.integrate_root(BufferId(case.tree.root()), BufferId(0), BufferId(0), ScalingMode::None)
 }
 
 /// One factory per back-end, all carrying `plan`.
@@ -286,10 +286,12 @@ fn fault_directory_routes_plans_by_device_name() {
     let case = case();
     // Requiring CUDA forces the faulted P5000; creation fails there but the
     // manager falls back to the next eligible factory when unconstrained.
-    let err = m.create_instance(&config(&case), Flags::NONE, Flags::FRAMEWORK_CUDA);
+    let err = beagle_core::InstanceSpec::with_config(config(&case))
+        .require(Flags::FRAMEWORK_CUDA)
+        .instantiate(&m);
     assert!(err.is_err(), "only the faulted device offers CUDA");
-    let inst = m
-        .create_instance(&config(&case), Flags::NONE, Flags::NONE)
+    let inst = beagle_core::InstanceSpec::with_config(config(&case))
+        .instantiate(&m)
         .expect("fallback must find a healthy implementation");
     assert!(
         !inst.details().implementation_name.starts_with("CUDA"),

@@ -6,7 +6,7 @@ use beagle_accel::{
     catalog, register_accel_factories, CudaFactory, OpenClGpuFactory, OpenClX86Factory,
 };
 use beagle_core::manager::{ImplementationFactory, ImplementationManager};
-use beagle_core::{BeagleInstance, Flags, InstanceConfig, Operation};
+use beagle_core::{BeagleInstance, BufferId, Flags, InstanceConfig, InstanceSpec, Operation, ScalingMode};
 use beagle_phylo::likelihood::log_likelihood;
 use beagle_phylo::models::{codon, nucleotide};
 use beagle_phylo::simulate::simulate_alignment;
@@ -48,11 +48,11 @@ fn drive(
         inst.reset_scale_factors(c).unwrap();
         let bufs: Vec<usize> = ops.iter().map(|o| o.destination).collect();
         inst.accumulate_scale_factors(&bufs, c).unwrap();
-        Some(c)
+        ScalingMode::cumulative(c)
     } else {
-        None
+        ScalingMode::None
     };
-    inst.calculate_root_log_likelihoods(tree.root(), 0, 0, cum).unwrap()
+    inst.integrate_root(BufferId(tree.root()), BufferId(0), BufferId(0), cum).unwrap()
 }
 
 struct Case {
@@ -182,8 +182,9 @@ fn manager_registration_end_to_end() {
     register_accel_factories(&mut m);
     let case = nuc_case(6, 5, 150, 1);
     let config = InstanceConfig::for_tree(5, case.patterns.pattern_count(), 4, 1);
-    let mut inst = m
-        .create_instance(&config, Flags::PROCESSOR_GPU, Flags::NONE)
+    let mut inst = InstanceSpec::with_config(config)
+        .prefer(Flags::PROCESSOR_GPU)
+        .instantiate(&m)
         .unwrap();
     let oracle = log_likelihood(&case.tree, &case.model, &case.rates, &case.patterns);
     let lnl = drive(inst.as_mut(), &case.tree, &case.model, &case.rates, &case.patterns, false);

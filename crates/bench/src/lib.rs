@@ -11,7 +11,7 @@
 
 pub mod cpu_model;
 
-use beagle_core::{BeagleInstance, Flags};
+use beagle_core::{BeagleInstance, Flags, InstanceSpec};
 use genomictest::{benchmark, full_manager, Problem, ThroughputReport};
 
 /// Create an instance of the exactly-named implementation for `problem`.
@@ -21,8 +21,10 @@ pub fn instance_by_name(
     single: bool,
 ) -> Option<Box<dyn BeagleInstance>> {
     let precision = if single { Flags::PRECISION_SINGLE } else { Flags::PRECISION_DOUBLE };
-    full_manager()
-        .create_instance_by_name(name, &problem.config(), precision)
+    InstanceSpec::with_config(problem.config())
+        .prefer(precision)
+        .named(name)
+        .instantiate(&full_manager())
         .ok()
 }
 

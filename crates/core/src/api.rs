@@ -9,7 +9,75 @@
 
 use crate::error::{BeagleError, Result};
 use crate::flags::Flags;
+use crate::obs;
 use crate::ops::Operation;
+
+/// A typed index into an instance's buffer space (partials, matrix, scale,
+/// category-weight or frequency buffers — which space is determined by the
+/// parameter position, exactly as in the C API).
+///
+/// Replaces the raw `usize` indices of the integration methods so that a
+/// buffer index can no longer be silently swapped with a count or an
+/// unrelated index at a call site.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct BufferId(pub usize);
+
+impl BufferId {
+    /// The raw index.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl From<usize> for BufferId {
+    fn from(index: usize) -> Self {
+        BufferId(index)
+    }
+}
+
+impl std::fmt::Display for BufferId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// How an integration call treats accumulated scale factors.
+///
+/// Replaces the old `Option<usize>` cumulative-scale argument, which read as
+/// "maybe a number" instead of "a scaling policy" at call sites.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum ScalingMode {
+    /// No rescaling was performed; partials are raw probabilities.
+    #[default]
+    None,
+    /// Per-pattern log scale factors were accumulated into this scale
+    /// buffer and must be added back to the integrated log-likelihood.
+    Cumulative(BufferId),
+}
+
+impl ScalingMode {
+    /// Cumulative scaling through scale buffer `index`.
+    pub fn cumulative(index: usize) -> Self {
+        ScalingMode::Cumulative(BufferId(index))
+    }
+
+    /// Adapter from the deprecated `Option<usize>` representation.
+    pub fn from_option(cumulative_scale: Option<usize>) -> Self {
+        match cumulative_scale {
+            Some(index) => ScalingMode::Cumulative(BufferId(index)),
+            None => ScalingMode::None,
+        }
+    }
+
+    /// The cumulative scale-buffer index, if any (adapter for back-end
+    /// internals still organized around the optional index).
+    pub fn index(self) -> Option<usize> {
+        match self {
+            ScalingMode::None => None,
+            ScalingMode::Cumulative(b) => Some(b.0),
+        }
+    }
+}
 
 /// Sizing parameters of an instance (the `beagleCreateInstance` arguments).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -110,7 +178,7 @@ pub struct InstanceDetails {
 /// All data crosses this interface as `f64` regardless of the instance's
 /// internal precision (the C API has typed variants; a trait object cannot,
 /// so conversion happens inside — it is never on the hot path, which is
-/// `update_partials` + `calculate_root_log_likelihoods` on internal buffers).
+/// `update_partials` + `integrate_root` on internal buffers).
 pub trait BeagleInstance: Send {
     /// Implementation and resource description.
     fn details(&self) -> &InstanceDetails;
@@ -177,9 +245,10 @@ pub trait BeagleInstance: Send {
         _d2_indices: &[usize],
         _branch_lengths: &[f64],
     ) -> Result<()> {
-        Err(crate::error::BeagleError::Unsupported(
-            "transition-matrix derivatives on this implementation",
-        ))
+        Err(crate::error::BeagleError::Unsupported(format!(
+            "transition-matrix derivatives on {}",
+            self.details().implementation_name
+        )))
     }
 
     /// Edge log-likelihood together with its first and second derivatives
@@ -187,20 +256,47 @@ pub trait BeagleInstance: Send {
     /// `d1_matrix` / `d2_matrix` must hold the derivative matrices from
     /// [`Self::update_transition_derivatives`]. Optional, like the above.
     #[allow(clippy::too_many_arguments)]
+    fn integrate_edge_derivatives(
+        &mut self,
+        _parent: BufferId,
+        _child: BufferId,
+        _matrix: BufferId,
+        _d1_matrix: BufferId,
+        _d2_matrix: BufferId,
+        _category_weights: BufferId,
+        _frequencies: BufferId,
+        _scaling: ScalingMode,
+    ) -> Result<(f64, f64, f64)> {
+        Err(crate::error::BeagleError::Unsupported(format!(
+            "edge derivatives on {}",
+            self.details().implementation_name
+        )))
+    }
+
+    /// Deprecated untyped form of [`Self::integrate_edge_derivatives`].
+    #[deprecated(note = "use `integrate_edge_derivatives` with `BufferId`/`ScalingMode`")]
+    #[allow(clippy::too_many_arguments)]
     fn calculate_edge_derivatives(
         &mut self,
-        _parent_buffer: usize,
-        _child_buffer: usize,
-        _matrix_index: usize,
-        _d1_matrix: usize,
-        _d2_matrix: usize,
-        _category_weights_index: usize,
-        _frequencies_index: usize,
-        _cumulative_scale: Option<usize>,
+        parent_buffer: usize,
+        child_buffer: usize,
+        matrix_index: usize,
+        d1_matrix: usize,
+        d2_matrix: usize,
+        category_weights_index: usize,
+        frequencies_index: usize,
+        cumulative_scale: Option<usize>,
     ) -> Result<(f64, f64, f64)> {
-        Err(crate::error::BeagleError::Unsupported(
-            "edge derivatives on this implementation",
-        ))
+        self.integrate_edge_derivatives(
+            BufferId(parent_buffer),
+            BufferId(child_buffer),
+            BufferId(matrix_index),
+            BufferId(d1_matrix),
+            BufferId(d2_matrix),
+            BufferId(category_weights_index),
+            BufferId(frequencies_index),
+            ScalingMode::from_option(cumulative_scale),
+        )
     }
 
     /// Directly set a transition matrix (`categories × states × states`,
@@ -239,20 +335,49 @@ pub trait BeagleInstance: Send {
     ) -> Result<()>;
 
     /// Integrate root partials against state frequencies, category weights
-    /// and pattern weights; returns the total log-likelihood. If
-    /// `cumulative_scale` is set, per-pattern accumulated log scale factors
-    /// are added back.
+    /// and pattern weights; returns the total log-likelihood. With
+    /// [`ScalingMode::Cumulative`], per-pattern accumulated log scale
+    /// factors are added back.
+    fn integrate_root(
+        &mut self,
+        root: BufferId,
+        category_weights: BufferId,
+        frequencies: BufferId,
+        scaling: ScalingMode,
+    ) -> Result<f64>;
+
+    /// Likelihood integrated at an edge: parent partials combined with
+    /// child partials propagated through `matrix`. Used by programs that
+    /// re-root cheaply or compute branch derivatives.
+    fn integrate_edge(
+        &mut self,
+        parent: BufferId,
+        child: BufferId,
+        matrix: BufferId,
+        category_weights: BufferId,
+        frequencies: BufferId,
+        scaling: ScalingMode,
+    ) -> Result<f64>;
+
+    /// Deprecated untyped form of [`Self::integrate_root`].
+    #[deprecated(note = "use `integrate_root` with `BufferId`/`ScalingMode`")]
     fn calculate_root_log_likelihoods(
         &mut self,
         root_buffer: usize,
         category_weights_index: usize,
         frequencies_index: usize,
         cumulative_scale: Option<usize>,
-    ) -> Result<f64>;
+    ) -> Result<f64> {
+        self.integrate_root(
+            BufferId(root_buffer),
+            BufferId(category_weights_index),
+            BufferId(frequencies_index),
+            ScalingMode::from_option(cumulative_scale),
+        )
+    }
 
-    /// Likelihood integrated at an edge: parent partials combined with
-    /// child partials propagated through `matrix_index`. Used by programs
-    /// that re-root cheaply or compute branch derivatives.
+    /// Deprecated untyped form of [`Self::integrate_edge`].
+    #[deprecated(note = "use `integrate_edge` with `BufferId`/`ScalingMode`")]
     fn calculate_edge_log_likelihoods(
         &mut self,
         parent_buffer: usize,
@@ -261,7 +386,16 @@ pub trait BeagleInstance: Send {
         category_weights_index: usize,
         frequencies_index: usize,
         cumulative_scale: Option<usize>,
-    ) -> Result<f64>;
+    ) -> Result<f64> {
+        self.integrate_edge(
+            BufferId(parent_buffer),
+            BufferId(child_buffer),
+            BufferId(matrix_index),
+            BufferId(category_weights_index),
+            BufferId(frequencies_index),
+            ScalingMode::from_option(cumulative_scale),
+        )
+    }
 
     /// Per-pattern site log-likelihoods from the most recent root/edge call.
     fn get_site_log_likelihoods(&self) -> Result<Vec<f64>>;
@@ -287,6 +421,22 @@ pub trait BeagleInstance: Send {
     /// `None` for eager instances.
     fn queue_stats(&self) -> Option<crate::queue::QueueStats> {
         None
+    }
+
+    /// Per-kernel timing/counter statistics (see [`crate::obs`]). `None`
+    /// unless the instance was created with [`Flags::INSTANCE_STATS`] (or
+    /// `InstanceSpec::with_stats`), or when built with the `obs-disabled`
+    /// feature. Wrapper instances (queue, rescue, partitioned) merge their
+    /// own counters with the wrapped instance's.
+    fn statistics(&self) -> Option<obs::InstanceStats> {
+        None
+    }
+
+    /// Drain this instance's event journal (oldest first; see
+    /// [`crate::obs::Event`]). Empty unless statistics are enabled. Wrapper
+    /// instances merge the journals of every layer into sequence order.
+    fn take_journal(&mut self) -> Vec<obs::Event> {
+        Vec::new()
     }
 }
 

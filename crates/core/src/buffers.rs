@@ -493,7 +493,7 @@ impl<T: Real> InstanceBuffers<T> {
         }
         if op.destination == op.child1 || op.destination == op.child2 {
             return Err(BeagleError::Unsupported(
-                "in-place partials operations (destination == child)",
+                "in-place partials operations (destination == child)".into(),
             ));
         }
         Ok(())

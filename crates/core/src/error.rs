@@ -57,7 +57,9 @@ pub enum BeagleError {
     /// No registered implementation satisfies the requirement flags.
     NoImplementationFound,
     /// The selected implementation does not support the requested feature.
-    Unsupported(&'static str),
+    /// Carries enough context (including the implementation name where
+    /// known) to be actionable from a rescue/failover audit log.
+    Unsupported(String),
     /// A floating-point failure surfaced (NaN likelihood without scaling, …).
     NumericalFailure(String),
     /// A hardware device misbehaved. `transient` distinguishes failures

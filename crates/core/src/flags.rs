@@ -68,6 +68,10 @@ flags! {
     COMPUTATION_ASYNCH = 17;
     /// AVX2+FMA wide-vector arithmetic (runtime-detected).
     VECTOR_AVX2 = 18;
+    /// Collect per-kernel timing/counter statistics and an event journal
+    /// for this instance (see `crate::obs`). Handled at creation by the
+    /// implementation manager and factories, not a hardware capability.
+    INSTANCE_STATS = 19;
 }
 
 impl Flags {

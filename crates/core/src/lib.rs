@@ -34,22 +34,26 @@ pub mod flags;
 pub mod journal;
 pub mod manager;
 pub mod multi;
+pub mod obs;
 pub mod ops;
 pub mod queue;
 pub mod real;
 pub mod rescue;
 pub mod resource;
+pub mod spec;
 
-pub use api::{BeagleInstance, InstanceConfig, InstanceDetails};
+pub use api::{BeagleInstance, BufferId, InstanceConfig, InstanceDetails, ScalingMode};
 pub use error::{BeagleError, DeviceErrorKind, Result};
 pub use journal::StateJournal;
 pub use flags::Flags;
-pub use manager::{ImplementationFactory, ImplementationManager};
+pub use manager::{ImplementationFactory, ImplementationManager, ResourceBenchmark};
 pub use multi::PartitionedInstance;
+pub use obs::{Event, EventKind, InstanceStats, KernelClass, KernelCounter, Recorder};
 pub use ops::Operation;
 pub use queue::{EigenCache, QueueStats, QueuedInstance};
 pub use real::Real;
 pub use resource::ResourceDescription;
+pub use spec::InstanceSpec;
 
 /// Sentinel state value meaning "missing data / gap" in compact tip storage.
 /// Kernels treat it as partial likelihood 1 for every state.

@@ -9,10 +9,14 @@
 //! *preference* flags they satisfy (ties broken by registration priority,
 //! mirroring BEAGLE's resource ordering).
 
-use crate::api::{BeagleInstance, InstanceConfig};
+use std::time::{Duration, Instant};
+
+use crate::api::{BeagleInstance, BufferId, InstanceConfig, ScalingMode};
 use crate::error::{BeagleError, Result};
 use crate::flags::Flags;
+use crate::ops::Operation;
 use crate::resource::ResourceDescription;
+use crate::spec::InstanceSpec;
 
 /// A plugin that can construct instances on one resource.
 pub trait ImplementationFactory: Send + Sync {
@@ -79,107 +83,414 @@ impl ImplementationManager {
         self.factories.iter().map(|f| f.name().to_string()).collect()
     }
 
+    /// Create an instance from an [`InstanceSpec`] — the single creation
+    /// path every public entry point funnels into, so the wrapper stack is
+    /// assembled in exactly one place.
+    ///
+    /// Selection (when no implementation name is pinned): a factory is
+    /// *eligible* if its supported flags contain every requirement bit and
+    /// it supports the configuration. Among eligible factories, the one
+    /// satisfying the most preference bits wins; ties go to the higher
+    /// `priority()`. If the winner fails to *create* (device allocation
+    /// failure, dead accelerator), the next-ranked eligible factory is
+    /// tried, walking the chain accelerator → thread-pool → vectorized →
+    /// serial until one succeeds — so a flaky GPU degrades to a working CPU
+    /// instance rather than an error. The last creation error surfaces only
+    /// when every eligible factory fails.
+    ///
+    /// Three flag bits are manager-level features, not back-end
+    /// capabilities, and are stripped before factory filtering and scoring:
+    ///
+    /// * [`Flags::COMPUTATION_ASYNCH`] (requirement or preference) wraps
+    ///   the back-end in a [`crate::queue::QueuedInstance`];
+    /// * [`Flags::COMPUTATION_SYNCH`] is the eager default;
+    /// * [`Flags::INSTANCE_STATS`] is forwarded to the factory as a
+    ///   preference so the back-end enables its kernel recorder (see
+    ///   [`crate::obs`]); it never affects ranking.
+    ///
+    /// Unless `spec.rescue` is false, the result is wrapped in a
+    /// [`crate::rescue::RescueInstance`] (outside any queue layer, so
+    /// deferred batches still get numerical rescue at the integration
+    /// points). Named and ranked creation therefore get byte-identical
+    /// wrapping.
+    pub fn create_from_spec(&self, spec: &InstanceSpec) -> Result<Box<dyn BeagleInstance>> {
+        spec.config.validate()?;
+        let manager_bits =
+            Flags::COMPUTATION_SYNCH | Flags::COMPUTATION_ASYNCH | Flags::INSTANCE_STATS;
+        let combined = spec.preferences | spec.requirements;
+        let asynch = combined.contains(Flags::COMPUTATION_ASYNCH);
+        let stats = combined.contains(Flags::INSTANCE_STATS);
+        let preference_flags = spec.preferences.without(manager_bits);
+        let requirement_flags = spec.requirements.without(manager_bits);
+        // Factories see the stats bit in their preferences (it is how they
+        // know to switch their recorder on), but ranking ignores it: no
+        // factory advertises it as a capability.
+        let factory_prefs = if stats {
+            preference_flags | Flags::INSTANCE_STATS
+        } else {
+            preference_flags
+        };
+
+        let raw = match &spec.implementation {
+            Some(name) => {
+                let factory = self
+                    .factories
+                    .iter()
+                    .find(|f| f.name() == name)
+                    .ok_or(BeagleError::NoImplementationFound)?;
+                if !factory.supports_config(&spec.config) {
+                    return Err(BeagleError::Unsupported(format!(
+                        "configuration for implementation {name}"
+                    )));
+                }
+                factory.create(&spec.config, factory_prefs, requirement_flags)?
+            }
+            None => {
+                let mut eligible: Vec<(&dyn ImplementationFactory, u32)> = self
+                    .factories
+                    .iter()
+                    .filter(|f| f.supported_flags().contains(requirement_flags))
+                    .filter(|f| f.supports_config(&spec.config))
+                    .map(|f| {
+                        let score = (f.supported_flags() & preference_flags).bit_count();
+                        (f.as_ref(), score)
+                    })
+                    .collect();
+                // Best first: preference score, then registration priority.
+                // The sort is stable, so equal (score, priority) keeps
+                // registration order.
+                eligible.sort_by(|(fa, sa), (fb, sb)| {
+                    (sb, fb.priority()).cmp(&(sa, fa.priority()))
+                });
+                let mut created = None;
+                let mut last_err = BeagleError::NoImplementationFound;
+                for (factory, _) in eligible {
+                    match factory.create(&spec.config, factory_prefs, requirement_flags) {
+                        Ok(inst) => {
+                            created = Some(inst);
+                            break;
+                        }
+                        Err(e) => last_err = e,
+                    }
+                }
+                match created {
+                    Some(inst) => inst,
+                    None => return Err(last_err),
+                }
+            }
+        };
+
+        let inst: Box<dyn BeagleInstance> = if asynch {
+            Box::new(crate::queue::QueuedInstance::new(raw))
+        } else {
+            raw
+        };
+        Ok(if spec.rescue {
+            Box::new(crate::rescue::RescueInstance::new(inst))
+        } else {
+            inst
+        })
+    }
+
     /// Find the best implementation for `config` given requirements and
-    /// preferences, and create an instance of it.
-    ///
-    /// Selection: a factory is *eligible* if its supported flags contain
-    /// every requirement bit and it supports the configuration. Among
-    /// eligible factories, the one satisfying the most preference bits wins;
-    /// ties go to the higher `priority()`. If the winner fails to *create*
-    /// (device allocation failure, dead accelerator), the next-ranked
-    /// eligible factory is tried, walking the chain accelerator →
-    /// thread-pool → vectorized → serial until one succeeds — so a flaky
-    /// GPU degrades to a working CPU instance rather than an error. The
-    /// last creation error surfaces only when every eligible factory fails.
-    ///
-    /// The returned instance is additionally wrapped in a
-    /// [`crate::rescue::RescueInstance`]: root/edge integrations that fail
-    /// numerically without scaling are transparently re-run with
-    /// per-pattern rescaling (see the module docs of [`crate::rescue`]).
-    ///
-    /// Execution mode ([`Flags::COMPUTATION_SYNCH`] /
-    /// [`Flags::COMPUTATION_ASYNCH`]) is a manager-level feature, not a
-    /// back-end capability: both bits are stripped before factory filtering
-    /// and scoring. Asking for `COMPUTATION_ASYNCH` (as a requirement or a
-    /// preference) wraps the back-end in a [`crate::queue::QueuedInstance`]
-    /// before the rescue layer, so deferred batches still get numerical
-    /// rescue at the integration points.
+    /// preferences, and create an instance of it. Thin wrapper over
+    /// [`Self::create_from_spec`]; see there for selection, execution-mode
+    /// and rescue semantics.
     pub fn create_instance(
         &self,
         config: &InstanceConfig,
         preference_flags: Flags,
         requirement_flags: Flags,
     ) -> Result<Box<dyn BeagleInstance>> {
-        config.validate()?;
-        let queue_bits = Flags::COMPUTATION_SYNCH | Flags::COMPUTATION_ASYNCH;
-        let asynch = (preference_flags | requirement_flags).contains(Flags::COMPUTATION_ASYNCH);
-        let preference_flags = preference_flags.without(queue_bits);
-        let requirement_flags = requirement_flags.without(queue_bits);
-        let mut eligible: Vec<(&dyn ImplementationFactory, u32)> = self
-            .factories
-            .iter()
-            .filter(|f| f.supported_flags().contains(requirement_flags))
-            .filter(|f| f.supports_config(config))
-            .map(|f| {
-                let score = (f.supported_flags() & preference_flags).bit_count();
-                (f.as_ref(), score)
-            })
-            .collect();
-        // Best first: preference score, then registration priority. The sort
-        // is stable, so equal (score, priority) keeps registration order.
-        eligible.sort_by(|(fa, sa), (fb, sb)| {
-            (sb, fb.priority()).cmp(&(sa, fa.priority()))
-        });
-        let mut last_err = BeagleError::NoImplementationFound;
-        for (factory, _) in eligible {
-            match factory.create(config, preference_flags, requirement_flags) {
-                Ok(inst) => {
-                    let inst: Box<dyn BeagleInstance> = if asynch {
-                        Box::new(crate::queue::QueuedInstance::new(inst))
-                    } else {
-                        inst
-                    };
-                    return Ok(Box::new(crate::rescue::RescueInstance::new(inst)));
-                }
-                Err(e) => last_err = e,
-            }
-        }
-        Err(last_err)
+        self.create_from_spec(
+            &InstanceSpec::with_config(*config)
+                .prefer(preference_flags)
+                .require(requirement_flags),
+        )
     }
 
     /// Create an instance of the implementation with exactly this name
     /// (names are unique per registry). Used by the benchmark harness to pin
     /// a specific implementation regardless of flag-based ranking.
     ///
-    /// [`Flags::COMPUTATION_ASYNCH`] in the preferences wraps the instance
-    /// in a [`crate::queue::QueuedInstance`], exactly as in
-    /// [`Self::create_instance`] (no rescue layer here — this path is for
-    /// harnesses that want the raw implementation).
+    /// Thin wrapper over [`Self::create_from_spec`]: named creation gets
+    /// the *same* wrapper stack as ranked creation, including the
+    /// numerical-rescue layer. (Historically this path skipped rescue;
+    /// harnesses that need raw back-end semantics should build an
+    /// [`InstanceSpec`] with `without_rescue()`.)
     pub fn create_instance_by_name(
         &self,
         name: &str,
         config: &InstanceConfig,
         preference_flags: Flags,
     ) -> Result<Box<dyn BeagleInstance>> {
-        config.validate()?;
-        let queue_bits = Flags::COMPUTATION_SYNCH | Flags::COMPUTATION_ASYNCH;
-        let asynch = preference_flags.contains(Flags::COMPUTATION_ASYNCH);
-        let preference_flags = preference_flags.without(queue_bits);
-        let factory = self
+        self.create_from_spec(
+            &InstanceSpec::with_config(*config)
+                .prefer(preference_flags)
+                .named(name),
+        )
+    }
+
+    /// Measure every registered factory on a short calibrated
+    /// partials+root workload and return the results ranked fastest-first
+    /// (mirrors BEAGLE's `benchmarkResourceList`).
+    ///
+    /// Every registered factory appears in the output: factories that are
+    /// ineligible (requirements, configuration) or whose creation/workload
+    /// fails carry an `error` and sort after all measured entries. Ranking
+    /// uses modeled device time when the back-end simulates one (so
+    /// simulated-GPU entries are bit-identical run to run) and wall time
+    /// otherwise. The workload is sized down from `config` (≤ 8 tips,
+    /// ≤ 256 patterns, same states/categories) with a fixed repetition
+    /// count, deterministic tip states, and closed-form Jukes–Cantor
+    /// transition matrices — no eigen machinery, so every back-end can run
+    /// it.
+    pub fn benchmark_resources(
+        &self,
+        config: &InstanceConfig,
+        requirement_flags: Flags,
+    ) -> Vec<ResourceBenchmark> {
+        let manager_bits =
+            Flags::COMPUTATION_SYNCH | Flags::COMPUTATION_ASYNCH | Flags::INSTANCE_STATS;
+        let requirement_flags = requirement_flags.without(manager_bits);
+        let bench_config = benchmark_config(config);
+        let mut results: Vec<ResourceBenchmark> = self
             .factories
             .iter()
-            .find(|f| f.name() == name)
-            .ok_or(BeagleError::NoImplementationFound)?;
-        if !factory.supports_config(config) {
-            return Err(BeagleError::Unsupported("configuration for this implementation"));
-        }
-        let inst = factory.create(config, preference_flags, Flags::NONE)?;
-        Ok(if asynch {
-            Box::new(crate::queue::QueuedInstance::new(inst))
-        } else {
-            inst
-        })
+            .map(|factory| {
+                let mut entry = ResourceBenchmark {
+                    implementation: factory.name().to_string(),
+                    resource: factory.resource().name,
+                    flags: factory.supported_flags(),
+                    wall: Duration::ZERO,
+                    modeled: None,
+                    throughput_gflops: 0.0,
+                    error: None,
+                };
+                if !factory.supported_flags().contains(requirement_flags) {
+                    entry.error = Some("does not satisfy requirement flags".to_string());
+                    return entry;
+                }
+                if !factory.supports_config(config) || !factory.supports_config(&bench_config) {
+                    entry.error = Some("does not support this configuration".to_string());
+                    return entry;
+                }
+                match factory.create(&bench_config, Flags::NONE, requirement_flags) {
+                    Ok(mut inst) => {
+                        match run_benchmark_workload(inst.as_mut(), &bench_config) {
+                            Ok((wall, modeled, flops)) => {
+                                entry.wall = wall;
+                                entry.modeled = modeled;
+                                let secs = modeled.unwrap_or(wall).as_secs_f64();
+                                if secs > 0.0 {
+                                    entry.throughput_gflops = flops / secs / 1e9;
+                                }
+                            }
+                            Err(e) => entry.error = Some(e.to_string()),
+                        }
+                    }
+                    Err(e) => entry.error = Some(e.to_string()),
+                }
+                entry
+            })
+            .collect();
+        // Fastest measured entries first; failures last (stable, so they
+        // keep registration order).
+        results.sort_by(|a, b| match (&a.error, &b.error) {
+            (None, Some(_)) => std::cmp::Ordering::Less,
+            (Some(_), None) => std::cmp::Ordering::Greater,
+            (Some(_), Some(_)) => std::cmp::Ordering::Equal,
+            (None, None) => a.elapsed().cmp(&b.elapsed()),
+        });
+        results
     }
+
+    /// Create an instance of the empirically fastest implementation:
+    /// ranks the registry with [`Self::benchmark_resources`] instead of
+    /// static flag scores, then creates the winner through the same
+    /// [`Self::create_from_spec`] path (identical queue/rescue wrapping).
+    /// Entries that fail to create at full problem size fall through to the
+    /// next-fastest; if every measured entry fails, falls back to the
+    /// flag-ranked path.
+    pub fn create_instance_auto(
+        &self,
+        config: &InstanceConfig,
+        preference_flags: Flags,
+        requirement_flags: Flags,
+    ) -> Result<Box<dyn BeagleInstance>> {
+        for entry in self.benchmark_resources(config, requirement_flags) {
+            if entry.error.is_some() {
+                break; // failures sort last; nothing measured remains
+            }
+            let spec = InstanceSpec::with_config(*config)
+                .prefer(preference_flags)
+                .require(requirement_flags)
+                .named(&entry.implementation);
+            if let Ok(inst) = self.create_from_spec(&spec) {
+                return Ok(inst);
+            }
+        }
+        self.create_from_spec(
+            &InstanceSpec::with_config(*config)
+                .prefer(preference_flags)
+                .require(requirement_flags),
+        )
+    }
+}
+
+/// One row of [`ImplementationManager::benchmark_resources`]'s ranking.
+#[derive(Clone, Debug)]
+pub struct ResourceBenchmark {
+    /// Implementation name (pass to `InstanceSpec::named` to pin it).
+    pub implementation: String,
+    /// Hardware resource the implementation runs on.
+    pub resource: String,
+    /// The factory's capability flags.
+    pub flags: Flags,
+    /// Host wall time for the calibrated workload.
+    pub wall: Duration,
+    /// Modeled device time, for back-ends that simulate one.
+    pub modeled: Option<Duration>,
+    /// Workload throughput in GFLOPS, computed from [`Self::elapsed`].
+    pub throughput_gflops: f64,
+    /// Why this factory could not be measured (ineligible, creation or
+    /// workload failure). Measured entries have `None`.
+    pub error: Option<String>,
+}
+
+impl ResourceBenchmark {
+    /// The time used for ranking: modeled device time when available,
+    /// otherwise host wall time.
+    pub fn elapsed(&self) -> Duration {
+        self.modeled.unwrap_or(self.wall)
+    }
+
+    /// One JSON object (hand-rolled; the environment has no serde).
+    pub fn to_json(&self) -> String {
+        let modeled = match self.modeled {
+            Some(d) => format!("{}", d.as_nanos()),
+            None => "null".to_string(),
+        };
+        let error = match &self.error {
+            Some(e) => format!("\"{}\"", e.replace('\\', "\\\\").replace('"', "\\\"")),
+            None => "null".to_string(),
+        };
+        format!(
+            "{{\"implementation\":\"{}\",\"resource\":\"{}\",\"wall_nanos\":{},\"modeled_nanos\":{},\"throughput_gflops\":{:.4},\"error\":{}}}",
+            self.implementation.replace('"', "\\\""),
+            self.resource.replace('"', "\\\""),
+            self.wall.as_nanos(),
+            modeled,
+            error,
+            self.throughput_gflops,
+        )
+    }
+}
+
+/// Repetitions of the calibrated workload. Fixed (not wall-calibrated) so
+/// modeled device times are bit-identical across runs — the determinism the
+/// ranking and its tests rely on.
+const BENCHMARK_REPS: usize = 3;
+
+/// Shrink `config` to benchmark proportions: ≤ 8 tips, ≤ 256 patterns,
+/// same state and category dimensions (those dominate kernel shape).
+fn benchmark_config(config: &InstanceConfig) -> InstanceConfig {
+    InstanceConfig::for_tree(
+        config.tip_count.min(8),
+        config.pattern_count.min(256),
+        config.state_count,
+        config.category_count,
+    )
+}
+
+/// Closed-form Jukes–Cantor transition matrix for `s` states at branch
+/// length `t`, replicated across `categories` (rates are uniform in the
+/// workload): `P_ii = 1/s + (1-1/s)·e^{-st/(s-1)}`, `P_ij = 1/s·(1-e^{-st/(s-1)})`.
+/// No eigen-decomposition needed, so every back-end can run the workload.
+fn jukes_cantor_matrix(s: usize, categories: usize, t: f64) -> Vec<f64> {
+    let sf = s as f64;
+    let e = (-sf * t / (sf - 1.0)).exp();
+    let p_same = 1.0 / sf + (1.0 - 1.0 / sf) * e;
+    let p_diff = (1.0 - e) / sf;
+    let mut one = vec![p_diff; s * s];
+    for i in 0..s {
+        one[i * s + i] = p_same;
+    }
+    let mut m = Vec::with_capacity(categories * s * s);
+    for _ in 0..categories {
+        m.extend_from_slice(&one);
+    }
+    m
+}
+
+/// Run the calibrated partials+root workload: a chain of internal-node
+/// updates over deterministic tip states, integrated at the last
+/// destination. Returns `(wall, modeled, flops)` for the timed section.
+fn run_benchmark_workload(
+    inst: &mut dyn BeagleInstance,
+    config: &InstanceConfig,
+) -> Result<(Duration, Option<Duration>, f64)> {
+    let s = config.state_count;
+    let tips = config.tip_count;
+    let internal = config.partials_buffer_count - tips;
+    if internal == 0 {
+        return Err(BeagleError::Unsupported(
+            "benchmark workload needs at least one internal partials buffer".into(),
+        ));
+    }
+    inst.set_state_frequencies(0, &vec![1.0 / s as f64; s])?;
+    inst.set_category_weights(0, &vec![1.0 / config.category_count as f64; config.category_count])?;
+    inst.set_category_rates(&vec![1.0; config.category_count])?;
+    inst.set_pattern_weights(&vec![1.0; config.pattern_count])?;
+    for tip in 0..tips {
+        let states: Vec<u32> =
+            (0..config.pattern_count).map(|p| ((p + tip) % s) as u32).collect();
+        inst.set_tip_states(tip, &states)?;
+    }
+    let n_matrices = config.matrix_buffer_count.min(2 * tips - 2).max(1);
+    for m in 0..n_matrices {
+        let t = 0.05 + 0.01 * (m % 7) as f64;
+        inst.set_transition_matrix(m, &jukes_cantor_matrix(s, config.category_count, t))?;
+    }
+    // A caterpillar traversal: each internal node combines the previous
+    // destination with a fresh tip, so every update depends on the last —
+    // the worst case for batching, the common case for real trees.
+    let ops: Vec<Operation> = (0..internal)
+        .map(|i| {
+            let dest = tips + i;
+            let child1 = if i == 0 { 0 } else { dest - 1 };
+            let child2 = 1 + (i % (tips - 1));
+            Operation::new(dest, child1, dest % n_matrices, child2, (dest + 1) % n_matrices)
+        })
+        .collect();
+    let root = BufferId(tips + internal - 1);
+
+    // Warm-up rep (first-touch allocation, pool spin-up), then the timed
+    // section against a reset device clock.
+    inst.update_partials(&ops)?;
+    inst.integrate_root(root, BufferId(0), BufferId(0), ScalingMode::None)?;
+    inst.reset_simulated_time();
+    let t0 = Instant::now();
+    let mut lnl = 0.0;
+    for _ in 0..BENCHMARK_REPS {
+        inst.update_partials(&ops)?;
+        lnl = inst.integrate_root(root, BufferId(0), BufferId(0), ScalingMode::None)?;
+    }
+    inst.wait_for_computation()?;
+    let wall = t0.elapsed();
+    let modeled = inst.simulated_time();
+    if !lnl.is_finite() {
+        return Err(BeagleError::NumericalFailure(format!(
+            "benchmark workload produced non-finite log-likelihood {lnl}"
+        )));
+    }
+    // ~4 flops per state² cell per category per pattern per operation
+    // (two child propagations, multiply-accumulate each).
+    let flops = (BENCHMARK_REPS * internal) as f64
+        * 4.0
+        * (s * s) as f64
+        * (config.category_count * config.pattern_count) as f64;
+    Ok((wall, modeled, flops))
 }
 
 #[cfg(test)]
@@ -257,23 +568,23 @@ mod tests {
         fn accumulate_scale_factors(&mut self, _: &[usize], _: usize) -> Result<()> {
             Ok(())
         }
-        fn calculate_root_log_likelihoods(
+        fn integrate_root(
             &mut self,
-            _: usize,
-            _: usize,
-            _: usize,
-            _: Option<usize>,
+            _: BufferId,
+            _: BufferId,
+            _: BufferId,
+            _: ScalingMode,
         ) -> Result<f64> {
             Ok(0.0)
         }
-        fn calculate_edge_log_likelihoods(
+        fn integrate_edge(
             &mut self,
-            _: usize,
-            _: usize,
-            _: usize,
-            _: usize,
-            _: usize,
-            _: Option<usize>,
+            _: BufferId,
+            _: BufferId,
+            _: BufferId,
+            _: BufferId,
+            _: BufferId,
+            _: ScalingMode,
         ) -> Result<f64> {
             Ok(0.0)
         }
@@ -456,5 +767,100 @@ mod tests {
             m.create_instance(&cfg(), Flags::NONE, Flags::NONE),
             Err(BeagleError::NoImplementationFound)
         ));
+    }
+
+    #[test]
+    fn named_and_ranked_creation_get_identical_wrapping() {
+        let mut m = ImplementationManager::new();
+        m.register(Box::new(NullFactory {
+            name: "cpu",
+            flags: Flags::PROCESSOR_CPU,
+            priority: 0,
+        }));
+        // By-name creation funnels through create_from_spec, so it now gets
+        // the rescue layer and the queue layer exactly like ranked creation.
+        let ranked = InstanceSpec::with_config(cfg())
+            .queued()
+            .instantiate(&m)
+            .unwrap();
+        let named = InstanceSpec::with_config(cfg())
+            .named("cpu")
+            .queued()
+            .instantiate(&m)
+            .unwrap();
+        assert_eq!(ranked.queue_stats().is_some(), named.queue_stats().is_some());
+        // Raw semantics remain reachable via the escape hatch.
+        let raw = InstanceSpec::with_config(cfg())
+            .named("cpu")
+            .without_rescue()
+            .instantiate(&m)
+            .unwrap();
+        assert!(raw.queue_stats().is_none());
+    }
+
+    #[test]
+    fn spec_unknown_name_errors() {
+        let mut m = ImplementationManager::new();
+        m.register(Box::new(NullFactory {
+            name: "cpu",
+            flags: Flags::PROCESSOR_CPU,
+            priority: 0,
+        }));
+        let err = InstanceSpec::with_config(cfg()).named("no-such").instantiate(&m);
+        assert!(matches!(err, Err(BeagleError::NoImplementationFound)));
+    }
+
+    #[test]
+    fn stats_flag_does_not_affect_selection() {
+        let mut m = ImplementationManager::new();
+        m.register(Box::new(NullFactory {
+            name: "cpu",
+            flags: Flags::PROCESSOR_CPU,
+            priority: 0,
+        }));
+        // INSTANCE_STATS as a *requirement* must not filter every factory
+        // out (no factory advertises it; the manager handles it).
+        let inst = m.create_instance(&cfg(), Flags::NONE, Flags::INSTANCE_STATS);
+        assert!(inst.is_ok());
+    }
+
+    #[test]
+    fn benchmark_covers_every_registered_factory() {
+        let mut m = ImplementationManager::new();
+        m.register(Box::new(NullFactory {
+            name: "a",
+            flags: Flags::PROCESSOR_CPU,
+            priority: 0,
+        }));
+        m.register(Box::new(NullFactory {
+            name: "b",
+            flags: Flags::PROCESSOR_GPU,
+            priority: 0,
+        }));
+        m.register(Box::new(BrokenFactory { priority: 0 }));
+        let ranking = m.benchmark_resources(&cfg(), Flags::NONE);
+        assert_eq!(ranking.len(), 3, "every registered factory appears");
+        let failed: Vec<_> = ranking.iter().filter(|r| r.error.is_some()).collect();
+        assert_eq!(failed.len(), 1);
+        assert_eq!(failed[0].implementation, "broken-accelerator");
+        // Failures sort last.
+        assert!(ranking.last().unwrap().error.is_some());
+        // Requirement filtering is reported, not silently dropped.
+        let gpu_only = m.benchmark_resources(&cfg(), Flags::PROCESSOR_GPU);
+        assert_eq!(gpu_only.len(), 3);
+        assert!(gpu_only.iter().any(|r| r.implementation == "a"
+            && r.error.as_deref() == Some("does not satisfy requirement flags")));
+    }
+
+    #[test]
+    fn auto_creation_falls_back_to_flag_ranking() {
+        let mut m = ImplementationManager::new();
+        m.register(Box::new(NullFactory {
+            name: "cpu",
+            flags: Flags::PROCESSOR_CPU,
+            priority: 0,
+        }));
+        let inst = m.create_instance_auto(&cfg(), Flags::NONE, Flags::NONE).unwrap();
+        assert_eq!(inst.details().implementation_name, "cpu");
     }
 }

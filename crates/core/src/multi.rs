@@ -39,11 +39,12 @@
 use std::sync::Arc;
 use std::time::Duration;
 
-use crate::api::{BeagleInstance, InstanceConfig, InstanceDetails};
+use crate::api::{BeagleInstance, BufferId, InstanceConfig, InstanceDetails, ScalingMode};
 use crate::error::{BeagleError, Result};
 use crate::flags::Flags;
 use crate::journal::StateJournal;
 use crate::manager::ImplementationManager;
+use crate::obs::{self, EventKind, Recorder};
 use crate::ops::Operation;
 
 /// How transient child failures are retried before escalating to eviction.
@@ -91,6 +92,8 @@ pub struct PartitionedInstance {
     retry_counts: Vec<u64>,
     /// Children permanently evicted since creation.
     evictions: u64,
+    /// Failover-event journal; enabled when any child records statistics.
+    recorder: Recorder,
 }
 
 /// Split `patterns` into contiguous ranges proportional to `weights`
@@ -219,6 +222,7 @@ impl PartitionedInstance {
         let details = Self::aggregate_details(&parts);
         let site_lnl = vec![0.0; config.pattern_count];
         let retry_counts = vec![0; parts.len()];
+        let recorder = Recorder::new(parts.iter().any(|p| p.statistics().is_some()));
         Ok(Self {
             parts,
             ranges,
@@ -230,6 +234,7 @@ impl PartitionedInstance {
             retry: RetryPolicy::default(),
             retry_counts,
             evictions: 0,
+            recorder,
         })
     }
 
@@ -323,6 +328,9 @@ impl PartitionedInstance {
             return Err(cause);
         };
         self.evictions += 1;
+        self.recorder.event(EventKind::FailoverEviction, || {
+            format!("child={dead} cause={cause} survivors={}", self.parts.len() - 1)
+        });
         self.parts.remove(dead);
         failover.selections.remove(dead);
         failover.weights.remove(dead);
@@ -366,6 +374,9 @@ impl PartitionedInstance {
                 }
                 Some(j) => {
                     self.evictions += 1;
+                    self.recorder.event(EventKind::FailoverEviction, || {
+                        format!("child={j} cause=rebuild-failed survivors={}", failover.selections.len() - 1)
+                    });
                     failover.selections.remove(j);
                     failover.weights.remove(j);
                 }
@@ -385,12 +396,19 @@ impl PartitionedInstance {
         for i in 0..self.parts.len() {
             let retry = self.retry;
             let range = self.ranges[i];
+            let before = self.retry_counts[i];
             let r = Self::call_with_retry(
                 retry,
                 &mut self.retry_counts[i],
                 self.parts[i].as_mut(),
                 |p| call(i, range, p),
             );
+            let retries = self.retry_counts[i] - before;
+            if retries > 0 {
+                self.recorder.event(EventKind::FailoverRetry, || {
+                    format!("child={i} retries={retries} ok={}", r.is_ok())
+                });
+            }
             if let Err(e) = r {
                 failure = Some((i, e));
                 break;
@@ -565,12 +583,18 @@ impl BeagleInstance for PartitionedInstance {
                 // failed parallel attempt.
                 self.retry_counts[i] += 1;
                 let retry = self.retry;
-                Self::call_with_retry(
+                let before = self.retry_counts[i];
+                let r = Self::call_with_retry(
                     retry,
                     &mut self.retry_counts[i],
                     self.parts[i].as_mut(),
                     |p| p.update_partials(operations),
-                )
+                );
+                let retries = 1 + self.retry_counts[i] - before;
+                self.recorder.event(EventKind::FailoverRetry, || {
+                    format!("child={i} retries={retries} ok={}", r.is_ok())
+                });
+                r
             } else {
                 Err(e)
             };
@@ -607,12 +631,12 @@ impl BeagleInstance for PartitionedInstance {
         })
     }
 
-    fn calculate_root_log_likelihoods(
+    fn integrate_root(
         &mut self,
-        root_buffer: usize,
-        category_weights_index: usize,
-        frequencies_index: usize,
-        cumulative_scale: Option<usize>,
+        root: BufferId,
+        category_weights: BufferId,
+        frequencies: BufferId,
+        scaling: ScalingMode,
     ) -> Result<f64> {
         // Integration is not journaled (it writes no instance state), so on
         // eviction the whole reduction restarts against the rebuilt
@@ -622,20 +646,22 @@ impl BeagleInstance for PartitionedInstance {
             for i in 0..self.parts.len() {
                 let retry = self.retry;
                 let mut value = 0.0;
+                let before = self.retry_counts[i];
                 let r = Self::call_with_retry(
                     retry,
                     &mut self.retry_counts[i],
                     self.parts[i].as_mut(),
                     |p| {
-                        value = p.calculate_root_log_likelihoods(
-                            root_buffer,
-                            category_weights_index,
-                            frequencies_index,
-                            cumulative_scale,
-                        )?;
+                        value = p.integrate_root(root, category_weights, frequencies, scaling)?;
                         Ok(())
                     },
                 );
+                let retries = self.retry_counts[i] - before;
+                if retries > 0 {
+                    self.recorder.event(EventKind::FailoverRetry, || {
+                        format!("child={i} retries={retries} ok={}", r.is_ok())
+                    });
+                }
                 if let Err(e) = r {
                     if !is_evictable(&e) {
                         return Err(e);
@@ -652,36 +678,43 @@ impl BeagleInstance for PartitionedInstance {
         unreachable!("eviction loop is bounded by the child count");
     }
 
-    fn calculate_edge_log_likelihoods(
+    fn integrate_edge(
         &mut self,
-        parent_buffer: usize,
-        child_buffer: usize,
-        matrix_index: usize,
-        category_weights_index: usize,
-        frequencies_index: usize,
-        cumulative_scale: Option<usize>,
+        parent: BufferId,
+        child: BufferId,
+        matrix: BufferId,
+        category_weights: BufferId,
+        frequencies: BufferId,
+        scaling: ScalingMode,
     ) -> Result<f64> {
         'round: for _ in 0..=self.parts.len() {
             let mut total = 0.0;
             for i in 0..self.parts.len() {
                 let retry = self.retry;
                 let mut value = 0.0;
+                let before = self.retry_counts[i];
                 let r = Self::call_with_retry(
                     retry,
                     &mut self.retry_counts[i],
                     self.parts[i].as_mut(),
                     |p| {
-                        value = p.calculate_edge_log_likelihoods(
-                            parent_buffer,
-                            child_buffer,
-                            matrix_index,
-                            category_weights_index,
-                            frequencies_index,
-                            cumulative_scale,
+                        value = p.integrate_edge(
+                            parent,
+                            child,
+                            matrix,
+                            category_weights,
+                            frequencies,
+                            scaling,
                         )?;
                         Ok(())
                     },
                 );
+                let retries = self.retry_counts[i] - before;
+                if retries > 0 {
+                    self.recorder.event(EventKind::FailoverRetry, || {
+                        format!("child={i} retries={retries} ok={}", r.is_ok())
+                    });
+                }
                 if let Err(e) = r {
                     if !is_evictable(&e) {
                         return Err(e);
@@ -715,6 +748,27 @@ impl BeagleInstance for PartitionedInstance {
         for p in &mut self.parts {
             p.reset_simulated_time();
         }
+    }
+
+    fn statistics(&self) -> Option<obs::InstanceStats> {
+        if !self.recorder.is_enabled() {
+            return None;
+        }
+        let mut merged = self.recorder.stats().unwrap_or_default();
+        for p in &self.parts {
+            if let Some(s) = p.statistics() {
+                merged.merge(&s);
+            }
+        }
+        Some(merged)
+    }
+
+    fn take_journal(&mut self) -> Vec<obs::Event> {
+        let mut merged = self.recorder.take_journal();
+        for p in &mut self.parts {
+            merged = obs::merge_journals(merged, p.take_journal());
+        }
+        merged
     }
 }
 

@@ -40,9 +40,10 @@
 use std::cell::RefCell;
 use std::collections::{HashMap, HashSet, VecDeque};
 
-use crate::api::{BeagleInstance, InstanceConfig, InstanceDetails};
+use crate::api::{BeagleInstance, BufferId, InstanceConfig, InstanceDetails, ScalingMode};
 use crate::error::Result;
 use crate::flags::Flags;
+use crate::obs::{self, EventKind, KernelClass, Recorder};
 use crate::ops::{dependency_levels, hazard_free_segments, Operation};
 
 /// Counters exposed by a [`QueuedInstance`] (and forwarded through wrapper
@@ -206,6 +207,7 @@ struct State {
     pending: Vec<Pending>,
     cache: EigenCache,
     stats: QueueStats,
+    recorder: Recorder,
 }
 
 impl State {
@@ -222,12 +224,36 @@ impl State {
         if self.pending.is_empty() {
             return Ok(());
         }
+        let items = self.pending.len();
+        let sw = self.recorder.start();
+        let result = self.flush_pending();
+        self.recorder.finish(sw, KernelClass::QueueFlush, items as u64, 0);
+        self.recorder.event(EventKind::QueueFlush, || {
+            format!("flush items={items} ok={}", result.is_ok())
+        });
+        result
+    }
+
+    fn flush_pending(&mut self) -> Result<()> {
         self.stats.flushes += 1;
         let pending = std::mem::take(&mut self.pending);
+        let result = self.run_pending(&pending);
+        if result.is_err() {
+            // A failover layer above may retry a transient device fault by
+            // re-issuing the failed call; keep the work so that retry can
+            // re-submit it. Replay is idempotent: partials rewrite their
+            // destination buffers and the other items re-apply in recorded
+            // order.
+            self.pending = pending;
+        }
+        result
+    }
+
+    fn run_pending(&mut self, pending: &[Pending]) -> Result<()> {
         let mut batch: Vec<Operation> = Vec::new();
         for item in pending {
             if let Pending::UpdatePartials(ops) = item {
-                batch.extend(ops);
+                batch.extend(ops.iter().copied());
             } else {
                 self.submit_batch(&mut batch)?;
                 self.apply(item)?;
@@ -246,47 +272,50 @@ impl State {
             self.stats.batches_submitted += 1;
             self.stats.levels_submitted += levels.len() as u64;
             self.stats.ops_submitted += segment.len() as u64;
+            self.recorder.event(EventKind::LevelBatch, || {
+                format!("levels={} ops={}", levels.len(), segment.len())
+            });
             self.inner.update_partials_by_levels(&levels)?;
         }
         batch.clear();
         Ok(())
     }
 
-    fn apply(&mut self, item: Pending) -> Result<()> {
+    fn apply(&mut self, item: &Pending) -> Result<()> {
         match item {
-            Pending::TipStates { tip, states } => self.inner.set_tip_states(tip, &states),
+            Pending::TipStates { tip, states } => self.inner.set_tip_states(*tip, states),
             Pending::TipPartials { tip, partials } => {
-                self.inner.set_tip_partials(tip, &partials)
+                self.inner.set_tip_partials(*tip, partials)
             }
             Pending::Partials { buffer, partials } => {
-                self.inner.set_partials(buffer, &partials)
+                self.inner.set_partials(*buffer, partials)
             }
-            Pending::PatternWeights(w) => self.inner.set_pattern_weights(&w),
+            Pending::PatternWeights(w) => self.inner.set_pattern_weights(w),
             Pending::StateFrequencies { index, frequencies } => {
-                self.inner.set_state_frequencies(index, &frequencies)
+                self.inner.set_state_frequencies(*index, frequencies)
             }
             Pending::CategoryRates(rates) => {
-                self.cache.note_rates(&rates);
-                self.inner.set_category_rates(&rates)
+                self.cache.note_rates(rates);
+                self.inner.set_category_rates(rates)
             }
             Pending::CategoryWeights { index, weights } => {
-                self.inner.set_category_weights(index, &weights)
+                self.inner.set_category_weights(*index, weights)
             }
             Pending::Eigen { index, vectors, inverse_vectors, values } => {
-                self.cache.note_eigen(index, &vectors, &inverse_vectors, &values);
+                self.cache.note_eigen(*index, vectors, inverse_vectors, values);
                 self.inner
-                    .set_eigen_decomposition(index, &vectors, &inverse_vectors, &values)
+                    .set_eigen_decomposition(*index, vectors, inverse_vectors, values)
             }
             Pending::Matrices { eigen_index, matrix_indices, branch_lengths } => {
-                self.apply_matrices(eigen_index, &matrix_indices, &branch_lengths)
+                self.apply_matrices(*eigen_index, matrix_indices, branch_lengths)
             }
             Pending::SetMatrix { index, matrix } => {
-                self.inner.set_transition_matrix(index, &matrix)
+                self.inner.set_transition_matrix(*index, matrix)
             }
             Pending::UpdatePartials(_) => unreachable!("handled by the batch path"),
-            Pending::ResetScale(c) => self.inner.reset_scale_factors(c),
+            Pending::ResetScale(c) => self.inner.reset_scale_factors(*c),
             Pending::AccumulateScale { scale_indices, cumulative } => {
-                self.inner.accumulate_scale_factors(&scale_indices, cumulative)
+                self.inner.accumulate_scale_factors(scale_indices, *cumulative)
             }
         }
     }
@@ -358,12 +387,17 @@ impl QueuedInstance {
         details.flags = details.flags.without(Flags::COMPUTATION_SYNCH)
             | Flags::COMPUTATION_ASYNCH;
         let config = *inner.config();
+        // Record queue-level kernel stats iff the wrapped instance is
+        // recording: its recorder doubles as the opt-in signal, and the two
+        // stats blocks merge in `statistics()`.
+        let recorder = Recorder::new(inner.statistics().is_some());
         Self {
             state: RefCell::new(State {
                 inner,
                 pending: Vec::new(),
                 cache: EigenCache::new(capacity),
                 stats: QueueStats::default(),
+                recorder,
             }),
             details,
             config,
@@ -496,28 +530,28 @@ impl BeagleInstance for QueuedInstance {
         )
     }
 
-    fn calculate_edge_derivatives(
+    fn integrate_edge_derivatives(
         &mut self,
-        parent_buffer: usize,
-        child_buffer: usize,
-        matrix_index: usize,
-        d1_matrix: usize,
-        d2_matrix: usize,
-        category_weights_index: usize,
-        frequencies_index: usize,
-        cumulative_scale: Option<usize>,
+        parent: BufferId,
+        child: BufferId,
+        matrix: BufferId,
+        d1_matrix: BufferId,
+        d2_matrix: BufferId,
+        category_weights: BufferId,
+        frequencies: BufferId,
+        scaling: ScalingMode,
     ) -> Result<(f64, f64, f64)> {
         let st = self.state.get_mut();
         st.flush()?;
-        st.inner.calculate_edge_derivatives(
-            parent_buffer,
-            child_buffer,
-            matrix_index,
+        st.inner.integrate_edge_derivatives(
+            parent,
+            child,
+            matrix,
             d1_matrix,
             d2_matrix,
-            category_weights_index,
-            frequencies_index,
-            cumulative_scale,
+            category_weights,
+            frequencies,
+            scaling,
         )
     }
 
@@ -556,42 +590,31 @@ impl BeagleInstance for QueuedInstance {
         Ok(())
     }
 
-    fn calculate_root_log_likelihoods(
+    fn integrate_root(
         &mut self,
-        root_buffer: usize,
-        category_weights_index: usize,
-        frequencies_index: usize,
-        cumulative_scale: Option<usize>,
+        root: BufferId,
+        category_weights: BufferId,
+        frequencies: BufferId,
+        scaling: ScalingMode,
     ) -> Result<f64> {
         let st = self.state.get_mut();
         st.flush()?;
-        st.inner.calculate_root_log_likelihoods(
-            root_buffer,
-            category_weights_index,
-            frequencies_index,
-            cumulative_scale,
-        )
+        st.inner.integrate_root(root, category_weights, frequencies, scaling)
     }
 
-    fn calculate_edge_log_likelihoods(
+    fn integrate_edge(
         &mut self,
-        parent_buffer: usize,
-        child_buffer: usize,
-        matrix_index: usize,
-        category_weights_index: usize,
-        frequencies_index: usize,
-        cumulative_scale: Option<usize>,
+        parent: BufferId,
+        child: BufferId,
+        matrix: BufferId,
+        category_weights: BufferId,
+        frequencies: BufferId,
+        scaling: ScalingMode,
     ) -> Result<f64> {
         let st = self.state.get_mut();
         st.flush()?;
-        st.inner.calculate_edge_log_likelihoods(
-            parent_buffer,
-            child_buffer,
-            matrix_index,
-            category_weights_index,
-            frequencies_index,
-            cumulative_scale,
-        )
+        st.inner
+            .integrate_edge(parent, child, matrix, category_weights, frequencies, scaling)
     }
 
     fn get_site_log_likelihoods(&self) -> Result<Vec<f64>> {
@@ -622,6 +645,20 @@ impl BeagleInstance for QueuedInstance {
 
     fn queue_stats(&self) -> Option<QueueStats> {
         Some(self.stats())
+    }
+
+    fn statistics(&self) -> Option<obs::InstanceStats> {
+        let st = self.state.borrow();
+        let mut stats = st.inner.statistics()?;
+        if let Some(own) = st.recorder.stats() {
+            stats.merge(&own);
+        }
+        Some(stats)
+    }
+
+    fn take_journal(&mut self) -> Vec<obs::Event> {
+        let st = self.state.get_mut();
+        obs::merge_journals(st.inner.take_journal(), st.recorder.take_journal())
     }
 }
 
@@ -757,24 +794,24 @@ mod tests {
             self.log("accum");
             Ok(())
         }
-        fn calculate_root_log_likelihoods(
+        fn integrate_root(
             &mut self,
-            _: usize,
-            _: usize,
-            _: usize,
-            _: Option<usize>,
+            _: BufferId,
+            _: BufferId,
+            _: BufferId,
+            _: ScalingMode,
         ) -> Result<f64> {
             self.log("root");
             Ok(-1.0)
         }
-        fn calculate_edge_log_likelihoods(
+        fn integrate_edge(
             &mut self,
-            _: usize,
-            _: usize,
-            _: usize,
-            _: usize,
-            _: usize,
-            _: Option<usize>,
+            _: BufferId,
+            _: BufferId,
+            _: BufferId,
+            _: BufferId,
+            _: BufferId,
+            _: ScalingMode,
         ) -> Result<f64> {
             Ok(-1.0)
         }
@@ -810,7 +847,8 @@ mod tests {
         q.update_partials(&traversal()).unwrap();
         assert!(log(&calls).is_empty(), "nothing may reach the back-end yet");
         assert_eq!(q.pending_len(), 3);
-        q.calculate_root_log_likelihoods(6, 0, 0, None).unwrap();
+        q.integrate_root(BufferId(6), BufferId(0), BufferId(0), ScalingMode::None)
+            .unwrap();
         assert_eq!(
             log(&calls),
             vec!["rates", "tips:0", "levels:2,1", "root"],
@@ -852,7 +890,8 @@ mod tests {
         q.update_partials(&traversal()).unwrap();
         q.reset_scale_factors(7).unwrap();
         q.accumulate_scale_factors(&[4, 5, 6], 7).unwrap();
-        q.calculate_root_log_likelihoods(6, 0, 0, Some(7)).unwrap();
+        q.integrate_root(BufferId(6), BufferId(0), BufferId(0), ScalingMode::cumulative(7))
+            .unwrap();
         assert_eq!(log(&calls), vec!["levels:2,1", "reset", "accum", "root"]);
     }
 

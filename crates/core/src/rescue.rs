@@ -18,9 +18,10 @@
 //! reserved cumulative slot; configurations built by
 //! [`crate::InstanceConfig::for_tree`] satisfy this.
 
-use crate::api::{BeagleInstance, InstanceConfig, InstanceDetails};
+use crate::api::{BeagleInstance, BufferId, InstanceConfig, InstanceDetails, ScalingMode};
 use crate::error::{BeagleError, Result};
 use crate::journal::StateJournal;
+use crate::obs::{self, EventKind, Recorder};
 use crate::ops::Operation;
 
 /// A [`BeagleInstance`] wrapper that retries failed integrations with
@@ -30,12 +31,15 @@ pub struct RescueInstance {
     inner: Box<dyn BeagleInstance>,
     journal: StateJournal,
     rescues: u64,
+    recorder: Recorder,
 }
 
 impl RescueInstance {
     /// Wrap an instance.
     pub fn new(inner: Box<dyn BeagleInstance>) -> Self {
-        Self { inner, journal: StateJournal::new(), rescues: 0 }
+        // Journal rescue events iff the wrapped instance is recording.
+        let recorder = Recorder::new(inner.statistics().is_some());
+        Self { inner, journal: StateJournal::new(), rescues: 0, recorder }
     }
 
     /// How many integrations were transparently rescued so far.
@@ -165,26 +169,26 @@ impl BeagleInstance for RescueInstance {
     }
 
     #[allow(clippy::too_many_arguments)]
-    fn calculate_edge_derivatives(
+    fn integrate_edge_derivatives(
         &mut self,
-        parent_buffer: usize,
-        child_buffer: usize,
-        matrix_index: usize,
-        d1_matrix: usize,
-        d2_matrix: usize,
-        category_weights_index: usize,
-        frequencies_index: usize,
-        cumulative_scale: Option<usize>,
+        parent: BufferId,
+        child: BufferId,
+        matrix: BufferId,
+        d1_matrix: BufferId,
+        d2_matrix: BufferId,
+        category_weights: BufferId,
+        frequencies: BufferId,
+        scaling: ScalingMode,
     ) -> Result<(f64, f64, f64)> {
-        self.inner.calculate_edge_derivatives(
-            parent_buffer,
-            child_buffer,
-            matrix_index,
+        self.inner.integrate_edge_derivatives(
+            parent,
+            child,
+            matrix,
             d1_matrix,
             d2_matrix,
-            category_weights_index,
-            frequencies_index,
-            cumulative_scale,
+            category_weights,
+            frequencies,
+            scaling,
         )
     }
 
@@ -222,31 +226,32 @@ impl BeagleInstance for RescueInstance {
         self.inner.accumulate_scale_factors(scale_indices, cumulative)
     }
 
-    fn calculate_root_log_likelihoods(
+    fn integrate_root(
         &mut self,
-        root_buffer: usize,
-        category_weights_index: usize,
-        frequencies_index: usize,
-        cumulative_scale: Option<usize>,
+        root: BufferId,
+        category_weights: BufferId,
+        frequencies: BufferId,
+        scaling: ScalingMode,
     ) -> Result<f64> {
-        let first = self.inner.calculate_root_log_likelihoods(
-            root_buffer,
-            category_weights_index,
-            frequencies_index,
-            cumulative_scale,
-        );
-        if cumulative_scale.is_some() || !Self::numerically_bad(&first) {
+        let first = self.inner.integrate_root(root, category_weights, frequencies, scaling);
+        if scaling != ScalingMode::None || !Self::numerically_bad(&first) {
             return first;
         }
         let Some(reserved) = self.rescue_cumulative() else {
             return first;
         };
+        self.recorder.event(EventKind::RescueTriggered, || {
+            format!(
+                "root integration at buffer {root} failed numerically; rescaling {} ops",
+                self.journal.operations().len()
+            )
+        });
         let cumulative = self.rescale_traversal(reserved)?;
-        let rescued = self.inner.calculate_root_log_likelihoods(
-            root_buffer,
-            category_weights_index,
-            frequencies_index,
-            Some(cumulative),
+        let rescued = self.inner.integrate_root(
+            root,
+            category_weights,
+            frequencies,
+            ScalingMode::cumulative(cumulative),
         )?;
         if !rescued.is_finite() {
             return Err(BeagleError::NumericalFailure(format!(
@@ -254,40 +259,44 @@ impl BeagleInstance for RescueInstance {
             )));
         }
         self.rescues += 1;
+        self.recorder.event(EventKind::RescueSucceeded, || {
+            format!("root log-likelihood {rescued} after rescaling")
+        });
         Ok(rescued)
     }
 
-    fn calculate_edge_log_likelihoods(
+    fn integrate_edge(
         &mut self,
-        parent_buffer: usize,
-        child_buffer: usize,
-        matrix_index: usize,
-        category_weights_index: usize,
-        frequencies_index: usize,
-        cumulative_scale: Option<usize>,
+        parent: BufferId,
+        child: BufferId,
+        matrix: BufferId,
+        category_weights: BufferId,
+        frequencies: BufferId,
+        scaling: ScalingMode,
     ) -> Result<f64> {
-        let first = self.inner.calculate_edge_log_likelihoods(
-            parent_buffer,
-            child_buffer,
-            matrix_index,
-            category_weights_index,
-            frequencies_index,
-            cumulative_scale,
-        );
-        if cumulative_scale.is_some() || !Self::numerically_bad(&first) {
+        let first = self
+            .inner
+            .integrate_edge(parent, child, matrix, category_weights, frequencies, scaling);
+        if scaling != ScalingMode::None || !Self::numerically_bad(&first) {
             return first;
         }
         let Some(reserved) = self.rescue_cumulative() else {
             return first;
         };
+        self.recorder.event(EventKind::RescueTriggered, || {
+            format!(
+                "edge integration {parent}->{child} failed numerically; rescaling {} ops",
+                self.journal.operations().len()
+            )
+        });
         let cumulative = self.rescale_traversal(reserved)?;
-        let rescued = self.inner.calculate_edge_log_likelihoods(
-            parent_buffer,
-            child_buffer,
-            matrix_index,
-            category_weights_index,
-            frequencies_index,
-            Some(cumulative),
+        let rescued = self.inner.integrate_edge(
+            parent,
+            child,
+            matrix,
+            category_weights,
+            frequencies,
+            ScalingMode::cumulative(cumulative),
         )?;
         if !rescued.is_finite() {
             return Err(BeagleError::NumericalFailure(format!(
@@ -295,6 +304,9 @@ impl BeagleInstance for RescueInstance {
             )));
         }
         self.rescues += 1;
+        self.recorder.event(EventKind::RescueSucceeded, || {
+            format!("edge log-likelihood {rescued} after rescaling")
+        });
         Ok(rescued)
     }
 
@@ -316,5 +328,17 @@ impl BeagleInstance for RescueInstance {
 
     fn queue_stats(&self) -> Option<crate::queue::QueueStats> {
         self.inner.queue_stats()
+    }
+
+    fn statistics(&self) -> Option<obs::InstanceStats> {
+        let mut stats = self.inner.statistics()?;
+        if let Some(own) = self.recorder.stats() {
+            stats.merge(&own);
+        }
+        Some(stats)
+    }
+
+    fn take_journal(&mut self) -> Vec<obs::Event> {
+        obs::merge_journals(self.inner.take_journal(), self.recorder.take_journal())
     }
 }

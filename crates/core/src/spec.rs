@@ -1,0 +1,136 @@
+//! [`InstanceSpec`]: the builder-style front door for instance creation.
+//!
+//! Every in-tree client creates instances through a spec:
+//!
+//! ```
+//! use beagle_core::{Flags, InstanceSpec, ImplementationManager};
+//! # let manager = ImplementationManager::new();
+//! let result = InstanceSpec::for_tree(16, 1000, 4, 4)
+//!     .prefer(Flags::PROCESSOR_GPU)
+//!     .require(Flags::PRECISION_DOUBLE)
+//!     .with_stats()
+//!     .instantiate(&manager);
+//! # assert!(result.is_err()); // no factories registered in this doctest
+//! ```
+//!
+//! The spec funnels into [`ImplementationManager::create_from_spec`], the
+//! single place where the wrapper stack (operation queue, numerical rescue)
+//! is assembled — so named creation and ranked creation get byte-identical
+//! wrapping. The older `create_instance` / `create_instance_by_name` entry
+//! points survive as thin wrappers over the same path.
+
+use crate::api::{BeagleInstance, InstanceConfig};
+use crate::error::Result;
+use crate::flags::Flags;
+use crate::manager::ImplementationManager;
+
+/// A declarative description of the instance a client wants: problem
+/// sizing, capability preferences/requirements, optionally a specific
+/// implementation by name, and which wrapper layers to apply.
+#[derive(Clone, Debug)]
+pub struct InstanceSpec {
+    /// Problem sizing (buffer counts, states, patterns, categories).
+    pub config: InstanceConfig,
+    /// Soft preferences: used to rank eligible implementations.
+    pub preferences: Flags,
+    /// Hard requirements: implementations missing any of these are skipped.
+    pub requirements: Flags,
+    /// Pin creation to this exact implementation name instead of ranking.
+    pub implementation: Option<String>,
+    /// Wrap the instance in the automatic numerical-rescue layer
+    /// (default: true).
+    pub rescue: bool,
+}
+
+impl InstanceSpec {
+    /// Spec from an explicit [`InstanceConfig`].
+    pub fn with_config(config: InstanceConfig) -> Self {
+        Self {
+            config,
+            preferences: Flags::NONE,
+            requirements: Flags::NONE,
+            implementation: None,
+            rescue: true,
+        }
+    }
+
+    /// Spec sized for a standard tree-shaped client:
+    /// [`InstanceConfig::for_tree`] with one buffer per node.
+    pub fn for_tree(tips: usize, patterns: usize, states: usize, categories: usize) -> Self {
+        Self::with_config(InstanceConfig::for_tree(tips, patterns, states, categories))
+    }
+
+    /// Add soft preference flags (OR'd with any already set).
+    pub fn prefer(mut self, flags: Flags) -> Self {
+        self.preferences |= flags;
+        self
+    }
+
+    /// Add hard requirement flags (OR'd with any already set).
+    pub fn require(mut self, flags: Flags) -> Self {
+        self.requirements |= flags;
+        self
+    }
+
+    /// Pin creation to the implementation with this exact name.
+    pub fn named(mut self, implementation: impl Into<String>) -> Self {
+        self.implementation = Some(implementation.into());
+        self
+    }
+
+    /// Enable per-kernel statistics and the event journal for this
+    /// instance (shorthand for preferring [`Flags::INSTANCE_STATS`]).
+    pub fn with_stats(self) -> Self {
+        self.prefer(Flags::INSTANCE_STATS)
+    }
+
+    /// Defer execution through an operation queue (shorthand for
+    /// preferring [`Flags::COMPUTATION_ASYNCH`]).
+    pub fn queued(self) -> Self {
+        self.prefer(Flags::COMPUTATION_ASYNCH)
+    }
+
+    /// Skip the automatic numerical-rescue wrapper. Escape hatch for
+    /// harnesses that need raw back-end semantics (e.g. tests asserting
+    /// that an unscaled underflow surfaces as a `NumericalFailure`).
+    pub fn without_rescue(mut self) -> Self {
+        self.rescue = false;
+        self
+    }
+
+    /// Create the instance on `manager` (see
+    /// [`ImplementationManager::create_from_spec`]).
+    pub fn instantiate(&self, manager: &ImplementationManager) -> Result<Box<dyn BeagleInstance>> {
+        manager.create_from_spec(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_accumulates_flags() {
+        let spec = InstanceSpec::for_tree(4, 100, 4, 1)
+            .prefer(Flags::PROCESSOR_GPU)
+            .prefer(Flags::PRECISION_SINGLE)
+            .require(Flags::FRAMEWORK_OPENCL)
+            .with_stats()
+            .queued();
+        assert!(spec.preferences.contains(Flags::PROCESSOR_GPU | Flags::PRECISION_SINGLE));
+        assert!(spec.preferences.contains(Flags::INSTANCE_STATS));
+        assert!(spec.preferences.contains(Flags::COMPUTATION_ASYNCH));
+        assert_eq!(spec.requirements, Flags::FRAMEWORK_OPENCL);
+        assert!(spec.rescue);
+        assert!(spec.implementation.is_none());
+    }
+
+    #[test]
+    fn named_and_without_rescue() {
+        let spec = InstanceSpec::for_tree(4, 100, 4, 1)
+            .named("CPU-serial")
+            .without_rescue();
+        assert_eq!(spec.implementation.as_deref(), Some("CPU-serial"));
+        assert!(!spec.rescue);
+    }
+}

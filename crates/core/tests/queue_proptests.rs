@@ -3,7 +3,7 @@
 //! instance must return exactly the bits an uncached (eager) instance
 //! returns — i.e. stale cache reuse is unreachable.
 
-use beagle_core::api::{BeagleInstance, InstanceConfig, InstanceDetails};
+use beagle_core::api::{BeagleInstance, BufferId, InstanceConfig, InstanceDetails, ScalingMode};
 use beagle_core::buffers::InstanceBuffers;
 use beagle_core::error::Result;
 use beagle_core::ops::Operation;
@@ -99,23 +99,23 @@ impl BeagleInstance for MatrixInstance {
     fn accumulate_scale_factors(&mut self, indices: &[usize], cumulative: usize) -> Result<()> {
         self.bufs.accumulate_scale_factors(indices, cumulative)
     }
-    fn calculate_root_log_likelihoods(
+    fn integrate_root(
         &mut self,
-        _: usize,
-        _: usize,
-        _: usize,
-        _: Option<usize>,
+        _: BufferId,
+        _: BufferId,
+        _: BufferId,
+        _: ScalingMode,
     ) -> Result<f64> {
         Ok(0.0)
     }
-    fn calculate_edge_log_likelihoods(
+    fn integrate_edge(
         &mut self,
-        _: usize,
-        _: usize,
-        _: usize,
-        _: usize,
-        _: usize,
-        _: Option<usize>,
+        _: BufferId,
+        _: BufferId,
+        _: BufferId,
+        _: BufferId,
+        _: BufferId,
+        _: ScalingMode,
     ) -> Result<f64> {
         Ok(0.0)
     }

@@ -160,20 +160,21 @@ impl ImplementationFactory for CpuFactory {
                 _ => self.threads,
             },
         };
+        let stats = prefs.contains(Flags::INSTANCE_STATS);
         if single {
-            Ok(Box::new(CpuInstance::<f32>::new(
-                *config,
-                self.make_threading(),
-                self.vectorized,
-                details,
-            )?))
+            let mut inst =
+                CpuInstance::<f32>::new(*config, self.make_threading(), self.vectorized, details)?;
+            if stats {
+                inst.enable_statistics();
+            }
+            Ok(Box::new(inst))
         } else {
-            Ok(Box::new(CpuInstance::<f64>::new(
-                *config,
-                self.make_threading(),
-                self.vectorized,
-                details,
-            )?))
+            let mut inst =
+                CpuInstance::<f64>::new(*config, self.make_threading(), self.vectorized, details)?;
+            if stats {
+                inst.enable_statistics();
+            }
+            Ok(Box::new(inst))
         }
     }
 }
@@ -191,6 +192,7 @@ pub fn register_cpu_factories(manager: &mut ImplementationManager) {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use beagle_core::InstanceSpec;
 
     fn cfg() -> InstanceConfig {
         InstanceConfig::for_tree(4, 100, 4, 2)
@@ -200,7 +202,7 @@ mod tests {
     fn manager_picks_threadpool_by_default() {
         let mut m = ImplementationManager::new();
         register_cpu_factories(&mut m);
-        let inst = m.create_instance(&cfg(), Flags::NONE, Flags::NONE).unwrap();
+        let inst = InstanceSpec::with_config(cfg()).instantiate(&m).unwrap();
         assert!(inst.details().implementation_name.starts_with("CPU-threadpool"));
     }
 
@@ -208,8 +210,9 @@ mod tests {
     fn requirement_selects_serial() {
         let mut m = ImplementationManager::new();
         register_cpu_factories(&mut m);
-        let inst = m
-            .create_instance(&cfg(), Flags::NONE, Flags::THREADING_NONE)
+        let inst = InstanceSpec::with_config(cfg())
+            .require(Flags::THREADING_NONE)
+            .instantiate(&m)
             .unwrap();
         assert!(inst.details().implementation_name.contains("CPU-"));
         assert!(inst.details().flags.contains(Flags::THREADING_NONE));
@@ -219,10 +222,28 @@ mod tests {
     fn single_precision_honored() {
         let mut m = ImplementationManager::new();
         register_cpu_factories(&mut m);
-        let inst = m
-            .create_instance(&cfg(), Flags::PRECISION_SINGLE, Flags::NONE)
+        let inst = InstanceSpec::with_config(cfg())
+            .prefer(Flags::PRECISION_SINGLE)
+            .instantiate(&m)
             .unwrap();
         assert!(inst.details().flags.contains(Flags::PRECISION_SINGLE));
+    }
+
+    #[test]
+    fn stats_preference_enables_statistics() {
+        let mut m = ImplementationManager::new();
+        register_cpu_factories(&mut m);
+        let inst = InstanceSpec::with_config(cfg()).with_stats().instantiate(&m).unwrap();
+        // Under the core crate's `obs-disabled` feature recording is
+        // compiled out entirely; mirror whatever the build supports.
+        let obs_compiled_in = beagle_core::Recorder::new(true).is_enabled();
+        assert_eq!(
+            inst.statistics().is_some(),
+            obs_compiled_in,
+            "INSTANCE_STATS preference must enable the recorder when obs is compiled in"
+        );
+        let plain = InstanceSpec::with_config(cfg()).instantiate(&m).unwrap();
+        assert!(plain.statistics().is_none(), "stats are strictly opt-in");
     }
 
     #[test]

@@ -15,9 +15,10 @@
 //! ([`beagle_core::real::Real::SIMD_LANES`]) so the vector kernels run
 //! remainder-free; the padding never escapes the public API.
 
-use beagle_core::api::{BeagleInstance, InstanceConfig, InstanceDetails};
+use beagle_core::api::{BeagleInstance, BufferId, InstanceConfig, InstanceDetails, ScalingMode};
 use beagle_core::buffers::{ChildOperand, InstanceBuffers};
 use beagle_core::error::{BeagleError, Result};
+use beagle_core::obs::{self, EventKind, KernelClass, Recorder};
 use beagle_core::ops::{dependency_levels, Operation};
 use beagle_core::real::{widen_slice, Real};
 
@@ -217,6 +218,9 @@ pub struct CpuInstance<T: DispatchReal> {
     partition: Vec<(usize, usize)>,
     scratch: Scratch<T>,
     details: InstanceDetails,
+    /// Kernel timers/counters + event journal; disabled unless the instance
+    /// was created with [`beagle_core::Flags::INSTANCE_STATS`].
+    recorder: Recorder,
 }
 
 impl<T: DispatchReal> CpuInstance<T> {
@@ -250,7 +254,66 @@ impl<T: DispatchReal> CpuInstance<T> {
             partition,
             scratch: Scratch::default(),
             details,
+            recorder: Recorder::disabled(),
         })
+    }
+
+    /// Turn on kernel statistics and the event journal for this instance.
+    /// Called by factories when the client asked for
+    /// [`beagle_core::Flags::INSTANCE_STATS`].
+    pub fn enable_statistics(&mut self) {
+        self.recorder = Recorder::new(true);
+        let path = self.dispatch.path;
+        let threading = match &self.threading {
+            Threading::Serial => "serial",
+            Threading::Futures => "futures",
+            Threading::ThreadCreate { .. } => "thread-create",
+            Threading::ThreadPool { .. } => "thread-pool",
+        };
+        let threads = self.threading.thread_count();
+        self.recorder.event(EventKind::DispatchSelected, || {
+            format!("kernel_path={path} threading={threading} threads={threads}")
+        });
+    }
+
+    /// True when buffer `b` holds compact tip states (and no expanded
+    /// partials) — the operand classification the kernel table dispatches
+    /// on, reused to attribute timing per kernel class.
+    fn is_state_operand(&self, b: usize) -> bool {
+        self.bufs.partials[b].is_none() && self.bufs.tip_states[b].is_some()
+    }
+
+    /// Attribute one `update_partials`-family call's wall time across the
+    /// partials kernel classes, split by each class's share of the
+    /// operation list (classified after execution, when every intermediate
+    /// child has materialized partials).
+    fn record_partials_call(&mut self, operations: &[Operation], wall: std::time::Duration) {
+        let mut counts = [0u64; 3];
+        for op in operations {
+            let idx = match (self.is_state_operand(op.child1), self.is_state_operand(op.child2)) {
+                (false, false) => 0,
+                (true, true) => 2,
+                _ => 1,
+            };
+            counts[idx] += 1;
+        }
+        let total: u64 = counts.iter().sum();
+        if total == 0 {
+            return;
+        }
+        // Rough traffic model: destination write + two operand reads per op.
+        let cfg = &self.bufs.config;
+        let padded = cfg.category_count * cfg.pattern_count * self.bufs.state_stride;
+        let bytes_per_op = (3 * padded * std::mem::size_of::<T>()) as u64;
+        let classes = [KernelClass::PartialsPP, KernelClass::PartialsSP, KernelClass::PartialsSS];
+        for (i, class) in classes.into_iter().enumerate() {
+            if counts[i] == 0 {
+                continue;
+            }
+            self.recorder.tally(class, counts[i], counts[i] * bytes_per_op);
+            self.recorder
+                .add_wall(class, wall.mul_f64(counts[i] as f64 / total as f64));
+        }
     }
 
     /// Override the 512-pattern threading threshold (used by tests and by
@@ -355,6 +418,7 @@ impl<T: DispatchReal> CpuInstance<T> {
             &self.partition,
             self.dispatch,
         );
+        let n_tasks = tasks.len() as u64;
         if use_pool {
             let Threading::ThreadPool { pool } = &self.threading else {
                 unreachable!("use_pool implies pool strategy")
@@ -369,6 +433,9 @@ impl<T: DispatchReal> CpuInstance<T> {
             });
         }
         tasks.clear();
+        if use_pool {
+            self.recorder.tally(KernelClass::PoolDispatch, n_tasks, 0);
+        }
         if let (Some(si), Some(sc)) = (op.dest_scale_write, scale) {
             self.bufs.scale_buffers[si] = sc;
         }
@@ -488,6 +555,7 @@ impl<T: DispatchReal> CpuInstance<T> {
                 self.dispatch,
             );
         }
+        let n_tasks = tasks.len() as u64;
         if use_pool {
             let Threading::ThreadPool { pool } = &self.threading else {
                 unreachable!("use_pool implies pool strategy")
@@ -501,6 +569,9 @@ impl<T: DispatchReal> CpuInstance<T> {
             });
         }
         tasks.clear();
+        if use_pool {
+            self.recorder.tally(KernelClass::PoolDispatch, n_tasks, 0);
+        }
         for (op, (dest, scale)) in level.iter().zip(outputs) {
             if let (Some(si), Some(sc)) = (op.dest_scale_write, scale) {
                 self.bufs.scale_buffers[si] = sc;
@@ -622,6 +693,10 @@ impl<T: DispatchReal> CpuInstance<T> {
             )
         };
 
+        if parallel_root {
+            self.recorder
+                .tally(KernelClass::PoolDispatch, self.partition.len() as u64, 0);
+        }
         self.bufs.site_log_likelihoods = site_lnl;
         self.bufs.partials[root_buffer] = Some(root);
         if total.is_nan() {
@@ -690,7 +765,22 @@ impl<T: DispatchReal> BeagleInstance for CpuInstance<T> {
         matrix_indices: &[usize],
         branch_lengths: &[f64],
     ) -> Result<()> {
-        self.bufs.update_transition_matrices(eigen_index, matrix_indices, branch_lengths)
+        let sw = self.recorder.start();
+        let r = self
+            .bufs
+            .update_transition_matrices(eigen_index, matrix_indices, branch_lengths);
+        let bytes = (matrix_indices.len()
+            * self.bufs.config.category_count
+            * self.bufs.config.state_count
+            * self.bufs.state_stride
+            * std::mem::size_of::<T>()) as u64;
+        self.recorder.finish(
+            sw,
+            KernelClass::TransitionMatrices,
+            matrix_indices.len() as u64,
+            bytes,
+        );
+        r
     }
 
     fn update_transition_derivatives(
@@ -710,17 +800,26 @@ impl<T: DispatchReal> BeagleInstance for CpuInstance<T> {
         )
     }
 
-    fn calculate_edge_derivatives(
+    fn integrate_edge_derivatives(
         &mut self,
-        parent_buffer: usize,
-        child_buffer: usize,
-        matrix_index: usize,
-        d1_matrix: usize,
-        d2_matrix: usize,
-        category_weights_index: usize,
-        frequencies_index: usize,
-        cumulative_scale: Option<usize>,
+        parent: BufferId,
+        child: BufferId,
+        matrix: BufferId,
+        d1: BufferId,
+        d2: BufferId,
+        category_weights: BufferId,
+        frequencies: BufferId,
+        scaling: ScalingMode,
     ) -> Result<(f64, f64, f64)> {
+        let sw = self.recorder.start();
+        let parent_buffer = parent.index();
+        let child_buffer = child.index();
+        let matrix_index = matrix.index();
+        let d1_matrix = d1.index();
+        let d2_matrix = d2.index();
+        let category_weights_index = category_weights.index();
+        let frequencies_index = frequencies.index();
+        let cumulative_scale = scaling.index();
         let cfg = self.bufs.config;
         self.bufs.check_integration_indices(
             &[parent_buffer, child_buffer],
@@ -758,6 +857,8 @@ impl<T: DispatchReal> BeagleInstance for CpuInstance<T> {
             self.bufs.state_stride,
             cfg.pattern_count,
         );
+        self.recorder
+            .finish(sw, KernelClass::EdgeIntegrate, cfg.pattern_count as u64, 0);
         if lnl.is_nan() {
             return Err(BeagleError::NumericalFailure(
                 "edge derivative log-likelihood is NaN".into(),
@@ -779,6 +880,9 @@ impl<T: DispatchReal> BeagleInstance for CpuInstance<T> {
         // destinations produced by earlier ops in the same call.
         self.validate_operations(operations)?;
 
+        let t0 = self.recorder.is_enabled().then(std::time::Instant::now);
+        self.recorder
+            .event(EventKind::OperationBegin, || format!("update_partials ops={}", operations.len()));
         let n_pat = self.bufs.config.pattern_count;
         match self.threading {
             Threading::Serial => {
@@ -798,6 +902,11 @@ impl<T: DispatchReal> BeagleInstance for CpuInstance<T> {
                 }
             }
         }
+        if let Some(t0) = t0 {
+            self.record_partials_call(operations, t0.elapsed());
+            self.recorder
+                .event(EventKind::OperationEnd, || format!("update_partials ops={}", operations.len()));
+        }
         Ok(())
     }
 
@@ -805,6 +914,10 @@ impl<T: DispatchReal> BeagleInstance for CpuInstance<T> {
         let flat: Vec<Operation> = levels.iter().flatten().copied().collect();
         self.validate_operations(&flat)?;
 
+        let t0 = self.recorder.is_enabled().then(std::time::Instant::now);
+        self.recorder.event(EventKind::OperationBegin, || {
+            format!("update_partials_by_levels ops={} levels={}", flat.len(), levels.len())
+        });
         let n_pat = self.bufs.config.pattern_count;
         match self.threading {
             Threading::Serial => {
@@ -835,11 +948,20 @@ impl<T: DispatchReal> BeagleInstance for CpuInstance<T> {
                 }
             }
         }
+        if let Some(t0) = t0 {
+            self.record_partials_call(&flat, t0.elapsed());
+            self.recorder.event(EventKind::OperationEnd, || {
+                format!("update_partials_by_levels ops={}", flat.len())
+            });
+        }
         Ok(())
     }
 
     fn reset_scale_factors(&mut self, cumulative: usize) -> Result<()> {
-        self.bufs.reset_scale_factors(cumulative)
+        let sw = self.recorder.start();
+        let r = self.bufs.reset_scale_factors(cumulative);
+        self.recorder.finish(sw, KernelClass::Rescale, 1, 0);
+        r
     }
 
     fn accumulate_scale_factors(
@@ -847,33 +969,48 @@ impl<T: DispatchReal> BeagleInstance for CpuInstance<T> {
         scale_indices: &[usize],
         cumulative: usize,
     ) -> Result<()> {
-        self.bufs.accumulate_scale_factors(scale_indices, cumulative)
+        let sw = self.recorder.start();
+        let r = self.bufs.accumulate_scale_factors(scale_indices, cumulative);
+        self.recorder
+            .finish(sw, KernelClass::Rescale, scale_indices.len() as u64, 0);
+        r
     }
 
-    fn calculate_root_log_likelihoods(
+    fn integrate_root(
         &mut self,
-        root_buffer: usize,
-        category_weights_index: usize,
-        frequencies_index: usize,
-        cumulative_scale: Option<usize>,
+        root: BufferId,
+        category_weights: BufferId,
+        frequencies: BufferId,
+        scaling: ScalingMode,
     ) -> Result<f64> {
-        self.root_log_likelihood(
-            root_buffer,
-            category_weights_index,
-            frequencies_index,
-            cumulative_scale,
-        )
+        let sw = self.recorder.start();
+        let r = self.root_log_likelihood(
+            root.index(),
+            category_weights.index(),
+            frequencies.index(),
+            scaling.index(),
+        );
+        let patterns = self.bufs.config.pattern_count as u64;
+        self.recorder.finish(sw, KernelClass::RootIntegrate, patterns, 0);
+        r
     }
 
-    fn calculate_edge_log_likelihoods(
+    fn integrate_edge(
         &mut self,
-        parent_buffer: usize,
-        child_buffer: usize,
-        matrix_index: usize,
-        category_weights_index: usize,
-        frequencies_index: usize,
-        cumulative_scale: Option<usize>,
+        parent: BufferId,
+        child: BufferId,
+        matrix: BufferId,
+        category_weights: BufferId,
+        frequencies: BufferId,
+        scaling: ScalingMode,
     ) -> Result<f64> {
+        let sw = self.recorder.start();
+        let parent_buffer = parent.index();
+        let child_buffer = child.index();
+        let matrix_index = matrix.index();
+        let category_weights_index = category_weights.index();
+        let frequencies_index = frequencies.index();
+        let cumulative_scale = scaling.index();
         let cfg = self.bufs.config;
         self.bufs.check_integration_indices(
             &[parent_buffer, child_buffer],
@@ -918,6 +1055,8 @@ impl<T: DispatchReal> BeagleInstance for CpuInstance<T> {
         })();
         self.bufs.site_log_likelihoods = site_lnl;
         self.bufs.partials[parent_buffer] = Some(parent);
+        self.recorder
+            .finish(sw, KernelClass::EdgeIntegrate, cfg.pattern_count as u64, 0);
         let total = result?;
         if total.is_nan() {
             return Err(BeagleError::NumericalFailure(
@@ -929,5 +1068,13 @@ impl<T: DispatchReal> BeagleInstance for CpuInstance<T> {
 
     fn get_site_log_likelihoods(&self) -> Result<Vec<f64>> {
         Ok(widen_slice(&self.bufs.site_log_likelihoods))
+    }
+
+    fn statistics(&self) -> Option<obs::InstanceStats> {
+        self.recorder.stats()
+    }
+
+    fn take_journal(&mut self) -> Vec<obs::Event> {
+        self.recorder.take_journal()
     }
 }

@@ -2,7 +2,7 @@
 //! log-likelihood of the slow pruning oracle in `beagle-phylo`, across
 //! models, state counts, rate categories, precisions, and scaling modes.
 
-use beagle_core::{BeagleInstance, Flags, InstanceConfig, Operation};
+use beagle_core::{BeagleInstance, BufferId, Flags, InstanceConfig, Operation, ScalingMode};
 use beagle_cpu::{CpuFactory, ThreadingModel};
 use beagle_phylo::likelihood::log_likelihood;
 use beagle_phylo::models::{codon, nucleotide};
@@ -60,11 +60,11 @@ fn beagle_log_likelihood(
         inst.reset_scale_factors(c).unwrap();
         let scale_bufs: Vec<usize> = ops.iter().map(|o| o.destination).collect();
         inst.accumulate_scale_factors(&scale_bufs, c).unwrap();
-        Some(c)
+        ScalingMode::cumulative(c)
     } else {
-        None
+        ScalingMode::None
     };
-    inst.calculate_root_log_likelihoods(tree.root(), 0, 0, cum_scale)
+    inst.integrate_root(BufferId(tree.root()), BufferId(0), BufferId(0), cum_scale)
         .unwrap()
 }
 
@@ -269,7 +269,7 @@ fn tip_partials_match_tip_states() {
         .collect();
     inst.update_partials(&ops).unwrap();
     let lnl = inst
-        .calculate_root_log_likelihoods(case.tree.root(), 0, 0, None)
+        .integrate_root(BufferId(case.tree.root()), BufferId(0), BufferId(0), ScalingMode::None)
         .unwrap();
     assert!((lnl - oracle).abs() < 1e-8, "{lnl} vs {oracle}");
 }
@@ -337,7 +337,14 @@ fn edge_likelihood_matches_root_likelihood() {
     // holds compact states; overwrite is allowed and we are done with it).
     inst.set_partials(0, &ones).unwrap();
     let edge = inst
-        .calculate_edge_log_likelihoods(root, 0, zero_matrix_index, 0, 0, None)
+        .integrate_edge(
+            BufferId(root),
+            BufferId(0),
+            BufferId(zero_matrix_index),
+            BufferId(0),
+            BufferId(0),
+            ScalingMode::None,
+        )
         .unwrap();
     assert!((edge - total).abs() < 1e-8, "edge {edge} vs root {total}");
     let _ = np;

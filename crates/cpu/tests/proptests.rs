@@ -1,7 +1,8 @@
 //! Property-based tests for the CPU kernels and threading machinery.
 
 use beagle_core::{
-    BeagleInstance, Flags, ImplementationFactory, Operation, QueuedInstance, GAP_STATE,
+    BeagleInstance, BufferId, Flags, ImplementationFactory, Operation, QueuedInstance,
+    ScalingMode, GAP_STATE,
 };
 use beagle_cpu::pool::partition_range;
 use beagle_cpu::{kernels, vector, CpuFactory, ThreadingModel};
@@ -224,12 +225,12 @@ proptest! {
                 inst.reset_scale_factors(c).unwrap();
                 let bufs: Vec<usize> = ops.iter().map(|o| o.destination).collect();
                 inst.accumulate_scale_factors(&bufs, c).unwrap();
-                Some(c)
+                ScalingMode::cumulative(c)
             } else {
-                None
+                ScalingMode::None
             };
             let lnl = inst
-                .calculate_root_log_likelihoods(tree.root(), 0, 0, cum)
+                .integrate_root(BufferId(tree.root()), BufferId(0), BufferId(0), cum)
                 .unwrap();
             (lnl, inst.get_site_log_likelihoods().unwrap())
         };

@@ -9,7 +9,7 @@
 //! whose association differs from the scalar left-to-right sum, so they are
 //! compared to within a few ulps scaled by the dot length.
 
-use beagle_core::api::{BeagleInstance, InstanceConfig, InstanceDetails};
+use beagle_core::api::{BeagleInstance, BufferId, InstanceConfig, InstanceDetails, ScalingMode};
 use beagle_core::flags::Flags;
 use beagle_core::real::Real;
 use beagle_core::{Operation, GAP_STATE};
@@ -330,7 +330,9 @@ fn full_likelihood(kind: DispatchKind, s: usize) -> (f64, Vec<f64>) {
     let cum = inst.config().scale_buffer_count - 1;
     inst.reset_scale_factors(cum).unwrap();
     inst.accumulate_scale_factors(&[5, 6, 7, 8], cum).unwrap();
-    let lnl = inst.calculate_root_log_likelihoods(8, 0, 0, Some(cum)).unwrap();
+    let lnl = inst
+        .integrate_root(BufferId(8), BufferId(0), BufferId(0), ScalingMode::cumulative(cum))
+        .unwrap();
     (lnl, inst.get_site_log_likelihoods().unwrap())
 }
 

@@ -14,7 +14,8 @@ use rand::rngs::SmallRng;
 use rand::SeedableRng;
 
 use beagle_core::{
-    BeagleInstance, Flags, ImplementationManager, InstanceConfig, Operation,
+    BeagleInstance, BufferId, Flags, ImplementationManager, InstanceConfig, InstanceSpec,
+    Operation, ScalingMode,
 };
 use beagle_phylo::likelihood::log_likelihood;
 use beagle_phylo::models::{aminoacid, codon, nucleotide};
@@ -158,16 +159,16 @@ impl Problem {
     pub fn evaluate(&self, inst: &mut dyn BeagleInstance, scaled: bool) -> f64 {
         let ops = self.operations(scaled);
         inst.update_partials(&ops).expect("update partials");
-        let cum = if scaled {
+        let scaling = if scaled {
             let c = inst.config().scale_buffer_count - 1;
             inst.reset_scale_factors(c).expect("reset scale");
             let bufs: Vec<usize> = ops.iter().map(|o| o.destination).collect();
             inst.accumulate_scale_factors(&bufs, c).expect("accumulate scale");
-            Some(c)
+            ScalingMode::cumulative(c)
         } else {
-            None
+            ScalingMode::None
         };
-        inst.calculate_root_log_likelihoods(self.tree.root(), 0, 0, cum)
+        inst.integrate_root(BufferId(self.tree.root()), BufferId(0), BufferId(0), scaling)
             .expect("root lnL")
     }
 
@@ -219,7 +220,7 @@ pub fn benchmark(problem: &Problem, inst: &mut dyn BeagleInstance, reps: usize) 
     }
     let elapsed = inst.simulated_time().unwrap_or_else(|| start.elapsed());
     let lnl = inst
-        .calculate_root_log_likelihoods(problem.tree.root(), 0, 0, None)
+        .integrate_root(BufferId(problem.tree.root()), BufferId(0), BufferId(0), ScalingMode::None)
         .expect("root lnL");
 
     let per_traversal = elapsed / reps as u32;
@@ -260,13 +261,18 @@ pub fn verify(problem: &Problem, inst: &mut dyn BeagleInstance, scaled: bool) ->
     (lnl, problem.oracle())
 }
 
-/// Convenience: create the best instance for `flags` preferences.
-pub fn create_instance(
+/// Convenience: the best instance for a problem under the given preference
+/// and requirement flags, via the [`InstanceSpec`] front door (so it picks
+/// up numerical rescue exactly like any other creation path).
+pub fn best_instance(
     problem: &Problem,
     prefs: Flags,
     reqs: Flags,
 ) -> beagle_core::Result<Box<dyn BeagleInstance>> {
-    full_manager().create_instance(&problem.config(), prefs, reqs)
+    InstanceSpec::with_config(problem.config())
+        .prefer(prefs)
+        .require(reqs)
+        .instantiate(&full_manager())
 }
 
 #[cfg(test)]
@@ -285,7 +291,7 @@ mod tests {
     fn verify_serial_cpu_against_oracle() {
         let s = Scenario { model: ModelKind::Nucleotide, taxa: 6, patterns: 100, categories: 2, seed: 10 };
         let p = Problem::generate(&s);
-        let mut inst = create_instance(&p, Flags::NONE, Flags::THREADING_NONE).unwrap();
+        let mut inst = best_instance(&p, Flags::NONE, Flags::THREADING_NONE).unwrap();
         let (beagle, oracle) = verify(&p, inst.as_mut(), false);
         assert!((beagle - oracle).abs() < 1e-8, "{beagle} vs {oracle}");
     }
@@ -294,7 +300,7 @@ mod tests {
     fn benchmark_reports_positive_throughput() {
         let s = Scenario { model: ModelKind::Nucleotide, taxa: 8, patterns: 600, categories: 2, seed: 11 };
         let p = Problem::generate(&s);
-        let mut inst = create_instance(&p, Flags::NONE, Flags::THREADING_THREAD_POOL).unwrap();
+        let mut inst = best_instance(&p, Flags::NONE, Flags::THREADING_THREAD_POOL).unwrap();
         let r = benchmark(&p, inst.as_mut(), 2);
         assert!(r.gflops > 0.0);
         assert!(!r.simulated);
@@ -305,7 +311,7 @@ mod tests {
     fn gpu_benchmark_uses_simulated_clock() {
         let s = Scenario { model: ModelKind::Nucleotide, taxa: 8, patterns: 500, categories: 2, seed: 12 };
         let p = Problem::generate(&s);
-        let mut inst = create_instance(&p, Flags::NONE, Flags::FRAMEWORK_CUDA).unwrap();
+        let mut inst = best_instance(&p, Flags::NONE, Flags::FRAMEWORK_CUDA).unwrap();
         let r = benchmark(&p, inst.as_mut(), 2);
         assert!(r.simulated);
         assert!(r.gflops > 0.0);

@@ -80,22 +80,96 @@ pub fn log_posterior(state: &ChainState) -> f64 {
     state.log_likelihood + log_branch_prior(&state.tree) + state.params.log_prior()
 }
 
-/// Proposal statistics.
+/// The proposal kinds in the chain's move mix.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MoveKind {
+    /// Branch-length multiplier.
+    BranchLength,
+    /// NNI topology move.
+    Topology,
+    /// Substitution-parameter multiplier.
+    Parameter,
+}
+
+impl MoveKind {
+    /// All move kinds, in report order.
+    pub const ALL: [MoveKind; 3] = [MoveKind::BranchLength, MoveKind::Topology, MoveKind::Parameter];
+
+    /// Display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            MoveKind::BranchLength => "branch_length",
+            MoveKind::Topology => "topology",
+            MoveKind::Parameter => "parameter",
+        }
+    }
+}
+
+/// Proposed/accepted tally for one move kind.
 #[derive(Clone, Copy, Debug, Default)]
-pub struct ChainStats {
+pub struct MoveStats {
     /// Proposals attempted.
     pub proposed: usize,
     /// Proposals accepted.
     pub accepted: usize,
 }
 
-impl ChainStats {
+impl MoveStats {
     /// Acceptance fraction.
     pub fn acceptance_rate(&self) -> f64 {
         if self.proposed == 0 {
             0.0
         } else {
             self.accepted as f64 / self.proposed as f64
+        }
+    }
+}
+
+/// Proposal statistics, overall and per move kind.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ChainStats {
+    /// Proposals attempted.
+    pub proposed: usize,
+    /// Proposals accepted.
+    pub accepted: usize,
+    /// Branch-length multiplier moves.
+    pub branch_length: MoveStats,
+    /// NNI topology moves.
+    pub topology: MoveStats,
+    /// Substitution-parameter moves.
+    pub parameter: MoveStats,
+}
+
+impl ChainStats {
+    /// Acceptance fraction across all moves.
+    pub fn acceptance_rate(&self) -> f64 {
+        if self.proposed == 0 {
+            0.0
+        } else {
+            self.accepted as f64 / self.proposed as f64
+        }
+    }
+
+    /// The tally for one move kind.
+    pub fn for_move(&self, kind: MoveKind) -> MoveStats {
+        match kind {
+            MoveKind::BranchLength => self.branch_length,
+            MoveKind::Topology => self.topology,
+            MoveKind::Parameter => self.parameter,
+        }
+    }
+
+    fn record(&mut self, kind: MoveKind, accepted: bool) {
+        self.proposed += 1;
+        let slot = match kind {
+            MoveKind::BranchLength => &mut self.branch_length,
+            MoveKind::Topology => &mut self.topology,
+            MoveKind::Parameter => &mut self.parameter,
+        };
+        slot.proposed += 1;
+        if accepted {
+            self.accepted += 1;
+            slot.accepted += 1;
         }
     }
 }
@@ -143,10 +217,12 @@ impl MarkovChain {
         let mut proposal = self.state.clone();
         let mut log_hastings = 0.0;
         let mut model_changed = false;
+        let kind;
 
         // Proposal mix: 50% branch multiplier, 40% NNI, 10% parameter move.
         let u: f64 = self.rng.random_range(0.0..1.0);
         if u < 0.5 {
+            kind = MoveKind::BranchLength;
             // Branch-length multiplier on a random non-root branch.
             let branches = proposal.tree.branch_assignments();
             let (node, t) = branches[self.rng.random_range(0..branches.len())];
@@ -155,6 +231,7 @@ impl MarkovChain {
             proposal.tree.node_mut(node).branch_length = (t * m).max(1e-9);
             log_hastings = m.ln();
         } else if u < 0.9 {
+            kind = MoveKind::Topology;
             // NNI around a random eligible internal node.
             let cands = proposal.tree.nni_candidates();
             if cands.is_empty() {
@@ -163,6 +240,7 @@ impl MarkovChain {
             let v = cands[self.rng.random_range(0..cands.len())];
             proposal.tree.nni(v, &mut self.rng);
         } else {
+            kind = MoveKind::Parameter;
             // Parameter multiplier.
             let m = (0.5 * (self.rng.random_range(0.0..1.0f64) - 0.5)).exp();
             proposal.params = match proposal.params {
@@ -189,10 +267,10 @@ impl MarkovChain {
 
         let log_ratio = self.beta * (log_posterior(&proposal) - log_posterior(&self.state))
             + log_hastings;
-        self.stats.proposed += 1;
-        if log_ratio >= 0.0 || self.rng.random_range(0.0..1.0) < log_ratio.exp() {
+        let accept = log_ratio >= 0.0 || self.rng.random_range(0.0..1.0) < log_ratio.exp();
+        self.stats.record(kind, accept);
+        if accept {
             self.state = proposal;
-            self.stats.accepted += 1;
         }
     }
 }
@@ -230,6 +308,14 @@ mod tests {
         assert_eq!(chain.stats.proposed, 200);
         assert!(chain.stats.accepted > 0, "some moves must be accepted");
         assert!(chain.stats.accepted < 200, "some moves must be rejected");
+        // Per-move tallies partition the totals.
+        let per_move_proposed: usize =
+            MoveKind::ALL.iter().map(|&k| chain.stats.for_move(k).proposed).sum();
+        let per_move_accepted: usize =
+            MoveKind::ALL.iter().map(|&k| chain.stats.for_move(k).accepted).sum();
+        assert_eq!(per_move_proposed, chain.stats.proposed);
+        assert_eq!(per_move_accepted, chain.stats.accepted);
+        assert!(chain.stats.branch_length.proposed > 0, "mix is half branch moves");
         assert!(chain.state.log_likelihood.is_finite());
         // On simulated-from-truth data, the sampler should not drift to a
         // catastrophically worse likelihood.

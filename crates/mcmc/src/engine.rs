@@ -4,7 +4,7 @@
 
 use std::time::{Duration, Instant};
 
-use beagle_core::{BeagleInstance, Operation};
+use beagle_core::{BeagleInstance, BufferId, InstanceStats, Operation, ScalingMode};
 use beagle_cpu::{kernels, vector};
 use beagle_phylo::{ReversibleModel, SitePatterns, SiteRates, Tree};
 
@@ -20,6 +20,13 @@ pub trait LikelihoodEngine: Send {
 
     /// Cumulative likelihood-computation time since creation.
     fn elapsed(&self) -> Duration;
+
+    /// Per-kernel-class statistics from the underlying instance, when the
+    /// engine is BEAGLE-backed and the instance was created with
+    /// `INSTANCE_STATS` (see `beagle_core::obs`). `None` otherwise.
+    fn kernel_statistics(&self) -> Option<InstanceStats> {
+        None
+    }
 }
 
 /// An engine backed by any BEAGLE-RS instance.
@@ -89,17 +96,17 @@ impl LikelihoodEngine for BeagleEngine {
             })
             .collect();
         inst.update_partials(&ops).expect("partials");
-        let cum = if self.scaled {
+        let scaling = if self.scaled {
             let c = inst.config().scale_buffer_count - 1;
             inst.reset_scale_factors(c).expect("reset scale");
             let bufs: Vec<usize> = ops.iter().map(|o| o.destination).collect();
             inst.accumulate_scale_factors(&bufs, c).expect("accumulate");
-            Some(c)
+            ScalingMode::cumulative(c)
         } else {
-            None
+            ScalingMode::None
         };
         let lnl = inst
-            .calculate_root_log_likelihoods(tree.root(), 0, 0, cum)
+            .integrate_root(BufferId(tree.root()), BufferId(0), BufferId(0), scaling)
             .expect("root lnL");
         self.wall += start.elapsed();
         lnl
@@ -108,6 +115,10 @@ impl LikelihoodEngine for BeagleEngine {
     fn elapsed(&self) -> Duration {
         // Simulated devices report modeled time; everything else wall time.
         self.instance.simulated_time().unwrap_or(self.wall)
+    }
+
+    fn kernel_statistics(&self) -> Option<InstanceStats> {
+        self.instance.statistics()
     }
 }
 
@@ -299,14 +310,21 @@ mod tests {
         let config = beagle_core::InstanceConfig::for_tree(10, patterns.pattern_count(), 4, 4);
         let mut manager = beagle_core::ImplementationManager::new();
         beagle_cpu::register_cpu_factories(&mut manager);
-        let inst = manager
-            .create_instance(&config, beagle_core::Flags::NONE, beagle_core::Flags::NONE)
+        let inst = beagle_core::InstanceSpec::with_config(config)
+            .with_stats()
+            .instantiate(&manager)
             .unwrap();
         let mut be = BeagleEngine::new(inst, patterns.clone(), rates.clone(), true);
         let mut ne = NativeEngine::<f64>::new(10, patterns, rates, 4);
         let a = be.log_likelihood(&tree, &model);
         let b = ne.log_likelihood(&tree, &model);
         assert!((a - b).abs() < 1e-8, "{a} vs {b}");
+        // With INSTANCE_STATS requested, the engine surfaces per-kernel
+        // counters (unless obs is compiled out).
+        if beagle_core::Recorder::new(true).is_enabled() {
+            let stats = be.kernel_statistics().expect("stats-enabled instance");
+            assert!(stats.total_calls() > 0, "kernel calls must be counted");
+        }
     }
 
     #[test]

@@ -42,8 +42,9 @@ fn main() {
     let chains = 4;
     let mut engines: Vec<Box<dyn LikelihoodEngine>> = (0..chains)
         .map(|_| {
-            let inst = manager
-                .create_instance(&config, Flags::PROCESSOR_CPU, Flags::NONE)
+            let inst = InstanceSpec::with_config(config)
+                .prefer(Flags::PROCESSOR_CPU)
+                .instantiate(&manager)
                 .expect("cpu instance");
             Box::new(BeagleEngine::new(inst, patterns.clone(), rates.clone(), true))
                 as Box<dyn LikelihoodEngine>

@@ -55,7 +55,7 @@ fn profile_omega(
         instance.update_partials(&operations).unwrap();
         lnls.push(
             instance
-                .calculate_root_log_likelihoods(tree.root(), 0, 0, None)
+                .integrate_root(BufferId(tree.root()), BufferId(0), BufferId(0), ScalingMode::None)
                 .unwrap(),
         );
     }

@@ -11,7 +11,7 @@
 
 use beagle::accel::{catalog, FaultDirectory, FaultKind, FaultPlan, Schedule};
 use beagle::core::multi::PartitionedInstance;
-use beagle::core::Flags;
+use beagle::core::{Flags, InstanceSpec};
 use beagle::harness::{full_manager_with_faults, ModelKind, Problem, Scenario};
 
 fn problem() -> Problem {
@@ -84,8 +84,8 @@ fn main() {
         );
     }
     let manager = full_manager_with_faults(&faults);
-    let mut inst = manager
-        .create_instance(&p.config(), Flags::NONE, Flags::NONE)
+    let mut inst = InstanceSpec::with_config(p.config())
+        .instantiate(&manager)
         .expect("fallback chain");
     println!("\n[3] all accelerators dead at creation");
     println!("    fallback landed on: {}", inst.details().implementation_name);

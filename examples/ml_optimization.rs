@@ -40,8 +40,9 @@ fn main() {
 
     let manager = beagle::full_manager();
     let config = InstanceConfig::for_tree(12, patterns.pattern_count(), 4, 4);
-    let mut inst = manager
-        .create_instance(&config, Flags::PROCESSOR_CPU, Flags::NONE)
+    let mut inst = InstanceSpec::with_config(config)
+        .prefer(Flags::PROCESSOR_CPU)
+        .instantiate(&manager)
         .expect("cpu instance");
     println!("optimizing on: {}\n", inst.details().implementation_name);
 

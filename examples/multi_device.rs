@@ -36,7 +36,11 @@ fn main() {
     ];
     let mut weights = Vec::new();
     for (label, prefs, reqs) in devices {
-        let mut inst = manager.create_instance(&probe.config(), prefs, reqs).unwrap();
+        let mut inst = InstanceSpec::with_config(probe.config())
+            .prefer(prefs)
+            .require(reqs)
+            .instantiate(&manager)
+            .unwrap();
         let report = benchmark(&probe, inst.as_mut(), 2);
         println!(
             "calibration: {label:<28} {:>9.2} GFLOPS ({})",

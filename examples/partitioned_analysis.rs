@@ -73,8 +73,9 @@ fn main() {
             part.model.state_count(),
             part.rates.category_count(),
         );
-        let mut inst = manager
-            .create_instance(&config, Flags::NONE, part.reqs)
+        let mut inst = InstanceSpec::with_config(config)
+            .require(part.reqs)
+            .instantiate(&manager)
             .expect("instance for partition");
 
         let problem = beagle::harness::Problem {

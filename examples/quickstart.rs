@@ -48,8 +48,9 @@ fn main() {
         model.state_count(),
         rates.category_count(),
     );
-    let mut instance = manager
-        .create_instance(&config, Flags::PROCESSOR_CPU, Flags::NONE)
+    let mut instance = InstanceSpec::with_config(config)
+        .prefer(Flags::PROCESSOR_CPU)
+        .instantiate(&manager)
         .expect("some implementation is always available");
     println!(
         "instance: {} on {}",
@@ -84,7 +85,7 @@ fn main() {
 
     // 7. Integrate at the root.
     let lnl = instance
-        .calculate_root_log_likelihoods(tree.root(), 0, 0, None)
+        .integrate_root(BufferId(tree.root()), BufferId(0), BufferId(0), ScalingMode::None)
         .unwrap();
     println!("log-likelihood = {lnl:.6}");
 

@@ -29,7 +29,8 @@ fn main() {
         ("require serial execution", Flags::NONE, Flags::THREADING_NONE),
     ];
     for (label, prefs, reqs) in scenarios {
-        match manager.create_instance(&config, prefs, reqs) {
+        let spec = InstanceSpec::with_config(config).prefer(prefs).require(reqs);
+        match spec.instantiate(&manager) {
             Ok(inst) => {
                 let d = inst.details();
                 println!(
@@ -44,7 +45,7 @@ fn main() {
     // A requirement no implementation satisfies.
     println!("\n== unsatisfiable requirement ==");
     let impossible = Flags::FRAMEWORK_CUDA | Flags::PROCESSOR_CPU;
-    match manager.create_instance(&config, Flags::NONE, impossible) {
+    match InstanceSpec::with_config(config).require(impossible).instantiate(&manager) {
         Ok(_) => unreachable!("no CUDA CPU exists"),
         Err(e) => println!("require CUDA-on-CPU -> {e}"),
     }
@@ -52,8 +53,10 @@ fn main() {
     // Codon configs exclude the nucleotide-only SSE factory automatically.
     println!("\n== configuration-dependent support ==");
     let codon_config = InstanceConfig::for_tree(8, 500, 61, 1);
-    let inst = manager
-        .create_instance(&codon_config, Flags::VECTOR_SSE, Flags::PROCESSOR_CPU)
+    let inst = InstanceSpec::with_config(codon_config)
+        .prefer(Flags::VECTOR_SSE)
+        .require(Flags::PROCESSOR_CPU)
+        .instantiate(&manager)
         .expect("falls back to a non-SSE implementation");
     println!(
         "codon model with SSE preference -> {} (SSE path is nucleotide-only)",

@@ -1,12 +1,17 @@
 #!/usr/bin/env bash
-# Kernel microbenchmark sweep: builds the `kernels` bench binary in release
-# mode and writes BENCH_kernels.json at the repo root (GFLOPS + ns/pattern
-# for every kernel x state-count x precision x dispatch path available on
-# this host).
+# Kernel microbenchmark sweep plus observability overhead check.
+#
+# Writes at the repo root:
+#   BENCH_kernels.json  GFLOPS + ns/pattern for every kernel x state-count x
+#                       precision x dispatch path available on this host
+#   BENCH_obs.json      instrumentation overhead (stats on vs off, bit-exact)
+#                       and the benchmark_resources ranking of every
+#                       registered implementation
 #
 #   BENCH_QUICK=1 scripts/bench.sh   # ~100x less work per cell (CI smoke)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-cargo build --release -p beagle-bench --bin kernels
+cargo build --release -p beagle-bench --bin kernels --bin obs
 ./target/release/kernels BENCH_kernels.json
+./target/release/obs BENCH_obs.json

@@ -14,15 +14,25 @@
 #   tests/failover .......... fault matrix: device loss, transient kernel/copy
 #                             faults, corruption, creation fallback, rescue
 #   tests/multi_device ...... partitioned instances across device sets
+#   tests/obs* .............. observability: stats coverage, journal ordering
+#                             across a queued failover run, instrumentation
+#                             overhead guard, benchmark_resources determinism
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 cargo build --release
 cargo test -q --workspace
-# The queue-mode differential matrix, the fault matrix, and the SIMD kernel
-# parity suite, named explicitly so a regression in any is attributable at a
-# glance.
+# The queue-mode differential matrix, the fault matrix, the SIMD kernel
+# parity suite, and the observability suite, named explicitly so a
+# regression in any is attributable at a glance.
 cargo test -q --test differential
 cargo test -q --test failover
 cargo test -q -p beagle-cpu --test simd_parity
+cargo test -q --test obs
+cargo test -q --test obs_overhead
+cargo test -q --test obs_env
 cargo clippy --workspace -- -D warnings
+# The zero-cost claim has a compile-time arm: the workspace (and the obs
+# test suite, whose assertions gate on the runtime probe) must also build
+# with the recorder compiled out.
+cargo build -q --release --no-default-features --features obs-disabled

@@ -28,13 +28,23 @@
 //! let patterns = SitePatterns::compress(&alignment);
 //!
 //! // ...and evaluate its likelihood on the best available implementation.
+//! // `InstanceSpec` is the front door for instance creation: a builder
+//! // over (config, preferences, requirements, named implementation).
 //! let manager = beagle::full_manager();
 //! let config = InstanceConfig::for_tree(6, patterns.pattern_count(), 4, 4);
-//! let mut instance = manager.create_instance(&config, Flags::NONE, Flags::NONE).unwrap();
+//! let mut instance = InstanceSpec::with_config(config)
+//!     .prefer(Flags::PROCESSOR_CPU)
+//!     .with_stats() // opt into kernel timers/counters + the event journal
+//!     .instantiate(&manager)
+//!     .unwrap();
 //! let problem = beagle::harness::Problem { tree, model, rates, patterns };
 //! problem.load(instance.as_mut());
 //! let lnl = problem.evaluate(instance.as_mut(), false);
 //! assert!(lnl.is_finite() && lnl < 0.0);
+//! // Per-kernel-class statistics were recorded along the way.
+//! if let Some(stats) = instance.statistics() {
+//!     assert!(stats.total_calls() > 0);
+//! }
 //! ```
 //!
 //! Crate map (see `DESIGN.md` at the repository root):
@@ -61,7 +71,8 @@ pub use genomictest::{full_manager, full_manager_with_faults};
 /// The convenient single import for applications.
 pub mod prelude {
     pub use beagle_core::{
-        BeagleInstance, Flags, ImplementationManager, InstanceConfig, Operation,
+        BeagleInstance, BufferId, Flags, ImplementationManager, InstanceConfig, InstanceSpec,
+        InstanceStats, Operation, ScalingMode,
     };
     pub use beagle_phylo::{Alignment, Alphabet, ReversibleModel, SitePatterns, SiteRates, Tree};
 

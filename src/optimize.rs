@@ -4,10 +4,10 @@
 //! of BEAGLE's derivative API: for each branch, re-root the computation at
 //! that edge (so changing the length invalidates no partials), then run
 //! safeguarded Newton–Raphson on `t` using
-//! [`BeagleInstance::calculate_edge_derivatives`] — one transition-matrix
+//! [`BeagleInstance::integrate_edge_derivatives`] — one transition-matrix
 //! update plus one edge integration per iteration.
 
-use beagle_core::{BeagleInstance, Operation, Result};
+use beagle_core::{BeagleInstance, BufferId, Operation, Result, ScalingMode};
 use beagle_phylo::{ReversibleModel, SitePatterns, SiteRates, Tree};
 
 /// Options for [`optimize_branch_lengths`].
@@ -107,7 +107,7 @@ fn evaluate(tree: &Tree, instance: &mut dyn BeagleInstance) -> Result<f64> {
         .map(|e| Operation::new(e.destination, e.child1, e.matrix1, e.child2, e.matrix2))
         .collect();
     instance.update_partials(&ops)?;
-    instance.calculate_root_log_likelihoods(tree.root(), 0, 0, None)
+    instance.integrate_root(BufferId(tree.root()), BufferId(0), BufferId(0), ScalingMode::None)
 }
 
 /// Safeguarded Newton on the branch above `v`, writing the optimum back.
@@ -144,7 +144,16 @@ pub fn optimize_one_branch(
     // update plus one edge integration — no partials are touched.
     let eval = |t: f64, instance: &mut dyn BeagleInstance| -> Result<(f64, f64, f64)> {
         instance.update_transition_derivatives(0, &[v], &[d1_slot], &[d2_slot], &[t])?;
-        instance.calculate_edge_derivatives(rest_root, v, v, d1_slot, d2_slot, 0, 0, None)
+        instance.integrate_edge_derivatives(
+            BufferId(rest_root),
+            BufferId(v),
+            BufferId(v),
+            BufferId(d1_slot),
+            BufferId(d2_slot),
+            BufferId(0),
+            BufferId(0),
+            ScalingMode::None,
+        )
     };
 
     let (mut lnl, mut d1, mut d2) = eval(t, instance)?;
@@ -234,8 +243,9 @@ mod tests {
 
         let manager = crate::full_manager();
         let config = InstanceConfig::for_tree(8, patterns.pattern_count(), 4, 1);
-        let mut inst = manager
-            .create_instance(&config, Flags::PROCESSOR_CPU, Flags::NONE)
+        let mut inst = beagle_core::InstanceSpec::with_config(config)
+            .prefer(Flags::PROCESSOR_CPU)
+            .instantiate(&manager)
             .unwrap();
         let report = optimize_branch_lengths(
             &mut tree,
@@ -275,8 +285,9 @@ mod tests {
         let (tree, model, rates, patterns) = setup(405);
         let manager = crate::full_manager();
         let config = InstanceConfig::for_tree(8, patterns.pattern_count(), 4, 1);
-        let mut inst = manager
-            .create_instance(&config, Flags::PROCESSOR_CPU, Flags::NONE)
+        let mut inst = beagle_core::InstanceSpec::with_config(config)
+            .prefer(Flags::PROCESSOR_CPU)
+            .instantiate(&manager)
             .unwrap();
         // Load static data.
         let eig = model.eigen();
@@ -306,7 +317,8 @@ mod tests {
                 .map(|e| Operation::new(e.destination, e.child1, e.matrix1, e.child2, e.matrix2))
                 .collect();
             inst.update_partials(&ops).unwrap();
-            inst.calculate_root_log_likelihoods(rt2.root(), 0, 0, None).unwrap()
+            inst.integrate_root(BufferId(rt2.root()), BufferId(0), BufferId(0), ScalingMode::None)
+                .unwrap()
         };
 
         let t0 = rt.node(v).branch_length.max(0.05);
@@ -322,7 +334,16 @@ mod tests {
         inst.update_transition_derivatives(0, &[v], &[rt.root()], &[rest_root], &[t0])
             .unwrap();
         let (lnl, d1, d2) = inst
-            .calculate_edge_derivatives(rest_root, v, v, rt.root(), rest_root, 0, 0, None)
+            .integrate_edge_derivatives(
+                BufferId(rest_root),
+                BufferId(v),
+                BufferId(v),
+                BufferId(rt.root()),
+                BufferId(rest_root),
+                BufferId(0),
+                BufferId(0),
+                ScalingMode::None,
+            )
             .unwrap();
         assert!((lnl - l0).abs() < 1e-7, "{lnl} vs {l0}");
         assert!((d1 - fd1).abs() < 1e-3 * fd1.abs().max(1.0), "{d1} vs {fd1}");

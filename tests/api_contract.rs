@@ -133,10 +133,10 @@ fn invalid_configurations_rejected_everywhere() {
     let manager = full_manager();
     let mut cfg = InstanceConfig::for_tree(5, 40, 4, 2);
     cfg.pattern_count = 0;
-    assert!(manager.create_instance(&cfg, Flags::NONE, Flags::NONE).is_err());
+    assert!(InstanceSpec::with_config(cfg).instantiate(&manager).is_err());
     let mut cfg = InstanceConfig::for_tree(5, 40, 4, 2);
     cfg.tip_count = 1;
-    assert!(manager.create_instance(&cfg, Flags::NONE, Flags::NONE).is_err());
+    assert!(InstanceSpec::with_config(cfg).instantiate(&manager).is_err());
 }
 
 #[test]

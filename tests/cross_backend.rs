@@ -110,7 +110,16 @@ fn edge_derivatives_agree_cpu_vs_gpu() {
         // edge, so use a weaker but exact check: identical triples across
         // back-ends for parent = the root buffer itself.
         let trip = inst
-            .calculate_edge_derivatives(root, child, child, root, rest, 0, 0, None)
+            .integrate_edge_derivatives(
+                BufferId(root),
+                BufferId(child),
+                BufferId(child),
+                BufferId(root),
+                BufferId(rest),
+                BufferId(0),
+                BufferId(0),
+                ScalingMode::None,
+            )
             .unwrap();
         results.push(trip);
     }

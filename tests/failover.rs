@@ -6,7 +6,7 @@
 
 use beagle::accel::{catalog, FaultDirectory, FaultKind, FaultPlan, Schedule};
 use beagle::core::multi::PartitionedInstance;
-use beagle::core::Flags;
+use beagle::core::{BufferId, Flags, InstanceSpec, ScalingMode};
 use beagle::harness::{full_manager, full_manager_with_faults, ModelKind, Problem, Scenario};
 
 fn problem() -> Problem {
@@ -93,8 +93,8 @@ fn creation_falls_back_when_preferred_device_is_dead() {
     let p = problem();
     // No requirements: the manager tries GPU factories first, every one
     // fails at creation, and it lands on a CPU implementation.
-    let mut inst = manager
-        .create_instance(&p.config(), Flags::NONE, Flags::NONE)
+    let mut inst = InstanceSpec::with_config(p.config())
+        .instantiate(&manager)
         .expect("fallback chain must find a live implementation");
     assert!(
         !inst.details().implementation_name.starts_with("CUDA")
@@ -132,7 +132,8 @@ fn numerical_rescue_recovers_deep_tree_underflow() {
         p.load(raw.as_mut());
         let ops = p.operations(false);
         raw.update_partials(&ops).unwrap();
-        let unscaled = raw.calculate_root_log_likelihoods(p.tree.root(), 0, 0, None);
+        let unscaled =
+            raw.integrate_root(BufferId(p.tree.root()), BufferId(0), BufferId(0), ScalingMode::None);
         let underflowed = match &unscaled {
             Ok(v) => !v.is_finite(),
             Err(e) => matches!(e, beagle::core::BeagleError::NumericalFailure(_)),
@@ -142,13 +143,21 @@ fn numerical_rescue_recovers_deep_tree_underflow() {
 
     // Managed instances are rescue-wrapped: the same unscaled evaluation
     // transparently recovers.
-    let mut rescued_inst = manager.create_instance(&p.config(), prefs, reqs).unwrap();
+    let mut rescued_inst = InstanceSpec::with_config(p.config())
+        .prefer(prefs)
+        .require(reqs)
+        .instantiate(&manager)
+        .unwrap();
     p.load(rescued_inst.as_mut());
     let rescued = p.evaluate(rescued_inst.as_mut(), false);
     assert!(rescued.is_finite() && rescued < 0.0, "rescue must recover: {rescued}");
 
     // And matches what a client doing manual scaling would have computed.
-    let mut scaled_inst = manager.create_instance(&p.config(), prefs, reqs).unwrap();
+    let mut scaled_inst = InstanceSpec::with_config(p.config())
+        .prefer(prefs)
+        .require(reqs)
+        .instantiate(&manager)
+        .unwrap();
     p.load(scaled_inst.as_mut());
     let scaled = p.evaluate(scaled_inst.as_mut(), true);
     let rel = ((rescued - scaled) / scaled).abs();

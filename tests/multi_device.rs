@@ -52,7 +52,7 @@ fn partitioned_site_likelihoods_concatenate_correctly() {
     assert!((total - manual).abs() < 1e-8);
 
     // And they match a single-device run site by site.
-    let mut single = manager.create_instance(&p.config(), Flags::NONE, Flags::NONE).unwrap();
+    let mut single = InstanceSpec::with_config(p.config()).instantiate(&manager).unwrap();
     p.load(single.as_mut());
     p.evaluate(single.as_mut(), false);
     let ref_sites = single.get_site_log_likelihoods().unwrap();

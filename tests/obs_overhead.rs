@@ -1,0 +1,81 @@
+//! Observability overhead guard, in its own test binary so no sibling test
+//! thread perturbs the timing.
+//!
+//! The recorder costs a handful of counter updates per *kernel call* — not
+//! per pattern — so an instrumented traversal must stay within 2% of an
+//! uninstrumented one, and the numbers must be bit-identical.
+
+use std::time::{Duration, Instant};
+
+use beagle::core::{BeagleInstance, Flags, InstanceSpec, Recorder};
+use beagle::harness::{full_manager, ModelKind, Problem, Scenario};
+
+fn serial_instance(p: &Problem, stats: bool) -> Box<dyn BeagleInstance> {
+    let spec = InstanceSpec::with_config(p.config())
+        .prefer(Flags::PROCESSOR_CPU)
+        .named("CPU-serial");
+    let spec = if stats { spec.with_stats() } else { spec };
+    spec.instantiate(&full_manager()).unwrap()
+}
+
+fn traversals(p: &Problem, inst: &mut dyn BeagleInstance, reps: usize) -> Duration {
+    let ops = p.operations(false);
+    let start = Instant::now();
+    for _ in 0..reps {
+        inst.update_partials(&ops).unwrap();
+    }
+    start.elapsed()
+}
+
+#[test]
+fn instrumentation_is_bit_exact_and_under_two_percent() {
+    let p = Problem::generate(&Scenario {
+        model: ModelKind::Nucleotide,
+        taxa: 12,
+        patterns: 1500,
+        categories: 4,
+        seed: 42,
+    });
+    let mut off = serial_instance(&p, false);
+    let mut on = serial_instance(&p, true);
+    p.load(off.as_mut());
+    p.load(on.as_mut());
+
+    // The likelihood must not depend on instrumentation, bit for bit.
+    let lnl_off = p.evaluate(off.as_mut(), false);
+    let lnl_on = p.evaluate(on.as_mut(), false);
+    assert_eq!(lnl_off.to_bits(), lnl_on.to_bits(), "{lnl_off} vs {lnl_on}");
+
+    if !Recorder::new(true).is_enabled() {
+        // obs-disabled build: the recorder is compiled out, so there is no
+        // overhead to measure — and no statistics either.
+        assert!(on.statistics().is_none());
+        return;
+    }
+    assert!(on.statistics().expect("stats requested").total_calls() > 0);
+
+    // Interleaved min-of-rounds: the minimum over several alternating
+    // windows cancels scheduler noise that a single A/B pair would absorb.
+    // A genuinely >2% recorder would fail every attempt; a co-tenant
+    // stealing the core mid-window only fails some, so retry before
+    // declaring a regression.
+    let (reps, rounds, attempts) = (10, 5, 5);
+    traversals(&p, off.as_mut(), 1);
+    traversals(&p, on.as_mut(), 1);
+    let mut worst = f64::INFINITY;
+    for _ in 0..attempts {
+        let mut best_off = Duration::MAX;
+        let mut best_on = Duration::MAX;
+        for _ in 0..rounds {
+            best_off = best_off.min(traversals(&p, off.as_mut(), reps));
+            best_on = best_on.min(traversals(&p, on.as_mut(), reps));
+        }
+        let overhead =
+            (best_on.as_secs_f64() - best_off.as_secs_f64()) / best_off.as_secs_f64() * 100.0;
+        if overhead < 2.0 {
+            return;
+        }
+        worst = worst.min(overhead);
+    }
+    panic!("instrumentation overhead {worst:.3}% exceeds 2% in {attempts} attempts");
+}
