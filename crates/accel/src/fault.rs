@@ -22,6 +22,7 @@ use beagle_core::error::{BeagleError, DeviceErrorKind};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use std::collections::HashMap;
+use std::time::Duration;
 
 /// Which failure mode to inject.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -36,6 +37,17 @@ pub enum FaultKind {
     /// The launch *appears* to succeed but corrupts its destination
     /// buffer — detected only when a later integration sees the damage.
     SilentCorruption,
+    /// The launch takes `delay` longer than modeled before completing — a
+    /// congested queue or a thermally throttled device. Whether the call
+    /// survives is the *watchdog's* decision: stalls shorter than the
+    /// instance's deadline budget complete late; longer ones are cancelled
+    /// and surface as [`BeagleError::Timeout`].
+    Stall(Duration),
+    /// The device wedges and never answers — a hung driver queue. Always
+    /// cancelled by the watchdog at the deadline. A permanent hang latches:
+    /// every subsequent call on the device hangs too, exactly like a real
+    /// wedged context.
+    Hang,
 }
 
 /// When a fault fires.
@@ -112,6 +124,11 @@ pub enum FaultAction {
     Corrupt,
     /// The call failed with this error.
     Fail(BeagleError),
+    /// The call stalls for this long before completing. The instance's
+    /// watchdog compares the stall against the deadline budget: under
+    /// budget the call completes late, over budget it is cancelled with
+    /// [`BeagleError::Timeout`]. A hang is `Stall(Duration::MAX)`.
+    Stall(Duration),
 }
 
 fn site_matches(kind: FaultKind, site: FaultSite) -> bool {
@@ -121,6 +138,9 @@ fn site_matches(kind: FaultKind, site: FaultSite) -> bool {
         // A device can drop off the bus during any call.
         FaultKind::DeviceLost => true,
         FaultKind::SilentCorruption => site == FaultSite::KernelLaunch,
+        // Slow kernels stall launches; a wedged driver queue hangs any call.
+        FaultKind::Stall(_) => site == FaultSite::KernelLaunch,
+        FaultKind::Hang => true,
     }
 }
 
@@ -133,6 +153,7 @@ pub struct FaultInjector {
     device: String,
     calls: u64,
     lost: bool,
+    wedged: bool,
     corrupted: bool,
 }
 
@@ -146,6 +167,7 @@ impl FaultInjector {
             device: device.to_string(),
             calls: 0,
             lost: false,
+            wedged: false,
             corrupted: false,
         }
     }
@@ -160,6 +182,9 @@ impl FaultInjector {
         self.calls += 1;
         if self.lost {
             return FaultAction::Fail(self.device_error(DeviceErrorKind::DeviceLost, false));
+        }
+        if self.wedged {
+            return FaultAction::Stall(Duration::MAX);
         }
         // Every probabilistic fault draws exactly once per checkpoint,
         // whether or not its site matches — the draw count per call is
@@ -196,6 +221,20 @@ impl FaultInjector {
                 self.corrupted = true;
                 FaultAction::Corrupt
             }
+            FaultKind::Stall(delay) => FaultAction::Stall(delay),
+            FaultKind::Hang => {
+                if !spec.transient {
+                    self.wedged = true;
+                }
+                FaultAction::Stall(Duration::MAX)
+            }
+        }
+    }
+
+    /// The error the watchdog reports when it cancels a call at `site`.
+    pub fn timeout_error(&self, site: FaultSite, budget: Duration) -> BeagleError {
+        BeagleError::Timeout {
+            what: format!("{site:?} on {} exceeded the {budget:?} watchdog budget", self.device),
         }
     }
 
@@ -360,6 +399,55 @@ mod tests {
         assert!(matches!(inj.on_call(FaultSite::KernelLaunch), FaultAction::Corrupt));
         assert!(inj.corruption_detected());
         assert!(!inj.corruption_error().is_retryable());
+    }
+
+    #[test]
+    fn stall_reports_its_delay_at_launch_sites_only() {
+        let plan = FaultPlan::new(1).with_fault(
+            FaultKind::Stall(Duration::from_millis(5)),
+            true,
+            Schedule::EveryN(1),
+        );
+        let mut inj = FaultInjector::new(plan, "gpu");
+        // Stalls model slow kernels: copies and allocations are unaffected.
+        assert!(matches!(inj.on_call(FaultSite::Copy), FaultAction::Proceed));
+        assert!(matches!(inj.on_call(FaultSite::Allocation), FaultAction::Proceed));
+        match inj.on_call(FaultSite::KernelLaunch) {
+            FaultAction::Stall(d) => assert_eq!(d, Duration::from_millis(5)),
+            other => panic!("expected stall, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn permanent_hang_wedges_every_later_call() {
+        let plan = FaultPlan::new(1).with_fault(FaultKind::Hang, false, Schedule::AtCall(2));
+        let mut inj = FaultInjector::new(plan, "gpu");
+        assert!(matches!(inj.on_call(FaultSite::KernelLaunch), FaultAction::Proceed));
+        assert!(matches!(
+            inj.on_call(FaultSite::KernelLaunch),
+            FaultAction::Stall(d) if d == Duration::MAX
+        ));
+        // The wedge latches across all sites, like a real hung context.
+        assert!(matches!(inj.on_call(FaultSite::Copy), FaultAction::Stall(_)));
+        assert!(matches!(inj.on_call(FaultSite::Allocation), FaultAction::Stall(_)));
+    }
+
+    #[test]
+    fn transient_hang_fires_once_and_clears() {
+        let plan = FaultPlan::new(1).with_fault(FaultKind::Hang, true, Schedule::AtCall(1));
+        let mut inj = FaultInjector::new(plan, "gpu");
+        assert!(matches!(inj.on_call(FaultSite::KernelLaunch), FaultAction::Stall(_)));
+        assert!(matches!(inj.on_call(FaultSite::KernelLaunch), FaultAction::Proceed));
+    }
+
+    #[test]
+    fn timeout_error_is_evictable_not_retryable() {
+        let plan = FaultPlan::new(1).with_fault(FaultKind::Hang, false, Schedule::AtCall(1));
+        let inj = FaultInjector::new(plan, "gpu");
+        let e = inj.timeout_error(FaultSite::KernelLaunch, Duration::from_secs(2));
+        assert!(!e.is_retryable(), "timeouts go straight to eviction");
+        assert!(e.to_string().contains("deadline exceeded"));
+        assert!(e.to_string().contains("gpu"));
     }
 
     #[test]

@@ -57,6 +57,10 @@ pub struct AccelInstance<T: Real, D: Dialect> {
     fma_enabled: bool,
     details: InstanceDetails,
     fault: Option<FaultInjector>,
+    /// Per-launch watchdog budget; `None` means the driver default
+    /// ([`beagle_core::Deadline::DRIVER_DEFAULT`]). Set through
+    /// [`BeagleInstance::set_deadline`].
+    watchdog: Option<beagle_core::Deadline>,
     /// Kernel timers/counters + event journal; disabled unless the instance
     /// was created with [`beagle_core::Flags::INSTANCE_STATS`].
     recorder: Recorder,
@@ -129,6 +133,7 @@ impl<T: Real, D: Dialect> AccelInstance<T, D> {
             fma_enabled,
             details,
             fault,
+            watchdog: None,
             recorder: Recorder::disabled(),
             _dialect: std::marker::PhantomData,
         })
@@ -170,6 +175,33 @@ impl<T: Real, D: Dialect> AccelInstance<T, D> {
                     format!("site={site:?} action=fail error={e}")
                 });
                 Err(e)
+            }
+            FaultAction::Stall(delay) => {
+                let budget = self.watchdog.unwrap_or_default().budget();
+                if delay >= budget {
+                    // The call will not finish inside the budget: the
+                    // watchdog cancels it at the deadline. The device spent
+                    // the whole budget hung before the cancel.
+                    if self.is_simulated() {
+                        self.clock.advance(budget);
+                    }
+                    self.recorder.event(EventKind::WatchdogTimeout, || {
+                        format!("site={site:?} stall={delay:?} budget={budget:?}")
+                    });
+                    let inj = self.fault.as_ref().expect("injector produced the stall");
+                    Err(inj.timeout_error(site, budget))
+                } else {
+                    // Slow but under budget: the call completes late.
+                    self.recorder.event(EventKind::FaultInjected, || {
+                        format!("site={site:?} action=stall delay={delay:?}")
+                    });
+                    if self.is_simulated() {
+                        self.clock.advance(delay);
+                    } else {
+                        std::thread::sleep(delay);
+                    }
+                    Ok(false)
+                }
             }
         }
     }
@@ -972,5 +1004,9 @@ impl<T: Real, D: Dialect> BeagleInstance for AccelInstance<T, D> {
 
     fn take_journal(&mut self) -> Vec<obs::Event> {
         self.recorder.take_journal()
+    }
+
+    fn set_deadline(&mut self, deadline: Option<beagle_core::Deadline>) {
+        self.watchdog = deadline;
     }
 }

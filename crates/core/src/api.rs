@@ -438,6 +438,25 @@ pub trait BeagleInstance: Send {
     fn take_journal(&mut self) -> Vec<obs::Event> {
         Vec::new()
     }
+
+    /// Set (or clear) the per-launch watchdog budget. Back-ends with a
+    /// watchdog cancel any launch that stalls past the budget and report
+    /// [`BeagleError::Timeout`]; with `None` they fall back to the driver
+    /// default ([`crate::deadline::Deadline::DRIVER_DEFAULT`]). Wrapper
+    /// instances forward the deadline to every layer below; back-ends
+    /// without stall modes (the CPU implementations) ignore it, which this
+    /// default implements.
+    fn set_deadline(&mut self, _deadline: Option<crate::deadline::Deadline>) {}
+
+    /// Snapshot this instance's replayable state as a durable
+    /// [`crate::checkpoint::Checkpoint`]. `None` unless a journaling layer
+    /// is present (a `CheckpointedInstance` wrapper or a
+    /// [`crate::multi::PartitionedInstance`]); wrappers above such a layer
+    /// forward the call down (the operation queue flushes first, so pending
+    /// work is captured rather than lost).
+    fn checkpoint(&mut self) -> Option<crate::checkpoint::Checkpoint> {
+        None
+    }
 }
 
 #[cfg(test)]

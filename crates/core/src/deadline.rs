@@ -1,0 +1,76 @@
+//! Deadline budgets for watchdog cancellation.
+//!
+//! Real accelerator runtimes ship a *driver watchdog*: a kernel that holds
+//! the device past a time budget is cancelled and the call returns an
+//! error, because a wedged queue would otherwise block every client of the
+//! device forever. BEAGLE-RS reproduces that contract as a per-launch
+//! [`Deadline`]: a budget threaded from [`crate::InstanceSpec`] through the
+//! manager and every wrapper layer down to the per-launch fault checkpoints
+//! of the simulated back-ends. A launch that stalls past the budget (a
+//! seeded `Stall`/`Hang` fault) is cancelled by the watchdog and surfaces
+//! as [`crate::BeagleError::Timeout`] — which the failover layer treats as
+//! grounds for eviction, never for in-place retry (see
+//! [`crate::BeagleError::is_retryable`]).
+//!
+//! The budget is **per launch**, not per run: cancelling one hung launch
+//! must leave the rest of the budget available for repartitioning the work
+//! onto healthy devices and replaying the journal there.
+
+use std::time::Duration;
+
+/// A per-launch watchdog budget.
+///
+/// Instances without an explicit deadline fall back to
+/// [`Deadline::DRIVER_DEFAULT`], mirroring the ~2 s watchdog real display
+/// drivers enforce.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Deadline {
+    budget: Duration,
+}
+
+impl Deadline {
+    /// The driver-level fallback watchdog applied when the client sets no
+    /// explicit deadline (real GPU drivers cancel kernels on this order).
+    pub const DRIVER_DEFAULT: Deadline = Deadline { budget: Duration::from_secs(2) };
+
+    /// A deadline allowing each launch `budget` of device time.
+    pub fn new(budget: Duration) -> Self {
+        Self { budget }
+    }
+
+    /// The per-launch budget.
+    pub fn budget(&self) -> Duration {
+        self.budget
+    }
+
+    /// Whether a launch that has already taken `elapsed` must be cancelled.
+    pub fn exceeded_by(&self, elapsed: Duration) -> bool {
+        elapsed >= self.budget
+    }
+}
+
+impl Default for Deadline {
+    fn default() -> Self {
+        Self::DRIVER_DEFAULT
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn budget_comparison() {
+        let d = Deadline::new(Duration::from_millis(10));
+        assert!(!d.exceeded_by(Duration::from_millis(9)));
+        assert!(d.exceeded_by(Duration::from_millis(10)));
+        assert!(d.exceeded_by(Duration::MAX));
+        assert_eq!(d.budget(), Duration::from_millis(10));
+    }
+
+    #[test]
+    fn default_is_the_driver_watchdog() {
+        assert_eq!(Deadline::default(), Deadline::DRIVER_DEFAULT);
+        assert_eq!(Deadline::DRIVER_DEFAULT.budget(), Duration::from_secs(2));
+    }
+}

@@ -2,6 +2,39 @@
 //!
 //! The C BEAGLE API signals errors through negative return codes
 //! (`BEAGLE_ERROR_OUT_OF_RANGE`, …); this is the idiomatic Rust rendering.
+//!
+//! # Taxonomy
+//!
+//! The variants fall into four families, and every recovery layer in the
+//! workspace keys off the family rather than the individual variant:
+//!
+//! * **Argument errors** — [`BeagleError::OutOfRange`],
+//!   [`BeagleError::DimensionMismatch`], [`BeagleError::InvalidConfiguration`].
+//!   The call itself was malformed; retrying it unchanged can never help.
+//! * **Capability errors** — [`BeagleError::NoImplementationFound`],
+//!   [`BeagleError::Unsupported`]. The registry/implementation cannot do what
+//!   was asked. Creation-time fallback chains (`manager`) may route around
+//!   them by picking a different implementation, but the *call* is not
+//!   retryable.
+//! * **Runtime faults** — [`BeagleError::NumericalFailure`] (handled by
+//!   numerical rescue, not retry), [`BeagleError::Device`] (transient ones
+//!   are retried in place, permanent ones evict the device),
+//!   [`BeagleError::ResourceExhausted`] (retryable: memory pressure can
+//!   clear), [`BeagleError::Timeout`] (a watchdog cancelled a launch that
+//!   exceeded its deadline budget — *evictable but never retryable*:
+//!   re-issuing work to a wedged device only burns more of the deadline),
+//!   and [`BeagleError::ChildCreationFailed`] (a multi-device creation
+//!   failure attributable to one device slot).
+//! * **Durability errors** — [`BeagleError::CheckpointCorrupt`] (a snapshot
+//!   failed validation: bad magic/version, truncation, or content-hash
+//!   mismatch — it must be reported, never silently replayed) and
+//!   [`BeagleError::CheckpointIo`] (the filesystem failed while reading or
+//!   writing a snapshot).
+//!
+//! [`BeagleError::is_retryable`] is the single predicate the retry layers
+//! consult; the eviction predicate (`multi::is_evictable`) additionally
+//! treats permanent device faults and timeouts as grounds for removing a
+//! device from a partitioned instance.
 
 use std::fmt;
 
@@ -78,6 +111,20 @@ pub enum BeagleError {
         /// Which resource was exhausted.
         what: String,
     },
+    /// A launch (or other device call) exceeded its deadline budget and was
+    /// cancelled by the watchdog. Not retryable — re-issuing work to a
+    /// wedged device only burns more of the remaining budget — but
+    /// evictable: the failover layer treats it like a permanent fault.
+    Timeout {
+        /// What was cancelled (site and device).
+        what: String,
+    },
+    /// A durable checkpoint failed validation on restore: missing or
+    /// garbled header, unsupported version, truncation, or content-hash
+    /// mismatch. The snapshot must not be replayed.
+    CheckpointCorrupt(String),
+    /// The filesystem failed while reading or writing a checkpoint.
+    CheckpointIo(String),
     /// Creating one child of a multi-device instance failed; reports which
     /// device slot and flag selection was responsible.
     ChildCreationFailed {
@@ -94,11 +141,15 @@ impl BeagleError {
     /// Whether retrying the failed call, unchanged, has a chance of
     /// succeeding. True for transient device faults and resource exhaustion
     /// (memory pressure can clear); false for everything else — bad
-    /// arguments stay bad and lost devices stay lost.
+    /// arguments stay bad, lost devices stay lost, and a [`Self::Timeout`]
+    /// means the device is wedged: retrying in place would spend the rest
+    /// of the deadline budget on a launch that already failed to finish, so
+    /// timeouts go straight to eviction instead.
     pub fn is_retryable(&self) -> bool {
         match self {
             BeagleError::Device { transient, .. } => *transient,
             BeagleError::ResourceExhausted { .. } => true,
+            BeagleError::Timeout { .. } => false,
             _ => false,
         }
     }
@@ -125,6 +176,15 @@ impl fmt::Display for BeagleError {
             }
             BeagleError::ResourceExhausted { what } => {
                 write!(f, "resource exhausted: {what}")
+            }
+            BeagleError::Timeout { what } => {
+                write!(f, "deadline exceeded: {what}")
+            }
+            BeagleError::CheckpointCorrupt(msg) => {
+                write!(f, "corrupt checkpoint: {msg}")
+            }
+            BeagleError::CheckpointIo(msg) => {
+                write!(f, "checkpoint i/o error: {msg}")
             }
             BeagleError::ChildCreationFailed { child, device, source } => {
                 write!(f, "creating child {child} ({device}) failed: {source}")
@@ -180,5 +240,20 @@ mod tests {
         assert!(BeagleError::ResourceExhausted { what: "device memory".into() }.is_retryable());
         assert!(!BeagleError::NoImplementationFound.is_retryable());
         assert!(!BeagleError::NumericalFailure("NaN".into()).is_retryable());
+        // A timeout means the device is wedged: never retried in place
+        // (the failover layer evicts instead).
+        assert!(!BeagleError::Timeout { what: "kernel launch on gpu".into() }.is_retryable());
+        assert!(!BeagleError::CheckpointCorrupt("hash mismatch".into()).is_retryable());
+        assert!(!BeagleError::CheckpointIo("read failed".into()).is_retryable());
+    }
+
+    #[test]
+    fn timeout_and_checkpoint_display() {
+        let e = BeagleError::Timeout { what: "kernel launch on Quadro".into() };
+        assert!(e.to_string().contains("deadline exceeded"));
+        let e = BeagleError::CheckpointCorrupt("hash mismatch at line 40".into());
+        assert!(e.to_string().contains("corrupt checkpoint"));
+        let e = BeagleError::CheckpointIo("permission denied".into());
+        assert!(e.to_string().contains("checkpoint i/o"));
     }
 }

@@ -160,6 +160,219 @@ impl StateJournal {
         &self.ops
     }
 
+    /// Serialize the journal as text lines into `out` (one record per
+    /// line). `f64` values are written as 16-digit hex bit patterns, so a
+    /// decoded journal replays **bit-exactly** — the property the durable
+    /// checkpoint format ([`crate::checkpoint`]) is built on.
+    pub fn encode_into(&self, out: &mut String) {
+        use std::fmt::Write;
+        fn f64s(out: &mut String, values: &[f64]) {
+            for v in values {
+                let _ = write!(out, " {:016x}", v.to_bits());
+            }
+        }
+        for (tip, states) in &self.tip_states {
+            let _ = write!(out, "tip_states {tip} {}", states.len());
+            for s in states {
+                let _ = write!(out, " {s}");
+            }
+            out.push('\n');
+        }
+        for (tip, partials) in &self.tip_partials {
+            let _ = write!(out, "tip_partials {tip} {}", partials.len());
+            f64s(out, partials);
+            out.push('\n');
+        }
+        for (buffer, partials) in &self.partials {
+            let _ = write!(out, "partials {buffer} {}", partials.len());
+            f64s(out, partials);
+            out.push('\n');
+        }
+        if let Some(w) = &self.pattern_weights {
+            let _ = write!(out, "pattern_weights {}", w.len());
+            f64s(out, w);
+            out.push('\n');
+        }
+        for (i, f) in &self.frequencies {
+            let _ = write!(out, "frequencies {i} {}", f.len());
+            f64s(out, f);
+            out.push('\n');
+        }
+        if let Some(r) = &self.category_rates {
+            let _ = write!(out, "category_rates {}", r.len());
+            f64s(out, r);
+            out.push('\n');
+        }
+        for (i, w) in &self.category_weights {
+            let _ = write!(out, "category_weights {i} {}", w.len());
+            f64s(out, w);
+            out.push('\n');
+        }
+        for (i, (v, iv, ev)) in &self.eigens {
+            let _ = write!(out, "eigen {i} {} {} {}", v.len(), iv.len(), ev.len());
+            f64s(out, v);
+            f64s(out, iv);
+            f64s(out, ev);
+            out.push('\n');
+        }
+        for (i, m) in &self.matrices {
+            let _ = write!(out, "matrix {i} {}", m.len());
+            f64s(out, m);
+            out.push('\n');
+        }
+        for (m, (eigen, t)) in &self.matrix_updates {
+            let _ = writeln!(out, "matrix_update {m} {eigen} {:016x}", t.to_bits());
+        }
+        for op in &self.ops {
+            let scale = match op.dest_scale_write {
+                Some(s) => s.to_string(),
+                None => "-".to_string(),
+            };
+            let _ = writeln!(
+                out,
+                "op {} {scale} {} {} {} {}",
+                op.destination, op.child1, op.child1_matrix, op.child2, op.child2_matrix
+            );
+        }
+        for (cumulative, indices) in &self.scale_accumulations {
+            let _ = write!(out, "scale_acc {cumulative} {}", indices.len());
+            for i in indices {
+                let _ = write!(out, " {i}");
+            }
+            out.push('\n');
+        }
+    }
+
+    /// Rebuild a journal from lines produced by [`Self::encode_into`].
+    /// Errors are strings (the checkpoint layer wraps them into
+    /// [`crate::BeagleError::CheckpointCorrupt`]).
+    pub fn decode_lines(lines: &[&str]) -> std::result::Result<Self, String> {
+        fn parse<T: std::str::FromStr>(tok: Option<&str>, what: &str) -> std::result::Result<T, String> {
+            tok.ok_or_else(|| format!("journal line truncated at {what}"))?
+                .parse::<T>()
+                .map_err(|_| format!("bad {what} field"))
+        }
+        fn take_f64s<'t>(
+            toks: &mut impl Iterator<Item = &'t str>,
+            n: usize,
+            what: &str,
+        ) -> std::result::Result<Vec<f64>, String> {
+            (0..n)
+                .map(|_| {
+                    let tok = toks
+                        .next()
+                        .ok_or_else(|| format!("journal line truncated at {what}"))?;
+                    u64::from_str_radix(tok, 16)
+                        .map(f64::from_bits)
+                        .map_err(|_| format!("bad {what} bit pattern"))
+                })
+                .collect()
+        }
+        let mut j = StateJournal::new();
+        for line in lines {
+            let mut t = line.split_ascii_whitespace();
+            let Some(tag) = t.next() else { continue };
+            match tag {
+                "tip_states" => {
+                    let tip: usize = parse(t.next(), "tip")?;
+                    let n: usize = parse(t.next(), "tip_states length")?;
+                    let states: Vec<u32> = (0..n)
+                        .map(|_| parse(t.next(), "tip state"))
+                        .collect::<std::result::Result<_, _>>()?;
+                    j.tip_states.insert(tip, states);
+                }
+                "tip_partials" => {
+                    let tip: usize = parse(t.next(), "tip")?;
+                    let n: usize = parse(t.next(), "tip_partials length")?;
+                    j.tip_partials.insert(tip, take_f64s(&mut t, n, "tip partials")?);
+                }
+                "partials" => {
+                    let buffer: usize = parse(t.next(), "buffer")?;
+                    let n: usize = parse(t.next(), "partials length")?;
+                    j.partials.insert(buffer, take_f64s(&mut t, n, "partials")?);
+                }
+                "pattern_weights" => {
+                    let n: usize = parse(t.next(), "pattern_weights length")?;
+                    j.pattern_weights = Some(take_f64s(&mut t, n, "pattern weights")?);
+                }
+                "frequencies" => {
+                    let i: usize = parse(t.next(), "frequency index")?;
+                    let n: usize = parse(t.next(), "frequencies length")?;
+                    j.frequencies.insert(i, take_f64s(&mut t, n, "frequencies")?);
+                }
+                "category_rates" => {
+                    let n: usize = parse(t.next(), "category_rates length")?;
+                    j.category_rates = Some(take_f64s(&mut t, n, "category rates")?);
+                }
+                "category_weights" => {
+                    let i: usize = parse(t.next(), "category-weight index")?;
+                    let n: usize = parse(t.next(), "category_weights length")?;
+                    j.category_weights.insert(i, take_f64s(&mut t, n, "category weights")?);
+                }
+                "eigen" => {
+                    let i: usize = parse(t.next(), "eigen index")?;
+                    let nv: usize = parse(t.next(), "eigen vectors length")?;
+                    let niv: usize = parse(t.next(), "eigen inverse length")?;
+                    let nev: usize = parse(t.next(), "eigen values length")?;
+                    let v = take_f64s(&mut t, nv, "eigen vectors")?;
+                    let iv = take_f64s(&mut t, niv, "eigen inverse vectors")?;
+                    let ev = take_f64s(&mut t, nev, "eigen values")?;
+                    j.eigens.insert(i, (v, iv, ev));
+                }
+                "matrix" => {
+                    let i: usize = parse(t.next(), "matrix index")?;
+                    let n: usize = parse(t.next(), "matrix length")?;
+                    j.matrices.insert(i, take_f64s(&mut t, n, "matrix")?);
+                }
+                "matrix_update" => {
+                    let m: usize = parse(t.next(), "matrix index")?;
+                    let eigen: usize = parse(t.next(), "eigen index")?;
+                    let bits = t
+                        .next()
+                        .ok_or("journal line truncated at branch length")?;
+                    let t_val = u64::from_str_radix(bits, 16)
+                        .map(f64::from_bits)
+                        .map_err(|_| "bad branch-length bit pattern".to_string())?;
+                    j.matrix_updates.insert(m, (eigen, t_val));
+                }
+                "op" => {
+                    let destination: usize = parse(t.next(), "op destination")?;
+                    let scale_tok = t.next().ok_or("journal line truncated at op scale")?;
+                    let dest_scale_write = if scale_tok == "-" {
+                        None
+                    } else {
+                        Some(scale_tok.parse().map_err(|_| "bad op scale field")?)
+                    };
+                    let child1: usize = parse(t.next(), "op child1")?;
+                    let child1_matrix: usize = parse(t.next(), "op child1 matrix")?;
+                    let child2: usize = parse(t.next(), "op child2")?;
+                    let child2_matrix: usize = parse(t.next(), "op child2 matrix")?;
+                    j.ops.push(Operation {
+                        destination,
+                        dest_scale_write,
+                        child1,
+                        child1_matrix,
+                        child2,
+                        child2_matrix,
+                    });
+                }
+                "scale_acc" => {
+                    let cumulative: usize = parse(t.next(), "cumulative scale buffer")?;
+                    let n: usize = parse(t.next(), "scale_acc length")?;
+                    let indices: Vec<usize> = (0..n)
+                        .map(|_| parse(t.next(), "scale index"))
+                        .collect::<std::result::Result<_, _>>()?;
+                    j.scale_accumulations.insert(cumulative, indices);
+                }
+                other => return Err(format!("unknown journal record \"{other}\"")),
+            }
+            if t.next().is_some() {
+                return Err(format!("trailing data on journal record \"{tag}\""));
+            }
+        }
+        Ok(j)
+    }
+
     /// Replay the journal into `target`, restricted to the pattern range
     /// `[p0, p1)` of the original instance whose full configuration was
     /// `full`. Pattern-indexed data (tips, weights, direct partials) is
@@ -260,6 +473,46 @@ mod tests {
         j.record_matrix_updates(0, &[3], &[0.2]);
         assert!(j.matrices.is_empty());
         assert_eq!(j.matrix_updates[&3], (0, 0.2));
+    }
+
+    #[test]
+    fn encode_decode_round_trips_bit_exactly() {
+        let mut j = StateJournal::new();
+        j.record_tip_states(0, &[0, 3, u32::MAX]);
+        j.record_tip_partials(1, &[0.25, 1e-300, -0.0]);
+        j.record_partials(4, &[std::f64::consts::PI, 2.0_f64.sqrt()]);
+        j.record_pattern_weights(&[1.0, 2.0, 3.0]);
+        j.record_frequencies(0, &[0.1, 0.2, 0.3, 0.4]);
+        j.record_category_rates(&[0.5, 1.5]);
+        j.record_category_weights(0, &[0.5, 0.5]);
+        j.record_eigen(0, &[1.0; 4], &[2.0; 4], &[-0.5, 0.5]);
+        j.record_matrix(3, &[0.25; 4]);
+        j.record_matrix_updates(0, &[5], &[0.123456789]);
+        j.record_operations(&[op(6, 0, 1), op(7, 6, 2).with_scaling(7)]);
+        j.record_scale_accumulation(&[6, 7], 9);
+
+        let mut text = String::new();
+        j.encode_into(&mut text);
+        let lines: Vec<&str> = text.lines().collect();
+        let back = StateJournal::decode_lines(&lines).unwrap();
+
+        let mut text2 = String::new();
+        back.encode_into(&mut text2);
+        assert_eq!(text, text2, "round trip must be bit-exact");
+        assert_eq!(back.operations(), j.operations());
+        assert_eq!(back.tip_partials[&1], j.tip_partials[&1]);
+    }
+
+    #[test]
+    fn decode_rejects_malformed_lines() {
+        assert!(StateJournal::decode_lines(&["bogus 1 2"]).is_err());
+        assert!(StateJournal::decode_lines(&["tip_states 0 3 1 2"]).is_err());
+        assert!(StateJournal::decode_lines(&["pattern_weights 1 zz"]).is_err());
+        assert!(
+            StateJournal::decode_lines(&["tip_states 0 1 7 extra"]).is_err(),
+            "trailing tokens are corruption, not noise"
+        );
+        assert!(StateJournal::decode_lines(&[]).unwrap().operations().is_empty());
     }
 
     #[test]

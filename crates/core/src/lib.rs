@@ -29,8 +29,11 @@
 
 pub mod api;
 pub mod buffers;
+pub mod checkpoint;
+pub mod deadline;
 pub mod error;
 pub mod flags;
+pub mod health;
 pub mod journal;
 pub mod manager;
 pub mod multi;
@@ -43,11 +46,14 @@ pub mod resource;
 pub mod spec;
 
 pub use api::{BeagleInstance, BufferId, InstanceConfig, InstanceDetails, ScalingMode};
+pub use checkpoint::{Checkpoint, CheckpointedInstance};
+pub use deadline::Deadline;
 pub use error::{BeagleError, DeviceErrorKind, Result};
+pub use health::{BreakerConfig, BreakerState, HealthRegistry, Outcome, ResourceId};
 pub use journal::StateJournal;
 pub use flags::Flags;
 pub use manager::{ImplementationFactory, ImplementationManager, ResourceBenchmark};
-pub use multi::PartitionedInstance;
+pub use multi::{PartitionedInstance, RetryPolicy};
 pub use obs::{Event, EventKind, InstanceStats, KernelClass, KernelCounter, Recorder};
 pub use ops::Operation;
 pub use queue::{EigenCache, QueueStats, QueuedInstance};

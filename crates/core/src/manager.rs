@@ -9,14 +9,28 @@
 //! *preference* flags they satisfy (ties broken by registration priority,
 //! mirroring BEAGLE's resource ordering).
 
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use crate::api::{BeagleInstance, BufferId, InstanceConfig, ScalingMode};
+use crate::checkpoint::{CheckpointedInstance, Provenance};
 use crate::error::{BeagleError, Result};
 use crate::flags::Flags;
+use crate::health::{BreakerConfig, HealthRegistry, Outcome};
 use crate::ops::Operation;
 use crate::resource::ResourceDescription;
 use crate::spec::InstanceSpec;
+
+/// How a failure feeds the health registry: watchdog timeouts and permanent
+/// faults trip a resource's breaker immediately, transient faults only
+/// accumulate toward its threshold.
+fn outcome_of(e: &BeagleError) -> Outcome {
+    match e {
+        BeagleError::Timeout { .. } => Outcome::Timeout,
+        e if e.is_retryable() => Outcome::Transient,
+        _ => Outcome::Permanent,
+    }
+}
 
 /// A plugin that can construct instances on one resource.
 pub trait ImplementationFactory: Send + Sync {
@@ -54,6 +68,11 @@ pub trait ImplementationFactory: Send + Sync {
 #[derive(Default)]
 pub struct ImplementationManager {
     factories: Vec<Box<dyn ImplementationFactory>>,
+    /// Per-resource health scores and circuit breakers, fed by creation
+    /// outcomes here and by runtime outcomes from
+    /// [`crate::multi::PartitionedInstance`]. Behind an `Arc` so failover
+    /// wrappers holding the manager share one registry.
+    health: Arc<HealthRegistry>,
 }
 
 impl ImplementationManager {
@@ -61,6 +80,19 @@ impl ImplementationManager {
     /// [`Self::register`].
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// The per-resource health registry (see [`crate::health`]). Ranked
+    /// creation skips implementations whose breaker is open, and
+    /// [`Self::benchmark_resources`] doubles as the half-open re-probe.
+    pub fn health(&self) -> &HealthRegistry {
+        &self.health
+    }
+
+    /// Replace the breaker tuning (threshold, window, cooldown) for every
+    /// resource tracked by this manager.
+    pub fn set_breaker_config(&self, config: BreakerConfig) {
+        self.health.set_config(config);
     }
 
     /// Register a factory (a "plugin" in BEAGLE's terms).
@@ -162,15 +194,29 @@ impl ImplementationManager {
                 eligible.sort_by(|(fa, sa), (fb, sb)| {
                     (sb, fb.priority()).cmp(&(sa, fa.priority()))
                 });
+                // Circuit breakers: skip quarantined implementations — but
+                // fail open. If every eligible factory is quarantined,
+                // health is ignored entirely; a degraded instance beats no
+                // instance.
+                let any_healthy = eligible
+                    .iter()
+                    .any(|(f, _)| self.health.available(f.name()));
                 let mut created = None;
                 let mut last_err = BeagleError::NoImplementationFound;
                 for (factory, _) in eligible {
+                    if any_healthy && !self.health.available(factory.name()) {
+                        continue;
+                    }
                     match factory.create(&spec.config, factory_prefs, requirement_flags) {
                         Ok(inst) => {
+                            self.health.record(factory.name(), Outcome::Success);
                             created = Some(inst);
                             break;
                         }
-                        Err(e) => last_err = e,
+                        Err(e) => {
+                            self.health.record(factory.name(), outcome_of(&e));
+                            last_err = e;
+                        }
                     }
                 }
                 match created {
@@ -185,11 +231,28 @@ impl ImplementationManager {
         } else {
             raw
         };
-        Ok(if spec.rescue {
+        let inst: Box<dyn BeagleInstance> = if spec.rescue {
             Box::new(crate::rescue::RescueInstance::new(inst))
         } else {
             inst
-        })
+        };
+        // The checkpoint layer is outermost so its journal sees exactly the
+        // calls the client made (queued work flushes on snapshot).
+        let mut inst: Box<dyn BeagleInstance> = if spec.checkpoint {
+            let provenance = Provenance {
+                preferences: spec.preferences,
+                requirements: spec.requirements,
+                rescue: spec.rescue,
+                implementation: spec.implementation.clone(),
+            };
+            Box::new(CheckpointedInstance::new(inst, spec.config, provenance))
+        } else {
+            inst
+        };
+        if spec.deadline.is_some() {
+            inst.set_deadline(spec.deadline);
+        }
+        Ok(inst)
     }
 
     /// Find the best implementation for `config` given requirements and
@@ -275,10 +338,20 @@ impl ImplementationManager {
                     entry.error = Some("does not support this configuration".to_string());
                     return entry;
                 }
+                // Quarantined resources are not measured. Once the breaker's
+                // cooldown expires (half-open), `available` readmits the
+                // factory here and the workload below *is* the re-probe:
+                // its outcome closes or re-opens the breaker.
+                if !self.health.available(factory.name()) {
+                    entry.error =
+                        Some("quarantined by circuit breaker (cooldown pending)".to_string());
+                    return entry;
+                }
                 match factory.create(&bench_config, Flags::NONE, requirement_flags) {
                     Ok(mut inst) => {
                         match run_benchmark_workload(inst.as_mut(), &bench_config) {
                             Ok((wall, modeled, flops)) => {
+                                self.health.record(factory.name(), Outcome::Success);
                                 entry.wall = wall;
                                 entry.modeled = modeled;
                                 let secs = modeled.unwrap_or(wall).as_secs_f64();
@@ -286,10 +359,16 @@ impl ImplementationManager {
                                     entry.throughput_gflops = flops / secs / 1e9;
                                 }
                             }
-                            Err(e) => entry.error = Some(e.to_string()),
+                            Err(e) => {
+                                self.health.record(factory.name(), outcome_of(&e));
+                                entry.error = Some(e.to_string());
+                            }
                         }
                     }
-                    Err(e) => entry.error = Some(e.to_string()),
+                    Err(e) => {
+                        self.health.record(factory.name(), outcome_of(&e));
+                        entry.error = Some(e.to_string());
+                    }
                 }
                 entry
             })

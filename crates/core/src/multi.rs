@@ -40,26 +40,51 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use crate::api::{BeagleInstance, BufferId, InstanceConfig, InstanceDetails, ScalingMode};
+use crate::checkpoint::{Checkpoint, Provenance};
+use crate::deadline::Deadline;
 use crate::error::{BeagleError, Result};
 use crate::flags::Flags;
+use crate::health::{BreakerState, Outcome};
 use crate::journal::StateJournal;
 use crate::manager::ImplementationManager;
 use crate::obs::{self, EventKind, Recorder};
 use crate::ops::Operation;
+use crate::spec::InstanceSpec;
 
 /// How transient child failures are retried before escalating to eviction.
 #[derive(Clone, Copy, Debug)]
 pub struct RetryPolicy {
     /// Maximum in-place retries per call and child.
     pub max_retries: u32,
-    /// Backoff before the first retry; doubles on each subsequent one.
+    /// Backoff ceiling before the first retry; doubles on each subsequent
+    /// one.
     pub base_delay: Duration,
+    /// Draw each actual backoff uniformly from `[0, ceiling]` ("full
+    /// jitter") instead of sleeping the ceiling exactly. Decorrelates
+    /// retries when several children hit the same transient fault, so they
+    /// do not re-converge on the struggling device in lockstep.
+    pub jitter: bool,
 }
 
 impl Default for RetryPolicy {
     fn default() -> Self {
-        Self { max_retries: 3, base_delay: Duration::from_micros(200) }
+        Self {
+            max_retries: 3,
+            base_delay: Duration::from_micros(200),
+            jitter: true,
+        }
     }
+}
+
+/// splitmix64 step — the jitter source. Hand-rolled (the offline build has
+/// no rand crate) and seeded with a fixed constant per instance, so retry
+/// *timing* varies within a run but test runs stay reproducible.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
 }
 
 /// What eviction-and-rebuild needs: the registry that can re-create
@@ -92,8 +117,16 @@ pub struct PartitionedInstance {
     retry_counts: Vec<u64>,
     /// Children permanently evicted since creation.
     evictions: u64,
+    /// Per-launch watchdog budget, re-applied to children rebuilt after an
+    /// eviction.
+    deadline: Option<Deadline>,
+    /// splitmix64 state for retry-backoff jitter.
+    rng: u64,
     /// Failover-event journal; enabled when any child records statistics.
     recorder: Recorder,
+    /// Events drained from evicted children so their last words (the fault
+    /// narration) survive the eviction.
+    salvaged: Vec<obs::Event>,
 }
 
 /// Split `patterns` into contiguous ranges proportional to `weights`
@@ -140,7 +173,9 @@ pub fn weighted_ranges(patterns: usize, weights: &[f64]) -> Result<Vec<(usize, u
 fn is_evictable(e: &BeagleError) -> bool {
     matches!(
         e,
-        BeagleError::Device { .. } | BeagleError::ResourceExhausted { .. }
+        BeagleError::Device { .. }
+            | BeagleError::ResourceExhausted { .. }
+            | BeagleError::Timeout { .. }
     )
 }
 
@@ -183,6 +218,28 @@ impl PartitionedInstance {
             selections: devices.to_vec(),
             weights: weights.to_vec(),
         });
+        Ok(inst)
+    }
+
+    /// Like [`PartitionedInstance::create`], but applying the robustness
+    /// knobs of an [`InstanceSpec`]: its retry policy and its per-launch
+    /// watchdog deadline (forwarded to every child, and re-applied to
+    /// children rebuilt after an eviction). The spec's sizing
+    /// (`spec.config`) is used; its implementation/preference fields are
+    /// ignored in favour of the per-device `devices` flags.
+    pub fn create_with_spec(
+        manager: &Arc<ImplementationManager>,
+        spec: &InstanceSpec,
+        devices: &[(Flags, Flags)],
+        weights: &[f64],
+    ) -> Result<Self> {
+        let mut inst = Self::create(manager, &spec.config, devices, weights)?;
+        if let Some(retry) = spec.retry {
+            inst.set_retry_policy(retry);
+        }
+        if spec.deadline.is_some() {
+            inst.set_deadline(spec.deadline);
+        }
         Ok(inst)
     }
 
@@ -234,6 +291,9 @@ impl PartitionedInstance {
             retry: RetryPolicy::default(),
             retry_counts,
             evictions: 0,
+            deadline: None,
+            rng: 0x5eed_0fbe_a91e,
+            salvaged: Vec::new(),
             recorder,
         })
     }
@@ -297,25 +357,49 @@ impl PartitionedInstance {
     }
 
     /// Run `call` on child `i`, retrying transient failures with bounded
-    /// exponential backoff.
+    /// exponential backoff (full-jittered when the policy asks for it).
     fn call_with_retry(
         retry: RetryPolicy,
+        rng: &mut u64,
         retry_count: &mut u64,
         part: &mut dyn BeagleInstance,
         mut call: impl FnMut(&mut dyn BeagleInstance) -> Result<()>,
     ) -> Result<()> {
-        let mut delay = retry.base_delay;
+        let mut ceiling = retry.base_delay;
         for _ in 0..retry.max_retries {
             match call(part) {
                 Err(e) if e.is_retryable() => {
                     *retry_count += 1;
+                    let delay = if retry.jitter {
+                        ceiling.mul_f64(splitmix64(rng) as f64 / u64::MAX as f64)
+                    } else {
+                        ceiling
+                    };
                     std::thread::sleep(delay);
-                    delay *= 2;
+                    ceiling *= 2;
                 }
                 other => return other,
             }
         }
         call(part)
+    }
+
+    /// Report a child outcome to the manager's health registry (no-op for
+    /// instances without failover state — they have no manager) and surface
+    /// any breaker transition in the event journal.
+    fn note_health(&mut self, resource: &str, outcome: Outcome) {
+        let Some(failover) = &self.failover else {
+            return;
+        };
+        if let Some((_, to)) = failover.manager.health().record(resource, outcome) {
+            let kind = match to {
+                BreakerState::Open => EventKind::BreakerOpen,
+                BreakerState::HalfOpen => EventKind::BreakerHalfOpen,
+                BreakerState::Closed => EventKind::BreakerClosed,
+            };
+            self.recorder
+                .event(kind, || format!("resource={resource} after={outcome:?}"));
+        }
     }
 
     /// Evict child `dead` (its failure `cause` already survived retries),
@@ -324,6 +408,13 @@ impl PartitionedInstance {
     /// fails are evicted too; the cause surfaces once no child remains or
     /// this instance has no failover state.
     fn evict_and_rebuild(&mut self, dead: usize, cause: BeagleError) -> Result<()> {
+        let dead_resource = self.parts[dead].details().implementation_name.clone();
+        let outcome = if matches!(cause, BeagleError::Timeout { .. }) {
+            Outcome::Timeout
+        } else {
+            Outcome::Permanent
+        };
+        self.note_health(&dead_resource, outcome);
         let Some(failover) = &mut self.failover else {
             return Err(cause);
         };
@@ -331,7 +422,12 @@ impl PartitionedInstance {
         self.recorder.event(EventKind::FailoverEviction, || {
             format!("child={dead} cause={cause} survivors={}", self.parts.len() - 1)
         });
-        self.parts.remove(dead);
+        // Salvage the dying child's event journal before dropping it: it
+        // recorded the fault's own narration (e.g. the watchdog
+        // cancellation that caused this eviction).
+        let mut dying = self.parts.remove(dead);
+        self.salvaged = obs::merge_journals(std::mem::take(&mut self.salvaged), dying.take_journal());
+        drop(dying);
         failover.selections.remove(dead);
         failover.weights.remove(dead);
         self.retry_counts.remove(dead);
@@ -352,6 +448,9 @@ impl PartitionedInstance {
                     .manager
                     .create_instance(&sub, prefs, reqs)
                     .and_then(|mut inst| {
+                        // Restore the watchdog budget before replay: a
+                        // replacement device can stall during replay too.
+                        inst.set_deadline(self.deadline);
                         self.journal
                             .replay_slice(inst.as_mut(), &self.config, p0, p1)
                             .map(|()| inst)
@@ -399,6 +498,7 @@ impl PartitionedInstance {
             let before = self.retry_counts[i];
             let r = Self::call_with_retry(
                 retry,
+                &mut self.rng,
                 &mut self.retry_counts[i],
                 self.parts[i].as_mut(),
                 |p| call(i, range, p),
@@ -408,6 +508,10 @@ impl PartitionedInstance {
                 self.recorder.event(EventKind::FailoverRetry, || {
                     format!("child={i} retries={retries} ok={}", r.is_ok())
                 });
+                let resource = self.parts[i].details().implementation_name.clone();
+                for _ in 0..retries {
+                    self.note_health(&resource, Outcome::Transient);
+                }
             }
             if let Err(e) = r {
                 failure = Some((i, e));
@@ -586,6 +690,7 @@ impl BeagleInstance for PartitionedInstance {
                 let before = self.retry_counts[i];
                 let r = Self::call_with_retry(
                     retry,
+                    &mut self.rng,
                     &mut self.retry_counts[i],
                     self.parts[i].as_mut(),
                     |p| p.update_partials(operations),
@@ -594,6 +699,10 @@ impl BeagleInstance for PartitionedInstance {
                 self.recorder.event(EventKind::FailoverRetry, || {
                     format!("child={i} retries={retries} ok={}", r.is_ok())
                 });
+                let resource = self.parts[i].details().implementation_name.clone();
+                for _ in 0..retries {
+                    self.note_health(&resource, Outcome::Transient);
+                }
                 r
             } else {
                 Err(e)
@@ -649,6 +758,7 @@ impl BeagleInstance for PartitionedInstance {
                 let before = self.retry_counts[i];
                 let r = Self::call_with_retry(
                     retry,
+                    &mut self.rng,
                     &mut self.retry_counts[i],
                     self.parts[i].as_mut(),
                     |p| {
@@ -669,6 +779,8 @@ impl BeagleInstance for PartitionedInstance {
                     self.evict_and_rebuild(i, e)?;
                     continue 'round;
                 }
+                let resource = self.parts[i].details().implementation_name.clone();
+                self.note_health(&resource, Outcome::Success);
                 total += value;
                 let (p0, p1) = self.ranges[i];
                 self.site_lnl[p0..p1].copy_from_slice(&self.parts[i].get_site_log_likelihoods()?);
@@ -695,6 +807,7 @@ impl BeagleInstance for PartitionedInstance {
                 let before = self.retry_counts[i];
                 let r = Self::call_with_retry(
                     retry,
+                    &mut self.rng,
                     &mut self.retry_counts[i],
                     self.parts[i].as_mut(),
                     |p| {
@@ -722,6 +835,8 @@ impl BeagleInstance for PartitionedInstance {
                     self.evict_and_rebuild(i, e)?;
                     continue 'round;
                 }
+                let resource = self.parts[i].details().implementation_name.clone();
+                self.note_health(&resource, Outcome::Success);
                 total += value;
                 let (p0, p1) = self.ranges[i];
                 self.site_lnl[p0..p1].copy_from_slice(&self.parts[i].get_site_log_likelihoods()?);
@@ -764,11 +879,42 @@ impl BeagleInstance for PartitionedInstance {
     }
 
     fn take_journal(&mut self) -> Vec<obs::Event> {
-        let mut merged = self.recorder.take_journal();
+        let mut merged =
+            obs::merge_journals(std::mem::take(&mut self.salvaged), self.recorder.take_journal());
         for p in &mut self.parts {
             merged = obs::merge_journals(merged, p.take_journal());
         }
         merged
+    }
+
+    fn set_deadline(&mut self, deadline: Option<Deadline>) {
+        self.deadline = deadline;
+        for p in &mut self.parts {
+            p.set_deadline(deadline);
+        }
+    }
+
+    fn checkpoint(&mut self) -> Option<Checkpoint> {
+        // The failover journal holds the full-problem state (children only
+        // see pattern slices), so it is exactly what a snapshot needs.
+        // Provenance is generic (no flags): a restore ranks implementations
+        // afresh, which is right — the original device layout may not exist
+        // in the restoring process.
+        let ckpt = Checkpoint {
+            config: self.config,
+            provenance: Provenance::default(),
+            journal: self.journal.clone(),
+        };
+        self.recorder.event(EventKind::CheckpointSaved, || {
+            format!(
+                "config={}x{} ops={} children={}",
+                self.config.tip_count,
+                self.config.pattern_count,
+                self.journal.operations().len(),
+                self.parts.len()
+            )
+        });
+        Some(ckpt)
     }
 }
 

@@ -225,6 +225,18 @@ pub enum EventKind {
     QueueFlush,
     /// An instance resolved its kernel dispatch path at creation.
     DispatchSelected,
+    /// A launch stalled past its watchdog budget and was cancelled.
+    WatchdogTimeout,
+    /// A resource's circuit breaker tripped open (quarantined).
+    BreakerOpen,
+    /// A quarantined resource's cooldown expired; probing allowed.
+    BreakerHalfOpen,
+    /// A half-open resource passed its probe and was readmitted.
+    BreakerClosed,
+    /// A durable checkpoint snapshot was taken.
+    CheckpointSaved,
+    /// An instance was reconstructed from a checkpoint snapshot.
+    CheckpointRestored,
 }
 
 impl EventKind {
@@ -241,6 +253,12 @@ impl EventKind {
             EventKind::LevelBatch => "level_batch",
             EventKind::QueueFlush => "queue_flush",
             EventKind::DispatchSelected => "dispatch_selected",
+            EventKind::WatchdogTimeout => "watchdog_timeout",
+            EventKind::BreakerOpen => "breaker_open",
+            EventKind::BreakerHalfOpen => "breaker_half_open",
+            EventKind::BreakerClosed => "breaker_closed",
+            EventKind::CheckpointSaved => "checkpoint_saved",
+            EventKind::CheckpointRestored => "checkpoint_restored",
         }
     }
 }

@@ -660,6 +660,18 @@ impl BeagleInstance for QueuedInstance {
         let st = self.state.get_mut();
         obs::merge_journals(st.inner.take_journal(), st.recorder.take_journal())
     }
+
+    fn set_deadline(&mut self, deadline: Option<crate::deadline::Deadline>) {
+        self.state.get_mut().inner.set_deadline(deadline);
+    }
+
+    fn checkpoint(&mut self) -> Option<crate::checkpoint::Checkpoint> {
+        // Pending work must reach the journaling layer below before the
+        // snapshot, or queued-but-unflushed operations would be lost.
+        let st = self.state.get_mut();
+        st.flush().ok()?;
+        st.inner.checkpoint()
+    }
 }
 
 #[cfg(test)]

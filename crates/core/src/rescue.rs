@@ -341,4 +341,12 @@ impl BeagleInstance for RescueInstance {
     fn take_journal(&mut self) -> Vec<obs::Event> {
         obs::merge_journals(self.inner.take_journal(), self.recorder.take_journal())
     }
+
+    fn set_deadline(&mut self, deadline: Option<crate::deadline::Deadline>) {
+        self.inner.set_deadline(deadline);
+    }
+
+    fn checkpoint(&mut self) -> Option<crate::checkpoint::Checkpoint> {
+        self.inner.checkpoint()
+    }
 }

@@ -20,9 +20,11 @@
 //! points survive as thin wrappers over the same path.
 
 use crate::api::{BeagleInstance, InstanceConfig};
+use crate::deadline::Deadline;
 use crate::error::Result;
 use crate::flags::Flags;
 use crate::manager::ImplementationManager;
+use crate::multi::RetryPolicy;
 
 /// A declarative description of the instance a client wants: problem
 /// sizing, capability preferences/requirements, optionally a specific
@@ -40,6 +42,16 @@ pub struct InstanceSpec {
     /// Wrap the instance in the automatic numerical-rescue layer
     /// (default: true).
     pub rescue: bool,
+    /// Per-launch watchdog budget; `None` leaves back-ends on the driver
+    /// default ([`Deadline::DRIVER_DEFAULT`]).
+    pub deadline: Option<Deadline>,
+    /// Transient-fault retry policy for failover layers created from this
+    /// spec; `None` uses [`RetryPolicy::default`].
+    pub retry: Option<RetryPolicy>,
+    /// Wrap the instance in a journaling checkpoint layer
+    /// ([`crate::checkpoint::CheckpointedInstance`]) so
+    /// [`BeagleInstance::checkpoint`] can snapshot it (default: false).
+    pub checkpoint: bool,
 }
 
 impl InstanceSpec {
@@ -51,6 +63,9 @@ impl InstanceSpec {
             requirements: Flags::NONE,
             implementation: None,
             rescue: true,
+            deadline: None,
+            retry: None,
+            checkpoint: false,
         }
     }
 
@@ -98,6 +113,28 @@ impl InstanceSpec {
         self
     }
 
+    /// Give every launch this watchdog budget: a launch that stalls past it
+    /// is cancelled and reported as [`crate::BeagleError::Timeout`].
+    pub fn with_deadline(mut self, budget: std::time::Duration) -> Self {
+        self.deadline = Some(Deadline::new(budget));
+        self
+    }
+
+    /// Use this transient-fault retry policy (max retries, initial backoff,
+    /// jitter) in failover layers created from the spec, instead of
+    /// [`RetryPolicy::default`].
+    pub fn with_retry_policy(mut self, retry: RetryPolicy) -> Self {
+        self.retry = Some(retry);
+        self
+    }
+
+    /// Wrap the instance in a journaling checkpoint layer so
+    /// [`BeagleInstance::checkpoint`] returns durable snapshots.
+    pub fn checkpointed(mut self) -> Self {
+        self.checkpoint = true;
+        self
+    }
+
     /// Create the instance on `manager` (see
     /// [`ImplementationManager::create_from_spec`]).
     pub fn instantiate(&self, manager: &ImplementationManager) -> Result<Box<dyn BeagleInstance>> {
@@ -132,5 +169,24 @@ mod tests {
             .without_rescue();
         assert_eq!(spec.implementation.as_deref(), Some("CPU-serial"));
         assert!(!spec.rescue);
+    }
+
+    #[test]
+    fn robustness_knobs() {
+        use std::time::Duration;
+        let spec = InstanceSpec::for_tree(4, 100, 4, 1)
+            .with_deadline(Duration::from_millis(50))
+            .with_retry_policy(RetryPolicy {
+                max_retries: 5,
+                base_delay: Duration::from_micros(100),
+                jitter: false,
+            })
+            .checkpointed();
+        assert_eq!(spec.deadline.unwrap().budget(), Duration::from_millis(50));
+        assert_eq!(spec.retry.unwrap().max_retries, 5);
+        assert!(spec.checkpoint);
+
+        let plain = InstanceSpec::for_tree(4, 100, 4, 1);
+        assert!(plain.deadline.is_none() && plain.retry.is_none() && !plain.checkpoint);
     }
 }

@@ -1,0 +1,15 @@
+#!/usr/bin/env bash
+# Time-bounded robustness soak (see examples/soak.rs): seeded hang, stall,
+# device-loss, and transient-launch plans against a watchdog-guarded
+# partitioned instance, with periodic durable-checkpoint round-trips.
+# Every iteration must match the oracle — the soak exits non-zero on any
+# lost operation or divergent restore.
+#
+# Usage: scripts/soak.sh [seconds] [base-seed]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+SOAK_SECONDS="${1:-20}"
+SOAK_SEED="${2:-45223}"
+
+cargo run -q --release --example soak -- --seconds "$SOAK_SECONDS" --seed "$SOAK_SEED"

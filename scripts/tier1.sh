@@ -17,6 +17,14 @@
 #   tests/obs* .............. observability: stats coverage, journal ordering
 #                             across a queued failover run, instrumentation
 #                             overhead guard, benchmark_resources determinism
+#   tests/robustness ........ deadline watchdog cancelling hangs/stalls
+#                             (bit-exact failover vs a fault-free survivor
+#                             run), circuit breakers steering creation and
+#                             benchmarking, durable checkpoint save/load/
+#                             restore with corruption detection
+# Plus a short seeded soak (scripts/soak.sh): randomized hang/stall/loss
+# plans under a watchdog, periodic checkpoint round-trips, zero lost
+# operations required.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -27,6 +35,7 @@ cargo test -q --workspace
 # regression in any is attributable at a glance.
 cargo test -q --test differential
 cargo test -q --test failover
+cargo test -q --test robustness
 cargo test -q -p beagle-cpu --test simd_parity
 cargo test -q --test obs
 cargo test -q --test obs_overhead
@@ -36,3 +45,5 @@ cargo clippy --workspace -- -D warnings
 # test suite, whose assertions gate on the runtime probe) must also build
 # with the recorder compiled out.
 cargo build -q --release --no-default-features --features obs-disabled
+# Short robustness soak: seeded fault storm, zero lost operations.
+bash scripts/soak.sh "${TIER1_SOAK_SECONDS:-10}"

@@ -258,3 +258,56 @@ fn site_log_likelihoods_identical_between_modes() {
         }
     }
 }
+
+/// Timeout-driven eviction must also be invisible to the queue layer: a
+/// hung CUDA child is watchdog-cancelled and evicted *inside* a flush, the
+/// replicated journal rebuilds the survivors, and the queued result matches
+/// the eager result and the oracle in both modes.
+#[test]
+fn timeout_eviction_agrees_in_both_queue_modes() {
+    let p = Problem::generate(&Scenario {
+        model: ModelKind::Nucleotide,
+        taxa: 8,
+        patterns: 900,
+        categories: 4,
+        seed: 77,
+    });
+    let oracle = p.oracle();
+    let devices = [
+        (Flags::NONE, Flags::FRAMEWORK_CUDA),
+        (Flags::NONE, Flags::FRAMEWORK_OPENCL | Flags::PROCESSOR_CPU),
+        (Flags::NONE, Flags::PROCESSOR_CPU),
+    ];
+    let mut results = Vec::new();
+    for asynch in [false, true] {
+        let faults = FaultDirectory::new().with_plan(
+            catalog::quadro_p5000().name,
+            FaultPlan::new(7).with_fault(FaultKind::Hang, false, Schedule::AtCall(18)),
+        );
+        let manager = full_manager_with_faults(&faults);
+        let multi =
+            PartitionedInstance::create(&manager, &p.config(), &devices, &[1.0, 1.0, 1.0])
+                .unwrap();
+        if asynch {
+            let mut q = QueuedInstance::new(Box::new(multi));
+            p.load(&mut q);
+            let lnl = p.evaluate(&mut q, false);
+            let stats = q.stats();
+            assert!(stats.flushes > 0 && stats.ops_submitted > 0);
+            results.push(lnl);
+        } else {
+            let mut multi = multi;
+            p.load(&mut multi);
+            let lnl = p.evaluate(&mut multi, false);
+            assert_eq!(multi.eviction_count(), 1, "the hung child must be evicted");
+            assert_eq!(multi.device_count(), 2);
+            results.push(lnl);
+        }
+    }
+    for (i, lnl) in results.iter().enumerate() {
+        assert!(
+            (lnl - oracle).abs() < 1e-6,
+            "mode {i}: timeout-eviction result {lnl} vs oracle {oracle}"
+        );
+    }
+}

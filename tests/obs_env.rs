@@ -42,7 +42,7 @@ fn benchmark_resources_is_deterministic_where_it_promises_to_be() {
         "OpenCL-x86",
     ] {
         assert!(
-            names_a.iter().any(|n| *n == expected),
+            names_a.contains(&expected),
             "ranking is missing {expected}: {names_a:?}"
         );
     }
