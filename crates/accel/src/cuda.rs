@@ -39,7 +39,11 @@ impl CudaDriver {
         if devices.is_empty() {
             None
         } else {
-            Some(Self { version: "8.0 (simulated)", devices, faults })
+            Some(Self {
+                version: "8.0 (simulated)",
+                devices,
+                faults,
+            })
         }
     }
 

@@ -249,7 +249,11 @@ impl<T: Copy + Default> DeviceMemory<T> {
 
     /// Borrow two distinct buffers, one mutably — the shape every kernel
     /// launch needs (destination + sources).
-    pub fn get_mut_and<'a>(&'a mut self, dst: BufferId, srcs: &[BufferId]) -> (&'a mut [T], Vec<&'a [T]>) {
+    pub fn get_mut_and<'a>(
+        &'a mut self,
+        dst: BufferId,
+        srcs: &[BufferId],
+    ) -> (&'a mut [T], Vec<&'a [T]>) {
         assert!(!srcs.contains(&dst), "kernel destination aliases a source");
         // SAFETY: dst is disjoint from every src (asserted above), and all
         // ids index distinct Vec allocations, so the mutable and shared
@@ -274,15 +278,33 @@ fn transfer_time(bytes: usize) -> Duration {
 }
 
 /// Simulated device clock: accumulates modeled kernel and transfer time.
-#[derive(Default, Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy)]
 pub struct SimClock {
     elapsed: Duration,
+    /// Multiplier applied to every advance — a throughput-skew fault
+    /// (thermal throttling, queue congestion) sets this above 1 so the
+    /// modeled device delivers proportionally less work per unit time.
+    scale: f64,
+}
+
+impl Default for SimClock {
+    fn default() -> Self {
+        Self {
+            elapsed: Duration::ZERO,
+            scale: 1.0,
+        }
+    }
 }
 
 impl SimClock {
-    /// Advance the clock.
+    /// Advance the clock by `d` modeled time, stretched by the current
+    /// slowdown scale.
     pub fn advance(&mut self, d: Duration) {
-        self.elapsed += d;
+        self.elapsed += if self.scale == 1.0 {
+            d
+        } else {
+            d.mul_f64(self.scale)
+        };
     }
 
     /// Total simulated time.
@@ -290,7 +312,21 @@ impl SimClock {
         self.elapsed
     }
 
+    /// Set the slowdown multiplier (ignores non-finite or non-positive
+    /// values — a fault must never panic the clock).
+    pub fn set_scale(&mut self, scale: f64) {
+        if scale.is_finite() && scale > 0.0 {
+            self.scale = scale;
+        }
+    }
+
+    /// The current slowdown multiplier.
+    pub fn scale(&self) -> f64 {
+        self.scale
+    }
+
     /// Reset to zero (benchmark harness does this between measurements).
+    /// The slowdown scale persists: a throttled device stays throttled.
     pub fn reset(&mut self) {
         self.elapsed = Duration::ZERO;
     }

@@ -176,6 +176,9 @@ mod tests {
         let mut no_fma = catalog::radeon_r9_nano();
         no_fma.supports_fma = false;
         assert!(!OpenClDialect::fma_enabled(&no_fma));
-        assert!(CudaDialect::fma_enabled(&no_fma), "CUDA contracts regardless");
+        assert!(
+            CudaDialect::fma_enabled(&no_fma),
+            "CUDA contracts regardless"
+        );
     }
 }

@@ -60,7 +60,11 @@ pub struct CudaFactory {
 impl CudaFactory {
     /// Build for one device (must come from a [`CudaDriver`]).
     pub fn new(device: DeviceSpec) -> Self {
-        Self { name: format!("CUDA ({})", device.name), device, fault_plan: None }
+        Self {
+            name: format!("CUDA ({})", device.name),
+            device,
+            fault_plan: None,
+        }
     }
 
     /// Build with a fault plan: every instance created here injects the
@@ -153,7 +157,11 @@ pub struct OpenClGpuFactory {
 impl OpenClGpuFactory {
     /// Build for one GPU device from the ICD registry.
     pub fn new(device: DeviceSpec) -> Self {
-        Self { name: format!("OpenCL-GPU ({})", device.name), device, fault_plan: None }
+        Self {
+            name: format!("OpenCL-GPU ({})", device.name),
+            device,
+            fault_plan: None,
+        }
     }
 
     /// Build with a fault plan attached to the vendor driver.
@@ -313,7 +321,10 @@ impl ImplementationFactory for OpenClX86Factory {
             .lock()
             .get_or_insert_with(|| Arc::new(ThreadPool::new(self.threads)))
             .clone();
-        let mode = ExecMode::RealX86 { pool, work_group_patterns: self.work_group_patterns };
+        let mode = ExecMode::RealX86 {
+            pool,
+            work_group_patterns: self.work_group_patterns,
+        };
         let spec = crate::device::catalog::dual_xeon_e5_2680v4();
         let details = InstanceDetails {
             implementation_name: "OpenCL-x86".into(),
@@ -360,7 +371,8 @@ pub fn register_accel_factories_with_faults(
     manager: &mut ImplementationManager,
     faults: &FaultDirectory,
 ) {
-    if let Some(cuda) = CudaDriver::probe_with_faults(&crate::device::catalog::all(), faults.clone())
+    if let Some(cuda) =
+        CudaDriver::probe_with_faults(&crate::device::catalog::all(), faults.clone())
     {
         for d in cuda.devices() {
             let factory = match cuda.fault_plan(d.name) {

@@ -25,7 +25,7 @@ use std::collections::HashMap;
 use std::time::Duration;
 
 /// Which failure mode to inject.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub enum FaultKind {
     /// A kernel launch fails with an error code.
     KernelLaunch,
@@ -48,6 +48,14 @@ pub enum FaultKind {
     /// every subsequent call on the device hangs too, exactly like a real
     /// wedged context.
     Hang,
+    /// Throughput skew: from the firing launch onward, every modeled
+    /// operation on the device takes `factor`× longer — a thermally
+    /// throttled or bandwidth-starved device that still computes correct
+    /// results, just slowly. Latches for the life of the instance
+    /// (throttled silicon does not recover mid-run); affects the simulated
+    /// device clock, so it is visible to modeled-time measurement (and the
+    /// load balancer) but never corrupts data or fails a call.
+    Slowdown(f64),
 }
 
 /// When a fault fires.
@@ -83,12 +91,19 @@ pub struct FaultPlan {
 impl FaultPlan {
     /// An empty plan drawing probabilistic faults from `seed`.
     pub fn new(seed: u64) -> Self {
-        Self { seed, faults: Vec::new() }
+        Self {
+            seed,
+            faults: Vec::new(),
+        }
     }
 
     /// Add a fault (builder style).
     pub fn with_fault(mut self, kind: FaultKind, transient: bool, schedule: Schedule) -> Self {
-        self.faults.push(FaultSpec { kind, transient, schedule });
+        self.faults.push(FaultSpec {
+            kind,
+            transient,
+            schedule,
+        });
         self
     }
 
@@ -129,6 +144,10 @@ pub enum FaultAction {
     /// budget the call completes late, over budget it is cancelled with
     /// [`BeagleError::Timeout`]. A hang is `Stall(Duration::MAX)`.
     Stall(Duration),
+    /// The call succeeds, but the device is now `factor`× slower: the
+    /// caller scales its simulated clock so all work from here on is
+    /// charged at the throttled rate.
+    Slow(f64),
 }
 
 fn site_matches(kind: FaultKind, site: FaultSite) -> bool {
@@ -141,6 +160,7 @@ fn site_matches(kind: FaultKind, site: FaultSite) -> bool {
         // Slow kernels stall launches; a wedged driver queue hangs any call.
         FaultKind::Stall(_) => site == FaultSite::KernelLaunch,
         FaultKind::Hang => true,
+        FaultKind::Slowdown(_) => site == FaultSite::KernelLaunch,
     }
 }
 
@@ -155,6 +175,7 @@ pub struct FaultInjector {
     lost: bool,
     wedged: bool,
     corrupted: bool,
+    slowdown: Option<f64>,
 }
 
 impl FaultInjector {
@@ -169,11 +190,16 @@ impl FaultInjector {
             lost: false,
             wedged: false,
             corrupted: false,
+            slowdown: None,
         }
     }
 
     fn device_error(&self, kind: DeviceErrorKind, transient: bool) -> BeagleError {
-        BeagleError::Device { kind, transient, device: self.device.clone() }
+        BeagleError::Device {
+            kind,
+            transient,
+            device: self.device.clone(),
+        }
     }
 
     /// Pass one checkpoint. Deterministic: the outcome depends only on the
@@ -222,6 +248,10 @@ impl FaultInjector {
                 FaultAction::Corrupt
             }
             FaultKind::Stall(delay) => FaultAction::Stall(delay),
+            FaultKind::Slowdown(factor) => {
+                self.slowdown = Some(factor);
+                FaultAction::Slow(factor)
+            }
             FaultKind::Hang => {
                 if !spec.transient {
                     self.wedged = true;
@@ -234,7 +264,10 @@ impl FaultInjector {
     /// The error the watchdog reports when it cancels a call at `site`.
     pub fn timeout_error(&self, site: FaultSite, budget: Duration) -> BeagleError {
         BeagleError::Timeout {
-            what: format!("{site:?} on {} exceeded the {budget:?} watchdog budget", self.device),
+            what: format!(
+                "{site:?} on {} exceeded the {budget:?} watchdog budget",
+                self.device
+            ),
         }
     }
 
@@ -250,6 +283,11 @@ impl FaultInjector {
     /// rebuilding the instance (journal replay) can.
     pub fn corruption_error(&self) -> BeagleError {
         self.device_error(DeviceErrorKind::MemoryCorruption, false)
+    }
+
+    /// The latched throughput-skew factor, if a slowdown fault has fired.
+    pub fn slowdown(&self) -> Option<f64> {
+        self.slowdown
     }
 
     /// Checkpoints passed so far (diagnostics).
@@ -313,11 +351,7 @@ mod tests {
 
     #[test]
     fn scheduled_fault_fires_exactly_once() {
-        let plan = FaultPlan::new(1).with_fault(
-            FaultKind::KernelLaunch,
-            true,
-            Schedule::AtCall(3),
-        );
+        let plan = FaultPlan::new(1).with_fault(FaultKind::KernelLaunch, true, Schedule::AtCall(3));
         let mut inj = FaultInjector::new(plan, "gpu");
         let fails = fail_kinds(&mut inj, FaultSite::KernelLaunch, 6);
         assert_eq!(fails, vec![false, false, true, false, false, false]);
@@ -325,8 +359,7 @@ mod tests {
 
     #[test]
     fn every_n_fires_periodically() {
-        let plan =
-            FaultPlan::new(1).with_fault(FaultKind::KernelLaunch, true, Schedule::EveryN(2));
+        let plan = FaultPlan::new(1).with_fault(FaultKind::KernelLaunch, true, Schedule::EveryN(2));
         let mut inj = FaultInjector::new(plan, "gpu");
         let fails = fail_kinds(&mut inj, FaultSite::KernelLaunch, 6);
         assert_eq!(fails, vec![false, true, false, true, false, true]);
@@ -334,8 +367,7 @@ mod tests {
 
     #[test]
     fn permanent_device_loss_latches() {
-        let plan =
-            FaultPlan::new(1).with_fault(FaultKind::DeviceLost, false, Schedule::AtCall(2));
+        let plan = FaultPlan::new(1).with_fault(FaultKind::DeviceLost, false, Schedule::AtCall(2));
         let mut inj = FaultInjector::new(plan, "gpu");
         assert!(matches!(inj.on_call(FaultSite::Copy), FaultAction::Proceed));
         let e = match inj.on_call(FaultSite::Copy) {
@@ -344,31 +376,44 @@ mod tests {
         };
         assert!(!e.is_retryable());
         // Every later call fails too, regardless of site.
-        assert!(matches!(inj.on_call(FaultSite::KernelLaunch), FaultAction::Fail(_)));
-        assert!(matches!(inj.on_call(FaultSite::Allocation), FaultAction::Fail(_)));
+        assert!(matches!(
+            inj.on_call(FaultSite::KernelLaunch),
+            FaultAction::Fail(_)
+        ));
+        assert!(matches!(
+            inj.on_call(FaultSite::Allocation),
+            FaultAction::Fail(_)
+        ));
     }
 
     #[test]
     fn transient_device_loss_does_not_latch() {
-        let plan =
-            FaultPlan::new(1).with_fault(FaultKind::DeviceLost, true, Schedule::AtCall(1));
+        let plan = FaultPlan::new(1).with_fault(FaultKind::DeviceLost, true, Schedule::AtCall(1));
         let mut inj = FaultInjector::new(plan, "gpu");
         let e = match inj.on_call(FaultSite::KernelLaunch) {
             FaultAction::Fail(e) => e,
             other => panic!("expected failure, got {other:?}"),
         };
         assert!(e.is_retryable());
-        assert!(matches!(inj.on_call(FaultSite::KernelLaunch), FaultAction::Proceed));
+        assert!(matches!(
+            inj.on_call(FaultSite::KernelLaunch),
+            FaultAction::Proceed
+        ));
     }
 
     #[test]
     fn site_filtering() {
-        let plan =
-            FaultPlan::new(1).with_fault(FaultKind::Allocation, false, Schedule::EveryN(1));
+        let plan = FaultPlan::new(1).with_fault(FaultKind::Allocation, false, Schedule::EveryN(1));
         let mut inj = FaultInjector::new(plan, "gpu");
         // Allocation faults hit allocations and copies, not launches.
-        assert!(matches!(inj.on_call(FaultSite::KernelLaunch), FaultAction::Proceed));
-        assert!(matches!(inj.on_call(FaultSite::Allocation), FaultAction::Fail(_)));
+        assert!(matches!(
+            inj.on_call(FaultSite::KernelLaunch),
+            FaultAction::Proceed
+        ));
+        assert!(matches!(
+            inj.on_call(FaultSite::Allocation),
+            FaultAction::Fail(_)
+        ));
         assert!(matches!(inj.on_call(FaultSite::Copy), FaultAction::Fail(_)));
     }
 
@@ -390,13 +435,13 @@ mod tests {
 
     #[test]
     fn corruption_returns_corrupt_and_sets_flag() {
-        let plan = FaultPlan::new(1).with_fault(
-            FaultKind::SilentCorruption,
-            false,
-            Schedule::AtCall(1),
-        );
+        let plan =
+            FaultPlan::new(1).with_fault(FaultKind::SilentCorruption, false, Schedule::AtCall(1));
         let mut inj = FaultInjector::new(plan, "gpu");
-        assert!(matches!(inj.on_call(FaultSite::KernelLaunch), FaultAction::Corrupt));
+        assert!(matches!(
+            inj.on_call(FaultSite::KernelLaunch),
+            FaultAction::Corrupt
+        ));
         assert!(inj.corruption_detected());
         assert!(!inj.corruption_error().is_retryable());
     }
@@ -411,7 +456,10 @@ mod tests {
         let mut inj = FaultInjector::new(plan, "gpu");
         // Stalls model slow kernels: copies and allocations are unaffected.
         assert!(matches!(inj.on_call(FaultSite::Copy), FaultAction::Proceed));
-        assert!(matches!(inj.on_call(FaultSite::Allocation), FaultAction::Proceed));
+        assert!(matches!(
+            inj.on_call(FaultSite::Allocation),
+            FaultAction::Proceed
+        ));
         match inj.on_call(FaultSite::KernelLaunch) {
             FaultAction::Stall(d) => assert_eq!(d, Duration::from_millis(5)),
             other => panic!("expected stall, got {other:?}"),
@@ -422,22 +470,60 @@ mod tests {
     fn permanent_hang_wedges_every_later_call() {
         let plan = FaultPlan::new(1).with_fault(FaultKind::Hang, false, Schedule::AtCall(2));
         let mut inj = FaultInjector::new(plan, "gpu");
-        assert!(matches!(inj.on_call(FaultSite::KernelLaunch), FaultAction::Proceed));
+        assert!(matches!(
+            inj.on_call(FaultSite::KernelLaunch),
+            FaultAction::Proceed
+        ));
         assert!(matches!(
             inj.on_call(FaultSite::KernelLaunch),
             FaultAction::Stall(d) if d == Duration::MAX
         ));
         // The wedge latches across all sites, like a real hung context.
-        assert!(matches!(inj.on_call(FaultSite::Copy), FaultAction::Stall(_)));
-        assert!(matches!(inj.on_call(FaultSite::Allocation), FaultAction::Stall(_)));
+        assert!(matches!(
+            inj.on_call(FaultSite::Copy),
+            FaultAction::Stall(_)
+        ));
+        assert!(matches!(
+            inj.on_call(FaultSite::Allocation),
+            FaultAction::Stall(_)
+        ));
     }
 
     #[test]
     fn transient_hang_fires_once_and_clears() {
         let plan = FaultPlan::new(1).with_fault(FaultKind::Hang, true, Schedule::AtCall(1));
         let mut inj = FaultInjector::new(plan, "gpu");
-        assert!(matches!(inj.on_call(FaultSite::KernelLaunch), FaultAction::Stall(_)));
-        assert!(matches!(inj.on_call(FaultSite::KernelLaunch), FaultAction::Proceed));
+        assert!(matches!(
+            inj.on_call(FaultSite::KernelLaunch),
+            FaultAction::Stall(_)
+        ));
+        assert!(matches!(
+            inj.on_call(FaultSite::KernelLaunch),
+            FaultAction::Proceed
+        ));
+    }
+
+    #[test]
+    fn slowdown_fires_at_launch_and_latches_the_factor() {
+        let plan =
+            FaultPlan::new(1).with_fault(FaultKind::Slowdown(4.0), false, Schedule::AtCall(2));
+        let mut inj = FaultInjector::new(plan, "gpu");
+        assert!(matches!(
+            inj.on_call(FaultSite::KernelLaunch),
+            FaultAction::Proceed
+        ));
+        assert!(inj.slowdown().is_none());
+        match inj.on_call(FaultSite::KernelLaunch) {
+            FaultAction::Slow(f) => assert_eq!(f, 4.0),
+            other => panic!("expected slowdown, got {other:?}"),
+        }
+        assert_eq!(inj.slowdown(), Some(4.0));
+        // Unlike device loss, a slow device keeps answering.
+        assert!(matches!(
+            inj.on_call(FaultSite::KernelLaunch),
+            FaultAction::Proceed
+        ));
+        assert!(matches!(inj.on_call(FaultSite::Copy), FaultAction::Proceed));
     }
 
     #[test]

@@ -99,8 +99,12 @@ mod tests {
         // work-groups than NVIDIA (48 KiB) for 61-state kernels.
         let amd = plan_gpu(&catalog::radeon_r9_nano(), 61, 4);
         let nv = plan_gpu(&catalog::quadro_p5000(), 61, 4);
-        assert!(amd.patterns_per_group < nv.patterns_per_group,
-            "AMD {} vs NVIDIA {}", amd.patterns_per_group, nv.patterns_per_group);
+        assert!(
+            amd.patterns_per_group < nv.patterns_per_group,
+            "AMD {} vs NVIDIA {}",
+            amd.patterns_per_group,
+            nv.patterns_per_group
+        );
         assert!(amd.matrices_in_local && nv.matrices_in_local);
     }
 

@@ -25,9 +25,7 @@ use crate::dialect::Dialect;
 use crate::fault::{FaultAction, FaultInjector, FaultSite};
 use crate::grid::{plan_gpu, plan_x86, WorkGroupPlan};
 use crate::kernels::gpu::{partials_kernel, rescale_kernel, PartialsArgs};
-use crate::kernels::integrate::{
-    integrate_edge_kernel, integrate_root_kernel, sum_sites_kernel,
-};
+use crate::kernels::integrate::{integrate_edge_kernel, integrate_root_kernel, sum_sites_kernel};
 use crate::kernels::x86;
 use crate::kernels::Operand;
 use crate::perf::PerfModel;
@@ -114,7 +112,10 @@ impl<T: Real, D: Dialect> AccelInstance<T, D> {
         }
         let plan = match &mode {
             ExecMode::SimulatedGpu => plan_gpu(&spec, config.state_count, elem),
-            ExecMode::RealX86 { work_group_patterns, .. } => plan_x86(*work_group_patterns),
+            ExecMode::RealX86 {
+                work_group_patterns,
+                ..
+            } => plan_x86(*work_group_patterns),
         };
         // The dialect says whether the *device* would fuse; for the
         // OpenCL-x86 mode the kernels genuinely execute on the host, so the
@@ -147,8 +148,14 @@ impl<T: Real, D: Dialect> AccelInstance<T, D> {
         let device = self.spec.name;
         let mode = match &self.mode {
             ExecMode::SimulatedGpu => "gpu-simulated".to_string(),
-            ExecMode::RealX86 { pool, work_group_patterns } => {
-                format!("x86 threads={} wg_patterns={work_group_patterns}", pool.thread_count())
+            ExecMode::RealX86 {
+                pool,
+                work_group_patterns,
+            } => {
+                format!(
+                    "x86 threads={} wg_patterns={work_group_patterns}",
+                    pool.thread_count()
+                )
             }
         };
         self.recorder.event(EventKind::DispatchSelected, || {
@@ -175,6 +182,17 @@ impl<T: Real, D: Dialect> AccelInstance<T, D> {
                     format!("site={site:?} action=fail error={e}")
                 });
                 Err(e)
+            }
+            FaultAction::Slow(factor) => {
+                // Throughput skew: all modeled time from here on is charged
+                // at the throttled rate. Only meaningful for simulated
+                // devices — the wall clock of a real back-end cannot be
+                // stretched retroactively.
+                self.recorder.event(EventKind::FaultInjected, || {
+                    format!("site={site:?} action=slowdown factor={factor}")
+                });
+                self.clock.set_scale(factor);
+                Ok(false)
             }
             FaultAction::Stall(delay) => {
                 let budget = self.watchdog.unwrap_or_default().budget();
@@ -335,7 +353,11 @@ impl<T: Real, D: Dialect> AccelInstance<T, D> {
     /// pool tasks, exactly `work_group_patterns` patterns each (padding is
     /// inherent to the last group).
     fn execute_op_x86(&mut self, op: &Operation) {
-        let ExecMode::RealX86 { pool, work_group_patterns } = &self.mode else {
+        let ExecMode::RealX86 {
+            pool,
+            work_group_patterns,
+        } = &self.mode
+        else {
             unreachable!("execute_op_x86 requires x86 mode")
         };
         let cfg = self.bufs.config;
@@ -358,8 +380,9 @@ impl<T: Real, D: Dialect> AccelInstance<T, D> {
             let fma_enabled = self.fma_enabled;
 
             // Split dest (and scale) into per-(group, category) blocks.
-            let mut per_group_blocks: Vec<Vec<&mut [T]>> =
-                (0..groups.len()).map(|_| Vec::with_capacity(n_cat)).collect();
+            let mut per_group_blocks: Vec<Vec<&mut [T]>> = (0..groups.len())
+                .map(|_| Vec::with_capacity(n_cat))
+                .collect();
             for cat_block in dest.chunks_exact_mut(n_pat * s) {
                 let mut rest = cat_block;
                 for (gi, &(p0, p1)) in groups.iter().enumerate() {
@@ -433,7 +456,10 @@ impl<T: Real, D: Dialect> AccelInstance<T, D> {
     ) {
         let mut counts = [0u64; 3];
         for op in operations {
-            let idx = match (self.is_state_operand(op.child1), self.is_state_operand(op.child2)) {
+            let idx = match (
+                self.is_state_operand(op.child1),
+                self.is_state_operand(op.child2),
+            ) {
                 (false, false) => 0,
                 (true, true) => 2,
                 _ => 1,
@@ -446,13 +472,18 @@ impl<T: Real, D: Dialect> AccelInstance<T, D> {
         }
         let cfg = &self.bufs.config;
         let bytes_per_op = (3 * cfg.partials_len() * std::mem::size_of::<T>()) as u64;
-        let classes = [KernelClass::PartialsPP, KernelClass::PartialsSP, KernelClass::PartialsSS];
+        let classes = [
+            KernelClass::PartialsPP,
+            KernelClass::PartialsSP,
+            KernelClass::PartialsSS,
+        ];
         for (i, class) in classes.into_iter().enumerate() {
             if counts[i] == 0 {
                 continue;
             }
             let share = counts[i] as f64 / total as f64;
-            self.recorder.tally(class, counts[i], counts[i] * bytes_per_op);
+            self.recorder
+                .tally(class, counts[i], counts[i] * bytes_per_op);
             self.recorder.add_wall(class, wall.mul_f64(share));
             self.recorder.add_modeled(class, modeled.mul_f64(share));
         }
@@ -572,8 +603,9 @@ impl<T: Real, D: Dialect> BeagleInstance for AccelInstance<T, D> {
                 D::launch_overhead_us(),
             ));
         }
-        let bytes =
-            (matrix_indices.len() * self.bufs.config.matrix_len() * std::mem::size_of::<T>()) as u64;
+        let bytes = (matrix_indices.len()
+            * self.bufs.config.matrix_len()
+            * std::mem::size_of::<T>()) as u64;
         let modeled = self.modeled_since(dev0);
         self.recorder
             .add_modeled(KernelClass::TransitionMatrices, modeled);
@@ -669,11 +701,12 @@ impl<T: Real, D: Dialect> BeagleInstance for AccelInstance<T, D> {
             category_weights_index,
             cumulative_scale,
         )?;
-        let parent = self.bufs.partials[parent_buffer]
-            .as_ref()
-            .ok_or(BeagleError::InvalidConfiguration(format!(
-                "parent buffer {parent_buffer} has never been computed"
-            )))?;
+        let parent =
+            self.bufs.partials[parent_buffer]
+                .as_ref()
+                .ok_or(BeagleError::InvalidConfiguration(format!(
+                    "parent buffer {parent_buffer} has never been computed"
+                )))?;
         let child = match self.bufs.try_child_operand(child_buffer)? {
             ChildOperand::Partials(p) => k::EdgeChild::Partials(p),
             ChildOperand::States(st) => k::EdgeChild::States(st),
@@ -697,9 +730,12 @@ impl<T: Real, D: Dialect> BeagleInstance for AccelInstance<T, D> {
         );
         if self.is_simulated() {
             let elem = std::mem::size_of::<T>();
-            let mut cost =
-                self.perf
-                    .integrate_cost(cfg.state_count, cfg.pattern_count, cfg.category_count, elem);
+            let mut cost = self.perf.integrate_cost(
+                cfg.state_count,
+                cfg.pattern_count,
+                cfg.category_count,
+                elem,
+            );
             cost.flops *= 3.0;
             cost.bytes *= 3.0;
             self.clock.advance(self.perf.kernel_time(
@@ -711,7 +747,8 @@ impl<T: Real, D: Dialect> BeagleInstance for AccelInstance<T, D> {
             ));
         }
         let modeled = self.modeled_since(dev0);
-        self.recorder.add_modeled(KernelClass::EdgeIntegrate, modeled);
+        self.recorder
+            .add_modeled(KernelClass::EdgeIntegrate, modeled);
         self.recorder
             .finish(sw, KernelClass::EdgeIntegrate, cfg.pattern_count as u64, 0);
         if lnl.is_nan() {
@@ -739,8 +776,9 @@ impl<T: Real, D: Dialect> BeagleInstance for AccelInstance<T, D> {
     fn update_partials(&mut self, operations: &[Operation]) -> Result<()> {
         self.validate_operations(operations)?;
         let t0 = self.recorder.is_enabled().then(std::time::Instant::now);
-        self.recorder
-            .event(EventKind::OperationBegin, || format!("update_partials ops={}", operations.len()));
+        self.recorder.event(EventKind::OperationBegin, || {
+            format!("update_partials ops={}", operations.len())
+        });
         let dev0 = self.clock.elapsed();
         for op in operations {
             let corrupt = self.inject(FaultSite::KernelLaunch)?;
@@ -757,8 +795,9 @@ impl<T: Real, D: Dialect> BeagleInstance for AccelInstance<T, D> {
         if let Some(t0) = t0 {
             let modeled = self.modeled_since(dev0);
             self.record_partials_call(operations, t0.elapsed(), modeled);
-            self.recorder
-                .event(EventKind::OperationEnd, || format!("update_partials ops={}", operations.len()));
+            self.recorder.event(EventKind::OperationEnd, || {
+                format!("update_partials ops={}", operations.len())
+            });
         }
         Ok(())
     }
@@ -768,7 +807,11 @@ impl<T: Real, D: Dialect> BeagleInstance for AccelInstance<T, D> {
         self.validate_operations(&flat)?;
         let t0 = self.recorder.is_enabled().then(std::time::Instant::now);
         self.recorder.event(EventKind::OperationBegin, || {
-            format!("update_partials_by_levels ops={} levels={}", flat.len(), levels.len())
+            format!(
+                "update_partials_by_levels ops={} levels={}",
+                flat.len(),
+                levels.len()
+            )
         });
         let dev0 = self.clock.elapsed();
         if !self.is_simulated() {
@@ -822,7 +865,9 @@ impl<T: Real, D: Dialect> BeagleInstance for AccelInstance<T, D> {
     ) -> Result<()> {
         let sw = self.recorder.start();
         self.inject(FaultSite::KernelLaunch)?;
-        let r = self.bufs.accumulate_scale_factors(scale_indices, cumulative);
+        let r = self
+            .bufs
+            .accumulate_scale_factors(scale_indices, cumulative);
         self.recorder
             .finish(sw, KernelClass::Rescale, scale_indices.len() as u64, 0);
         r
@@ -876,9 +921,12 @@ impl<T: Real, D: Dialect> BeagleInstance for AccelInstance<T, D> {
 
         if self.is_simulated() {
             let elem = std::mem::size_of::<T>();
-            let cost =
-                self.perf
-                    .integrate_cost(cfg.state_count, cfg.pattern_count, cfg.category_count, elem);
+            let cost = self.perf.integrate_cost(
+                cfg.state_count,
+                cfg.pattern_count,
+                cfg.category_count,
+                elem,
+            );
             self.clock.advance(self.perf.kernel_time(
                 &cost,
                 cfg.state_count,
@@ -890,7 +938,8 @@ impl<T: Real, D: Dialect> BeagleInstance for AccelInstance<T, D> {
             self.charge_transfer(8);
         }
         let modeled = self.modeled_since(dev0);
-        self.recorder.add_modeled(KernelClass::RootIntegrate, modeled);
+        self.recorder
+            .add_modeled(KernelClass::RootIntegrate, modeled);
         self.recorder
             .finish(sw, KernelClass::RootIntegrate, cfg.pattern_count as u64, 0);
         if total.is_nan() {
@@ -933,11 +982,12 @@ impl<T: Real, D: Dialect> BeagleInstance for AccelInstance<T, D> {
             category_weights_index,
             cumulative_scale,
         )?;
-        let parent = self.bufs.partials[parent_buffer]
-            .as_ref()
-            .ok_or(BeagleError::InvalidConfiguration(format!(
-                "parent buffer {parent_buffer} has never been computed"
-            )))?;
+        let parent =
+            self.bufs.partials[parent_buffer]
+                .as_ref()
+                .ok_or(BeagleError::InvalidConfiguration(format!(
+                    "parent buffer {parent_buffer} has never been computed"
+                )))?;
         let child = match self.bufs.try_child_operand(child_buffer)? {
             ChildOperand::Partials(p) => Operand::Partials(p),
             ChildOperand::States(s) => Operand::States(s),
@@ -960,9 +1010,12 @@ impl<T: Real, D: Dialect> BeagleInstance for AccelInstance<T, D> {
         self.bufs.site_log_likelihoods = site_lnl;
         if self.is_simulated() {
             let elem = std::mem::size_of::<T>();
-            let cost =
-                self.perf
-                    .integrate_cost(cfg.state_count, cfg.pattern_count, cfg.category_count, elem);
+            let cost = self.perf.integrate_cost(
+                cfg.state_count,
+                cfg.pattern_count,
+                cfg.category_count,
+                elem,
+            );
             self.clock.advance(self.perf.kernel_time(
                 &cost,
                 cfg.state_count,
@@ -972,7 +1025,8 @@ impl<T: Real, D: Dialect> BeagleInstance for AccelInstance<T, D> {
             ));
         }
         let modeled = self.modeled_since(dev0);
-        self.recorder.add_modeled(KernelClass::EdgeIntegrate, modeled);
+        self.recorder
+            .add_modeled(KernelClass::EdgeIntegrate, modeled);
         self.recorder
             .finish(sw, KernelClass::EdgeIntegrate, cfg.pattern_count as u64, 0);
         if total.is_nan() {

@@ -43,8 +43,18 @@ pub struct PartialsArgs<'a, T> {
 
 /// Launch the GPU-variant partials kernel for dialect `D`.
 pub fn partials_kernel<D: Dialect, T: Real>(args: PartialsArgs<'_, T>) {
-    let PartialsArgs { dest, c1, c2, m1, m2, states: s, patterns, categories, plan, fma_enabled } =
-        args;
+    let PartialsArgs {
+        dest,
+        c1,
+        c2,
+        m1,
+        m2,
+        states: s,
+        patterns,
+        categories,
+        plan,
+        fma_enabled,
+    } = args;
     let groups = plan.group_count(patterns);
     // Simulated local memory (LDS / shared memory), reused across groups the
     // way a resident work-group's allocation would be.
@@ -75,7 +85,11 @@ pub fn partials_kernel<D: Dialect, T: Real>(args: PartialsArgs<'_, T>) {
                 let base = (cat * patterns + pattern) * s;
                 let sum1 = child_sum::<D, T>(
                     &c1,
-                    if plan.matrices_in_local { Matrix::Local(&local_m1) } else { Matrix::Global(m1_cat) },
+                    if plan.matrices_in_local {
+                        Matrix::Local(&local_m1)
+                    } else {
+                        Matrix::Global(m1_cat)
+                    },
                     base,
                     pattern,
                     i,
@@ -84,7 +98,11 @@ pub fn partials_kernel<D: Dialect, T: Real>(args: PartialsArgs<'_, T>) {
                 );
                 let sum2 = child_sum::<D, T>(
                     &c2,
-                    if plan.matrices_in_local { Matrix::Local(&local_m2) } else { Matrix::Global(m2_cat) },
+                    if plan.matrices_in_local {
+                        Matrix::Local(&local_m2)
+                    } else {
+                        Matrix::Global(m2_cat)
+                    },
                     base,
                     pattern,
                     i,
@@ -196,8 +214,12 @@ mod tests {
         let len = categories * patterns * s;
         let c1: Vec<f64> = (0..len).map(|i| 0.1 + (i % 17) as f64 * 0.05).collect();
         let c2: Vec<f64> = (0..len).map(|i| 0.2 + (i % 13) as f64 * 0.04).collect();
-        let m1: Vec<f64> = (0..categories * s * s).map(|i| 0.01 * (1 + i % 9) as f64).collect();
-        let m2: Vec<f64> = (0..categories * s * s).map(|i| 0.02 * (1 + i % 7) as f64).collect();
+        let m1: Vec<f64> = (0..categories * s * s)
+            .map(|i| 0.01 * (1 + i % 9) as f64)
+            .collect();
+        let m2: Vec<f64> = (0..categories * s * s)
+            .map(|i| 0.02 * (1 + i % 7) as f64)
+            .collect();
         let mut dest = vec![0.0; len];
         partials_kernel::<D, f64>(PartialsArgs {
             dest: &mut dest,
@@ -218,8 +240,12 @@ mod tests {
         let len = categories * patterns * s;
         let c1: Vec<f64> = (0..len).map(|i| 0.1 + (i % 17) as f64 * 0.05).collect();
         let c2: Vec<f64> = (0..len).map(|i| 0.2 + (i % 13) as f64 * 0.04).collect();
-        let m1: Vec<f64> = (0..categories * s * s).map(|i| 0.01 * (1 + i % 9) as f64).collect();
-        let m2: Vec<f64> = (0..categories * s * s).map(|i| 0.02 * (1 + i % 7) as f64).collect();
+        let m1: Vec<f64> = (0..categories * s * s)
+            .map(|i| 0.01 * (1 + i % 9) as f64)
+            .collect();
+        let m2: Vec<f64> = (0..categories * s * s)
+            .map(|i| 0.02 * (1 + i % 7) as f64)
+            .collect();
         let mut dest = vec![0.0; len];
         for cat in 0..categories {
             let r = (cat * patterns) * s..(cat + 1) * patterns * s;
@@ -274,7 +300,13 @@ mod tests {
         let patterns = 70;
         let plan = plan_gpu(&spec, s, 4);
         let states: Vec<u32> = (0..patterns)
-            .map(|p| if p % 11 == 0 { GAP_STATE } else { (p % 4) as u32 })
+            .map(|p| {
+                if p % 11 == 0 {
+                    GAP_STATE
+                } else {
+                    (p % 4) as u32
+                }
+            })
             .collect();
         let mut onehot = vec![0.0f64; patterns * s];
         for (p, &st) in states.iter().enumerate() {
@@ -284,7 +316,9 @@ mod tests {
                 onehot[p * s + st as usize] = 1.0;
             }
         }
-        let c2: Vec<f64> = (0..patterns * s).map(|i| 0.3 + (i % 5) as f64 * 0.1).collect();
+        let c2: Vec<f64> = (0..patterns * s)
+            .map(|i| 0.3 + (i % 5) as f64 * 0.1)
+            .collect();
         // Row-stochastic matrix: the gap shortcut (likelihood 1) only equals
         // the one-hot matrix-vector sum when rows sum to 1, as real
         // transition matrices do.
@@ -330,15 +364,15 @@ mod tests {
         let s = 4;
         let patterns = 33;
         let categories = 3;
-        let mut a: Vec<f64> =
-            (0..categories * patterns * s).map(|i| 1e-5 * (1 + i % 23) as f64).collect();
+        let mut a: Vec<f64> = (0..categories * patterns * s)
+            .map(|i| 1e-5 * (1 + i % 23) as f64)
+            .collect();
         let mut b = a.clone();
         let mut scale_a = vec![0.0; patterns];
         let mut scale_b = vec![0.0; patterns];
         rescale_kernel(&mut a, &mut scale_a, s, patterns, categories);
         {
-            let mut blocks: Vec<&mut [f64]> =
-                b.chunks_exact_mut(patterns * s).collect();
+            let mut blocks: Vec<&mut [f64]> = b.chunks_exact_mut(patterns * s).collect();
             cpu_kernels::rescale_patterns(&mut blocks, &mut scale_b, s);
         }
         assert_eq!(a, b);

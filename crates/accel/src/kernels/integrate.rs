@@ -118,8 +118,9 @@ mod tests {
         let s = 4;
         let patterns = 57;
         let categories = 3;
-        let root: Vec<f64> =
-            (0..categories * patterns * s).map(|i| 0.05 + (i % 29) as f64 * 0.01).collect();
+        let root: Vec<f64> = (0..categories * patterns * s)
+            .map(|i| 0.05 + (i % 29) as f64 * 0.01)
+            .collect();
         let freqs = vec![0.1, 0.2, 0.3, 0.4];
         let catw = vec![0.5, 0.25, 0.25];
         let pw: Vec<f64> = (0..patterns).map(|i| 1.0 + (i % 3) as f64).collect();
@@ -127,13 +128,29 @@ mod tests {
 
         let mut site_gpu = vec![0.0; patterns];
         integrate_root_kernel::<CudaDialect, f64>(
-            &mut site_gpu, &root, &freqs, &catw, Some(&cs), s, patterns, true,
+            &mut site_gpu,
+            &root,
+            &freqs,
+            &catw,
+            Some(&cs),
+            s,
+            patterns,
+            true,
         );
         let total_gpu = sum_sites_kernel(&site_gpu, &pw);
 
         let mut site_cpu = vec![0.0; patterns];
         let total_cpu = beagle_cpu::kernels::integrate_root(
-            &mut site_cpu, &root, &freqs, &catw, &pw, Some(&cs), s, s, patterns, 0,
+            &mut site_cpu,
+            &root,
+            &freqs,
+            &catw,
+            &pw,
+            Some(&cs),
+            s,
+            s,
+            patterns,
+            0,
         );
         for (a, b) in site_gpu.iter().zip(&site_cpu) {
             assert!((a - b).abs() < 1e-12);
@@ -149,7 +166,9 @@ mod tests {
         let len = categories * patterns * s;
         let parent: Vec<f64> = (0..len).map(|i| 0.1 + (i % 7) as f64 * 0.05).collect();
         let child: Vec<f64> = (0..len).map(|i| 0.3 - (i % 5) as f64 * 0.02).collect();
-        let matrix: Vec<f64> = (0..categories * s * s).map(|i| 0.04 * (1 + i % 8) as f64).collect();
+        let matrix: Vec<f64> = (0..categories * s * s)
+            .map(|i| 0.04 * (1 + i % 8) as f64)
+            .collect();
         let freqs = vec![0.25; 4];
         let catw = vec![0.5, 0.5];
         let pw = vec![1.0; patterns];
@@ -194,13 +213,19 @@ mod tests {
     fn dialects_agree_on_integration() {
         let s = 61;
         let patterns = 13;
-        let root: Vec<f64> = (0..patterns * s).map(|i| 0.01 + (i % 37) as f64 * 0.002).collect();
+        let root: Vec<f64> = (0..patterns * s)
+            .map(|i| 0.01 + (i % 37) as f64 * 0.002)
+            .collect();
         let freqs = vec![1.0 / 61.0; 61];
         let catw = vec![1.0];
         let mut a = vec![0.0; patterns];
         let mut b = vec![0.0; patterns];
-        integrate_root_kernel::<CudaDialect, f64>(&mut a, &root, &freqs, &catw, None, s, patterns, true);
-        integrate_root_kernel::<OpenClDialect, f64>(&mut b, &root, &freqs, &catw, None, s, patterns, true);
+        integrate_root_kernel::<CudaDialect, f64>(
+            &mut a, &root, &freqs, &catw, None, s, patterns, true,
+        );
+        integrate_root_kernel::<OpenClDialect, f64>(
+            &mut b, &root, &freqs, &catw, None, s, patterns, true,
+        );
         assert_eq!(a, b);
     }
 }

@@ -116,10 +116,10 @@ pub fn rescale_group<T: Real>(dest_blocks: &mut [&mut [T]], scale_out: &mut [T],
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::device::catalog;
     use crate::dialect::{CudaDialect, OpenClDialect};
     use crate::grid::plan_gpu;
     use crate::kernels::gpu::{partials_kernel, PartialsArgs};
-    use crate::device::catalog;
 
     /// The two hardware variants must agree exactly: same kernels, different
     /// work decomposition.
@@ -131,8 +131,12 @@ mod tests {
             let len = categories * patterns * s;
             let c1: Vec<f64> = (0..len).map(|i| 0.1 + (i % 19) as f64 * 0.03).collect();
             let c2: Vec<f64> = (0..len).map(|i| 0.4 - (i % 11) as f64 * 0.02).collect();
-            let m1: Vec<f64> = (0..categories * s * s).map(|i| 0.01 * (1 + i % 9) as f64).collect();
-            let m2: Vec<f64> = (0..categories * s * s).map(|i| 0.015 * (1 + i % 6) as f64).collect();
+            let m1: Vec<f64> = (0..categories * s * s)
+                .map(|i| 0.01 * (1 + i % 9) as f64)
+                .collect();
+            let m2: Vec<f64> = (0..categories * s * s)
+                .map(|i| 0.015 * (1 + i % 6) as f64)
+                .collect();
 
             // GPU variant.
             let spec = catalog::quadro_p5000();
@@ -188,7 +192,9 @@ mod tests {
         let s = 4;
         let patterns = 10;
         let states: Vec<u32> = vec![0, 1, 2, 3, GAP_STATE, 0, 1, 2, 3, 0];
-        let c2: Vec<f64> = (0..patterns * s).map(|i| 0.2 + (i % 3) as f64 * 0.1).collect();
+        let c2: Vec<f64> = (0..patterns * s)
+            .map(|i| 0.2 + (i % 3) as f64 * 0.1)
+            .collect();
         let m: Vec<f64> = (0..16).map(|i| 0.03 * (1 + i) as f64).collect();
         let mut dest = vec![0.0; patterns * s];
         {
@@ -208,15 +214,7 @@ mod tests {
         }
         // Spot check: pattern 4 (gap) must use p1 = 1.
         let mut expect = vec![0.0; s];
-        beagle_cpu::kernels::states_partials(
-            &mut expect,
-            &[GAP_STATE],
-            &c2[16..20],
-            &m,
-            &m,
-            s,
-            s,
-        );
+        beagle_cpu::kernels::states_partials(&mut expect, &[GAP_STATE], &c2[16..20], &m, &m, s, s);
         assert_eq!(&dest[16..20], expect.as_slice());
     }
 

@@ -20,7 +20,6 @@
 //! * [`cuda`] / [`opencl`] — framework driver registries (ICD loader model)
 //! * [`instance`] / [`factories`] — the BEAGLE API implementation
 
-
 // Likelihood kernels and small numeric routines are written with explicit
 // index loops on purpose: the loop structure mirrors the work-item/work-group
 // decomposition the paper describes, and that clarity outweighs iterator style.
@@ -40,8 +39,8 @@ pub mod perf;
 pub use device::{catalog, DeviceKind, DeviceSpec, Vendor};
 pub use dialect::{CudaDialect, Dialect, OpenClDialect};
 pub use factories::{
-    register_accel_factories, register_accel_factories_with_faults, CudaFactory,
-    OpenClGpuFactory, OpenClX86Factory,
+    register_accel_factories, register_accel_factories_with_faults, CudaFactory, OpenClGpuFactory,
+    OpenClX86Factory,
 };
 pub use fault::{
     FaultAction, FaultDirectory, FaultInjector, FaultKind, FaultPlan, FaultSite, FaultSpec,

@@ -120,7 +120,11 @@ impl PerfModel {
         launch_overhead_us: f64,
     ) -> Duration {
         let ramp = self.ramp(cost.work_items).max(1e-6);
-        let peak = if double { self.spec.dp_gflops } else { self.spec.sp_gflops } * 1e9;
+        let peak = if double {
+            self.spec.dp_gflops
+        } else {
+            self.spec.sp_gflops
+        } * 1e9;
         let mut eff_c = compute_efficiency(&self.spec, states);
         if double {
             eff_c = (eff_c * DP_EFF_BOOST).min(0.85);
@@ -132,7 +136,11 @@ impl PerfModel {
         };
         let t_comp = cost.flops * fma_penalty / (peak * eff_c * ramp);
         let t_mem = cost.bytes / (self.spec.bandwidth_gbs * 1e9 * BW_EFF * ramp);
-        let (hi, lo) = if t_comp > t_mem { (t_comp, t_mem) } else { (t_mem, t_comp) };
+        let (hi, lo) = if t_comp > t_mem {
+            (t_comp, t_mem)
+        } else {
+            (t_mem, t_comp)
+        };
         Duration::from_secs_f64(launch_overhead_us * 1e-6 + hi + OVERLAP_LOSS * lo)
     }
 
@@ -229,14 +237,20 @@ mod tests {
     fn nucleotide_peak_matches_paper_scale() {
         // Paper: 444.92 GFLOPS at 475,081 patterns on the R9 Nano.
         let g = nano_throughput(4, 475_081, 4);
-        assert!((g - 445.0).abs() / 445.0 < 0.25, "modeled {g} GFLOPS, paper ≈445");
+        assert!(
+            (g - 445.0).abs() / 445.0 < 0.25,
+            "modeled {g} GFLOPS, paper ≈445"
+        );
     }
 
     #[test]
     fn codon_peak_matches_paper_scale() {
         // Paper: 1324.19 GFLOPS at 28,419 codon patterns on the R9 Nano.
         let g = nano_throughput(61, 28_419, 1);
-        assert!((g - 1324.0).abs() / 1324.0 < 0.25, "modeled {g} GFLOPS, paper ≈1324");
+        assert!(
+            (g - 1324.0).abs() / 1324.0 < 0.25,
+            "modeled {g} GFLOPS, paper ≈1324"
+        );
     }
 
     #[test]
@@ -245,7 +259,10 @@ mod tests {
         let mid = nano_throughput(4, 10_000, 4);
         let large = nano_throughput(4, 1_000_000, 4);
         assert!(small < mid && mid < large, "{small} < {mid} < {large}");
-        assert!(small < 30.0, "tiny problems are overhead-dominated: {small}");
+        assert!(
+            small < 30.0,
+            "tiny problems are overhead-dominated: {small}"
+        );
     }
 
     #[test]
@@ -254,7 +271,10 @@ mod tests {
         // of unique site patterns" for codon models.
         let nuc_ratio = nano_throughput(4, 1_000, 4) / nano_throughput(4, 100_000, 4);
         let codon_ratio = nano_throughput(61, 1_000, 1) / nano_throughput(61, 28_419, 1);
-        assert!(codon_ratio > nuc_ratio, "codon {codon_ratio} vs nuc {nuc_ratio}");
+        assert!(
+            codon_ratio > nuc_ratio,
+            "codon {codon_ratio} vs nuc {nuc_ratio}"
+        );
     }
 
     #[test]
@@ -270,8 +290,12 @@ mod tests {
             let plan = plan_gpu(&spec, 4, bytes);
             let padded = plan.padded_patterns(patterns);
             let cost = model.partials_cost(4, padded, 4, plan.group_count(patterns), bytes);
-            let with = model.kernel_time(&cost, 4, double, true, 18.0).as_secs_f64();
-            let without = model.kernel_time(&cost, 4, double, false, 18.0).as_secs_f64();
+            let with = model
+                .kernel_time(&cost, 4, double, true, 18.0)
+                .as_secs_f64();
+            let without = model
+                .kernel_time(&cost, 4, double, false, 18.0)
+                .as_secs_f64();
             (without - with) / without
         };
         for patterns in [10_000, 100_000] {

@@ -4,12 +4,14 @@
 //! under a fixed seed.
 
 use beagle_accel::{
-    catalog, CudaFactory, FaultDirectory, FaultKind, FaultPlan, OpenClGpuFactory,
-    OpenClX86Factory, Schedule,
+    catalog, CudaFactory, FaultDirectory, FaultKind, FaultPlan, OpenClGpuFactory, OpenClX86Factory,
+    Schedule,
 };
 use beagle_core::error::{BeagleError, DeviceErrorKind};
 use beagle_core::manager::ImplementationFactory;
-use beagle_core::{BeagleInstance, BufferId, Flags, InstanceConfig, Operation, Result, ScalingMode};
+use beagle_core::{
+    BeagleInstance, BufferId, Flags, InstanceConfig, Operation, Result, ScalingMode,
+};
 use beagle_phylo::models::nucleotide;
 use beagle_phylo::simulate::simulate_alignment;
 use beagle_phylo::{ReversibleModel, SitePatterns, SiteRates, Tree};
@@ -32,7 +34,12 @@ fn case() -> Case {
     let rates = SiteRates::discrete_gamma(0.5, 2);
     let aln = simulate_alignment(&tree, &model, &rates, 200, &mut rng);
     let patterns = SitePatterns::compress(&aln);
-    Case { tree, model, rates, patterns }
+    Case {
+        tree,
+        model,
+        rates,
+        patterns,
+    }
 }
 
 fn config(case: &Case) -> InstanceConfig {
@@ -56,8 +63,7 @@ fn try_drive(inst: &mut dyn BeagleInstance, case: &Case) -> Result<f64> {
     for tip in 0..case.tree.taxon_count() {
         inst.set_tip_states(tip, &case.patterns.tip_states(tip))?;
     }
-    let (idx, len): (Vec<usize>, Vec<f64>) =
-        case.tree.branch_assignments().iter().copied().unzip();
+    let (idx, len): (Vec<usize>, Vec<f64>) = case.tree.branch_assignments().iter().copied().unzip();
     inst.update_transition_matrices(0, &idx, &len)?;
     let ops: Vec<Operation> = case
         .tree
@@ -66,7 +72,12 @@ fn try_drive(inst: &mut dyn BeagleInstance, case: &Case) -> Result<f64> {
         .map(|e| Operation::new(e.destination, e.child1, e.matrix1, e.child2, e.matrix2))
         .collect();
     inst.update_partials(&ops)?;
-    inst.integrate_root(BufferId(case.tree.root()), BufferId(0), BufferId(0), ScalingMode::None)
+    inst.integrate_root(
+        BufferId(case.tree.root()),
+        BufferId(0),
+        BufferId(0),
+        ScalingMode::None,
+    )
 }
 
 /// One factory per back-end, all carrying `plan`.
@@ -74,11 +85,17 @@ fn faulty_backends(plan: &FaultPlan) -> Vec<(&'static str, Box<dyn Implementatio
     vec![
         (
             "cuda",
-            Box::new(CudaFactory::with_faults(catalog::quadro_p5000(), plan.clone())),
+            Box::new(CudaFactory::with_faults(
+                catalog::quadro_p5000(),
+                plan.clone(),
+            )),
         ),
         (
             "opencl-gpu",
-            Box::new(OpenClGpuFactory::with_faults(catalog::radeon_r9_nano(), plan.clone())),
+            Box::new(OpenClGpuFactory::with_faults(
+                catalog::radeon_r9_nano(),
+                plan.clone(),
+            )),
         ),
         (
             "opencl-x86",
@@ -91,11 +108,8 @@ fn faulty_backends(plan: &FaultPlan) -> Vec<(&'static str, Box<dyn Implementatio
 fn allocation_fault_fails_instance_creation_on_every_backend() {
     let case = case();
     for transient in [false, true] {
-        let plan = FaultPlan::new(1).with_fault(
-            FaultKind::Allocation,
-            transient,
-            Schedule::AtCall(1),
-        );
+        let plan =
+            FaultPlan::new(1).with_fault(FaultKind::Allocation, transient, Schedule::AtCall(1));
         for (backend, f) in faulty_backends(&plan) {
             let err = f
                 .create(&config(&case), Flags::PRECISION_DOUBLE, Flags::NONE)
@@ -123,11 +137,8 @@ fn launch_fault_surfaces_typed_error_on_every_backend() {
     for transient in [false, true] {
         // EveryN(1) fires at the first kernel launch (the transition-matrix
         // kernel); copies and allocations pass untouched.
-        let plan = FaultPlan::new(1).with_fault(
-            FaultKind::KernelLaunch,
-            transient,
-            Schedule::EveryN(1),
-        );
+        let plan =
+            FaultPlan::new(1).with_fault(FaultKind::KernelLaunch, transient, Schedule::EveryN(1));
         for (backend, f) in faulty_backends(&plan) {
             let mut inst = f
                 .create(&config(&case), Flags::PRECISION_DOUBLE, Flags::NONE)
@@ -155,8 +166,7 @@ fn permanent_device_loss_latches_on_every_backend() {
     let case = case();
     // Call 15 is mid-drive: after creation, data upload, and the matrix
     // kernel, during update_partials.
-    let plan =
-        FaultPlan::new(1).with_fault(FaultKind::DeviceLost, false, Schedule::AtCall(15));
+    let plan = FaultPlan::new(1).with_fault(FaultKind::DeviceLost, false, Schedule::AtCall(15));
     for (backend, f) in faulty_backends(&plan) {
         let mut inst = f
             .create(&config(&case), Flags::PRECISION_DOUBLE, Flags::NONE)
@@ -167,7 +177,11 @@ fn permanent_device_loss_latches_on_every_backend() {
         assert!(
             matches!(
                 err,
-                BeagleError::Device { kind: DeviceErrorKind::DeviceLost, transient: false, .. }
+                BeagleError::Device {
+                    kind: DeviceErrorKind::DeviceLost,
+                    transient: false,
+                    ..
+                }
             ),
             "{backend}: wrong error {err}"
         );
@@ -176,7 +190,10 @@ fn permanent_device_loss_latches_on_every_backend() {
         assert!(
             matches!(
                 later,
-                Err(BeagleError::Device { kind: DeviceErrorKind::DeviceLost, .. })
+                Err(BeagleError::Device {
+                    kind: DeviceErrorKind::DeviceLost,
+                    ..
+                })
             ),
             "{backend}: device loss must latch"
         );
@@ -186,14 +203,16 @@ fn permanent_device_loss_latches_on_every_backend() {
 #[test]
 fn transient_device_loss_is_survivable() {
     let case = case();
-    let plan =
-        FaultPlan::new(1).with_fault(FaultKind::DeviceLost, true, Schedule::AtCall(15));
+    let plan = FaultPlan::new(1).with_fault(FaultKind::DeviceLost, true, Schedule::AtCall(15));
     for (backend, f) in faulty_backends(&plan) {
         let mut inst = f
             .create(&config(&case), Flags::PRECISION_DOUBLE, Flags::NONE)
             .unwrap();
         let err = try_drive(inst.as_mut(), &case).err().unwrap();
-        assert!(err.is_retryable(), "{backend}: transient loss must be retryable");
+        assert!(
+            err.is_retryable(),
+            "{backend}: transient loss must be retryable"
+        );
         // The fault cleared; re-driving the same instance succeeds.
         let lnl = try_drive(inst.as_mut(), &case)
             .unwrap_or_else(|e| panic!("{backend}: retry must pass: {e}"));
@@ -207,11 +226,8 @@ fn silent_corruption_is_detected_at_integration() {
     // Call 14 is the first partials launch: the kernel "succeeds" but the
     // destination buffer is poisoned; the damage only surfaces when the
     // root integration reads it.
-    let plan = FaultPlan::new(1).with_fault(
-        FaultKind::SilentCorruption,
-        false,
-        Schedule::AtCall(14),
-    );
+    let plan =
+        FaultPlan::new(1).with_fault(FaultKind::SilentCorruption, false, Schedule::AtCall(14));
     for (backend, f) in faulty_backends(&plan) {
         let mut inst = f
             .create(&config(&case), Flags::PRECISION_DOUBLE, Flags::NONE)
@@ -236,15 +252,15 @@ fn silent_corruption_is_detected_at_integration() {
 #[test]
 fn probabilistic_injection_is_deterministic_under_fixed_seed() {
     let case = case();
-    let plan = FaultPlan::new(99).with_fault(
-        FaultKind::KernelLaunch,
-        true,
-        Schedule::Probability(0.15),
-    );
+    let plan =
+        FaultPlan::new(99).with_fault(FaultKind::KernelLaunch, true, Schedule::Probability(0.15));
     for (backend, _) in faulty_backends(&plan) {
         let outcome = |plan: &FaultPlan| -> String {
             let f: Box<dyn ImplementationFactory> = match backend {
-                "cuda" => Box::new(CudaFactory::with_faults(catalog::quadro_p5000(), plan.clone())),
+                "cuda" => Box::new(CudaFactory::with_faults(
+                    catalog::quadro_p5000(),
+                    plan.clone(),
+                )),
                 "opencl-gpu" => Box::new(OpenClGpuFactory::with_faults(
                     catalog::radeon_r9_nano(),
                     plan.clone(),
@@ -262,7 +278,10 @@ fn probabilistic_injection_is_deterministic_under_fixed_seed() {
         };
         let a = outcome(&plan);
         let b = outcome(&plan);
-        assert_eq!(a, b, "{backend}: same seed must give the same fault pattern");
+        assert_eq!(
+            a, b,
+            "{backend}: same seed must give the same fault pattern"
+        );
         // A different seed perturbs the probabilistic draw stream.
         let other = FaultPlan::new(100).with_fault(
             FaultKind::KernelLaunch,

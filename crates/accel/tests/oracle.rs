@@ -6,7 +6,9 @@ use beagle_accel::{
     catalog, register_accel_factories, CudaFactory, OpenClGpuFactory, OpenClX86Factory,
 };
 use beagle_core::manager::{ImplementationFactory, ImplementationManager};
-use beagle_core::{BeagleInstance, BufferId, Flags, InstanceConfig, InstanceSpec, Operation, ScalingMode};
+use beagle_core::{
+    BeagleInstance, BufferId, Flags, InstanceConfig, InstanceSpec, Operation, ScalingMode,
+};
 use beagle_phylo::likelihood::log_likelihood;
 use beagle_phylo::models::{codon, nucleotide};
 use beagle_phylo::simulate::simulate_alignment;
@@ -23,8 +25,13 @@ fn drive(
     scaled: bool,
 ) -> f64 {
     let eig = model.eigen();
-    inst.set_eigen_decomposition(0, eig.vectors.as_slice(), eig.inverse_vectors.as_slice(), &eig.values)
-        .unwrap();
+    inst.set_eigen_decomposition(
+        0,
+        eig.vectors.as_slice(),
+        eig.inverse_vectors.as_slice(),
+        &eig.values,
+    )
+    .unwrap();
     inst.set_state_frequencies(0, model.frequencies()).unwrap();
     inst.set_category_rates(&rates.rates).unwrap();
     inst.set_category_weights(0, &rates.weights).unwrap();
@@ -39,7 +46,11 @@ fn drive(
         .iter()
         .map(|e| {
             let op = Operation::new(e.destination, e.child1, e.matrix1, e.child2, e.matrix2);
-            if scaled { op.with_scaling(e.destination) } else { op }
+            if scaled {
+                op.with_scaling(e.destination)
+            } else {
+                op
+            }
         })
         .collect();
     inst.update_partials(&ops).unwrap();
@@ -52,7 +63,8 @@ fn drive(
     } else {
         ScalingMode::None
     };
-    inst.integrate_root(BufferId(tree.root()), BufferId(0), BufferId(0), cum).unwrap()
+    inst.integrate_root(BufferId(tree.root()), BufferId(0), BufferId(0), cum)
+        .unwrap()
 }
 
 struct Case {
@@ -66,11 +78,19 @@ fn nuc_case(seed: u64, taxa: usize, sites: usize, cats: usize) -> Case {
     let mut rng = SmallRng::seed_from_u64(seed);
     let tree = Tree::random(taxa, 0.12, &mut rng);
     let model = nucleotide::gtr(&[1.0, 2.0, 0.7, 1.3, 3.1, 1.0], &[0.3, 0.2, 0.3, 0.2]);
-    let rates =
-        if cats > 1 { SiteRates::discrete_gamma(0.4, cats) } else { SiteRates::constant() };
+    let rates = if cats > 1 {
+        SiteRates::discrete_gamma(0.4, cats)
+    } else {
+        SiteRates::constant()
+    };
     let aln = simulate_alignment(&tree, &model, &rates, sites, &mut rng);
     let patterns = SitePatterns::compress(&aln);
-    Case { tree, model, rates, patterns }
+    Case {
+        tree,
+        model,
+        rates,
+        patterns,
+    }
 }
 
 fn all_factories() -> Vec<Box<dyn ImplementationFactory>> {
@@ -90,12 +110,23 @@ fn all_accel_implementations_match_oracle_nucleotide() {
     let config = InstanceConfig::for_tree(10, case.patterns.pattern_count(), 4, 4);
     for f in all_factories() {
         for single in [false, true] {
-            let prefs =
-                if single { Flags::PRECISION_SINGLE } else { Flags::PRECISION_DOUBLE };
+            let prefs = if single {
+                Flags::PRECISION_SINGLE
+            } else {
+                Flags::PRECISION_DOUBLE
+            };
             let mut inst = f.create(&config, prefs, Flags::NONE).unwrap();
-            let lnl =
-                drive(inst.as_mut(), &case.tree, &case.model, &case.rates, &case.patterns, single);
-            let tol = if single { ((lnl - oracle) / oracle).abs() < 1e-4 } else {
+            let lnl = drive(
+                inst.as_mut(),
+                &case.tree,
+                &case.model,
+                &case.rates,
+                &case.patterns,
+                single,
+            );
+            let tol = if single {
+                ((lnl - oracle) / oracle).abs() < 1e-4
+            } else {
                 (lnl - oracle).abs() < 1e-7
             };
             assert!(tol, "{} single={single}: {lnl} vs {oracle}", f.name());
@@ -108,7 +139,10 @@ fn all_accel_implementations_match_oracle_codon() {
     let mut rng = SmallRng::seed_from_u64(2);
     let tree = Tree::random(6, 0.1, &mut rng);
     let model = codon::gy94(
-        codon::CodonModelParams { kappa: 2.5, omega: 0.4 },
+        codon::CodonModelParams {
+            kappa: 2.5,
+            omega: 0.4,
+        },
         &codon::f1x4_frequencies(&[0.3, 0.2, 0.25, 0.25]),
     );
     let rates = SiteRates::constant();
@@ -117,9 +151,15 @@ fn all_accel_implementations_match_oracle_codon() {
     let oracle = log_likelihood(&tree, &model, &rates, &patterns);
     let config = InstanceConfig::for_tree(6, patterns.pattern_count(), 61, 1);
     for f in all_factories() {
-        let mut inst = f.create(&config, Flags::PRECISION_DOUBLE, Flags::NONE).unwrap();
+        let mut inst = f
+            .create(&config, Flags::PRECISION_DOUBLE, Flags::NONE)
+            .unwrap();
         let lnl = drive(inst.as_mut(), &tree, &model, &rates, &patterns, false);
-        assert!((lnl - oracle).abs() < 1e-6, "{}: {lnl} vs {oracle}", f.name());
+        assert!(
+            (lnl - oracle).abs() < 1e-6,
+            "{}: {lnl} vs {oracle}",
+            f.name()
+        );
     }
 }
 
@@ -131,16 +171,36 @@ fn simulated_clock_advances_only_for_gpu_instances() {
     let gpu = CudaFactory::new(catalog::quadro_p5000());
     let mut inst = gpu.create(&config, Flags::NONE, Flags::NONE).unwrap();
     assert_eq!(inst.simulated_time().unwrap().as_nanos(), 0);
-    drive(inst.as_mut(), &case.tree, &case.model, &case.rates, &case.patterns, false);
+    drive(
+        inst.as_mut(),
+        &case.tree,
+        &case.model,
+        &case.rates,
+        &case.patterns,
+        false,
+    );
     let t1 = inst.simulated_time().unwrap();
-    assert!(t1.as_nanos() > 0, "GPU work must advance the simulated clock");
+    assert!(
+        t1.as_nanos() > 0,
+        "GPU work must advance the simulated clock"
+    );
     inst.reset_simulated_time();
     assert_eq!(inst.simulated_time().unwrap().as_nanos(), 0);
 
     let x86 = OpenClX86Factory::with_threads(2, 256);
     let mut inst = x86.create(&config, Flags::NONE, Flags::NONE).unwrap();
-    drive(inst.as_mut(), &case.tree, &case.model, &case.rates, &case.patterns, false);
-    assert!(inst.simulated_time().is_none(), "x86 device is wall-clock timed");
+    drive(
+        inst.as_mut(),
+        &case.tree,
+        &case.model,
+        &case.rates,
+        &case.patterns,
+        false,
+    );
+    assert!(
+        inst.simulated_time().is_none(),
+        "x86 device is wall-clock timed"
+    );
 }
 
 #[test]
@@ -150,13 +210,25 @@ fn cuda_faster_than_opencl_on_same_nvidia_device_at_small_sizes() {
     let case = nuc_case(4, 8, 200, 4);
     let config = InstanceConfig::for_tree(8, case.patterns.pattern_count(), 4, 4);
     let time_with = |f: &dyn ImplementationFactory| {
-        let mut inst = f.create(&config, Flags::PRECISION_SINGLE, Flags::NONE).unwrap();
-        drive(inst.as_mut(), &case.tree, &case.model, &case.rates, &case.patterns, true);
+        let mut inst = f
+            .create(&config, Flags::PRECISION_SINGLE, Flags::NONE)
+            .unwrap();
+        drive(
+            inst.as_mut(),
+            &case.tree,
+            &case.model,
+            &case.rates,
+            &case.patterns,
+            true,
+        );
         inst.simulated_time().unwrap()
     };
     let cuda = time_with(&CudaFactory::new(catalog::quadro_p5000()));
     let opencl = time_with(&OpenClGpuFactory::new(catalog::quadro_p5000()));
-    assert!(cuda < opencl, "CUDA {cuda:?} must beat OpenCL {opencl:?} at small sizes");
+    assert!(
+        cuda < opencl,
+        "CUDA {cuda:?} must beat OpenCL {opencl:?} at small sizes"
+    );
 }
 
 #[test]
@@ -168,7 +240,14 @@ fn work_group_size_does_not_change_results() {
     for wg in [64, 128, 256, 512, 1024] {
         let f = OpenClX86Factory::with_threads(3, wg);
         let mut inst = f.create(&config, Flags::NONE, Flags::NONE).unwrap();
-        let lnl = drive(inst.as_mut(), &case.tree, &case.model, &case.rates, &case.patterns, false);
+        let lnl = drive(
+            inst.as_mut(),
+            &case.tree,
+            &case.model,
+            &case.rates,
+            &case.patterns,
+            false,
+        );
         match reference {
             None => reference = Some(lnl),
             Some(r) => assert!((lnl - r).abs() < 1e-10, "wg={wg}: {lnl} vs {r}"),
@@ -187,6 +266,13 @@ fn manager_registration_end_to_end() {
         .instantiate(&m)
         .unwrap();
     let oracle = log_likelihood(&case.tree, &case.model, &case.rates, &case.patterns);
-    let lnl = drive(inst.as_mut(), &case.tree, &case.model, &case.rates, &case.patterns, false);
+    let lnl = drive(
+        inst.as_mut(),
+        &case.tree,
+        &case.model,
+        &case.rates,
+        &case.patterns,
+        false,
+    );
     assert!((lnl - oracle).abs() < 1e-7);
 }

@@ -111,13 +111,17 @@ fn bench_ablation(c: &mut Criterion) {
     let len = categories * patterns * s;
     let c1: Vec<f64> = (0..len).map(|i| 0.1 + (i % 17) as f64 * 0.01).collect();
     let c2: Vec<f64> = (0..len).map(|i| 0.2 + (i % 11) as f64 * 0.02).collect();
-    let m1: Vec<f64> = (0..categories * s * s).map(|i| 0.01 * (1 + i % 9) as f64).collect();
+    let m1: Vec<f64> = (0..categories * s * s)
+        .map(|i| 0.01 * (1 + i % 9) as f64)
+        .collect();
     let m2 = m1.clone();
     let mut dest = vec![0.0f64; len];
     let plan = plan_gpu(&catalog::quadro_p5000(), s, 8);
 
     let mut group = c.benchmark_group("dialect_ablation");
-    group.throughput(Throughput::Elements((categories * patterns * s * (4 * s + 2)) as u64));
+    group.throughput(Throughput::Elements(
+        (categories * patterns * s * (4 * s + 2)) as u64,
+    ));
     group.bench_function("generic_cuda_dialect", |b| {
         b.iter(|| {
             partials_kernel::<CudaDialect, f64>(PartialsArgs {

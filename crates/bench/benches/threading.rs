@@ -20,7 +20,13 @@ fn bench_threading_models(c: &mut Criterion) {
     let mut group = c.benchmark_group("threading_models");
     group.throughput(Throughput::Elements(flops));
     group.sample_size(20);
-    for name in ["CPU-serial", "CPU-SSE", "CPU-futures", "CPU-threadcreate", "CPU-threadpool"] {
+    for name in [
+        "CPU-serial",
+        "CPU-SSE",
+        "CPU-futures",
+        "CPU-threadcreate",
+        "CPU-threadpool",
+    ] {
         let mut inst = instance_by_name(&problem, name, true).expect("implementation");
         problem.load(inst.as_mut());
         inst.update_partials(&ops).expect("warmup");

@@ -30,7 +30,10 @@ struct Series {
 
 fn sweep(model: ModelKind, pattern_counts: &[usize], categories: usize) {
     let series = [
-        Series { name: "CUDA:P5000", impl_name: Some("CUDA (NVIDIA Quadro P5000 (simulated))") },
+        Series {
+            name: "CUDA:P5000",
+            impl_name: Some("CUDA (NVIDIA Quadro P5000 (simulated))"),
+        },
         Series {
             name: "OpenCL:P5000",
             impl_name: Some("OpenCL-GPU (NVIDIA Quadro P5000 (simulated))"),
@@ -43,11 +46,26 @@ fn sweep(model: ModelKind, pattern_counts: &[usize], categories: usize) {
             name: "OpenCL:R9Nano",
             impl_name: Some("OpenCL-GPU (AMD Radeon R9 Nano (simulated))"),
         },
-        Series { name: "OpenCL-x86", impl_name: Some("OpenCL-x86") },
-        Series { name: "C++threads", impl_name: Some("CPU-threadpool") },
-        Series { name: "serial", impl_name: Some("CPU-serial") },
-        Series { name: "Xeon2(mod)", impl_name: None },
-        Series { name: "Phi(mod)", impl_name: None },
+        Series {
+            name: "OpenCL-x86",
+            impl_name: Some("OpenCL-x86"),
+        },
+        Series {
+            name: "C++threads",
+            impl_name: Some("CPU-threadpool"),
+        },
+        Series {
+            name: "serial",
+            impl_name: Some("CPU-serial"),
+        },
+        Series {
+            name: "Xeon2(mod)",
+            impl_name: None,
+        },
+        Series {
+            name: "Phi(mod)",
+            impl_name: None,
+        },
     ];
 
     // Header.
@@ -75,7 +93,11 @@ fn sweep(model: ModelKind, pattern_counts: &[usize], categories: usize) {
             let gflops = match s.impl_name {
                 Some(name) => bench_named(&problem, name, true, reps).map(|r| r.gflops),
                 None => {
-                    let m = if s.name.starts_with("Phi") { &phi } else { &xeon };
+                    let m = if s.name.starts_with("Phi") {
+                        &phi
+                    } else {
+                        &xeon
+                    };
                     let threads = m.hardware_threads;
                     Some(m.pool_gflops(threads, TAXA, patterns, states, categories))
                 }
@@ -100,7 +122,9 @@ fn main() {
     let nuc: &[usize] = if quick {
         &[100, 1_000, 10_000, 100_000]
     } else {
-        &[100, 316, 1_000, 3_162, 10_000, 31_623, 100_000, 316_228, 1_000_000]
+        &[
+            100, 316, 1_000, 3_162, 10_000, 31_623, 100_000, 316_228, 1_000_000,
+        ]
     };
     sweep(ModelKind::Nucleotide, nuc, 4);
 

@@ -31,7 +31,10 @@ fn main() {
 
     println!("== Figure 5: multicore scaling, nucleotide, {patterns} patterns ==\n");
     println!("-- measured on this host ({host} hardware thread(s)) --");
-    println!("{:>8} {:>14} {:>14}", "threads", "C++ threads", "OpenCL-x86");
+    println!(
+        "{:>8} {:>14} {:>14}",
+        "threads", "C++ threads", "OpenCL-x86"
+    );
     let mut t = 1;
     while t <= host {
         let pool_factory = CpuFactory::with_threads(ThreadingModel::ThreadPool, false, t);
@@ -51,7 +54,10 @@ fn main() {
     }
 
     println!("\n-- modeled for dual Xeon E5-2680v4 (2 x 14 cores, 56 threads) --");
-    println!("{:>8} {:>14} {:>14}", "threads", "C++ threads", "OpenCL-x86");
+    println!(
+        "{:>8} {:>14} {:>14}",
+        "threads", "C++ threads", "OpenCL-x86"
+    );
     let model = CpuModel::dual_xeon_e5_2680v4();
     for t in [1usize, 2, 4, 8, 12, 16, 20, 23, 27, 34, 45, 56] {
         // The OpenCL-x86 kernel on the same cores runs slightly ahead of the

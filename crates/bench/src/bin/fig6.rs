@@ -39,11 +39,18 @@ enum EngineKind {
     OpenClGpuS9170,
 }
 
-fn make_engines(spec: &EngineSpec, problem: &Problem, chains: usize) -> Vec<Box<dyn LikelihoodEngine>> {
+fn make_engines(
+    spec: &EngineSpec,
+    problem: &Problem,
+    chains: usize,
+) -> Vec<Box<dyn LikelihoodEngine>> {
     (0..chains)
         .map(|_| -> Box<dyn LikelihoodEngine> {
-            let precision =
-                if spec.single { Flags::PRECISION_SINGLE } else { Flags::PRECISION_DOUBLE };
+            let precision = if spec.single {
+                Flags::PRECISION_SINGLE
+            } else {
+                Flags::PRECISION_DOUBLE
+            };
             match spec.kind {
                 EngineKind::Native => {
                     if spec.single {
@@ -103,27 +110,72 @@ fn run_dataset(name: &str, model: ModelKind, taxa: usize, patterns: usize, gener
         model,
         taxa,
         patterns,
-        categories: if matches!(model, ModelKind::Nucleotide) { 4 } else { 1 },
+        categories: if matches!(model, ModelKind::Nucleotide) {
+            4
+        } else {
+            1
+        },
         seed: 800,
     });
     let params = match model {
-        ModelKind::Codon => ModelParams::Codon { kappa: 2.0, omega: 0.5 },
+        ModelKind::Codon => ModelParams::Codon {
+            kappa: 2.0,
+            omega: 0.5,
+        },
         _ => ModelParams::Nucleotide { kappa: 2.0 },
     };
     let mut rng = SmallRng::seed_from_u64(801);
     let start_tree = Tree::random(taxa, 0.1, &mut rng);
-    let config =
-        Mc3Config { chains: 4, generations, swap_interval: 5, sample_interval: 5, heating: 0.1, seed: 802 };
+    let config = Mc3Config {
+        chains: 4,
+        generations,
+        swap_interval: 5,
+        sample_interval: 5,
+        heating: 0.1,
+        seed: 802,
+    };
 
     let specs = [
-        EngineSpec { label: "MrBayes-MPI (native, double)", kind: EngineKind::Native, single: false },
-        EngineSpec { label: "MrBayes-SSE (native, single)", kind: EngineKind::Native, single: true },
-        EngineSpec { label: "C++ threads, double", kind: EngineKind::ThreadPool, single: false },
-        EngineSpec { label: "C++ threads, single", kind: EngineKind::ThreadPool, single: true },
-        EngineSpec { label: "OpenCL-x86, double", kind: EngineKind::OpenClX86, single: false },
-        EngineSpec { label: "OpenCL-x86, single", kind: EngineKind::OpenClX86, single: true },
-        EngineSpec { label: "OpenCL-GPU S9170, double", kind: EngineKind::OpenClGpuS9170, single: false },
-        EngineSpec { label: "OpenCL-GPU S9170, single", kind: EngineKind::OpenClGpuS9170, single: true },
+        EngineSpec {
+            label: "MrBayes-MPI (native, double)",
+            kind: EngineKind::Native,
+            single: false,
+        },
+        EngineSpec {
+            label: "MrBayes-SSE (native, single)",
+            kind: EngineKind::Native,
+            single: true,
+        },
+        EngineSpec {
+            label: "C++ threads, double",
+            kind: EngineKind::ThreadPool,
+            single: false,
+        },
+        EngineSpec {
+            label: "C++ threads, single",
+            kind: EngineKind::ThreadPool,
+            single: true,
+        },
+        EngineSpec {
+            label: "OpenCL-x86, double",
+            kind: EngineKind::OpenClX86,
+            single: false,
+        },
+        EngineSpec {
+            label: "OpenCL-x86, single",
+            kind: EngineKind::OpenClX86,
+            single: true,
+        },
+        EngineSpec {
+            label: "OpenCL-GPU S9170, double",
+            kind: EngineKind::OpenClGpuS9170,
+            single: false,
+        },
+        EngineSpec {
+            label: "OpenCL-GPU S9170, single",
+            kind: EngineKind::OpenClGpuS9170,
+            single: true,
+        },
     ];
 
     let mut baseline = None;
@@ -151,7 +203,11 @@ fn run_dataset(name: &str, model: ModelKind, taxa: usize, patterns: usize, gener
 
     // Modeled dual-Xeon speedups (shape reference for the CPU rows).
     let states = model.state_count();
-    let cats = if matches!(model, ModelKind::Nucleotide) { 4 } else { 1 };
+    let cats = if matches!(model, ModelKind::Nucleotide) {
+        4
+    } else {
+        1
+    };
     let xeon = CpuModel::dual_xeon_e5_2680v4();
     // Native double: serial rate at half the single-precision rate.
     let native_double = xeon.serial_gflops(taxa, patterns, states, cats) * 0.5;
@@ -165,8 +221,13 @@ fn run_dataset(name: &str, model: ModelKind, taxa: usize, patterns: usize, gener
     let plan = beagle_accel::grid::plan_gpu(&catalog::firepro_s9170(), states, 4);
     let gpu_rate = |double: bool| {
         let elem = if double { 8 } else { 4 };
-        let cost =
-            gpu.partials_cost(states, plan.padded_patterns(patterns), cats, plan.group_count(patterns), elem);
+        let cost = gpu.partials_cost(
+            states,
+            plan.padded_patterns(patterns),
+            cats,
+            plan.group_count(patterns),
+            elem,
+        );
         let t = gpu.kernel_time(&cost, states, double, true, 18.0);
         cost.flops / t.as_secs_f64() / 1e9
     };
@@ -195,9 +256,21 @@ fn main() {
     } else {
         (10_000, 20, 1_500, 10)
     };
-    run_dataset("nucleotide (RNA-Seq-like)", ModelKind::Nucleotide, 16, nuc_patterns, nuc_gens);
+    run_dataset(
+        "nucleotide (RNA-Seq-like)",
+        ModelKind::Nucleotide,
+        16,
+        nuc_patterns,
+        nuc_gens,
+    );
     println!();
-    run_dataset("codon (arthropod-like)", ModelKind::Codon, 15, codon_patterns, codon_gens);
+    run_dataset(
+        "codon (arthropod-like)",
+        ModelKind::Codon,
+        15,
+        codon_patterns,
+        codon_gens,
+    );
 
     println!("\n-- paper reference (Fig. 6, dual Xeon E5-2680v4 + FirePro S9170) --");
     println!("nucleotide: OpenCL-GPU 7.6x over fastest single-precision MrBayes;");

@@ -203,7 +203,10 @@ fn main() {
             .map(|r| r.gflops)
     };
     if let (Some(avx2), Some(scalar)) = (find("avx2"), find("scalar")) {
-        println!("\ns=61 double pp: avx2 {avx2:.2} GFLOPS vs scalar {scalar:.2} GFLOPS ({:.2}x)", avx2 / scalar);
+        println!(
+            "\ns=61 double pp: avx2 {avx2:.2} GFLOPS vs scalar {scalar:.2} GFLOPS ({:.2}x)",
+            avx2 / scalar
+        );
     }
 
     let mut json = String::from("{\n  \"benchmark\": \"kernels\",\n  \"results\": [\n");
@@ -221,7 +224,9 @@ fn main() {
         );
     }
     json.push_str("  ]\n}\n");
-    let out = std::env::args().nth(1).unwrap_or_else(|| "BENCH_kernels.json".into());
+    let out = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_kernels.json".into());
     std::fs::write(&out, json).expect("write BENCH_kernels.json");
     println!("\nwrote {out}");
 }

@@ -40,7 +40,8 @@ fn make(problem: &Problem, stats: bool) -> Box<dyn BeagleInstance> {
         .prefer(Flags::PRECISION_DOUBLE)
         .named("CPU-serial");
     let spec = if stats { spec.with_stats() } else { spec };
-    spec.instantiate(&full_manager()).expect("CPU-serial exists")
+    spec.instantiate(&full_manager())
+        .expect("CPU-serial exists")
 }
 
 fn main() {
@@ -82,8 +83,14 @@ fn main() {
 
     println!("== observability overhead (CPU-serial, 16 taxa, 2000 patterns, 4 cats) ==");
     println!("obs compiled in:   {obs_compiled_in}");
-    println!("stats off (best):  {:>12.3} ms / {reps} traversals", best_off.as_secs_f64() * 1e3);
-    println!("stats on  (best):  {:>12.3} ms / {reps} traversals", best_on.as_secs_f64() * 1e3);
+    println!(
+        "stats off (best):  {:>12.3} ms / {reps} traversals",
+        best_off.as_secs_f64() * 1e3
+    );
+    println!(
+        "stats on  (best):  {:>12.3} ms / {reps} traversals",
+        best_on.as_secs_f64() * 1e3
+    );
     println!("overhead:          {overhead_pct:>11.3}%");
     println!("bit-exact:         {bit_exact}");
 
@@ -121,7 +128,9 @@ fn main() {
     json.push_str(&format!("  \"obs_compiled_in\": {obs_compiled_in},\n"));
     json.push_str("  \"overhead\": {\n");
     json.push_str("    \"implementation\": \"CPU-serial\", \"taxa\": 16, \"patterns\": 2000, \"categories\": 4,\n");
-    json.push_str(&format!("    \"reps_per_round\": {reps}, \"rounds\": {rounds},\n"));
+    json.push_str(&format!(
+        "    \"reps_per_round\": {reps}, \"rounds\": {rounds},\n"
+    ));
     json.push_str(&format!(
         "    \"stats_off_ns\": {}, \"stats_on_ns\": {},\n",
         best_off.as_nanos(),
@@ -154,7 +163,9 @@ fn main() {
         ));
     }
     json.push_str("  ]\n}\n");
-    let out = std::env::args().nth(1).unwrap_or_else(|| "BENCH_obs.json".into());
+    let out = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_obs.json".into());
     std::fs::write(&out, json).expect("write BENCH_obs.json");
     println!("\nwrote {out}");
 }

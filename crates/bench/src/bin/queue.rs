@@ -25,7 +25,11 @@ const DEVICES: [&str; 2] = [
 
 /// Modeled time for `reps` full traversals in one queue mode.
 fn traversal_time(problem: &Problem, name: &str, asynch: bool, reps: usize) -> Option<Duration> {
-    let mode = if asynch { Flags::COMPUTATION_ASYNCH } else { Flags::COMPUTATION_SYNCH };
+    let mode = if asynch {
+        Flags::COMPUTATION_ASYNCH
+    } else {
+        Flags::COMPUTATION_SYNCH
+    };
     let mut inst = full_manager()
         .create_instance_by_name(name, &problem.config(), Flags::PRECISION_DOUBLE | mode)
         .ok()?;
@@ -43,8 +47,11 @@ fn traversal_time(problem: &Problem, name: &str, asynch: bool, reps: usize) -> O
 
 fn main() {
     let reps = if quick_mode() { 3 } else { 10 };
-    let taxa_sweep: &[usize] =
-        if quick_mode() { &[16, 64] } else { &[16, 64, 128, 256] };
+    let taxa_sweep: &[usize] = if quick_mode() {
+        &[16, 64]
+    } else {
+        &[16, 64, 128, 256]
+    };
 
     println!("deferred execution: modeled per-traversal time, eager vs queued");
     println!("(double precision, nucleotide, 1024 patterns, 4 rate categories)");
@@ -106,6 +113,9 @@ fn main() {
             s.eigen_cache_hits, s.eigen_cache_misses, s.flushes, s.levels_submitted
         );
     }
-    assert!(lnl_bits.windows(2).all(|w| w[0] == w[1]), "cache changed results");
+    assert!(
+        lnl_bits.windows(2).all(|w| w[0] == w[1]),
+        "cache changed results"
+    );
     println!("  all passes bit-identical");
 }

@@ -17,7 +17,11 @@ use genomictest::{ModelKind, Problem, Scenario};
 fn main() {
     let patterns = 10_000;
     let cats = 4;
-    let tips_list: &[usize] = if quick_mode() { &[8, 16] } else { &[8, 16, 64, 128] };
+    let tips_list: &[usize] = if quick_mode() {
+        &[8, 16]
+    } else {
+        &[8, 16, 64, 128]
+    };
     let host_threads = beagle_cpu::host_threads();
 
     println!("== Table III: CPU threading optimizations ==");

@@ -15,8 +15,14 @@ fn throughput(problem: &Problem, fma: bool, single: bool) -> f64 {
     let mut spec = catalog::radeon_r9_nano();
     spec.supports_fma = fma;
     let factory = OpenClGpuFactory::new(spec);
-    let prefs = if single { Flags::PRECISION_SINGLE } else { Flags::PRECISION_DOUBLE };
-    let mut inst = factory.create(&problem.config(), prefs, Flags::NONE).expect("instance");
+    let prefs = if single {
+        Flags::PRECISION_SINGLE
+    } else {
+        Flags::PRECISION_DOUBLE
+    };
+    let mut inst = factory
+        .create(&problem.config(), prefs, Flags::NONE)
+        .expect("instance");
     benchmark(problem, inst.as_mut(), 2).gflops
 }
 

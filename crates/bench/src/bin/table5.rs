@@ -89,7 +89,10 @@ fn main() {
     );
 
     let gpu_variant = gpu_variant_on_host(&problem, reps);
-    println!("{:<26} {:>16} {:>12.2} {:>10}", "OpenCL-GPU-variant", 64, gpu_variant, "1.00");
+    println!(
+        "{:<26} {:>16} {:>12.2} {:>10}",
+        "OpenCL-GPU-variant", 64, gpu_variant, "1.00"
+    );
 
     for &wg in &[64usize, 128, 256, 512, 1024] {
         let factory = OpenClX86Factory::with_threads(threads, wg);
@@ -111,7 +114,10 @@ fn main() {
         "{:<26} {:>16} {:>12} {:>10}",
         "solution", "WG size (patterns)", "GFLOPS", "speedup"
     );
-    println!("{:<26} {:>16} {:>12.2} {:>10}", "OpenCL-GPU-variant", 64, 15.75, "1.00");
+    println!(
+        "{:<26} {:>16} {:>12.2} {:>10}",
+        "OpenCL-GPU-variant", 64, 15.75, "1.00"
+    );
     for (wg, g, sp) in [
         (64, 79.65, 5.06),
         (128, 85.51, 5.43),

@@ -144,7 +144,9 @@ impl CpuModel {
         } else {
             (self.eff_threads(threads), self.bw_cap_sp)
         };
-        (serial * eff * self.chunk_ramp(patterns, threads)).min(cap).max(serial)
+        (serial * eff * self.chunk_ramp(patterns, threads))
+            .min(cap)
+            .max(serial)
     }
 
     /// Modeled thread-pool throughput in GFLOPS.
@@ -195,8 +197,8 @@ impl CpuModel {
     ) -> f64 {
         let flops = self.flops(tips, patterns, states, cats);
         let levels = dependency_levels(operations).len().max(1);
-        let parallelism = (operations.len() as f64 / levels as f64)
-            .clamp(1.0, self.hardware_threads as f64);
+        let parallelism =
+            (operations.len() as f64 / levels as f64).clamp(1.0, self.hardware_threads as f64);
         let serial = self.serial_gflops(tips, patterns, states, cats);
         let t_us = operations.len() as f64 * FUTURE_SPAWN_US + flops / (serial * parallelism * 1e3);
         flops / (t_us * 1e3)
@@ -293,6 +295,9 @@ mod tests {
         let phi = CpuModel::xeon_phi_7210();
         let small = phi.create_gflops(256, 8, 1_000, 4, 4);
         let large = phi.create_gflops(256, 8, 100_000, 4, 4);
-        assert!(small < large * 0.5, "Phi must ramp slowly: {small} vs {large}");
+        assert!(
+            small < large * 0.5,
+            "Phi must ramp slowly: {small} vs {large}"
+        );
     }
 }

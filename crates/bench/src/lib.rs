@@ -20,7 +20,11 @@ pub fn instance_by_name(
     name: &str,
     single: bool,
 ) -> Option<Box<dyn BeagleInstance>> {
-    let precision = if single { Flags::PRECISION_SINGLE } else { Flags::PRECISION_DOUBLE };
+    let precision = if single {
+        Flags::PRECISION_SINGLE
+    } else {
+        Flags::PRECISION_DOUBLE
+    };
     InstanceSpec::with_config(problem.config())
         .prefer(precision)
         .named(name)

@@ -416,6 +416,17 @@ pub trait BeagleInstance: Send {
     /// Reset the simulated device clock (no-op for wall-clock back-ends).
     fn reset_simulated_time(&mut self) {}
 
+    /// Read the simulated clock **without side effects**. For most
+    /// back-ends this is [`Self::simulated_time`]; deferred-execution
+    /// wrappers override it to skip the flush that `simulated_time`
+    /// performs, so the value may lag until the queue drains. The
+    /// partitioned parent uses this to time each child around a call
+    /// without perturbing its execution mode (see
+    /// [`crate::multi::PartitionedInstance`]).
+    fn peek_simulated_time(&self) -> Option<std::time::Duration> {
+        self.simulated_time()
+    }
+
     /// Operation-queue and eigen-cache counters, when this instance (or one
     /// it wraps) defers execution through a [`crate::queue::QueuedInstance`].
     /// `None` for eager instances.

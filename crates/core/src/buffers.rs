@@ -21,10 +21,10 @@
 //! stride equal dot products over the true state count. The padding is
 //! invisible at the API boundary: setters pack, getters strip.
 
-use crate::GAP_STATE;
 use crate::api::InstanceConfig;
 use crate::error::{BeagleError, Result};
 use crate::real::{narrow_slice, widen_slice, Real};
+use crate::GAP_STATE;
 
 /// One stored eigen system, kept in `f64` (matrix exponentiation is done in
 /// double precision even for single-precision instances, as BEAGLE does for
@@ -101,7 +101,10 @@ impl<T: Real> InstanceBuffers<T> {
             pattern_weights: vec![T::ONE; config.pattern_count],
             category_rates: vec![1.0; config.category_count],
             category_weights: vec![
-                vec![T::from_f64(1.0 / config.category_count as f64); config.category_count];
+                vec![
+                    T::from_f64(1.0 / config.category_count as f64);
+                    config.category_count
+                ];
                 config.eigen_buffer_count
             ],
             frequencies: vec![freqs; config.eigen_buffer_count],
@@ -132,7 +135,11 @@ impl<T: Real> InstanceBuffers<T> {
 
     fn check_len(&self, what: &'static str, got: usize, expected: usize) -> Result<()> {
         if got != expected {
-            Err(BeagleError::DimensionMismatch { what, expected, got })
+            Err(BeagleError::DimensionMismatch {
+                what,
+                expected,
+                got,
+            })
         } else {
             Ok(())
         }
@@ -258,8 +265,16 @@ impl<T: Real> InstanceBuffers<T> {
 
     /// Set a category-weights buffer.
     pub fn set_category_weights(&mut self, index: usize, weights: &[f64]) -> Result<()> {
-        self.check_index("category weights buffer", index, self.category_weights.len())?;
-        self.check_len("category weights", weights.len(), self.config.category_count)?;
+        self.check_index(
+            "category weights buffer",
+            index,
+            self.category_weights.len(),
+        )?;
+        self.check_len(
+            "category weights",
+            weights.len(),
+            self.config.category_count,
+        )?;
         self.category_weights[index] = narrow_slice(weights);
         Ok(())
     }
@@ -308,16 +323,14 @@ impl<T: Real> InstanceBuffers<T> {
             let rates = self.category_rates.clone();
             let mat = &mut self.matrices[m];
             for (c, &rate) in rates.iter().enumerate() {
-                let exps: Vec<f64> =
-                    eig.values.iter().map(|&l| (l * rate * t).exp()).collect();
+                let exps: Vec<f64> = eig.values.iter().map(|&l| (l * rate * t).exp()).collect();
                 let block = &mut mat[c * s * sp..(c + 1) * s * sp];
                 for i in 0..s {
                     for j in 0..s {
                         let mut acc = 0.0;
                         for k in 0..s {
-                            acc += eig.vectors[i * s + k]
-                                * exps[k]
-                                * eig.inverse_vectors[k * s + j];
+                            acc +=
+                                eig.vectors[i * s + k] * exps[k] * eig.inverse_vectors[k * s + j];
                         }
                         // Round-off can leave tiny negatives; clamp so the
                         // likelihood kernels only ever see probabilities.
@@ -516,7 +529,11 @@ impl<T: Real> InstanceBuffers<T> {
         for &m in matrix_indices {
             self.check_index("matrix buffer", m, self.matrices.len())?;
         }
-        self.check_index("frequencies index", frequencies_index, self.frequencies.len())?;
+        self.check_index(
+            "frequencies index",
+            frequencies_index,
+            self.frequencies.len(),
+        )?;
         self.check_index(
             "category weights index",
             category_weights_index,
@@ -620,7 +637,10 @@ mod tests {
         assert!(b.set_tip_states(0, &[0; 9]).is_err(), "wrong length");
         assert!(b.set_tip_states(9, &[0; 10]).is_err(), "not a tip");
         assert!(b.set_tip_states(0, &[4; 10]).is_err(), "state out of range");
-        assert!(b.set_tip_states(0, &[GAP_STATE; 10]).is_ok(), "gaps allowed");
+        assert!(
+            b.set_tip_states(0, &[GAP_STATE; 10]).is_ok(),
+            "gaps allowed"
+        );
     }
 
     #[test]
@@ -659,7 +679,9 @@ mod tests {
         // JC69 eigen system computed on the fly: use symmetric decomposition
         // of the JC rate matrix; simplest is to set eigenvectors = identity,
         // values = 0, which yields P = V * I * V^-1 = identity for any t.
-        let id: Vec<f64> = (0..16).map(|i| if i % 5 == 0 { 1.0 } else { 0.0 }).collect();
+        let id: Vec<f64> = (0..16)
+            .map(|i| if i % 5 == 0 { 1.0 } else { 0.0 })
+            .collect();
         b.set_eigen_decomposition(0, &id, &id, &[0.0; 4]).unwrap();
         b.update_transition_matrices(0, &[2], &[0.7]).unwrap();
         let m = b.get_transition_matrix(2).unwrap();
@@ -678,13 +700,21 @@ mod tests {
         let mut b = InstanceBuffers::<f64>::new(cfg()).unwrap();
         // Eigen system for a two-state-style decay on a 4-state identity
         // basis: values = -1 on all states → P = e^{-rate*t} I + ...
-        let id: Vec<f64> = (0..16).map(|i| if i % 5 == 0 { 1.0 } else { 0.0 }).collect();
+        let id: Vec<f64> = (0..16)
+            .map(|i| if i % 5 == 0 { 1.0 } else { 0.0 })
+            .collect();
         b.set_eigen_decomposition(0, &id, &id, &[-1.0; 4]).unwrap();
         b.set_category_rates(&[1.0, 2.0]).unwrap();
         b.update_transition_matrices(0, &[0], &[0.5]).unwrap();
         let m = b.get_transition_matrix(0).unwrap();
-        assert!((m[0] - (-0.5_f64).exp()).abs() < 1e-12, "category 0: e^{{-0.5}}");
-        assert!((m[16] - (-1.0_f64).exp()).abs() < 1e-12, "category 1: e^{{-1.0}}");
+        assert!(
+            (m[0] - (-0.5_f64).exp()).abs() < 1e-12,
+            "category 0: e^{{-0.5}}"
+        );
+        assert!(
+            (m[16] - (-1.0_f64).exp()).abs() < 1e-12,
+            "category 1: e^{{-1.0}}"
+        );
     }
 
     #[test]
@@ -698,7 +728,10 @@ mod tests {
         // Accumulating again adds on top.
         b.accumulate_scale_factors(&[0], 7).unwrap();
         assert!(b.scale_buffers[7].iter().all(|&x| (x - 2.5).abs() < 1e-12));
-        assert!(b.accumulate_scale_factors(&[7], 7).is_err(), "self-accumulation");
+        assert!(
+            b.accumulate_scale_factors(&[7], 7).is_err(),
+            "self-accumulation"
+        );
     }
 
     #[test]
@@ -711,11 +744,16 @@ mod tests {
         assert_eq!(dense.state_stride, 3);
 
         // Partials round-trip identically despite the internal padding.
-        let p: Vec<f64> = (0..cfg.partials_len()).map(|i| 0.1 + i as f64 * 0.01).collect();
+        let p: Vec<f64> = (0..cfg.partials_len())
+            .map(|i| 0.1 + i as f64 * 0.01)
+            .collect();
         padded.set_partials(4, &p).unwrap();
         dense.set_partials(4, &p).unwrap();
         assert_eq!(padded.get_partials(4).unwrap(), p);
-        assert_eq!(padded.get_partials(4).unwrap(), dense.get_partials(4).unwrap());
+        assert_eq!(
+            padded.get_partials(4).unwrap(),
+            dense.get_partials(4).unwrap()
+        );
         // Internal pad lanes are exact zeros.
         let raw = padded.partials[4].as_ref().unwrap();
         for pat in raw.chunks_exact(4) {
@@ -726,12 +764,19 @@ mod tests {
         let tp: Vec<f64> = (0..15).map(|i| i as f64).collect();
         padded.set_tip_partials(1, &tp).unwrap();
         dense.set_tip_partials(1, &tp).unwrap();
-        assert_eq!(padded.get_partials(1).unwrap(), dense.get_partials(1).unwrap());
+        assert_eq!(
+            padded.get_partials(1).unwrap(),
+            dense.get_partials(1).unwrap()
+        );
 
         // Transition matrices: derived and direct, dense at the API.
         let id: Vec<f64> = (0..9).map(|i| if i % 4 == 0 { 1.0 } else { 0.0 }).collect();
-        padded.set_eigen_decomposition(0, &id, &id, &[0.0; 3]).unwrap();
-        dense.set_eigen_decomposition(0, &id, &id, &[0.0; 3]).unwrap();
+        padded
+            .set_eigen_decomposition(0, &id, &id, &[0.0; 3])
+            .unwrap();
+        dense
+            .set_eigen_decomposition(0, &id, &id, &[0.0; 3])
+            .unwrap();
         padded.update_transition_matrices(0, &[2], &[0.7]).unwrap();
         dense.update_transition_matrices(0, &[2], &[0.7]).unwrap();
         assert_eq!(

@@ -13,6 +13,15 @@
 //! (every `f64` is stored as its 16-digit hex bit pattern, never formatted
 //! decimally).
 //!
+//! Partitioned instances checkpoint through the same path: the parent's
+//! whole-problem journal is what gets serialized, so a snapshot taken
+//! *after* any number of adaptive rebalances
+//! ([`crate::balance::LoadBalancer`]) carries no partition geometry at all.
+//! Restore re-creates one instance (or a fresh partition) through the new
+//! process's manager and replays the full-problem state — the rebalance
+//! history affects *where* work ran, never *what* state was recorded, which
+//! is what keeps restore bit-exact (see `tests/balance.rs`).
+//!
 //! # Format
 //!
 //! ```text
@@ -155,7 +164,9 @@ impl Checkpoint {
         if lines.next() != Some(MAGIC) {
             return Err(corrupt(format!("bad magic (expected \"{MAGIC}\")")));
         }
-        let config_line = lines.next().ok_or_else(|| corrupt("truncated before config"))?;
+        let config_line = lines
+            .next()
+            .ok_or_else(|| corrupt("truncated before config"))?;
         let fields: Vec<usize> = config_line
             .strip_prefix("config ")
             .ok_or_else(|| corrupt("missing config line"))?
@@ -165,7 +176,10 @@ impl Checkpoint {
         let [tips, partials, compact, states, patterns, eigen, matrices, categories, scales] =
             fields[..]
         else {
-            return Err(corrupt(format!("config needs 9 fields, got {}", fields.len())));
+            return Err(corrupt(format!(
+                "config needs 9 fields, got {}",
+                fields.len()
+            )));
         };
         let config = InstanceConfig {
             tip_count: tips,
@@ -182,7 +196,9 @@ impl Checkpoint {
             .validate()
             .map_err(|e| corrupt(format!("config fails validation: {e}")))?;
 
-        let prov_line = lines.next().ok_or_else(|| corrupt("truncated before provenance"))?;
+        let prov_line = lines
+            .next()
+            .ok_or_else(|| corrupt("truncated before provenance"))?;
         let mut prov_tok = prov_line
             .strip_prefix("provenance ")
             .ok_or_else(|| corrupt("missing provenance line"))?
@@ -203,10 +219,14 @@ impl Checkpoint {
         };
 
         let mut implementation = None;
-        let mut line = lines.next().ok_or_else(|| corrupt("truncated before journal"))?;
+        let mut line = lines
+            .next()
+            .ok_or_else(|| corrupt("truncated before journal"))?;
         if let Some(name) = line.strip_prefix("implementation ") {
             implementation = Some(name.to_string());
-            line = lines.next().ok_or_else(|| corrupt("truncated before journal"))?;
+            line = lines
+                .next()
+                .ok_or_else(|| corrupt("truncated before journal"))?;
         }
         if line != "journal" {
             return Err(corrupt("missing journal section"));
@@ -226,7 +246,12 @@ impl Checkpoint {
         let journal = StateJournal::decode_lines(&journal_lines).map_err(corrupt)?;
         Ok(Checkpoint {
             config,
-            provenance: Provenance { preferences, requirements, rescue, implementation },
+            provenance: Provenance {
+                preferences,
+                requirements,
+                rescue,
+                implementation,
+            },
             journal,
         })
     }
@@ -299,7 +324,11 @@ pub struct CheckpointedInstance {
 
 impl CheckpointedInstance {
     /// Wrap `inner`, journaling from a clean slate.
-    pub fn new(inner: Box<dyn BeagleInstance>, config: InstanceConfig, provenance: Provenance) -> Self {
+    pub fn new(
+        inner: Box<dyn BeagleInstance>,
+        config: InstanceConfig,
+        provenance: Provenance,
+    ) -> Self {
         Self::with_journal(inner, config, provenance, StateJournal::new())
     }
 
@@ -312,7 +341,13 @@ impl CheckpointedInstance {
         journal: StateJournal,
     ) -> Self {
         let recorder = Recorder::new(inner.statistics().is_some());
-        Self { inner, config, provenance, journal, recorder }
+        Self {
+            inner,
+            config,
+            provenance,
+            journal,
+            recorder,
+        }
     }
 
     /// The wrapped instance (checkpoint bookkeeping is discarded).
@@ -376,7 +411,8 @@ impl BeagleInstance for CheckpointedInstance {
         inverse_vectors: &[f64],
         values: &[f64],
     ) -> Result<()> {
-        self.journal.record_eigen(index, vectors, inverse_vectors, values);
+        self.journal
+            .record_eigen(index, vectors, inverse_vectors, values);
         self.inner
             .set_eigen_decomposition(index, vectors, inverse_vectors, values)
     }
@@ -470,8 +506,10 @@ impl BeagleInstance for CheckpointedInstance {
         scale_indices: &[usize],
         cumulative: usize,
     ) -> Result<()> {
-        self.journal.record_scale_accumulation(scale_indices, cumulative);
-        self.inner.accumulate_scale_factors(scale_indices, cumulative)
+        self.journal
+            .record_scale_accumulation(scale_indices, cumulative);
+        self.inner
+            .accumulate_scale_factors(scale_indices, cumulative)
     }
 
     fn integrate_root(
@@ -481,7 +519,8 @@ impl BeagleInstance for CheckpointedInstance {
         frequencies: BufferId,
         scaling: ScalingMode,
     ) -> Result<f64> {
-        self.inner.integrate_root(root, category_weights, frequencies, scaling)
+        self.inner
+            .integrate_root(root, category_weights, frequencies, scaling)
     }
 
     fn integrate_edge(
@@ -493,8 +532,14 @@ impl BeagleInstance for CheckpointedInstance {
         frequencies: BufferId,
         scaling: ScalingMode,
     ) -> Result<f64> {
-        self.inner
-            .integrate_edge(parent, child, matrix, category_weights, frequencies, scaling)
+        self.inner.integrate_edge(
+            parent,
+            child,
+            matrix,
+            category_weights,
+            frequencies,
+            scaling,
+        )
     }
 
     fn get_site_log_likelihoods(&self) -> Result<Vec<f64>> {
@@ -507,6 +552,10 @@ impl BeagleInstance for CheckpointedInstance {
 
     fn simulated_time(&self) -> Option<std::time::Duration> {
         self.inner.simulated_time()
+    }
+
+    fn peek_simulated_time(&self) -> Option<std::time::Duration> {
+        self.inner.peek_simulated_time()
     }
 
     fn reset_simulated_time(&mut self) {
@@ -612,14 +661,23 @@ mod tests {
         );
         // Truncation loses the trailer.
         let err = Checkpoint::decode(&text[..text.len() / 2]);
-        assert!(matches!(err, Err(BeagleError::CheckpointCorrupt(_))), "{err:?}");
+        assert!(
+            matches!(err, Err(BeagleError::CheckpointCorrupt(_))),
+            "{err:?}"
+        );
         // Wrong magic.
         let err = Checkpoint::decode(&text.replace("BEAGLE-CKPT v1", "BEAGLE-CKPT v9"));
-        assert!(matches!(err, Err(BeagleError::CheckpointCorrupt(_))), "{err:?}");
+        assert!(
+            matches!(err, Err(BeagleError::CheckpointCorrupt(_))),
+            "{err:?}"
+        );
         // A forged hash over tampered content still mismatches.
         let tampered = text.replace("provenance", "provenance ");
         let err = Checkpoint::decode(&tampered);
-        assert!(matches!(err, Err(BeagleError::CheckpointCorrupt(_))), "{err:?}");
+        assert!(
+            matches!(err, Err(BeagleError::CheckpointCorrupt(_))),
+            "{err:?}"
+        );
     }
 
     #[test]

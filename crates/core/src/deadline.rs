@@ -31,7 +31,9 @@ pub struct Deadline {
 impl Deadline {
     /// The driver-level fallback watchdog applied when the client sets no
     /// explicit deadline (real GPU drivers cancel kernels on this order).
-    pub const DRIVER_DEFAULT: Deadline = Deadline { budget: Duration::from_secs(2) };
+    pub const DRIVER_DEFAULT: Deadline = Deadline {
+        budget: Duration::from_secs(2),
+    };
 
     /// A deadline allowing each launch `budget` of device time.
     pub fn new(budget: Duration) -> Self {

@@ -161,7 +161,11 @@ impl fmt::Display for BeagleError {
             BeagleError::OutOfRange { what, index, limit } => {
                 write!(f, "{what} index {index} out of range (limit {limit})")
             }
-            BeagleError::DimensionMismatch { what, expected, got } => {
+            BeagleError::DimensionMismatch {
+                what,
+                expected,
+                got,
+            } => {
                 write!(f, "{what} has length {got}, expected {expected}")
             }
             BeagleError::InvalidConfiguration(msg) => write!(f, "invalid configuration: {msg}"),
@@ -170,7 +174,11 @@ impl fmt::Display for BeagleError {
             }
             BeagleError::Unsupported(what) => write!(f, "unsupported operation: {what}"),
             BeagleError::NumericalFailure(msg) => write!(f, "numerical failure: {msg}"),
-            BeagleError::Device { kind, transient, device } => {
+            BeagleError::Device {
+                kind,
+                transient,
+                device,
+            } => {
                 let class = if *transient { "transient" } else { "permanent" };
                 write!(f, "{class} device error on {device}: {kind}")
             }
@@ -186,7 +194,11 @@ impl fmt::Display for BeagleError {
             BeagleError::CheckpointIo(msg) => {
                 write!(f, "checkpoint i/o error: {msg}")
             }
-            BeagleError::ChildCreationFailed { child, device, source } => {
+            BeagleError::ChildCreationFailed {
+                child,
+                device,
+                source,
+            } => {
                 write!(f, "creating child {child} ({device}) failed: {source}")
             }
         }
@@ -204,16 +216,26 @@ mod tests {
 
     #[test]
     fn display_formats() {
-        let e = BeagleError::OutOfRange { what: "partials buffer", index: 9, limit: 4 };
+        let e = BeagleError::OutOfRange {
+            what: "partials buffer",
+            index: 9,
+            limit: 4,
+        };
         assert!(e.to_string().contains("partials buffer index 9"));
-        let e = BeagleError::DimensionMismatch { what: "weights", expected: 10, got: 3 };
+        let e = BeagleError::DimensionMismatch {
+            what: "weights",
+            expected: 10,
+            got: 3,
+        };
         assert!(e.to_string().contains("length 3, expected 10"));
         let e = BeagleError::Device {
             kind: DeviceErrorKind::DeviceLost,
             transient: false,
             device: "Quadro P5000".into(),
         };
-        assert!(e.to_string().contains("permanent device error on Quadro P5000"));
+        assert!(e
+            .to_string()
+            .contains("permanent device error on Quadro P5000"));
         let e = BeagleError::ChildCreationFailed {
             child: 2,
             device: "prefs NONE / reqs FRAMEWORK_CUDA".into(),
@@ -237,19 +259,27 @@ mod tests {
             device: "gpu".into(),
         };
         assert!(!permanent.is_retryable());
-        assert!(BeagleError::ResourceExhausted { what: "device memory".into() }.is_retryable());
+        assert!(BeagleError::ResourceExhausted {
+            what: "device memory".into()
+        }
+        .is_retryable());
         assert!(!BeagleError::NoImplementationFound.is_retryable());
         assert!(!BeagleError::NumericalFailure("NaN".into()).is_retryable());
         // A timeout means the device is wedged: never retried in place
         // (the failover layer evicts instead).
-        assert!(!BeagleError::Timeout { what: "kernel launch on gpu".into() }.is_retryable());
+        assert!(!BeagleError::Timeout {
+            what: "kernel launch on gpu".into()
+        }
+        .is_retryable());
         assert!(!BeagleError::CheckpointCorrupt("hash mismatch".into()).is_retryable());
         assert!(!BeagleError::CheckpointIo("read failed".into()).is_retryable());
     }
 
     #[test]
     fn timeout_and_checkpoint_display() {
-        let e = BeagleError::Timeout { what: "kernel launch on Quadro".into() };
+        let e = BeagleError::Timeout {
+            what: "kernel launch on Quadro".into(),
+        };
         assert!(e.to_string().contains("deadline exceeded"));
         let e = BeagleError::CheckpointCorrupt("hash mismatch at line 40".into());
         assert!(e.to_string().contains("corrupt checkpoint"));

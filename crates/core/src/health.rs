@@ -329,7 +329,11 @@ impl HealthRegistry {
             .iter_mut()
             .map(|(id, b)| {
                 b.settle(&config);
-                HealthSnapshot { id: id.clone(), state: b.state, counts: b.counts }
+                HealthSnapshot {
+                    id: id.clone(),
+                    state: b.state,
+                    counts: b.counts,
+                }
             })
             .collect();
         out.sort_by(|a, b| a.id.cmp(&b.id));
@@ -352,7 +356,10 @@ mod tests {
     use super::*;
 
     fn fast_cooldown() -> BreakerConfig {
-        BreakerConfig { cooldown: Duration::ZERO, ..BreakerConfig::default() }
+        BreakerConfig {
+            cooldown: Duration::ZERO,
+            ..BreakerConfig::default()
+        }
     }
 
     #[test]
@@ -429,7 +436,10 @@ mod tests {
             ..BreakerConfig::default()
         });
         r.record("gpu", Outcome::Timeout);
-        assert!(!r.available("gpu"), "hour-long cooldown cannot have elapsed");
+        assert!(
+            !r.available("gpu"),
+            "hour-long cooldown cannot have elapsed"
+        );
         assert_eq!(r.state("gpu"), BreakerState::Open);
     }
 

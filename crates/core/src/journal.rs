@@ -160,6 +160,14 @@ impl StateJournal {
         &self.ops
     }
 
+    /// The last recorded full-problem pattern weights, if any were set.
+    /// The partitioned parent reads these to recompute the global
+    /// log-likelihood reduction in pattern order (see
+    /// `PartitionedInstance::integrate_root`).
+    pub fn pattern_weights(&self) -> Option<&[f64]> {
+        self.pattern_weights.as_deref()
+    }
+
     /// Serialize the journal as text lines into `out` (one record per
     /// line). `f64` values are written as 16-digit hex bit patterns, so a
     /// decoded journal replays **bit-exactly** — the property the durable
@@ -247,7 +255,10 @@ impl StateJournal {
     /// Errors are strings (the checkpoint layer wraps them into
     /// [`crate::BeagleError::CheckpointCorrupt`]).
     pub fn decode_lines(lines: &[&str]) -> std::result::Result<Self, String> {
-        fn parse<T: std::str::FromStr>(tok: Option<&str>, what: &str) -> std::result::Result<T, String> {
+        fn parse<T: std::str::FromStr>(
+            tok: Option<&str>,
+            what: &str,
+        ) -> std::result::Result<T, String> {
             tok.ok_or_else(|| format!("journal line truncated at {what}"))?
                 .parse::<T>()
                 .map_err(|_| format!("bad {what} field"))
@@ -284,7 +295,8 @@ impl StateJournal {
                 "tip_partials" => {
                     let tip: usize = parse(t.next(), "tip")?;
                     let n: usize = parse(t.next(), "tip_partials length")?;
-                    j.tip_partials.insert(tip, take_f64s(&mut t, n, "tip partials")?);
+                    j.tip_partials
+                        .insert(tip, take_f64s(&mut t, n, "tip partials")?);
                 }
                 "partials" => {
                     let buffer: usize = parse(t.next(), "buffer")?;
@@ -298,7 +310,8 @@ impl StateJournal {
                 "frequencies" => {
                     let i: usize = parse(t.next(), "frequency index")?;
                     let n: usize = parse(t.next(), "frequencies length")?;
-                    j.frequencies.insert(i, take_f64s(&mut t, n, "frequencies")?);
+                    j.frequencies
+                        .insert(i, take_f64s(&mut t, n, "frequencies")?);
                 }
                 "category_rates" => {
                     let n: usize = parse(t.next(), "category_rates length")?;
@@ -307,7 +320,8 @@ impl StateJournal {
                 "category_weights" => {
                     let i: usize = parse(t.next(), "category-weight index")?;
                     let n: usize = parse(t.next(), "category_weights length")?;
-                    j.category_weights.insert(i, take_f64s(&mut t, n, "category weights")?);
+                    j.category_weights
+                        .insert(i, take_f64s(&mut t, n, "category weights")?);
                 }
                 "eigen" => {
                     let i: usize = parse(t.next(), "eigen index")?;
@@ -327,9 +341,7 @@ impl StateJournal {
                 "matrix_update" => {
                     let m: usize = parse(t.next(), "matrix index")?;
                     let eigen: usize = parse(t.next(), "eigen index")?;
-                    let bits = t
-                        .next()
-                        .ok_or("journal line truncated at branch length")?;
+                    let bits = t.next().ok_or("journal line truncated at branch length")?;
                     let t_val = u64::from_str_radix(bits, 16)
                         .map(f64::from_bits)
                         .map_err(|_| "bad branch-length bit pattern".to_string())?;
@@ -449,7 +461,11 @@ mod tests {
         j.record_operations(&[op(4, 0, 1), op(5, 2, 3)]);
         j.record_operations(&[op(4, 1, 2)]);
         let dests: Vec<usize> = j.operations().iter().map(|o| o.destination).collect();
-        assert_eq!(dests, vec![5, 4], "superseded write dropped, order = last execution");
+        assert_eq!(
+            dests,
+            vec![5, 4],
+            "superseded write dropped, order = last execution"
+        );
         assert_eq!(j.operations()[1].child1, 1, "latest operands kept");
     }
 
@@ -512,7 +528,10 @@ mod tests {
             StateJournal::decode_lines(&["tip_states 0 1 7 extra"]).is_err(),
             "trailing tokens are corruption, not noise"
         );
-        assert!(StateJournal::decode_lines(&[]).unwrap().operations().is_empty());
+        assert!(StateJournal::decode_lines(&[])
+            .unwrap()
+            .operations()
+            .is_empty());
     }
 
     #[test]

@@ -13,6 +13,7 @@
 //! parallelize as it sees fit.
 //!
 //! * [`api`] — the [`api::BeagleInstance`] trait and instance configuration
+//! * [`balance`] — adaptive load balancing: EWMA throughput + repartitioning
 //! * [`ops`] — partial-likelihood operation descriptors + dependency analysis
 //! * [`queue`] — deferred execution: operation queue + eigen/matrix caching
 //! * [`flags`] — capability/preference/requirement bitmask
@@ -21,13 +22,13 @@
 //! * [`resource`] — hardware resource descriptions
 //! * [`real`] — the `f32`/`f64` precision abstraction
 
-
 // Likelihood kernels and small numeric routines are written with explicit
 // index loops on purpose: the loop structure mirrors the work-item/work-group
 // decomposition the paper describes, and that clarity outweighs iterator style.
 #![allow(clippy::needless_range_loop)]
 
 pub mod api;
+pub mod balance;
 pub mod buffers;
 pub mod checkpoint;
 pub mod deadline;
@@ -46,14 +47,15 @@ pub mod resource;
 pub mod spec;
 
 pub use api::{BeagleInstance, BufferId, InstanceConfig, InstanceDetails, ScalingMode};
+pub use balance::{BalancerConfig, LoadBalancer, PATTERN_STRIDE};
 pub use checkpoint::{Checkpoint, CheckpointedInstance};
 pub use deadline::Deadline;
 pub use error::{BeagleError, DeviceErrorKind, Result};
+pub use flags::Flags;
 pub use health::{BreakerConfig, BreakerState, HealthRegistry, Outcome, ResourceId};
 pub use journal::StateJournal;
-pub use flags::Flags;
 pub use manager::{ImplementationFactory, ImplementationManager, ResourceBenchmark};
-pub use multi::{PartitionedInstance, RetryPolicy};
+pub use multi::{ChildSelection, PartitionedInstance, RetryPolicy};
 pub use obs::{Event, EventKind, InstanceStats, KernelClass, KernelCounter, Recorder};
 pub use ops::Operation;
 pub use queue::{EigenCache, QueueStats, QueuedInstance};

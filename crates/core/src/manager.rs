@@ -13,10 +13,12 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use crate::api::{BeagleInstance, BufferId, InstanceConfig, ScalingMode};
+use crate::balance::BalancerConfig;
 use crate::checkpoint::{CheckpointedInstance, Provenance};
 use crate::error::{BeagleError, Result};
 use crate::flags::Flags;
 use crate::health::{BreakerConfig, HealthRegistry, Outcome};
+use crate::multi::{ChildSelection, PartitionedInstance};
 use crate::ops::Operation;
 use crate::resource::ResourceDescription;
 use crate::spec::InstanceSpec;
@@ -112,7 +114,10 @@ impl ImplementationManager {
 
     /// Names of all registered implementations.
     pub fn implementation_names(&self) -> Vec<String> {
-        self.factories.iter().map(|f| f.name().to_string()).collect()
+        self.factories
+            .iter()
+            .map(|f| f.name().to_string())
+            .collect()
     }
 
     /// Create an instance from an [`InstanceSpec`] — the single creation
@@ -191,9 +196,8 @@ impl ImplementationManager {
                 // Best first: preference score, then registration priority.
                 // The sort is stable, so equal (score, priority) keeps
                 // registration order.
-                eligible.sort_by(|(fa, sa), (fb, sb)| {
-                    (sb, fb.priority()).cmp(&(sa, fa.priority()))
-                });
+                eligible
+                    .sort_by(|(fa, sa), (fb, sb)| (sb, fb.priority()).cmp(&(sa, fa.priority())));
                 // Circuit breakers: skip quarantined implementations — but
                 // fail open. If every eligible factory is quarantined,
                 // health is ignored entirely; a degraded instance beats no
@@ -348,23 +352,21 @@ impl ImplementationManager {
                     return entry;
                 }
                 match factory.create(&bench_config, Flags::NONE, requirement_flags) {
-                    Ok(mut inst) => {
-                        match run_benchmark_workload(inst.as_mut(), &bench_config) {
-                            Ok((wall, modeled, flops)) => {
-                                self.health.record(factory.name(), Outcome::Success);
-                                entry.wall = wall;
-                                entry.modeled = modeled;
-                                let secs = modeled.unwrap_or(wall).as_secs_f64();
-                                if secs > 0.0 {
-                                    entry.throughput_gflops = flops / secs / 1e9;
-                                }
-                            }
-                            Err(e) => {
-                                self.health.record(factory.name(), outcome_of(&e));
-                                entry.error = Some(e.to_string());
+                    Ok(mut inst) => match run_benchmark_workload(inst.as_mut(), &bench_config) {
+                        Ok((wall, modeled, flops)) => {
+                            self.health.record(factory.name(), Outcome::Success);
+                            entry.wall = wall;
+                            entry.modeled = modeled;
+                            let secs = modeled.unwrap_or(wall).as_secs_f64();
+                            if secs > 0.0 {
+                                entry.throughput_gflops = flops / secs / 1e9;
                             }
                         }
-                    }
+                        Err(e) => {
+                            self.health.record(factory.name(), outcome_of(&e));
+                            entry.error = Some(e.to_string());
+                        }
+                    },
                     Err(e) => {
                         self.health.record(factory.name(), outcome_of(&e));
                         entry.error = Some(e.to_string());
@@ -414,6 +416,57 @@ impl ImplementationManager {
                 .prefer(preference_flags)
                 .require(requirement_flags),
         )
+    }
+
+    /// `create_instance_auto` extended to multiple resources: benchmark
+    /// every registered factory, take the fastest `spec.auto_partition`
+    /// (default 2) measured entries, and build one
+    /// [`PartitionedInstance`] with a child pinned to each winner and
+    /// pattern ranges seeded proportional to measured throughput. Adaptive
+    /// rebalancing ([`crate::balance`], knobs from `BEAGLE_REBALANCE_*`
+    /// environment overrides) is enabled, so the seed split keeps tracking
+    /// the throughput each resource actually delivers at full problem size.
+    ///
+    /// Needs `self` behind an `Arc`: the partitioned instance retains the
+    /// manager to rebuild children on eviction and rebalance.
+    pub fn create_instance_auto_partitioned(
+        self: &Arc<Self>,
+        spec: &InstanceSpec,
+    ) -> Result<PartitionedInstance> {
+        let max_devices = spec
+            .auto_partition
+            .unwrap_or(2)
+            .max(1)
+            .min(spec.config.pattern_count);
+        let measured: Vec<ResourceBenchmark> = self
+            .benchmark_resources(&spec.config, spec.requirements)
+            .into_iter()
+            .filter(|e| e.error.is_none())
+            .take(max_devices)
+            .collect();
+        if measured.is_empty() {
+            return Err(BeagleError::NoImplementationFound);
+        }
+        let selections: Vec<ChildSelection> = measured
+            .iter()
+            .map(|e| ChildSelection::named(&e.implementation, spec.preferences, spec.requirements))
+            .collect();
+        // Throughput-proportional seed weights; a zero measurement (degenerate
+        // clock resolution) falls back to an equal share rather than erroring.
+        let weights: Vec<f64> = measured
+            .iter()
+            .map(|e| {
+                if e.throughput_gflops > 0.0 {
+                    e.throughput_gflops
+                } else {
+                    1.0
+                }
+            })
+            .collect();
+        let mut inst =
+            PartitionedInstance::create_with_selections(self, spec, selections, &weights)?;
+        inst.enable_balancing(BalancerConfig::from_env());
+        Ok(inst)
     }
 }
 
@@ -518,12 +571,16 @@ fn run_benchmark_workload(
         ));
     }
     inst.set_state_frequencies(0, &vec![1.0 / s as f64; s])?;
-    inst.set_category_weights(0, &vec![1.0 / config.category_count as f64; config.category_count])?;
+    inst.set_category_weights(
+        0,
+        &vec![1.0 / config.category_count as f64; config.category_count],
+    )?;
     inst.set_category_rates(&vec![1.0; config.category_count])?;
     inst.set_pattern_weights(&vec![1.0; config.pattern_count])?;
     for tip in 0..tips {
-        let states: Vec<u32> =
-            (0..config.pattern_count).map(|p| ((p + tip) % s) as u32).collect();
+        let states: Vec<u32> = (0..config.pattern_count)
+            .map(|p| ((p + tip) % s) as u32)
+            .collect();
         inst.set_tip_states(tip, &states)?;
     }
     let n_matrices = config.matrix_buffer_count.min(2 * tips - 2).max(1);
@@ -539,7 +596,13 @@ fn run_benchmark_workload(
             let dest = tips + i;
             let child1 = if i == 0 { 0 } else { dest - 1 };
             let child2 = 1 + (i % (tips - 1));
-            Operation::new(dest, child1, dest % n_matrices, child2, (dest + 1) % n_matrices)
+            Operation::new(
+                dest,
+                child1,
+                dest % n_matrices,
+                child2,
+                (dest + 1) % n_matrices,
+            )
         })
         .collect();
     let root = BufferId(tips + internal - 1);
@@ -624,12 +687,7 @@ mod tests {
         ) -> Result<()> {
             Ok(())
         }
-        fn update_transition_matrices(
-            &mut self,
-            _: usize,
-            _: &[usize],
-            _: &[f64],
-        ) -> Result<()> {
+        fn update_transition_matrices(&mut self, _: usize, _: &[usize], _: &[f64]) -> Result<()> {
             Ok(())
         }
         fn set_transition_matrix(&mut self, _: usize, _: &[f64]) -> Result<()> {
@@ -770,7 +828,12 @@ mod tests {
         fn priority(&self) -> i32 {
             self.priority
         }
-        fn create(&self, _: &InstanceConfig, _: Flags, _: Flags) -> Result<Box<dyn BeagleInstance>> {
+        fn create(
+            &self,
+            _: &InstanceConfig,
+            _: Flags,
+            _: Flags,
+        ) -> Result<Box<dyn BeagleInstance>> {
             Err(BeagleError::Device {
                 kind: crate::error::DeviceErrorKind::DeviceLost,
                 transient: false,
@@ -835,7 +898,9 @@ mod tests {
             .create_instance_by_name("cpu", &cfg(), Flags::COMPUTATION_ASYNCH)
             .unwrap();
         assert!(inst.queue_stats().is_some());
-        let inst = m.create_instance_by_name("cpu", &cfg(), Flags::NONE).unwrap();
+        let inst = m
+            .create_instance_by_name("cpu", &cfg(), Flags::NONE)
+            .unwrap();
         assert!(inst.queue_stats().is_none());
     }
 
@@ -867,7 +932,10 @@ mod tests {
             .queued()
             .instantiate(&m)
             .unwrap();
-        assert_eq!(ranked.queue_stats().is_some(), named.queue_stats().is_some());
+        assert_eq!(
+            ranked.queue_stats().is_some(),
+            named.queue_stats().is_some()
+        );
         // Raw semantics remain reachable via the escape hatch.
         let raw = InstanceSpec::with_config(cfg())
             .named("cpu")
@@ -885,7 +953,9 @@ mod tests {
             flags: Flags::PROCESSOR_CPU,
             priority: 0,
         }));
-        let err = InstanceSpec::with_config(cfg()).named("no-such").instantiate(&m);
+        let err = InstanceSpec::with_config(cfg())
+            .named("no-such")
+            .instantiate(&m);
         assert!(matches!(err, Err(BeagleError::NoImplementationFound)));
     }
 
@@ -939,7 +1009,9 @@ mod tests {
             flags: Flags::PROCESSOR_CPU,
             priority: 0,
         }));
-        let inst = m.create_instance_auto(&cfg(), Flags::NONE, Flags::NONE).unwrap();
+        let inst = m
+            .create_instance_auto(&cfg(), Flags::NONE, Flags::NONE)
+            .unwrap();
         assert_eq!(inst.details().implementation_name, "cpu");
     }
 }

@@ -37,9 +37,10 @@
 //! health.
 
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use crate::api::{BeagleInstance, BufferId, InstanceConfig, InstanceDetails, ScalingMode};
+use crate::balance::{BalancerConfig, LoadBalancer, PATTERN_STRIDE};
 use crate::checkpoint::{Checkpoint, Provenance};
 use crate::deadline::Deadline;
 use crate::error::{BeagleError, Result};
@@ -87,12 +88,49 @@ fn splitmix64(state: &mut u64) -> u64 {
     z ^ (z >> 31)
 }
 
+/// How one child's implementation is (re-)selected when it must be created
+/// or rebuilt: either pinned to an exact implementation name (the
+/// auto-partitioned path pins each benchmark winner) or flag-ranked.
+#[derive(Clone, Debug)]
+pub struct ChildSelection {
+    /// Pin to this exact implementation; `None` ranks by flags.
+    pub implementation: Option<String>,
+    /// Soft preference flags for ranking (and wrapper assembly).
+    pub preferences: Flags,
+    /// Hard requirement flags.
+    pub requirements: Flags,
+}
+
+impl ChildSelection {
+    /// Flag-ranked selection (the classic `(preference, requirement)` pair).
+    pub fn from_flags(preferences: Flags, requirements: Flags) -> Self {
+        Self {
+            implementation: None,
+            preferences,
+            requirements,
+        }
+    }
+
+    /// Selection pinned to an exact implementation name.
+    pub fn named(
+        implementation: impl Into<String>,
+        preferences: Flags,
+        requirements: Flags,
+    ) -> Self {
+        Self {
+            implementation: Some(implementation.into()),
+            preferences,
+            requirements,
+        }
+    }
+}
+
 /// What eviction-and-rebuild needs: the registry that can re-create
-/// children, plus each surviving child's selection flags and weight.
+/// children, plus each surviving child's selection and weight.
 struct FailoverState {
     manager: Arc<ImplementationManager>,
-    /// `(preference, requirement)` flags per surviving child.
-    selections: Vec<(Flags, Flags)>,
+    /// Implementation selection per surviving child.
+    selections: Vec<ChildSelection>,
     /// Pattern-share weight per surviving child.
     weights: Vec<f64>,
 }
@@ -120,6 +158,16 @@ pub struct PartitionedInstance {
     /// Per-launch watchdog budget, re-applied to children rebuilt after an
     /// eviction.
     deadline: Option<Deadline>,
+    /// Adaptive load balancer (see [`crate::balance`]); `None` keeps the
+    /// creation-time split for the life of the instance.
+    balancer: Option<LoadBalancer>,
+    /// Per-child elapsed time accumulated since the last integration — one
+    /// balancer observation covers a whole batch (every `update_partials`
+    /// since the previous integrate, plus the integrate itself), so cheap
+    /// per-call kernels don't masquerade as high throughput.
+    pending: Vec<Duration>,
+    /// Successful pattern-range migrations since creation.
+    rebalances: u64,
     /// splitmix64 state for retry-backoff jitter.
     rng: u64,
     /// Failover-event journal; enabled when any child records statistics.
@@ -131,14 +179,31 @@ pub struct PartitionedInstance {
 
 /// Split `patterns` into contiguous ranges proportional to `weights`
 /// (e.g. per-device GFLOPS). Every range is non-empty; weights must be
-/// positive and at most `patterns` long.
+/// positive and at most `patterns` long. Split points are rounded to
+/// [`PATTERN_STRIDE`] so no slice boundary lands inside a SIMD padding
+/// block (see [`weighted_ranges_aligned`] for a custom stride).
 pub fn weighted_ranges(patterns: usize, weights: &[f64]) -> Result<Vec<(usize, usize)>> {
+    weighted_ranges_aligned(patterns, weights, PATTERN_STRIDE)
+}
+
+/// [`weighted_ranges`] with an explicit split-point alignment.
+///
+/// Interior split points are rounded to the nearest multiple of `stride`
+/// whenever a multiple exists inside the feasible window (every part keeps
+/// at least one pattern); when none does — tiny pattern counts, extreme
+/// weights — that split falls back to the unaligned proportional point
+/// rather than violating the cover invariants.
+pub fn weighted_ranges_aligned(
+    patterns: usize,
+    weights: &[f64],
+    stride: usize,
+) -> Result<Vec<(usize, usize)>> {
     if weights.is_empty() {
         return Err(BeagleError::InvalidConfiguration(
             "need at least one partition weight".into(),
         ));
     }
-    if !weights.iter().all(|&w| w > 0.0) {
+    if !weights.iter().all(|&w| w > 0.0 && w.is_finite()) {
         return Err(BeagleError::InvalidConfiguration(format!(
             "partition weights must be positive, got {weights:?}"
         )));
@@ -149,18 +214,34 @@ pub fn weighted_ranges(patterns: usize, weights: &[f64]) -> Result<Vec<(usize, u
             weights.len()
         )));
     }
+    let stride = stride.max(1);
     let total: f64 = weights.iter().sum();
     let mut ranges = Vec::with_capacity(weights.len());
     let mut start = 0usize;
     let mut acc = 0.0;
     for (i, &w) in weights.iter().enumerate() {
         acc += w;
-        let mut end = ((acc / total) * patterns as f64).round() as usize;
-        if i == weights.len() - 1 {
-            end = patterns;
-        }
-        // Guarantee at least one pattern per part and monotone ends.
-        end = end.clamp(start + 1, patterns - (weights.len() - 1 - i));
+        let ideal = (acc / total) * patterns as f64;
+        let end = if i == weights.len() - 1 {
+            patterns
+        } else {
+            // Feasible window: at least one pattern here, at least one for
+            // each remaining part.
+            let lo = start + 1;
+            let hi = patterns - (weights.len() - 1 - i);
+            let mut end = ((ideal / stride as f64).round() as usize).saturating_mul(stride);
+            if end < lo {
+                end = lo.div_ceil(stride) * stride;
+            }
+            if end > hi {
+                end = hi / stride * stride;
+            }
+            if end < lo || end > hi {
+                // No aligned point fits the window; take the unaligned one.
+                end = (ideal.round() as usize).clamp(lo, hi);
+            }
+            end
+        };
         ranges.push((start, end));
         start = end;
     }
@@ -192,33 +273,16 @@ impl PartitionedInstance {
         devices: &[(Flags, Flags)],
         weights: &[f64],
     ) -> Result<Self> {
-        config.validate()?;
-        if devices.is_empty() || devices.len() != weights.len() {
-            return Err(BeagleError::InvalidConfiguration(
-                "need one positive weight per device".into(),
-            ));
-        }
-        let ranges = weighted_ranges(config.pattern_count, weights)?;
-        let mut parts = Vec::with_capacity(devices.len());
-        for (i, (&(prefs, reqs), &(p0, p1))) in devices.iter().zip(&ranges).enumerate() {
-            let mut sub = *config;
-            sub.pattern_count = p1 - p0;
-            let part = manager.create_instance(&sub, prefs, reqs).map_err(|e| {
-                BeagleError::ChildCreationFailed {
-                    child: i,
-                    device: format!("prefs {prefs} / reqs {reqs}"),
-                    source: Box::new(e),
-                }
-            })?;
-            parts.push(part);
-        }
-        let mut inst = Self::from_parts(parts, ranges, *config)?;
-        inst.failover = Some(FailoverState {
-            manager: Arc::clone(manager),
-            selections: devices.to_vec(),
-            weights: weights.to_vec(),
-        });
-        Ok(inst)
+        let selections = devices
+            .iter()
+            .map(|&(prefs, reqs)| ChildSelection::from_flags(prefs, reqs))
+            .collect();
+        Self::create_with_selections(
+            manager,
+            &InstanceSpec::with_config(*config),
+            selections,
+            weights,
+        )
     }
 
     /// Like [`PartitionedInstance::create`], but applying the robustness
@@ -233,7 +297,52 @@ impl PartitionedInstance {
         devices: &[(Flags, Flags)],
         weights: &[f64],
     ) -> Result<Self> {
-        let mut inst = Self::create(manager, &spec.config, devices, weights)?;
+        let selections = devices
+            .iter()
+            .map(|&(prefs, reqs)| ChildSelection::from_flags(prefs, reqs))
+            .collect();
+        Self::create_with_selections(manager, spec, selections, weights)
+    }
+
+    /// The general creation path: one child per [`ChildSelection`] (pinned
+    /// by name or flag-ranked), pattern ranges proportional to `weights`,
+    /// and the spec's retry policy / watchdog deadline applied. This is what
+    /// [`ImplementationManager::create_instance_auto_partitioned`] uses to
+    /// pin each benchmark winner by name.
+    pub fn create_with_selections(
+        manager: &Arc<ImplementationManager>,
+        spec: &InstanceSpec,
+        selections: Vec<ChildSelection>,
+        weights: &[f64],
+    ) -> Result<Self> {
+        let config = spec.config;
+        config.validate()?;
+        if selections.is_empty() || selections.len() != weights.len() {
+            return Err(BeagleError::InvalidConfiguration(
+                "need one positive weight per device".into(),
+            ));
+        }
+        let ranges = weighted_ranges(config.pattern_count, weights)?;
+        let mut parts = Vec::with_capacity(selections.len());
+        for (i, (sel, &(p0, p1))) in selections.iter().zip(&ranges).enumerate() {
+            let part = Self::build_child(manager, &config, sel, p1 - p0).map_err(|e| {
+                BeagleError::ChildCreationFailed {
+                    child: i,
+                    device: match &sel.implementation {
+                        Some(name) => name.clone(),
+                        None => format!("prefs {} / reqs {}", sel.preferences, sel.requirements),
+                    },
+                    source: Box::new(e),
+                }
+            })?;
+            parts.push(part);
+        }
+        let mut inst = Self::from_parts(parts, ranges, config)?;
+        inst.failover = Some(FailoverState {
+            manager: Arc::clone(manager),
+            selections,
+            weights: weights.to_vec(),
+        });
         if let Some(retry) = spec.retry {
             inst.set_retry_policy(retry);
         }
@@ -241,6 +350,24 @@ impl PartitionedInstance {
             inst.set_deadline(spec.deadline);
         }
         Ok(inst)
+    }
+
+    /// Create one child sized for `patterns` patterns according to `sel`.
+    fn build_child(
+        manager: &ImplementationManager,
+        config: &InstanceConfig,
+        sel: &ChildSelection,
+        patterns: usize,
+    ) -> Result<Box<dyn BeagleInstance>> {
+        let mut sub = *config;
+        sub.pattern_count = patterns;
+        let mut spec = InstanceSpec::with_config(sub)
+            .prefer(sel.preferences)
+            .require(sel.requirements);
+        if let Some(name) = &sel.implementation {
+            spec = spec.named(name.clone());
+        }
+        manager.create_from_spec(&spec)
     }
 
     /// Assemble from already-created children (one per pattern range).
@@ -279,6 +406,7 @@ impl PartitionedInstance {
         let details = Self::aggregate_details(&parts);
         let site_lnl = vec![0.0; config.pattern_count];
         let retry_counts = vec![0; parts.len()];
+        let n_parts = parts.len();
         let recorder = Recorder::new(parts.iter().any(|p| p.statistics().is_some()));
         Ok(Self {
             parts,
@@ -292,12 +420,19 @@ impl PartitionedInstance {
             retry_counts,
             evictions: 0,
             deadline: None,
+            balancer: None,
+            pending: vec![Duration::ZERO; n_parts],
+            rebalances: 0,
             rng: 0x5eed_0fbe_a91e,
             salvaged: Vec::new(),
             recorder,
         })
     }
 
+    /// Details aggregated over the *current* children. Must be re-derived
+    /// whenever the child set or layout changes (eviction, rebalance) — the
+    /// implementation name, OR'd capability flags, and summed thread count
+    /// all describe the live children, not the creation-time ones.
     fn aggregate_details(parts: &[Box<dyn BeagleInstance>]) -> InstanceDetails {
         let names: Vec<&str> = parts
             .iter()
@@ -311,6 +446,12 @@ impl PartitionedInstance {
                 .fold(Flags::NONE, |acc, p| acc | p.details().flags),
             thread_count: parts.iter().map(|p| p.details().thread_count).sum(),
         }
+    }
+
+    /// Re-derive `self.details` from the live children (called after every
+    /// eviction and every rebalance).
+    fn refresh_details(&mut self) {
+        self.details = Self::aggregate_details(&self.parts);
     }
 
     /// Number of child devices.
@@ -343,9 +484,175 @@ impl PartitionedInstance {
         self.evictions
     }
 
+    /// Successful pattern-range migrations since creation.
+    pub fn rebalance_count(&self) -> u64 {
+        self.rebalances
+    }
+
+    /// Switch on adaptive load balancing (see [`crate::balance`]): every
+    /// batch (the `update_partials` calls since the previous integration,
+    /// plus the integration that closes it) feeds per-child elapsed times
+    /// into an EWMA throughput estimate, and when the predicted makespan
+    /// skew of the current split exceeds `config.skew_threshold` the
+    /// children are rebuilt at new measured-throughput ranges. Requires
+    /// failover state (a retained manager) to migrate; without it the
+    /// balancer measures but any proposed migration is dropped.
+    pub fn enable_balancing(&mut self, config: BalancerConfig) {
+        self.balancer = Some(LoadBalancer::new(self.parts.len(), config));
+        self.pending = vec![Duration::ZERO; self.parts.len()];
+    }
+
+    /// The adaptive balancer, if [`Self::enable_balancing`] was called.
+    pub fn balancer(&self) -> Option<&LoadBalancer> {
+        self.balancer.as_ref()
+    }
+
+    /// Migrate to new pattern ranges proportional to `weights` (one per
+    /// child, positive). The same migration the adaptive path performs, but
+    /// at an explicit weighting — deterministic test harnesses drive every
+    /// intermediate configuration through this. Returns `Ok(false)` when
+    /// the weighting maps to the ranges already in place.
+    pub fn rebalance_to(&mut self, weights: &[f64]) -> Result<bool> {
+        let stride = self
+            .balancer
+            .as_ref()
+            .map_or(PATTERN_STRIDE, |b| b.config().stride);
+        let ranges = weighted_ranges_aligned(self.config.pattern_count, weights, stride)?;
+        self.apply_rebalance(&ranges, weights)
+    }
+
+    /// Close the batch an integration just finished: each clean child's
+    /// integrate `observations` entry, plus whatever `update_partials` time
+    /// it accumulated in `pending` since the previous integration, becomes
+    /// one balancer throughput sample. Children that retried mid-batch have
+    /// their pending time discarded (tainted sample).
+    fn observe_batch(&mut self, observations: Vec<(usize, Duration)>) {
+        if let Some(balancer) = &mut self.balancer {
+            for (i, elapsed) in observations {
+                let (p0, p1) = self.ranges[i];
+                balancer.observe(i, p1 - p0, self.pending[i] + elapsed);
+            }
+        }
+        self.pending.fill(Duration::ZERO);
+    }
+
+    /// Ask the balancer whether the measured throughputs justify a
+    /// migration, and perform it if so. Called at batch boundaries (after
+    /// an integration completes) — never mid-batch, so children are always
+    /// migrated at a consistent journaled state. Migration failures abort
+    /// the attempt and keep the current children; the balancer will simply
+    /// propose again after the next batch.
+    fn maybe_rebalance(&mut self) {
+        if self.failover.is_none() {
+            return;
+        }
+        let Some(balancer) = &mut self.balancer else {
+            return;
+        };
+        let Some((ranges, weights)) = balancer.plan(self.config.pattern_count, &self.ranges) else {
+            return;
+        };
+        let _ = self.apply_rebalance(&ranges, &weights);
+    }
+
+    /// Migrate pattern slices between children: rebuild every child at its
+    /// new range and replay the journal slice into it (tip data, pattern
+    /// weights, partials, scale state — the full recorded state), then
+    /// atomically swap the child set. Any creation or replay failure aborts
+    /// the whole migration with the old children untouched.
+    fn apply_rebalance(&mut self, new_ranges: &[(usize, usize)], weights: &[f64]) -> Result<bool> {
+        if new_ranges == self.ranges.as_slice() {
+            return Ok(false);
+        }
+        let Some(failover) = &self.failover else {
+            return Err(BeagleError::InvalidConfiguration(
+                "cannot rebalance without failover state (no manager to rebuild children with)"
+                    .into(),
+            ));
+        };
+        if new_ranges.len() != self.parts.len() || weights.len() != self.parts.len() {
+            return Err(BeagleError::InvalidConfiguration(format!(
+                "rebalance needs one range and weight per child, got {} ranges / {} weights / {} children",
+                new_ranges.len(),
+                weights.len(),
+                self.parts.len()
+            )));
+        }
+        let mut new_parts: Vec<Box<dyn BeagleInstance>> = Vec::with_capacity(new_ranges.len());
+        for (i, (sel, &(p0, p1))) in failover.selections.iter().zip(new_ranges).enumerate() {
+            let built = Self::build_child(&failover.manager, &self.config, sel, p1 - p0).and_then(
+                |mut inst| {
+                    inst.set_deadline(self.deadline);
+                    self.journal
+                        .replay_slice(inst.as_mut(), &self.config, p0, p1)
+                        .map(|()| inst)
+                },
+            );
+            match built {
+                Ok(inst) => new_parts.push(inst),
+                Err(e) => {
+                    self.recorder.event(EventKind::Rebalance, || {
+                        format!("aborted child={i} cause={e}")
+                    });
+                    return Err(e);
+                }
+            }
+        }
+        // Commit: salvage the outgoing children's event journals (their
+        // narration should survive the migration), then swap.
+        let old_ranges = std::mem::replace(&mut self.ranges, new_ranges.to_vec());
+        for mut old in std::mem::replace(&mut self.parts, new_parts) {
+            self.salvaged =
+                obs::merge_journals(std::mem::take(&mut self.salvaged), old.take_journal());
+        }
+        if let Some(failover) = &mut self.failover {
+            failover.weights = weights.to_vec();
+        }
+        self.retry_counts = vec![0; self.parts.len()];
+        self.pending = vec![Duration::ZERO; self.parts.len()];
+        self.refresh_details();
+        self.rebalances += 1;
+        self.recorder.event(EventKind::Rebalance, || {
+            format!(
+                "from={old_ranges:?} to={:?} weights={weights:?}",
+                self.ranges
+            )
+        });
+        Ok(true)
+    }
+
+    /// Recompute the global log-likelihood from the concatenated per-pattern
+    /// site values, in pattern order — the exact left-to-right reduction
+    /// `Σ widen(wᵖ)·widen(lnlᵖ)` every single-instance back-end performs
+    /// (scalar, SIMD and accelerator kernels all accumulate this way). The
+    /// children's own partial totals are discarded: summing them would group
+    /// the additions at partition boundaries and drift from the
+    /// single-instance bits. Weights are re-cast through each child's
+    /// precision so the parent multiplies the same widened operands the
+    /// child's kernel did.
+    fn reduce_total(&self) -> f64 {
+        let weights = self.journal.pattern_weights();
+        let mut total = 0.0;
+        for (part, &(p0, p1)) in self.parts.iter().zip(&self.ranges) {
+            let single = part.details().flags.contains(Flags::PRECISION_SINGLE);
+            for p in p0..p1 {
+                let w = weights.map_or(1.0, |w| w[p]);
+                let w = if single { w as f32 as f64 } else { w };
+                total += w * self.site_lnl[p];
+            }
+        }
+        total
+    }
+
     /// Extract child `i`'s `[category][pattern][state]` sub-buffer from a
     /// full-problem buffer with `per_pattern` values per pattern.
-    fn slice_blocked(&self, i: usize, data: &[f64], per_pattern: usize, categories: usize) -> Vec<f64> {
+    fn slice_blocked(
+        &self,
+        i: usize,
+        data: &[f64],
+        per_pattern: usize,
+        categories: usize,
+    ) -> Vec<f64> {
         let (p0, p1) = self.ranges[i];
         let n_pat = self.config.pattern_count;
         let mut out = Vec::with_capacity(categories * (p1 - p0) * per_pattern);
@@ -420,33 +727,51 @@ impl PartitionedInstance {
         };
         self.evictions += 1;
         self.recorder.event(EventKind::FailoverEviction, || {
-            format!("child={dead} cause={cause} survivors={}", self.parts.len() - 1)
+            format!(
+                "child={dead} cause={cause} survivors={}",
+                self.parts.len() - 1
+            )
         });
         // Salvage the dying child's event journal before dropping it: it
         // recorded the fault's own narration (e.g. the watchdog
         // cancellation that caused this eviction).
         let mut dying = self.parts.remove(dead);
-        self.salvaged = obs::merge_journals(std::mem::take(&mut self.salvaged), dying.take_journal());
+        self.salvaged =
+            obs::merge_journals(std::mem::take(&mut self.salvaged), dying.take_journal());
         drop(dying);
         failover.selections.remove(dead);
         failover.weights.remove(dead);
         self.retry_counts.remove(dead);
+        self.pending.remove(dead);
+        if let Some(b) = &mut self.balancer {
+            b.remove_part(dead);
+        }
 
         loop {
             if failover.selections.is_empty() {
                 return Err(cause);
             }
+            // An eviction is an immediate rebalance over the survivors:
+            // when the balancer has settled throughput estimates, the
+            // rebuild uses *measured* weights rather than the stale
+            // creation-time shares.
+            if let Some(thr) = self.balancer.as_ref().and_then(|b| b.throughputs()) {
+                if thr.len() == failover.weights.len() {
+                    failover.weights = thr;
+                    self.recorder.event(EventKind::Rebalance, || {
+                        format!(
+                            "trigger=eviction survivors={} weights={:?}",
+                            failover.selections.len(),
+                            failover.weights
+                        )
+                    });
+                }
+            }
             let ranges = weighted_ranges(self.config.pattern_count, &failover.weights)?;
             let mut new_parts: Vec<Box<dyn BeagleInstance>> = Vec::with_capacity(ranges.len());
             let mut doomed: Option<usize> = None;
-            for (j, (&(prefs, reqs), &(p0, p1))) in
-                failover.selections.iter().zip(&ranges).enumerate()
-            {
-                let mut sub = self.config;
-                sub.pattern_count = p1 - p0;
-                let rebuilt = failover
-                    .manager
-                    .create_instance(&sub, prefs, reqs)
+            for (j, (sel, &(p0, p1))) in failover.selections.iter().zip(&ranges).enumerate() {
+                let rebuilt = Self::build_child(&failover.manager, &self.config, sel, p1 - p0)
                     .and_then(|mut inst| {
                         // Restore the watchdog budget before replay: a
                         // replacement device can stall during replay too.
@@ -466,18 +791,26 @@ impl PartitionedInstance {
             match doomed {
                 None => {
                     self.retry_counts = vec![0; new_parts.len()];
-                    self.details = Self::aggregate_details(&new_parts);
+                    self.pending = vec![Duration::ZERO; new_parts.len()];
                     self.parts = new_parts;
                     self.ranges = ranges;
+                    self.refresh_details();
                     return Ok(());
                 }
                 Some(j) => {
                     self.evictions += 1;
                     self.recorder.event(EventKind::FailoverEviction, || {
-                        format!("child={j} cause=rebuild-failed survivors={}", failover.selections.len() - 1)
+                        format!(
+                            "child={j} cause=rebuild-failed survivors={}",
+                            failover.selections.len() - 1
+                        )
                     });
                     failover.selections.remove(j);
                     failover.weights.remove(j);
+                    self.pending.remove(j);
+                    if let Some(b) = &mut self.balancer {
+                        b.remove_part(j);
+                    }
                 }
             }
         }
@@ -576,7 +909,14 @@ impl BeagleInstance for PartitionedInstance {
         }
         self.journal.record_partials(buffer, partials);
         let chunks: Vec<Vec<f64>> = (0..self.parts.len())
-            .map(|i| self.slice_blocked(i, partials, self.config.state_count, self.config.category_count))
+            .map(|i| {
+                self.slice_blocked(
+                    i,
+                    partials,
+                    self.config.state_count,
+                    self.config.category_count,
+                )
+            })
             .collect();
         self.fan_out_recorded(|i, _, part| part.set_partials(buffer, &chunks[i]))
     }
@@ -665,18 +1005,51 @@ impl BeagleInstance for PartitionedInstance {
     fn update_partials(&mut self, operations: &[Operation]) -> Result<()> {
         self.journal.record_operations(operations);
         // The payoff: every device computes its pattern slice concurrently.
-        let mut results: Vec<Result<()>> = Vec::new();
+        // Each child's elapsed time — modeled device time when it simulates
+        // one (injected stalls charge the simulated clock, not the wall),
+        // wall time otherwise — doubles as the load balancer's throughput
+        // sample for that child.
+        let mut results: Vec<(Result<()>, Duration)> = Vec::new();
         std::thread::scope(|scope| {
             let handles: Vec<_> = self
                 .parts
                 .iter_mut()
-                .map(|part| scope.spawn(move || part.update_partials(operations)))
+                .map(|part| {
+                    scope.spawn(move || {
+                        // Peek, never flush: reading the real simulated
+                        // clock on a queued child would execute its
+                        // deferred work right here.
+                        let sim0 = part.peek_simulated_time();
+                        let t0 = Instant::now();
+                        let r = part.update_partials(operations);
+                        let wall = t0.elapsed();
+                        let elapsed = part
+                            .peek_simulated_time()
+                            .zip(sim0)
+                            .map(|(t1, t0)| t1.saturating_sub(t0))
+                            .filter(|d| !d.is_zero())
+                            .unwrap_or(wall);
+                        (r, elapsed)
+                    })
+                })
                 .collect();
             results = handles
                 .into_iter()
                 .map(|h| h.join().expect("no panics"))
                 .collect();
         });
+        // Accumulate clean first-try successes into the per-child batch
+        // cost; the balancer observes the whole batch once, when the next
+        // integration closes it. A sample that includes a fault, retry
+        // backoff, or rebuild says nothing about throughput.
+        if self.balancer.is_some() {
+            for (i, (r, elapsed)) in results.iter().enumerate() {
+                if r.is_ok() {
+                    self.pending[i] += *elapsed;
+                }
+            }
+        }
+        let results: Vec<Result<()>> = results.into_iter().map(|(r, _)| r).collect();
         // Retry transient failures serially; escalate the first
         // unrecoverable one.
         let mut fatal: Option<(usize, BeagleError)> = None;
@@ -735,9 +1108,7 @@ impl BeagleInstance for PartitionedInstance {
     ) -> Result<()> {
         self.journal
             .record_scale_accumulation(scale_indices, cumulative);
-        self.fan_out_recorded(|_, _, part| {
-            part.accumulate_scale_factors(scale_indices, cumulative)
-        })
+        self.fan_out_recorded(|_, _, part| part.accumulate_scale_factors(scale_indices, cumulative))
     }
 
     fn integrate_root(
@@ -751,21 +1122,25 @@ impl BeagleInstance for PartitionedInstance {
         // eviction the whole reduction restarts against the rebuilt
         // children. Bounded: every round either returns or evicts.
         'round: for _ in 0..=self.parts.len() {
-            let mut total = 0.0;
+            let mut observations: Vec<(usize, Duration)> = Vec::with_capacity(self.parts.len());
             for i in 0..self.parts.len() {
                 let retry = self.retry;
-                let mut value = 0.0;
                 let before = self.retry_counts[i];
+                // Peek so a queued child's pending batch flushes *inside*
+                // the timed integrate below, not here.
+                let sim0 = self.parts[i].peek_simulated_time();
+                let t0 = Instant::now();
                 let r = Self::call_with_retry(
                     retry,
                     &mut self.rng,
                     &mut self.retry_counts[i],
                     self.parts[i].as_mut(),
                     |p| {
-                        value = p.integrate_root(root, category_weights, frequencies, scaling)?;
+                        p.integrate_root(root, category_weights, frequencies, scaling)?;
                         Ok(())
                     },
                 );
+                let wall = t0.elapsed();
                 let retries = self.retry_counts[i] - before;
                 if retries > 0 {
                     self.recorder.event(EventKind::FailoverRetry, || {
@@ -779,12 +1154,27 @@ impl BeagleInstance for PartitionedInstance {
                     self.evict_and_rebuild(i, e)?;
                     continue 'round;
                 }
+                if retries == 0 {
+                    // Integration flushes any queued work, so for queued
+                    // children this sample carries the batch's real cost.
+                    let elapsed = self.parts[i]
+                        .peek_simulated_time()
+                        .zip(sim0)
+                        .map(|(t1, t0)| t1.saturating_sub(t0))
+                        .filter(|d| !d.is_zero())
+                        .unwrap_or(wall);
+                    observations.push((i, elapsed));
+                }
                 let resource = self.parts[i].details().implementation_name.clone();
                 self.note_health(&resource, Outcome::Success);
-                total += value;
                 let (p0, p1) = self.ranges[i];
                 self.site_lnl[p0..p1].copy_from_slice(&self.parts[i].get_site_log_likelihoods()?);
             }
+            // Reduce before any migration: the per-range precision casts
+            // must match the children that produced these site values.
+            let total = self.reduce_total();
+            self.observe_batch(observations);
+            self.maybe_rebalance();
             return Ok(total);
         }
         unreachable!("eviction loop is bounded by the child count");
@@ -800,18 +1190,21 @@ impl BeagleInstance for PartitionedInstance {
         scaling: ScalingMode,
     ) -> Result<f64> {
         'round: for _ in 0..=self.parts.len() {
-            let mut total = 0.0;
+            let mut observations: Vec<(usize, Duration)> = Vec::with_capacity(self.parts.len());
             for i in 0..self.parts.len() {
                 let retry = self.retry;
-                let mut value = 0.0;
                 let before = self.retry_counts[i];
+                // Peek so a queued child's pending batch flushes *inside*
+                // the timed integrate below, not here.
+                let sim0 = self.parts[i].peek_simulated_time();
+                let t0 = Instant::now();
                 let r = Self::call_with_retry(
                     retry,
                     &mut self.rng,
                     &mut self.retry_counts[i],
                     self.parts[i].as_mut(),
                     |p| {
-                        value = p.integrate_edge(
+                        p.integrate_edge(
                             parent,
                             child,
                             matrix,
@@ -822,6 +1215,7 @@ impl BeagleInstance for PartitionedInstance {
                         Ok(())
                     },
                 );
+                let wall = t0.elapsed();
                 let retries = self.retry_counts[i] - before;
                 if retries > 0 {
                     self.recorder.event(EventKind::FailoverRetry, || {
@@ -835,12 +1229,23 @@ impl BeagleInstance for PartitionedInstance {
                     self.evict_and_rebuild(i, e)?;
                     continue 'round;
                 }
+                if retries == 0 {
+                    let elapsed = self.parts[i]
+                        .peek_simulated_time()
+                        .zip(sim0)
+                        .map(|(t1, t0)| t1.saturating_sub(t0))
+                        .filter(|d| !d.is_zero())
+                        .unwrap_or(wall);
+                    observations.push((i, elapsed));
+                }
                 let resource = self.parts[i].details().implementation_name.clone();
                 self.note_health(&resource, Outcome::Success);
-                total += value;
                 let (p0, p1) = self.ranges[i];
                 self.site_lnl[p0..p1].copy_from_slice(&self.parts[i].get_site_log_likelihoods()?);
             }
+            let total = self.reduce_total();
+            self.observe_batch(observations);
+            self.maybe_rebalance();
             return Ok(total);
         }
         unreachable!("eviction loop is bounded by the child count");
@@ -856,6 +1261,13 @@ impl BeagleInstance for PartitionedInstance {
         self.parts
             .iter()
             .map(|p| p.simulated_time())
+            .try_fold(std::time::Duration::ZERO, |acc, t| t.map(|t| acc.max(t)))
+    }
+
+    fn peek_simulated_time(&self) -> Option<std::time::Duration> {
+        self.parts
+            .iter()
+            .map(|p| p.peek_simulated_time())
             .try_fold(std::time::Duration::ZERO, |acc, t| t.map(|t| acc.max(t)))
     }
 
@@ -879,8 +1291,10 @@ impl BeagleInstance for PartitionedInstance {
     }
 
     fn take_journal(&mut self) -> Vec<obs::Event> {
-        let mut merged =
-            obs::merge_journals(std::mem::take(&mut self.salvaged), self.recorder.take_journal());
+        let mut merged = obs::merge_journals(
+            std::mem::take(&mut self.salvaged),
+            self.recorder.take_journal(),
+        );
         for p in &mut self.parts {
             merged = obs::merge_journals(merged, p.take_journal());
         }
@@ -924,13 +1338,48 @@ mod tests {
 
     #[test]
     fn weighted_ranges_cover_and_respect_weights() {
+        // The 1:3 split point (250) rounds down to the pattern stride (248).
         let r = weighted_ranges(1000, &[1.0, 3.0]).unwrap();
-        assert_eq!(r, vec![(0, 250), (250, 1000)]);
+        assert_eq!(r, vec![(0, 248), (248, 1000)]);
         let r = weighted_ranges(10, &[1.0, 1.0, 1.0]).unwrap();
         assert_eq!(r.first().unwrap().0, 0);
         assert_eq!(r.last().unwrap().1, 10);
         let covered: usize = r.iter().map(|(a, b)| b - a).sum();
         assert_eq!(covered, 10);
+    }
+
+    #[test]
+    fn split_points_are_stride_aligned() {
+        // Regression: the proportional split used to land mid-padding-block
+        // (e.g. 250 with an 8-pattern SIMD stride), so a migrated slice
+        // started inside a partially-filled vector. Every interior split
+        // must now be a stride multiple whenever the window allows one.
+        for weights in [
+            vec![1.0, 3.0],
+            vec![9.0, 1.0],
+            vec![1.0, 1.0, 1.0],
+            vec![2.5, 1.0, 4.0],
+        ] {
+            let r = weighted_ranges(1024, &weights).unwrap();
+            for w in r.windows(2) {
+                assert_eq!(w[0].1 % PATTERN_STRIDE, 0, "unaligned split in {r:?}");
+            }
+            assert_eq!(r.last().unwrap().1, 1024);
+        }
+    }
+
+    #[test]
+    fn explicit_stride_respected_with_fallback() {
+        let r = weighted_ranges_aligned(1000, &[1.0, 1.0], 16).unwrap();
+        assert_eq!(r, vec![(0, 496), (496, 1000)]);
+        // Stride 1 reproduces the exact proportional split.
+        let r = weighted_ranges_aligned(1000, &[1.0, 3.0], 1).unwrap();
+        assert_eq!(r, vec![(0, 250), (250, 1000)]);
+        // Infeasible alignment (tiny windows) falls back without violating
+        // the cover invariants.
+        let r = weighted_ranges_aligned(5, &[1.0, 1.0, 1.0], 8).unwrap();
+        assert_eq!(r.last().unwrap().1, 5);
+        assert!(r.iter().all(|(a, b)| b > a), "{r:?}");
     }
 
     #[test]

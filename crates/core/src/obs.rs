@@ -237,6 +237,9 @@ pub enum EventKind {
     CheckpointSaved,
     /// An instance was reconstructed from a checkpoint snapshot.
     CheckpointRestored,
+    /// A partitioned instance migrated pattern ranges between children
+    /// (adaptive load balancing, or an eviction re-split over survivors).
+    Rebalance,
 }
 
 impl EventKind {
@@ -259,6 +262,7 @@ impl EventKind {
             EventKind::BreakerClosed => "breaker_closed",
             EventKind::CheckpointSaved => "checkpoint_saved",
             EventKind::CheckpointRestored => "checkpoint_restored",
+            EventKind::Rebalance => "rebalance",
         }
     }
 }
@@ -544,7 +548,9 @@ mod tests {
         let sw = r.start();
         r.finish(sw, KernelClass::PartialsPP, 10, 100);
         r.tally(KernelClass::PoolDispatch, 1, 0);
-        r.event(EventKind::QueueFlush, || unreachable!("detail must not run"));
+        r.event(EventKind::QueueFlush, || {
+            unreachable!("detail must not run")
+        });
         assert!(r.stats().is_none());
         assert!(r.take_journal().is_empty());
     }

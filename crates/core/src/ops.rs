@@ -187,15 +187,21 @@ mod tests {
         let levels = dependency_levels(&ops);
         assert_eq!(levels.len(), 3);
         assert_eq!(levels[0], vec![ops[0]]);
-        assert_eq!(levels[1], vec![ops[1], ops[2]], "both diamond arms share a level");
+        assert_eq!(
+            levels[1],
+            vec![ops[1], ops[2]],
+            "both diamond arms share a level"
+        );
         assert_eq!(levels[2], vec![ops[3]]);
     }
 
     #[test]
     fn scaling_indices_do_not_affect_leveling() {
         let plain = [op(4, 0, 1), op(5, 2, 3), op(6, 4, 5)];
-        let scaled: Vec<Operation> =
-            plain.iter().map(|o| o.with_scaling(o.destination)).collect();
+        let scaled: Vec<Operation> = plain
+            .iter()
+            .map(|o| o.with_scaling(o.destination))
+            .collect();
         let lp = dependency_levels(&plain);
         let ls = dependency_levels(&scaled);
         assert_eq!(lp.len(), ls.len());

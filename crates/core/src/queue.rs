@@ -36,6 +36,16 @@
 //! (bad index, wrong length) surface at the flush point — the call that
 //! demanded the result. A flush aborts at the first error and discards the
 //! rest of the queue.
+//!
+//! Interaction with the load balancer
+//! ([`crate::balance::LoadBalancer`]): when a partitioned child is queued,
+//! its `update_partials` call returns after enqueueing, so the parent's
+//! per-call wall/simulated timing would measure nothing. That is why
+//! [`crate::multi::PartitionedInstance`] accumulates each child's elapsed
+//! time across the whole batch and feeds the balancer one observation per
+//! batch at integration time — the integrate is a result-demanding call
+//! that flushes the queue, so the batched observation captures the real
+//! (flushed) cost of a queued child just as it does an eager one.
 
 use std::cell::RefCell;
 use std::collections::{HashMap, HashSet, VecDeque};
@@ -112,7 +122,10 @@ impl EigenCache {
     }
 
     fn bits(parts: &[&[f64]]) -> Vec<u64> {
-        parts.iter().flat_map(|p| p.iter().map(|v| v.to_bits())).collect()
+        parts
+            .iter()
+            .flat_map(|p| p.iter().map(|v| v.to_bits()))
+            .collect()
     }
 
     /// Record new eigen data for `index`; drops that index's entries when
@@ -187,19 +200,49 @@ impl EigenCache {
 
 /// One deferred API call.
 enum Pending {
-    TipStates { tip: usize, states: Vec<u32> },
-    TipPartials { tip: usize, partials: Vec<f64> },
-    Partials { buffer: usize, partials: Vec<f64> },
+    TipStates {
+        tip: usize,
+        states: Vec<u32>,
+    },
+    TipPartials {
+        tip: usize,
+        partials: Vec<f64>,
+    },
+    Partials {
+        buffer: usize,
+        partials: Vec<f64>,
+    },
     PatternWeights(Vec<f64>),
-    StateFrequencies { index: usize, frequencies: Vec<f64> },
+    StateFrequencies {
+        index: usize,
+        frequencies: Vec<f64>,
+    },
     CategoryRates(Vec<f64>),
-    CategoryWeights { index: usize, weights: Vec<f64> },
-    Eigen { index: usize, vectors: Vec<f64>, inverse_vectors: Vec<f64>, values: Vec<f64> },
-    Matrices { eigen_index: usize, matrix_indices: Vec<usize>, branch_lengths: Vec<f64> },
-    SetMatrix { index: usize, matrix: Vec<f64> },
+    CategoryWeights {
+        index: usize,
+        weights: Vec<f64>,
+    },
+    Eigen {
+        index: usize,
+        vectors: Vec<f64>,
+        inverse_vectors: Vec<f64>,
+        values: Vec<f64>,
+    },
+    Matrices {
+        eigen_index: usize,
+        matrix_indices: Vec<usize>,
+        branch_lengths: Vec<f64>,
+    },
+    SetMatrix {
+        index: usize,
+        matrix: Vec<f64>,
+    },
     UpdatePartials(Vec<Operation>),
     ResetScale(usize),
-    AccumulateScale { scale_indices: Vec<usize>, cumulative: usize },
+    AccumulateScale {
+        scale_indices: Vec<usize>,
+        cumulative: usize,
+    },
 }
 
 struct State {
@@ -227,7 +270,8 @@ impl State {
         let items = self.pending.len();
         let sw = self.recorder.start();
         let result = self.flush_pending();
-        self.recorder.finish(sw, KernelClass::QueueFlush, items as u64, 0);
+        self.recorder
+            .finish(sw, KernelClass::QueueFlush, items as u64, 0);
         self.recorder.event(EventKind::QueueFlush, || {
             format!("flush items={items} ok={}", result.is_ok())
         });
@@ -284,12 +328,8 @@ impl State {
     fn apply(&mut self, item: &Pending) -> Result<()> {
         match item {
             Pending::TipStates { tip, states } => self.inner.set_tip_states(*tip, states),
-            Pending::TipPartials { tip, partials } => {
-                self.inner.set_tip_partials(*tip, partials)
-            }
-            Pending::Partials { buffer, partials } => {
-                self.inner.set_partials(*buffer, partials)
-            }
+            Pending::TipPartials { tip, partials } => self.inner.set_tip_partials(*tip, partials),
+            Pending::Partials { buffer, partials } => self.inner.set_partials(*buffer, partials),
             Pending::PatternWeights(w) => self.inner.set_pattern_weights(w),
             Pending::StateFrequencies { index, frequencies } => {
                 self.inner.set_state_frequencies(*index, frequencies)
@@ -301,22 +341,33 @@ impl State {
             Pending::CategoryWeights { index, weights } => {
                 self.inner.set_category_weights(*index, weights)
             }
-            Pending::Eigen { index, vectors, inverse_vectors, values } => {
-                self.cache.note_eigen(*index, vectors, inverse_vectors, values);
+            Pending::Eigen {
+                index,
+                vectors,
+                inverse_vectors,
+                values,
+            } => {
+                self.cache
+                    .note_eigen(*index, vectors, inverse_vectors, values);
                 self.inner
                     .set_eigen_decomposition(*index, vectors, inverse_vectors, values)
             }
-            Pending::Matrices { eigen_index, matrix_indices, branch_lengths } => {
-                self.apply_matrices(*eigen_index, matrix_indices, branch_lengths)
-            }
+            Pending::Matrices {
+                eigen_index,
+                matrix_indices,
+                branch_lengths,
+            } => self.apply_matrices(*eigen_index, matrix_indices, branch_lengths),
             Pending::SetMatrix { index, matrix } => {
                 self.inner.set_transition_matrix(*index, matrix)
             }
             Pending::UpdatePartials(_) => unreachable!("handled by the batch path"),
             Pending::ResetScale(c) => self.inner.reset_scale_factors(*c),
-            Pending::AccumulateScale { scale_indices, cumulative } => {
-                self.inner.accumulate_scale_factors(scale_indices, *cumulative)
-            }
+            Pending::AccumulateScale {
+                scale_indices,
+                cumulative,
+            } => self
+                .inner
+                .accumulate_scale_factors(scale_indices, *cumulative),
         }
     }
 
@@ -335,9 +386,11 @@ impl State {
         let mut seen = HashSet::new();
         let duplicates = matrix_indices.iter().any(|i| !seen.insert(*i));
         if duplicates || matrix_indices.len() != branch_lengths.len() {
-            return self
-                .inner
-                .update_transition_matrices(eigen_index, matrix_indices, branch_lengths);
+            return self.inner.update_transition_matrices(
+                eigen_index,
+                matrix_indices,
+                branch_lengths,
+            );
         }
         let mut miss_indices = Vec::new();
         let mut miss_lengths = Vec::new();
@@ -384,8 +437,7 @@ impl QueuedInstance {
     /// Like [`Self::new`] with an explicit eigen-cache bound.
     pub fn with_cache_capacity(inner: Box<dyn BeagleInstance>, capacity: usize) -> Self {
         let mut details = inner.details().clone();
-        details.flags = details.flags.without(Flags::COMPUTATION_SYNCH)
-            | Flags::COMPUTATION_ASYNCH;
+        details.flags = details.flags.without(Flags::COMPUTATION_SYNCH) | Flags::COMPUTATION_ASYNCH;
         let config = *inner.config();
         // Record queue-level kernel stats iff the wrapped instance is
         // recording: its recorder doubles as the opt-in signal, and the two
@@ -439,17 +491,26 @@ impl BeagleInstance for QueuedInstance {
     }
 
     fn set_tip_states(&mut self, tip: usize, states: &[u32]) -> Result<()> {
-        self.enqueue(Pending::TipStates { tip, states: states.to_vec() });
+        self.enqueue(Pending::TipStates {
+            tip,
+            states: states.to_vec(),
+        });
         Ok(())
     }
 
     fn set_tip_partials(&mut self, tip: usize, partials: &[f64]) -> Result<()> {
-        self.enqueue(Pending::TipPartials { tip, partials: partials.to_vec() });
+        self.enqueue(Pending::TipPartials {
+            tip,
+            partials: partials.to_vec(),
+        });
         Ok(())
     }
 
     fn set_partials(&mut self, buffer: usize, partials: &[f64]) -> Result<()> {
-        self.enqueue(Pending::Partials { buffer, partials: partials.to_vec() });
+        self.enqueue(Pending::Partials {
+            buffer,
+            partials: partials.to_vec(),
+        });
         Ok(())
     }
 
@@ -465,7 +526,10 @@ impl BeagleInstance for QueuedInstance {
     }
 
     fn set_state_frequencies(&mut self, index: usize, frequencies: &[f64]) -> Result<()> {
-        self.enqueue(Pending::StateFrequencies { index, frequencies: frequencies.to_vec() });
+        self.enqueue(Pending::StateFrequencies {
+            index,
+            frequencies: frequencies.to_vec(),
+        });
         Ok(())
     }
 
@@ -475,7 +539,10 @@ impl BeagleInstance for QueuedInstance {
     }
 
     fn set_category_weights(&mut self, index: usize, weights: &[f64]) -> Result<()> {
-        self.enqueue(Pending::CategoryWeights { index, weights: weights.to_vec() });
+        self.enqueue(Pending::CategoryWeights {
+            index,
+            weights: weights.to_vec(),
+        });
         Ok(())
     }
 
@@ -556,7 +623,10 @@ impl BeagleInstance for QueuedInstance {
     }
 
     fn set_transition_matrix(&mut self, index: usize, matrix: &[f64]) -> Result<()> {
-        self.enqueue(Pending::SetMatrix { index, matrix: matrix.to_vec() });
+        self.enqueue(Pending::SetMatrix {
+            index,
+            matrix: matrix.to_vec(),
+        });
         Ok(())
     }
 
@@ -569,7 +639,8 @@ impl BeagleInstance for QueuedInstance {
     fn update_partials(&mut self, operations: &[Operation]) -> Result<()> {
         let st = self.state.get_mut();
         st.stats.ops_enqueued += operations.len() as u64;
-        st.pending.push(Pending::UpdatePartials(operations.to_vec()));
+        st.pending
+            .push(Pending::UpdatePartials(operations.to_vec()));
         Ok(())
     }
 
@@ -599,7 +670,8 @@ impl BeagleInstance for QueuedInstance {
     ) -> Result<f64> {
         let st = self.state.get_mut();
         st.flush()?;
-        st.inner.integrate_root(root, category_weights, frequencies, scaling)
+        st.inner
+            .integrate_root(root, category_weights, frequencies, scaling)
     }
 
     fn integrate_edge(
@@ -613,8 +685,14 @@ impl BeagleInstance for QueuedInstance {
     ) -> Result<f64> {
         let st = self.state.get_mut();
         st.flush()?;
-        st.inner
-            .integrate_edge(parent, child, matrix, category_weights, frequencies, scaling)
+        st.inner.integrate_edge(
+            parent,
+            child,
+            matrix,
+            category_weights,
+            frequencies,
+            scaling,
+        )
     }
 
     fn get_site_log_likelihoods(&self) -> Result<Vec<f64>> {
@@ -641,6 +719,12 @@ impl BeagleInstance for QueuedInstance {
         if st.flush().is_ok() {
             st.inner.reset_simulated_time();
         }
+    }
+
+    fn peek_simulated_time(&self) -> Option<std::time::Duration> {
+        // No flush: a peek must never execute deferred work. Pending
+        // queued cost is simply not visible yet.
+        self.state.borrow().inner.peek_simulated_time()
     }
 
     fn queue_stats(&self) -> Option<QueueStats> {
@@ -770,9 +854,10 @@ mod tests {
             branch_lengths: &[f64],
         ) -> Result<()> {
             self.log(format!("utm:{}", matrix_indices.len()));
-            let e = *self.eigen_sum.get(&eigen_index).ok_or(
-                BeagleError::InvalidConfiguration("eigen never set".into()),
-            )?;
+            let e = *self
+                .eigen_sum
+                .get(&eigen_index)
+                .ok_or(BeagleError::InvalidConfiguration("eigen never set".into()))?;
             for (&mi, &t) in matrix_indices.iter().zip(branch_lengths) {
                 self.matrices.insert(mi, vec![e * t + self.rates_sum; 4]);
             }
@@ -784,17 +869,19 @@ mod tests {
             Ok(())
         }
         fn get_transition_matrix(&self, index: usize) -> Result<Vec<f64>> {
-            self.matrices.get(&index).cloned().ok_or(
-                BeagleError::InvalidConfiguration("matrix never written".into()),
-            )
+            self.matrices
+                .get(&index)
+                .cloned()
+                .ok_or(BeagleError::InvalidConfiguration(
+                    "matrix never written".into(),
+                ))
         }
         fn update_partials(&mut self, operations: &[Operation]) -> Result<()> {
             self.log(format!("up:{}", operations.len()));
             Ok(())
         }
         fn update_partials_by_levels(&mut self, levels: &[Vec<Operation>]) -> Result<()> {
-            let shape: Vec<String> =
-                levels.iter().map(|l| l.len().to_string()).collect();
+            let shape: Vec<String> = levels.iter().map(|l| l.len().to_string()).collect();
             self.log(format!("levels:{}", shape.join(",")));
             Ok(())
         }
@@ -883,7 +970,11 @@ mod tests {
         q.update_partials(&traversal()[..2]).unwrap();
         q.update_partials(&traversal()[2..]).unwrap();
         q.wait_for_computation().unwrap();
-        assert_eq!(log(&calls), vec!["levels:2,1"], "halves merge into one leveled batch");
+        assert_eq!(
+            log(&calls),
+            vec!["levels:2,1"],
+            "halves merge into one leveled batch"
+        );
     }
 
     #[test]
@@ -902,8 +993,13 @@ mod tests {
         q.update_partials(&traversal()).unwrap();
         q.reset_scale_factors(7).unwrap();
         q.accumulate_scale_factors(&[4, 5, 6], 7).unwrap();
-        q.integrate_root(BufferId(6), BufferId(0), BufferId(0), ScalingMode::cumulative(7))
-            .unwrap();
+        q.integrate_root(
+            BufferId(6),
+            BufferId(0),
+            BufferId(0),
+            ScalingMode::cumulative(7),
+        )
+        .unwrap();
         assert_eq!(log(&calls), vec!["levels:2,1", "reset", "accum", "root"]);
     }
 
@@ -913,13 +1009,15 @@ mod tests {
         let v = vec![1.0; 16];
         q.set_eigen_decomposition(0, &v, &v, &[0.5; 4]).unwrap();
         q.set_category_rates(&[1.0, 2.0]).unwrap();
-        q.update_transition_matrices(0, &[1, 2], &[0.1, 0.2]).unwrap();
+        q.update_transition_matrices(0, &[1, 2], &[0.1, 0.2])
+            .unwrap();
         let first = q.get_transition_matrix(1).unwrap();
         assert_eq!(q.stats().eigen_cache_misses, 2);
         assert_eq!(q.stats().eigen_cache_hits, 0);
 
         // Same lengths again: both served from the cache via set calls.
-        q.update_transition_matrices(0, &[1, 2], &[0.1, 0.2]).unwrap();
+        q.update_transition_matrices(0, &[1, 2], &[0.1, 0.2])
+            .unwrap();
         let second = q.get_transition_matrix(1).unwrap();
         assert_eq!(q.stats().eigen_cache_hits, 2);
         assert_eq!(q.stats().eigen_cache_misses, 2);
@@ -968,7 +1066,8 @@ mod tests {
         q.set_eigen_decomposition(0, &v, &v, &[0.5; 4]).unwrap();
         q.set_category_rates(&[1.0]).unwrap();
         // Index 1 appears twice: last write must win, so no caching.
-        q.update_transition_matrices(0, &[1, 1], &[0.1, 0.2]).unwrap();
+        q.update_transition_matrices(0, &[1, 1], &[0.1, 0.2])
+            .unwrap();
         q.flush().unwrap();
         assert_eq!(q.stats().eigen_cache_misses, 0);
         assert!(log(&calls).contains(&"utm:2".to_string()));
@@ -977,14 +1076,12 @@ mod tests {
     #[test]
     fn cache_capacity_evicts_oldest_first() {
         let calls: CallLog = Arc::new(Mutex::new(Vec::new()));
-        let mut q = QueuedInstance::with_cache_capacity(
-            Box::new(MockInstance::new(calls)),
-            2,
-        );
+        let mut q = QueuedInstance::with_cache_capacity(Box::new(MockInstance::new(calls)), 2);
         let v = vec![1.0; 16];
         q.set_eigen_decomposition(0, &v, &v, &[0.5; 4]).unwrap();
         q.set_category_rates(&[1.0]).unwrap();
-        q.update_transition_matrices(0, &[1, 2, 3], &[0.1, 0.2, 0.3]).unwrap();
+        q.update_transition_matrices(0, &[1, 2, 3], &[0.1, 0.2, 0.3])
+            .unwrap();
         q.flush().unwrap();
         assert_eq!(q.stats().eigen_cache_evictions, 1);
         // 0.1 was evicted (oldest); 0.3 still cached.

@@ -39,7 +39,12 @@ impl RescueInstance {
     pub fn new(inner: Box<dyn BeagleInstance>) -> Self {
         // Journal rescue events iff the wrapped instance is recording.
         let recorder = Recorder::new(inner.statistics().is_some());
-        Self { inner, journal: StateJournal::new(), rescues: 0, recorder }
+        Self {
+            inner,
+            journal: StateJournal::new(),
+            rescues: 0,
+            recorder,
+        }
     }
 
     /// How many integrations were transparently rescued so far.
@@ -223,7 +228,8 @@ impl BeagleInstance for RescueInstance {
         scale_indices: &[usize],
         cumulative: usize,
     ) -> Result<()> {
-        self.inner.accumulate_scale_factors(scale_indices, cumulative)
+        self.inner
+            .accumulate_scale_factors(scale_indices, cumulative)
     }
 
     fn integrate_root(
@@ -233,7 +239,9 @@ impl BeagleInstance for RescueInstance {
         frequencies: BufferId,
         scaling: ScalingMode,
     ) -> Result<f64> {
-        let first = self.inner.integrate_root(root, category_weights, frequencies, scaling);
+        let first = self
+            .inner
+            .integrate_root(root, category_weights, frequencies, scaling);
         if scaling != ScalingMode::None || !Self::numerically_bad(&first) {
             return first;
         }
@@ -274,9 +282,14 @@ impl BeagleInstance for RescueInstance {
         frequencies: BufferId,
         scaling: ScalingMode,
     ) -> Result<f64> {
-        let first = self
-            .inner
-            .integrate_edge(parent, child, matrix, category_weights, frequencies, scaling);
+        let first = self.inner.integrate_edge(
+            parent,
+            child,
+            matrix,
+            category_weights,
+            frequencies,
+            scaling,
+        );
         if scaling != ScalingMode::None || !Self::numerically_bad(&first) {
             return first;
         }
@@ -324,6 +337,10 @@ impl BeagleInstance for RescueInstance {
 
     fn reset_simulated_time(&mut self) {
         self.inner.reset_simulated_time()
+    }
+
+    fn peek_simulated_time(&self) -> Option<std::time::Duration> {
+        self.inner.peek_simulated_time()
     }
 
     fn queue_stats(&self) -> Option<crate::queue::QueueStats> {

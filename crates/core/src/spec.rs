@@ -52,6 +52,11 @@ pub struct InstanceSpec {
     /// ([`crate::checkpoint::CheckpointedInstance`]) so
     /// [`BeagleInstance::checkpoint`] can snapshot it (default: false).
     pub checkpoint: bool,
+    /// Split the problem across up to this many benchmark-ranked resources
+    /// as an adaptively balanced [`crate::multi::PartitionedInstance`]
+    /// (see [`Self::instantiate_partitioned`]); `None` creates a single
+    /// instance.
+    pub auto_partition: Option<usize>,
 }
 
 impl InstanceSpec {
@@ -66,6 +71,7 @@ impl InstanceSpec {
             deadline: None,
             retry: None,
             checkpoint: false,
+            auto_partition: None,
         }
     }
 
@@ -135,10 +141,30 @@ impl InstanceSpec {
         self
     }
 
+    /// Split the problem across up to `max_devices` resources, ranked and
+    /// weighted by [`ImplementationManager::benchmark_resources`], with
+    /// adaptive rebalancing enabled (see
+    /// [`ImplementationManager::create_instance_auto_partitioned`]).
+    pub fn auto_partitioned(mut self, max_devices: usize) -> Self {
+        self.auto_partition = Some(max_devices);
+        self
+    }
+
     /// Create the instance on `manager` (see
     /// [`ImplementationManager::create_from_spec`]).
     pub fn instantiate(&self, manager: &ImplementationManager) -> Result<Box<dyn BeagleInstance>> {
         manager.create_from_spec(self)
+    }
+
+    /// Create the auto-partitioned multi-resource instance this spec
+    /// describes (uses [`Self::auto_partitioned`]'s device count, default
+    /// 2). Needs the `Arc` so the partitioned instance can retain the
+    /// manager for failover rebuilds and rebalance migrations.
+    pub fn instantiate_partitioned(
+        &self,
+        manager: &std::sync::Arc<ImplementationManager>,
+    ) -> Result<crate::multi::PartitionedInstance> {
+        manager.create_instance_auto_partitioned(self)
     }
 }
 
@@ -154,7 +180,9 @@ mod tests {
             .require(Flags::FRAMEWORK_OPENCL)
             .with_stats()
             .queued();
-        assert!(spec.preferences.contains(Flags::PROCESSOR_GPU | Flags::PRECISION_SINGLE));
+        assert!(spec
+            .preferences
+            .contains(Flags::PROCESSOR_GPU | Flags::PRECISION_SINGLE));
         assert!(spec.preferences.contains(Flags::INSTANCE_STATS));
         assert!(spec.preferences.contains(Flags::COMPUTATION_ASYNCH));
         assert_eq!(spec.requirements, Flags::FRAMEWORK_OPENCL);

@@ -133,7 +133,10 @@ enum Action {
     SetRates { variant: usize },
     /// Derive matrices for branch lengths drawn from a small pool (so
     /// repeats — and therefore cache hits — actually happen).
-    UpdateMatrices { targets: Vec<(usize, usize)>, eigen: usize },
+    UpdateMatrices {
+        targets: Vec<(usize, usize)>,
+        eigen: usize,
+    },
     /// Force the queue to flush by reading matrix `index` back.
     Read { index: usize },
 }
@@ -175,7 +178,9 @@ fn decode(raw: u64) -> Action {
             let variant = (x / 2 % 3) as usize;
             Action::SetEigen { index, variant }
         }
-        1 => Action::SetRates { variant: (x % 3) as usize },
+        1 => Action::SetRates {
+            variant: (x % 3) as usize,
+        },
         2 => {
             let count = 1 + (x % 3) as usize;
             x /= 3;
@@ -191,7 +196,9 @@ fn decode(raw: u64) -> Action {
             }
             Action::UpdateMatrices { targets, eigen }
         }
-        _ => Action::Read { index: 1 + (x % 6) as usize },
+        _ => Action::Read {
+            index: 1 + (x % 6) as usize,
+        },
     }
 }
 
@@ -209,7 +216,8 @@ fn apply(inst: &mut dyn BeagleInstance, action: &Action) -> Option<Vec<u64>> {
         Action::UpdateMatrices { targets, eigen } => {
             let indices: Vec<usize> = targets.iter().map(|&(m, _)| m).collect();
             let lengths: Vec<f64> = targets.iter().map(|&(_, l)| LENGTH_POOL[l]).collect();
-            inst.update_transition_matrices(*eigen, &indices, &lengths).unwrap();
+            inst.update_transition_matrices(*eigen, &indices, &lengths)
+                .unwrap();
             None
         }
         Action::Read { index } => {

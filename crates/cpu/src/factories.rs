@@ -43,7 +43,12 @@ impl CpuFactory {
     /// Build a factory with an explicit thread count (thread-create and
     /// thread-pool models; ignored by serial/futures).
     pub fn with_threads(model: ThreadingModel, vectorized: bool, threads: usize) -> Self {
-        Self { model, vectorized, threads: threads.max(1), pool: parking_lot::Mutex::new(None) }
+        Self {
+            model,
+            vectorized,
+            threads: threads.max(1),
+            pool: parking_lot::Mutex::new(None),
+        }
     }
 
     /// Build a factory using all available hardware threads.
@@ -69,7 +74,9 @@ impl CpuFactory {
         match self.model {
             ThreadingModel::Serial => Threading::Serial,
             ThreadingModel::Futures => Threading::Futures,
-            ThreadingModel::ThreadCreate => Threading::ThreadCreate { threads: self.threads },
+            ThreadingModel::ThreadCreate => Threading::ThreadCreate {
+                threads: self.threads,
+            },
             ThreadingModel::ThreadPool => {
                 let mut guard = self.pool.lock();
                 let pool = guard
@@ -83,7 +90,9 @@ impl CpuFactory {
 
 /// Number of hardware threads on this host.
 pub fn host_threads() -> usize {
-    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
 }
 
 impl ImplementationFactory for CpuFactory {
@@ -101,7 +110,11 @@ impl ImplementationFactory for CpuFactory {
     }
 
     fn supported_flags(&self) -> Flags {
-        let vec_flag = if self.vectorized { Flags::VECTOR_SSE } else { Flags::VECTOR_NONE };
+        let vec_flag = if self.vectorized {
+            Flags::VECTOR_SSE
+        } else {
+            Flags::VECTOR_NONE
+        };
         Flags::PROCESSOR_CPU
             | Flags::FRAMEWORK_CPU
             | Flags::PRECISION_SINGLE
@@ -142,9 +155,14 @@ impl ImplementationFactory for CpuFactory {
     ) -> Result<Box<dyn BeagleInstance>> {
         let single = Self::precision_is_single(prefs, reqs);
         // Report only the precision actually in use.
-        let mut flags =
-            Flags(self.supported_flags().0 & !(Flags::PRECISION_SINGLE.0 | Flags::PRECISION_DOUBLE.0));
-        flags |= if single { Flags::PRECISION_SINGLE } else { Flags::PRECISION_DOUBLE };
+        let mut flags = Flags(
+            self.supported_flags().0 & !(Flags::PRECISION_SINGLE.0 | Flags::PRECISION_DOUBLE.0),
+        );
+        flags |= if single {
+            Flags::PRECISION_SINGLE
+        } else {
+            Flags::PRECISION_DOUBLE
+        };
         // Report the kernel path the instance will actually resolve to:
         // vectorized instances on an AVX2+FMA host (without the
         // BEAGLE_FORCE_SCALAR override) run the intrinsic kernels.
@@ -184,7 +202,10 @@ pub fn register_cpu_factories(manager: &mut ImplementationManager) {
     manager.register(Box::new(CpuFactory::new(ThreadingModel::Serial, false)));
     manager.register(Box::new(CpuFactory::new(ThreadingModel::Serial, true)));
     manager.register(Box::new(CpuFactory::new(ThreadingModel::Futures, false)));
-    manager.register(Box::new(CpuFactory::new(ThreadingModel::ThreadCreate, false)));
+    manager.register(Box::new(CpuFactory::new(
+        ThreadingModel::ThreadCreate,
+        false,
+    )));
     manager.register(Box::new(CpuFactory::new(ThreadingModel::ThreadPool, false)));
     manager.register(Box::new(CpuFactory::new(ThreadingModel::ThreadPool, true)));
 }
@@ -203,7 +224,10 @@ mod tests {
         let mut m = ImplementationManager::new();
         register_cpu_factories(&mut m);
         let inst = InstanceSpec::with_config(cfg()).instantiate(&m).unwrap();
-        assert!(inst.details().implementation_name.starts_with("CPU-threadpool"));
+        assert!(inst
+            .details()
+            .implementation_name
+            .starts_with("CPU-threadpool"));
     }
 
     #[test]
@@ -233,7 +257,10 @@ mod tests {
     fn stats_preference_enables_statistics() {
         let mut m = ImplementationManager::new();
         register_cpu_factories(&mut m);
-        let inst = InstanceSpec::with_config(cfg()).with_stats().instantiate(&m).unwrap();
+        let inst = InstanceSpec::with_config(cfg())
+            .with_stats()
+            .instantiate(&m)
+            .unwrap();
         // Under the core crate's `obs-disabled` feature recording is
         // compiled out entirely; mirror whatever the build supports.
         let obs_compiled_in = beagle_core::Recorder::new(true).is_enabled();

@@ -202,7 +202,10 @@ struct Scratch<T: Real> {
 
 impl<T: Real> Default for Scratch<T> {
     fn default() -> Self {
-        Self { chunk_tasks: Vec::new(), root_tasks: Vec::new() }
+        Self {
+            chunk_tasks: Vec::new(),
+            root_tasks: Vec::new(),
+        }
     }
 }
 
@@ -290,7 +293,10 @@ impl<T: DispatchReal> CpuInstance<T> {
     fn record_partials_call(&mut self, operations: &[Operation], wall: std::time::Duration) {
         let mut counts = [0u64; 3];
         for op in operations {
-            let idx = match (self.is_state_operand(op.child1), self.is_state_operand(op.child2)) {
+            let idx = match (
+                self.is_state_operand(op.child1),
+                self.is_state_operand(op.child2),
+            ) {
                 (false, false) => 0,
                 (true, true) => 2,
                 _ => 1,
@@ -305,12 +311,17 @@ impl<T: DispatchReal> CpuInstance<T> {
         let cfg = &self.bufs.config;
         let padded = cfg.category_count * cfg.pattern_count * self.bufs.state_stride;
         let bytes_per_op = (3 * padded * std::mem::size_of::<T>()) as u64;
-        let classes = [KernelClass::PartialsPP, KernelClass::PartialsSP, KernelClass::PartialsSS];
+        let classes = [
+            KernelClass::PartialsPP,
+            KernelClass::PartialsSP,
+            KernelClass::PartialsSS,
+        ];
         for (i, class) in classes.into_iter().enumerate() {
             if counts[i] == 0 {
                 continue;
             }
-            self.recorder.tally(class, counts[i], counts[i] * bytes_per_op);
+            self.recorder
+                .tally(class, counts[i], counts[i] * bytes_per_op);
             self.recorder
                 .add_wall(class, wall.mul_f64(counts[i] as f64 / total as f64));
         }
@@ -458,8 +469,7 @@ impl<T: DispatchReal> CpuInstance<T> {
         let mut dests = std::collections::HashSet::new();
         let mut scales = std::collections::HashSet::new();
         level.iter().any(|op| {
-            !dests.insert(op.destination)
-                || op.dest_scale_write.is_some_and(|s| !scales.insert(s))
+            !dests.insert(op.destination) || op.dest_scale_write.is_some_and(|s| !scales.insert(s))
         })
     }
 
@@ -640,11 +650,12 @@ impl<T: DispatchReal> CpuInstance<T> {
                 });
             }
         }
-        let root = self.bufs.partials[root_buffer]
-            .take()
-            .ok_or(BeagleError::InvalidConfiguration(format!(
-                "root buffer {root_buffer} has never been computed"
-            )))?;
+        let root =
+            self.bufs.partials[root_buffer]
+                .take()
+                .ok_or(BeagleError::InvalidConfiguration(format!(
+                    "root buffer {root_buffer} has never been computed"
+                )))?;
         let mut site_lnl = std::mem::take(&mut self.bufs.site_log_likelihoods);
 
         let s = cfg.state_count;
@@ -655,10 +666,12 @@ impl<T: DispatchReal> CpuInstance<T> {
         let pw = &self.bufs.pattern_weights;
         let cscale = cumulative_scale.map(|i| self.bufs.scale_buffers[i].as_slice());
 
-        let parallel_root = matches!(self.threading, Threading::ThreadPool { .. })
-            && n_pat >= self.min_patterns;
+        let parallel_root =
+            matches!(self.threading, Threading::ThreadPool { .. }) && n_pat >= self.min_patterns;
         let total = if parallel_root {
-            let Threading::ThreadPool { pool } = &self.threading else { unreachable!() };
+            let Threading::ThreadPool { pool } = &self.threading else {
+                unreachable!()
+            };
             let tasks = &mut self.scratch.root_tasks;
             tasks.clear();
             let site_base = site_lnl.as_mut_ptr();
@@ -689,7 +702,16 @@ impl<T: DispatchReal> CpuInstance<T> {
             total
         } else {
             (self.dispatch.integrate_root)(
-                &mut site_lnl, &root, freqs, catw, pw, cscale, s, sp, n_pat, 0,
+                &mut site_lnl,
+                &root,
+                freqs,
+                catw,
+                pw,
+                cscale,
+                s,
+                sp,
+                n_pat,
+                0,
             )
         };
 
@@ -756,7 +778,8 @@ impl<T: DispatchReal> BeagleInstance for CpuInstance<T> {
         inverse_vectors: &[f64],
         values: &[f64],
     ) -> Result<()> {
-        self.bufs.set_eigen_decomposition(index, vectors, inverse_vectors, values)
+        self.bufs
+            .set_eigen_decomposition(index, vectors, inverse_vectors, values)
     }
 
     fn update_transition_matrices(
@@ -828,11 +851,12 @@ impl<T: DispatchReal> BeagleInstance for CpuInstance<T> {
             category_weights_index,
             cumulative_scale,
         )?;
-        let parent = self.bufs.partials[parent_buffer]
-            .as_ref()
-            .ok_or(BeagleError::InvalidConfiguration(format!(
-                "parent buffer {parent_buffer} has never been computed"
-            )))?;
+        let parent =
+            self.bufs.partials[parent_buffer]
+                .as_ref()
+                .ok_or(BeagleError::InvalidConfiguration(format!(
+                    "parent buffer {parent_buffer} has never been computed"
+                )))?;
         let child = if let Some(p) = &self.bufs.partials[child_buffer] {
             kernels::EdgeChild::Partials(p.as_slice())
         } else if let Some(st) = &self.bufs.tip_states[child_buffer] {
@@ -881,8 +905,9 @@ impl<T: DispatchReal> BeagleInstance for CpuInstance<T> {
         self.validate_operations(operations)?;
 
         let t0 = self.recorder.is_enabled().then(std::time::Instant::now);
-        self.recorder
-            .event(EventKind::OperationBegin, || format!("update_partials ops={}", operations.len()));
+        self.recorder.event(EventKind::OperationBegin, || {
+            format!("update_partials ops={}", operations.len())
+        });
         let n_pat = self.bufs.config.pattern_count;
         match self.threading {
             Threading::Serial => {
@@ -904,8 +929,9 @@ impl<T: DispatchReal> BeagleInstance for CpuInstance<T> {
         }
         if let Some(t0) = t0 {
             self.record_partials_call(operations, t0.elapsed());
-            self.recorder
-                .event(EventKind::OperationEnd, || format!("update_partials ops={}", operations.len()));
+            self.recorder.event(EventKind::OperationEnd, || {
+                format!("update_partials ops={}", operations.len())
+            });
         }
         Ok(())
     }
@@ -916,7 +942,11 @@ impl<T: DispatchReal> BeagleInstance for CpuInstance<T> {
 
         let t0 = self.recorder.is_enabled().then(std::time::Instant::now);
         self.recorder.event(EventKind::OperationBegin, || {
-            format!("update_partials_by_levels ops={} levels={}", flat.len(), levels.len())
+            format!(
+                "update_partials_by_levels ops={} levels={}",
+                flat.len(),
+                levels.len()
+            )
         });
         let n_pat = self.bufs.config.pattern_count;
         match self.threading {
@@ -970,7 +1000,9 @@ impl<T: DispatchReal> BeagleInstance for CpuInstance<T> {
         cumulative: usize,
     ) -> Result<()> {
         let sw = self.recorder.start();
-        let r = self.bufs.accumulate_scale_factors(scale_indices, cumulative);
+        let r = self
+            .bufs
+            .accumulate_scale_factors(scale_indices, cumulative);
         self.recorder
             .finish(sw, KernelClass::Rescale, scale_indices.len() as u64, 0);
         r
@@ -991,7 +1023,8 @@ impl<T: DispatchReal> BeagleInstance for CpuInstance<T> {
             scaling.index(),
         );
         let patterns = self.bufs.config.pattern_count as u64;
-        self.recorder.finish(sw, KernelClass::RootIntegrate, patterns, 0);
+        self.recorder
+            .finish(sw, KernelClass::RootIntegrate, patterns, 0);
         r
     }
 
@@ -1019,11 +1052,12 @@ impl<T: DispatchReal> BeagleInstance for CpuInstance<T> {
             category_weights_index,
             cumulative_scale,
         )?;
-        let parent = self.bufs.partials[parent_buffer]
-            .take()
-            .ok_or(BeagleError::InvalidConfiguration(format!(
-                "parent buffer {parent_buffer} has never been computed"
-            )))?;
+        let parent =
+            self.bufs.partials[parent_buffer]
+                .take()
+                .ok_or(BeagleError::InvalidConfiguration(format!(
+                    "parent buffer {parent_buffer} has never been computed"
+                )))?;
         // Reuse the site-likelihood buffer instead of allocating a fresh one
         // per call (allocation-free hot path).
         let mut site_lnl = std::mem::take(&mut self.bufs.site_log_likelihoods);

@@ -80,7 +80,11 @@ pub fn states_partials<T: Real>(
             for j in 0..s {
                 sum2 = row2[j].mul_add(b[j], sum2);
             }
-            let p1 = if st == GAP_STATE { T::ONE } else { m1[i * sp + st as usize] };
+            let p1 = if st == GAP_STATE {
+                T::ONE
+            } else {
+                m1[i * sp + st as usize]
+            };
             d[i] = p1 * sum2;
         }
     }
@@ -100,8 +104,16 @@ pub fn states_states<T: Real>(
     debug_assert_eq!(s1.len(), s2.len());
     for ((d, &st1), &st2) in dest.chunks_exact_mut(sp).zip(s1.iter()).zip(s2.iter()) {
         for i in 0..s {
-            let p1 = if st1 == GAP_STATE { T::ONE } else { m1[i * sp + st1 as usize] };
-            let p2 = if st2 == GAP_STATE { T::ONE } else { m2[i * sp + st2 as usize] };
+            let p1 = if st1 == GAP_STATE {
+                T::ONE
+            } else {
+                m1[i * sp + st1 as usize]
+            };
+            let p2 = if st2 == GAP_STATE {
+                T::ONE
+            } else {
+                m2[i * sp + st2 as usize]
+            };
             d[i] = p1 * p2;
         }
     }
@@ -364,7 +376,9 @@ mod tests {
     #[test]
     fn pp_identity_multiplies() {
         let s = 4;
-        let id: Vec<f64> = (0..16).map(|i| if i % 5 == 0 { 1.0 } else { 0.0 }).collect();
+        let id: Vec<f64> = (0..16)
+            .map(|i| if i % 5 == 0 { 1.0 } else { 0.0 })
+            .collect();
         let c1 = vec![1.0, 2.0, 3.0, 4.0, 0.5, 0.5, 0.5, 0.5];
         let c2 = vec![2.0, 2.0, 2.0, 2.0, 1.0, 2.0, 3.0, 4.0];
         let mut dest = vec![0.0; 8];
@@ -531,8 +545,7 @@ mod tests {
         let catw = vec![1.0];
         let pw = vec![2.0, 1.0];
         let mut site = vec![0.0; 2];
-        let total =
-            integrate_root(&mut site, &root, &freqs, &catw, &pw, None, 2, 2, 2, 0);
+        let total = integrate_root(&mut site, &root, &freqs, &catw, &pw, None, 2, 2, 2, 0);
         let l0 = (0.5 * 0.8_f64).ln();
         let l1 = (0.5 * 0.8_f64).ln();
         assert!((site[0] - l0).abs() < 1e-12);
@@ -547,8 +560,7 @@ mod tests {
         let pw = vec![1.0];
         let cs = vec![-3.5];
         let mut site = vec![0.0; 1];
-        let total =
-            integrate_root(&mut site, &root, &freqs, &catw, &pw, Some(&cs), 2, 2, 1, 0);
+        let total = integrate_root(&mut site, &root, &freqs, &catw, &pw, Some(&cs), 2, 2, 1, 0);
         assert!((site[0] - (1.0_f64.ln() - 3.5)).abs() < 1e-12);
         assert!((total + 3.5).abs() < 1e-12);
     }

@@ -17,7 +17,6 @@
 //! [`beagle_core::ImplementationManager`] with
 //! [`factories::register_cpu_factories`].
 
-
 // Likelihood kernels and small numeric routines are written with explicit
 // index loops on purpose: the loop structure mirrors the work-item/work-group
 // decomposition the paper describes, and that clarity outweighs iterator style.

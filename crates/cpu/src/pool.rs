@@ -86,7 +86,10 @@ impl ThreadPool {
     pub fn new(threads: usize) -> Self {
         let threads = threads.max(1);
         let inner = Arc::new(Inner {
-            shared: Mutex::new(Shared { batch: None, shutdown: false }),
+            shared: Mutex::new(Shared {
+                batch: None,
+                shutdown: false,
+            }),
             work_cv: Condvar::new(),
             done_cv: Condvar::new(),
         });
@@ -150,9 +153,8 @@ impl ThreadPool {
             drop(g);
             // SAFETY: index claimed exclusively above; slice outlives this
             // call because we don't return until `remaining == 0`.
-            let result = std::panic::catch_unwind(AssertUnwindSafe(|| unsafe {
-                call(data, run_ctx, idx)
-            }));
+            let result =
+                std::panic::catch_unwind(AssertUnwindSafe(|| unsafe { call(data, run_ctx, idx) }));
             let mut g = self.inner.shared.lock();
             let b = g.batch.as_mut().expect("own batch present");
             if result.is_err() {
@@ -332,7 +334,12 @@ mod tests {
             output: u64,
         }
         let pool = ThreadPool::new(3);
-        let mut items: Vec<Work> = (0..64).map(|i| Work { input: i, output: 0 }).collect();
+        let mut items: Vec<Work> = (0..64)
+            .map(|i| Work {
+                input: i,
+                output: 0,
+            })
+            .collect();
         for _ in 0..20 {
             pool.run_tasks(&mut items, |w| w.output += w.input * 2);
         }
@@ -360,10 +367,8 @@ mod tests {
     #[should_panic(expected = "thread-pool task panicked")]
     fn panics_propagate_without_deadlock() {
         let pool = ThreadPool::new(2);
-        let tasks: Vec<Box<dyn FnOnce() + Send + '_>> = vec![
-            Box::new(|| panic!("boom")),
-            Box::new(|| {}),
-        ];
+        let tasks: Vec<Box<dyn FnOnce() + Send + '_>> =
+            vec![Box::new(|| panic!("boom")), Box::new(|| {})];
         pool.run_batch(tasks);
     }
 

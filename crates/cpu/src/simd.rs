@@ -97,7 +97,9 @@ pub trait DispatchReal: Real {
 /// True when `BEAGLE_FORCE_SCALAR` is set (to anything but `"0"`). Read at
 /// instance creation, not per call.
 pub fn force_scalar() -> bool {
-    std::env::var("BEAGLE_FORCE_SCALAR").map(|v| v != "0").unwrap_or(false)
+    std::env::var("BEAGLE_FORCE_SCALAR")
+        .map(|v| v != "0")
+        .unwrap_or(false)
 }
 
 /// True when the host supports the AVX2+FMA kernel set.
@@ -136,7 +138,15 @@ pub fn select_kind(vectorized: bool) -> DispatchKind {
 // Portable table entries: unrolled 4-state kernels where they exist.
 // ---------------------------------------------------------------------------
 
-fn pp_portable<T: Real>(dest: &mut [T], c1: &[T], c2: &[T], m1: &[T], m2: &[T], s: usize, sp: usize) {
+fn pp_portable<T: Real>(
+    dest: &mut [T],
+    c1: &[T],
+    c2: &[T],
+    m1: &[T],
+    m2: &[T],
+    s: usize,
+    sp: usize,
+) {
     if s == 4 {
         vector::partials_partials_4(dest, c1, c2, m1, m2, sp);
     } else {
@@ -244,14 +254,22 @@ mod avx2 {
             acc0 = _mm256_fmadd_pd(_mm256_loadu_pd(a.add(j)), _mm256_loadu_pd(b.add(j)), acc0);
             j += 4;
         }
-        hsum_pd(_mm256_add_pd(_mm256_add_pd(acc0, acc1), _mm256_add_pd(acc2, acc3)))
+        hsum_pd(_mm256_add_pd(
+            _mm256_add_pd(acc0, acc1),
+            _mm256_add_pd(acc2, acc3),
+        ))
     }
 
     /// Column `j` of a 4-row matrix with row stride `sp`, as one vector.
     #[inline]
     #[target_feature(enable = "avx2", enable = "fma")]
     unsafe fn col_pd(m: *const f64, sp: usize, j: usize) -> __m256d {
-        _mm256_set_pd(*m.add(3 * sp + j), *m.add(2 * sp + j), *m.add(sp + j), *m.add(j))
+        _mm256_set_pd(
+            *m.add(3 * sp + j),
+            *m.add(2 * sp + j),
+            *m.add(sp + j),
+            *m.add(j),
+        )
     }
 
     // ---- f64 kernels ----
@@ -265,10 +283,18 @@ mod avx2 {
     unsafe fn pp4_pd(dest: &mut [f64], c1: &[f64], c2: &[f64], m1: &[f64], m2: &[f64]) {
         let m1p = m1.as_ptr();
         let m2p = m2.as_ptr();
-        let (m10, m11, m12, m13) =
-            (col_pd(m1p, 4, 0), col_pd(m1p, 4, 1), col_pd(m1p, 4, 2), col_pd(m1p, 4, 3));
-        let (m20, m21, m22, m23) =
-            (col_pd(m2p, 4, 0), col_pd(m2p, 4, 1), col_pd(m2p, 4, 2), col_pd(m2p, 4, 3));
+        let (m10, m11, m12, m13) = (
+            col_pd(m1p, 4, 0),
+            col_pd(m1p, 4, 1),
+            col_pd(m1p, 4, 2),
+            col_pd(m1p, 4, 3),
+        );
+        let (m20, m21, m22, m23) = (
+            col_pd(m2p, 4, 0),
+            col_pd(m2p, 4, 1),
+            col_pd(m2p, 4, 2),
+            col_pd(m2p, 4, 3),
+        );
         for ((d, a), b) in dest
             .chunks_exact_mut(4)
             .zip(c1.chunks_exact(4))
@@ -325,8 +351,12 @@ mod avx2 {
     #[target_feature(enable = "avx2", enable = "fma")]
     unsafe fn sp4_pd(dest: &mut [f64], s1: &[u32], c2: &[f64], m1: &[f64], m2: &[f64]) {
         let m2p = m2.as_ptr();
-        let (m20, m21, m22, m23) =
-            (col_pd(m2p, 4, 0), col_pd(m2p, 4, 1), col_pd(m2p, 4, 2), col_pd(m2p, 4, 3));
+        let (m20, m21, m22, m23) = (
+            col_pd(m2p, 4, 0),
+            col_pd(m2p, 4, 1),
+            col_pd(m2p, 4, 2),
+            col_pd(m2p, 4, 3),
+        );
         let ones = _mm256_set1_pd(1.0);
         for ((d, &st), b) in dest
             .chunks_exact_mut(4)
@@ -367,7 +397,11 @@ mod avx2 {
         {
             for i in 0..s {
                 let s2 = dot_pd(m2.as_ptr().add(i * sp), b.as_ptr(), sp);
-                let p1 = if st == GAP_STATE { 1.0 } else { m1[i * sp + st as usize] };
+                let p1 = if st == GAP_STATE {
+                    1.0
+                } else {
+                    m1[i * sp + st as usize]
+                };
                 d[i] = p1 * s2;
             }
         }
@@ -533,7 +567,10 @@ mod avx2 {
             acc0 = _mm256_fmadd_ps(_mm256_loadu_ps(a.add(j)), _mm256_loadu_ps(b.add(j)), acc0);
             j += 8;
         }
-        hsum_ps(_mm256_add_ps(_mm256_add_ps(acc0, acc1), _mm256_add_ps(acc2, acc3)))
+        hsum_ps(_mm256_add_ps(
+            _mm256_add_ps(acc0, acc1),
+            _mm256_add_ps(acc2, acc3),
+        ))
     }
 
     /// Column `j` of a 4-row matrix with row stride `sp`, as one 128-bit
@@ -541,7 +578,12 @@ mod avx2 {
     #[inline]
     #[target_feature(enable = "avx2", enable = "fma")]
     unsafe fn col_ps(m: *const f32, sp: usize, j: usize) -> __m128 {
-        _mm_set_ps(*m.add(3 * sp + j), *m.add(2 * sp + j), *m.add(sp + j), *m.add(j))
+        _mm_set_ps(
+            *m.add(3 * sp + j),
+            *m.add(2 * sp + j),
+            *m.add(sp + j),
+            *m.add(j),
+        )
     }
 
     // ---- f32 kernels ----
@@ -553,10 +595,18 @@ mod avx2 {
     unsafe fn pp4_ps(dest: &mut [f32], c1: &[f32], c2: &[f32], m1: &[f32], m2: &[f32], sp: usize) {
         let m1p = m1.as_ptr();
         let m2p = m2.as_ptr();
-        let (m10, m11, m12, m13) =
-            (col_ps(m1p, sp, 0), col_ps(m1p, sp, 1), col_ps(m1p, sp, 2), col_ps(m1p, sp, 3));
-        let (m20, m21, m22, m23) =
-            (col_ps(m2p, sp, 0), col_ps(m2p, sp, 1), col_ps(m2p, sp, 2), col_ps(m2p, sp, 3));
+        let (m10, m11, m12, m13) = (
+            col_ps(m1p, sp, 0),
+            col_ps(m1p, sp, 1),
+            col_ps(m1p, sp, 2),
+            col_ps(m1p, sp, 3),
+        );
+        let (m20, m21, m22, m23) = (
+            col_ps(m2p, sp, 0),
+            col_ps(m2p, sp, 1),
+            col_ps(m2p, sp, 2),
+            col_ps(m2p, sp, 3),
+        );
         for ((d, a), b) in dest
             .chunks_exact_mut(sp)
             .zip(c1.chunks_exact(sp))
@@ -622,7 +672,11 @@ mod avx2 {
         {
             for i in 0..s {
                 let s2 = dot_ps(m2.as_ptr().add(i * sp), b.as_ptr(), sp);
-                let p1 = if st == GAP_STATE { 1.0 } else { m1[i * sp + st as usize] };
+                let p1 = if st == GAP_STATE {
+                    1.0
+                } else {
+                    m1[i * sp + st as usize]
+                };
                 d[i] = p1 * s2;
             }
         }
@@ -749,11 +803,27 @@ mod avx2 {
     // `avx2_available()` confirmed host support, so every `unsafe` call
     // below executes only on hardware with AVX2+FMA.
 
-    pub(super) fn pp_f64(d: &mut [f64], c1: &[f64], c2: &[f64], m1: &[f64], m2: &[f64], s: usize, sp: usize) {
+    pub(super) fn pp_f64(
+        d: &mut [f64],
+        c1: &[f64],
+        c2: &[f64],
+        m1: &[f64],
+        m2: &[f64],
+        s: usize,
+        sp: usize,
+    ) {
         debug_assert!(super::avx2_available());
         unsafe { pp_pd(d, c1, c2, m1, m2, s, sp) }
     }
-    pub(super) fn sp_f64(d: &mut [f64], s1: &[u32], c2: &[f64], m1: &[f64], m2: &[f64], s: usize, sp: usize) {
+    pub(super) fn sp_f64(
+        d: &mut [f64],
+        s1: &[u32],
+        c2: &[f64],
+        m1: &[f64],
+        m2: &[f64],
+        s: usize,
+        sp: usize,
+    ) {
         debug_assert!(super::avx2_available());
         unsafe { sp_pd(d, s1, c2, m1, m2, s, sp) }
     }
@@ -778,8 +848,16 @@ mod avx2 {
     ) -> f64 {
         unsafe {
             root_pd(
-                site_lnl, root, freqs, cat_weights, pattern_weights, cumulative_scale, s, sp,
-                n_pat_total, p0,
+                site_lnl,
+                root,
+                freqs,
+                cat_weights,
+                pattern_weights,
+                cumulative_scale,
+                s,
+                sp,
+                n_pat_total,
+                p0,
             )
         }
     }
@@ -801,24 +879,60 @@ mod avx2 {
         match child {
             EdgeChild::Partials(cp) => unsafe {
                 edge_pp_pd(
-                    site_lnl, parent, cp, matrix, freqs, cat_weights, pattern_weights,
-                    cumulative_scale, s, sp, n_pat_total, p0,
+                    site_lnl,
+                    parent,
+                    cp,
+                    matrix,
+                    freqs,
+                    cat_weights,
+                    pattern_weights,
+                    cumulative_scale,
+                    s,
+                    sp,
+                    n_pat_total,
+                    p0,
                 )
             },
             // The states child does per-pattern matrix lookups, not dot
             // products — nothing to vectorize; use the scalar kernel.
             EdgeChild::States(_) => kernels::integrate_edge(
-                site_lnl, parent, child, matrix, freqs, cat_weights, pattern_weights,
-                cumulative_scale, s, sp, n_pat_total, p0,
+                site_lnl,
+                parent,
+                child,
+                matrix,
+                freqs,
+                cat_weights,
+                pattern_weights,
+                cumulative_scale,
+                s,
+                sp,
+                n_pat_total,
+                p0,
             ),
         }
     }
 
-    pub(super) fn pp_f32(d: &mut [f32], c1: &[f32], c2: &[f32], m1: &[f32], m2: &[f32], s: usize, sp: usize) {
+    pub(super) fn pp_f32(
+        d: &mut [f32],
+        c1: &[f32],
+        c2: &[f32],
+        m1: &[f32],
+        m2: &[f32],
+        s: usize,
+        sp: usize,
+    ) {
         debug_assert!(super::avx2_available());
         unsafe { pp_ps(d, c1, c2, m1, m2, s, sp) }
     }
-    pub(super) fn sp_f32(d: &mut [f32], s1: &[u32], c2: &[f32], m1: &[f32], m2: &[f32], s: usize, sp: usize) {
+    pub(super) fn sp_f32(
+        d: &mut [f32],
+        s1: &[u32],
+        c2: &[f32],
+        m1: &[f32],
+        m2: &[f32],
+        s: usize,
+        sp: usize,
+    ) {
         debug_assert!(super::avx2_available());
         unsafe { sp_ps(d, s1, c2, m1, m2, s, sp) }
     }
@@ -843,8 +957,16 @@ mod avx2 {
     ) -> f64 {
         unsafe {
             root_ps(
-                site_lnl, root, freqs, cat_weights, pattern_weights, cumulative_scale, s, sp,
-                n_pat_total, p0,
+                site_lnl,
+                root,
+                freqs,
+                cat_weights,
+                pattern_weights,
+                cumulative_scale,
+                s,
+                sp,
+                n_pat_total,
+                p0,
             )
         }
     }
@@ -866,13 +988,33 @@ mod avx2 {
         match child {
             EdgeChild::Partials(cp) => unsafe {
                 edge_pp_ps(
-                    site_lnl, parent, cp, matrix, freqs, cat_weights, pattern_weights,
-                    cumulative_scale, s, sp, n_pat_total, p0,
+                    site_lnl,
+                    parent,
+                    cp,
+                    matrix,
+                    freqs,
+                    cat_weights,
+                    pattern_weights,
+                    cumulative_scale,
+                    s,
+                    sp,
+                    n_pat_total,
+                    p0,
                 )
             },
             EdgeChild::States(_) => kernels::integrate_edge(
-                site_lnl, parent, child, matrix, freqs, cat_weights, pattern_weights,
-                cumulative_scale, s, sp, n_pat_total, p0,
+                site_lnl,
+                parent,
+                child,
+                matrix,
+                freqs,
+                cat_weights,
+                pattern_weights,
+                cumulative_scale,
+                s,
+                sp,
+                n_pat_total,
+                p0,
             ),
         }
     }
@@ -982,15 +1124,24 @@ mod tests {
 
     #[test]
     fn tables_have_expected_paths() {
-        assert_eq!(<f64 as DispatchReal>::dispatch(DispatchKind::Scalar).path, "scalar");
-        assert_eq!(<f64 as DispatchReal>::dispatch(DispatchKind::Portable).path, "portable");
+        assert_eq!(
+            <f64 as DispatchReal>::dispatch(DispatchKind::Scalar).path,
+            "scalar"
+        );
+        assert_eq!(
+            <f64 as DispatchReal>::dispatch(DispatchKind::Portable).path,
+            "portable"
+        );
         let avx = <f64 as DispatchReal>::dispatch(DispatchKind::Avx2);
         if avx2_available() {
             assert_eq!(avx.path, "avx2");
         } else {
             assert_eq!(avx.path, "portable");
         }
-        assert_eq!(<f32 as DispatchReal>::dispatch(DispatchKind::Scalar).path, "scalar");
+        assert_eq!(
+            <f32 as DispatchReal>::dispatch(DispatchKind::Scalar).path,
+            "scalar"
+        );
     }
 
     #[test]

@@ -214,7 +214,9 @@ mod tests {
             m_pad[i * sp..i * sp + 4].copy_from_slice(&m_dense[i * 4..(i + 1) * 4]);
         }
         let n_pat = 5;
-        let c_dense: Vec<f32> = (0..n_pat * 4).map(|i| (0.1 + i as f32 * 0.03).fract()).collect();
+        let c_dense: Vec<f32> = (0..n_pat * 4)
+            .map(|i| (0.1 + i as f32 * 0.03).fract())
+            .collect();
         let mut c_pad = vec![0.0f32; n_pat * sp];
         for p in 0..n_pat {
             c_pad[p * sp..p * sp + 4].copy_from_slice(&c_dense[p * 4..(p + 1) * 4]);

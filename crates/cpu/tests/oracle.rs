@@ -75,7 +75,11 @@ fn make_instance(
     single: bool,
 ) -> Box<dyn BeagleInstance> {
     let f = CpuFactory::with_threads(model, vectorized, 4);
-    let prefs = if single { Flags::PRECISION_SINGLE } else { Flags::PRECISION_DOUBLE };
+    let prefs = if single {
+        Flags::PRECISION_SINGLE
+    } else {
+        Flags::PRECISION_DOUBLE
+    };
     f.create(config, prefs, Flags::NONE).unwrap()
 }
 
@@ -99,20 +103,33 @@ fn nucleotide_case(taxa: usize, sites: usize, categories: usize, seed: u64) -> C
     };
     let aln = simulate_alignment(&tree, &model, &rates, sites, &mut rng);
     let patterns = SitePatterns::compress(&aln);
-    Case { tree, model, rates, patterns }
+    Case {
+        tree,
+        model,
+        rates,
+        patterns,
+    }
 }
 
 fn codon_case(taxa: usize, sites: usize, seed: u64) -> Case {
     let mut rng = SmallRng::seed_from_u64(seed);
     let tree = Tree::random(taxa, 0.1, &mut rng);
     let model = codon::gy94(
-        codon::CodonModelParams { kappa: 2.0, omega: 0.3 },
+        codon::CodonModelParams {
+            kappa: 2.0,
+            omega: 0.3,
+        },
         &codon::uniform_codon_frequencies(),
     );
     let rates = SiteRates::constant();
     let aln = simulate_alignment(&tree, &model, &rates, sites, &mut rng);
     let patterns = SitePatterns::compress(&aln);
-    Case { tree, model, rates, patterns }
+    Case {
+        tree,
+        model,
+        rates,
+        patterns,
+    }
 }
 
 fn check_all_models(case: &Case, tol_double: f64, tol_single: f64) {
@@ -196,18 +213,26 @@ fn large_pattern_count_exercises_real_threading() {
 #[test]
 fn scaled_equals_unscaled_in_double() {
     let case = nucleotide_case(10, 400, 4, 46);
-    let config = InstanceConfig::for_tree(
-        case.tree.taxon_count(),
-        case.patterns.pattern_count(),
-        4,
-        4,
-    );
+    let config =
+        InstanceConfig::for_tree(case.tree.taxon_count(), case.patterns.pattern_count(), 4, 4);
     let mut a = make_instance(ThreadingModel::Serial, false, &config, false);
-    let unscaled =
-        beagle_log_likelihood(a.as_mut(), &case.tree, &case.model, &case.rates, &case.patterns, false);
+    let unscaled = beagle_log_likelihood(
+        a.as_mut(),
+        &case.tree,
+        &case.model,
+        &case.rates,
+        &case.patterns,
+        false,
+    );
     let mut b = make_instance(ThreadingModel::Serial, false, &config, false);
-    let scaled =
-        beagle_log_likelihood(b.as_mut(), &case.tree, &case.model, &case.rates, &case.patterns, true);
+    let scaled = beagle_log_likelihood(
+        b.as_mut(),
+        &case.tree,
+        &case.model,
+        &case.rates,
+        &case.patterns,
+        true,
+    );
     assert!((unscaled - scaled).abs() < 1e-9, "{unscaled} vs {scaled}");
 }
 
@@ -236,16 +261,21 @@ fn tip_partials_match_tip_states() {
     // Ambiguity-free tip partials must give the same likelihood as compact
     // states.
     let case = nucleotide_case(6, 150, 2, 48);
-    let config =
-        InstanceConfig::for_tree(6, case.patterns.pattern_count(), 4, 2);
+    let config = InstanceConfig::for_tree(6, case.patterns.pattern_count(), 4, 2);
     let oracle = log_likelihood(&case.tree, &case.model, &case.rates, &case.patterns);
 
     let f = CpuFactory::with_threads(ThreadingModel::Serial, false, 1);
     let mut inst = f.create(&config, Flags::NONE, Flags::NONE).unwrap();
     let eig = case.model.eigen();
-    inst.set_eigen_decomposition(0, eig.vectors.as_slice(), eig.inverse_vectors.as_slice(), &eig.values)
+    inst.set_eigen_decomposition(
+        0,
+        eig.vectors.as_slice(),
+        eig.inverse_vectors.as_slice(),
+        &eig.values,
+    )
+    .unwrap();
+    inst.set_state_frequencies(0, case.model.frequencies())
         .unwrap();
-    inst.set_state_frequencies(0, case.model.frequencies()).unwrap();
     inst.set_category_rates(&case.rates.rates).unwrap();
     inst.set_category_weights(0, &case.rates.weights).unwrap();
     inst.set_pattern_weights(case.patterns.weights()).unwrap();
@@ -258,8 +288,7 @@ fn tip_partials_match_tip_states() {
         }
         inst.set_tip_partials(tip, &tp).unwrap();
     }
-    let (idx, len): (Vec<usize>, Vec<f64>) =
-        case.tree.branch_assignments().iter().copied().unzip();
+    let (idx, len): (Vec<usize>, Vec<f64>) = case.tree.branch_assignments().iter().copied().unzip();
     inst.update_transition_matrices(0, &idx, &len).unwrap();
     let ops: Vec<Operation> = case
         .tree
@@ -269,7 +298,12 @@ fn tip_partials_match_tip_states() {
         .collect();
     inst.update_partials(&ops).unwrap();
     let lnl = inst
-        .integrate_root(BufferId(case.tree.root()), BufferId(0), BufferId(0), ScalingMode::None)
+        .integrate_root(
+            BufferId(case.tree.root()),
+            BufferId(0),
+            BufferId(0),
+            ScalingMode::None,
+        )
         .unwrap();
     assert!((lnl - oracle).abs() < 1e-8, "{lnl} vs {oracle}");
 }
@@ -325,7 +359,8 @@ fn edge_likelihood_matches_root_likelihood() {
     // child) — simplest exact identity: edge likelihood between the root
     // buffer and a fictitious child with zero-length branch.
     let zero_matrix_index = ch[0]; // reuse a matrix slot
-    inst.update_transition_matrices(0, &[zero_matrix_index], &[0.0]).unwrap();
+    inst.update_transition_matrices(0, &[zero_matrix_index], &[0.0])
+        .unwrap();
     // Need a child whose partials are all-ones: use tip partials trick on a
     // spare buffer.
     let spare = root; // root buffer holds partials; use tip 0 gap states

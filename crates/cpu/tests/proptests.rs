@@ -1,8 +1,8 @@
 //! Property-based tests for the CPU kernels and threading machinery.
 
 use beagle_core::{
-    BeagleInstance, BufferId, Flags, ImplementationFactory, Operation, QueuedInstance,
-    ScalingMode, GAP_STATE,
+    BeagleInstance, BufferId, Flags, ImplementationFactory, Operation, QueuedInstance, ScalingMode,
+    GAP_STATE,
 };
 use beagle_cpu::pool::partition_range;
 use beagle_cpu::{kernels, vector, CpuFactory, ThreadingModel};

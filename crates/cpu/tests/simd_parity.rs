@@ -23,7 +23,11 @@ const STATE_COUNTS: [usize; 4] = [2, 4, 20, 61];
 /// Relative tolerance for a dot product of length `s` in precision `T`:
 /// reassociation + FMA contraction can each contribute O(s) ulps.
 fn dot_tol<T: Real>(s: usize) -> f64 {
-    let eps = if std::mem::size_of::<T>() == 8 { f64::EPSILON } else { f32::EPSILON as f64 };
+    let eps = if std::mem::size_of::<T>() == 8 {
+        f64::EPSILON
+    } else {
+        f32::EPSILON as f64
+    };
     8.0 * s as f64 * eps
 }
 
@@ -46,7 +50,11 @@ fn assert_close<T: Real>(a: &[T], b: &[T], s: usize, what: &str) {
 /// range rescaling exists to rescue) or exactly zero. The `single` variant
 /// keeps the tiny band representable as a normal f32.
 fn value(single: bool) -> impl Strategy<Value = f64> {
-    let (tiny_lo, tiny_hi) = if single { (1e-35, 1e-30) } else { (1e-300, 1e-250) };
+    let (tiny_lo, tiny_hi) = if single {
+        (1e-35, 1e-30)
+    } else {
+        (1e-300, 1e-250)
+    };
     prop_oneof![
         1e-6f64..1.0,
         1e-6f64..1.0,
@@ -130,16 +138,28 @@ fn check_kernels<T: DispatchReal>(
         (scalar.rescale_max)(&d_ref, &mut sc_ref, sp);
         (table.rescale_max)(&d_simd, &mut sc_simd, sp);
         assert_eq!(
-            sc_ref.iter().map(|x| x.to_f64().to_bits()).collect::<Vec<_>>(),
-            sc_simd.iter().map(|x| x.to_f64().to_bits()).collect::<Vec<_>>(),
+            sc_ref
+                .iter()
+                .map(|x| x.to_f64().to_bits())
+                .collect::<Vec<_>>(),
+            sc_simd
+                .iter()
+                .map(|x| x.to_f64().to_bits())
+                .collect::<Vec<_>>(),
             "rescale_max s={s} {} not bit-exact",
             table.path
         );
         (scalar.rescale_apply)(&mut d_ref, &sc_ref, sp);
         (table.rescale_apply)(&mut d_simd, &sc_simd, sp);
         assert_eq!(
-            d_ref.iter().map(|x| x.to_f64().to_bits()).collect::<Vec<_>>(),
-            d_simd.iter().map(|x| x.to_f64().to_bits()).collect::<Vec<_>>(),
+            d_ref
+                .iter()
+                .map(|x| x.to_f64().to_bits())
+                .collect::<Vec<_>>(),
+            d_simd
+                .iter()
+                .map(|x| x.to_f64().to_bits())
+                .collect::<Vec<_>>(),
             "rescale_apply s={s} {} not bit-exact",
             table.path
         );
@@ -154,7 +174,12 @@ fn check_kernels<T: DispatchReal>(
             (scalar.integrate_root)(&mut site_ref, &c1, &freqs, &catw, &pw, None, s, sp, n, 0);
         let t_simd =
             (table.integrate_root)(&mut site_simd, &c1, &freqs, &catw, &pw, None, s, sp, n, 0);
-        assert_close(&site_simd, &site_ref, s, &format!("root s={s} {}", table.path));
+        assert_close(
+            &site_simd,
+            &site_ref,
+            s,
+            &format!("root s={s} {}", table.path),
+        );
         assert!(
             t_ref == t_simd
                 || (t_ref - t_simd).abs() <= dot_tol::<T>(s * n).max(1e-9) * t_ref.abs().max(1.0),
@@ -191,7 +216,12 @@ fn check_kernels<T: DispatchReal>(
             n,
             0,
         );
-        assert_close(&site_simd, &site_ref, s, &format!("edge s={s} {}", table.path));
+        assert_close(
+            &site_simd,
+            &site_ref,
+            s,
+            &format!("edge s={s} {}", table.path),
+        );
         assert!(
             edge_ref == edge_simd
                 || (edge_ref - edge_simd).abs()
@@ -296,7 +326,8 @@ fn full_likelihood(kind: DispatchKind, s: usize) -> (f64, Vec<f64>) {
     let total: f64 = freqs.iter().sum();
     let freqs: Vec<f64> = freqs.iter().map(|x| x / total).collect();
     inst.set_state_frequencies(0, &freqs).unwrap();
-    inst.set_category_weights(0, &vec![1.0 / cats as f64; cats]).unwrap();
+    inst.set_category_weights(0, &vec![1.0 / cats as f64; cats])
+        .unwrap();
     inst.set_pattern_weights(&vec![1.0; n_pat]).unwrap();
 
     // Deterministic row-stochastic-ish matrices per category.
@@ -331,7 +362,12 @@ fn full_likelihood(kind: DispatchKind, s: usize) -> (f64, Vec<f64>) {
     inst.reset_scale_factors(cum).unwrap();
     inst.accumulate_scale_factors(&[5, 6, 7, 8], cum).unwrap();
     let lnl = inst
-        .integrate_root(BufferId(8), BufferId(0), BufferId(0), ScalingMode::cumulative(cum))
+        .integrate_root(
+            BufferId(8),
+            BufferId(0),
+            BufferId(0),
+            ScalingMode::cumulative(cum),
+        )
         .unwrap();
     (lnl, inst.get_site_log_likelihoods().unwrap())
 }
@@ -350,7 +386,10 @@ fn full_run_differential_across_paths() {
                 "s={s} {kind:?}: {lnl} vs scalar {lnl_scalar}"
             );
             for (a, b) in site.iter().zip(&site_scalar) {
-                assert!((a - b).abs() <= 1e-9 * b.abs().max(1.0), "s={s} {kind:?} site diverged");
+                assert!(
+                    (a - b).abs() <= 1e-9 * b.abs().max(1.0),
+                    "s={s} {kind:?} site diverged"
+                );
             }
         }
     }

@@ -32,9 +32,7 @@ fn parse_args() -> Result<Args, String> {
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
-        let mut val = |name: &str| {
-            it.next().ok_or_else(|| format!("{name} needs a value"))
-        };
+        let mut val = |name: &str| it.next().ok_or_else(|| format!("{name} needs a value"));
         match a.as_str() {
             "--model" => {
                 args.scenario.model = match val("--model")?.as_str() {
@@ -49,7 +47,8 @@ fn parse_args() -> Result<Args, String> {
                 args.scenario.patterns = val("--patterns")?.parse().map_err(|e| format!("{e}"))?
             }
             "--categories" => {
-                args.scenario.categories = val("--categories")?.parse().map_err(|e| format!("{e}"))?
+                args.scenario.categories =
+                    val("--categories")?.parse().map_err(|e| format!("{e}"))?
             }
             "--seed" => args.scenario.seed = val("--seed")?.parse().map_err(|e| format!("{e}"))?,
             "--reps" => args.reps = val("--reps")?.parse().map_err(|e| format!("{e}"))?,
@@ -107,10 +106,17 @@ fn main() {
     let problem = Problem::generate(&s);
     let config = problem.config();
 
-    let precision = if args.single { Flags::PRECISION_SINGLE } else { Flags::PRECISION_DOUBLE };
+    let precision = if args.single {
+        Flags::PRECISION_SINGLE
+    } else {
+        Flags::PRECISION_DOUBLE
+    };
     let names = manager.implementation_names();
     let selected: Vec<String> = match &args.impl_filter {
-        Some(f) => names.into_iter().filter(|n| n.contains(f.as_str())).collect(),
+        Some(f) => names
+            .into_iter()
+            .filter(|n| n.contains(f.as_str()))
+            .collect(),
         None => names,
     };
     if selected.is_empty() {
@@ -118,7 +124,11 @@ fn main() {
         std::process::exit(2);
     }
 
-    let oracle = if args.verify { Some(problem.oracle()) } else { None };
+    let oracle = if args.verify {
+        Some(problem.oracle())
+    } else {
+        None
+    };
 
     println!(
         "{:<42} {:>12} {:>14} {:>18}  timing",
@@ -139,12 +149,19 @@ fn main() {
             report.gflops,
             report.per_traversal.as_secs_f64() * 1e3,
             report.log_likelihood,
-            if report.simulated { "simulated" } else { "measured" }
+            if report.simulated {
+                "simulated"
+            } else {
+                "measured"
+            }
         );
         if let Some(o) = oracle {
             let rel = ((report.log_likelihood - o) / o).abs();
             let ok = rel < if args.single { 1e-4 } else { 1e-9 };
-            println!("    verify: oracle {o:.4}, rel err {rel:.2e} {}", if ok { "OK" } else { "MISMATCH" });
+            println!(
+                "    verify: oracle {o:.4}, rel err {rel:.2e} {}",
+                if ok { "OK" } else { "MISMATCH" }
+            );
             if !ok {
                 std::process::exit(1);
             }
@@ -159,5 +176,7 @@ fn pin_implementation(
     config: &beagle_core::InstanceConfig,
     precision: Flags,
 ) -> Option<Box<dyn beagle_core::BeagleInstance>> {
-    manager.create_instance_by_name(name, config, precision).ok()
+    manager
+        .create_instance_by_name(name, config, precision)
+        .ok()
 }

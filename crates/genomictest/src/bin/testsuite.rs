@@ -24,12 +24,23 @@ fn main() {
     let names = manager.implementation_names();
 
     // The analysis-type matrix.
-    let models = [ModelKind::Nucleotide, ModelKind::AminoAcid, ModelKind::Codon];
+    let models = [
+        ModelKind::Nucleotide,
+        ModelKind::AminoAcid,
+        ModelKind::Codon,
+    ];
     let taxa_list: &[usize] = if quick { &[4, 16] } else { &[4, 16, 48] };
     let categories_list = [1usize, 4];
 
-    let mut totals = CaseResult { passed: 0, failed: 0, skipped: 0 };
-    println!("BEAGLE-RS verification suite ({} implementations)", names.len());
+    let mut totals = CaseResult {
+        passed: 0,
+        failed: 0,
+        skipped: 0,
+    };
+    println!(
+        "BEAGLE-RS verification suite ({} implementations)",
+        names.len()
+    );
     println!("{:-<78}", "");
 
     for model in models {
@@ -61,7 +72,11 @@ fn main() {
                     oracle
                 );
 
-                let mut case = CaseResult { passed: 0, failed: 0, skipped: 0 };
+                let mut case = CaseResult {
+                    passed: 0,
+                    failed: 0,
+                    skipped: 0,
+                };
                 for name in &names {
                     for (single, scaled) in [(false, false), (false, true), (true, true)] {
                         let precision = if single {

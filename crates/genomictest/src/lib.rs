@@ -79,7 +79,13 @@ pub struct Scenario {
 impl Scenario {
     /// A small default scenario.
     pub fn default_nucleotide() -> Self {
-        Scenario { model: ModelKind::Nucleotide, taxa: 16, patterns: 1000, categories: 4, seed: 1 }
+        Scenario {
+            model: ModelKind::Nucleotide,
+            taxa: 16,
+            patterns: 1000,
+            categories: 4,
+            seed: 1,
+        }
     }
 }
 
@@ -107,7 +113,12 @@ impl Problem {
             SiteRates::constant()
         };
         let patterns = simulate_patterns(&tree, &model, &rates, s.patterns, &mut rng);
-        Problem { tree, model, rates, patterns }
+        Problem {
+            tree,
+            model,
+            rates,
+            patterns,
+        }
     }
 
     /// Instance configuration for this problem.
@@ -127,7 +138,11 @@ impl Problem {
             .iter()
             .map(|e| {
                 let op = Operation::new(e.destination, e.child1, e.matrix1, e.child2, e.matrix2);
-                if scaled { op.with_scaling(e.destination) } else { op }
+                if scaled {
+                    op.with_scaling(e.destination)
+                } else {
+                    op
+                }
             })
             .collect()
     }
@@ -143,16 +158,22 @@ impl Problem {
             &eig.values,
         )
         .expect("set eigen");
-        inst.set_state_frequencies(0, self.model.frequencies()).expect("set freqs");
-        inst.set_category_rates(&self.rates.rates).expect("set rates");
-        inst.set_category_weights(0, &self.rates.weights).expect("set weights");
-        inst.set_pattern_weights(self.patterns.weights()).expect("set pattern weights");
+        inst.set_state_frequencies(0, self.model.frequencies())
+            .expect("set freqs");
+        inst.set_category_rates(&self.rates.rates)
+            .expect("set rates");
+        inst.set_category_weights(0, &self.rates.weights)
+            .expect("set weights");
+        inst.set_pattern_weights(self.patterns.weights())
+            .expect("set pattern weights");
         for tip in 0..self.tree.taxon_count() {
-            inst.set_tip_states(tip, &self.patterns.tip_states(tip)).expect("set tips");
+            inst.set_tip_states(tip, &self.patterns.tip_states(tip))
+                .expect("set tips");
         }
         let (idx, len): (Vec<usize>, Vec<f64>) =
             self.tree.branch_assignments().iter().copied().unzip();
-        inst.update_transition_matrices(0, &idx, &len).expect("update matrices");
+        inst.update_transition_matrices(0, &idx, &len)
+            .expect("update matrices");
     }
 
     /// Full log-likelihood evaluation through the BEAGLE API.
@@ -163,13 +184,19 @@ impl Problem {
             let c = inst.config().scale_buffer_count - 1;
             inst.reset_scale_factors(c).expect("reset scale");
             let bufs: Vec<usize> = ops.iter().map(|o| o.destination).collect();
-            inst.accumulate_scale_factors(&bufs, c).expect("accumulate scale");
+            inst.accumulate_scale_factors(&bufs, c)
+                .expect("accumulate scale");
             ScalingMode::cumulative(c)
         } else {
             ScalingMode::None
         };
-        inst.integrate_root(BufferId(self.tree.root()), BufferId(0), BufferId(0), scaling)
-            .expect("root lnL")
+        inst.integrate_root(
+            BufferId(self.tree.root()),
+            BufferId(0),
+            BufferId(0),
+            scaling,
+        )
+        .expect("root lnL")
     }
 
     /// Reference log-likelihood from the pruning oracle.
@@ -206,7 +233,11 @@ pub struct ThroughputReport {
 /// Benchmark the partial-likelihoods function on `inst`: `reps` full
 /// traversals, timed with the simulated device clock when the instance has
 /// one, the wall clock otherwise.
-pub fn benchmark(problem: &Problem, inst: &mut dyn BeagleInstance, reps: usize) -> ThroughputReport {
+pub fn benchmark(
+    problem: &Problem,
+    inst: &mut dyn BeagleInstance,
+    reps: usize,
+) -> ThroughputReport {
     problem.load(inst);
     let ops = problem.operations(false);
     // Warm-up traversal (first-touch allocation, pool spin-up).
@@ -220,12 +251,22 @@ pub fn benchmark(problem: &Problem, inst: &mut dyn BeagleInstance, reps: usize) 
     }
     let elapsed = inst.simulated_time().unwrap_or_else(|| start.elapsed());
     let lnl = inst
-        .integrate_root(BufferId(problem.tree.root()), BufferId(0), BufferId(0), ScalingMode::None)
+        .integrate_root(
+            BufferId(problem.tree.root()),
+            BufferId(0),
+            BufferId(0),
+            ScalingMode::None,
+        )
         .expect("root lnL");
 
     let per_traversal = elapsed / reps as u32;
     let gflops = problem.traversal_flops() / per_traversal.as_secs_f64() / 1e9;
-    ThroughputReport { gflops, per_traversal, log_likelihood: lnl, simulated }
+    ThroughputReport {
+        gflops,
+        per_traversal,
+        log_likelihood: lnl,
+        simulated,
+    }
 }
 
 /// A manager with every implementation in the workspace registered:
@@ -281,7 +322,13 @@ mod tests {
 
     #[test]
     fn scenario_generates_exact_pattern_count() {
-        let s = Scenario { model: ModelKind::Nucleotide, taxa: 8, patterns: 333, categories: 2, seed: 9 };
+        let s = Scenario {
+            model: ModelKind::Nucleotide,
+            taxa: 8,
+            patterns: 333,
+            categories: 2,
+            seed: 9,
+        };
         let p = Problem::generate(&s);
         assert_eq!(p.patterns.pattern_count(), 333);
         assert_eq!(p.config().state_count, 4);
@@ -289,7 +336,13 @@ mod tests {
 
     #[test]
     fn verify_serial_cpu_against_oracle() {
-        let s = Scenario { model: ModelKind::Nucleotide, taxa: 6, patterns: 100, categories: 2, seed: 10 };
+        let s = Scenario {
+            model: ModelKind::Nucleotide,
+            taxa: 6,
+            patterns: 100,
+            categories: 2,
+            seed: 10,
+        };
         let p = Problem::generate(&s);
         let mut inst = best_instance(&p, Flags::NONE, Flags::THREADING_NONE).unwrap();
         let (beagle, oracle) = verify(&p, inst.as_mut(), false);
@@ -298,7 +351,13 @@ mod tests {
 
     #[test]
     fn benchmark_reports_positive_throughput() {
-        let s = Scenario { model: ModelKind::Nucleotide, taxa: 8, patterns: 600, categories: 2, seed: 11 };
+        let s = Scenario {
+            model: ModelKind::Nucleotide,
+            taxa: 8,
+            patterns: 600,
+            categories: 2,
+            seed: 11,
+        };
         let p = Problem::generate(&s);
         let mut inst = best_instance(&p, Flags::NONE, Flags::THREADING_THREAD_POOL).unwrap();
         let r = benchmark(&p, inst.as_mut(), 2);
@@ -309,7 +368,13 @@ mod tests {
 
     #[test]
     fn gpu_benchmark_uses_simulated_clock() {
-        let s = Scenario { model: ModelKind::Nucleotide, taxa: 8, patterns: 500, categories: 2, seed: 12 };
+        let s = Scenario {
+            model: ModelKind::Nucleotide,
+            taxa: 8,
+            patterns: 500,
+            categories: 2,
+            seed: 12,
+        };
         let p = Problem::generate(&s);
         let mut inst = best_instance(&p, Flags::NONE, Flags::FRAMEWORK_CUDA).unwrap();
         let r = benchmark(&p, inst.as_mut(), 2);
@@ -319,7 +384,13 @@ mod tests {
 
     #[test]
     fn flop_convention() {
-        let s = Scenario { model: ModelKind::Nucleotide, taxa: 3, patterns: 10, categories: 2, seed: 13 };
+        let s = Scenario {
+            model: ModelKind::Nucleotide,
+            taxa: 3,
+            patterns: 10,
+            categories: 2,
+            seed: 13,
+        };
         let p = Problem::generate(&s);
         // (3-1 ops) * 2 cats * 10 patterns * 4 states * 18
         assert_eq!(p.traversal_flops(), 2.0 * 2.0 * 10.0 * 4.0 * 18.0);

@@ -134,7 +134,11 @@ fn main() {
         model: args.model,
         taxa: args.taxa,
         patterns: args.patterns,
-        categories: if matches!(args.model, ModelKind::Nucleotide) { 4 } else { 1 },
+        categories: if matches!(args.model, ModelKind::Nucleotide) {
+            4
+        } else {
+            1
+        },
         seed: args.seed,
     };
     let problem = Problem::generate(&scenario);
@@ -150,7 +154,10 @@ fn main() {
     println!("# engine: {}", engines[0].name());
 
     let params = match args.model {
-        ModelKind::Codon => ModelParams::Codon { kappa: 2.0, omega: 0.5 },
+        ModelKind::Codon => ModelParams::Codon {
+            kappa: 2.0,
+            omega: 0.5,
+        },
         _ => ModelParams::Nucleotide { kappa: 2.0 },
     };
     let mut rng = SmallRng::seed_from_u64(args.seed.wrapping_mul(31));
@@ -184,7 +191,10 @@ fn main() {
             "measured wall time"
         }
     );
-    println!("total wall time      : {:.3} s", result.wall_time.as_secs_f64());
+    println!(
+        "total wall time      : {:.3} s",
+        result.wall_time.as_secs_f64()
+    );
 
     // Posterior summaries (25% burn-in, MrBayes' default).
     let post = result.posterior.burn_in(0.25);
@@ -203,8 +213,7 @@ fn main() {
         println!("lnL effective sample : {:.1}", post.lnl_ess());
         println!("clade supports (top 5 of the majority-rule set):");
         for (clade, support) in post.clade_supports().into_iter().take(5) {
-            let members: Vec<String> =
-                clade.members().iter().map(|t| format!("t{t}")).collect();
+            let members: Vec<String> = clade.members().iter().map(|t| format!("t{t}")).collect();
             println!("  {:.2}  ({})", support, members.join(","));
         }
     }

@@ -93,7 +93,11 @@ pub enum MoveKind {
 
 impl MoveKind {
     /// All move kinds, in report order.
-    pub const ALL: [MoveKind; 3] = [MoveKind::BranchLength, MoveKind::Topology, MoveKind::Parameter];
+    pub const ALL: [MoveKind; 3] = [
+        MoveKind::BranchLength,
+        MoveKind::Topology,
+        MoveKind::Parameter,
+    ];
 
     /// Display name.
     pub fn name(&self) -> &'static str {
@@ -198,7 +202,12 @@ impl MarkovChain {
         let model = params.build();
         let log_likelihood = engine.log_likelihood(&tree, &model);
         Self {
-            state: ChainState { tree, params, model, log_likelihood },
+            state: ChainState {
+                tree,
+                params,
+                model,
+                log_likelihood,
+            },
             beta,
             rng: SmallRng::seed_from_u64(seed),
             stats: ChainStats::default(),
@@ -244,15 +253,21 @@ impl MarkovChain {
             // Parameter multiplier.
             let m = (0.5 * (self.rng.random_range(0.0..1.0f64) - 0.5)).exp();
             proposal.params = match proposal.params {
-                ModelParams::Nucleotide { kappa } => {
-                    ModelParams::Nucleotide { kappa: (kappa * m).clamp(0.05, 100.0) }
-                }
+                ModelParams::Nucleotide { kappa } => ModelParams::Nucleotide {
+                    kappa: (kappa * m).clamp(0.05, 100.0),
+                },
                 ModelParams::Codon { kappa, omega } => {
                     // Alternate which parameter moves.
                     if self.rng.random_range(0..2) == 0 {
-                        ModelParams::Codon { kappa: (kappa * m).clamp(0.05, 100.0), omega }
+                        ModelParams::Codon {
+                            kappa: (kappa * m).clamp(0.05, 100.0),
+                            omega,
+                        }
                     } else {
-                        ModelParams::Codon { kappa, omega: (omega * m).clamp(0.01, 10.0) }
+                        ModelParams::Codon {
+                            kappa,
+                            omega: (omega * m).clamp(0.01, 10.0),
+                        }
                     }
                 }
             };
@@ -265,8 +280,8 @@ impl MarkovChain {
         }
         proposal.log_likelihood = engine.log_likelihood(&proposal.tree, &proposal.model);
 
-        let log_ratio = self.beta * (log_posterior(&proposal) - log_posterior(&self.state))
-            + log_hastings;
+        let log_ratio =
+            self.beta * (log_posterior(&proposal) - log_posterior(&self.state)) + log_hastings;
         let accept = log_ratio >= 0.0 || self.rng.random_range(0.0..1.0) < log_ratio.exp();
         self.stats.record(kind, accept);
         if accept {
@@ -309,13 +324,20 @@ mod tests {
         assert!(chain.stats.accepted > 0, "some moves must be accepted");
         assert!(chain.stats.accepted < 200, "some moves must be rejected");
         // Per-move tallies partition the totals.
-        let per_move_proposed: usize =
-            MoveKind::ALL.iter().map(|&k| chain.stats.for_move(k).proposed).sum();
-        let per_move_accepted: usize =
-            MoveKind::ALL.iter().map(|&k| chain.stats.for_move(k).accepted).sum();
+        let per_move_proposed: usize = MoveKind::ALL
+            .iter()
+            .map(|&k| chain.stats.for_move(k).proposed)
+            .sum();
+        let per_move_accepted: usize = MoveKind::ALL
+            .iter()
+            .map(|&k| chain.stats.for_move(k).accepted)
+            .sum();
         assert_eq!(per_move_proposed, chain.stats.proposed);
         assert_eq!(per_move_accepted, chain.stats.accepted);
-        assert!(chain.stats.branch_length.proposed > 0, "mix is half branch moves");
+        assert!(
+            chain.stats.branch_length.proposed > 0,
+            "mix is half branch moves"
+        );
         assert!(chain.state.log_likelihood.is_finite());
         // On simulated-from-truth data, the sampler should not drift to a
         // catastrophically worse likelihood.

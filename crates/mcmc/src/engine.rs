@@ -50,7 +50,15 @@ impl BeagleEngine {
         scaled: bool,
     ) -> Self {
         let label = instance.details().implementation_name.clone();
-        Self { instance, patterns, rates, scaled, tips_loaded: false, wall: Duration::ZERO, label }
+        Self {
+            instance,
+            patterns,
+            rates,
+            scaled,
+            tips_loaded: false,
+            wall: Duration::ZERO,
+            label,
+        }
     }
 }
 
@@ -64,11 +72,14 @@ impl LikelihoodEngine for BeagleEngine {
         let inst = self.instance.as_mut();
         if !self.tips_loaded {
             for tip in 0..tree.taxon_count() {
-                inst.set_tip_states(tip, &self.patterns.tip_states(tip)).expect("tips");
+                inst.set_tip_states(tip, &self.patterns.tip_states(tip))
+                    .expect("tips");
             }
-            inst.set_pattern_weights(self.patterns.weights()).expect("pattern weights");
+            inst.set_pattern_weights(self.patterns.weights())
+                .expect("pattern weights");
             inst.set_category_rates(&self.rates.rates).expect("rates");
-            inst.set_category_weights(0, &self.rates.weights).expect("weights");
+            inst.set_category_weights(0, &self.rates.weights)
+                .expect("weights");
             self.tips_loaded = true;
         }
         // Parameters may have changed every call: reload eigen + freqs and
@@ -82,17 +93,22 @@ impl LikelihoodEngine for BeagleEngine {
             &eig.values,
         )
         .expect("eigen");
-        inst.set_state_frequencies(0, model.frequencies()).expect("freqs");
-        let (idx, len): (Vec<usize>, Vec<f64>) =
-            tree.branch_assignments().iter().copied().unzip();
-        inst.update_transition_matrices(0, &idx, &len).expect("matrices");
+        inst.set_state_frequencies(0, model.frequencies())
+            .expect("freqs");
+        let (idx, len): (Vec<usize>, Vec<f64>) = tree.branch_assignments().iter().copied().unzip();
+        inst.update_transition_matrices(0, &idx, &len)
+            .expect("matrices");
 
         let ops: Vec<Operation> = tree
             .operation_schedule()
             .iter()
             .map(|e| {
                 let op = Operation::new(e.destination, e.child1, e.matrix1, e.child2, e.matrix2);
-                if self.scaled { op.with_scaling(e.destination) } else { op }
+                if self.scaled {
+                    op.with_scaling(e.destination)
+                } else {
+                    op
+                }
             })
             .collect();
         inst.update_partials(&ops).expect("partials");
@@ -159,7 +175,11 @@ impl<T: beagle_core::Real> LikelihoodEngine for NativeEngine<T> {
     fn name(&self) -> String {
         format!(
             "native-SSE ({} precision)",
-            if std::mem::size_of::<T>() == 4 { "single" } else { "double" }
+            if std::mem::size_of::<T>() == 4 {
+                "single"
+            } else {
+                "double"
+            }
         )
     }
 
@@ -214,9 +234,24 @@ impl<T: beagle_core::Real> LikelihoodEngine for NativeEngine<T> {
                 let m1c = &m1[c * s * s..(c + 1) * s * s];
                 let m2c = &m2[c * s * s..(c + 1) * s * s];
                 if s == 4 {
-                    vector::partials_partials_4(&mut dest[r.clone()], &c1[r.clone()], &c2[r], m1c, m2c, 4);
+                    vector::partials_partials_4(
+                        &mut dest[r.clone()],
+                        &c1[r.clone()],
+                        &c2[r],
+                        m1c,
+                        m2c,
+                        4,
+                    );
                 } else {
-                    kernels::partials_partials(&mut dest[r.clone()], &c1[r.clone()], &c2[r], m1c, m2c, s, s);
+                    kernels::partials_partials(
+                        &mut dest[r.clone()],
+                        &c1[r.clone()],
+                        &c2[r],
+                        m1c,
+                        m2c,
+                        s,
+                        s,
+                    );
                 }
             }
             // Rescale this node's partials.
@@ -229,9 +264,18 @@ impl<T: beagle_core::Real> LikelihoodEngine for NativeEngine<T> {
         }
 
         // Root integration.
-        let freqs: Vec<T> = model.frequencies().iter().map(|&x| T::from_f64(x)).collect();
+        let freqs: Vec<T> = model
+            .frequencies()
+            .iter()
+            .map(|&x| T::from_f64(x))
+            .collect();
         let catw: Vec<T> = self.rates.weights.iter().map(|&x| T::from_f64(x)).collect();
-        let pw: Vec<T> = self.patterns.weights().iter().map(|&x| T::from_f64(x)).collect();
+        let pw: Vec<T> = self
+            .patterns
+            .weights()
+            .iter()
+            .map(|&x| T::from_f64(x))
+            .collect();
         let mut site = vec![T::ZERO; n_pat];
         let total = kernels::integrate_root(
             &mut site,
@@ -257,7 +301,10 @@ impl<T: beagle_core::Real> LikelihoodEngine for NativeEngine<T> {
 /// Borrow three distinct arena entries, the last mutably-for-writing.
 /// Returns `[child1, child2, destination]`.
 fn distinct_three<T>(arena: &mut [Vec<T>], a: usize, b: usize, dst: usize) -> [&mut Vec<T>; 3] {
-    assert!(a != dst && b != dst, "destination must differ from children");
+    assert!(
+        a != dst && b != dst,
+        "destination must differ from children"
+    );
     // SAFETY: indices a, b, dst are distinct from dst (asserted); a may
     // equal b only if the tree were malformed — also assert.
     assert_ne!(a, b, "children must be distinct nodes");

@@ -117,7 +117,10 @@ pub fn run_mc3(
         if config.chains >= 2 {
             let i = master_rng.random_range(0..config.chains - 1);
             let j = i + 1;
-            let (pi, pj) = (log_posterior(&chains[i].state), log_posterior(&chains[j].state));
+            let (pi, pj) = (
+                log_posterior(&chains[i].state),
+                log_posterior(&chains[j].state),
+            );
             let (bi, bj) = (chains[i].beta, chains[j].beta);
             let log_ratio = (bi - bj) * (pj - pi);
             swaps_attempted += 1;
@@ -170,8 +173,12 @@ mod tests {
     ) -> Vec<Box<dyn LikelihoodEngine>> {
         (0..n)
             .map(|_| {
-                Box::new(NativeEngine::<f64>::new(taxa, patterns.clone(), rates.clone(), 4))
-                    as Box<dyn LikelihoodEngine>
+                Box::new(NativeEngine::<f64>::new(
+                    taxa,
+                    patterns.clone(),
+                    rates.clone(),
+                    4,
+                )) as Box<dyn LikelihoodEngine>
             })
             .collect()
     }
@@ -187,9 +194,21 @@ mod tests {
 
         // Start from a random tree (not the truth).
         let start = Tree::random(8, 0.1, &mut rng);
-        let config = Mc3Config { chains: 4, generations: 400, swap_interval: 10, sample_interval: 10, heating: 0.1, seed: 3 };
+        let config = Mc3Config {
+            chains: 4,
+            generations: 400,
+            swap_interval: 10,
+            sample_interval: 10,
+            heating: 0.1,
+            seed: 3,
+        };
         let mut eng = engines(4, 8, &patterns, &rates);
-        let result = run_mc3(&config, &start, ModelParams::Nucleotide { kappa: 2.0 }, &mut eng);
+        let result = run_mc3(
+            &config,
+            &start,
+            ModelParams::Nucleotide { kappa: 2.0 },
+            &mut eng,
+        );
 
         assert_eq!(result.cold_trace.len(), 40);
         assert!(result.swaps_attempted > 0);
@@ -213,10 +232,25 @@ mod tests {
         let rates = SiteRates::constant();
         let aln = simulate_alignment(&tree, &model, &rates, 100, &mut rng);
         let patterns = SitePatterns::compress(&aln);
-        let config = Mc3Config { chains: 1, generations: 50, swap_interval: 5, sample_interval: 5, heating: 0.1, seed: 4 };
+        let config = Mc3Config {
+            chains: 1,
+            generations: 50,
+            swap_interval: 5,
+            sample_interval: 5,
+            heating: 0.1,
+            seed: 4,
+        };
         let mut eng = engines(1, 5, &patterns, &rates);
-        let result = run_mc3(&config, &tree, ModelParams::Nucleotide { kappa: 2.0 }, &mut eng);
-        assert_eq!(result.swaps_attempted, 0, "no swap partner for a single chain");
+        let result = run_mc3(
+            &config,
+            &tree,
+            ModelParams::Nucleotide { kappa: 2.0 },
+            &mut eng,
+        );
+        assert_eq!(
+            result.swaps_attempted, 0,
+            "no swap partner for a single chain"
+        );
         assert!(result.final_log_likelihood.is_finite());
     }
 
@@ -237,20 +271,37 @@ mod tests {
             seed: 5,
         };
         let mut eng = engines(2, 6, &patterns, &rates);
-        let result = run_mc3(&config, &tree, ModelParams::Nucleotide { kappa: 2.0 }, &mut eng);
+        let result = run_mc3(
+            &config,
+            &tree,
+            ModelParams::Nucleotide { kappa: 2.0 },
+            &mut eng,
+        );
         // Samples at generations 20, 40, 60, 80, 100.
         assert_eq!(result.posterior.len(), 5);
-        let gens: Vec<usize> =
-            result.posterior.samples().iter().map(|s| s.generation).collect();
+        let gens: Vec<usize> = result
+            .posterior
+            .samples()
+            .iter()
+            .map(|s| s.generation)
+            .collect();
         assert_eq!(gens, vec![20, 40, 60, 80, 100]);
         // Summaries are well-formed.
         let k = result.posterior.kappa_summary();
         assert!(k.mean > 0.0 && k.lower95 <= k.mean && k.mean <= k.upper95);
         assert!(!result.posterior.clade_supports().is_empty());
         // sample_interval = 0 disables collection.
-        let config2 = Mc3Config { sample_interval: 0, ..config };
+        let config2 = Mc3Config {
+            sample_interval: 0,
+            ..config
+        };
         let mut eng = engines(2, 6, &patterns, &rates);
-        let r2 = run_mc3(&config2, &tree, ModelParams::Nucleotide { kappa: 2.0 }, &mut eng);
+        let r2 = run_mc3(
+            &config2,
+            &tree,
+            ModelParams::Nucleotide { kappa: 2.0 },
+            &mut eng,
+        );
         assert!(r2.posterior.is_empty());
     }
 
@@ -262,11 +313,23 @@ mod tests {
         let rates = SiteRates::constant();
         let aln = simulate_alignment(&tree, &model, &rates, 150, &mut rng);
         let patterns = SitePatterns::compress(&aln);
-        let config = Mc3Config { chains: 2, generations: 100, swap_interval: 10, sample_interval: 10, heating: 0.15, seed: 9 };
+        let config = Mc3Config {
+            chains: 2,
+            generations: 100,
+            swap_interval: 10,
+            sample_interval: 10,
+            heating: 0.15,
+            seed: 9,
+        };
         let run = || {
             let mut eng = engines(2, 6, &patterns, &rates);
-            run_mc3(&config, &tree, ModelParams::Nucleotide { kappa: 2.0 }, &mut eng)
-                .cold_trace
+            run_mc3(
+                &config,
+                &tree,
+                ModelParams::Nucleotide { kappa: 2.0 },
+                &mut eng,
+            )
+            .cold_trace
         };
         assert_eq!(run(), run(), "same seed, same trajectory");
     }

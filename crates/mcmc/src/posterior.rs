@@ -61,7 +61,9 @@ impl Posterior {
     pub fn burn_in(&self, fraction: f64) -> Posterior {
         assert!((0.0..1.0).contains(&fraction));
         let skip = (self.samples.len() as f64 * fraction).floor() as usize;
-        Posterior { samples: self.samples[skip..].to_vec() }
+        Posterior {
+            samples: self.samples[skip..].to_vec(),
+        }
     }
 
     /// Posterior clade supports, sorted by decreasing support.
@@ -125,7 +127,12 @@ fn summarize(values: impl Iterator<Item = f64>) -> ParameterSummary {
     let n = v.len();
     let mean = v.iter().sum::<f64>() / n as f64;
     let q = |p: f64| v[((n as f64 - 1.0) * p).round() as usize];
-    ParameterSummary { mean, lower95: q(0.025), upper95: q(0.975), n }
+    ParameterSummary {
+        mean,
+        lower95: q(0.025),
+        upper95: q(0.975),
+        n,
+    }
 }
 
 /// Effective sample size by the initial positive sequence estimator
@@ -170,7 +177,12 @@ mod tests {
     use rand::{Rng, SeedableRng};
 
     fn sample_with(kappa: f64, lnl: f64, tree: Tree, generation: usize) -> Sample {
-        Sample { generation, tree, params: ModelParams::Nucleotide { kappa }, log_likelihood: lnl }
+        Sample {
+            generation,
+            tree,
+            params: ModelParams::Nucleotide { kappa },
+            log_likelihood: lnl,
+        }
     }
 
     #[test]
@@ -207,7 +219,10 @@ mod tests {
         p.record(Sample {
             generation: 1,
             tree: t,
-            params: ModelParams::Codon { kappa: 2.0, omega: 0.4 },
+            params: ModelParams::Codon {
+                kappa: 2.0,
+                omega: 0.4,
+            },
             log_likelihood: -1.0,
         });
         let s = p.omega_summary().unwrap();
@@ -234,7 +249,10 @@ mod tests {
             })
             .collect();
         let ess = effective_sample_size(&trace);
-        assert!(ess < 300.0, "highly autocorrelated ESS must be small: {ess}");
+        assert!(
+            ess < 300.0,
+            "highly autocorrelated ESS must be small: {ess}"
+        );
     }
 
     #[test]

@@ -22,8 +22,8 @@ pub const GAP_STATE: u32 = u32::MAX;
 
 const DNA_CHARS: [u8; 4] = [b'A', b'C', b'G', b'T'];
 const AA_CHARS: [u8; 20] = [
-    b'A', b'R', b'N', b'D', b'C', b'Q', b'E', b'G', b'H', b'I', b'L', b'K', b'M', b'F', b'P',
-    b'S', b'T', b'W', b'Y', b'V',
+    b'A', b'R', b'N', b'D', b'C', b'Q', b'E', b'G', b'H', b'I', b'L', b'K', b'M', b'F', b'P', b'S',
+    b'T', b'W', b'Y', b'V',
 ];
 
 impl Alphabet {
@@ -120,8 +120,7 @@ pub struct CodonTables {
 
 /// Universal genetic code as a 64-char table in TCAG-free AC GT order:
 /// index = 16·b1 + 4·b2 + b3 with A=0, C=1, G=2, T=3. '*' marks stops.
-const GENETIC_CODE: &[u8; 64] =
-    b"KNKNTTTTRSRSIIMIQHQHPPPPRRRRLLLLEDEDAAAAGGGGVVVV*Y*YSSSS*CWCLFLF";
+const GENETIC_CODE: &[u8; 64] = b"KNKNTTTTRSRSIIMIQHQHPPPPRRRRLLLLEDEDAAAAGGGGVVVV*Y*YSSSS*CWCLFLF";
 
 /// Lazily built codon tables (built once; cheap and lock-free afterwards).
 pub fn codon_tables() -> &'static CodonTables {
@@ -143,7 +142,11 @@ pub fn codon_tables() -> &'static CodonTables {
             next += 1;
         }
         assert_eq!(next, 61, "universal code must yield 61 sense codons");
-        CodonTables { triplet_to_state, state_to_triplet, amino_acid }
+        CodonTables {
+            triplet_to_state,
+            state_to_triplet,
+            amino_acid,
+        }
     })
 }
 
@@ -175,7 +178,11 @@ mod tests {
     fn codon_state_space_is_61() {
         assert_eq!(Alphabet::Codon.state_count(), 61);
         let t = codon_tables();
-        let stops = t.triplet_to_state.iter().filter(|&&s| s == GAP_STATE).count();
+        let stops = t
+            .triplet_to_state
+            .iter()
+            .filter(|&&s| s == GAP_STATE)
+            .count();
         assert_eq!(stops, 3, "universal code has exactly 3 stop codons");
     }
 

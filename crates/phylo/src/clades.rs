@@ -82,7 +82,11 @@ pub fn clades(tree: &Tree) -> Vec<Clade> {
 /// of the symmetric difference of their clade sets. Identical topologies
 /// give 0; maximally different `n`-taxon binary trees give `2(n − 2)`.
 pub fn robinson_foulds(a: &Tree, b: &Tree) -> usize {
-    assert_eq!(a.taxon_count(), b.taxon_count(), "trees must share a taxon set");
+    assert_eq!(
+        a.taxon_count(),
+        b.taxon_count(),
+        "trees must share a taxon set"
+    );
     let ca: std::collections::HashSet<Clade> = clades(a).into_iter().collect();
     let cb: std::collections::HashSet<Clade> = clades(b).into_iter().collect();
     ca.symmetric_difference(&cb).count()
@@ -99,8 +103,7 @@ pub fn clade_supports(trees: &[Tree]) -> Vec<(Clade, f64)> {
         }
     }
     let n = trees.len() as f64;
-    let mut out: Vec<(Clade, f64)> =
-        counts.into_iter().map(|(c, k)| (c, k as f64 / n)).collect();
+    let mut out: Vec<(Clade, f64)> = counts.into_iter().map(|(c, k)| (c, k as f64 / n)).collect();
     out.sort_by(|x, y| y.1.partial_cmp(&x.1).unwrap().then(x.0.cmp(&y.0)));
     out
 }
@@ -164,10 +167,7 @@ mod tests {
         let b = Tree::random(9, 0.1, &mut rng);
         let c = Tree::random(9, 0.1, &mut rng);
         assert_eq!(robinson_foulds(&a, &b), robinson_foulds(&b, &a));
-        assert!(
-            robinson_foulds(&a, &c)
-                <= robinson_foulds(&a, &b) + robinson_foulds(&b, &c)
-        );
+        assert!(robinson_foulds(&a, &c) <= robinson_foulds(&a, &b) + robinson_foulds(&b, &c));
     }
 
     #[test]

@@ -64,7 +64,10 @@ pub fn parse_fasta(alphabet: Alphabet, text: &str) -> Result<Alignment, FastaErr
         }
     }
     if names.is_empty() {
-        return Err(FastaError { message: "no sequences found".into(), line: 0 });
+        return Err(FastaError {
+            message: "no sequences found".into(),
+            line: 0,
+        });
     }
     let len = seqs[0].len();
     for (name, s) in names.iter().zip(&seqs) {

@@ -18,7 +18,6 @@
 //! * [`clades`] — Robinson–Foulds distance and consensus clade supports
 //! * [`fasta`] — aligned-FASTA parsing/writing
 
-
 // Likelihood kernels and small numeric routines are written with explicit
 // index loops on purpose: the loop structure mirrors the work-item/work-group
 // decomposition the paper describes, and that clarity outweighs iterator style.

@@ -54,8 +54,14 @@ pub fn log_likelihood(
     }
 
     for entry in tree.operation_schedule() {
-        let c1 = partials[entry.child1].as_ref().expect("child computed").clone();
-        let c2 = partials[entry.child2].as_ref().expect("child computed").clone();
+        let c1 = partials[entry.child1]
+            .as_ref()
+            .expect("child computed")
+            .clone();
+        let c2 = partials[entry.child2]
+            .as_ref()
+            .expect("child computed")
+            .clone();
         let mut dest = vec![0.0; n_cat * n_pat * s];
         for c in 0..n_cat {
             let p1 = &p_mats[entry.matrix1][c];
@@ -77,7 +83,14 @@ pub fn log_likelihood(
     }
 
     let root = partials[tree.root()].as_ref().unwrap();
-    integrate_root(root, model.frequencies(), &rates.weights, patterns, n_pat, s)
+    integrate_root(
+        root,
+        model.frequencies(),
+        &rates.weights,
+        patterns,
+        n_pat,
+        s,
+    )
 }
 
 /// Integrate root partials over states and categories, weight by pattern
@@ -109,9 +122,9 @@ fn integrate_root(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::alphabet::Alphabet;
     use crate::models::nucleotide::{hky85, jc69};
     use crate::sequence::Alignment;
-    use crate::alphabet::Alphabet;
     use rand::rngs::SmallRng;
     use rand::SeedableRng;
 
@@ -182,7 +195,10 @@ mod tests {
         let aln2 = Alignment::from_text(Alphabet::Dna, &[("a", "A-G-"), ("b", "ACG-")]);
         let pats2 = SitePatterns::compress(&aln2);
         let lnl2 = log_likelihood(&tree, &model, &SiteRates::constant(), &pats2);
-        assert!((lnl - lnl2).abs() < 1e-10, "all-gap column must contribute 0");
+        assert!(
+            (lnl - lnl2).abs() < 1e-10,
+            "all-gap column must contribute 0"
+        );
     }
 
     #[test]
@@ -201,7 +217,10 @@ mod tests {
         let l_const = log_likelihood(&tree, &model, &SiteRates::constant(), &pats);
         let l_gamma = log_likelihood(&tree, &model, &SiteRates::discrete_gamma(0.3, 4), &pats);
         assert!(l_const.is_finite() && l_gamma.is_finite());
-        assert!((l_const - l_gamma).abs() > 1e-6, "gamma rates should matter");
+        assert!(
+            (l_const - l_gamma).abs() > 1e-6,
+            "gamma rates should matter"
+        );
     }
 
     #[test]

@@ -161,12 +161,20 @@ pub fn decompose_reversible(q: &SquareMatrix, pi: &[f64]) -> EigenDecomposition 
     let mut inverse_vectors = SquareMatrix::zeros(n);
     for i in 0..n {
         for k in 0..n {
-            vectors[(i, k)] = if sqrt_pi[i] > 0.0 { v[(i, k)] / sqrt_pi[i] } else { 0.0 };
+            vectors[(i, k)] = if sqrt_pi[i] > 0.0 {
+                v[(i, k)] / sqrt_pi[i]
+            } else {
+                0.0
+            };
             inverse_vectors[(k, i)] = v[(i, k)] * sqrt_pi[i];
         }
     }
 
-    EigenDecomposition { vectors, inverse_vectors, values }
+    EigenDecomposition {
+        vectors,
+        inverse_vectors,
+        values,
+    }
 }
 
 #[cfg(test)]
@@ -208,10 +216,7 @@ mod tests {
 
     #[test]
     fn jacobi_reconstructs_symmetric_matrix() {
-        let s = SquareMatrix::from_rows(
-            3,
-            &[2.0, -1.0, 0.5, -1.0, 3.0, 0.25, 0.5, 0.25, -1.5],
-        );
+        let s = SquareMatrix::from_rows(3, &[2.0, -1.0, 0.5, -1.0, 3.0, 0.25, 0.5, 0.25, -1.5]);
         let (vals, v) = jacobi_symmetric(&s);
         // Reconstruct V Λ Vᵀ.
         let mut lam = SquareMatrix::zeros(3);
@@ -219,7 +224,11 @@ mod tests {
             lam[(i, i)] = vals[i];
         }
         let rec = v.matmul(&lam).matmul(&v.transpose());
-        assert!(rec.max_abs_diff(&s) < 1e-10, "diff {}", rec.max_abs_diff(&s));
+        assert!(
+            rec.max_abs_diff(&s) < 1e-10,
+            "diff {}",
+            rec.max_abs_diff(&s)
+        );
     }
 
     #[test]
@@ -258,7 +267,8 @@ mod tests {
                 if i == j {
                     continue;
                 }
-                let transition = (i, j) == (0, 2) || (i, j) == (2, 0) || (i, j) == (1, 3) || (i, j) == (3, 1);
+                let transition =
+                    (i, j) == (0, 2) || (i, j) == (2, 0) || (i, j) == (1, 3) || (i, j) == (3, 1);
                 q[(i, j)] = if transition { kappa } else { 1.0 } * pi[j];
             }
         }

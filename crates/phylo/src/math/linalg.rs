@@ -18,7 +18,10 @@ pub struct SquareMatrix {
 impl SquareMatrix {
     /// Create an `n × n` zero matrix.
     pub fn zeros(n: usize) -> Self {
-        Self { n, data: vec![0.0; n * n] }
+        Self {
+            n,
+            data: vec![0.0; n * n],
+        }
     }
 
     /// Create the `n × n` identity matrix.
@@ -33,7 +36,10 @@ impl SquareMatrix {
     /// Create a matrix from a row-major slice. Panics if `data.len() != n * n`.
     pub fn from_rows(n: usize, data: &[f64]) -> Self {
         assert_eq!(data.len(), n * n, "row-major data must have n*n entries");
-        Self { n, data: data.to_vec() }
+        Self {
+            n,
+            data: data.to_vec(),
+        }
     }
 
     /// Dimension of the matrix.

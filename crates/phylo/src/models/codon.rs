@@ -23,7 +23,10 @@ pub struct CodonModelParams {
 
 impl Default for CodonModelParams {
     fn default() -> Self {
-        Self { kappa: 2.0, omega: 0.5 }
+        Self {
+            kappa: 2.0,
+            omega: 0.5,
+        }
     }
 }
 
@@ -124,7 +127,10 @@ mod tests {
     #[test]
     fn omega_one_kappa_one_all_single_changes_equal() {
         let m = gy94(
-            CodonModelParams { kappa: 1.0, omega: 1.0 },
+            CodonModelParams {
+                kappa: 1.0,
+                omega: 1.0,
+            },
             &uniform_codon_frequencies(),
         );
         let q = m.rate_matrix();
@@ -143,7 +149,10 @@ mod tests {
     #[test]
     fn synonymous_vs_nonsynonymous_ratio() {
         let omega = 0.25;
-        let m = gy94(CodonModelParams { kappa: 1.0, omega }, &uniform_codon_frequencies());
+        let m = gy94(
+            CodonModelParams { kappa: 1.0, omega },
+            &uniform_codon_frequencies(),
+        );
         let q = m.rate_matrix();
         let tables = codon_tables();
         // Find one synonymous and one nonsynonymous transversion pair and

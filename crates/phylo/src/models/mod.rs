@@ -42,8 +42,14 @@ impl ReversibleModel {
         assert_eq!(r.dim(), n);
         assert_eq!(pi.len(), n);
         let fsum: f64 = pi.iter().sum();
-        assert!((fsum - 1.0).abs() < 1e-9, "frequencies must sum to 1, got {fsum}");
-        assert!(pi.iter().all(|&p| p >= 0.0), "frequencies must be non-negative");
+        assert!(
+            (fsum - 1.0).abs() < 1e-9,
+            "frequencies must sum to 1, got {fsum}"
+        );
+        assert!(
+            pi.iter().all(|&p| p >= 0.0),
+            "frequencies must be non-negative"
+        );
 
         let mut q = SquareMatrix::zeros(n);
         for i in 0..n {
@@ -58,7 +64,12 @@ impl ReversibleModel {
         }
         complete_and_normalize(&mut q, pi);
         let eigen = decompose_reversible(&q, pi);
-        ReversibleModel { alphabet, q, pi: pi.to_vec(), eigen }
+        ReversibleModel {
+            alphabet,
+            q,
+            pi: pi.to_vec(),
+            eigen,
+        }
     }
 
     /// The alphabet this model acts on.

@@ -40,7 +40,10 @@ pub fn hky85(kappa: f64, pi: &[f64; 4]) -> ReversibleModel {
 /// General time-reversible model. `rates` are the six exchangeabilities in
 /// the conventional order (AC, AG, AT, CG, CT, GT).
 pub fn gtr(rates: &[f64; 6], pi: &[f64; 4]) -> ReversibleModel {
-    assert!(rates.iter().all(|&x| x > 0.0), "exchangeabilities must be positive");
+    assert!(
+        rates.iter().all(|&x| x > 0.0),
+        "exchangeabilities must be positive"
+    );
     let mut r = SquareMatrix::zeros(4);
     let pairs = [(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)];
     for (k, &(i, j)) in pairs.iter().enumerate() {

@@ -19,7 +19,11 @@ pub struct NewickError {
 
 impl std::fmt::Display for NewickError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "newick parse error at byte {}: {}", self.position, self.message)
+        write!(
+            f,
+            "newick parse error at byte {}: {}",
+            self.position, self.message
+        )
     }
 }
 
@@ -56,7 +60,10 @@ fn write_node(tree: &Tree, id: NodeId, names: &[String], is_root: bool, out: &mu
 /// Parse a rooted binary Newick tree. Returns the tree plus the taxon names
 /// in taxon-index order.
 pub fn from_newick(input: &str) -> Result<(Tree, Vec<String>), NewickError> {
-    let mut parser = Parser { bytes: input.trim().as_bytes(), pos: 0 };
+    let mut parser = Parser {
+        bytes: input.trim().as_bytes(),
+        pos: 0,
+    };
     let raw = parser.parse_subtree()?;
     parser.skip_ws();
     if parser.peek() == Some(b';') {
@@ -82,7 +89,10 @@ struct Parser<'a> {
 
 impl<'a> Parser<'a> {
     fn err(&self, message: &str) -> NewickError {
-        NewickError { message: message.to_string(), position: self.pos }
+        NewickError {
+            message: message.to_string(),
+            position: self.pos,
+        }
     }
 
     fn peek(&self) -> Option<u8> {
@@ -167,15 +177,23 @@ fn build_tree(raw: RawNode, parser: &mut Parser) -> Result<(Tree, Vec<String>), 
     if names.len() < 2 {
         return Err(parser.err("tree must have at least two taxa"));
     }
-    let name_index: HashMap<&str, usize> =
-        names.iter().enumerate().map(|(i, n)| (n.as_str(), i)).collect();
+    let name_index: HashMap<&str, usize> = names
+        .iter()
+        .enumerate()
+        .map(|(i, n)| (n.as_str(), i))
+        .collect();
     if name_index.len() != names.len() {
         return Err(parser.err("duplicate taxon labels"));
     }
 
     let n = names.len();
     let mut nodes: Vec<Node> = (0..n)
-        .map(|i| Node { parent: None, children: vec![], branch_length: 0.0, taxon: Some(i) })
+        .map(|i| Node {
+            parent: None,
+            children: vec![],
+            branch_length: 0.0,
+            taxon: Some(i),
+        })
         .collect();
     let root = attach(&raw, &mut nodes, &name_index, parser)?;
     nodes[root].branch_length = 0.0;
@@ -253,7 +271,11 @@ mod tests {
     #[test]
     fn missing_branch_defaults_to_zero() {
         let (tree, names) = from_newick("(A,B);").unwrap();
-        assert_eq!(tree.node(names.iter().position(|n| n == "A").unwrap()).branch_length, 0.0);
+        assert_eq!(
+            tree.node(names.iter().position(|n| n == "A").unwrap())
+                .branch_length,
+            0.0
+        );
     }
 
     #[test]

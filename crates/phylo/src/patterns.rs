@@ -39,7 +39,11 @@ impl SitePatterns {
             weights[id] += 1.0;
             site_to_pattern.push(id);
         }
-        Self { patterns, weights, site_to_pattern }
+        Self {
+            patterns,
+            weights,
+            site_to_pattern,
+        }
     }
 
     /// Construct directly from unique patterns and weights (used by the
@@ -47,7 +51,11 @@ impl SitePatterns {
     pub fn from_parts(patterns: Vec<Vec<u32>>, weights: Vec<f64>) -> Self {
         assert_eq!(patterns.len(), weights.len());
         let site_to_pattern = (0..patterns.len()).collect();
-        Self { patterns, weights, site_to_pattern }
+        Self {
+            patterns,
+            weights,
+            site_to_pattern,
+        }
     }
 
     /// Number of unique patterns.

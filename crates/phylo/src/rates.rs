@@ -17,7 +17,10 @@ pub struct SiteRates {
 impl SiteRates {
     /// A single rate category with rate 1 (no heterogeneity).
     pub fn constant() -> Self {
-        Self { rates: vec![1.0], weights: vec![1.0] }
+        Self {
+            rates: vec![1.0],
+            weights: vec![1.0],
+        }
     }
 
     /// Yang's discrete-gamma model with shape `alpha` and `k` categories.
@@ -51,7 +54,11 @@ impl SiteRates {
 
     /// Mean rate under the category weights (should be 1).
     pub fn mean_rate(&self) -> f64 {
-        self.rates.iter().zip(&self.weights).map(|(r, w)| r * w).sum()
+        self.rates
+            .iter()
+            .zip(&self.weights)
+            .map(|(r, w)| r * w)
+            .sum()
     }
 }
 

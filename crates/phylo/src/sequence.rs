@@ -33,7 +33,11 @@ impl Alignment {
                 }
             }
         }
-        Self { alphabet, taxa, sites }
+        Self {
+            alphabet,
+            taxa,
+            sites,
+        }
     }
 
     /// Parse text sequences (e.g. "ACGT..." rows). Codon alphabets consume
@@ -51,7 +55,10 @@ impl Alignment {
                     "sequence length {} not divisible by symbol width {width}",
                     bytes.len()
                 );
-                bytes.chunks_exact(width).map(|c| alphabet.encode(c)).collect()
+                bytes
+                    .chunks_exact(width)
+                    .map(|c| alphabet.encode(c))
+                    .collect()
             })
             .collect();
         Self::from_encoded(alphabet, taxa, sites)
@@ -89,7 +96,10 @@ impl Alignment {
 
     /// Render taxon `t` back to text (useful for tests and dumps).
     pub fn row_text(&self, t: usize) -> String {
-        self.sites[t].iter().map(|&s| self.alphabet.decode(s)).collect()
+        self.sites[t]
+            .iter()
+            .map(|&s| self.alphabet.decode(s))
+            .collect()
     }
 }
 
@@ -99,10 +109,7 @@ mod tests {
 
     #[test]
     fn text_roundtrip_dna() {
-        let a = Alignment::from_text(
-            Alphabet::Dna,
-            &[("tax1", "ACGT"), ("tax2", "AC-T")],
-        );
+        let a = Alignment::from_text(Alphabet::Dna, &[("tax1", "ACGT"), ("tax2", "AC-T")]);
         assert_eq!(a.taxon_count(), 2);
         assert_eq!(a.site_count(), 4);
         assert_eq!(a.row(0), &[0, 1, 2, 3]);

@@ -51,10 +51,14 @@ pub fn simulate_alignment<R: Rng>(
     }
     let pi_cum: Vec<f64> = {
         let mut acc = 0.0;
-        model.frequencies().iter().map(|&x| {
-            acc += x;
-            acc
-        }).collect()
+        model
+            .frequencies()
+            .iter()
+            .map(|&x| {
+                acc += x;
+                acc
+            })
+            .collect()
     };
 
     let mut rows: Vec<Vec<u32>> = vec![Vec::with_capacity(site_count); n_tips];

@@ -40,7 +40,11 @@ pub struct Tree {
 impl Tree {
     /// Build from a raw arena. Validates the binary-tree invariants.
     pub fn from_nodes(nodes: Vec<Node>, root: NodeId, taxon_count: usize) -> Self {
-        let t = Self { nodes, root, taxon_count };
+        let t = Self {
+            nodes,
+            root,
+            taxon_count,
+        };
         t.validate();
         t
     }
@@ -85,7 +89,12 @@ impl Tree {
     pub fn ladder(taxon_count: usize, branch: f64) -> Self {
         assert!(taxon_count >= 2);
         let mut nodes: Vec<Node> = (0..taxon_count)
-            .map(|i| Node { parent: None, children: vec![], branch_length: branch, taxon: Some(i) })
+            .map(|i| Node {
+                parent: None,
+                children: vec![],
+                branch_length: branch,
+                taxon: Some(i),
+            })
             .collect();
         let mut prev = 0usize;
         for t in 1..taxon_count {
@@ -106,7 +115,11 @@ impl Tree {
 
     fn validate(&self) {
         let n = self.taxon_count;
-        assert_eq!(self.nodes.len(), 2 * n - 1, "binary tree over {n} taxa has 2n-1 nodes");
+        assert_eq!(
+            self.nodes.len(),
+            2 * n - 1,
+            "binary tree over {n} taxa has 2n-1 nodes"
+        );
         for (id, node) in self.nodes.iter().enumerate() {
             if let Some(t) = node.taxon {
                 assert_eq!(id, t, "tip ids must equal taxon indices");
@@ -226,7 +239,11 @@ impl Tree {
         let child = self.nodes[v].children[child_slot];
         // Swap `child` (under v) with `sibling` (under parent).
         self.nodes[v].children[child_slot] = sibling;
-        let sib_slot = self.nodes[parent].children.iter().position(|&c| c == sibling).unwrap();
+        let sib_slot = self.nodes[parent]
+            .children
+            .iter()
+            .position(|&c| c == sibling)
+            .unwrap();
         self.nodes[parent].children[sib_slot] = child;
         self.nodes[sibling].parent = Some(v);
         self.nodes[child].parent = Some(parent);
@@ -295,7 +312,11 @@ impl Tree {
         let orig_branch: Vec<f64> = nodes.iter().map(|n| n.branch_length).collect();
         for w in 0..path.len() {
             let node = path[w];
-            let former_parent = if w + 1 < path.len() { path[w + 1] } else { old_root };
+            let former_parent = if w + 1 < path.len() {
+                path[w + 1]
+            } else {
+                old_root
+            };
             // The node's new child is its former parent — except at the top
             // of the path, which adopts the old root's OTHER child with the
             // two root-edge halves merged (the old root vanishes from the
@@ -429,7 +450,9 @@ mod tests {
             let v = cands[rng.random_range(0..cands.len())];
             t.nni(v, &mut rng);
             // Re-validate the full invariant set.
-            let nodes = (0..t.node_count()).map(|i| t.node(i).clone()).collect::<Vec<_>>();
+            let nodes = (0..t.node_count())
+                .map(|i| t.node(i).clone())
+                .collect::<Vec<_>>();
             let _revalidated = Tree::from_nodes(nodes, t.root(), t.taxon_count());
         }
     }
@@ -467,9 +490,15 @@ mod tests {
             }
             let (rt, rest) = tree.reroot_above(v);
             assert_eq!(rt.node_count(), tree.node_count());
-            assert!((rt.tree_length() - tree.tree_length()).abs() < 1e-12, "node {v}");
+            assert!(
+                (rt.tree_length() - tree.tree_length()).abs() < 1e-12,
+                "node {v}"
+            );
             let lnl = log_likelihood(&rt, &model, &rates, &pats);
-            assert!((lnl - reference).abs() < 1e-9, "reroot above {v}: {lnl} vs {reference}");
+            assert!(
+                (lnl - reference).abs() < 1e-9,
+                "reroot above {v}: {lnl} vs {reference}"
+            );
             // The rest-root is the new root's other child with branch 0
             // (or the folded sibling when v was a root child).
             assert!(rt.node(rt.root()).children.contains(&rest));

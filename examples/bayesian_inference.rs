@@ -46,22 +46,41 @@ fn main() {
                 .prefer(Flags::PROCESSOR_CPU)
                 .instantiate(&manager)
                 .expect("cpu instance");
-            Box::new(BeagleEngine::new(inst, patterns.clone(), rates.clone(), true))
-                as Box<dyn LikelihoodEngine>
+            Box::new(BeagleEngine::new(
+                inst,
+                patterns.clone(),
+                rates.clone(),
+                true,
+            )) as Box<dyn LikelihoodEngine>
         })
         .collect();
     println!("likelihood engine: {}", engines[0].name());
 
     // Start from a random tree and wrong kappa; let MC3 find its way.
     let start_tree = Tree::random(10, 0.1, &mut rng);
-    let mc3 = Mc3Config { chains, generations: 600, swap_interval: 10, sample_interval: 10, heating: 0.15, seed: 7 };
-    let result = run_mc3(&mc3, &start_tree, ModelParams::Nucleotide { kappa: 2.0 }, &mut engines);
+    let mc3 = Mc3Config {
+        chains,
+        generations: 600,
+        swap_interval: 10,
+        sample_interval: 10,
+        heating: 0.15,
+        seed: 7,
+    };
+    let result = run_mc3(
+        &mc3,
+        &start_tree,
+        ModelParams::Nucleotide { kappa: 2.0 },
+        &mut engines,
+    );
 
     println!("\ncold-chain log-likelihood trace (every 60 generations):");
     for (i, l) in result.cold_trace.iter().enumerate().step_by(6) {
         println!("  gen {:>4}: {l:.2}", (i + 1) * 10);
     }
-    println!("\nfinal cold-chain lnL : {:.2}", result.final_log_likelihood);
+    println!(
+        "\nfinal cold-chain lnL : {:.2}",
+        result.final_log_likelihood
+    );
     println!("lnL at true tree     : {true_lnl:.2}");
     for (i, s) in result.chain_stats.iter().enumerate() {
         println!("chain {i} acceptance   : {:.2}", s.acceptance_rate());
@@ -70,7 +89,10 @@ fn main() {
         "swaps                : {}/{} accepted",
         result.swaps_accepted, result.swaps_attempted
     );
-    println!("likelihood time      : {:.2} s", result.likelihood_time.as_secs_f64());
+    println!(
+        "likelihood time      : {:.2} s",
+        result.likelihood_time.as_secs_f64()
+    );
 
     // Posterior summaries after 25% burn-in — what a user actually keeps.
     let post = result.posterior.burn_in(0.25);
@@ -81,7 +103,12 @@ fn main() {
     );
     println!("lnL effective sample : {:.1}", post.lnl_ess());
     println!("majority-rule clades (support > 0.5):");
-    for (clade, support) in post.clade_supports().into_iter().filter(|(_, s)| *s > 0.5).take(6) {
+    for (clade, support) in post
+        .clade_supports()
+        .into_iter()
+        .filter(|(_, s)| *s > 0.5)
+        .take(6)
+    {
         let members: Vec<String> = clade.members().iter().map(|t| format!("t{t}")).collect();
         println!("  {support:.2}  {{{}}}", members.join(","));
     }
@@ -89,6 +116,9 @@ fn main() {
     // The sampler should have climbed to within a few units of the truth.
     let gap = true_lnl - result.final_log_likelihood;
     println!("\ngap to truth         : {gap:.2} log units");
-    assert!(gap < 60.0, "MC3 failed to approach the true tree's likelihood");
+    assert!(
+        gap < 60.0,
+        "MC3 failed to approach the true tree's likelihood"
+    );
     println!("OK: posterior exploration reached the neighbourhood of the generating tree");
 }

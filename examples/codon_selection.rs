@@ -11,8 +11,8 @@
 
 use std::time::Instant;
 
-use beagle::prelude::*;
 use beagle::phylo::models::codon::{self, CodonModelParams};
+use beagle::prelude::*;
 
 fn profile_omega(
     instance: &mut dyn BeagleInstance,
@@ -22,7 +22,9 @@ fn profile_omega(
 ) -> (Vec<f64>, f64) {
     // Static data.
     for tip in 0..tree.taxon_count() {
-        instance.set_tip_states(tip, &patterns.tip_states(tip)).unwrap();
+        instance
+            .set_tip_states(tip, &patterns.tip_states(tip))
+            .unwrap();
     }
     instance.set_pattern_weights(patterns.weights()).unwrap();
     instance.set_category_rates(&[1.0]).unwrap();
@@ -48,14 +50,28 @@ fn profile_omega(
         );
         let eig = model.eigen();
         instance
-            .set_eigen_decomposition(0, eig.vectors.as_slice(), eig.inverse_vectors.as_slice(), &eig.values)
+            .set_eigen_decomposition(
+                0,
+                eig.vectors.as_slice(),
+                eig.inverse_vectors.as_slice(),
+                &eig.values,
+            )
             .unwrap();
-        instance.set_state_frequencies(0, model.frequencies()).unwrap();
-        instance.update_transition_matrices(0, &matrix_indices, &branch_lengths).unwrap();
+        instance
+            .set_state_frequencies(0, model.frequencies())
+            .unwrap();
+        instance
+            .update_transition_matrices(0, &matrix_indices, &branch_lengths)
+            .unwrap();
         instance.update_partials(&operations).unwrap();
         lnls.push(
             instance
-                .integrate_root(BufferId(tree.root()), BufferId(0), BufferId(0), ScalingMode::None)
+                .integrate_root(
+                    BufferId(tree.root()),
+                    BufferId(0),
+                    BufferId(0),
+                    ScalingMode::None,
+                )
                 .unwrap(),
         );
     }
@@ -73,13 +89,19 @@ fn main() {
     let mut rng = beagle::prelude::rand_seeded(7);
     let tree = Tree::random(12, 0.08, &mut rng);
     let true_model = codon::gy94(
-        CodonModelParams { kappa: 2.5, omega: 0.3 },
+        CodonModelParams {
+            kappa: 2.5,
+            omega: 0.3,
+        },
         &codon::uniform_codon_frequencies(),
     );
     let rates = SiteRates::constant();
     let patterns =
         beagle::phylo::simulate::simulate_patterns(&tree, &true_model, &rates, 800, &mut rng);
-    println!("codon dataset: 12 taxa, {} unique patterns, true omega = 0.3\n", patterns.pattern_count());
+    println!(
+        "codon dataset: 12 taxa, {} unique patterns, true omega = 0.3\n",
+        patterns.pattern_count()
+    );
 
     let omegas = [0.05, 0.1, 0.2, 0.3, 0.5, 0.8, 1.2, 2.0];
     let config = InstanceConfig::for_tree(12, patterns.pattern_count(), 61, 1);
@@ -93,8 +115,7 @@ fn main() {
     ];
     let mut reference: Option<Vec<f64>> = None;
     for name in backends {
-        let Ok(mut inst) =
-            manager.create_instance_by_name(name, &config, Flags::PRECISION_DOUBLE)
+        let Ok(mut inst) = manager.create_instance_by_name(name, &config, Flags::PRECISION_DOUBLE)
         else {
             continue;
         };
@@ -104,7 +125,11 @@ fn main() {
             .zip(&lnls)
             .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
             .unwrap();
-        let timing = if inst.simulated_time().is_some() { "modeled" } else { "measured" };
+        let timing = if inst.simulated_time().is_some() {
+            "modeled"
+        } else {
+            "measured"
+        };
         println!(
             "{name:<46} {secs:>8.3} s ({timing}); ML omega = {:.2} (lnL {:.2})",
             best.0, best.1

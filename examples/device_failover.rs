@@ -42,7 +42,10 @@ fn main() {
     ];
     let mut multi = PartitionedInstance::create(&manager, &p.config(), &devices, &[1.0, 1.0, 1.0])
         .expect("partitioned create");
-    println!("\n[1] permanent DeviceLost on {} at driver call 18", catalog::quadro_p5000().name);
+    println!(
+        "\n[1] permanent DeviceLost on {} at driver call 18",
+        catalog::quadro_p5000().name
+    );
     println!("    children before: {}", multi.device_count());
     p.load(&mut multi);
     let lnl = p.evaluate(&mut multi, false);
@@ -88,7 +91,13 @@ fn main() {
         .instantiate(&manager)
         .expect("fallback chain");
     println!("\n[3] all accelerators dead at creation");
-    println!("    fallback landed on: {}", inst.details().implementation_name);
+    println!(
+        "    fallback landed on: {}",
+        inst.details().implementation_name
+    );
     let (lnl, oracle) = beagle::harness::verify(&p, inst.as_mut(), false);
-    println!("    lnL = {lnl:.9}, |Δoracle| = {:.2e}", (lnl - oracle).abs());
+    println!(
+        "    lnL = {lnl:.9}, |Δoracle| = {:.2e}",
+        (lnl - oracle).abs()
+    );
 }

@@ -18,7 +18,13 @@ fn main() {
         ("amino acid", ModelKind::AminoAcid, 2_000, 4),
         ("codon", ModelKind::Codon, 800, 1),
     ] {
-        let scenario = Scenario { model, taxa: 12, patterns, categories, seed: 99 };
+        let scenario = Scenario {
+            model,
+            taxa: 12,
+            patterns,
+            categories,
+            seed: 99,
+        };
         let problem = Problem::generate(&scenario);
         let oracle = problem.oracle();
         println!(
@@ -42,12 +48,20 @@ fn main() {
             let report = benchmark(&problem, inst.as_mut(), 2);
             // Correctness gate: single precision within relative 1e-4.
             let rel = ((report.log_likelihood - oracle) / oracle).abs();
-            assert!(rel < 1e-3, "{name}: lnL {} vs oracle {oracle}", report.log_likelihood);
+            assert!(
+                rel < 1e-3,
+                "{name}: lnL {} vs oracle {oracle}",
+                report.log_likelihood
+            );
             println!(
                 "{name:<46} {:>10.2} {:>14.3} {:>10}",
                 report.gflops,
                 report.per_traversal.as_secs_f64() * 1e3,
-                if report.simulated { "modeled" } else { "measured" }
+                if report.simulated {
+                    "modeled"
+                } else {
+                    "measured"
+                }
             );
         }
         println!();

@@ -34,7 +34,10 @@ fn main() {
         }
     }
     let start_lnl = log_likelihood(&tree, &model, &rates, &patterns);
-    println!("12 taxa, {} unique patterns, HKY+Γ", patterns.pattern_count());
+    println!(
+        "12 taxa, {} unique patterns, HKY+Γ",
+        patterns.pattern_count()
+    );
     println!("lnL with all branches at 0.5 : {start_lnl:.2}");
     println!("lnL at the generating tree   : {truth_lnl:.2}\n");
 
@@ -52,7 +55,10 @@ fn main() {
         &rates,
         &patterns,
         inst.as_mut(),
-        &OptimizeOptions { rounds: 6, ..Default::default() },
+        &OptimizeOptions {
+            rounds: 6,
+            ..Default::default()
+        },
     )
     .expect("optimization");
 

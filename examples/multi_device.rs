@@ -29,10 +29,21 @@ fn main() {
     );
 
     // Calibrate: measure each candidate device on a small probe problem.
-    let probe = Problem::generate(&Scenario { patterns: 2_000, ..scenario });
+    let probe = Problem::generate(&Scenario {
+        patterns: 2_000,
+        ..scenario
+    });
     let devices = [
-        ("GPU (simulated, via OpenCL)", Flags::NONE, Flags::FRAMEWORK_OPENCL | Flags::PROCESSOR_GPU),
-        ("host CPU (thread pool)", Flags::NONE, Flags::THREADING_THREAD_POOL),
+        (
+            "GPU (simulated, via OpenCL)",
+            Flags::NONE,
+            Flags::FRAMEWORK_OPENCL | Flags::PROCESSOR_GPU,
+        ),
+        (
+            "host CPU (thread pool)",
+            Flags::NONE,
+            Flags::THREADING_THREAD_POOL,
+        ),
     ];
     let mut weights = Vec::new();
     for (label, prefs, reqs) in devices {
@@ -45,7 +56,11 @@ fn main() {
         println!(
             "calibration: {label:<28} {:>9.2} GFLOPS ({})",
             report.gflops,
-            if report.simulated { "modeled" } else { "measured" }
+            if report.simulated {
+                "modeled"
+            } else {
+                "measured"
+            }
         );
         weights.push(report.gflops);
     }
@@ -54,7 +69,10 @@ fn main() {
     let flag_pairs: Vec<(Flags, Flags)> = devices.iter().map(|&(_, p, r)| (p, r)).collect();
     let mut multi =
         PartitionedInstance::create(&manager, &problem.config(), &flag_pairs, &weights).unwrap();
-    println!("\nlogical instance: {}", multi.details().implementation_name);
+    println!(
+        "\nlogical instance: {}",
+        multi.details().implementation_name
+    );
     for i in 0..multi.device_count() {
         let (p0, p1) = multi.range(i);
         println!(

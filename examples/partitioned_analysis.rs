@@ -15,10 +15,10 @@
 //! Run: `cargo run --release --example partitioned_analysis`
 
 use beagle::harness::full_manager;
-use beagle::prelude::*;
 use beagle::phylo::models::codon::{self, CodonModelParams};
 use beagle::phylo::models::nucleotide::hky85;
 use beagle::phylo::simulate::simulate_patterns;
+use beagle::prelude::*;
 
 struct Partition {
     name: &'static str,
@@ -39,7 +39,10 @@ fn main() {
 
     // Gene B: protein-coding, purifying selection.
     let codon_model = codon::gy94(
-        CodonModelParams { kappa: 2.0, omega: 0.15 },
+        CodonModelParams {
+            kappa: 2.0,
+            omega: 0.15,
+        },
         &codon::uniform_codon_frequencies(),
     );
     let codon_rates = SiteRates::constant();

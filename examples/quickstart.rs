@@ -60,21 +60,32 @@ fn main() {
 
     // 5. Load data and model.
     for tip in 0..tree.taxon_count() {
-        instance.set_tip_states(tip, &patterns.tip_states(tip)).unwrap();
+        instance
+            .set_tip_states(tip, &patterns.tip_states(tip))
+            .unwrap();
     }
     instance.set_pattern_weights(patterns.weights()).unwrap();
     let eig = model.eigen();
     instance
-        .set_eigen_decomposition(0, eig.vectors.as_slice(), eig.inverse_vectors.as_slice(), &eig.values)
+        .set_eigen_decomposition(
+            0,
+            eig.vectors.as_slice(),
+            eig.inverse_vectors.as_slice(),
+            &eig.values,
+        )
         .unwrap();
-    instance.set_state_frequencies(0, model.frequencies()).unwrap();
+    instance
+        .set_state_frequencies(0, model.frequencies())
+        .unwrap();
     instance.set_category_rates(&rates.rates).unwrap();
     instance.set_category_weights(0, &rates.weights).unwrap();
 
     // 6. Transition matrices for every branch, then partials in post-order.
     let (matrix_indices, branch_lengths): (Vec<usize>, Vec<f64>) =
         tree.branch_assignments().iter().copied().unzip();
-    instance.update_transition_matrices(0, &matrix_indices, &branch_lengths).unwrap();
+    instance
+        .update_transition_matrices(0, &matrix_indices, &branch_lengths)
+        .unwrap();
 
     let operations: Vec<Operation> = tree
         .operation_schedule()
@@ -85,7 +96,12 @@ fn main() {
 
     // 7. Integrate at the root.
     let lnl = instance
-        .integrate_root(BufferId(tree.root()), BufferId(0), BufferId(0), ScalingMode::None)
+        .integrate_root(
+            BufferId(tree.root()),
+            BufferId(0),
+            BufferId(0),
+            ScalingMode::None,
+        )
         .unwrap();
     println!("log-likelihood = {lnl:.6}");
 

@@ -13,7 +13,11 @@ fn main() {
     let manager = beagle::full_manager();
 
     println!("== resource list ==");
-    for (name, res) in manager.implementation_names().iter().zip(manager.resource_list()) {
+    for (name, res) in manager
+        .implementation_names()
+        .iter()
+        .zip(manager.resource_list())
+    {
         println!("{name:<46} {}", res.name);
         println!("{:<46} supports: {}", "", res.support_flags);
     }
@@ -23,13 +27,27 @@ fn main() {
     let scenarios: [(&str, Flags, Flags); 6] = [
         ("no constraints (best available)", Flags::NONE, Flags::NONE),
         ("require GPU", Flags::NONE, Flags::PROCESSOR_GPU),
-        ("require OpenCL on a CPU", Flags::NONE, Flags::FRAMEWORK_OPENCL | Flags::PROCESSOR_CPU),
+        (
+            "require OpenCL on a CPU",
+            Flags::NONE,
+            Flags::FRAMEWORK_OPENCL | Flags::PROCESSOR_CPU,
+        ),
         ("prefer SSE vectorization", Flags::VECTOR_SSE, Flags::NONE),
-        ("require double precision + CUDA", Flags::NONE, Flags::PRECISION_DOUBLE | Flags::FRAMEWORK_CUDA),
-        ("require serial execution", Flags::NONE, Flags::THREADING_NONE),
+        (
+            "require double precision + CUDA",
+            Flags::NONE,
+            Flags::PRECISION_DOUBLE | Flags::FRAMEWORK_CUDA,
+        ),
+        (
+            "require serial execution",
+            Flags::NONE,
+            Flags::THREADING_NONE,
+        ),
     ];
     for (label, prefs, reqs) in scenarios {
-        let spec = InstanceSpec::with_config(config).prefer(prefs).require(reqs);
+        let spec = InstanceSpec::with_config(config)
+            .prefer(prefs)
+            .require(reqs);
         match spec.instantiate(&manager) {
             Ok(inst) => {
                 let d = inst.details();
@@ -45,7 +63,10 @@ fn main() {
     // A requirement no implementation satisfies.
     println!("\n== unsatisfiable requirement ==");
     let impossible = Flags::FRAMEWORK_CUDA | Flags::PROCESSOR_CPU;
-    match InstanceSpec::with_config(config).require(impossible).instantiate(&manager) {
+    match InstanceSpec::with_config(config)
+        .require(impossible)
+        .instantiate(&manager)
+    {
         Ok(_) => unreachable!("no CUDA CPU exists"),
         Err(e) => println!("require CUDA-on-CPU -> {e}"),
     }

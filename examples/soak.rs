@@ -39,11 +39,26 @@ struct Drawn {
 /// the CUDA device, and two fault-free CPU-side children always remain.
 fn draw(rng: &mut u64) -> Drawn {
     let call = 15 + splitmix64(rng) % 8; // matrix kernel or a partials launch
-    let deadline =
-        if splitmix64(rng).is_multiple_of(2) { Duration::from_millis(10) } else { Duration::from_millis(100) };
+    let deadline = if splitmix64(rng).is_multiple_of(2) {
+        Duration::from_millis(10)
+    } else {
+        Duration::from_millis(100)
+    };
     match splitmix64(rng) % 6 {
-        0 => Drawn { kind: FaultKind::Hang, transient: false, call, deadline, label: "permanent hang" },
-        1 => Drawn { kind: FaultKind::Hang, transient: true, call, deadline, label: "transient hang" },
+        0 => Drawn {
+            kind: FaultKind::Hang,
+            transient: false,
+            call,
+            deadline,
+            label: "permanent hang",
+        },
+        1 => Drawn {
+            kind: FaultKind::Hang,
+            transient: true,
+            call,
+            deadline,
+            label: "transient hang",
+        },
         2 => Drawn {
             // Under every budget above: completes late, no fault observed.
             kind: FaultKind::Stall(Duration::from_millis(1)),
@@ -60,8 +75,20 @@ fn draw(rng: &mut u64) -> Drawn {
             deadline,
             label: "long stall",
         },
-        4 => Drawn { kind: FaultKind::DeviceLost, transient: false, call, deadline, label: "device lost" },
-        _ => Drawn { kind: FaultKind::KernelLaunch, transient: true, call, deadline, label: "transient launch" },
+        4 => Drawn {
+            kind: FaultKind::DeviceLost,
+            transient: false,
+            call,
+            deadline,
+            label: "device lost",
+        },
+        _ => Drawn {
+            kind: FaultKind::KernelLaunch,
+            transient: true,
+            call,
+            deadline,
+            label: "transient launch",
+        },
     }
 }
 
@@ -112,22 +139,31 @@ fn main() {
         let d = draw(&mut rng);
         let faults = FaultDirectory::new().with_plan(
             catalog::quadro_p5000().name,
-            FaultPlan::new(splitmix64(&mut rng))
-                .with_fault(d.kind, d.transient, Schedule::AtCall(d.call)),
+            FaultPlan::new(splitmix64(&mut rng)).with_fault(
+                d.kind,
+                d.transient,
+                Schedule::AtCall(d.call),
+            ),
         );
         let manager = full_manager_with_faults(&faults);
         let spec = InstanceSpec::with_config(p.config())
             .with_deadline(d.deadline)
             .with_retry_policy(RetryPolicy::default());
-        let mut multi =
-            match PartitionedInstance::create_with_spec(&manager, &spec, &devices, &[1.0, 1.0, 1.0])
-            {
-                Ok(m) => m,
-                Err(e) => {
-                    failures.push(format!("iter {iterations} ({}): creation failed: {e}", d.label));
-                    continue;
-                }
-            };
+        let mut multi = match PartitionedInstance::create_with_spec(
+            &manager,
+            &spec,
+            &devices,
+            &[1.0, 1.0, 1.0],
+        ) {
+            Ok(m) => m,
+            Err(e) => {
+                failures.push(format!(
+                    "iter {iterations} ({}): creation failed: {e}",
+                    d.label
+                ));
+                continue;
+            }
+        };
         p.load(&mut multi);
         let lnl = p.evaluate(&mut multi, false);
         evictions += multi.eviction_count();

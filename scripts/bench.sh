@@ -7,11 +7,16 @@
 #   BENCH_obs.json      instrumentation overhead (stats on vs off, bit-exact)
 #                       and the benchmark_resources ranking of every
 #                       registered implementation
+#   BENCH_balance.json  adaptive load balancing on a skewed two-GPU mix
+#                       (one device fault-throttled 4x): per-batch makespans,
+#                       steady-state improvement over a static equal split
+#                       (asserted >= 2x), rebalance count, bit-exact lnL
 #
 #   BENCH_QUICK=1 scripts/bench.sh   # ~100x less work per cell (CI smoke)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-cargo build --release -p beagle-bench --bin kernels --bin obs
+cargo build --release -p beagle-bench --bin kernels --bin obs --bin balance
 ./target/release/kernels BENCH_kernels.json
 ./target/release/obs BENCH_obs.json
+./target/release/balance BENCH_balance.json

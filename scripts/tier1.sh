@@ -14,6 +14,14 @@
 #   tests/failover .......... fault matrix: device loss, transient kernel/copy
 #                             faults, corruption, creation fallback, rescue
 #   tests/multi_device ...... partitioned instances across device sets
+#   tests/balance ........... adaptive load balancing differentials: backend x
+#                             precision x scaling bit-exactness vs a single
+#                             instance at every intermediate weighting,
+#                             adaptive rebalance under an injected slowdown,
+#                             eviction re-split, checkpoint/restore of a
+#                             rebalanced instance
+#   tests/properties ........ proptest invariants (incl. balancer: range
+#                             coverage, monotone shares, skew decrease)
 #   tests/obs* .............. observability: stats coverage, journal ordering
 #                             across a queued failover run, instrumentation
 #                             overhead guard, benchmark_resources determinism
@@ -40,7 +48,12 @@ cargo test -q -p beagle-cpu --test simd_parity
 cargo test -q --test obs
 cargo test -q --test obs_overhead
 cargo test -q --test obs_env
+cargo test -q --test balance
 cargo clippy --workspace -- -D warnings
+# Formatting gate for first-party crates only: the vendored stand-ins under
+# vendor/ keep their upstream-ish style and are deliberately excluded.
+cargo fmt --check -p beagle -p beagle-core -p beagle-cpu -p beagle-accel \
+    -p beagle-phylo -p beagle-bench -p beagle-mcmc -p genomictest
 # The zero-cost claim has a compile-time arm: the workspace (and the obs
 # test suite, whose assertions gate on the runtime probe) must also build
 # with the recorder compiled out.

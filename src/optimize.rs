@@ -25,7 +25,12 @@ pub struct OptimizeOptions {
 
 impl Default for OptimizeOptions {
     fn default() -> Self {
-        Self { rounds: 2, newton_iterations: 8, min_branch: 1e-8, max_branch: 20.0 }
+        Self {
+            rounds: 2,
+            newton_iterations: 8,
+            min_branch: 1e-8,
+            max_branch: 20.0,
+        }
     }
 }
 
@@ -80,8 +85,7 @@ pub fn optimize_branch_lengths(
     // the rest-root slot of the rerooted tree, whose branch is fixed at 0
     // and can be recomputed afterwards.
     for _ in 0..options.rounds {
-        let branch_nodes: Vec<usize> =
-            tree.branch_assignments().iter().map(|&(n, _)| n).collect();
+        let branch_nodes: Vec<usize> = tree.branch_assignments().iter().map(|&(n, _)| n).collect();
         for &v in &branch_nodes {
             optimize_one_branch(tree, v, instance, options)?;
         }
@@ -98,8 +102,7 @@ pub fn optimize_branch_lengths(
 
 /// Full evaluation of `tree` on an already-loaded instance.
 fn evaluate(tree: &Tree, instance: &mut dyn BeagleInstance) -> Result<f64> {
-    let (idx, len): (Vec<usize>, Vec<f64>) =
-        tree.branch_assignments().iter().copied().unzip();
+    let (idx, len): (Vec<usize>, Vec<f64>) = tree.branch_assignments().iter().copied().unzip();
     instance.update_transition_matrices(0, &idx, &len)?;
     let ops: Vec<Operation> = tree
         .operation_schedule()
@@ -107,7 +110,12 @@ fn evaluate(tree: &Tree, instance: &mut dyn BeagleInstance) -> Result<f64> {
         .map(|e| Operation::new(e.destination, e.child1, e.matrix1, e.child2, e.matrix2))
         .collect();
     instance.update_partials(&ops)?;
-    instance.integrate_root(BufferId(tree.root()), BufferId(0), BufferId(0), ScalingMode::None)
+    instance.integrate_root(
+        BufferId(tree.root()),
+        BufferId(0),
+        BufferId(0),
+        ScalingMode::None,
+    )
 }
 
 /// Safeguarded Newton on the branch above `v`, writing the optimum back.
@@ -123,8 +131,7 @@ pub fn optimize_one_branch(
     let was_root_child = tree.node(v).parent == Some(tree.root());
 
     // Partials for the whole rerooted tree (rest side uses branch 0).
-    let (idx, len): (Vec<usize>, Vec<f64>) =
-        rt.branch_assignments().iter().copied().unzip();
+    let (idx, len): (Vec<usize>, Vec<f64>) = rt.branch_assignments().iter().copied().unzip();
     instance.update_transition_matrices(0, &idx, &len)?;
     let ops: Vec<Operation> = rt
         .operation_schedule()
@@ -164,7 +171,11 @@ pub fn optimize_one_branch(
         // Newton step toward a maximum when locally concave; otherwise a
         // multiplicative gradient probe (branch lengths live on a log-ish
         // scale, so scale steps with t).
-        let mut step = if d2 < 0.0 { -d1 / d2 } else { d1.signum() * t.max(0.02) };
+        let mut step = if d2 < 0.0 {
+            -d1 / d2
+        } else {
+            d1.signum() * t.max(0.02)
+        };
         // Backtracking line search: never accept a step that lowers lnL
         // (unguarded Newton can jump across an interior optimum onto the
         // min-branch cliff and get stuck there).
@@ -253,7 +264,10 @@ mod tests {
             &rates,
             &patterns,
             inst.as_mut(),
-            &OptimizeOptions { rounds: 6, ..OptimizeOptions::default() },
+            &OptimizeOptions {
+                rounds: 6,
+                ..OptimizeOptions::default()
+            },
         )
         .unwrap();
 
@@ -291,8 +305,13 @@ mod tests {
             .unwrap();
         // Load static data.
         let eig = model.eigen();
-        inst.set_eigen_decomposition(0, eig.vectors.as_slice(), eig.inverse_vectors.as_slice(), &eig.values)
-            .unwrap();
+        inst.set_eigen_decomposition(
+            0,
+            eig.vectors.as_slice(),
+            eig.inverse_vectors.as_slice(),
+            &eig.values,
+        )
+        .unwrap();
         inst.set_state_frequencies(0, model.frequencies()).unwrap();
         inst.set_category_rates(&rates.rates).unwrap();
         inst.set_category_weights(0, &rates.weights).unwrap();
@@ -317,8 +336,13 @@ mod tests {
                 .map(|e| Operation::new(e.destination, e.child1, e.matrix1, e.child2, e.matrix2))
                 .collect();
             inst.update_partials(&ops).unwrap();
-            inst.integrate_root(BufferId(rt2.root()), BufferId(0), BufferId(0), ScalingMode::None)
-                .unwrap()
+            inst.integrate_root(
+                BufferId(rt2.root()),
+                BufferId(0),
+                BufferId(0),
+                ScalingMode::None,
+            )
+            .unwrap()
         };
 
         let t0 = rt.node(v).branch_length.max(0.05);
@@ -346,7 +370,13 @@ mod tests {
             )
             .unwrap();
         assert!((lnl - l0).abs() < 1e-7, "{lnl} vs {l0}");
-        assert!((d1 - fd1).abs() < 1e-3 * fd1.abs().max(1.0), "{d1} vs {fd1}");
-        assert!((d2 - fd2).abs() < 1e-2 * fd2.abs().max(1.0), "{d2} vs {fd2}");
+        assert!(
+            (d1 - fd1).abs() < 1e-3 * fd1.abs().max(1.0),
+            "{d1} vs {fd1}"
+        );
+        assert!(
+            (d2 - fd2).abs() < 1e-2 * fd2.abs().max(1.0),
+            "{d2} vs {fd2}"
+        );
     }
 }

@@ -19,14 +19,22 @@ fn out_of_range_indices_error_on_every_backend() {
     let problem = small_problem();
     let manager = full_manager();
     for name in manager.implementation_names() {
-        let Ok(mut inst) =
-            manager.create_instance_by_name(&name, &problem.config(), Flags::NONE)
+        let Ok(mut inst) = manager.create_instance_by_name(&name, &problem.config(), Flags::NONE)
         else {
             continue;
         };
-        assert!(inst.set_tip_states(99, &[0; 40]).is_err(), "{name}: bad tip");
-        assert!(inst.set_pattern_weights(&[1.0; 3]).is_err(), "{name}: bad weights len");
-        assert!(inst.set_category_rates(&[1.0; 7]).is_err(), "{name}: bad rates len");
+        assert!(
+            inst.set_tip_states(99, &[0; 40]).is_err(),
+            "{name}: bad tip"
+        );
+        assert!(
+            inst.set_pattern_weights(&[1.0; 3]).is_err(),
+            "{name}: bad weights len"
+        );
+        assert!(
+            inst.set_category_rates(&[1.0; 7]).is_err(),
+            "{name}: bad rates len"
+        );
         assert!(
             inst.get_transition_matrix(usize::MAX).is_err(),
             "{name}: bad matrix index"
@@ -35,11 +43,17 @@ fn out_of_range_indices_error_on_every_backend() {
         assert!(inst.get_partials(8).is_err(), "{name}: uncomputed partials");
         // Operations touching unwritten children fail.
         let bad_op = Operation::new(5, 3, 3, 4, 4);
-        assert!(inst.update_partials(&[bad_op]).is_err(), "{name}: unwritten child");
+        assert!(
+            inst.update_partials(&[bad_op]).is_err(),
+            "{name}: unwritten child"
+        );
         // In-place operations are rejected.
         inst.set_tip_states(0, &[0u32; 40]).unwrap();
         let inplace = Operation::new(0, 0, 0, 1, 1);
-        assert!(inst.update_partials(&[inplace]).is_err(), "{name}: in-place op");
+        assert!(
+            inst.update_partials(&[inplace]).is_err(),
+            "{name}: in-place op"
+        );
     }
 }
 
@@ -57,7 +71,8 @@ fn details_report_meaningful_metadata() {
         assert!(!d.resource_name.is_empty());
         assert!(d.thread_count >= 1);
         assert!(
-            d.flags.intersects(Flags::PRECISION_SINGLE | Flags::PRECISION_DOUBLE),
+            d.flags
+                .intersects(Flags::PRECISION_SINGLE | Flags::PRECISION_DOUBLE),
             "{name} must report a precision"
         );
     }
@@ -133,10 +148,14 @@ fn invalid_configurations_rejected_everywhere() {
     let manager = full_manager();
     let mut cfg = InstanceConfig::for_tree(5, 40, 4, 2);
     cfg.pattern_count = 0;
-    assert!(InstanceSpec::with_config(cfg).instantiate(&manager).is_err());
+    assert!(InstanceSpec::with_config(cfg)
+        .instantiate(&manager)
+        .is_err());
     let mut cfg = InstanceConfig::for_tree(5, 40, 4, 2);
     cfg.tip_count = 1;
-    assert!(InstanceSpec::with_config(cfg).instantiate(&manager).is_err());
+    assert!(InstanceSpec::with_config(cfg)
+        .instantiate(&manager)
+        .is_err());
 }
 
 #[test]
@@ -144,8 +163,7 @@ fn wait_for_computation_is_safe_everywhere() {
     let problem = small_problem();
     let manager = full_manager();
     for name in manager.implementation_names() {
-        if let Ok(mut inst) =
-            manager.create_instance_by_name(&name, &problem.config(), Flags::NONE)
+        if let Ok(mut inst) = manager.create_instance_by_name(&name, &problem.config(), Flags::NONE)
         {
             inst.wait_for_computation().unwrap();
         }

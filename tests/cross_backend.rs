@@ -6,16 +6,24 @@ use beagle::harness::{full_manager, ModelKind, Problem, Scenario};
 use beagle::prelude::*;
 
 fn all_backends_agree(model: ModelKind, patterns: usize, categories: usize, seed: u64) {
-    let problem = Problem::generate(&Scenario { model, taxa: 9, patterns, categories, seed });
+    let problem = Problem::generate(&Scenario {
+        model,
+        taxa: 9,
+        patterns,
+        categories,
+        seed,
+    });
     let oracle = problem.oracle();
     let manager = full_manager();
     let mut tested = 0;
     for name in manager.implementation_names() {
         for single in [false, true] {
-            let precision =
-                if single { Flags::PRECISION_SINGLE } else { Flags::PRECISION_DOUBLE };
-            let Ok(mut inst) =
-                manager.create_instance_by_name(&name, &problem.config(), precision)
+            let precision = if single {
+                Flags::PRECISION_SINGLE
+            } else {
+                Flags::PRECISION_DOUBLE
+            };
+            let Ok(mut inst) = manager.create_instance_by_name(&name, &problem.config(), precision)
             else {
                 continue; // e.g. SSE factory with a codon config
             };
@@ -96,7 +104,11 @@ fn edge_derivatives_agree_cpu_vs_gpu() {
     let child = problem.tree.node(root).children[0];
     let rest = problem.tree.node(root).children[1];
     let mut results = Vec::new();
-    for name in ["CPU-serial", "CUDA (NVIDIA Quadro P5000 (simulated))", "OpenCL-x86"] {
+    for name in [
+        "CPU-serial",
+        "CUDA (NVIDIA Quadro P5000 (simulated))",
+        "OpenCL-x86",
+    ] {
         let mut inst = manager
             .create_instance_by_name(name, &problem.config(), Flags::PRECISION_DOUBLE)
             .unwrap();
@@ -142,7 +154,11 @@ fn partials_readback_matches_across_backends() {
     let manager = full_manager();
     let root = problem.tree.root();
     let mut bufs = Vec::new();
-    for name in ["CPU-serial", "OpenCL-x86", "OpenCL-GPU (AMD Radeon R9 Nano (simulated))"] {
+    for name in [
+        "CPU-serial",
+        "OpenCL-x86",
+        "OpenCL-GPU (AMD Radeon R9 Nano (simulated))",
+    ] {
         let mut inst = manager
             .create_instance_by_name(name, &problem.config(), Flags::PRECISION_DOUBLE)
             .unwrap();

@@ -51,10 +51,19 @@ fn run(
     asynch: bool,
     scaled: bool,
 ) -> Option<f64> {
-    let mut flags =
-        if single { Flags::PRECISION_SINGLE } else { Flags::PRECISION_DOUBLE };
-    flags |= if asynch { Flags::COMPUTATION_ASYNCH } else { Flags::COMPUTATION_SYNCH };
-    let mut inst = manager.create_instance_by_name(name, &problem.config(), flags).ok()?;
+    let mut flags = if single {
+        Flags::PRECISION_SINGLE
+    } else {
+        Flags::PRECISION_DOUBLE
+    };
+    flags |= if asynch {
+        Flags::COMPUTATION_ASYNCH
+    } else {
+        Flags::COMPUTATION_SYNCH
+    };
+    let mut inst = manager
+        .create_instance_by_name(name, &problem.config(), flags)
+        .ok()?;
     problem.load(inst.as_mut());
     Some(problem.evaluate(inst.as_mut(), scaled))
 }
@@ -71,9 +80,7 @@ fn queued_equals_eager_bit_for_bit_on_every_backend() {
         for name in manager.implementation_names() {
             for single in [false, true] {
                 for scaled in [false, true] {
-                    let Some(eager) =
-                        run(&manager, &problem, &name, single, false, scaled)
-                    else {
+                    let Some(eager) = run(&manager, &problem, &name, single, false, scaled) else {
                         continue;
                     };
                     let queued = run(&manager, &problem, &name, single, true, scaled)
@@ -90,7 +97,10 @@ fn queued_equals_eager_bit_for_bit_on_every_backend() {
                 }
             }
         }
-        assert!(compared >= 14, "expected most backends to run, got {compared}");
+        assert!(
+            compared >= 14,
+            "expected most backends to run, got {compared}"
+        );
     }
 }
 
@@ -117,7 +127,10 @@ fn eigen_cache_hits_on_repeated_proposals_without_changing_results() {
     problem.load(inst.as_mut());
     let first = problem.evaluate(inst.as_mut(), false);
     let after_first = inst.queue_stats().expect("queued instance exposes stats");
-    assert!(after_first.eigen_cache_misses > 0, "first pass computes matrices");
+    assert!(
+        after_first.eigen_cache_misses > 0,
+        "first pass computes matrices"
+    );
     assert_eq!(after_first.eigen_cache_hits, 0, "nothing to hit yet");
 
     // The "proposal" re-sends identical eigen data, rates, and branch
@@ -129,7 +142,10 @@ fn eigen_cache_hits_on_repeated_proposals_without_changing_results() {
         after_second.eigen_cache_hits >= after_first.eigen_cache_misses,
         "repeat proposal must be served from the cache: {after_second:?}"
     );
-    assert_eq!(after_second.eigen_cache_misses, after_first.eigen_cache_misses);
+    assert_eq!(
+        after_second.eigen_cache_misses,
+        after_first.eigen_cache_misses
+    );
     assert_eq!(first.to_bits(), second.to_bits());
     assert!(after_second.batches_submitted > 0 && after_second.levels_submitted > 0);
 }
@@ -159,8 +175,7 @@ fn post_failover_instance_agrees_in_both_queue_modes() {
         );
         let manager = full_manager_with_faults(&faults);
         let multi =
-            PartitionedInstance::create(&manager, &p.config(), &devices, &[1.0, 1.0, 1.0])
-                .unwrap();
+            PartitionedInstance::create(&manager, &p.config(), &devices, &[1.0, 1.0, 1.0]).unwrap();
         let lnl = if asynch {
             let mut q = QueuedInstance::new(Box::new(multi));
             p.load(&mut q);
@@ -241,11 +256,7 @@ fn site_log_likelihoods_identical_between_modes() {
                 Flags::COMPUTATION_SYNCH
             };
             let mut inst = manager
-                .create_instance_by_name(
-                    name,
-                    &problem.config(),
-                    Flags::PRECISION_DOUBLE | mode,
-                )
+                .create_instance_by_name(name, &problem.config(), Flags::PRECISION_DOUBLE | mode)
                 .unwrap();
             problem.load(inst.as_mut());
             problem.evaluate(inst.as_mut(), false);
@@ -286,8 +297,7 @@ fn timeout_eviction_agrees_in_both_queue_modes() {
         );
         let manager = full_manager_with_faults(&faults);
         let multi =
-            PartitionedInstance::create(&manager, &p.config(), &devices, &[1.0, 1.0, 1.0])
-                .unwrap();
+            PartitionedInstance::create(&manager, &p.config(), &devices, &[1.0, 1.0, 1.0]).unwrap();
         if asynch {
             let mut q = QueuedInstance::new(Box::new(multi));
             p.load(&mut q);

@@ -44,7 +44,11 @@ fn partitioned_instance_survives_permanent_device_loss() {
     let lnl = p.evaluate(&mut multi, false);
 
     assert_eq!(multi.eviction_count(), 1, "the dead child must be evicted");
-    assert_eq!(multi.device_count(), 2, "survivors absorb its pattern range");
+    assert_eq!(
+        multi.device_count(),
+        2,
+        "survivors absorb its pattern range"
+    );
     let oracle = p.oracle();
     assert!(
         (lnl - oracle).abs() < 1e-6,
@@ -132,13 +136,20 @@ fn numerical_rescue_recovers_deep_tree_underflow() {
         p.load(raw.as_mut());
         let ops = p.operations(false);
         raw.update_partials(&ops).unwrap();
-        let unscaled =
-            raw.integrate_root(BufferId(p.tree.root()), BufferId(0), BufferId(0), ScalingMode::None);
+        let unscaled = raw.integrate_root(
+            BufferId(p.tree.root()),
+            BufferId(0),
+            BufferId(0),
+            ScalingMode::None,
+        );
         let underflowed = match &unscaled {
             Ok(v) => !v.is_finite(),
             Err(e) => matches!(e, beagle::core::BeagleError::NumericalFailure(_)),
         };
-        assert!(underflowed, "the case must underflow without scaling: {unscaled:?}");
+        assert!(
+            underflowed,
+            "the case must underflow without scaling: {unscaled:?}"
+        );
     }
 
     // Managed instances are rescue-wrapped: the same unscaled evaluation
@@ -150,7 +161,10 @@ fn numerical_rescue_recovers_deep_tree_underflow() {
         .unwrap();
     p.load(rescued_inst.as_mut());
     let rescued = p.evaluate(rescued_inst.as_mut(), false);
-    assert!(rescued.is_finite() && rescued < 0.0, "rescue must recover: {rescued}");
+    assert!(
+        rescued.is_finite() && rescued < 0.0,
+        "rescue must recover: {rescued}"
+    );
 
     // And matches what a client doing manual scaling would have computed.
     let mut scaled_inst = InstanceSpec::with_config(p.config())
@@ -161,5 +175,8 @@ fn numerical_rescue_recovers_deep_tree_underflow() {
     p.load(scaled_inst.as_mut());
     let scaled = p.evaluate(scaled_inst.as_mut(), true);
     let rel = ((rescued - scaled) / scaled).abs();
-    assert!(rel < 1e-5, "rescued {rescued} vs explicitly scaled {scaled}");
+    assert!(
+        rel < 1e-5,
+        "rescued {rescued} vs explicitly scaled {scaled}"
+    );
 }

@@ -29,8 +29,7 @@ fn partitioned_matches_single_device() {
         (Flags::NONE, Flags::THREADING_THREAD_POOL),
     ];
     let weights = [8.0, 1.0, 1.0];
-    let mut multi =
-        PartitionedInstance::create(&manager, &p.config(), &devices, &weights).unwrap();
+    let mut multi = PartitionedInstance::create(&manager, &p.config(), &devices, &weights).unwrap();
     assert_eq!(multi.device_count(), 3);
     p.load(&mut multi);
     let lnl = p.evaluate(&mut multi, false);
@@ -48,11 +47,17 @@ fn partitioned_site_likelihoods_concatenate_correctly() {
     let total = p.evaluate(&mut multi, false);
     let sites = multi.get_site_log_likelihoods().unwrap();
     assert_eq!(sites.len(), p.patterns.pattern_count());
-    let manual: f64 = sites.iter().zip(p.patterns.weights()).map(|(l, w)| l * w).sum();
+    let manual: f64 = sites
+        .iter()
+        .zip(p.patterns.weights())
+        .map(|(l, w)| l * w)
+        .sum();
     assert!((total - manual).abs() < 1e-8);
 
     // And they match a single-device run site by site.
-    let mut single = InstanceSpec::with_config(p.config()).instantiate(&manager).unwrap();
+    let mut single = InstanceSpec::with_config(p.config())
+        .instantiate(&manager)
+        .unwrap();
     p.load(single.as_mut());
     p.evaluate(single.as_mut(), false);
     let ref_sites = single.get_site_log_likelihoods().unwrap();
@@ -99,8 +104,7 @@ fn partitioned_details_aggregate() {
         (Flags::NONE, Flags::FRAMEWORK_CUDA),
         (Flags::NONE, Flags::THREADING_THREAD_POOL),
     ];
-    let multi =
-        PartitionedInstance::create(&manager, &p.config(), &devices, &[1.0, 1.0]).unwrap();
+    let multi = PartitionedInstance::create(&manager, &p.config(), &devices, &[1.0, 1.0]).unwrap();
     let d = multi.details();
     assert!(d.implementation_name.starts_with("Partitioned["));
     assert!(d.implementation_name.contains("CUDA"));
@@ -110,8 +114,39 @@ fn partitioned_details_aggregate() {
 
 #[test]
 fn ranges_scale_with_device_speed() {
-    // A device with 9x the throughput gets ~90% of the patterns.
+    // A device with 9x the throughput gets ~90% of the patterns; the split
+    // point rounds to the SIMD pattern stride (900 -> 904).
     let r = weighted_ranges(1000, &[9.0, 1.0]).unwrap();
-    assert_eq!(r[0], (0, 900));
-    assert_eq!(r[1], (900, 1000));
+    assert_eq!(r[0], (0, 904));
+    assert_eq!(r[1], (904, 1000));
+}
+
+#[test]
+fn details_refresh_after_rebalance() {
+    let p = problem();
+    let manager = full_manager();
+    let devices = [
+        (Flags::NONE, Flags::FRAMEWORK_CUDA),
+        (Flags::NONE, Flags::THREADING_THREAD_POOL),
+    ];
+    let mut multi =
+        PartitionedInstance::create(&manager, &p.config(), &devices, &[1.0, 1.0]).unwrap();
+    p.load(&mut multi);
+    p.evaluate(&mut multi, false);
+
+    let before = multi.details();
+    assert!(before.implementation_name.contains("CUDA"));
+
+    // An explicit migration rebuilds the children at new ranges; the
+    // aggregated details must be recomputed over the new parts.
+    assert!(multi.rebalance_to(&[3.0, 1.0]).unwrap());
+    let after = multi.details();
+    assert!(after.implementation_name.starts_with("Partitioned["));
+    assert!(after.implementation_name.contains("CUDA"));
+    assert!(after.flags.contains(Flags::FRAMEWORK_CUDA));
+    assert!(after.flags.contains(Flags::THREADING_THREAD_POOL));
+
+    // And the rebalanced instance still evaluates correctly.
+    let lnl = p.evaluate(&mut multi, false);
+    assert!((lnl - p.oracle()).abs() < 1e-7);
 }

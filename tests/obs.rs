@@ -113,7 +113,12 @@ fn journal_orders_events_across_a_queued_failover_run() {
 
     // Sequence numbers are strictly increasing after the merge.
     for w in journal.windows(2) {
-        assert!(w[0].seq < w[1].seq, "journal out of order: {:?} then {:?}", w[0], w[1]);
+        assert!(
+            w[0].seq < w[1].seq,
+            "journal out of order: {:?} then {:?}",
+            w[0],
+            w[1]
+        );
     }
 
     let pos = |kind: EventKind| journal.iter().position(|e| e.kind == kind);
@@ -152,7 +157,9 @@ fn journal_orders_events_across_a_queued_failover_run() {
     for (i, e) in journal.iter().enumerate() {
         if e.kind == EventKind::LevelBatch {
             assert!(
-                journal[i + 1..].iter().any(|l| l.kind == EventKind::QueueFlush),
+                journal[i + 1..]
+                    .iter()
+                    .any(|l| l.kind == EventKind::QueueFlush),
                 "LevelBatch at seq {} has no subsequent QueueFlush",
                 e.seq
             );
@@ -165,7 +172,10 @@ fn journal_orders_events_across_a_queued_failover_run() {
     // Journal records serialize as JSON lines.
     for e in &journal {
         let line = e.to_json_line();
-        assert!(line.starts_with('{') && line.ends_with('}'), "bad JSON line: {line}");
+        assert!(
+            line.starts_with('{') && line.ends_with('}'),
+            "bad JSON line: {line}"
+        );
     }
 
     // The drain is one-shot across the whole device tree.

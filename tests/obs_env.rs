@@ -55,7 +55,11 @@ fn benchmark_resources_is_deterministic_where_it_promises_to_be() {
             .iter()
             .find(|e| e.implementation == ea.implementation)
             .expect("same factory set");
-        assert_eq!(ea.modeled, eb.modeled, "{}: modeled time not deterministic", ea.implementation);
+        assert_eq!(
+            ea.modeled, eb.modeled,
+            "{}: modeled time not deterministic",
+            ea.implementation
+        );
         assert_eq!(
             ea.error, eb.error,
             "{}: eligibility not deterministic",

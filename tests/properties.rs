@@ -1,6 +1,8 @@
 //! Property-based workspace tests: statistical invariants of the likelihood
 //! machinery that must hold for arbitrary inputs, checked with proptest.
 
+use beagle::core::multi::weighted_ranges_aligned;
+use beagle::core::{BalancerConfig, LoadBalancer, PATTERN_STRIDE};
 use beagle::harness::full_manager;
 use beagle::phylo::likelihood::log_likelihood;
 use beagle::phylo::models::nucleotide::{gtr, hky85};
@@ -49,6 +51,19 @@ fn beagle_lnl(
     };
     p.load(inst.as_mut());
     p.evaluate(inst.as_mut(), false)
+}
+
+/// Makespan skew of `ranges` under per-part throughput `rates`: worst
+/// per-part time over the ideal (perfectly proportional) time. Always ≥ 1.
+fn skew_of(ranges: &[(usize, usize)], rates: &[f64]) -> f64 {
+    let patterns: usize = ranges.iter().map(|(a, b)| b - a).sum();
+    let ideal = patterns as f64 / rates.iter().sum::<f64>();
+    ranges
+        .iter()
+        .zip(rates)
+        .map(|(&(a, b), &r)| (b - a) as f64 / r)
+        .fold(0.0f64, f64::max)
+        / ideal
 }
 
 proptest! {
@@ -150,6 +165,110 @@ proptest! {
         p.load(b.as_mut());
         let scaled = p.evaluate(b.as_mut(), true);
         prop_assert!((unscaled - scaled).abs() < 1e-8);
+    }
+
+    /// The balancer's stride-aligned repartition always covers `0..patterns`
+    /// contiguously with non-empty parts, interior split points on the
+    /// stride whenever the pattern count permits.
+    #[test]
+    fn rebalanced_ranges_cover_all_patterns(
+        patterns in 16usize..5000,
+        raw_weights in proptest::collection::vec(0.05f64..100.0, 2..6),
+        stride in 1usize..32,
+    ) {
+        // patterns >= 16 and at most 6 weights, so the split is always feasible.
+        let ranges = weighted_ranges_aligned(patterns, &raw_weights, stride).unwrap();
+        prop_assert_eq!(ranges.len(), raw_weights.len());
+        prop_assert_eq!(ranges[0].0, 0);
+        prop_assert_eq!(ranges[ranges.len() - 1].1, patterns);
+        for w in ranges.windows(2) {
+            prop_assert_eq!(w[0].1, w[1].0, "ranges must be contiguous");
+        }
+        for &(a, b) in &ranges {
+            prop_assert!(b > a, "no part may be empty: {:?}", ranges);
+        }
+        // Interior splits land on the stride when there is room for every
+        // part to get at least one full stride block.
+        if patterns >= raw_weights.len() * stride {
+            for w in ranges.windows(2) {
+                prop_assert_eq!(w[0].1 % stride, 0, "split {} off stride {}", w[0].1, stride);
+            }
+        }
+    }
+
+    /// Pattern shares are monotone in observed throughput: a part that the
+    /// balancer measured as faster never receives fewer patterns.
+    #[test]
+    fn rebalanced_shares_monotone_in_throughput(
+        rates in proptest::collection::vec(50.0f64..5000.0, 2..6),
+        patterns in 1000usize..8000,
+    ) {
+        let mut b = LoadBalancer::new(rates.len(), BalancerConfig::default());
+        for _ in 0..3 {
+            for (i, &r) in rates.iter().enumerate() {
+                b.observe(i, 1000, std::time::Duration::from_secs_f64(1000.0 / r));
+            }
+        }
+        let thr = b.throughputs().expect("all parts observed");
+        let ranges = weighted_ranges_aligned(patterns, &thr, PATTERN_STRIDE).unwrap();
+        for i in 0..rates.len() {
+            for j in 0..rates.len() {
+                if thr[i] > thr[j] {
+                    let ni = ranges[i].1 - ranges[i].0;
+                    let nj = ranges[j].1 - ranges[j].0;
+                    // Stride rounding can cost at most one block.
+                    prop_assert!(
+                        ni + PATTERN_STRIDE > nj,
+                        "part {} ({} pat/s) got {}, part {} ({} pat/s) got {}",
+                        i, thr[i], ni, j, thr[j], nj
+                    );
+                }
+            }
+        }
+    }
+
+    /// Under stationary throughputs, an accepted rebalance plan strictly
+    /// decreases the predicted makespan skew — the no-thrash guarantee.
+    #[test]
+    fn rebalance_strictly_decreases_skew_under_stationary_throughputs(
+        rates in proptest::collection::vec(50.0f64..5000.0, 2..5),
+        patterns in 2000usize..10000,
+        batches in 2u32..6,
+    ) {
+        let mut b = LoadBalancer::new(rates.len(), BalancerConfig::default());
+        for _ in 0..batches {
+            for (i, &r) in rates.iter().enumerate() {
+                b.observe(i, 500, std::time::Duration::from_secs_f64(500.0 / r));
+            }
+        }
+        // Start from an equal split, then let the balancer iterate. An
+        // accepted plan resets settling, so each round re-observes the same
+        // (stationary) throughputs before asking again.
+        let equal: Vec<f64> = vec![1.0; rates.len()];
+        let mut ranges = weighted_ranges_aligned(patterns, &equal, PATTERN_STRIDE).unwrap();
+        let mut skew = b.predicted_skew(&ranges).expect("estimates settled");
+        let mut accepted = 0;
+        loop {
+            let Some((next, est)) = b.plan(patterns, &ranges) else { break };
+            let next_skew = skew_of(&next, &est);
+            prop_assert!(
+                next_skew < skew,
+                "accepted plan must improve skew: {} -> {}",
+                skew, next_skew
+            );
+            ranges = next;
+            skew = next_skew;
+            accepted += 1;
+            prop_assert!(accepted <= 10, "stationary throughputs must converge, not thrash");
+            for _ in 0..BalancerConfig::default().min_batches {
+                for (i, &r) in rates.iter().enumerate() {
+                    b.observe(i, 500, std::time::Duration::from_secs_f64(500.0 / r));
+                }
+            }
+        }
+        // Once plan() goes quiet, the split is within threshold or cannot
+        // be improved at this stride.
+        prop_assert!(skew >= 1.0);
     }
 
     /// Extending a branch away from zero can only decrease the likelihood of

@@ -34,7 +34,10 @@ fn cuda_impl_name() -> String {
 /// A breaker configuration whose cooldown never elapses within a test, so
 /// `Open` assertions cannot race the wall clock.
 fn sticky_breakers() -> BreakerConfig {
-    BreakerConfig { cooldown: Duration::from_secs(3600), ..BreakerConfig::default() }
+    BreakerConfig {
+        cooldown: Duration::from_secs(3600),
+        ..BreakerConfig::default()
+    }
 }
 
 /// Acceptance: the CUDA child wedges mid-traversal. The watchdog cancels
@@ -52,22 +55,28 @@ fn hung_device_is_cancelled_evicted_and_bit_exact() {
     let p = problem();
     let devices = [
         (Flags::INSTANCE_STATS, Flags::FRAMEWORK_CUDA),
-        (Flags::INSTANCE_STATS, Flags::FRAMEWORK_OPENCL | Flags::PROCESSOR_CPU),
+        (
+            Flags::INSTANCE_STATS,
+            Flags::FRAMEWORK_OPENCL | Flags::PROCESSOR_CPU,
+        ),
         (Flags::INSTANCE_STATS, Flags::PROCESSOR_CPU),
     ];
     let spec = InstanceSpec::with_config(p.config())
         .with_deadline(Duration::from_millis(100))
         .with_retry_policy(RetryPolicy::default());
     let mut multi =
-        PartitionedInstance::create_with_spec(&manager, &spec, &devices, &[1.0, 1.0, 1.0])
-            .unwrap();
+        PartitionedInstance::create_with_spec(&manager, &spec, &devices, &[1.0, 1.0, 1.0]).unwrap();
     assert_eq!(multi.device_count(), 3);
 
     p.load(&mut multi);
     let lnl = p.evaluate(&mut multi, false);
 
     assert_eq!(multi.eviction_count(), 1, "the hung child must be evicted");
-    assert_eq!(multi.device_count(), 2, "survivors absorb its pattern range");
+    assert_eq!(
+        multi.device_count(),
+        2,
+        "survivors absorb its pattern range"
+    );
 
     // The watchdog cancellation was scored as a hard failure: the CUDA
     // resource's breaker is open and it is quarantined.
@@ -86,7 +95,9 @@ fn hung_device_is_cancelled_evicted_and_bit_exact() {
         journal.iter().any(|e| e.kind == EventKind::BreakerOpen),
         "breaker transition must be journaled"
     );
-    assert!(journal.iter().any(|e| e.kind == EventKind::FailoverEviction));
+    assert!(journal
+        .iter()
+        .any(|e| e.kind == EventKind::FailoverEviction));
 
     // Bit-exactness: a fault-free run on the survivor layout computes the
     // same partition ranges over the same deterministic kernels.
@@ -111,8 +122,11 @@ fn hung_device_is_cancelled_evicted_and_bit_exact() {
 fn stall_under_the_watchdog_budget_completes_late_but_correct() {
     let faults = FaultDirectory::new().with_plan(
         catalog::quadro_p5000().name,
-        FaultPlan::new(7)
-            .with_fault(FaultKind::Stall(Duration::from_millis(1)), true, Schedule::AtCall(18)),
+        FaultPlan::new(7).with_fault(
+            FaultKind::Stall(Duration::from_millis(1)),
+            true,
+            Schedule::AtCall(18),
+        ),
     );
     let manager = full_manager_with_faults(&faults);
     let p = problem();
@@ -125,8 +139,16 @@ fn stall_under_the_watchdog_budget_completes_late_but_correct() {
     p.load(&mut multi);
     let lnl = p.evaluate(&mut multi, false);
 
-    assert_eq!(multi.eviction_count(), 0, "a survivable stall must not evict");
-    assert_eq!(multi.retry_counts()[0], 0, "a survivable stall is not a fault");
+    assert_eq!(
+        multi.eviction_count(),
+        0,
+        "a survivable stall must not evict"
+    );
+    assert_eq!(
+        multi.retry_counts()[0],
+        0,
+        "a survivable stall is not a fault"
+    );
     let oracle = p.oracle();
     assert!((lnl - oracle).abs() < 1e-6, "{lnl} vs {oracle}");
 }
@@ -138,8 +160,11 @@ fn stall_under_the_watchdog_budget_completes_late_but_correct() {
 fn stall_beyond_the_deadline_is_cancelled_and_evicted() {
     let faults = FaultDirectory::new().with_plan(
         catalog::quadro_p5000().name,
-        FaultPlan::new(7)
-            .with_fault(FaultKind::Stall(Duration::from_millis(50)), true, Schedule::AtCall(18)),
+        FaultPlan::new(7).with_fault(
+            FaultKind::Stall(Duration::from_millis(50)),
+            true,
+            Schedule::AtCall(18),
+        ),
     );
     let manager = full_manager_with_faults(&faults);
     manager.set_breaker_config(sticky_breakers());
@@ -148,14 +173,17 @@ fn stall_beyond_the_deadline_is_cancelled_and_evicted() {
         (Flags::NONE, Flags::FRAMEWORK_CUDA),
         (Flags::NONE, Flags::PROCESSOR_CPU),
     ];
-    let spec =
-        InstanceSpec::with_config(p.config()).with_deadline(Duration::from_millis(10));
+    let spec = InstanceSpec::with_config(p.config()).with_deadline(Duration::from_millis(10));
     let mut multi =
         PartitionedInstance::create_with_spec(&manager, &spec, &devices, &[1.0, 1.0]).unwrap();
     p.load(&mut multi);
     let lnl = p.evaluate(&mut multi, false);
 
-    assert_eq!(multi.eviction_count(), 1, "the cancelled child must be evicted");
+    assert_eq!(
+        multi.eviction_count(),
+        1,
+        "the cancelled child must be evicted"
+    );
     assert_eq!(multi.device_count(), 1);
     assert_eq!(multi.retry_counts(), &[0], "timeouts are not retried");
     assert!(manager.health().counts(cuda_impl_name().as_str()).timeouts >= 1);
@@ -202,7 +230,9 @@ fn open_breaker_steers_ranked_creation_and_benchmark_reprobes() {
     let cuda = cuda_impl_name();
 
     // Healthy baseline: ranked creation picks the CUDA implementation.
-    let inst = InstanceSpec::with_config(p.config()).instantiate(&manager).unwrap();
+    let inst = InstanceSpec::with_config(p.config())
+        .instantiate(&manager)
+        .unwrap();
     assert!(
         inst.details().implementation_name.starts_with("CUDA"),
         "expected CUDA to rank first, got {}",
@@ -215,7 +245,9 @@ fn open_breaker_steers_ranked_creation_and_benchmark_reprobes() {
     assert_eq!(manager.health().state(cuda.as_str()), BreakerState::Open);
 
     // Ranked creation now skips the quarantined implementation...
-    let inst = InstanceSpec::with_config(p.config()).instantiate(&manager).unwrap();
+    let inst = InstanceSpec::with_config(p.config())
+        .instantiate(&manager)
+        .unwrap();
     assert!(
         !inst.details().implementation_name.starts_with("CUDA"),
         "quarantined implementation must be skipped, got {}",
@@ -236,10 +268,17 @@ fn open_breaker_steers_ranked_creation_and_benchmark_reprobes() {
         cooldown: Duration::ZERO,
         ..BreakerConfig::default()
     });
-    assert_eq!(manager.health().state(cuda.as_str()), BreakerState::HalfOpen);
+    assert_eq!(
+        manager.health().state(cuda.as_str()),
+        BreakerState::HalfOpen
+    );
     let results = manager.benchmark_resources(&p.config(), Flags::NONE);
     let entry = results.iter().find(|r| r.implementation == cuda).unwrap();
-    assert!(entry.error.is_none(), "half-open resource must be re-probed: {:?}", entry.error);
+    assert!(
+        entry.error.is_none(),
+        "half-open resource must be re-probed: {:?}",
+        entry.error
+    );
     assert_eq!(manager.health().state(cuda.as_str()), BreakerState::Closed);
 }
 
@@ -251,7 +290,9 @@ fn health_consultation_fails_open_when_everything_is_quarantined() {
     let p = problem();
     manager.set_breaker_config(sticky_breakers());
     for entry in manager.benchmark_resources(&p.config(), Flags::NONE) {
-        manager.health().record(entry.implementation.as_str(), Outcome::Permanent);
+        manager
+            .health()
+            .record(entry.implementation.as_str(), Outcome::Permanent);
     }
     let mut inst = InstanceSpec::with_config(p.config())
         .instantiate(&manager)
@@ -275,16 +316,16 @@ fn checkpoint_restores_bit_exactly_in_a_fresh_manager() {
         .instantiate(&manager)
         .unwrap();
     p.load(inst.as_mut());
-    let ckpt = inst.checkpoint().expect("a checkpointed spec must snapshot");
+    let ckpt = inst
+        .checkpoint()
+        .expect("a checkpointed spec must snapshot");
     let journal = inst.take_journal();
     assert!(journal.iter().any(|e| e.kind == EventKind::CheckpointSaved));
 
     let lnl = p.evaluate(inst.as_mut(), false);
 
-    let path = std::env::temp_dir().join(format!(
-        "beagle-robustness-ckpt-{}.txt",
-        std::process::id()
-    ));
+    let path =
+        std::env::temp_dir().join(format!("beagle-robustness-ckpt-{}.txt", std::process::id()));
     ckpt.save(&path).unwrap();
 
     // A fresh manager stands in for a fresh process: nothing is shared with
@@ -293,7 +334,9 @@ fn checkpoint_restores_bit_exactly_in_a_fresh_manager() {
     let loaded = Checkpoint::load(&path).unwrap();
     let mut restored = loaded.restore(&fresh).unwrap();
     let journal = restored.take_journal();
-    assert!(journal.iter().any(|e| e.kind == EventKind::CheckpointRestored));
+    assert!(journal
+        .iter()
+        .any(|e| e.kind == EventKind::CheckpointRestored));
     let lnl_restored = p.evaluate(&mut restored, false);
     assert_eq!(
         lnl.to_bits(),
@@ -329,13 +372,19 @@ fn queued_checkpoint_flushes_pending_work_before_snapshot() {
         .unwrap();
     p.load(inst.as_mut());
     // Everything above is still queued; the snapshot must flush it first.
-    let ckpt = inst.checkpoint().expect("queued checkpoint must flush and snapshot");
+    let ckpt = inst
+        .checkpoint()
+        .expect("queued checkpoint must flush and snapshot");
     let lnl = p.evaluate(inst.as_mut(), false);
 
     let fresh = full_manager();
     let mut restored = ckpt.restore(&fresh).unwrap();
     let lnl_restored = p.evaluate(&mut restored, false);
-    assert_eq!(lnl.to_bits(), lnl_restored.to_bits(), "{lnl} vs {lnl_restored}");
+    assert_eq!(
+        lnl.to_bits(),
+        lnl_restored.to_bits(),
+        "{lnl} vs {lnl_restored}"
+    );
 }
 
 /// A partitioned instance snapshots its replicated state journal; the
@@ -354,7 +403,9 @@ fn partitioned_checkpoint_restores_after_rerank() {
     p.load(&mut multi);
     let lnl = p.evaluate(&mut multi, false);
 
-    let ckpt = multi.checkpoint().expect("partitioned instances snapshot their journal");
+    let ckpt = multi
+        .checkpoint()
+        .expect("partitioned instances snapshot their journal");
     let fresh = full_manager();
     let mut restored = ckpt.restore(&fresh).unwrap();
     let lnl_restored = p.evaluate(&mut restored, false);
