@@ -63,7 +63,9 @@ fn partitioned(
     ];
     let mut inst = PartitionedInstance::create_with_selections(
         manager,
-        &InstanceSpec::with_config(problem.config()),
+        // The benchmark repeats identical evaluations; memoization would
+        // skip them and collapse every makespan to zero.
+        &InstanceSpec::with_config(problem.config()).incremental(false),
         selections,
         &[1.0, 1.0],
     )

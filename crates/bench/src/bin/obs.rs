@@ -40,8 +40,13 @@ fn make(problem: &Problem, stats: bool) -> Box<dyn BeagleInstance> {
         .prefer(Flags::PRECISION_DOUBLE)
         .named("CPU-serial");
     let spec = if stats { spec.with_stats() } else { spec };
-    spec.instantiate(&full_manager())
-        .expect("CPU-serial exists")
+    let mut inst = spec
+        .instantiate(&full_manager())
+        .expect("CPU-serial exists");
+    // The overhead measurement repeats identical traversals; memoization
+    // would skip them all and time nothing.
+    inst.set_incremental(false);
+    inst
 }
 
 fn main() {

@@ -33,6 +33,9 @@ fn traversal_time(problem: &Problem, name: &str, asynch: bool, reps: usize) -> O
     let mut inst = full_manager()
         .create_instance_by_name(name, &problem.config(), Flags::PRECISION_DOUBLE | mode)
         .ok()?;
+    // The timed loop repeats identical traversals; don't let the memo layer
+    // skip them.
+    inst.set_incremental(false);
     problem.load(inst.as_mut());
     let ops = problem.operations(false);
     inst.update_partials(&ops).expect("warmup");

@@ -468,6 +468,23 @@ pub trait BeagleInstance: Send {
     fn checkpoint(&mut self) -> Option<crate::checkpoint::Checkpoint> {
         None
     }
+
+    /// Enable or disable incremental re-computation (operation memoization,
+    /// see [`crate::memo::MemoInstance`]) at runtime. When disabled the memo
+    /// layer keeps its epoch bookkeeping current but never skips work, so
+    /// toggling is always safe mid-run. Wrappers forward the call to every
+    /// layer below; instances without a memo layer ignore it, which this
+    /// default implements. Throughput harnesses that time repeated identical
+    /// traversals call `set_incremental(false)` so they measure real kernels.
+    fn set_incremental(&mut self, _enabled: bool) {}
+
+    /// Skip/hit counters from the incremental memoization layer, when one is
+    /// installed below this instance (see [`crate::memo::MemoStats`]).
+    /// `None` otherwise. Like [`Self::peek_simulated_time`], deferred
+    /// wrappers forward this without flushing pending work.
+    fn memo_stats(&self) -> Option<crate::memo::MemoStats> {
+        None
+    }
 }
 
 #[cfg(test)]

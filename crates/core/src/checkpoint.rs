@@ -602,6 +602,14 @@ impl BeagleInstance for CheckpointedInstance {
         });
         Some(ckpt)
     }
+
+    fn set_incremental(&mut self, enabled: bool) {
+        self.inner.set_incremental(enabled);
+    }
+
+    fn memo_stats(&self) -> Option<crate::memo::MemoStats> {
+        self.inner.memo_stats()
+    }
 }
 
 #[cfg(test)]

@@ -15,6 +15,7 @@
 //! * [`api`] — the [`api::BeagleInstance`] trait and instance configuration
 //! * [`balance`] — adaptive load balancing: EWMA throughput + repartitioning
 //! * [`ops`] — partial-likelihood operation descriptors + dependency analysis
+//! * [`memo`] — epoch-based incremental computation (operation memoization)
 //! * [`queue`] — deferred execution: operation queue + eigen/matrix caching
 //! * [`flags`] — capability/preference/requirement bitmask
 //! * [`buffers`] — the shared buffer arena CPU back-ends build on
@@ -37,6 +38,7 @@ pub mod flags;
 pub mod health;
 pub mod journal;
 pub mod manager;
+pub mod memo;
 pub mod multi;
 pub mod obs;
 pub mod ops;
@@ -55,6 +57,7 @@ pub use flags::Flags;
 pub use health::{BreakerConfig, BreakerState, HealthRegistry, Outcome, ResourceId};
 pub use journal::StateJournal;
 pub use manager::{ImplementationFactory, ImplementationManager, ResourceBenchmark};
+pub use memo::{MemoInstance, MemoStats, INCREMENTAL_DISABLE_ENV};
 pub use multi::{ChildSelection, PartitionedInstance, RetryPolicy};
 pub use obs::{Event, EventKind, InstanceStats, KernelClass, KernelCounter, Recorder};
 pub use ops::Operation;

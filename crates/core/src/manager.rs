@@ -18,6 +18,7 @@ use crate::checkpoint::{CheckpointedInstance, Provenance};
 use crate::error::{BeagleError, Result};
 use crate::flags::Flags;
 use crate::health::{BreakerConfig, HealthRegistry, Outcome};
+use crate::memo;
 use crate::multi::{ChildSelection, PartitionedInstance};
 use crate::ops::Operation;
 use crate::resource::ResourceDescription;
@@ -149,7 +150,10 @@ impl ImplementationManager {
     /// [`crate::rescue::RescueInstance`] (outside any queue layer, so
     /// deferred batches still get numerical rescue at the integration
     /// points). Named and ranked creation therefore get byte-identical
-    /// wrapping.
+    /// wrapping. Unless disabled (`spec.incremental == Some(false)` or the
+    /// `BEAGLE_INCREMENTAL_DISABLE` environment variable), the raw back-end
+    /// is first wrapped in the [`crate::memo::MemoInstance`] incremental
+    /// layer, innermost so every other wrapper's traffic flows through it.
     pub fn create_from_spec(&self, spec: &InstanceSpec) -> Result<Box<dyn BeagleInstance>> {
         spec.config.validate()?;
         let manager_bits =
@@ -228,6 +232,19 @@ impl ImplementationManager {
                     None => return Err(last_err),
                 }
             }
+        };
+
+        // The memoization layer sits directly above the raw back-end —
+        // below the queue, rescue and checkpoint wrappers — so deferred
+        // flushes, rescue re-runs and journal replays all pass through it
+        // with their real call shapes. When disabled it is not installed at
+        // all, so `BEAGLE_INCREMENTAL_DISABLE=1` reproduces baseline
+        // timings exactly, not just baseline bits.
+        let incremental = spec.incremental.unwrap_or(true) && !memo::incremental_disabled_by_env();
+        let raw: Box<dyn BeagleInstance> = if incremental {
+            Box::new(memo::MemoInstance::new(raw))
+        } else {
+            raw
         };
 
         let inst: Box<dyn BeagleInstance> = if asynch {

@@ -170,6 +170,15 @@ pub struct PartitionedInstance {
     rebalances: u64,
     /// splitmix64 state for retry-backoff jitter.
     rng: u64,
+    /// Incremental-memoization choice, threaded into every child spec —
+    /// including children rebuilt after an eviction or rebalance — and
+    /// updated by runtime [`BeagleInstance::set_incremental`] calls.
+    incremental: Option<bool>,
+    /// Per-child [`crate::memo::MemoStats::total_skips`] watermark at the
+    /// last batch close. A child whose skip count advanced during a batch
+    /// produced a tainted timing sample (part of the work was elided), so
+    /// the load balancer must not feed it into the EWMA rate estimate.
+    skip_marks: Vec<u64>,
     /// Failover-event journal; enabled when any child records statistics.
     recorder: Recorder,
     /// Events drained from evicted children so their last words (the fault
@@ -325,19 +334,19 @@ impl PartitionedInstance {
         let ranges = weighted_ranges(config.pattern_count, weights)?;
         let mut parts = Vec::with_capacity(selections.len());
         for (i, (sel, &(p0, p1))) in selections.iter().zip(&ranges).enumerate() {
-            let part = Self::build_child(manager, &config, sel, p1 - p0).map_err(|e| {
-                BeagleError::ChildCreationFailed {
+            let part = Self::build_child(manager, &config, sel, p1 - p0, spec.incremental)
+                .map_err(|e| BeagleError::ChildCreationFailed {
                     child: i,
                     device: match &sel.implementation {
                         Some(name) => name.clone(),
                         None => format!("prefs {} / reqs {}", sel.preferences, sel.requirements),
                     },
                     source: Box::new(e),
-                }
-            })?;
+                })?;
             parts.push(part);
         }
         let mut inst = Self::from_parts(parts, ranges, config)?;
+        inst.incremental = spec.incremental;
         inst.failover = Some(FailoverState {
             manager: Arc::clone(manager),
             selections,
@@ -358,12 +367,14 @@ impl PartitionedInstance {
         config: &InstanceConfig,
         sel: &ChildSelection,
         patterns: usize,
+        incremental: Option<bool>,
     ) -> Result<Box<dyn BeagleInstance>> {
         let mut sub = *config;
         sub.pattern_count = patterns;
         let mut spec = InstanceSpec::with_config(sub)
             .prefer(sel.preferences)
             .require(sel.requirements);
+        spec.incremental = incremental;
         if let Some(name) = &sel.implementation {
             spec = spec.named(name.clone());
         }
@@ -424,6 +435,8 @@ impl PartitionedInstance {
             pending: vec![Duration::ZERO; n_parts],
             rebalances: 0,
             rng: 0x5eed_0fbe_a91e,
+            incremental: None,
+            skip_marks: vec![0; n_parts],
             salvaged: Vec::new(),
             recorder,
         })
@@ -500,6 +513,13 @@ impl PartitionedInstance {
     pub fn enable_balancing(&mut self, config: BalancerConfig) {
         self.balancer = Some(LoadBalancer::new(self.parts.len(), config));
         self.pending = vec![Duration::ZERO; self.parts.len()];
+        // Baseline the skip watermarks so skips from before balancing was
+        // enabled don't taint the first batch.
+        self.skip_marks = self
+            .parts
+            .iter()
+            .map(|p| p.memo_stats().map_or(0, |s| s.total_skips()))
+            .collect();
     }
 
     /// The adaptive balancer, if [`Self::enable_balancing`] was called.
@@ -525,10 +545,18 @@ impl PartitionedInstance {
     /// integrate `observations` entry, plus whatever `update_partials` time
     /// it accumulated in `pending` since the previous integration, becomes
     /// one balancer throughput sample. Children that retried mid-batch have
-    /// their pending time discarded (tainted sample).
+    /// their pending time discarded (tainted sample), and so do children
+    /// whose incremental-memoization layer skipped any work during the
+    /// batch — a batch that elided kernels measures the memo cache, not the
+    /// device, and would poison the EWMA rate estimate.
     fn observe_batch(&mut self, observations: Vec<(usize, Duration)>) {
         if let Some(balancer) = &mut self.balancer {
             for (i, elapsed) in observations {
+                let skips = self.parts[i].memo_stats().map_or(0, |s| s.total_skips());
+                if skips != self.skip_marks[i] {
+                    self.skip_marks[i] = skips;
+                    continue;
+                }
                 let (p0, p1) = self.ranges[i];
                 balancer.observe(i, p1 - p0, self.pending[i] + elapsed);
             }
@@ -580,14 +608,19 @@ impl PartitionedInstance {
         }
         let mut new_parts: Vec<Box<dyn BeagleInstance>> = Vec::with_capacity(new_ranges.len());
         for (i, (sel, &(p0, p1))) in failover.selections.iter().zip(new_ranges).enumerate() {
-            let built = Self::build_child(&failover.manager, &self.config, sel, p1 - p0).and_then(
-                |mut inst| {
-                    inst.set_deadline(self.deadline);
-                    self.journal
-                        .replay_slice(inst.as_mut(), &self.config, p0, p1)
-                        .map(|()| inst)
-                },
-            );
+            let built = Self::build_child(
+                &failover.manager,
+                &self.config,
+                sel,
+                p1 - p0,
+                self.incremental,
+            )
+            .and_then(|mut inst| {
+                inst.set_deadline(self.deadline);
+                self.journal
+                    .replay_slice(inst.as_mut(), &self.config, p0, p1)
+                    .map(|()| inst)
+            });
             match built {
                 Ok(inst) => new_parts.push(inst),
                 Err(e) => {
@@ -610,6 +643,7 @@ impl PartitionedInstance {
         }
         self.retry_counts = vec![0; self.parts.len()];
         self.pending = vec![Duration::ZERO; self.parts.len()];
+        self.skip_marks = vec![0; self.parts.len()];
         self.refresh_details();
         self.rebalances += 1;
         self.recorder.event(EventKind::Rebalance, || {
@@ -743,6 +777,7 @@ impl PartitionedInstance {
         failover.weights.remove(dead);
         self.retry_counts.remove(dead);
         self.pending.remove(dead);
+        self.skip_marks.remove(dead);
         if let Some(b) = &mut self.balancer {
             b.remove_part(dead);
         }
@@ -771,15 +806,21 @@ impl PartitionedInstance {
             let mut new_parts: Vec<Box<dyn BeagleInstance>> = Vec::with_capacity(ranges.len());
             let mut doomed: Option<usize> = None;
             for (j, (sel, &(p0, p1))) in failover.selections.iter().zip(&ranges).enumerate() {
-                let rebuilt = Self::build_child(&failover.manager, &self.config, sel, p1 - p0)
-                    .and_then(|mut inst| {
-                        // Restore the watchdog budget before replay: a
-                        // replacement device can stall during replay too.
-                        inst.set_deadline(self.deadline);
-                        self.journal
-                            .replay_slice(inst.as_mut(), &self.config, p0, p1)
-                            .map(|()| inst)
-                    });
+                let rebuilt = Self::build_child(
+                    &failover.manager,
+                    &self.config,
+                    sel,
+                    p1 - p0,
+                    self.incremental,
+                )
+                .and_then(|mut inst| {
+                    // Restore the watchdog budget before replay: a
+                    // replacement device can stall during replay too.
+                    inst.set_deadline(self.deadline);
+                    self.journal
+                        .replay_slice(inst.as_mut(), &self.config, p0, p1)
+                        .map(|()| inst)
+                });
                 match rebuilt {
                     Ok(inst) => new_parts.push(inst),
                     Err(_) => {
@@ -792,6 +833,7 @@ impl PartitionedInstance {
                 None => {
                     self.retry_counts = vec![0; new_parts.len()];
                     self.pending = vec![Duration::ZERO; new_parts.len()];
+                    self.skip_marks = vec![0; new_parts.len()];
                     self.parts = new_parts;
                     self.ranges = ranges;
                     self.refresh_details();
@@ -808,6 +850,7 @@ impl PartitionedInstance {
                     failover.selections.remove(j);
                     failover.weights.remove(j);
                     self.pending.remove(j);
+                    self.skip_marks.remove(j);
                     if let Some(b) = &mut self.balancer {
                         b.remove_part(j);
                     }
@@ -1329,6 +1372,28 @@ impl BeagleInstance for PartitionedInstance {
             )
         });
         Some(ckpt)
+    }
+
+    fn set_incremental(&mut self, enabled: bool) {
+        // Remember the toggle so children rebuilt after an eviction or
+        // rebalance come up with the same memoization behaviour.
+        self.incremental = Some(enabled);
+        for p in &mut self.parts {
+            p.set_incremental(enabled);
+        }
+    }
+
+    fn memo_stats(&self) -> Option<crate::memo::MemoStats> {
+        let mut agg: Option<crate::memo::MemoStats> = None;
+        for p in &self.parts {
+            if let Some(s) = p.memo_stats() {
+                match &mut agg {
+                    Some(a) => a.merge(&s),
+                    None => agg = Some(s),
+                }
+            }
+        }
+        agg
     }
 }
 

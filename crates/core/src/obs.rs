@@ -141,6 +141,21 @@ pub struct InstanceStats {
     pub counters: [KernelCounter; KernelClass::COUNT],
     /// Journal events dropped because the ring buffer was full.
     pub journal_dropped: u64,
+    /// Partials operations skipped by the incremental memo layer because
+    /// the destination already held the result of bit-identical inputs.
+    pub ops_skipped: u64,
+    /// Transition-matrix updates skipped by the memo layer.
+    pub matrices_skipped: u64,
+    /// Root/edge integrations answered from the memo layer's cached value.
+    pub integrations_skipped: u64,
+    /// Mutating `set_*` calls elided because the new content was
+    /// bit-identical to what the buffer already held.
+    pub sets_deduped: u64,
+    /// Derived transition matrices served from the eigen cache (deferred
+    /// execution layer).
+    pub eigen_cache_hits: u64,
+    /// Eigen-cache misses (matrices actually recomputed).
+    pub eigen_cache_misses: u64,
 }
 
 impl InstanceStats {
@@ -160,6 +175,12 @@ impl InstanceStats {
             a.merge(b);
         }
         self.journal_dropped += other.journal_dropped;
+        self.ops_skipped += other.ops_skipped;
+        self.matrices_skipped += other.matrices_skipped;
+        self.integrations_skipped += other.integrations_skipped;
+        self.sets_deduped += other.sets_deduped;
+        self.eigen_cache_hits += other.eigen_cache_hits;
+        self.eigen_cache_misses += other.eigen_cache_misses;
     }
 
     /// Total measured wall time across all classes, in nanoseconds.
@@ -196,7 +217,15 @@ impl InstanceStats {
                 c.modeled_nanos
             ));
         }
-        out.push_str(&format!(",\"journal_dropped\":{}}}", self.journal_dropped));
+        out.push_str(&format!(",\"journal_dropped\":{}", self.journal_dropped));
+        out.push_str(&format!(
+            ",\"ops_skipped\":{},\"matrices_skipped\":{},\"integrations_skipped\":{},\"sets_deduped\":{}",
+            self.ops_skipped, self.matrices_skipped, self.integrations_skipped, self.sets_deduped
+        ));
+        out.push_str(&format!(
+            ",\"eigen_cache_hits\":{},\"eigen_cache_misses\":{}}}",
+            self.eigen_cache_hits, self.eigen_cache_misses
+        ));
         out
     }
 }
@@ -240,6 +269,9 @@ pub enum EventKind {
     /// A partitioned instance migrated pattern ranges between children
     /// (adaptive load balancing, or an eviction re-split over survivors).
     Rebalance,
+    /// The incremental memo layer proved a call's inputs bit-identical to
+    /// what its destinations already hold and skipped the work.
+    IncrementalSkip,
 }
 
 impl EventKind {
@@ -263,6 +295,7 @@ impl EventKind {
             EventKind::CheckpointSaved => "checkpoint_saved",
             EventKind::CheckpointRestored => "checkpoint_restored",
             EventKind::Rebalance => "rebalance",
+            EventKind::IncrementalSkip => "incremental_skip",
         }
     }
 }
@@ -317,8 +350,17 @@ fn json_escape(s: &str) -> String {
 }
 
 /// Render a journal as JSON lines (one event per line).
-pub fn journal_to_json_lines(events: &[Event]) -> String {
-    let mut out = String::new();
+///
+/// The ring buffer silently drops the oldest events on overflow, so a dump
+/// alone cannot reveal truncation; pass the instance's
+/// [`InstanceStats::journal_dropped`] as `dropped_events` and the dump opens
+/// with a summary record making the loss visible.
+pub fn journal_to_json_lines(events: &[Event], dropped_events: u64) -> String {
+    let mut out = format!(
+        "{{\"kind\":\"journal_summary\",\"events\":{},\"dropped_events\":{}}}\n",
+        events.len(),
+        dropped_events
+    );
     for e in events {
         out.push_str(&e.to_json_line());
         out.push('\n');
@@ -610,6 +652,30 @@ mod tests {
         for class in KernelClass::ALL {
             assert!(stats.contains(class.name()));
         }
+        for key in [
+            "ops_skipped",
+            "matrices_skipped",
+            "integrations_skipped",
+            "sets_deduped",
+            "eigen_cache_hits",
+            "eigen_cache_misses",
+        ] {
+            assert!(stats.contains(key), "missing {key} in {stats}");
+        }
+    }
+
+    #[test]
+    fn journal_dump_reports_dropped_events() {
+        let mut r = Recorder::new(true);
+        for i in 0..(DEFAULT_JOURNAL_CAPACITY + 3) {
+            r.event(EventKind::LevelBatch, || format!("e{i}"));
+        }
+        let dropped = r.stats().unwrap().journal_dropped;
+        let dump = journal_to_json_lines(&r.take_journal(), dropped);
+        let first = dump.lines().next().unwrap();
+        assert!(first.contains("\"kind\":\"journal_summary\""));
+        assert!(first.contains("\"dropped_events\":3"));
+        assert_eq!(dump.lines().count(), DEFAULT_JOURNAL_CAPACITY + 1);
     }
 
     #[test]

@@ -96,7 +96,8 @@ pub struct EigenCache {
     rates_seen: Vec<u64>,
     /// (eigen index, branch-length bits) → matrix read back after computing.
     entries: HashMap<(usize, u64), Vec<f64>>,
-    /// Insertion order for capacity eviction.
+    /// Recency order for capacity eviction (least-recently used at the
+    /// front; hits and re-inserts move their key to the back).
     order: VecDeque<(usize, u64)>,
     capacity: usize,
     hits: u64,
@@ -160,22 +161,36 @@ impl EigenCache {
         self.order.clear();
     }
 
-    /// The cached matrix for (eigen `index`, branch length `t`), if present.
+    /// The cached matrix for (eigen `index`, branch length `t`), if
+    /// present. A hit refreshes the entry's recency, so a steadily reused
+    /// branch length survives capacity eviction (LRU, not FIFO).
     pub fn lookup(&mut self, index: usize, t: f64) -> Option<&Vec<f64>> {
-        let entry = self.entries.get(&(index, t.to_bits()));
-        if entry.is_some() {
-            self.hits += 1;
+        let key = (index, t.to_bits());
+        if !self.entries.contains_key(&key) {
+            return None;
         }
-        entry
+        self.hits += 1;
+        self.touch(key);
+        self.entries.get(&key)
     }
 
-    /// Insert a freshly computed matrix, evicting the oldest entry at
-    /// capacity.
+    /// Move `key` to the most-recently-used end of the eviction order.
+    fn touch(&mut self, key: (usize, u64)) {
+        if let Some(pos) = self.order.iter().position(|k| *k == key) {
+            self.order.remove(pos);
+            self.order.push_back(key);
+        }
+    }
+
+    /// Insert a freshly computed matrix, evicting the least-recently-used
+    /// entry at capacity.
     pub fn insert(&mut self, index: usize, t: f64, matrix: Vec<f64>) {
         self.misses += 1;
         let key = (index, t.to_bits());
         if self.entries.insert(key, matrix).is_none() {
             self.order.push_back(key);
+        } else {
+            self.touch(key);
         }
         while self.entries.len() > self.capacity {
             if let Some(old) = self.order.pop_front() {
@@ -737,6 +752,9 @@ impl BeagleInstance for QueuedInstance {
         if let Some(own) = st.recorder.stats() {
             stats.merge(&own);
         }
+        let snap = st.snapshot();
+        stats.eigen_cache_hits += snap.eigen_cache_hits;
+        stats.eigen_cache_misses += snap.eigen_cache_misses;
         Some(stats)
     }
 
@@ -755,6 +773,15 @@ impl BeagleInstance for QueuedInstance {
         let st = self.state.get_mut();
         st.flush().ok()?;
         st.inner.checkpoint()
+    }
+
+    fn set_incremental(&mut self, enabled: bool) {
+        self.state.get_mut().inner.set_incremental(enabled);
+    }
+
+    fn memo_stats(&self) -> Option<crate::memo::MemoStats> {
+        // No flush: a counter peek must never execute deferred work.
+        self.state.borrow().inner.memo_stats()
     }
 }
 
@@ -1090,6 +1117,30 @@ mod tests {
         q.flush().unwrap();
         assert_eq!(q.stats().eigen_cache_hits, 1);
         assert_eq!(q.stats().eigen_cache_misses, 4);
+    }
+
+    #[test]
+    fn cache_eviction_is_lru_not_fifo() {
+        let calls: CallLog = Arc::new(Mutex::new(Vec::new()));
+        let mut q = QueuedInstance::with_cache_capacity(Box::new(MockInstance::new(calls)), 2);
+        let v = vec![1.0; 16];
+        q.set_eigen_decomposition(0, &v, &v, &[0.5; 4]).unwrap();
+        q.set_category_rates(&[1.0]).unwrap();
+        q.update_transition_matrices(0, &[1, 2], &[0.1, 0.2])
+            .unwrap();
+        q.flush().unwrap();
+        // Touch 0.1 so 0.2 becomes the least-recently-used entry...
+        q.update_transition_matrices(0, &[1], &[0.1]).unwrap();
+        q.flush().unwrap();
+        assert_eq!(q.stats().eigen_cache_hits, 1);
+        // ...then inserting 0.3 evicts 0.2, keeping the reused 0.1 (a FIFO
+        // cache would evict 0.1 here and miss the final lookup).
+        q.update_transition_matrices(0, &[3], &[0.3]).unwrap();
+        q.update_transition_matrices(0, &[1], &[0.1]).unwrap();
+        q.flush().unwrap();
+        assert_eq!(q.stats().eigen_cache_hits, 2);
+        assert_eq!(q.stats().eigen_cache_misses, 3);
+        assert_eq!(q.stats().eigen_cache_evictions, 1);
     }
 
     #[test]

@@ -366,4 +366,12 @@ impl BeagleInstance for RescueInstance {
     fn checkpoint(&mut self) -> Option<crate::checkpoint::Checkpoint> {
         self.inner.checkpoint()
     }
+
+    fn set_incremental(&mut self, enabled: bool) {
+        self.inner.set_incremental(enabled);
+    }
+
+    fn memo_stats(&self) -> Option<crate::memo::MemoStats> {
+        self.inner.memo_stats()
+    }
 }

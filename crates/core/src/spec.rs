@@ -57,6 +57,12 @@ pub struct InstanceSpec {
     /// (see [`Self::instantiate_partitioned`]); `None` creates a single
     /// instance.
     pub auto_partition: Option<usize>,
+    /// Install the epoch-based incremental memoization layer
+    /// ([`crate::memo::MemoInstance`])? `None` (the default) installs it
+    /// unless `BEAGLE_INCREMENTAL_DISABLE` is set; `Some(false)` never
+    /// installs it; `Some(true)` requests it explicitly (the environment
+    /// kill switch still wins).
+    pub incremental: Option<bool>,
 }
 
 impl InstanceSpec {
@@ -72,6 +78,7 @@ impl InstanceSpec {
             retry: None,
             checkpoint: false,
             auto_partition: None,
+            incremental: None,
         }
     }
 
@@ -138,6 +145,16 @@ impl InstanceSpec {
     /// [`BeagleInstance::checkpoint`] returns durable snapshots.
     pub fn checkpointed(mut self) -> Self {
         self.checkpoint = true;
+        self
+    }
+
+    /// Explicitly enable or disable the incremental memoization layer for
+    /// this instance, overriding the environment default (though
+    /// `BEAGLE_INCREMENTAL_DISABLE` always wins). Partitioned instances
+    /// propagate the choice to every child, including children rebuilt
+    /// after an eviction or rebalance.
+    pub fn incremental(mut self, enabled: bool) -> Self {
+        self.incremental = Some(enabled);
         self
     }
 
@@ -216,5 +233,14 @@ mod tests {
 
         let plain = InstanceSpec::for_tree(4, 100, 4, 1);
         assert!(plain.deadline.is_none() && plain.retry.is_none() && !plain.checkpoint);
+    }
+
+    #[test]
+    fn incremental_knob() {
+        assert!(InstanceSpec::for_tree(4, 100, 4, 1).incremental.is_none());
+        let on = InstanceSpec::for_tree(4, 100, 4, 1).incremental(true);
+        assert_eq!(on.incremental, Some(true));
+        let off = InstanceSpec::for_tree(4, 100, 4, 1).incremental(false);
+        assert_eq!(off.incremental, Some(false));
     }
 }

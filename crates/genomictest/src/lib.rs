@@ -238,6 +238,10 @@ pub fn benchmark(
     inst: &mut dyn BeagleInstance,
     reps: usize,
 ) -> ThroughputReport {
+    // Throughput measurement repeats bit-identical traversals on purpose;
+    // the incremental memoization layer would skip them all and time
+    // nothing. Measure the kernels, not the memo cache.
+    inst.set_incremental(false);
     problem.load(inst);
     let ops = problem.operations(false);
     // Warm-up traversal (first-touch allocation, pool spin-up).

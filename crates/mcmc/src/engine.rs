@@ -2,6 +2,7 @@
 //! on, mirroring the paper's Fig. 6 comparison between MrBayes' built-in
 //! (native SSE) likelihood code and BEAGLE-backed computation.
 
+use std::collections::HashSet;
 use std::time::{Duration, Instant};
 
 use beagle_core::{BeagleInstance, BufferId, InstanceStats, Operation, ScalingMode};
@@ -38,6 +39,20 @@ pub struct BeagleEngine {
     tips_loaded: bool,
     wall: Duration,
     label: String,
+    /// The MCMC fast path: when the model and tree topology are unchanged
+    /// since the last evaluation, submit only the matrices whose branch
+    /// length moved plus the dirty-propagated proposal-to-root operations,
+    /// instead of refreshing everything. Off when
+    /// `BEAGLE_INCREMENTAL_DISABLE` was set at construction.
+    incremental: bool,
+    /// Whether `last_*` describe a completed evaluation.
+    have_baseline: bool,
+    /// Bit pattern of the last model upload (eigen system + frequencies).
+    last_model: Vec<u64>,
+    /// Last `(matrix index, branch length bits)` assignments, in order.
+    last_branches: Vec<(usize, u64)>,
+    /// Last operation schedule, `(dest, c1, m1, c2, m2)` per entry.
+    last_schedule: Vec<(usize, usize, usize, usize, usize)>,
 }
 
 impl BeagleEngine {
@@ -58,7 +73,29 @@ impl BeagleEngine {
             tips_loaded: false,
             wall: Duration::ZERO,
             label,
+            incremental: !beagle_core::memo::incremental_disabled_by_env(),
+            have_baseline: false,
+            last_model: Vec::new(),
+            last_branches: Vec::new(),
+            last_schedule: Vec::new(),
         }
+    }
+
+    /// Enable or disable incremental evaluation: both this engine's dirty
+    /// tracking and the instance's memoization layer. Disabling drops the
+    /// baseline, so re-enabling starts with one full refresh.
+    pub fn set_incremental(&mut self, enabled: bool) {
+        self.incremental = enabled && !beagle_core::memo::incremental_disabled_by_env();
+        self.instance.set_incremental(enabled);
+        if !self.incremental {
+            self.have_baseline = false;
+        }
+    }
+
+    /// Memoization counters from the underlying instance, when the memo
+    /// layer is installed.
+    pub fn memo_stats(&self) -> Option<beagle_core::MemoStats> {
+        self.instance.memo_stats()
     }
 }
 
@@ -82,40 +119,114 @@ impl LikelihoodEngine for BeagleEngine {
                 .expect("weights");
             self.tips_loaded = true;
         }
-        // Parameters may have changed every call: reload eigen + freqs and
-        // recompute all transition matrices (MrBayes touches a subset per
-        // move; a full refresh keeps the comparison uniform across engines).
+        // Snapshot the inputs that decide what must be recomputed: the
+        // model upload bits, the branch-length assignments, and the
+        // operation schedule (its shape changes with topology moves).
         let eig = model.eigen();
-        inst.set_eigen_decomposition(
-            0,
-            eig.vectors.as_slice(),
-            eig.inverse_vectors.as_slice(),
-            &eig.values,
-        )
-        .expect("eigen");
-        inst.set_state_frequencies(0, model.frequencies())
-            .expect("freqs");
-        let (idx, len): (Vec<usize>, Vec<f64>) = tree.branch_assignments().iter().copied().unzip();
-        inst.update_transition_matrices(0, &idx, &len)
-            .expect("matrices");
-
-        let ops: Vec<Operation> = tree
+        let model_bits: Vec<u64> = eig
+            .vectors
+            .as_slice()
+            .iter()
+            .chain(eig.inverse_vectors.as_slice())
+            .chain(&eig.values)
+            .chain(model.frequencies())
+            .map(|x| x.to_bits())
+            .collect();
+        let branches: Vec<(usize, u64)> = tree
+            .branch_assignments()
+            .iter()
+            .map(|&(n, t)| (n, t.to_bits()))
+            .collect();
+        let schedule: Vec<(usize, usize, usize, usize, usize)> = tree
             .operation_schedule()
             .iter()
-            .map(|e| {
-                let op = Operation::new(e.destination, e.child1, e.matrix1, e.child2, e.matrix2);
-                if self.scaled {
-                    op.with_scaling(e.destination)
-                } else {
-                    op
-                }
-            })
+            .map(|e| (e.destination, e.child1, e.matrix1, e.child2, e.matrix2))
             .collect();
-        inst.update_partials(&ops).expect("partials");
+        let make_op = |&(dest, c1, m1, c2, m2): &(usize, usize, usize, usize, usize)| {
+            let op = Operation::new(dest, c1, m1, c2, m2);
+            if self.scaled {
+                op.with_scaling(dest)
+            } else {
+                op
+            }
+        };
+
+        let fast = self.incremental
+            && self.have_baseline
+            && self.last_model == model_bits
+            && self.last_schedule == schedule
+            && self
+                .last_branches
+                .iter()
+                .zip(&branches)
+                .all(|(a, b)| a.0 == b.0)
+            && self.last_branches.len() == branches.len();
+
+        if fast {
+            // The MCMC fast path: only branches whose length moved need new
+            // matrices, and only operations downstream of a changed matrix
+            // (the proposal-to-root path) need re-executing. Everything else
+            // still holds bit-identical state inside the instance.
+            let mut idx = Vec::new();
+            let mut len = Vec::new();
+            let mut dirty_matrices: HashSet<usize> = HashSet::new();
+            for (i, (&(n, t_bits), (_, t))) in
+                branches.iter().zip(tree.branch_assignments()).enumerate()
+            {
+                if self.last_branches[i].1 == t_bits {
+                    continue;
+                }
+                idx.push(n);
+                len.push(t);
+                dirty_matrices.insert(n);
+            }
+            if !idx.is_empty() {
+                inst.update_transition_matrices(0, &idx, &len)
+                    .expect("matrices");
+            }
+            let mut dirty_partials: HashSet<usize> = HashSet::new();
+            let mut run: Vec<Operation> = Vec::new();
+            for e in &schedule {
+                let (dest, c1, m1, c2, m2) = *e;
+                if dirty_matrices.contains(&m1)
+                    || dirty_matrices.contains(&m2)
+                    || dirty_partials.contains(&c1)
+                    || dirty_partials.contains(&c2)
+                {
+                    dirty_partials.insert(dest);
+                    run.push(make_op(e));
+                }
+            }
+            if !run.is_empty() {
+                inst.update_partials(&run).expect("partials");
+            }
+        } else {
+            // Full refresh: reload eigen + freqs and recompute every
+            // transition matrix and every partial.
+            inst.set_eigen_decomposition(
+                0,
+                eig.vectors.as_slice(),
+                eig.inverse_vectors.as_slice(),
+                &eig.values,
+            )
+            .expect("eigen");
+            inst.set_state_frequencies(0, model.frequencies())
+                .expect("freqs");
+            let (idx, len): (Vec<usize>, Vec<f64>) =
+                tree.branch_assignments().iter().copied().unzip();
+            inst.update_transition_matrices(0, &idx, &len)
+                .expect("matrices");
+            let ops: Vec<Operation> = schedule.iter().map(make_op).collect();
+            inst.update_partials(&ops).expect("partials");
+        }
+
         let scaling = if self.scaled {
+            // Clean destinations still hold their per-node scale factors
+            // from the last traversal, so accumulating over the full
+            // schedule stays correct on the fast path too.
             let c = inst.config().scale_buffer_count - 1;
             inst.reset_scale_factors(c).expect("reset scale");
-            let bufs: Vec<usize> = ops.iter().map(|o| o.destination).collect();
+            let bufs: Vec<usize> = schedule.iter().map(|e| e.0).collect();
             inst.accumulate_scale_factors(&bufs, c).expect("accumulate");
             ScalingMode::cumulative(c)
         } else {
@@ -124,6 +235,12 @@ impl LikelihoodEngine for BeagleEngine {
         let lnl = inst
             .integrate_root(BufferId(tree.root()), BufferId(0), BufferId(0), scaling)
             .expect("root lnL");
+        if self.incremental {
+            self.last_model = model_bits;
+            self.last_branches = branches;
+            self.last_schedule = schedule;
+            self.have_baseline = true;
+        }
         self.wall += start.elapsed();
         lnl
     }
@@ -371,6 +488,38 @@ mod tests {
         if beagle_core::Recorder::new(true).is_enabled() {
             let stats = be.kernel_statistics().expect("stats-enabled instance");
             assert!(stats.total_calls() > 0, "kernel calls must be counted");
+        }
+    }
+
+    #[test]
+    fn incremental_fast_path_is_bit_identical_to_full_refresh() {
+        let (mut tree, model, rates, patterns) = case();
+        let config = beagle_core::InstanceConfig::for_tree(10, patterns.pattern_count(), 4, 4);
+        let mut manager = beagle_core::ImplementationManager::new();
+        beagle_cpu::register_cpu_factories(&mut manager);
+        let mk = |manager: &beagle_core::ImplementationManager| {
+            beagle_core::InstanceSpec::with_config(config)
+                .instantiate(manager)
+                .unwrap()
+        };
+        let mut fast = BeagleEngine::new(mk(&manager), patterns.clone(), rates.clone(), true);
+        let mut full = BeagleEngine::new(mk(&manager), patterns.clone(), rates.clone(), true);
+        full.set_incremental(false);
+        // Single-branch MCMC-style moves: every evaluation must agree with
+        // the always-recompute engine bit for bit.
+        for i in 0..12 {
+            let node = i % (2 * tree.taxon_count() - 2);
+            tree.node_mut(node).branch_length *= 1.0 + 0.05 * (i as f64 + 1.0);
+            let a = fast.log_likelihood(&tree, &model);
+            let b = full.log_likelihood(&tree, &model);
+            assert_eq!(a.to_bits(), b.to_bits(), "iteration {i}: {a} vs {b}");
+        }
+        // The fast engine must actually have elided work.
+        if let Some(stats) = fast.memo_stats() {
+            assert!(
+                stats.total_skips() > 0 || stats.ops_executed < 12 * 8,
+                "fast path elided no work: {stats:?}"
+            );
         }
     }
 

@@ -7,7 +7,10 @@
 //! watchdog cancels, a timeout that evicts a child, or a retried transient
 //! must never lose an operation. Every few iterations the run also takes a
 //! durable checkpoint, round-trips it through disk into a fresh manager,
-//! and demands a bit-identical restore.
+//! and demands a bit-identical restore. Each iteration additionally draws a
+//! starting state for the incremental memo layer, then flips it mid-storm
+//! and re-evaluates: toggling memoization under fire must never change a
+//! bit (the memo's bookkeeping runs even while skipping is disabled).
 //!
 //! Run with: cargo run --release --example soak -- --seconds 20
 //! Exits non-zero if any iteration diverges.
@@ -127,7 +130,8 @@ fn main() {
 
     let start = Instant::now();
     let mut rng = base_seed;
-    let (mut iterations, mut evictions, mut retries, mut checkpoints) = (0u64, 0u64, 0u64, 0u64);
+    let (mut iterations, mut evictions, mut retries, mut checkpoints, mut toggles) =
+        (0u64, 0u64, 0u64, 0u64, 0u64);
     let mut failures: Vec<String> = Vec::new();
     println!(
         "soak: {}s budget, base seed {base_seed:#x}, oracle lnL = {oracle:.9}",
@@ -137,6 +141,7 @@ fn main() {
     while start.elapsed() < budget {
         iterations += 1;
         let d = draw(&mut rng);
+        let start_incremental = splitmix64(&mut rng).is_multiple_of(2);
         let faults = FaultDirectory::new().with_plan(
             catalog::quadro_p5000().name,
             FaultPlan::new(splitmix64(&mut rng)).with_fault(
@@ -164,6 +169,7 @@ fn main() {
                 continue;
             }
         };
+        multi.set_incremental(start_incremental);
         p.load(&mut multi);
         let lnl = p.evaluate(&mut multi, false);
         evictions += multi.eviction_count();
@@ -172,6 +178,21 @@ fn main() {
             failures.push(format!(
                 "iter {iterations} ({}, call {}, deadline {:?}): lnL {lnl} vs oracle {oracle}",
                 d.label, d.call, d.deadline
+            ));
+        }
+
+        // Mid-storm toggle: flip the memo layer and re-evaluate. Whether
+        // the repeat is skipped (toggled on) or recomputed (toggled off),
+        // the bits must not move.
+        toggles += 1;
+        multi.set_incremental(!start_incremental);
+        p.load(&mut multi);
+        let again = p.evaluate(&mut multi, false);
+        if again.to_bits() != lnl.to_bits() {
+            failures.push(format!(
+                "iter {iterations} ({}): incremental toggle {} -> {} changed bits: \
+                 {lnl} vs {again}",
+                d.label, start_incremental, !start_incremental
             ));
         }
 
@@ -207,7 +228,7 @@ fn main() {
 
     println!(
         "soak: {iterations} iterations in {:.1}s — {evictions} evictions, {retries} retries, \
-         {checkpoints} checkpoint round-trips, {} failures",
+         {checkpoints} checkpoint round-trips, {toggles} incremental toggles, {} failures",
         start.elapsed().as_secs_f64(),
         failures.len()
     );

@@ -11,12 +11,18 @@
 #                       (one device fault-throttled 4x): per-batch makespans,
 #                       steady-state improvement over a static equal split
 #                       (asserted >= 2x), rebalance count, bit-exact lnL
+#   BENCH_incremental.json  epoch-based incremental computation on a single-
+#                       branch MCMC sweep: full-refresh vs incremental
+#                       wall time (asserted >= 5x), bit-identical lnL trace,
+#                       memo skip counters
 #
 #   BENCH_QUICK=1 scripts/bench.sh   # ~100x less work per cell (CI smoke)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-cargo build --release -p beagle-bench --bin kernels --bin obs --bin balance
+cargo build --release -p beagle-bench \
+    --bin kernels --bin obs --bin balance --bin incremental-mcmc
 ./target/release/kernels BENCH_kernels.json
 ./target/release/obs BENCH_obs.json
 ./target/release/balance BENCH_balance.json
+./target/release/incremental-mcmc BENCH_incremental.json

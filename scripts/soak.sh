@@ -1,9 +1,10 @@
 #!/usr/bin/env bash
 # Time-bounded robustness soak (see examples/soak.rs): seeded hang, stall,
 # device-loss, and transient-launch plans against a watchdog-guarded
-# partitioned instance, with periodic durable-checkpoint round-trips.
+# partitioned instance, with periodic durable-checkpoint round-trips and the
+# incremental memo layer toggled on/off mid-storm every iteration.
 # Every iteration must match the oracle — the soak exits non-zero on any
-# lost operation or divergent restore.
+# lost operation, divergent restore, or toggle-induced bit change.
 #
 # Usage: scripts/soak.sh [seconds] [base-seed]
 set -euo pipefail

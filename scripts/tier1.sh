@@ -20,8 +20,14 @@
 #                             adaptive rebalance under an injected slowdown,
 #                             eviction re-split, checkpoint/restore of a
 #                             rebalanced instance
+#   tests/incremental ....... epoch-based memoization differentials: MCMC-
+#                             style sweeps, backend x precision x scaling x
+#                             queue mode bit-identical to always-recompute,
+#                             through mid-run failover and checkpoint/restore
 #   tests/properties ........ proptest invariants (incl. balancer: range
-#                             coverage, monotone shares, skew decrease)
+#                             coverage, monotone shares, skew decrease;
+#                             incremental: random interleavings never serve
+#                             stale bits)
 #   tests/obs* .............. observability: stats coverage, journal ordering
 #                             across a queued failover run, instrumentation
 #                             overhead guard, benchmark_resources determinism
@@ -49,6 +55,7 @@ cargo test -q --test obs
 cargo test -q --test obs_overhead
 cargo test -q --test obs_env
 cargo test -q --test balance
+cargo test -q --test incremental
 cargo clippy --workspace -- -D warnings
 # Formatting gate for first-party crates only: the vendored stand-ins under
 # vendor/ keep their upstream-ish style and are deliberately excluded.

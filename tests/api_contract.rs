@@ -127,6 +127,9 @@ fn simulated_clock_monotone_and_resettable() {
             Flags::PRECISION_SINGLE,
         )
         .unwrap();
+    // This test times two identical traversals; the incremental memo layer
+    // would skip the repeat and stall the device clock.
+    inst.set_incremental(false);
     problem.load(inst.as_mut());
     let t0 = inst.simulated_time().unwrap();
     problem.evaluate(inst.as_mut(), false);

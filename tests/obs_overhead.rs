@@ -15,7 +15,11 @@ fn serial_instance(p: &Problem, stats: bool) -> Box<dyn BeagleInstance> {
         .prefer(Flags::PROCESSOR_CPU)
         .named("CPU-serial");
     let spec = if stats { spec.with_stats() } else { spec };
-    spec.instantiate(&full_manager()).unwrap()
+    let mut inst = spec.instantiate(&full_manager()).unwrap();
+    // The timing loop repeats identical traversals; the memo layer would
+    // skip them all and leave nothing to measure.
+    inst.set_incremental(false);
+    inst
 }
 
 fn traversals(p: &Problem, inst: &mut dyn BeagleInstance, reps: usize) -> Duration {

@@ -271,6 +271,58 @@ proptest! {
         prop_assert!(skew >= 1.0);
     }
 
+    /// The incremental memoization layer never serves stale bits: after an
+    /// arbitrary interleaving of branch perturbations, model swaps, and
+    /// scaled/unscaled re-evaluations, a long-lived memoized instance always
+    /// matches a freshly built always-recompute instance, bit for bit.
+    #[test]
+    fn incremental_memoization_never_serves_stale_bits(
+        taxa in 4usize..10,
+        sites in 20usize..100,
+        seed in 0u64..1000,
+        // Each move packs (branch, length factor, swap-model, scaled) into
+        // one u64 — the vendored proptest has no tuple strategies.
+        moves in proptest::collection::vec(0u64..(1u64 << 28), 1..8),
+    ) {
+        let (tree, model, rates, patterns) = problem(taxa, sites, 2.0, seed);
+        let mut p = beagle::harness::Problem { tree, model, rates, patterns };
+        let manager = full_manager();
+        let mut memoized = InstanceSpec::with_config(p.config())
+            .named("CPU-serial")
+            .instantiate(&manager)
+            .unwrap();
+        prop_assert!(memoized.memo_stats().is_some());
+        let n_branch = 2 * taxa - 2;
+        let mut kappa = 2.0;
+        for &m in &moves {
+            let branch = (m & 0xffff) as usize % n_branch;
+            let factor = 0.5 + 1.5 * (((m >> 16) & 0x3ff) as f64 / 1023.0);
+            let swap_model = (m >> 26) & 1 == 1;
+            let scaled = (m >> 27) & 1 == 1;
+            p.tree.node_mut(branch).branch_length *= factor;
+            if swap_model {
+                kappa += 0.5;
+                p.model = hky85(kappa, &[0.3, 0.2, 0.25, 0.25]);
+            }
+            p.load(memoized.as_mut());
+            let inc = p.evaluate(memoized.as_mut(), scaled);
+            // The reference is built from scratch every move: no history,
+            // nothing to skip, so any stale skip in `memoized` shows up as
+            // a bit difference.
+            let mut fresh = InstanceSpec::with_config(p.config())
+                .named("CPU-serial")
+                .incremental(false)
+                .instantiate(&manager)
+                .unwrap();
+            p.load(fresh.as_mut());
+            let full = p.evaluate(fresh.as_mut(), scaled);
+            prop_assert_eq!(
+                inc.to_bits(), full.to_bits(),
+                "stale skip: incremental {} vs recompute {}", inc, full
+            );
+        }
+    }
+
     /// Extending a branch away from zero can only decrease the likelihood of
     /// identical-sequence data (any substitution is unfavourable).
     #[test]
