@@ -19,7 +19,7 @@ use crate::ops::Operation;
 /// Replaces the raw `usize` indices of the integration methods so that a
 /// buffer index can no longer be silently swapped with a count or an
 /// unrelated index at a call site.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct BufferId(pub usize);
 
 impl BufferId {
@@ -59,14 +59,6 @@ impl ScalingMode {
     /// Cumulative scaling through scale buffer `index`.
     pub fn cumulative(index: usize) -> Self {
         ScalingMode::Cumulative(BufferId(index))
-    }
-
-    /// Adapter from the deprecated `Option<usize>` representation.
-    pub fn from_option(cumulative_scale: Option<usize>) -> Self {
-        match cumulative_scale {
-            Some(index) => ScalingMode::Cumulative(BufferId(index)),
-            None => ScalingMode::None,
-        }
     }
 
     /// The cumulative scale-buffer index, if any (adapter for back-end
@@ -179,7 +171,14 @@ pub struct InstanceDetails {
 /// internal precision (the C API has typed variants; a trait object cannot,
 /// so conversion happens inside — it is never on the hot path, which is
 /// `update_partials` + `integrate_root` on internal buffers).
-pub trait BeagleInstance: Send {
+///
+/// The `Send + Sync` bound is what lets [`crate::pool`] move instances
+/// between worker threads and share `&`-references to them across the pool's
+/// supervision structures. Every in-tree backend and wrapper is verified
+/// against it by the compile-time audit in `tests/send_sync.rs`; an
+/// implementation needing interior mutability must use a lock, not
+/// `RefCell`/`Cell`.
+pub trait BeagleInstance: Send + Sync {
     /// Implementation and resource description.
     fn details(&self) -> &InstanceDetails;
 
@@ -273,32 +272,6 @@ pub trait BeagleInstance: Send {
         )))
     }
 
-    /// Deprecated untyped form of [`Self::integrate_edge_derivatives`].
-    #[deprecated(note = "use `integrate_edge_derivatives` with `BufferId`/`ScalingMode`")]
-    #[allow(clippy::too_many_arguments)]
-    fn calculate_edge_derivatives(
-        &mut self,
-        parent_buffer: usize,
-        child_buffer: usize,
-        matrix_index: usize,
-        d1_matrix: usize,
-        d2_matrix: usize,
-        category_weights_index: usize,
-        frequencies_index: usize,
-        cumulative_scale: Option<usize>,
-    ) -> Result<(f64, f64, f64)> {
-        self.integrate_edge_derivatives(
-            BufferId(parent_buffer),
-            BufferId(child_buffer),
-            BufferId(matrix_index),
-            BufferId(d1_matrix),
-            BufferId(d2_matrix),
-            BufferId(category_weights_index),
-            BufferId(frequencies_index),
-            ScalingMode::from_option(cumulative_scale),
-        )
-    }
-
     /// Directly set a transition matrix (`categories × states × states`,
     /// row-major `P[i][j] = P(i→j)` per category).
     fn set_transition_matrix(&mut self, index: usize, matrix: &[f64]) -> Result<()>;
@@ -358,44 +331,6 @@ pub trait BeagleInstance: Send {
         frequencies: BufferId,
         scaling: ScalingMode,
     ) -> Result<f64>;
-
-    /// Deprecated untyped form of [`Self::integrate_root`].
-    #[deprecated(note = "use `integrate_root` with `BufferId`/`ScalingMode`")]
-    fn calculate_root_log_likelihoods(
-        &mut self,
-        root_buffer: usize,
-        category_weights_index: usize,
-        frequencies_index: usize,
-        cumulative_scale: Option<usize>,
-    ) -> Result<f64> {
-        self.integrate_root(
-            BufferId(root_buffer),
-            BufferId(category_weights_index),
-            BufferId(frequencies_index),
-            ScalingMode::from_option(cumulative_scale),
-        )
-    }
-
-    /// Deprecated untyped form of [`Self::integrate_edge`].
-    #[deprecated(note = "use `integrate_edge` with `BufferId`/`ScalingMode`")]
-    fn calculate_edge_log_likelihoods(
-        &mut self,
-        parent_buffer: usize,
-        child_buffer: usize,
-        matrix_index: usize,
-        category_weights_index: usize,
-        frequencies_index: usize,
-        cumulative_scale: Option<usize>,
-    ) -> Result<f64> {
-        self.integrate_edge(
-            BufferId(parent_buffer),
-            BufferId(child_buffer),
-            BufferId(matrix_index),
-            BufferId(category_weights_index),
-            BufferId(frequencies_index),
-            ScalingMode::from_option(cumulative_scale),
-        )
-    }
 
     /// Per-pattern site log-likelihoods from the most recent root/edge call.
     fn get_site_log_likelihoods(&self) -> Result<Vec<f64>>;

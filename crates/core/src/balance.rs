@@ -84,7 +84,18 @@ impl BalancerConfig {
     /// Unparseable or out-of-range values fall back to the default (env
     /// tuning must never turn into a panic in a long run).
     pub fn from_env() -> Self {
-        let mut cfg = Self::default();
+        Self::default().overridden_by_env()
+    }
+
+    /// This configuration with any `BEAGLE_REBALANCE_*` environment
+    /// variables applied on top (same variables and validation as
+    /// [`Self::from_env`]). The precedence rule for every knob in the
+    /// workspace — environment over typed builder value over default — is
+    /// documented in [`crate::spec`]; a typed
+    /// `InstanceSpec::with_balancer` base goes through here so deployments
+    /// can still retune a compiled-in configuration without code changes.
+    pub fn overridden_by_env(self) -> Self {
+        let mut cfg = self;
         if let Some(a) = env_f64("BEAGLE_REBALANCE_ALPHA") {
             if a > 0.0 && a <= 1.0 {
                 cfg.alpha = a;

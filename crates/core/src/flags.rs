@@ -72,6 +72,13 @@ flags! {
     /// for this instance (see `crate::obs`). Handled at creation by the
     /// implementation manager and factories, not a hardware capability.
     INSTANCE_STATS = 19;
+    /// Pin this instance to the scalar kernel path, bypassing SIMD
+    /// dispatch (A/B comparisons, numerical triage). The typed form of the
+    /// `BEAGLE_FORCE_SCALAR` environment variable, which still overrides it
+    /// when set (see `crate::spec` for the precedence rules). Handled at
+    /// creation like `INSTANCE_STATS`: forwarded to factories, never
+    /// ranked or filtered on.
+    KERNEL_SCALAR = 20;
 }
 
 impl Flags {

@@ -42,6 +42,7 @@ pub mod memo;
 pub mod multi;
 pub mod obs;
 pub mod ops;
+pub mod pool;
 pub mod queue;
 pub mod real;
 pub mod rescue;
@@ -61,6 +62,10 @@ pub use memo::{MemoInstance, MemoStats, INCREMENTAL_DISABLE_ENV};
 pub use multi::{ChildSelection, PartitionedInstance, RetryPolicy};
 pub use obs::{Event, EventKind, InstanceStats, KernelClass, KernelCounter, Recorder};
 pub use ops::Operation;
+pub use pool::{
+    InstancePool, Lane, LatencyHistogram, ManagerSupervisor, NullSupervisor, Pool, PoolBuilder,
+    PoolError, PoolHandle, PoolStats, SessionRequest, Ticket, WorkerSupervisor, WorkerUtilization,
+};
 pub use queue::{EigenCache, QueueStats, QueuedInstance};
 pub use real::Real;
 pub use resource::ResourceDescription;

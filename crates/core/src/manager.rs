@@ -13,7 +13,6 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use crate::api::{BeagleInstance, BufferId, InstanceConfig, ScalingMode};
-use crate::balance::BalancerConfig;
 use crate::checkpoint::{CheckpointedInstance, Provenance};
 use crate::error::{BeagleError, Result};
 use crate::flags::Flags;
@@ -27,7 +26,7 @@ use crate::spec::InstanceSpec;
 /// How a failure feeds the health registry: watchdog timeouts and permanent
 /// faults trip a resource's breaker immediately, transient faults only
 /// accumulate toward its threshold.
-fn outcome_of(e: &BeagleError) -> Outcome {
+pub(crate) fn outcome_of(e: &BeagleError) -> Outcome {
     match e {
         BeagleError::Timeout { .. } => Outcome::Timeout,
         e if e.is_retryable() => Outcome::Transient,
@@ -136,7 +135,7 @@ impl ImplementationManager {
     /// instance rather than an error. The last creation error surfaces only
     /// when every eligible factory fails.
     ///
-    /// Three flag bits are manager-level features, not back-end
+    /// Four flag bits are manager-level features, not back-end
     /// capabilities, and are stripped before factory filtering and scoring:
     ///
     /// * [`Flags::COMPUTATION_ASYNCH`] (requirement or preference) wraps
@@ -144,7 +143,11 @@ impl ImplementationManager {
     /// * [`Flags::COMPUTATION_SYNCH`] is the eager default;
     /// * [`Flags::INSTANCE_STATS`] is forwarded to the factory as a
     ///   preference so the back-end enables its kernel recorder (see
-    ///   [`crate::obs`]); it never affects ranking.
+    ///   [`crate::obs`]); it never affects ranking;
+    /// * [`Flags::KERNEL_SCALAR`] is likewise forwarded so the back-end
+    ///   pins its scalar kernel table (`InstanceSpec::force_scalar`; the
+    ///   `BEAGLE_FORCE_SCALAR` environment variable still overrides —
+    ///   see [`crate::spec`] for the precedence rules).
     ///
     /// Unless `spec.rescue` is false, the result is wrapped in a
     /// [`crate::rescue::RescueInstance`] (outside any queue layer, so
@@ -156,21 +159,26 @@ impl ImplementationManager {
     /// layer, innermost so every other wrapper's traffic flows through it.
     pub fn create_from_spec(&self, spec: &InstanceSpec) -> Result<Box<dyn BeagleInstance>> {
         spec.config.validate()?;
-        let manager_bits =
-            Flags::COMPUTATION_SYNCH | Flags::COMPUTATION_ASYNCH | Flags::INSTANCE_STATS;
+        let manager_bits = Flags::COMPUTATION_SYNCH
+            | Flags::COMPUTATION_ASYNCH
+            | Flags::INSTANCE_STATS
+            | Flags::KERNEL_SCALAR;
         let combined = spec.preferences | spec.requirements;
         let asynch = combined.contains(Flags::COMPUTATION_ASYNCH);
         let stats = combined.contains(Flags::INSTANCE_STATS);
         let preference_flags = spec.preferences.without(manager_bits);
         let requirement_flags = spec.requirements.without(manager_bits);
-        // Factories see the stats bit in their preferences (it is how they
-        // know to switch their recorder on), but ranking ignores it: no
-        // factory advertises it as a capability.
-        let factory_prefs = if stats {
-            preference_flags | Flags::INSTANCE_STATS
-        } else {
-            preference_flags
-        };
+        // Factories see the stats and scalar-pin bits in their preferences
+        // (how they know to switch their recorder on / pin the scalar
+        // kernel table), but ranking ignores them: no factory advertises
+        // either as a capability.
+        let mut factory_prefs = preference_flags;
+        if stats {
+            factory_prefs |= Flags::INSTANCE_STATS;
+        }
+        if combined.contains(Flags::KERNEL_SCALAR) {
+            factory_prefs |= Flags::KERNEL_SCALAR;
+        }
 
         let raw = match &spec.implementation {
             Some(name) => {
@@ -334,8 +342,10 @@ impl ImplementationManager {
         config: &InstanceConfig,
         requirement_flags: Flags,
     ) -> Vec<ResourceBenchmark> {
-        let manager_bits =
-            Flags::COMPUTATION_SYNCH | Flags::COMPUTATION_ASYNCH | Flags::INSTANCE_STATS;
+        let manager_bits = Flags::COMPUTATION_SYNCH
+            | Flags::COMPUTATION_ASYNCH
+            | Flags::INSTANCE_STATS
+            | Flags::KERNEL_SCALAR;
         let requirement_flags = requirement_flags.without(manager_bits);
         let bench_config = benchmark_config(config);
         let mut results: Vec<ResourceBenchmark> = self
@@ -482,7 +492,9 @@ impl ImplementationManager {
             .collect();
         let mut inst =
             PartitionedInstance::create_with_selections(self, spec, selections, &weights)?;
-        inst.enable_balancing(BalancerConfig::from_env());
+        // Typed base from the spec, environment overrides on top (the
+        // workspace-wide precedence rule; see `crate::spec`).
+        inst.enable_balancing(spec.balancer.unwrap_or_default().overridden_by_env());
         Ok(inst)
     }
 }

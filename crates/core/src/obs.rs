@@ -272,6 +272,14 @@ pub enum EventKind {
     /// The incremental memo layer proved a call's inputs bit-identical to
     /// what its destinations already hold and skipped the work.
     IncrementalSkip,
+    /// An instance-pool worker's back-end was evicted after an evictable
+    /// failure (watchdog timeout, permanent device fault).
+    PoolWorkerEvicted,
+    /// A replacement back-end was built for an evicted pool worker.
+    PoolWorkerRebuilt,
+    /// An instance pool shut down (detail records drain vs abort and the
+    /// number of jobs left behind).
+    PoolShutdown,
 }
 
 impl EventKind {
@@ -296,6 +304,9 @@ impl EventKind {
             EventKind::CheckpointRestored => "checkpoint_restored",
             EventKind::Rebalance => "rebalance",
             EventKind::IncrementalSkip => "incremental_skip",
+            EventKind::PoolWorkerEvicted => "pool_worker_evicted",
+            EventKind::PoolWorkerRebuilt => "pool_worker_rebuilt",
+            EventKind::PoolShutdown => "pool_shutdown",
         }
     }
 }

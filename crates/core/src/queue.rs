@@ -47,8 +47,9 @@
 //! that flushes the queue, so the batched observation captures the real
 //! (flushed) cost of a queued child just as it does an eager one.
 
-use std::cell::RefCell;
 use std::collections::{HashMap, HashSet, VecDeque};
+
+use parking_lot::Mutex;
 
 use crate::api::{BeagleInstance, BufferId, InstanceConfig, InstanceDetails, ScalingMode};
 use crate::error::Result;
@@ -435,10 +436,11 @@ impl State {
 ///
 /// Interior mutability: the read methods of the trait take `&self`, but a
 /// flush mutates the wrapped instance, so the queue state lives in a
-/// `RefCell`. The trait only requires `Send` (instances are moved between
-/// threads, never shared), which `RefCell` preserves.
+/// `Mutex` (the trait requires `Send + Sync` so [`crate::pool`] can share
+/// instances across worker threads; a `RefCell` would forfeit `Sync`).
+/// Exclusive-access paths go through `get_mut`, which takes no lock.
 pub struct QueuedInstance {
-    state: RefCell<State>,
+    state: Mutex<State>,
     details: InstanceDetails,
     config: InstanceConfig,
 }
@@ -459,7 +461,7 @@ impl QueuedInstance {
         // stats blocks merge in `statistics()`.
         let recorder = Recorder::new(inner.statistics().is_some());
         Self {
-            state: RefCell::new(State {
+            state: Mutex::new(State {
                 inner,
                 pending: Vec::new(),
                 cache: EigenCache::new(capacity),
@@ -478,12 +480,12 @@ impl QueuedInstance {
 
     /// Counter snapshot (queue + cache).
     pub fn stats(&self) -> QueueStats {
-        self.state.borrow().snapshot()
+        self.state.lock().snapshot()
     }
 
     /// Number of deferred calls currently queued.
     pub fn pending_len(&self) -> usize {
-        self.state.borrow().pending.len()
+        self.state.lock().pending.len()
     }
 
     /// Unwrap, discarding any still-pending work.
@@ -530,7 +532,7 @@ impl BeagleInstance for QueuedInstance {
     }
 
     fn get_partials(&self, buffer: usize) -> Result<Vec<f64>> {
-        let mut st = self.state.borrow_mut();
+        let mut st = self.state.lock();
         st.flush()?;
         st.inner.get_partials(buffer)
     }
@@ -646,7 +648,7 @@ impl BeagleInstance for QueuedInstance {
     }
 
     fn get_transition_matrix(&self, index: usize) -> Result<Vec<f64>> {
-        let mut st = self.state.borrow_mut();
+        let mut st = self.state.lock();
         st.flush()?;
         st.inner.get_transition_matrix(index)
     }
@@ -711,7 +713,7 @@ impl BeagleInstance for QueuedInstance {
     }
 
     fn get_site_log_likelihoods(&self) -> Result<Vec<f64>> {
-        let mut st = self.state.borrow_mut();
+        let mut st = self.state.lock();
         st.flush()?;
         st.inner.get_site_log_likelihoods()
     }
@@ -723,7 +725,7 @@ impl BeagleInstance for QueuedInstance {
     }
 
     fn simulated_time(&self) -> Option<std::time::Duration> {
-        let mut st = self.state.borrow_mut();
+        let mut st = self.state.lock();
         // The simulated clock only advances when work reaches the device.
         st.flush().ok()?;
         st.inner.simulated_time()
@@ -739,7 +741,7 @@ impl BeagleInstance for QueuedInstance {
     fn peek_simulated_time(&self) -> Option<std::time::Duration> {
         // No flush: a peek must never execute deferred work. Pending
         // queued cost is simply not visible yet.
-        self.state.borrow().inner.peek_simulated_time()
+        self.state.lock().inner.peek_simulated_time()
     }
 
     fn queue_stats(&self) -> Option<QueueStats> {
@@ -747,7 +749,7 @@ impl BeagleInstance for QueuedInstance {
     }
 
     fn statistics(&self) -> Option<obs::InstanceStats> {
-        let st = self.state.borrow();
+        let st = self.state.lock();
         let mut stats = st.inner.statistics()?;
         if let Some(own) = st.recorder.stats() {
             stats.merge(&own);
@@ -781,7 +783,7 @@ impl BeagleInstance for QueuedInstance {
 
     fn memo_stats(&self) -> Option<crate::memo::MemoStats> {
         // No flush: a counter peek must never execute deferred work.
-        self.state.borrow().inner.memo_stats()
+        self.state.lock().inner.memo_stats()
     }
 }
 

@@ -18,8 +18,27 @@
 //! is assembled — so named creation and ranked creation get byte-identical
 //! wrapping. The older `create_instance` / `create_instance_by_name` entry
 //! points survive as thin wrappers over the same path.
+//!
+//! # Knob precedence
+//!
+//! Every runtime knob has a typed builder method here, and most also have an
+//! environment variable so deployments can retune a compiled binary. The
+//! rule is uniform — **environment variable > typed builder value >
+//! built-in default** — and this table is the one place it is documented:
+//!
+//! | knob | typed form | environment override |
+//! |---|---|---|
+//! | incremental memoization | [`InstanceSpec::incremental`] | `BEAGLE_INCREMENTAL_DISABLE` (any value but `0` disables) |
+//! | scalar kernel pin | [`InstanceSpec::force_scalar`] ([`Flags::KERNEL_SCALAR`]) | `BEAGLE_FORCE_SCALAR` (`0` releases, anything else pins) |
+//! | load-balancer tuning | [`InstanceSpec::with_balancer`] | `BEAGLE_REBALANCE_{ALPHA,SKEW,MIN_BATCHES,STRIDE,DISABLE}` (per-field) |
+//!
+//! An environment override applies only while the variable is *set*; an
+//! unset variable always defers to the typed value. Unparseable or
+//! out-of-range environment values fall back to the typed/default value
+//! rather than erroring (tuning must never panic a long run).
 
 use crate::api::{BeagleInstance, InstanceConfig};
+use crate::balance::BalancerConfig;
 use crate::deadline::Deadline;
 use crate::error::Result;
 use crate::flags::Flags;
@@ -63,6 +82,11 @@ pub struct InstanceSpec {
     /// installs it; `Some(true)` requests it explicitly (the environment
     /// kill switch still wins).
     pub incremental: Option<bool>,
+    /// Typed base configuration for the adaptive load balancer used by
+    /// partitioned instances created from this spec; `None` uses
+    /// [`BalancerConfig::default`]. `BEAGLE_REBALANCE_*` environment
+    /// variables are applied on top either way (see the module docs).
+    pub balancer: Option<BalancerConfig>,
 }
 
 impl InstanceSpec {
@@ -79,6 +103,7 @@ impl InstanceSpec {
             checkpoint: false,
             auto_partition: None,
             incremental: None,
+            balancer: None,
         }
     }
 
@@ -155,6 +180,23 @@ impl InstanceSpec {
     /// after an eviction or rebalance.
     pub fn incremental(mut self, enabled: bool) -> Self {
         self.incremental = Some(enabled);
+        self
+    }
+
+    /// Pin instances created from this spec to the scalar kernel path
+    /// (shorthand for preferring [`Flags::KERNEL_SCALAR`]). The typed form
+    /// of `BEAGLE_FORCE_SCALAR`, which still overrides when set — see the
+    /// module docs for the precedence table.
+    pub fn force_scalar(self) -> Self {
+        self.prefer(Flags::KERNEL_SCALAR)
+    }
+
+    /// Use this balancer configuration as the typed base for partitioned
+    /// instances created from the spec. `BEAGLE_REBALANCE_*` environment
+    /// variables are still applied on top
+    /// ([`BalancerConfig::overridden_by_env`]).
+    pub fn with_balancer(mut self, config: BalancerConfig) -> Self {
+        self.balancer = Some(config);
         self
     }
 

@@ -154,6 +154,11 @@ impl ImplementationFactory for CpuFactory {
         reqs: Flags,
     ) -> Result<Box<dyn BeagleInstance>> {
         let single = Self::precision_is_single(prefs, reqs);
+        // The typed scalar pin (InstanceSpec::force_scalar); the
+        // BEAGLE_FORCE_SCALAR environment variable still overrides it
+        // inside `select_kind_with`.
+        let typed_scalar = (prefs | reqs).contains(Flags::KERNEL_SCALAR);
+        let kind = crate::simd::select_kind_with(self.vectorized, typed_scalar);
         // Report only the precision actually in use.
         let mut flags = Flags(
             self.supported_flags().0 & !(Flags::PRECISION_SINGLE.0 | Flags::PRECISION_DOUBLE.0),
@@ -164,9 +169,9 @@ impl ImplementationFactory for CpuFactory {
             Flags::PRECISION_DOUBLE
         };
         // Report the kernel path the instance will actually resolve to:
-        // vectorized instances on an AVX2+FMA host (without the
-        // BEAGLE_FORCE_SCALAR override) run the intrinsic kernels.
-        if self.vectorized && crate::simd::select_kind(true) == crate::simd::DispatchKind::Avx2 {
+        // vectorized instances on an AVX2+FMA host (without a scalar
+        // override) run the intrinsic kernels.
+        if kind == crate::simd::DispatchKind::Avx2 {
             flags |= Flags::VECTOR_AVX2;
         }
         let details = InstanceDetails {
@@ -180,15 +185,23 @@ impl ImplementationFactory for CpuFactory {
         };
         let stats = prefs.contains(Flags::INSTANCE_STATS);
         if single {
-            let mut inst =
-                CpuInstance::<f32>::new(*config, self.make_threading(), self.vectorized, details)?;
+            let mut inst = CpuInstance::<f32>::with_dispatch_kind(
+                *config,
+                self.make_threading(),
+                kind,
+                details,
+            )?;
             if stats {
                 inst.enable_statistics();
             }
             Ok(Box::new(inst))
         } else {
-            let mut inst =
-                CpuInstance::<f64>::new(*config, self.make_threading(), self.vectorized, details)?;
+            let mut inst = CpuInstance::<f64>::with_dispatch_kind(
+                *config,
+                self.make_threading(),
+                kind,
+                details,
+            )?;
             if stats {
                 inst.enable_statistics();
             }

@@ -97,6 +97,13 @@ struct ChunkTask<T: Real> {
 // disjoint ranges.
 unsafe impl<T: Real> Send for ChunkTask<T> {}
 
+// SAFETY: a shared `&ChunkTask` exposes no operations at all (every field is
+// private to this module and only `run_chunk(&mut ...)` dereferences the
+// pointers, under the exclusive `&mut self` of the executing call), so
+// sharing references across threads cannot race. Required so the `Scratch`
+// arena doesn't strip `Sync` from `CpuInstance`.
+unsafe impl<T: Real> Sync for ChunkTask<T> {}
+
 /// Execute one chunk task: all category blocks of its pattern range, then
 /// (if requested) the rescaling passes over the same range.
 fn run_chunk<T: DispatchReal>(t: &mut ChunkTask<T>) {
@@ -174,6 +181,10 @@ struct RootTask<T: Real> {
 // SAFETY: same protocol as ChunkTask — buffers outlive the blocking batch,
 // ranges are disjoint.
 unsafe impl<T: Real> Send for RootTask<T> {}
+
+// SAFETY: as for `ChunkTask` — `&RootTask` exposes nothing; pointer access
+// happens only in `run_root(&mut ...)` within an exclusive call.
+unsafe impl<T: Real> Sync for RootTask<T> {}
 
 fn run_root<T: DispatchReal>(t: &mut RootTask<T>) {
     // SAFETY: pointers/lengths were taken from live slices that outlive the

@@ -94,12 +94,19 @@ pub trait DispatchReal: Real {
     fn dispatch(kind: DispatchKind) -> &'static KernelDispatch<Self>;
 }
 
+/// The `BEAGLE_FORCE_SCALAR` environment override: `Some(true)` forces the
+/// scalar path, `Some(false)` (the literal value `"0"`) explicitly releases
+/// a typed scalar pin, `None` means the variable is unset and the typed
+/// request (`Flags::KERNEL_SCALAR`) decides. Read at instance creation, not
+/// per call.
+pub fn force_scalar_env() -> Option<bool> {
+    std::env::var("BEAGLE_FORCE_SCALAR").ok().map(|v| v != "0")
+}
+
 /// True when `BEAGLE_FORCE_SCALAR` is set (to anything but `"0"`). Read at
 /// instance creation, not per call.
 pub fn force_scalar() -> bool {
-    std::env::var("BEAGLE_FORCE_SCALAR")
-        .map(|v| v != "0")
-        .unwrap_or(false)
+    force_scalar_env().unwrap_or(false)
 }
 
 /// True when the host supports the AVX2+FMA kernel set.
@@ -125,7 +132,15 @@ pub fn host_fma_available() -> bool {
 /// Resolve the dispatch kind for an instance, honouring the
 /// `BEAGLE_FORCE_SCALAR` override. Called once at instance creation.
 pub fn select_kind(vectorized: bool) -> DispatchKind {
-    if !vectorized || force_scalar() {
+    select_kind_with(vectorized, false)
+}
+
+/// Like [`select_kind`], but with a typed scalar request from the client
+/// (`Flags::KERNEL_SCALAR` via `InstanceSpec::force_scalar`). Precedence:
+/// the environment variable, when set, wins over the typed request; the
+/// typed request wins over the hardware-detected default.
+pub fn select_kind_with(vectorized: bool, typed_scalar: bool) -> DispatchKind {
+    if !vectorized || force_scalar_env().unwrap_or(typed_scalar) {
         DispatchKind::Scalar
     } else if avx2_available() {
         DispatchKind::Avx2

@@ -11,6 +11,10 @@
 #                       (one device fault-throttled 4x): per-batch makespans,
 #                       steady-state improvement over a static equal split
 #                       (asserted >= 2x), rebalance count, bit-exact lnL
+#   BENCH_pool.json     instance-pool scheduler: 8 concurrent session
+#                       streams over a 4-worker simulated-GPU fleet vs one
+#                       shared-mutex instance (modeled throughput asserted
+#                       >= 3x), wall tail latencies, scheduler counters
 #   BENCH_incremental.json  epoch-based incremental computation on a single-
 #                       branch MCMC sweep: full-refresh vs incremental
 #                       wall time (asserted >= 5x), bit-identical lnL trace,
@@ -21,8 +25,9 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 cargo build --release -p beagle-bench \
-    --bin kernels --bin obs --bin balance --bin incremental-mcmc
+    --bin kernels --bin obs --bin balance --bin pool --bin incremental-mcmc
 ./target/release/kernels BENCH_kernels.json
 ./target/release/obs BENCH_obs.json
 ./target/release/balance BENCH_balance.json
+./target/release/pool BENCH_pool.json
 ./target/release/incremental-mcmc BENCH_incremental.json

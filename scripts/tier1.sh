@@ -31,6 +31,13 @@
 #   tests/obs* .............. observability: stats coverage, journal ordering
 #                             across a queued failover run, instrumentation
 #                             overhead guard, benchmark_resources determinism
+#   tests/pool .............. instance-pool scheduler differentials: K pooled
+#                             sessions bit-identical to serial pinned across
+#                             backend x precision x queue mode, and through a
+#                             mid-run worker eviction (device loss -> requeue
+#                             -> rebuild, breaker opens)
+#   tests/send_sync ......... compile-time Send + Sync audit of every backend,
+#                             wrapper layer, and the pool's public types
 #   tests/robustness ........ deadline watchdog cancelling hangs/stalls
 #                             (bit-exact failover vs a fault-free survivor
 #                             run), circuit breakers steering creation and
@@ -56,6 +63,7 @@ cargo test -q --test obs_overhead
 cargo test -q --test obs_env
 cargo test -q --test balance
 cargo test -q --test incremental
+cargo test -q -p genomictest --test pool
 cargo clippy --workspace -- -D warnings
 # Formatting gate for first-party crates only: the vendored stand-ins under
 # vendor/ keep their upstream-ish style and are deliberately excluded.

@@ -76,6 +76,19 @@ impl Condvar {
         guard.inner = Some(inner);
     }
 
+    /// Block until notified or `timeout` elapses; returns `true` when the
+    /// wait timed out (mirrors parking_lot's `wait_for` +
+    /// `WaitTimeoutResult::timed_out`).
+    pub fn wait_for<T>(&self, guard: &mut MutexGuard<'_, T>, timeout: std::time::Duration) -> bool {
+        let inner = guard.inner.take().expect("guard present");
+        let (inner, result) = self
+            .inner
+            .wait_timeout(inner, timeout)
+            .unwrap_or_else(|e| e.into_inner());
+        guard.inner = Some(inner);
+        result.timed_out()
+    }
+
     /// Wake one waiter.
     pub fn notify_one(&self) {
         self.inner.notify_one();
