@@ -59,6 +59,7 @@ fn session(problem: &Problem) -> SessionRequest {
         operations: problem.operations(false),
         root: BufferId(problem.tree.root()),
         scaled: false,
+        deadline: None,
     }
 }
 

@@ -48,6 +48,7 @@ pub mod real;
 pub mod rescue;
 pub mod resource;
 pub mod spec;
+pub mod wire;
 
 pub use api::{BeagleInstance, BufferId, InstanceConfig, InstanceDetails, ScalingMode};
 pub use balance::{BalancerConfig, LoadBalancer, PATTERN_STRIDE};
@@ -64,12 +65,14 @@ pub use obs::{Event, EventKind, InstanceStats, KernelClass, KernelCounter, Recor
 pub use ops::Operation;
 pub use pool::{
     InstancePool, Lane, LatencyHistogram, ManagerSupervisor, NullSupervisor, Pool, PoolBuilder,
-    PoolError, PoolHandle, PoolStats, SessionRequest, Ticket, WorkerSupervisor, WorkerUtilization,
+    PoolError, PoolHandle, PoolStats, SessionOutcome, SessionRequest, Ticket, WorkerSupervisor,
+    WorkerUtilization,
 };
 pub use queue::{EigenCache, QueueStats, QueuedInstance};
 pub use real::Real;
 pub use resource::ResourceDescription;
 pub use spec::InstanceSpec;
+pub use wire::{BusyReason, Frame, FrameType, WireError};
 
 /// Sentinel state value meaning "missing data / gap" in compact tip storage.
 /// Kernels treat it as partial likelihood 1 for every state.

@@ -280,6 +280,13 @@ pub enum EventKind {
     /// An instance pool shut down (detail records drain vs abort and the
     /// number of jobs left behind).
     PoolShutdown,
+    /// The likelihood server accepted a session onto its pool.
+    ServerAccept,
+    /// The likelihood server refused a session (admission control, pool
+    /// backpressure, or a drain in progress) with a `Busy` response.
+    ServerReject,
+    /// The likelihood server began a graceful drain.
+    ServerDrain,
 }
 
 impl EventKind {
@@ -307,6 +314,9 @@ impl EventKind {
             EventKind::PoolWorkerEvicted => "pool_worker_evicted",
             EventKind::PoolWorkerRebuilt => "pool_worker_rebuilt",
             EventKind::PoolShutdown => "pool_shutdown",
+            EventKind::ServerAccept => "server_accept",
+            EventKind::ServerReject => "server_reject",
+            EventKind::ServerDrain => "server_drain",
         }
     }
 }

@@ -636,11 +636,18 @@ impl<W: Send + 'static> Pool<W> {
     /// Stop accepting work, finish everything already queued, then join the
     /// workers. `deadline` bounds the drain (measured from this call);
     /// exceeding it aborts the remainder, resolving outstanding tickets to
-    /// [`PoolError::Lost`]. Returns `(drained_fully, workers)` — the fleet
-    /// is handed back so callers can inspect or reuse the instances.
+    /// [`PoolError::Lost`]. Returns `(drained_fully, workers)`.
+    ///
+    /// The fleet is handed back **unconditionally** — a deadline expiring
+    /// mid-drain aborts the remaining sessions (every undone ticket/callback
+    /// resolves `Lost`, never hangs) but still joins every worker thread and
+    /// returns all N instances, so callers can always inspect, checkpoint,
+    /// or reuse them. `tests::drain_deadline_mid_drain_returns_full_fleet`
+    /// pins this down.
     pub fn shutdown_drain(mut self, deadline: Option<Deadline>) -> (bool, Vec<W>) {
         let start = Instant::now();
         let mut drained = true;
+        let mut undone: Vec<QueuedJob<W>> = Vec::new();
         {
             let mut state = self.shared.state.lock();
             state.phase = Phase::Draining;
@@ -664,12 +671,14 @@ impl<W: Send + 'static> Pool<W> {
                     None => self.shared.idle.wait(&mut state),
                 }
             }
-            // A drain that aborted leaves undone jobs in the deques; dropping
-            // them here resolves their tickets to `Lost`.
+            // A drain that aborted leaves undone jobs in the deques; they
+            // are dropped below, *outside* the state lock, because dropping
+            // a session job fires its Lost callback (which may do real work,
+            // like writing a response frame to a socket).
             for slot in &mut state.slots {
                 drained &= slot.lanes[0].is_empty() && slot.lanes[1].is_empty();
-                slot.lanes[0].clear();
-                slot.lanes[1].clear();
+                undone.extend(slot.lanes[0].drain(..));
+                undone.extend(slot.lanes[1].drain(..));
             }
             state.queued = 0;
             let completed = state.stats.completed;
@@ -677,6 +686,7 @@ impl<W: Send + 'static> Pool<W> {
                 format!("mode=drain complete={drained} jobs_completed={completed}")
             });
         }
+        drop(undone);
         let workers = self.join_and_retire();
         (drained, workers)
     }
@@ -684,6 +694,7 @@ impl<W: Send + 'static> Pool<W> {
     /// Abort immediately: queued jobs are dropped (tickets resolve to
     /// [`PoolError::Lost`]); jobs already running finish. Returns the fleet.
     pub fn shutdown_abort(mut self) -> Vec<W> {
+        let mut undone: Vec<QueuedJob<W>> = Vec::new();
         {
             let mut state = self.shared.state.lock();
             state.phase = Phase::Abort;
@@ -693,8 +704,8 @@ impl<W: Send + 'static> Pool<W> {
                 self.shared.idle.wait(&mut state);
             }
             for slot in &mut state.slots {
-                slot.lanes[0].clear();
-                slot.lanes[1].clear();
+                undone.extend(slot.lanes[0].drain(..));
+                undone.extend(slot.lanes[1].drain(..));
             }
             state.queued = 0;
             let completed = state.stats.completed;
@@ -702,6 +713,8 @@ impl<W: Send + 'static> Pool<W> {
                 format!("mode=abort jobs_completed={completed}")
             });
         }
+        // Dropped outside the lock: job drops fire Lost callbacks.
+        drop(undone);
         self.join_and_retire()
     }
 
@@ -796,28 +809,34 @@ impl<W: Send + 'static> PoolHandle<W> {
             }
             Verdict::Done(Outcome::Success)
         });
-        self.enqueue(run, lane, block)?;
+        self.enqueue(run, lane, block).map_err(|(e, _job)| e)?;
         Ok(ticket)
     }
 
+    /// Queue a raw job. On rejection the job is handed back with the error
+    /// so callers with side-effecting drop guards (see
+    /// [`Self::submit_session_with`]) can disarm them before the closure is
+    /// dropped. A rejected `try_submit` is counted in
+    /// [`PoolStats::rejected`], which is part of the stats JSON so server
+    /// `Busy` responses stay auditable from a stats snapshot.
     fn enqueue(
         &self,
         run: JobFn<W>,
         lane: Lane,
         block: bool,
-    ) -> std::result::Result<(), PoolError> {
+    ) -> std::result::Result<(), (PoolError, JobFn<W>)> {
         let shared = &self.shared;
         let mut state = shared.state.lock();
         loop {
             if state.phase != Phase::Running {
-                return Err(PoolError::ShuttingDown);
+                return Err((PoolError::ShuttingDown, run));
             }
             if state.queued < shared.capacity {
                 break;
             }
             if !block {
                 state.stats.rejected += 1;
-                return Err(PoolError::Full);
+                return Err((PoolError::Full, run));
             }
             shared.space_ready.wait(&mut state);
         }
@@ -996,6 +1015,12 @@ pub struct SessionRequest {
     /// Rescale partials and integrate with cumulative scaling (the
     /// operations must carry matching `dest_scale_write` indices).
     pub scaled: bool,
+    /// Per-request deadline: when set, [`Self::evaluate`] installs it on the
+    /// worker for the duration of this session (the watchdog cancels calls
+    /// that exceed it with [`crate::error::BeagleError::Timeout`]) and then
+    /// resets the worker to its driver-default deadline. Rides the wire in
+    /// remote submissions (`core::wire`).
+    pub deadline: Option<Deadline>,
 }
 
 impl SessionRequest {
@@ -1003,7 +1028,24 @@ impl SessionRequest {
     /// Mirrors the canonical evaluation protocol: load model, update
     /// matrices, update partials, (reset + accumulate scale factors),
     /// integrate the root.
+    ///
+    /// A session carrying a [`Self::deadline`] installs it before the first
+    /// call and — success or failure — resets the worker to the driver
+    /// default (`set_deadline(None)`) afterwards, so a tight per-request
+    /// budget cannot leak onto later sessions sharing the worker.
     pub fn evaluate(&self, inst: &mut dyn BeagleInstance) -> Result<f64> {
+        match self.deadline {
+            None => self.evaluate_inner(inst),
+            Some(deadline) => {
+                inst.set_deadline(Some(deadline));
+                let result = self.evaluate_inner(inst);
+                inst.set_deadline(None);
+                result
+            }
+        }
+    }
+
+    fn evaluate_inner(&self, inst: &mut dyn BeagleInstance) -> Result<f64> {
         if let Some((vectors, inverse, values)) = &self.eigen {
             inst.set_eigen_decomposition(0, vectors, inverse, values)?;
         }
@@ -1032,6 +1074,40 @@ impl SessionRequest {
     }
 }
 
+/// How a session submitted through [`PoolHandle::submit_session_with`]
+/// ended: the evaluation's own result, or [`PoolError::Lost`] when the pool
+/// dropped the job before completion (abort shutdown, drain deadline, a dead
+/// worker with no requeue budget left). Exactly one of these reaches the
+/// callback, exactly once.
+pub type SessionOutcome = std::result::Result<Result<f64>, PoolError>;
+
+type SessionCallback = Box<dyn FnOnce(SessionOutcome) + Send>;
+
+/// Shared slot for a session's completion callback. The job closure fires it
+/// on completion; if the closure is instead *dropped* while the callback is
+/// still armed (the job never ran to completion), [`Drop`] fires it with
+/// [`PoolError::Lost`] — so a remote client waiting on the session always
+/// gets an answer, exactly once.
+struct SessionCompletion {
+    slot: Arc<Mutex<Option<SessionCallback>>>,
+}
+
+impl SessionCompletion {
+    fn complete(&self, outcome: SessionOutcome) {
+        if let Some(callback) = self.slot.lock().take() {
+            callback(outcome);
+        }
+    }
+}
+
+impl Drop for SessionCompletion {
+    fn drop(&mut self) {
+        if let Some(callback) = self.slot.lock().take() {
+            callback(Err(PoolError::Lost));
+        }
+    }
+}
+
 impl PoolHandle<Box<dyn BeagleInstance>> {
     /// Submit a typed likelihood session, blocking while the queue is full.
     /// Unlike closure jobs, session jobs feed real outcomes to the health
@@ -1043,14 +1119,70 @@ impl PoolHandle<Box<dyn BeagleInstance>> {
         session: SessionRequest,
     ) -> std::result::Result<Ticket<Result<f64>>, PoolError> {
         let (ticket, sender) = Ticket::channel();
-        let mut sender = Some(sender);
+        self.submit_session_with(lane, session, move |outcome| {
+            // Err(Lost) drops the sender unfulfilled, which resolves the
+            // ticket to PoolError::Lost — same contract as closure jobs.
+            if let Ok(result) = outcome {
+                let mut sender = sender;
+                sender.send(result);
+            }
+        })?;
+        Ok(ticket)
+    }
+
+    /// [`Self::submit_session`] in continuation-passing style: instead of a
+    /// [`Ticket`] to wait on, `on_done` runs — on whichever worker thread
+    /// finishes the session — with the [`SessionOutcome`]. This is the
+    /// server front-end's hook: the callback writes the response frame back
+    /// to the client socket, so no thread blocks per in-flight session.
+    ///
+    /// Delivery is exactly-once: a session the pool accepts either completes
+    /// (callback gets its result) or is dropped in a shutdown/abort
+    /// (callback gets `Err(PoolError::Lost)`). A session the pool *rejects*
+    /// (`Err` return here) never fires the callback.
+    pub fn submit_session_with<F>(
+        &self,
+        lane: Lane,
+        session: SessionRequest,
+        on_done: F,
+    ) -> std::result::Result<(), PoolError>
+    where
+        F: FnOnce(SessionOutcome) + Send + 'static,
+    {
+        self.submit_session_inner(lane, session, Box::new(on_done), true)
+    }
+
+    /// Non-blocking [`Self::submit_session_with`]: a full queue fails fast
+    /// with [`PoolError::Full`] (counted in [`PoolStats::rejected`]) and the
+    /// callback is dropped un-fired.
+    pub fn try_submit_session_with<F>(
+        &self,
+        lane: Lane,
+        session: SessionRequest,
+        on_done: F,
+    ) -> std::result::Result<(), PoolError>
+    where
+        F: FnOnce(SessionOutcome) + Send + 'static,
+    {
+        self.submit_session_inner(lane, session, Box::new(on_done), false)
+    }
+
+    fn submit_session_inner(
+        &self,
+        lane: Lane,
+        session: SessionRequest,
+        on_done: SessionCallback,
+        block: bool,
+    ) -> std::result::Result<(), PoolError> {
+        let slot = Arc::new(Mutex::new(Some(on_done)));
+        let completion = SessionCompletion {
+            slot: Arc::clone(&slot),
+        };
         let mut retried = false;
         let run: JobFn<Box<dyn BeagleInstance>> =
             Box::new(move |inst| match session.evaluate(inst.as_mut()) {
                 Ok(lnl) => {
-                    if let Some(mut s) = sender.take() {
-                        s.send(Ok(lnl));
-                    }
+                    completion.complete(Ok(Ok(lnl)));
                     Verdict::Done(Outcome::Success)
                 }
                 Err(e) => {
@@ -1063,9 +1195,7 @@ impl PoolHandle<Box<dyn BeagleInstance>> {
                             outcome,
                         }
                     } else {
-                        if let Some(mut s) = sender.take() {
-                            s.send(Err(e));
-                        }
+                        completion.complete(Ok(Err(e)));
                         if fatal {
                             Verdict::Evict {
                                 requeue: false,
@@ -1077,8 +1207,14 @@ impl PoolHandle<Box<dyn BeagleInstance>> {
                     }
                 }
             });
-        self.enqueue(run, lane, true)?;
-        Ok(ticket)
+        self.enqueue(run, lane, block).map_err(|(error, job)| {
+            // Disarm before the rejected closure (and its completion guard)
+            // drops: a rejected submission reports its error here and must
+            // not also fire the callback with Lost.
+            slot.lock().take();
+            drop(job);
+            error
+        })
     }
 }
 
@@ -1403,7 +1539,10 @@ mod tests {
                 Verdict::Done(Outcome::Success)
             }
         });
-        handle.enqueue(run, Lane::Interactive, true).unwrap();
+        handle
+            .enqueue(run, Lane::Interactive, true)
+            .map_err(|(e, _job)| e)
+            .unwrap();
         assert_eq!(ticket.wait(), Ok("ok"));
         assert_eq!(*attempts.lock(), 2);
         let stats = pool.stats();
@@ -1446,6 +1585,51 @@ mod tests {
             }
         }
         assert!(lost >= 1);
+    }
+
+    #[test]
+    fn drain_deadline_mid_drain_returns_full_fleet() {
+        // Satellite check for `shutdown_drain`: a deadline expiring while
+        // the drain is still working through the queue must (a) abort the
+        // remaining sessions — every outstanding ticket resolves, none
+        // hang — and (b) still hand back the complete worker fleet.
+        let pool = Pool::with_workers(vec![0u64, 0u64]);
+        let handle = pool.handle();
+        // Enough 30 ms jobs that two workers cannot finish them within the
+        // 10 ms drain budget; the first job on each worker is already
+        // running when the drain starts, the rest are mid-drain stragglers.
+        let tickets: Vec<_> = (0..12)
+            .map(|_| {
+                handle
+                    .submit(Lane::Batch, |counter: &mut u64| {
+                        std::thread::sleep(Duration::from_millis(30));
+                        *counter += 1;
+                    })
+                    .unwrap()
+            })
+            .collect();
+        let (drained, fleet) = pool.shutdown_drain(Some(Deadline::new(Duration::from_millis(10))));
+        assert!(!drained, "10ms cannot drain ~360ms of queued work");
+        assert_eq!(
+            fleet.len(),
+            2,
+            "an aborted drain must still return every worker"
+        );
+        let mut done = 0;
+        let mut lost = 0;
+        for t in tickets {
+            match t.wait() {
+                Ok(()) => done += 1,
+                Err(PoolError::Lost) => lost += 1,
+                Err(e) => panic!("unexpected {e}"),
+            }
+        }
+        assert!(lost >= 1, "the aborted remainder must resolve Lost");
+        assert_eq!(
+            fleet.iter().sum::<u64>(),
+            done,
+            "workers' own counters must agree with the completed tickets"
+        );
     }
 
     #[test]

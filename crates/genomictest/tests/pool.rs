@@ -51,6 +51,7 @@ fn session(seed: u64) -> SessionRequest {
         operations: problem.operations(true),
         root: BufferId(problem.tree.root()),
         scaled: true,
+        deadline: None,
     }
 }
 

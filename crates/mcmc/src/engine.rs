@@ -5,9 +5,12 @@
 use std::collections::HashSet;
 use std::time::{Duration, Instant};
 
-use beagle_core::{BeagleInstance, BufferId, InstanceStats, Operation, ScalingMode};
+use beagle_core::{
+    BeagleInstance, BufferId, Deadline, InstanceStats, Lane, Operation, ScalingMode, SessionRequest,
+};
 use beagle_cpu::{kernels, vector};
 use beagle_phylo::{ReversibleModel, SitePatterns, SiteRates, Tree};
+use beagle_server::{Client, ClientError, Endpoint};
 
 /// A provider of tree log-likelihoods, with its own time accounting:
 /// wall-clock for real CPU execution, simulated device time for the
@@ -252,6 +255,125 @@ impl LikelihoodEngine for BeagleEngine {
 
     fn kernel_statistics(&self) -> Option<InstanceStats> {
         self.instance.statistics()
+    }
+}
+
+/// An engine backed by a remote likelihood service (`beagle-server`): each
+/// evaluation ships a self-contained [`SessionRequest`] over the wire and
+/// blocks for the result. The WIRE-v1 protocol carries every `f64` as a
+/// raw bit pattern, so a remote evaluation is bit-identical to running the
+/// same session on a local pool of the same implementation — which is what
+/// lets [`crate::mc3::run_mc3_remote`] reproduce a local cold trace
+/// exactly.
+///
+/// Unlike [`BeagleEngine`] there is no incremental fast path: sessions are
+/// stateless by design (that is what makes server-side requeue-after-
+/// eviction safe), so every evaluation is a full refresh.
+pub struct RemoteEngine {
+    client: Client,
+    patterns: SitePatterns,
+    rates: SiteRates,
+    scaled: bool,
+    lane: Lane,
+    deadline: Option<Deadline>,
+    /// Transient `Busy` answers tolerated per evaluation before panicking.
+    busy_retries: u32,
+    wall: Duration,
+}
+
+impl RemoteEngine {
+    /// Connect to a service. `scaled` must match what the data demands,
+    /// exactly as for [`BeagleEngine::new`].
+    pub fn connect(
+        endpoint: Endpoint,
+        patterns: SitePatterns,
+        rates: SiteRates,
+        scaled: bool,
+    ) -> Result<Self, ClientError> {
+        Ok(Self {
+            client: Client::connect(endpoint)?,
+            patterns,
+            rates,
+            scaled,
+            lane: Lane::Interactive,
+            deadline: None,
+            busy_retries: 64,
+            wall: Duration::ZERO,
+        })
+    }
+
+    /// Scheduling lane for the server-side pool (default
+    /// [`Lane::Interactive`]: chains block on every evaluation, so queue
+    /// latency matters more than fairness).
+    pub fn lane(mut self, lane: Lane) -> Self {
+        self.lane = lane;
+        self
+    }
+
+    /// Attach a per-request deadline, propagated into the server pool's
+    /// watchdog for each evaluation.
+    pub fn deadline(mut self, deadline: Deadline) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// Build the wire session for one evaluation.
+    fn session(&self, tree: &Tree, model: &ReversibleModel) -> SessionRequest {
+        let eig = model.eigen();
+        SessionRequest {
+            tip_states: (0..tree.taxon_count())
+                .map(|t| self.patterns.tip_states(t))
+                .collect(),
+            pattern_weights: self.patterns.weights().to_vec(),
+            category_rates: self.rates.rates.clone(),
+            category_weights: self.rates.weights.clone(),
+            frequencies: model.frequencies().to_vec(),
+            eigen: Some((
+                eig.vectors.as_slice().to_vec(),
+                eig.inverse_vectors.as_slice().to_vec(),
+                eig.values.clone(),
+            )),
+            matrices: tree.branch_assignments(),
+            operations: tree
+                .operation_schedule()
+                .iter()
+                .map(|e| {
+                    let op =
+                        Operation::new(e.destination, e.child1, e.matrix1, e.child2, e.matrix2);
+                    if self.scaled {
+                        op.with_scaling(e.destination)
+                    } else {
+                        op
+                    }
+                })
+                .collect(),
+            root: BufferId(tree.root()),
+            scaled: self.scaled,
+            deadline: self.deadline,
+        }
+    }
+}
+
+impl LikelihoodEngine for RemoteEngine {
+    fn name(&self) -> String {
+        format!("remote({})", self.client.endpoint())
+    }
+
+    fn log_likelihood(&mut self, tree: &Tree, model: &ReversibleModel) -> f64 {
+        let start = Instant::now();
+        let session = self.session(tree, model);
+        let lnl = self
+            .client
+            .evaluate_patiently(&session, self.lane, self.busy_retries)
+            .expect("remote evaluation");
+        self.wall += start.elapsed();
+        lnl
+    }
+
+    fn elapsed(&self) -> Duration {
+        // Wall time including wire round trips; the server's modeled device
+        // time is visible through its stats snapshot instead.
+        self.wall
     }
 }
 

@@ -20,6 +20,6 @@ pub mod mc3;
 pub mod posterior;
 
 pub use chain::{ChainState, MarkovChain, ModelParams};
-pub use engine::{BeagleEngine, LikelihoodEngine, NativeEngine};
-pub use mc3::{run_mc3, Mc3Config, Mc3Result};
+pub use engine::{BeagleEngine, LikelihoodEngine, NativeEngine, RemoteEngine};
+pub use mc3::{run_mc3, run_mc3_remote, Mc3Config, Mc3Result};
 pub use posterior::{Posterior, Sample};

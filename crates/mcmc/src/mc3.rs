@@ -279,6 +279,36 @@ pub fn run_mc3_pooled(
     }
 }
 
+/// Run MC³ against a remote likelihood service: one blocking client
+/// connection per chain (the "MPI rank" analogue, over sockets), all
+/// multiplexed server-side onto the service's instance pool.
+///
+/// Delegates to [`run_mc3`] with [`crate::engine::RemoteEngine`]s, so the
+/// master RNG and every chain RNG are consumed in exactly the same order as
+/// a local run — and since WIRE-v1 round trips are bit-exact, the cold
+/// trace is bit-identical to [`run_mc3`] on local engines of the same
+/// implementation with the same seed.
+pub fn run_mc3_remote(
+    config: &Mc3Config,
+    starting_tree: &Tree,
+    params: ModelParams,
+    endpoint: &beagle_server::Endpoint,
+    patterns: &beagle_phylo::SitePatterns,
+    rates: &beagle_phylo::SiteRates,
+    scaled: bool,
+) -> Result<Mc3Result, beagle_server::ClientError> {
+    let mut engines: Vec<Box<dyn LikelihoodEngine>> = Vec::with_capacity(config.chains);
+    for _ in 0..config.chains {
+        engines.push(Box::new(crate::engine::RemoteEngine::connect(
+            endpoint.clone(),
+            patterns.clone(),
+            rates.clone(),
+            scaled,
+        )?));
+    }
+    Ok(run_mc3(config, starting_tree, params, &mut engines))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

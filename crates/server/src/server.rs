@@ -1,0 +1,599 @@
+//! The likelihood service: listeners, connection handlers, admission
+//! control, and drain orchestration around an embedded
+//! [`beagle_core::pool::InstancePool`].
+//!
+//! # Thread model (DESIGN.md §13)
+//!
+//! * **One acceptor thread per listener** (TCP and/or Unix). Acceptors block
+//!   in `accept()`; a drain wakes them with a throwaway self-connection.
+//! * **One handler thread per connection**, blocking in [`wire::read_frame`]
+//!   on the read half. Decoded `Submit` frames are handed to the pool via
+//!   [`PoolHandle::try_submit_session_with`]; the handler immediately goes
+//!   back to reading, so one client can pipeline up to its admission cap.
+//! * **Pool worker threads** run the sessions. The completion callback runs
+//!   on the worker and writes the response frame through a cloned write
+//!   half behind a mutex — no thread ever blocks per in-flight session.
+//!
+//! # Admission control
+//!
+//! A `Submit` is answered with [`Frame::Busy`] instead of queueing without
+//! bound when (in check order) the server is draining
+//! ([`BusyReason::Draining`]), the connection already has `max_in_flight`
+//! sessions outstanding ([`BusyReason::ClientCap`]), or the pool queue is
+//! full ([`BusyReason::PoolFull`] — also counted in the pool's `rejected`
+//! statistic, auditable through a `StatsRequest`).
+
+use std::collections::HashMap;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+#[cfg(unix)]
+use std::os::unix::net::{UnixListener, UnixStream};
+#[cfg(unix)]
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use beagle_core::wire::{self, BusyReason, Frame};
+use beagle_core::{
+    BeagleError, BeagleInstance, Deadline, Event, EventKind, ImplementationManager, InstancePool,
+    InstanceSpec, Lane, PoolBuilder, PoolError, PoolHandle, Recorder, SessionRequest, WireError,
+};
+use parking_lot::{Condvar, Mutex};
+
+use crate::net::{Endpoint, Stream};
+
+/// Per-server monotonic counters, exposed in the `StatsSnapshot` JSON.
+#[derive(Default)]
+struct Counters {
+    connections: AtomicU64,
+    accepted: AtomicU64,
+    completed: AtomicU64,
+    lost: AtomicU64,
+    busy_client_cap: AtomicU64,
+    busy_pool_full: AtomicU64,
+    busy_draining: AtomicU64,
+    wire_errors: AtomicU64,
+}
+
+struct Shared {
+    handle: PoolHandle<Box<dyn BeagleInstance>>,
+    /// The pool itself, consumed by whichever thread runs the drain first
+    /// (the owner via [`Server::drain`], or a connection handler serving a
+    /// remote [`Frame::Drain`]).
+    pool: Mutex<Option<InstancePool>>,
+    manager: Arc<ImplementationManager>,
+    max_in_flight: usize,
+    draining: AtomicBool,
+    /// `Some(drained)` once the pool drain finished; late drain requests
+    /// wait here instead of racing for the pool.
+    drain_done: Mutex<Option<bool>>,
+    drain_cv: Condvar,
+    in_flight: AtomicUsize,
+    counters: Counters,
+    recorder: Mutex<Recorder>,
+    /// Write-half clones of every live connection, so a drain can shut them
+    /// down and unblock their handler threads.
+    conns: Mutex<HashMap<u64, Stream>>,
+    next_conn: AtomicU64,
+}
+
+/// Builder for a [`Server`]: the pool fleet shape plus service knobs.
+pub struct ServerBuilder {
+    spec: InstanceSpec,
+    workers: usize,
+    pinned: Vec<String>,
+    queue_capacity: Option<usize>,
+    max_in_flight: usize,
+    journal: bool,
+    tcp: Option<String>,
+    #[cfg(unix)]
+    unix: Option<PathBuf>,
+}
+
+impl ServerBuilder {
+    /// Start from the spec every pool worker instance is created from.
+    pub fn from_spec(spec: InstanceSpec) -> Self {
+        Self {
+            spec,
+            workers: 2,
+            pinned: Vec::new(),
+            queue_capacity: None,
+            max_in_flight: 4,
+            journal: true,
+            tcp: None,
+            #[cfg(unix)]
+            unix: None,
+        }
+    }
+
+    /// Number of pool workers (default 2).
+    pub fn workers(mut self, n: usize) -> Self {
+        self.workers = n;
+        self
+    }
+
+    /// Pin workers to named implementations (see [`PoolBuilder::pin`]).
+    pub fn pin<I, S>(mut self, names: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        self.pinned = names.into_iter().map(Into::into).collect();
+        self
+    }
+
+    /// Pool queue capacity; beyond it `Submit`s bounce with
+    /// [`BusyReason::PoolFull`].
+    pub fn queue_capacity(mut self, n: usize) -> Self {
+        self.queue_capacity = Some(n);
+        self
+    }
+
+    /// Per-connection admission cap (default 4). `0` makes every `Submit`
+    /// bounce with [`BusyReason::ClientCap`] — useful in tests.
+    pub fn max_in_flight(mut self, n: usize) -> Self {
+        self.max_in_flight = n;
+        self
+    }
+
+    /// Record `server_accept` / `server_reject` / `server_drain` events
+    /// (default on).
+    pub fn journal(mut self, enabled: bool) -> Self {
+        self.journal = enabled;
+        self
+    }
+
+    /// Listen on a TCP address (`"127.0.0.1:0"` picks an ephemeral port).
+    pub fn tcp(mut self, addr: impl Into<String>) -> Self {
+        self.tcp = Some(addr.into());
+        self
+    }
+
+    /// Listen on a Unix-domain socket path. A stale socket file at that
+    /// path is removed before binding.
+    #[cfg(unix)]
+    pub fn unix(mut self, path: impl Into<PathBuf>) -> Self {
+        self.unix = Some(path.into());
+        self
+    }
+
+    /// Build the pool, bind the listeners, and start accepting.
+    pub fn serve(self, manager: &Arc<ImplementationManager>) -> Result<Server, BeagleError> {
+        #[cfg(unix)]
+        let no_endpoint = self.tcp.is_none() && self.unix.is_none();
+        #[cfg(not(unix))]
+        let no_endpoint = self.tcp.is_none();
+        if no_endpoint {
+            return Err(BeagleError::InvalidConfiguration(
+                "server needs at least one listen endpoint (tcp and/or unix)".into(),
+            ));
+        }
+
+        let mut builder = PoolBuilder::from_spec(self.spec).workers(self.workers);
+        if !self.pinned.is_empty() {
+            builder = builder.pin(self.pinned);
+        }
+        if let Some(cap) = self.queue_capacity {
+            builder = builder.queue_capacity(cap);
+        }
+        let pool = builder.build(manager)?;
+
+        let shared = Arc::new(Shared {
+            handle: pool.handle(),
+            pool: Mutex::new(Some(pool)),
+            manager: Arc::clone(manager),
+            max_in_flight: self.max_in_flight,
+            draining: AtomicBool::new(false),
+            drain_done: Mutex::new(None),
+            drain_cv: Condvar::new(),
+            in_flight: AtomicUsize::new(0),
+            counters: Counters::default(),
+            recorder: Mutex::new(Recorder::new(self.journal)),
+            conns: Mutex::new(HashMap::new()),
+            next_conn: AtomicU64::new(0),
+        });
+
+        let bind_err = |what: &str, e: std::io::Error| {
+            BeagleError::InvalidConfiguration(format!("bind {what}: {e}"))
+        };
+        let mut acceptors = Vec::new();
+        let mut tcp_addr = None;
+        if let Some(addr) = &self.tcp {
+            let listener = TcpListener::bind(addr).map_err(|e| bind_err(addr, e))?;
+            tcp_addr = Some(listener.local_addr().map_err(|e| bind_err(addr, e))?);
+            let shared = Arc::clone(&shared);
+            acceptors.push(
+                std::thread::Builder::new()
+                    .name("beagle-serve-tcp".into())
+                    .spawn(move || accept_tcp(listener, shared))
+                    .map_err(|e| BeagleError::ResourceExhausted {
+                        what: format!("acceptor thread: {e}"),
+                    })?,
+            );
+        }
+        #[cfg(unix)]
+        let mut unix_path = None;
+        #[cfg(unix)]
+        if let Some(path) = &self.unix {
+            let _ = std::fs::remove_file(path);
+            let listener =
+                UnixListener::bind(path).map_err(|e| bind_err(&path.display().to_string(), e))?;
+            unix_path = Some(path.clone());
+            let shared = Arc::clone(&shared);
+            acceptors.push(
+                std::thread::Builder::new()
+                    .name("beagle-serve-unix".into())
+                    .spawn(move || accept_unix(listener, shared))
+                    .map_err(|e| BeagleError::ResourceExhausted {
+                        what: format!("acceptor thread: {e}"),
+                    })?,
+            );
+        }
+
+        Ok(Server {
+            shared,
+            acceptors,
+            tcp_addr,
+            #[cfg(unix)]
+            unix_path,
+        })
+    }
+}
+
+/// A running likelihood service. Dropping it without [`Server::drain`]
+/// leaves acceptor threads parked; the process-exit story is the caller's.
+pub struct Server {
+    shared: Arc<Shared>,
+    acceptors: Vec<JoinHandle<()>>,
+    tcp_addr: Option<SocketAddr>,
+    #[cfg(unix)]
+    unix_path: Option<PathBuf>,
+}
+
+impl Server {
+    /// The bound TCP address (with the real port when `:0` was requested).
+    pub fn tcp_addr(&self) -> Option<SocketAddr> {
+        self.tcp_addr
+    }
+
+    /// The bound Unix socket path.
+    #[cfg(unix)]
+    pub fn unix_path(&self) -> Option<&Path> {
+        self.unix_path.as_deref()
+    }
+
+    /// The same JSON document a remote `StatsRequest` receives.
+    pub fn stats_json(&self) -> String {
+        stats_json(&self.shared)
+    }
+
+    /// Drain the server's observability journal (accept/reject/drain
+    /// events).
+    pub fn take_journal(&self) -> Vec<Event> {
+        self.shared.recorder.lock().take_journal()
+    }
+
+    /// Graceful shutdown: stop admitting, answer every in-flight session,
+    /// close the listeners and all connections. Returns whether the pool
+    /// drained fully within `deadline` (in-flight sessions cut off by the
+    /// deadline have already been answered with a typed error). Safe after
+    /// a remote-initiated drain — this then just finishes listener
+    /// teardown and reports the drain's result.
+    pub fn drain(self, deadline: Option<Deadline>) -> bool {
+        let drained = drain_pool(&self.shared, deadline);
+        // Wake acceptors parked in accept() with throwaway self-connections
+        // (draining is already set, so they exit), then join them so the
+        // listener sockets are certainly closed on return.
+        if let Some(addr) = self.tcp_addr {
+            let _ = TcpStream::connect(addr);
+        }
+        #[cfg(unix)]
+        if let Some(path) = &self.unix_path {
+            let _ = UnixStream::connect(path);
+        }
+        for acceptor in self.acceptors {
+            let _ = acceptor.join();
+        }
+        close_all_conns(&self.shared);
+        #[cfg(unix)]
+        if let Some(path) = &self.unix_path {
+            let _ = std::fs::remove_file(path);
+        }
+        drained
+    }
+}
+
+fn accept_tcp(listener: TcpListener, shared: Arc<Shared>) {
+    loop {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                if shared.draining.load(Ordering::Acquire) {
+                    // Either the drain's wake-up self-connection or a late
+                    // client; both just close.
+                    break;
+                }
+                let _ = stream.set_nodelay(true);
+                spawn_handler(Stream::Tcp(stream), &shared);
+            }
+            Err(_) if shared.draining.load(Ordering::Acquire) => break,
+            // Transient accept failure (EMFILE, aborted handshake): keep
+            // serving.
+            Err(_) => {}
+        }
+    }
+}
+
+#[cfg(unix)]
+fn accept_unix(listener: UnixListener, shared: Arc<Shared>) {
+    loop {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                if shared.draining.load(Ordering::Acquire) {
+                    break;
+                }
+                spawn_handler(Stream::Unix(stream), &shared);
+            }
+            Err(_) if shared.draining.load(Ordering::Acquire) => break,
+            Err(_) => {}
+        }
+    }
+}
+
+fn spawn_handler(stream: Stream, shared: &Arc<Shared>) {
+    let shared = Arc::clone(shared);
+    // A failed spawn drops the connection; the client sees EOF and retries.
+    let _ = std::thread::Builder::new()
+        .name("beagle-serve-conn".into())
+        .spawn(move || handle_connection(stream, shared));
+}
+
+fn handle_connection(mut reader: Stream, shared: Arc<Shared>) {
+    shared.counters.connections.fetch_add(1, Ordering::Relaxed);
+    let Ok(write_half) = reader.try_clone() else {
+        return;
+    };
+    let writer = Arc::new(Mutex::new(write_half));
+    let conn_id = shared.next_conn.fetch_add(1, Ordering::Relaxed);
+    if let Ok(clone) = reader.try_clone() {
+        shared.conns.lock().insert(conn_id, clone);
+    }
+    // This connection's outstanding sessions, for the admission cap.
+    let conn_in_flight = Arc::new(AtomicUsize::new(0));
+
+    loop {
+        match wire::read_frame(&mut reader) {
+            Ok((sid, Frame::Submit { lane, session })) => {
+                submit(&shared, &writer, &conn_in_flight, sid, lane, *session);
+            }
+            Ok((sid, Frame::StatsRequest)) => {
+                let json = stats_json(&shared);
+                if write_reply(&writer, sid, &Frame::Stats(json)).is_err() {
+                    break;
+                }
+            }
+            Ok((sid, Frame::Drain)) => {
+                let drained = drain_pool(&shared, None);
+                // Ack before closing sockets — ours is among them.
+                let _ = write_reply(&writer, sid, &Frame::DrainAck { drained });
+                close_all_conns(&shared);
+                break;
+            }
+            Ok((sid, _response_frame)) => {
+                // Result/Busy/Error/Stats/DrainAck are server→client only.
+                shared.counters.wire_errors.fetch_add(1, Ordering::Relaxed);
+                let _ = write_reply(
+                    &writer,
+                    sid,
+                    &Frame::Error(BeagleError::Unsupported(
+                        "frame type is not valid client-to-server".into(),
+                    )),
+                );
+                break;
+            }
+            Err(WireError::Closed) | Err(WireError::Io(_)) => break,
+            Err(wire_error) => {
+                // Typed decode failure (bad magic, truncation, bomb).
+                // Framing is lost, so answer once and hang up.
+                shared.counters.wire_errors.fetch_add(1, Ordering::Relaxed);
+                let _ = write_reply(
+                    &writer,
+                    0,
+                    &Frame::Error(BeagleError::InvalidConfiguration(format!(
+                        "wire: {wire_error}"
+                    ))),
+                );
+                break;
+            }
+        }
+    }
+
+    shared.conns.lock().remove(&conn_id);
+    reader.shutdown();
+}
+
+fn write_reply(writer: &Arc<Mutex<Stream>>, sid: u64, frame: &Frame) -> Result<(), WireError> {
+    wire::write_frame(&mut *writer.lock(), sid, frame)
+}
+
+fn reject(shared: &Shared, writer: &Arc<Mutex<Stream>>, sid: u64, reason: BusyReason) {
+    shared.recorder.lock().event(EventKind::ServerReject, || {
+        format!("session {sid}: {reason}")
+    });
+    let _ = write_reply(writer, sid, &Frame::Busy(reason));
+}
+
+fn submit(
+    shared: &Arc<Shared>,
+    writer: &Arc<Mutex<Stream>>,
+    conn_in_flight: &Arc<AtomicUsize>,
+    sid: u64,
+    lane: Lane,
+    session: SessionRequest,
+) {
+    if shared.draining.load(Ordering::Acquire) {
+        shared
+            .counters
+            .busy_draining
+            .fetch_add(1, Ordering::Relaxed);
+        reject(shared, writer, sid, BusyReason::Draining);
+        return;
+    }
+    if conn_in_flight.load(Ordering::Acquire) >= shared.max_in_flight {
+        shared
+            .counters
+            .busy_client_cap
+            .fetch_add(1, Ordering::Relaxed);
+        reject(shared, writer, sid, BusyReason::ClientCap);
+        return;
+    }
+
+    conn_in_flight.fetch_add(1, Ordering::AcqRel);
+    shared.in_flight.fetch_add(1, Ordering::AcqRel);
+    let callback = {
+        let shared = Arc::clone(shared);
+        let writer = Arc::clone(writer);
+        let conn_in_flight = Arc::clone(conn_in_flight);
+        move |outcome: beagle_core::SessionOutcome| {
+            let frame = match outcome {
+                Ok(Ok(lnl)) => Frame::Result(lnl),
+                Ok(Err(e)) => Frame::Error(e),
+                Err(_lost) => {
+                    shared.counters.lost.fetch_add(1, Ordering::Relaxed);
+                    Frame::Error(BeagleError::ResourceExhausted {
+                        what: "session dropped during server shutdown".into(),
+                    })
+                }
+            };
+            // Book-keep before writing: the client may pipeline its next
+            // Submit the instant the reply lands.
+            conn_in_flight.fetch_sub(1, Ordering::AcqRel);
+            shared.in_flight.fetch_sub(1, Ordering::AcqRel);
+            shared.counters.completed.fetch_add(1, Ordering::Relaxed);
+            let _ = write_reply(&writer, sid, &frame);
+        }
+    };
+
+    match shared
+        .handle
+        .try_submit_session_with(lane, session, callback)
+    {
+        Ok(()) => {
+            shared.counters.accepted.fetch_add(1, Ordering::Relaxed);
+            shared.recorder.lock().event(EventKind::ServerAccept, || {
+                format!("session {sid} {lane:?}")
+            });
+        }
+        Err(e) => {
+            // The rejected callback never fires; undo the booking here.
+            conn_in_flight.fetch_sub(1, Ordering::AcqRel);
+            shared.in_flight.fetch_sub(1, Ordering::AcqRel);
+            let reason = match e {
+                PoolError::Full => {
+                    shared
+                        .counters
+                        .busy_pool_full
+                        .fetch_add(1, Ordering::Relaxed);
+                    BusyReason::PoolFull
+                }
+                // ShuttingDown/Lost: the pool is going away under us.
+                _ => {
+                    shared
+                        .counters
+                        .busy_draining
+                        .fetch_add(1, Ordering::Relaxed);
+                    BusyReason::Draining
+                }
+            };
+            reject(shared, writer, sid, reason);
+        }
+    }
+}
+
+/// Run (or wait for) the graceful pool drain. First caller takes the pool
+/// and drains it; concurrent callers block until it finishes and report the
+/// same result.
+fn drain_pool(shared: &Shared, deadline: Option<Deadline>) -> bool {
+    shared.draining.store(true, Ordering::Release);
+    let pool = shared.pool.lock().take();
+    match pool {
+        Some(pool) => {
+            shared.recorder.lock().event(EventKind::ServerDrain, || {
+                format!("in_flight {}", shared.in_flight.load(Ordering::Acquire))
+            });
+            let (drained, fleet) = pool.shutdown_drain(deadline);
+            drop(fleet);
+            *shared.drain_done.lock() = Some(drained);
+            shared.drain_cv.notify_all();
+            drained
+        }
+        None => {
+            let mut done = shared.drain_done.lock();
+            while done.is_none() {
+                shared.drain_cv.wait(&mut done);
+            }
+            done.unwrap_or(false)
+        }
+    }
+}
+
+fn close_all_conns(shared: &Shared) {
+    for stream in shared.conns.lock().values() {
+        stream.shutdown();
+    }
+}
+
+/// Assemble the `StatsSnapshot` JSON: server counters, pool scheduler
+/// stats (including `rejected`), a kernel-statistics sample from one pool
+/// worker (null when unavailable, e.g. mid-drain or obs-disabled), and the
+/// health registry's breaker states.
+fn stats_json(shared: &Shared) -> String {
+    let c = &shared.counters;
+    let kernels = match shared
+        .handle
+        .try_submit(Lane::Interactive, |inst: &mut Box<dyn BeagleInstance>| {
+            inst.statistics().map(|s| s.to_json())
+        }) {
+        Ok(ticket) => match ticket.wait() {
+            Ok(Some(json)) => json,
+            _ => "null".into(),
+        },
+        Err(_) => "null".into(),
+    };
+    let health: Vec<String> = shared
+        .manager
+        .health()
+        .snapshot()
+        .iter()
+        .map(|s| s.to_json())
+        .collect();
+    format!(
+        "{{\"server\":{{\"connections\":{},\"accepted\":{},\"completed\":{},\"lost\":{},\
+\"busy_client_cap\":{},\"busy_pool_full\":{},\"busy_draining\":{},\"wire_errors\":{},\
+\"in_flight\":{},\"draining\":{}}},\"pool\":{},\"kernels\":{},\"health\":[{}]}}",
+        c.connections.load(Ordering::Relaxed),
+        c.accepted.load(Ordering::Relaxed),
+        c.completed.load(Ordering::Relaxed),
+        c.lost.load(Ordering::Relaxed),
+        c.busy_client_cap.load(Ordering::Relaxed),
+        c.busy_pool_full.load(Ordering::Relaxed),
+        c.busy_draining.load(Ordering::Relaxed),
+        c.wire_errors.load(Ordering::Relaxed),
+        shared.in_flight.load(Ordering::Acquire),
+        shared.draining.load(Ordering::Acquire),
+        shared.handle.stats().to_json(),
+        kernels,
+        health.join(",")
+    )
+}
+
+/// Convenience: serve on an [`Endpoint`] list built elsewhere.
+impl ServerBuilder {
+    /// Add one endpoint of either transport.
+    pub fn endpoint(self, endpoint: &Endpoint) -> Self {
+        match endpoint {
+            Endpoint::Tcp(addr) => self.tcp(addr.clone()),
+            #[cfg(unix)]
+            Endpoint::Unix(path) => self.unix(path.clone()),
+        }
+    }
+}

@@ -19,15 +19,21 @@
 #                       branch MCMC sweep: full-refresh vs incremental
 #                       wall time (asserted >= 5x), bit-identical lnL trace,
 #                       memo skip counters
+#   BENCH_serve.json    likelihood-service protocol overhead: 8 concurrent
+#                       clients over loopback TCP vs the same sessions
+#                       through the in-process pool (bit-identical asserted),
+#                       mean/tail wall latencies, overhead % of the wire
 #
 #   BENCH_QUICK=1 scripts/bench.sh   # ~100x less work per cell (CI smoke)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 cargo build --release -p beagle-bench \
-    --bin kernels --bin obs --bin balance --bin pool --bin incremental-mcmc
+    --bin kernels --bin obs --bin balance --bin pool --bin incremental-mcmc \
+    --bin serve
 ./target/release/kernels BENCH_kernels.json
 ./target/release/obs BENCH_obs.json
 ./target/release/balance BENCH_balance.json
 ./target/release/pool BENCH_pool.json
 ./target/release/incremental-mcmc BENCH_incremental.json
+./target/release/serve BENCH_serve.json

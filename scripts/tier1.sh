@@ -38,6 +38,13 @@
 #                             -> rebuild, breaker opens)
 #   tests/send_sync ......... compile-time Send + Sync audit of every backend,
 #                             wrapper layer, and the pool's public types
+#   tests/serve ............. likelihood-service differentials: TCP and Unix
+#                             loopback bit-identical to in-process across
+#                             backend x precision, mid-session eviction,
+#                             drain with work in flight, admission-control
+#                             rejections audited, per-request deadlines
+#                             reaching the watchdog, wire-decoder fuzzing
+#   tests/remote (mcmc) ..... MC3 over the wire bit-identical to local
 #   tests/robustness ........ deadline watchdog cancelling hangs/stalls
 #                             (bit-exact failover vs a fault-free survivor
 #                             run), circuit breakers steering creation and
@@ -64,11 +71,17 @@ cargo test -q --test obs_env
 cargo test -q --test balance
 cargo test -q --test incremental
 cargo test -q -p genomictest --test pool
+cargo test -q -p beagle-server --test serve
+cargo test -q -p beagle-mcmc --test remote
+# Likelihood-service loopback smoke: start a server on an ephemeral port,
+# round-trip sessions through a real socket, bit-compare against a local
+# instance, then drain. Exercises the full WIRE-v1 stack end to end.
+cargo run -q --release -p beagle-server --bin beagle-serve -- --self-test 3
 cargo clippy --workspace -- -D warnings
 # Formatting gate for first-party crates only: the vendored stand-ins under
 # vendor/ keep their upstream-ish style and are deliberately excluded.
 cargo fmt --check -p beagle -p beagle-core -p beagle-cpu -p beagle-accel \
-    -p beagle-phylo -p beagle-bench -p beagle-mcmc -p genomictest
+    -p beagle-phylo -p beagle-bench -p beagle-mcmc -p genomictest -p beagle-server
 # The zero-cost claim has a compile-time arm: the workspace (and the obs
 # test suite, whose assertions gate on the runtime probe) must also build
 # with the recorder compiled out.

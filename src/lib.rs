@@ -54,6 +54,8 @@
 //! * [`phylo`] — trees, models, alignments, pattern compression, the oracle
 //! * [`harness`] — `genomictest`-style problem generation and benchmarking
 //! * [`mcmc`] — the MrBayes-lite MC³ application
+//! * [`server`] — likelihood-as-a-service: the WIRE-v1 socket server
+//!   (`beagle-serve`) and blocking client
 //! * [`optimize`] — Newton–Raphson ML branch-length optimization on the
 //!   derivative API (the GARLI/PhyML client pattern)
 
@@ -64,6 +66,7 @@ pub use beagle_core as core;
 pub use beagle_cpu as cpu;
 pub use beagle_mcmc as mcmc;
 pub use beagle_phylo as phylo;
+pub use beagle_server as server;
 pub use genomictest as harness;
 
 pub use genomictest::{full_manager, full_manager_with_faults};
